@@ -1,0 +1,42 @@
+// Shared helpers for the experiment binaries (E1-E10).  Every bench prints a
+// paper-style table on stdout; the EXPERIMENTS.md rows are regenerated from
+// these outputs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace snappif::bench {
+
+/// Set by init() from --csv: emit machine-readable CSV instead of the
+/// aligned table (headers still go to the human).
+inline bool g_csv = false;
+
+inline void init(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  g_csv = cli.get_bool("csv", false);
+}
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("  paper claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+inline void print_table(const util::Table& table) {
+  std::fputs((g_csv ? table.render_csv() : table.render()).c_str(), stdout);
+  std::printf("\n");
+}
+
+/// Default topology sweep sizes (kept modest so `for b in bench/*` finishes
+/// in seconds; the tables still show the scaling shape).
+inline std::vector<graph::NodeId> sweep_sizes() { return {8, 16, 32, 64}; }
+
+}  // namespace snappif::bench

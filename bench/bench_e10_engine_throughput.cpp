@@ -1,0 +1,102 @@
+// E10 — engineering numbers for the simulator itself (google-benchmark):
+// computation steps per second for the PIF protocol under the synchronous
+// and central daemons, guard-evaluation cost, and cycle throughput.  These
+// are the numbers that justify the experiment scales used in E1-E9.
+#include <benchmark/benchmark.h>
+
+#include "analysis/runners.hpp"
+#include "graph/generators.hpp"
+#include "pif/checker.hpp"
+#include "pif/faults.hpp"
+#include "pif/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif {
+namespace {
+
+void BM_SynchronousStep(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto g = graph::make_random_connected(n, 2 * n, 42);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  sim::Simulator<pif::PifProtocol> sim(protocol, g, 1);
+  sim::SynchronousDaemon daemon;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    if (!sim.step(daemon)) {
+      state.PauseTiming();
+      sim.reset_to_initial();
+      state.ResumeTiming();
+    }
+    ++steps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps) * n);
+  state.counters["steps/s"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SynchronousStep)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CentralStep(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto g = graph::make_random_connected(n, 2 * n, 43);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  sim::Simulator<pif::PifProtocol> sim(protocol, g, 2);
+  sim::CentralRandomDaemon daemon;
+  for (auto _ : state) {
+    if (!sim.step(daemon)) {
+      state.PauseTiming();
+      sim.reset_to_initial();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_CentralStep)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FullCycle(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto g = graph::make_random_connected(n, 2 * n, 44);
+  for (auto _ : state) {
+    analysis::RunConfig rc;
+    rc.daemon = sim::DaemonKind::kSynchronous;
+    const auto r = analysis::run_cycle_from_sbn(g, rc);
+    benchmark::DoNotOptimize(r.rounds);
+  }
+}
+BENCHMARK(BM_FullCycle)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GuardEvaluation(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto g = graph::make_random_connected(n, 2 * n, 45);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  sim::Simulator<pif::PifProtocol> sim(protocol, g, 3);
+  util::Rng rng(7);
+  sim.randomize(rng);
+  const auto& c = sim.config();
+  sim::ProcessorId p = 0;
+  for (auto _ : state) {
+    for (sim::ActionId a = 0; a < protocol.num_actions(); ++a) {
+      benchmark::DoNotOptimize(protocol.enabled(c, p, a));
+    }
+    p = (p + 1) % n;
+  }
+}
+BENCHMARK(BM_GuardEvaluation)->Arg(16)->Arg(256);
+
+void BM_StabilizationRun(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto g = graph::make_random_connected(n, 2 * n, 46);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    analysis::RunConfig rc;
+    rc.daemon = sim::DaemonKind::kDistributedRandom;
+    rc.corruption = pif::CorruptionKind::kAdversarialMix;
+    rc.seed = seed++;
+    const auto r = analysis::measure_stabilization(g, rc);
+    benchmark::DoNotOptimize(r.rounds_to_sbn);
+  }
+}
+BENCHMARK(BM_StabilizationRun)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace snappif
+
+BENCHMARK_MAIN();

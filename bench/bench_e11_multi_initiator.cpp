@@ -1,0 +1,92 @@
+// E11 — multi-initiator PIF (Section 1's general setting): several initiators
+// run concurrent waves; each instance keeps its snap guarantee, and we
+// measure the cost of concurrency — rounds per cycle as the number of
+// simultaneous initiators grows (under the synchronous daemon the waves
+// overlap almost freely; under central daemons they time-share the network).
+#include "bench_common.hpp"
+
+#include "pif/multi.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace snappif {
+namespace {
+
+struct Measurement {
+  bool ok = false;
+  double rounds_per_cycle = 0;
+  double steps_per_cycle = 0;
+};
+
+Measurement measure(const graph::Graph& g, std::vector<sim::ProcessorId> roots,
+                    sim::DaemonKind daemon_kind, std::uint64_t seed) {
+  Measurement m;
+  pif::MultiPifProtocol protocol(g, std::move(roots));
+  sim::Simulator<pif::MultiPifProtocol> sim(protocol, g, seed);
+  pif::MultiGhost ghost(g, sim.protocol());
+  sim.set_apply_hook([&ghost](sim::ProcessorId p, sim::ActionId a,
+                              const sim::Configuration<pif::MultiState>&,
+                              const pif::MultiState& after) {
+    ghost.on_apply(p, a, after);
+  });
+  auto daemon = sim::make_daemon(daemon_kind);
+  const std::uint64_t kCycles = 4;
+  auto r = sim.run_until(
+      *daemon,
+      [&](const auto&) { return ghost.min_cycles_completed() >= kCycles; },
+      sim::RunLimits{.max_steps = 3'000'000});
+  if (r.reason != sim::StopReason::kPredicate) {
+    return m;
+  }
+  for (std::size_t i = 0; i < ghost.instances(); ++i) {
+    for (const auto& verdict : ghost.tracker(i).verdicts()) {
+      if (!verdict.ok()) {
+        return m;  // any lost wave disqualifies the row
+      }
+    }
+  }
+  m.ok = true;
+  m.rounds_per_cycle = static_cast<double>(r.rounds) / kCycles;
+  m.steps_per_cycle = static_cast<double>(r.steps) / kCycles;
+  return m;
+}
+
+void run() {
+  bench::print_header(
+      "E11  Concurrent multi-initiator PIF",
+      "several initiators run simultaneous waves; every instance keeps its "
+      "snap guarantee; cost grows with the number of initiators");
+
+  util::Table table({"topology", "N", "initiators", "daemon",
+                     "rounds/cycle (min inst.)", "steps/cycle", "all waves ok"});
+
+  const graph::NodeId n = 16;
+  for (const auto& named : graph::standard_suite(n, 11000)) {
+    for (std::size_t k : {1u, 2u, 4u}) {
+      std::vector<sim::ProcessorId> roots;
+      for (std::size_t i = 0; i < k; ++i) {
+        roots.push_back(static_cast<sim::ProcessorId>(
+            i * named.graph.n() / k));  // spread the initiators out
+      }
+      for (sim::DaemonKind daemon : {sim::DaemonKind::kSynchronous,
+                                     sim::DaemonKind::kCentralRandom}) {
+        const auto m = measure(named.graph, roots, daemon, 77 + k);
+        table.add_row({named.name, util::fmt(named.graph.n()), util::fmt(k),
+                       std::string(sim::daemon_kind_name(daemon)),
+                       m.ok ? util::fmt(m.rounds_per_cycle, 1) : "-",
+                       m.ok ? util::fmt(m.steps_per_cycle, 0) : "-",
+                       util::fmt_bool(m.ok)});
+      }
+    }
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+}  // namespace snappif
+
+int main(int argc, char** argv) {
+  snappif::bench::init(argc, argv);
+  snappif::run();
+  return 0;
+}

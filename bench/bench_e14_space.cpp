@@ -1,0 +1,80 @@
+// E14 — space complexity: bits of local state per processor.
+//
+// The tree-network PIF line of work ([8, 9]) emphasizes space optimality
+// (constant-size state).  The arbitrary-network snap protocol pays
+// O(log N) bits per processor — Count in [1, N'], L in [1, Lmax], Par among
+// deg(p) neighbors — on top of the constant phase/flag bits.  We compute the
+// exact per-processor state-space sizes from the protocols' own domain
+// enumerations and report bits = ceil(log2 |states|).
+#include "bench_common.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "baselines/selfstab_pif.hpp"
+#include "baselines/tree_pif.hpp"
+#include "pif/protocol.hpp"
+#include "util/stats.hpp"
+
+namespace snappif {
+namespace {
+
+double bits_of(std::size_t states) {
+  return std::log2(static_cast<double>(states));
+}
+
+void run() {
+  bench::print_header(
+      "E14  Local space per processor",
+      "snap PIF in arbitrary networks uses O(log N) bits per processor "
+      "(Count, L, Par); the tree-network PIF of [8,9] is O(1)");
+
+  util::Table table({"N", "protocol", "min bits", "max bits", "mean bits",
+                     "growth"});
+
+  for (graph::NodeId n : {8u, 16u, 32u, 64u, 128u}) {
+    const auto g = graph::make_random_connected(n, n, 14000 + n);
+
+    {
+      pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+      util::OnlineStats bits;
+      for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+        bits.add(bits_of(protocol.all_states(p).size()));
+      }
+      table.add_row({util::fmt(n), "snap-PIF (paper)", util::fmt(bits.min(), 1),
+                     util::fmt(bits.max(), 1), util::fmt(bits.mean(), 1),
+                     "O(log N)"});
+    }
+    {
+      const auto tree = graph::bfs_tree(g, 0);
+      baselines::TreePifProtocol protocol(g, 0, tree.parent);
+      util::OnlineStats bits;
+      for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+        bits.add(bits_of(protocol.all_states(p).size()));
+      }
+      table.add_row({util::fmt(n), "tree-PIF [8,9]", util::fmt(bits.min(), 1),
+                     util::fmt(bits.max(), 1), util::fmt(bits.mean(), 1),
+                     "O(1)"});
+    }
+    {
+      baselines::SelfStabPifProtocol protocol(g, 0);
+      util::OnlineStats bits;
+      for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+        bits.add(bits_of(protocol.all_states(p).size()));
+      }
+      table.add_row({util::fmt(n), "selfstab-PIF [12,23]",
+                     util::fmt(bits.min(), 1), util::fmt(bits.max(), 1),
+                     util::fmt(bits.mean(), 1), "O(log N)"});
+    }
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+}  // namespace snappif
+
+int main(int argc, char** argv) {
+  snappif::bench::init(argc, argv);
+  snappif::run();
+  return 0;
+}

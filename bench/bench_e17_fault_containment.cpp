@@ -1,0 +1,101 @@
+// E17 — fault containment: how does recovery scale with the SIZE of the
+// fault?  Theorem 1's 3·Lmax+3 bound is fault-size-oblivious; in practice
+// the correction cascade is local — k corrupted processors are digested in
+// rounds that grow with the damage's depth footprint, not with Lmax.  This
+// is the fault-locality dimension the containment literature (a follow-up
+// line to this paper) studies.
+#include "bench_common.hpp"
+
+#include "pif/checker.hpp"
+#include "pif/instrument.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace snappif {
+namespace {
+
+void run() {
+  bench::print_header(
+      "E17  Fault containment",
+      "rounds to re-normalize after corrupting k processors mid-cycle; the "
+      "cascade is local — far below the fault-size-oblivious 3*Lmax+3");
+
+  util::Table table({"topology", "N", "k corrupted", "trials",
+                     "mean rounds to normal", "max", "bound 3Lmax+3",
+                     "next cycle ok"});
+  const std::uint64_t kTrials = 30;
+
+  for (const auto& named : graph::standard_suite(32, 17000)) {
+    if (named.name == "lollipop" || named.name == "star") {
+      continue;  // keep the table compact
+    }
+    for (std::uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+      util::OnlineStats rounds;
+      std::uint64_t next_ok = 0;
+      for (std::uint64_t seed = 1; seed <= kTrials; ++seed) {
+        pif::PifProtocol protocol(named.graph,
+                                  pif::Params::for_graph(named.graph));
+        sim::Simulator<pif::PifProtocol> sim(protocol, named.graph, seed);
+        pif::Checker checker(sim.protocol());
+        pif::GhostTracker tracker(named.graph, 0);
+        pif::attach(sim, tracker);
+        auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+        util::Rng rng(seed * 29);
+
+        // Run into the middle of a broadcast, then strike.
+        auto warm = sim.run_until(
+            *daemon,
+            [&](const sim::Configuration<pif::State>& c) {
+              return c.state(0).pif == pif::Phase::kB;
+            },
+            sim::RunLimits{.max_steps = 100000});
+        if (warm.reason != sim::StopReason::kPredicate) {
+          continue;
+        }
+        sim::inject_burst(sim, k, rng);
+
+        auto heal = sim.run_until(
+            *daemon,
+            [&](const sim::Configuration<pif::State>& c) {
+              return checker.all_normal(c);
+            },
+            sim::RunLimits{.max_steps = 500000});
+        if (heal.reason != sim::StopReason::kPredicate) {
+          continue;
+        }
+        rounds.add(static_cast<double>(heal.rounds));
+
+        // And the next root-initiated cycle must be flawless.
+        const std::uint64_t msg = tracker.current_message();
+        auto next = sim.run_until(
+            *daemon,
+            [&](const auto&) {
+              return !tracker.verdicts().empty() &&
+                     tracker.verdicts().back().message > msg &&
+                     !tracker.cycle_active();
+            },
+            sim::RunLimits{.max_steps = 500000});
+        if (next.reason == sim::StopReason::kPredicate &&
+            tracker.verdicts().back().ok()) {
+          ++next_ok;
+        }
+      }
+      table.add_row({named.name, util::fmt(named.graph.n()), util::fmt(k),
+                     util::fmt(kTrials), util::fmt(rounds.mean(), 1),
+                     util::fmt(rounds.max(), 0),
+                     util::fmt(3ull * (named.graph.n() - 1) + 3),
+                     util::fmt(next_ok) + "/" + util::fmt(kTrials)});
+    }
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+}  // namespace snappif
+
+int main(int argc, char** argv) {
+  snappif::bench::init(argc, argv);
+  snappif::run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E2 — Theorems 2/3: recovery of the ready state.  We measure rounds from a
+// corrupted configuration until the first SBN configuration (every processor
+// clean, root about to start a fresh cycle).  Composing Theorem 2's cases
+// bounds this by 9*Lmax + 8 from any start (Theorem 3's 8*Lmax + 7 bounds
+// the GLT formation, an earlier milestone).
+#include "bench_common.hpp"
+
+#include "analysis/runners.hpp"
+#include "pif/faults.hpp"
+#include "util/stats.hpp"
+
+namespace snappif {
+namespace {
+
+void run() {
+  bench::print_header(
+      "E2  Ready-state recovery (Theorems 2 and 3)",
+      "the system reaches the normal starting configuration within "
+      "9*Lmax + 8 rounds from any configuration");
+
+  util::Table table({"topology", "N", "Lmax", "corruption", "trials",
+                     "max rounds to SBN", "mean", "bound 9Lmax+8", "within"});
+  const std::uint64_t kTrials = 40;
+
+  for (graph::NodeId n : {16u, 32u}) {
+    for (const auto& named : graph::standard_suite(n, 2000 + n)) {
+      for (pif::CorruptionKind kind :
+           {pif::CorruptionKind::kUniformRandom,
+            pif::CorruptionKind::kStrayFok,
+            pif::CorruptionKind::kAdversarialMix}) {
+        util::OnlineStats rounds;
+        std::uint32_t l_max = 0;
+        bool all_ok = true;
+        for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+          analysis::RunConfig rc;
+          rc.daemon = trial % 4 == 0 ? sim::DaemonKind::kSynchronous
+                                     : sim::DaemonKind::kDistributedRandom;
+          rc.corruption = kind;
+          rc.seed = trial * 104729 + n;
+          const auto result = analysis::measure_stabilization(named.graph, rc);
+          all_ok = all_ok && result.ok;
+          if (result.ok) {
+            rounds.add(static_cast<double>(result.rounds_to_sbn));
+            l_max = result.l_max;
+          }
+        }
+        const std::uint64_t bound = 9ull * l_max + 8;
+        table.add_row({named.name, util::fmt(named.graph.n()), util::fmt(l_max),
+                       std::string(pif::corruption_name(kind)),
+                       util::fmt(kTrials), util::fmt(rounds.max(), 0),
+                       util::fmt(rounds.mean(), 1), util::fmt(bound),
+                       util::fmt_bool(all_ok && rounds.max() <= static_cast<double>(bound))});
+      }
+    }
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+}  // namespace snappif
+
+int main(int argc, char** argv) {
+  snappif::bench::init(argc, argv);
+  snappif::run();
+  return 0;
+}

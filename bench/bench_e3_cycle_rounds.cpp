@@ -1,0 +1,91 @@
+// E3 — Theorem 4: a full PIF cycle from the normal starting configuration
+// takes at most 5h + 5 rounds, where h is the height of the tree the
+// broadcast constructs; all parent paths are chordless, so h is bounded by
+// the longest elementary chordless path from the root.
+#include "bench_common.hpp"
+
+#include "analysis/runners.hpp"
+#include "util/stats.hpp"
+
+namespace snappif {
+namespace {
+
+void run() {
+  bench::print_header(
+      "E3  PIF cycle cost (Theorem 4)",
+      "cycle completes in <= 5h + 5 rounds; parent paths chordless");
+
+  util::Table table({"topology", "N", "diam", "daemon", "cycles", "max h",
+                     "max rounds", "max 5h+5", "chordless", "within"});
+
+  for (graph::NodeId n : {16u, 32u}) {
+    for (const auto& named : graph::standard_suite(n, 3000 + n)) {
+      for (sim::DaemonKind daemon :
+           {sim::DaemonKind::kSynchronous, sim::DaemonKind::kCentralRandom,
+            sim::DaemonKind::kDistributedRandom,
+            sim::DaemonKind::kAdversarialMaxLevel}) {
+        analysis::RunConfig rc;
+        rc.daemon = daemon;
+        rc.seed = 11 * n + 3;
+        const auto results = analysis::run_cycles_from_sbn(named.graph, rc, 8);
+        bool chordless = true;
+        bool within = true;
+        std::uint32_t max_h = 0;
+        std::uint64_t max_rounds = 0;
+        std::uint64_t max_bound = 0;
+        bool all_ok = results.size() == 8;
+        for (const auto& r : results) {
+          all_ok = all_ok && r.ok;
+          chordless = chordless && r.chordless;
+          within = within && r.rounds <= 5ull * r.height + 5;
+          max_h = std::max(max_h, r.height);
+          max_rounds = std::max(max_rounds, r.rounds);
+          max_bound = std::max<std::uint64_t>(max_bound, 5ull * r.height + 5);
+        }
+        table.add_row({named.name, util::fmt(named.graph.n()),
+                       util::fmt(graph::diameter(named.graph)),
+                       std::string(sim::daemon_kind_name(daemon)),
+                       util::fmt(results.size()), util::fmt(max_h),
+                       util::fmt(max_rounds), util::fmt(max_bound),
+                       util::fmt_bool(chordless),
+                       util::fmt_bool(all_ok && within)});
+      }
+    }
+  }
+  bench::print_table(table);
+
+  // Second table: the h <= longest-chordless-path remark, exact on small
+  // graphs where the exponential search is feasible.
+  util::Table remark({"topology", "N", "max h over daemons",
+                      "longest chordless path from r", "h <= bound"});
+  for (const auto& named : graph::tiny_suite()) {
+    if (named.graph.n() < 2) {
+      continue;
+    }
+    std::uint32_t max_h = 0;
+    for (sim::DaemonKind daemon : sim::standard_daemon_kinds()) {
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        analysis::RunConfig rc;
+        rc.daemon = daemon;
+        rc.seed = seed;
+        const auto r = analysis::run_cycle_from_sbn(named.graph, rc);
+        if (r.ok) {
+          max_h = std::max(max_h, r.height);
+        }
+      }
+    }
+    const auto bound = graph::longest_chordless_path_from(named.graph, 0);
+    remark.add_row({named.name, util::fmt(named.graph.n()), util::fmt(max_h),
+                    util::fmt(bound), util::fmt_bool(max_h <= bound)});
+  }
+  bench::print_table(remark);
+}
+
+}  // namespace
+}  // namespace snappif
+
+int main(int argc, char** argv) {
+  snappif::bench::init(argc, argv);
+  snappif::run();
+  return 0;
+}

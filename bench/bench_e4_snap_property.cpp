@@ -1,0 +1,70 @@
+// E4 — the headline claim (Definition 1, Specification 1): from ANY initial
+// configuration, the first PIF cycle the root initiates delivers the message
+// to every processor ([PIF1]) and returns every acknowledgment ([PIF2]).
+// The success rate must be exactly 100%.
+#include "bench_common.hpp"
+
+#include "analysis/runners.hpp"
+#include "pif/faults.hpp"
+#include "util/stats.hpp"
+
+namespace snappif {
+namespace {
+
+void run() {
+  bench::print_header(
+      "E4  Snap-stabilization of the first cycle",
+      "for every initial configuration and daemon, the first root-initiated "
+      "cycle satisfies PIF1 and PIF2 (100% success, zero aborts)");
+
+  util::Table table({"topology", "N", "corruption", "trials", "completed",
+                     "PIF1+PIF2 ok", "aborted", "success %"});
+  const std::uint64_t kTrials = 60;
+
+  for (graph::NodeId n : {16u, 32u}) {
+    for (const auto& named : graph::standard_suite(n, 4000 + n)) {
+      for (pif::CorruptionKind kind : pif::all_corruption_kinds()) {
+        std::uint64_t completed = 0, ok = 0, aborted = 0;
+        for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+          analysis::RunConfig rc;
+          switch (trial % 3) {
+            case 0:
+              rc.daemon = sim::DaemonKind::kDistributedRandom;
+              break;
+            case 1:
+              rc.daemon = sim::DaemonKind::kCentralRandom;
+              break;
+            default:
+              rc.daemon = sim::DaemonKind::kSynchronous;
+              break;
+          }
+          rc.policy = trial % 2 == 0 ? sim::ActionPolicy::kFirstEnabled
+                                     : sim::ActionPolicy::kRandomEnabled;
+          rc.corruption = kind;
+          rc.seed = trial * 65537 + n * 17;
+          const auto result = analysis::check_snap_first_cycle(named.graph, rc);
+          completed += result.cycle_completed ? 1 : 0;
+          ok += result.ok() ? 1 : 0;
+          aborted += result.aborted ? 1 : 0;
+        }
+        table.add_row(
+            {named.name, util::fmt(named.graph.n()),
+             std::string(pif::corruption_name(kind)), util::fmt(kTrials),
+             util::fmt(completed), util::fmt(ok), util::fmt(aborted),
+             util::fmt(100.0 * static_cast<double>(ok) /
+                           static_cast<double>(kTrials),
+                       1)});
+      }
+    }
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+}  // namespace snappif
+
+int main(int argc, char** argv) {
+  snappif::bench::init(argc, argv);
+  snappif::run();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E6 — scalability shape: per Theorem 4 the cycle cost scales with the
+// constructed tree height h (~ diameter), NOT with N directly.  We sweep N
+// per topology family and report rounds and total work (steps) per cycle.
+// Expected shape: line/ring grow linearly in N (h ~ N), star/complete stay
+// flat (h = 1), grid grows ~ sqrt(N).
+#include "bench_common.hpp"
+
+#include "analysis/runners.hpp"
+#include "util/stats.hpp"
+
+namespace snappif {
+namespace {
+
+void run() {
+  bench::print_header(
+      "E6  Cycle cost vs network size (scaling shape of Theorem 4)",
+      "rounds per cycle track the constructed-tree height h, not N");
+
+  util::Table table({"topology", "N", "diam", "h", "rounds/cycle",
+                     "steps/cycle", "bound 5h+5"});
+
+  for (graph::NodeId n : bench::sweep_sizes()) {
+    for (const auto& named : graph::standard_suite(n, 6000 + n)) {
+      analysis::RunConfig rc;
+      rc.daemon = sim::DaemonKind::kSynchronous;  // deterministic, worst-ish
+      rc.seed = 1;
+      const auto results = analysis::run_cycles_from_sbn(named.graph, rc, 3);
+      if (results.empty() || !results.back().ok) {
+        continue;
+      }
+      const auto& r = results.back();
+      table.add_row({named.name, util::fmt(named.graph.n()),
+                     util::fmt(graph::diameter(named.graph)),
+                     util::fmt(r.height), util::fmt(r.rounds),
+                     util::fmt(r.steps), util::fmt(5ull * r.height + 5)});
+    }
+  }
+  bench::print_table(table);
+
+  std::printf("series: rounds-per-cycle by N (synchronous daemon)\n");
+  util::Table series({"topology", "N=8", "N=16", "N=32", "N=64"});
+  for (const char* family : {"line", "ring", "star", "complete", "grid",
+                             "bintree", "lollipop", "random"}) {
+    std::vector<std::string> row{family};
+    for (graph::NodeId n : bench::sweep_sizes()) {
+      for (const auto& named : graph::standard_suite(n, 6000 + n)) {
+        if (named.name != family) {
+          continue;
+        }
+        analysis::RunConfig rc;
+        rc.daemon = sim::DaemonKind::kSynchronous;
+        const auto results = analysis::run_cycles_from_sbn(named.graph, rc, 1);
+        row.push_back(results.empty() || !results[0].ok
+                          ? "-"
+                          : util::fmt(results[0].rounds));
+      }
+    }
+    series.add_row(row);
+  }
+  bench::print_table(series);
+}
+
+}  // namespace
+}  // namespace snappif
+
+int main(int argc, char** argv) {
+  snappif::bench::init(argc, argv);
+  snappif::run();
+  return 0;
+}

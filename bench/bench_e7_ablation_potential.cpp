@@ -1,0 +1,79 @@
+// E7 — ablation of the Potential macro's minimum-level restriction.
+//
+// Theorem 4's proof hinges on B-action joining a *minimum-level* member of
+// Pre_Potential, which makes every parent path chordless and so bounds the
+// constructed height h by the longest chordless path.  Removing the
+// restriction (join any broadcasting neighbor) loses the chordless
+// guarantee; under adversarial schedules the tree can be much deeper, and
+// the cycle cost grows with it.
+#include "bench_common.hpp"
+
+#include "analysis/runners.hpp"
+#include "util/stats.hpp"
+
+namespace snappif {
+namespace {
+
+struct Variant {
+  const char* name;
+  bool min_level;
+};
+
+void run() {
+  bench::print_header(
+      "E7  Ablation: minimum-level parent choice in Potential",
+      "with the paper's rule parent paths are chordless and h stays small; "
+      "without it chords appear and h (and the cycle cost) grow");
+
+  util::Table table({"topology", "N", "variant", "daemon", "max h",
+                     "max rounds", "chordless paths"});
+
+  const Variant variants[] = {{"paper (min-level)", true},
+                              {"ablated (any B-neighbor)", false}};
+
+  for (graph::NodeId n : {16u, 32u}) {
+    // Chord-rich graphs show the effect; trees are unaffected by design.
+    std::vector<graph::NamedGraph> graphs;
+    graphs.push_back({"complete", graph::make_complete(n)});
+    graphs.push_back({"lollipop", graph::make_lollipop(n / 2, n - n / 2)});
+    graphs.push_back({"random", graph::make_random_connected(n, 3 * n, 7000 + n)});
+    graphs.push_back({"wheel", graph::make_wheel(n)});
+    for (const auto& named : graphs) {
+      for (const Variant& variant : variants) {
+        for (sim::DaemonKind daemon : {sim::DaemonKind::kCentralRandom,
+                                       sim::DaemonKind::kAdversarialMaxLevel}) {
+          std::uint32_t max_h = 0;
+          std::uint64_t max_rounds = 0;
+          bool chordless = true;
+          for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+            analysis::RunConfig rc;
+            rc.daemon = daemon;
+            rc.seed = seed * 101;
+            rc.min_level_potential = variant.min_level;
+            const auto r = analysis::run_cycle_from_sbn(named.graph, rc);
+            if (!r.ok) {
+              continue;
+            }
+            max_h = std::max(max_h, r.height);
+            max_rounds = std::max(max_rounds, r.rounds);
+            chordless = chordless && r.chordless;
+          }
+          table.add_row({named.name, util::fmt(named.graph.n()), variant.name,
+                         std::string(sim::daemon_kind_name(daemon)),
+                         util::fmt(max_h), util::fmt(max_rounds),
+                         util::fmt_bool(chordless)});
+        }
+      }
+    }
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+}  // namespace snappif
+
+int main(int argc, char** argv) {
+  snappif::bench::init(argc, argv);
+  snappif::run();
+  return 0;
+}

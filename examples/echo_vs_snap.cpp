@@ -1,0 +1,79 @@
+// Side-by-side: the classic echo algorithm vs the snap-stabilizing PIF
+// under faults — the repository's whole story in one run.
+//
+//   ./echo_vs_snap [--n=12] [--trials=10] [--loss=0.1] [--seed=5]
+//
+// Round 1: Chang's echo on reliable channels (works, 2|E| messages).
+// Round 2: the same echo with message loss (deadlocks forever).
+// Round 3: the snap PIF from adversarially corrupted state (first cycle
+//          still delivers to all N and returns every acknowledgment).
+#include <cstdio>
+
+#include "analysis/runners.hpp"
+#include "graph/generators.hpp"
+#include "mp/echo.hpp"
+#include "pif/faults.hpp"
+#include "util/cli.hpp"
+
+using namespace snappif;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto n = static_cast<graph::NodeId>(cli.get_int("n", 12));
+  const auto trials = static_cast<std::uint64_t>(cli.get_int("trials", 10));
+  const double loss = cli.get_double("loss", 0.1);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+
+  const graph::Graph g = graph::make_random_connected(n, n, seed);
+  std::printf("network: %u processors, %zu links\n\n", g.n(), g.m());
+
+  // Round 1: fault-free echo.
+  {
+    mp::EchoProtocol echo(g, 0, 0xCAFE);
+    mp::Network net(g, echo, mp::Delivery::kRandomChannel, seed);
+    (void)net.run();
+    std::printf("1. classic echo, reliable channels:   completed=%s  "
+                "messages=%llu (2|E|=%zu)\n",
+                echo.completed() ? "yes" : "NO",
+                static_cast<unsigned long long>(net.messages_sent()), 2 * g.m());
+  }
+
+  // Round 2: echo under loss.
+  {
+    std::uint64_t completed = 0;
+    for (std::uint64_t t = 1; t <= trials; ++t) {
+      mp::EchoProtocol echo(g, 0, 0xCAFE);
+      mp::Network net(g, echo, mp::Delivery::kRandomChannel, seed + t);
+      net.set_loss_rate(loss);
+      (void)net.run();
+      completed += echo.completed() ? 1 : 0;
+    }
+    std::printf("2. classic echo, %.0f%% message loss:   completed "
+                "%llu/%llu waves — the rest deadlocked forever\n",
+                loss * 100,
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(trials));
+  }
+
+  // Round 3: snap PIF from adversarial corruption.
+  {
+    std::uint64_t ok = 0;
+    for (std::uint64_t t = 1; t <= trials; ++t) {
+      analysis::RunConfig rc;
+      rc.corruption = pif::CorruptionKind::kAdversarialMix;
+      rc.seed = seed * 31 + t;
+      const auto r = analysis::check_snap_first_cycle(g, rc);
+      ok += r.ok() ? 1 : 0;
+    }
+    std::printf("3. snap PIF, adversarial corruption:  first cycle correct "
+                "%llu/%llu — every processor reached, every ack returned\n",
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(trials));
+    if (ok != trials) {
+      std::printf("   UNEXPECTED: snap-stabilization violated!\n");
+      return 1;
+    }
+  }
+  std::printf("\nthat difference is the paper.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Reset protocol on top of the snap-stabilizing PIF.
+//
+// The paper's introduction: "The most general method to repair the system is
+// to reset the entire system after a transient fault is detected.  Reset
+// protocols are also PIF-based algorithms."  This example builds exactly
+// that: an application layer whose per-processor state (an epoch number and
+// a config value) is scrambled by a fault; the root then broadcasts a reset
+// command carrying a fresh epoch.  Snap-stabilization gives the crucial
+// guarantee: the FIRST reset wave after the fault reaches every processor
+// and its completion (feedback at the root) certifies that everyone
+// installed the new epoch — no "maybe it worked" window.
+//
+//   ./network_reset [--n=12] [--faults=3] [--seed=7]
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "pif/faults.hpp"
+#include "pif/instrument.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+
+using namespace snappif;
+
+namespace {
+
+/// The application layer riding the PIF wave.  `epoch[p]` is p's installed
+/// configuration epoch; the payload `value[p]` is the configuration itself.
+struct ResetLayer {
+  explicit ResetLayer(graph::NodeId n) : epoch(n, 0), value(n, 0) {}
+
+  // Called from the simulator's apply hook: receiving the broadcast (a
+  // B-action) delivers the reset command of the processor's chosen parent.
+  void deliver(sim::ProcessorId p, sim::ProcessorId parent) {
+    epoch[p] = epoch[parent];
+    value[p] = value[parent];
+  }
+
+  [[nodiscard]] bool consistent(std::uint64_t want_epoch,
+                                std::uint64_t want_value) const {
+    for (std::size_t p = 0; p < epoch.size(); ++p) {
+      if (epoch[p] != want_epoch || value[p] != want_value) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<std::uint64_t> epoch;
+  std::vector<std::uint64_t> value;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto n = static_cast<graph::NodeId>(cli.get_int("n", 12));
+  const auto fault_rounds = static_cast<int>(cli.get_int("faults", 3));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+
+  const graph::Graph g = graph::make_random_connected(n, n, seed);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  sim::Simulator<pif::PifProtocol> sim(protocol, g, seed);
+  pif::GhostTracker tracker(g, 0);
+  ResetLayer app(g.n());
+  util::Rng rng(seed ^ 0xabcdef);
+
+  std::uint64_t next_epoch = 1;
+  std::uint64_t current_config = 0;
+
+  // Couple the app layer to the protocol: the root's B-action stamps the
+  // reset command; every other B-action copies the parent's command.
+  sim.set_apply_hook([&](sim::ProcessorId p, sim::ActionId a,
+                         const sim::Configuration<pif::State>& /*before*/,
+                         const pif::State& after) {
+    tracker.note_step(sim.steps());
+    tracker.on_apply(p, a, after);
+    if (a == pif::kBAction) {
+      if (p == 0) {
+        app.epoch[0] = next_epoch;
+        app.value[0] = current_config;
+      } else {
+        app.deliver(p, after.parent);
+      }
+    }
+  });
+
+  auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+
+  for (int fault = 0; fault < fault_rounds; ++fault) {
+    // A transient fault scrambles the application AND protocol state.
+    for (sim::ProcessorId p = 1; p < g.n(); ++p) {
+      if (rng.chance(0.6)) {
+        app.epoch[p] = rng.below(1000);
+        app.value[p] = rng.below(1000);
+      }
+    }
+    pif::adversarial_corruption(sim, rng);
+    std::printf("fault %d injected: application state scrambled, protocol "
+                "state corrupted\n", fault + 1);
+
+    // The root picks the new configuration and epoch and fires a reset.
+    current_config = 4200 + static_cast<std::uint64_t>(fault);
+    const std::uint64_t epoch = next_epoch;
+
+    const std::uint64_t cycles_before = tracker.cycles_completed();
+    while (tracker.cycles_completed() == cycles_before &&
+           sim.steps() < 10'000'000) {
+      if (!sim.step(*daemon)) {
+        std::printf("unexpected terminal configuration\n");
+        return 1;
+      }
+    }
+    const auto& verdict = tracker.last_cycle();
+    const bool app_ok = app.consistent(epoch, current_config);
+    std::printf(
+        "  reset wave (epoch %llu, config %llu): PIF1=%s PIF2=%s  "
+        "application consistent=%s\n",
+        static_cast<unsigned long long>(epoch),
+        static_cast<unsigned long long>(current_config),
+        verdict.pif1 ? "yes" : "NO", verdict.pif2 ? "yes" : "NO",
+        app_ok ? "yes" : "NO");
+    if (!verdict.ok() || !app_ok) {
+      std::printf("RESET FAILED — this should be impossible\n");
+      return 1;
+    }
+    ++next_epoch;
+  }
+  std::printf("\nall %d resets certified by their first wave — "
+              "snap-stabilization at work\n", fault_rounds);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Quickstart: run one snap-stabilizing PIF cycle on a small network and
+// watch the three phases sweep through it.
+//
+//   ./quickstart [--n=8] [--topology=ring|line|star|grid|random] [--seed=1]
+//                [--corrupt] [--dot]
+//
+// With --corrupt the network starts from an adversarial configuration and
+// you can watch the correction actions flush the debris before the root's
+// first cycle — which still delivers to everyone (snap-stabilization).
+// With --dot the constructed broadcast tree is printed in Graphviz format.
+#include <cstdio>
+#include <string>
+
+#include "graph/dot.hpp"
+#include "graph/generators.hpp"
+#include "pif/checker.hpp"
+#include "pif/faults.hpp"
+#include "pif/instrument.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timeline.hpp"
+#include "util/cli.hpp"
+
+using namespace snappif;
+
+namespace {
+
+graph::Graph make_topology(const std::string& name, graph::NodeId n) {
+  if (name == "line") {
+    return graph::make_path(n);
+  }
+  if (name == "star") {
+    return graph::make_star(n);
+  }
+  if (name == "grid") {
+    const graph::NodeId side = std::max<graph::NodeId>(2, n / 4);
+    return graph::make_grid(side, std::max<graph::NodeId>(2, n / side));
+  }
+  if (name == "random") {
+    return graph::make_random_connected(n, n, 12345);
+  }
+  return graph::make_cycle(std::max<graph::NodeId>(3, n));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto n = static_cast<graph::NodeId>(cli.get_int("n", 8));
+  const std::string topology = cli.get_string("topology", "ring");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  const graph::Graph g = make_topology(topology, n);
+  std::printf("network: %s with %u processors, %zu links; root = 0\n\n",
+              topology.c_str(), g.n(), g.m());
+
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  sim::Simulator<pif::PifProtocol> sim(protocol, g, seed);
+  pif::Checker checker(sim.protocol());
+  pif::GhostTracker tracker(g, 0);
+  pif::attach(sim, tracker);
+
+  util::Rng rng(seed);
+  if (cli.get_bool("corrupt", false)) {
+    pif::adversarial_corruption(sim, rng);
+    std::printf("corrupted initial configuration:\n%s\n",
+                checker.describe(sim.config()).c_str());
+  }
+
+  auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+  sim::Timeline timeline(200);
+  timeline.snapshot(sim.steps(), sim.rounds(), checker.phase_strip(sim.config()));
+  while (tracker.cycles_completed() == 0 && sim.steps() < 100000) {
+    if (!sim.step(*daemon)) {
+      std::printf("terminal configuration reached?!\n");
+      return 1;
+    }
+    timeline.snapshot(sim.steps(), sim.rounds(),
+                      checker.phase_strip(sim.config()));
+  }
+  std::fputs(timeline.render().c_str(), stdout);
+
+  const auto& verdict = tracker.last_cycle();
+  std::printf("\nfirst root-initiated cycle closed at step %llu:\n",
+              static_cast<unsigned long long>(verdict.feedback_step));
+  std::printf("  PIF1 (everyone received the message): %s\n",
+              verdict.pif1 ? "yes" : "NO");
+  std::printf("  PIF2 (every acknowledgment returned): %s\n",
+              verdict.pif2 ? "yes" : "NO");
+  std::printf("  constructed tree height h = %u (5h+5 = %u round bound)\n",
+              verdict.tree_height, 5 * verdict.tree_height + 5);
+
+  if (cli.get_bool("dot", false)) {
+    std::vector<graph::NodeId> parents(g.n());
+    std::vector<std::string> labels(g.n());
+    for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+      const auto& s = sim.config().state(p);
+      parents[p] = s.parent == pif::kNoParent ? p : s.parent;
+      labels[p] = std::string(1, pif::phase_char(s.pif)) +
+                  " L=" + std::to_string(s.level);
+    }
+    std::printf("\n%s", graph::to_dot(g, parents, labels).c_str());
+  }
+  return 0;
+}

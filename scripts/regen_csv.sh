@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate machine-readable CSVs for every experiment (plots, notebooks).
+#   scripts/regen_csv.sh [build-dir] [out-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+OUT="${2:-csv}"
+mkdir -p "$OUT"
+for b in "$BUILD"/bench/bench_e*; do
+  name="$(basename "$b")"
+  case "$name" in
+    bench_e10_engine_throughput)
+      "$b" --benchmark_format=csv > "$OUT/$name.csv" ;;
+    *)
+      "$b" --csv > "$OUT/$name.csv" ;;
+  esac
+  echo "wrote $OUT/$name.csv"
+done

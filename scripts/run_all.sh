@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every experiment table.
+#   scripts/run_all.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee test_output.txt
+for b in "$BUILD"/bench/*; do
+  echo "### $(basename "$b")"
+  "$b"
+  echo
+done 2>&1 | tee bench_output.txt

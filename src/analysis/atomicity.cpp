@@ -1,0 +1,128 @@
+#include "analysis/atomicity.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "pif/ghost.hpp"
+#include "pif/protocol.hpp"
+#include "sim/configuration.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::analysis {
+
+namespace {
+
+using pif::PifProtocol;
+using pif::State;
+using sim::ActionId;
+using sim::ProcessorId;
+
+struct PendingWrite {
+  std::uint64_t commit_step;
+  ProcessorId processor;
+  ActionId action;
+  State next;
+};
+
+}  // namespace
+
+AtomicityResult check_snap_with_delayed_commits(const graph::Graph& g,
+                                                pif::CorruptionKind corruption,
+                                                double delay_probability,
+                                                std::uint64_t seed,
+                                                std::uint64_t max_steps) {
+  util::Rng rng(seed);
+  PifProtocol protocol(g, pif::Params::for_graph(g));
+  // Reuse the Simulator only to produce the corrupted starting
+  // configuration with the exact same recipes as every other experiment.
+  sim::Simulator<PifProtocol> seeder(protocol, g, rng());
+  pif::apply_corruption(seeder, corruption, rng);
+  sim::Configuration<State> c = seeder.config();
+
+  pif::GhostTracker tracker(g, protocol.root());
+  std::deque<PendingWrite> pending;
+  std::vector<bool> write_in_flight(g.n(), false);
+
+  AtomicityResult result;
+  for (std::uint64_t step = 0; step < max_steps; ++step) {
+    tracker.note_step(step);
+    result.steps = step;
+
+    // Commit due writes (oldest first).
+    while (!pending.empty() && pending.front().commit_step <= step) {
+      const PendingWrite write = pending.front();
+      pending.pop_front();
+      c.state(write.processor) = write.next;
+      write_in_flight[write.processor] = false;
+      // Acknowledgments (and phase bookkeeping) fire when the write lands.
+      // Receipt (B-action) already fired at read time.
+      if (write.action != pif::kBAction) {
+        tracker.on_apply(write.processor, write.action,
+                         c.state(write.processor));
+      }
+      if (tracker.cycles_completed() > 0) {
+        break;
+      }
+    }
+    if (tracker.cycles_completed() > 0) {
+      break;
+    }
+
+    // Central schedule: pick one enabled processor without an in-flight
+    // write (its own pending write would otherwise race with itself).
+    std::vector<std::pair<ProcessorId, ActionId>> enabled;
+    for (ProcessorId p = 0; p < g.n(); ++p) {
+      if (write_in_flight[p]) {
+        continue;
+      }
+      for (ActionId a = 0; a < protocol.num_actions(); ++a) {
+        if (protocol.enabled(c, p, a)) {
+          enabled.emplace_back(p, a);
+          break;
+        }
+      }
+    }
+    if (enabled.empty()) {
+      if (pending.empty()) {
+        return result;  // genuine deadlock under this model
+      }
+      continue;  // wait for a commit to unblock someone
+    }
+    const auto [p, a] = enabled[rng.below(enabled.size())];
+    const State next = protocol.apply(c, p, a);
+    if (a == pif::kBAction) {
+      // The read happens now: the processor receives the broadcast (or
+      // mints the message, at the root) regardless of when the write lands.
+      tracker.on_apply(p, a, next);
+      if (tracker.cycles_completed() > 0) {
+        break;
+      }
+    }
+    if (delay_probability > 0.0 && rng.chance(delay_probability)) {
+      pending.push_back({step + 1 + rng.below(3), p, a, next});
+      write_in_flight[p] = true;
+    } else {
+      c.state(p) = next;
+      if (a != pif::kBAction) {
+        tracker.on_apply(p, a, c.state(p));
+        if (tracker.cycles_completed() > 0) {
+          break;
+        }
+      }
+    }
+  }
+
+  if (tracker.cycles_completed() == 0) {
+    return result;  // never closed a cycle: not completed
+  }
+  const pif::CycleVerdict& verdict = tracker.verdicts().front();
+  result.cycle_completed = true;
+  result.pif1 = verdict.pif1;
+  result.pif2 = verdict.pif2;
+  result.aborted = verdict.aborted;
+  return result;
+}
+
+}  // namespace snappif::analysis

@@ -1,0 +1,47 @@
+// Model-assumption robustness: composite vs read/write atomicity.
+//
+// The paper's model executes guard evaluation and statement atomically
+// (composite atomicity).  Under the weaker read/write atomicity of
+// Dolev-Israeli-Moran, a processor may act on a STALE view: neighbors move
+// between its reads and its write.  The algorithm is NOT claimed correct in
+// that model — this module measures how it actually degrades, by emulating
+// staleness with delayed commits: a selected processor computes its new
+// state from the current configuration, but the write lands a few scheduler
+// steps later, after other processors have moved.
+//
+// Expected (and measured, E16): with zero delay the behavior is exactly the
+// central daemon (always correct); with increasing delay probability the
+// first-cycle guarantee erodes — a quantified reminder that the composite-
+// atomicity assumption is load-bearing.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "pif/faults.hpp"
+
+namespace snappif::analysis {
+
+struct AtomicityResult {
+  bool cycle_completed = false;
+  bool pif1 = false;
+  bool pif2 = false;
+  bool aborted = false;
+  std::uint64_t steps = 0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return cycle_completed && pif1 && pif2 && !aborted;
+  }
+};
+
+/// From a corrupted configuration, runs a central schedule in which each
+/// selected processor's write commits `1 + (0..2)` steps late with
+/// probability `delay_probability` (0 = exact composite atomicity), until
+/// the first root-initiated cycle closes.  Ghost receipt fires at read time
+/// (receiving the broadcast IS the read), acknowledgments at the F-commit.
+[[nodiscard]] AtomicityResult check_snap_with_delayed_commits(
+    const graph::Graph& g, pif::CorruptionKind corruption,
+    double delay_probability, std::uint64_t seed,
+    std::uint64_t max_steps = 500'000);
+
+}  // namespace snappif::analysis

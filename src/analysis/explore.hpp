@@ -1,0 +1,116 @@
+// Generic exhaustive exploration utilities for protocols with small finite
+// state domains.
+//
+// check_no_deadlock_generic enumerates the FULL configuration space (the
+// product of per-processor state domains supplied by the caller) and counts
+// configurations in which no action is enabled anywhere.  Snap- and
+// self-stabilization both implicitly assume the system can always move from
+// any configuration; this check proves it for concrete tiny instances of ANY
+// protocol implementing the sim::Protocol concept — it is how the
+// Pre_Potential deadlock (DESIGN.md §2 item 4) was found, and how the
+// baselines are certified deadlock-free too.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/configuration.hpp"
+#include "sim/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace snappif::analysis {
+
+struct GenericDeadlockReport {
+  std::uint64_t configurations = 0;
+  std::uint64_t deadlocks = 0;
+  /// First deadlocked configuration found (states per processor), empty if
+  /// none.
+  std::vector<std::uint64_t> witness_indices;
+};
+
+/// Enumerates every configuration of the product space described by
+/// `domains` (domains[p] = all possible states of processor p) and invokes
+/// `fn(states)` for each.  The callback receives a scratch vector reused
+/// across calls.
+template <typename S, typename Fn>
+void enumerate_product(const std::vector<std::vector<S>>& domains, Fn&& fn) {
+  const std::size_t n = domains.size();
+  std::vector<std::size_t> index(n, 0);
+  std::vector<S> states(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    SNAPPIF_ASSERT_MSG(!domains[p].empty(), "empty state domain");
+    states[p] = domains[p][0];
+  }
+  while (true) {
+    fn(const_cast<const std::vector<S>&>(states));
+    std::size_t p = 0;
+    for (; p < n; ++p) {
+      if (++index[p] < domains[p].size()) {
+        states[p] = domains[p][index[p]];
+        break;
+      }
+      index[p] = 0;
+      states[p] = domains[p][0];
+    }
+    if (p == n) {
+      return;
+    }
+  }
+}
+
+/// Exhaustive deadlock check over the full product space.
+template <sim::Protocol P>
+[[nodiscard]] GenericDeadlockReport check_no_deadlock_generic(
+    const graph::Graph& g, const P& protocol,
+    const std::vector<std::vector<typename P::State>>& domains) {
+  SNAPPIF_ASSERT(domains.size() == g.n());
+  GenericDeadlockReport report;
+  sim::Configuration<typename P::State> scratch(g, domains[0][0]);
+  std::vector<std::size_t> index(g.n(), 0);
+
+  enumerate_product(domains, [&](const std::vector<typename P::State>& states) {
+    ++report.configurations;
+    for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+      scratch.state(p) = states[p];
+    }
+    bool any = false;
+    for (sim::ProcessorId p = 0; p < g.n() && !any; ++p) {
+      for (sim::ActionId a = 0; a < protocol.num_actions(); ++a) {
+        if (protocol.enabled(scratch, p, a)) {
+          any = true;
+          break;
+        }
+      }
+    }
+    if (!any) {
+      ++report.deadlocks;
+      if (report.witness_indices.empty()) {
+        // Reconstruct the per-processor domain indices of the witness.
+        report.witness_indices.resize(g.n());
+        for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+          for (std::size_t i = 0; i < domains[p].size(); ++i) {
+            if (domains[p][i] == states[p]) {
+              report.witness_indices[p] = i;
+              break;
+            }
+          }
+        }
+      }
+    }
+  });
+  return report;
+}
+
+/// Total size of the product space (for sanity checks / feasibility gates).
+template <typename S>
+[[nodiscard]] std::uint64_t product_space_size(
+    const std::vector<std::vector<S>>& domains) {
+  std::uint64_t total = 1;
+  for (const auto& domain : domains) {
+    total *= domain.size();
+  }
+  return total;
+}
+
+}  // namespace snappif::analysis

@@ -1,0 +1,602 @@
+#include "analysis/modelcheck.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/configuration.hpp"
+#include "util/assert.hpp"
+
+namespace snappif::analysis {
+
+namespace {
+
+using pif::Phase;
+using pif::PifProtocol;
+using pif::State;
+using sim::ActionId;
+using sim::ProcessorId;
+using Config = sim::Configuration<State>;
+
+[[nodiscard]] unsigned bits_for_values(std::uint64_t values) {
+  // Number of bits to store a value in [0, values).
+  if (values <= 1) {
+    return 0;
+  }
+  return std::bit_width(values - 1);
+}
+
+/// Lossless 64-bit packing of a configuration plus ghost bits.
+class Packer {
+ public:
+  Packer(const graph::Graph& g, const PifProtocol& protocol)
+      : g_(&g), protocol_(&protocol) {
+    const auto& params = protocol.params();
+    n_ = g.n();
+    pif_bits_ = 2;
+    fok_bits_ = 1;
+    count_bits_ = bits_for_values(params.n_upper);  // count-1 in [0, N'-1]
+    level_bits_ = bits_for_values(params.l_max);    // level-1 in [0, Lmax-1]
+    total_bits_ = 0;
+    for (ProcessorId p = 0; p < n_; ++p) {
+      total_bits_ += pif_bits_ + fok_bits_ + count_bits_;
+      if (!protocol.is_root(p)) {
+        total_bits_ += level_bits_ + bits_for_values(g.degree(p));
+      }
+    }
+    // Ghost: active bit + (received, holds, acked) per non-root processor.
+    ghost_offset_ = total_bits_;
+    total_bits_ += 1 + 3 * (n_ - 1);
+  }
+
+  [[nodiscard]] unsigned total_bits() const noexcept { return total_bits_; }
+
+  struct Ghost {
+    bool active = false;
+    // Bit i refers to the i-th non-root processor (root implicit).
+    std::uint32_t received = 0;
+    std::uint32_t holds = 0;
+    std::uint32_t acked = 0;
+
+    [[nodiscard]] bool operator==(const Ghost&) const noexcept = default;
+  };
+
+  [[nodiscard]] std::uint64_t pack(const std::vector<State>& states,
+                                   const Ghost& ghost) const {
+    std::uint64_t word = 0;
+    unsigned pos = 0;
+    auto put = [&](std::uint64_t value, unsigned bits) {
+      SNAPPIF_ASSERT(bits == 64 || value < (std::uint64_t{1} << bits));
+      word |= value << pos;
+      pos += bits;
+    };
+    for (ProcessorId p = 0; p < n_; ++p) {
+      const State& s = states[p];
+      put(static_cast<std::uint64_t>(s.pif), pif_bits_);
+      put(s.fok ? 1 : 0, fok_bits_);
+      put(s.count - 1, count_bits_);
+      if (!protocol_->is_root(p)) {
+        put(s.level - 1, level_bits_);
+        put(neighbor_index(p, s.parent), bits_for_values(g_->degree(p)));
+      }
+    }
+    put(ghost.active ? 1 : 0, 1);
+    std::uint32_t non_root = 0;
+    for (ProcessorId p = 0; p < n_; ++p) {
+      if (protocol_->is_root(p)) {
+        continue;
+      }
+      put((ghost.received >> non_root) & 1, 1);
+      put((ghost.holds >> non_root) & 1, 1);
+      put((ghost.acked >> non_root) & 1, 1);
+      ++non_root;
+    }
+    SNAPPIF_ASSERT(pos == total_bits_);
+    return word;
+  }
+
+  void unpack(std::uint64_t word, std::vector<State>& states,
+              Ghost& ghost) const {
+    unsigned pos = 0;
+    auto take = [&](unsigned bits) -> std::uint64_t {
+      const std::uint64_t mask =
+          bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+      const std::uint64_t value = (word >> pos) & mask;
+      pos += bits;
+      return value;
+    };
+    states.resize(n_);
+    for (ProcessorId p = 0; p < n_; ++p) {
+      State& s = states[p];
+      s.pif = static_cast<Phase>(take(pif_bits_));
+      s.fok = take(fok_bits_) != 0;
+      s.count = static_cast<std::uint32_t>(take(count_bits_)) + 1;
+      if (protocol_->is_root(p)) {
+        s.level = 0;
+        s.parent = pif::kNoParent;
+      } else {
+        s.level = static_cast<std::uint32_t>(take(level_bits_)) + 1;
+        s.parent =
+            g_->neighbors(p)[take(bits_for_values(g_->degree(p)))];
+      }
+    }
+    ghost = Ghost{};
+    ghost.active = take(1) != 0;
+    std::uint32_t non_root = 0;
+    for (ProcessorId p = 0; p < n_; ++p) {
+      if (protocol_->is_root(p)) {
+        continue;
+      }
+      ghost.received |= static_cast<std::uint32_t>(take(1)) << non_root;
+      ghost.holds |= static_cast<std::uint32_t>(take(1)) << non_root;
+      ghost.acked |= static_cast<std::uint32_t>(take(1)) << non_root;
+      ++non_root;
+    }
+  }
+
+  /// Index of processor p among non-root processors (for ghost bits).
+  [[nodiscard]] std::uint32_t non_root_index(ProcessorId p) const {
+    SNAPPIF_ASSERT(!protocol_->is_root(p));
+    return p < protocol_->root() ? p : p - 1;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t neighbor_index(ProcessorId p,
+                                             ProcessorId parent) const {
+    const auto nbrs = g_->neighbors(p);
+    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), parent);
+    SNAPPIF_ASSERT(it != nbrs.end() && *it == parent);
+    return static_cast<std::uint64_t>(it - nbrs.begin());
+  }
+
+  const graph::Graph* g_;
+  const PifProtocol* protocol_;
+  ProcessorId n_ = 0;
+  unsigned pif_bits_ = 0, fok_bits_ = 0, count_bits_ = 0, level_bits_ = 0;
+  unsigned total_bits_ = 0;
+  unsigned ghost_offset_ = 0;
+};
+
+/// Calls `fn(states)` for every configuration of the full variable domains.
+template <typename Fn>
+void enumerate_configs(const graph::Graph& g, const PifProtocol& protocol,
+                       Fn&& fn) {
+  const auto& params = protocol.params();
+  const ProcessorId n = g.n();
+  std::vector<State> states(n);
+  for (ProcessorId p = 0; p < n; ++p) {
+    states[p] = protocol.initial_state(p);
+  }
+
+  // Mixed-radix odometer over (pif, fok, count, level, parent) per processor.
+  struct Field {
+    ProcessorId p;
+    int kind;  // 0=pif 1=fok 2=count 3=level 4=parent
+    std::uint64_t radix;
+    std::uint64_t value = 0;
+  };
+  std::vector<Field> fields;
+  for (ProcessorId p = 0; p < n; ++p) {
+    fields.push_back({p, 0, 3, 0});
+    fields.push_back({p, 1, 2, 0});
+    fields.push_back({p, 2, params.n_upper, 0});
+    if (!protocol.is_root(p)) {
+      fields.push_back({p, 3, params.l_max, 0});
+      fields.push_back({p, 4, g.degree(p), 0});
+    }
+  }
+  auto materialize = [&](const Field& f) {
+    State& s = states[f.p];
+    switch (f.kind) {
+      case 0:
+        s.pif = static_cast<Phase>(f.value);
+        break;
+      case 1:
+        s.fok = f.value != 0;
+        break;
+      case 2:
+        s.count = static_cast<std::uint32_t>(f.value) + 1;
+        break;
+      case 3:
+        s.level = static_cast<std::uint32_t>(f.value) + 1;
+        break;
+      case 4:
+        s.parent = g.neighbors(f.p)[f.value];
+        break;
+      default:
+        SNAPPIF_ASSERT(false);
+    }
+  };
+  for (auto& f : fields) {
+    materialize(f);
+  }
+  while (true) {
+    fn(const_cast<const std::vector<State>&>(states));
+    // Odometer increment.
+    std::size_t i = 0;
+    for (; i < fields.size(); ++i) {
+      if (++fields[i].value < fields[i].radix) {
+        materialize(fields[i]);
+        break;
+      }
+      fields[i].value = 0;
+      materialize(fields[i]);
+    }
+    if (i == fields.size()) {
+      return;
+    }
+  }
+}
+
+/// All (processor, enabled-action-list) pairs of a configuration.
+struct EnabledInfo {
+  ProcessorId p;
+  std::vector<ActionId> actions;
+};
+
+std::vector<EnabledInfo> enabled_info(const Config& c,
+                                      const PifProtocol& protocol) {
+  std::vector<EnabledInfo> out;
+  for (ProcessorId p = 0; p < c.n(); ++p) {
+    EnabledInfo info;
+    info.p = p;
+    for (ActionId a = 0; a < protocol.num_actions(); ++a) {
+      if (protocol.enabled(c, p, a)) {
+        info.actions.push_back(a);
+      }
+    }
+    if (!info.actions.empty()) {
+      out.push_back(std::move(info));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+unsigned packed_state_bits(const graph::Graph& g, const PifProtocol& protocol) {
+  return Packer(g, protocol).total_bits();
+}
+
+DeadlockReport check_no_deadlock(const graph::Graph& g,
+                                 const PifProtocol& protocol) {
+  DeadlockReport report;
+  Packer packer(g, protocol);
+  Config scratch(g, protocol.initial_state(0));
+  enumerate_configs(g, protocol, [&](const std::vector<State>& states) {
+    ++report.configurations;
+    for (ProcessorId p = 0; p < g.n(); ++p) {
+      scratch.state(p) = states[p];
+    }
+    bool any = false;
+    for (ProcessorId p = 0; p < g.n() && !any; ++p) {
+      for (ActionId a = 0; a < protocol.num_actions(); ++a) {
+        if (protocol.enabled(scratch, p, a)) {
+          any = true;
+          break;
+        }
+      }
+    }
+    if (!any) {
+      if (report.deadlocks == 0) {
+        report.witness = packer.pack(states, {});
+      }
+      ++report.deadlocks;
+    }
+  });
+  return report;
+}
+
+SnapCheckReport exhaustive_snap_check(const graph::Graph& g,
+                                      const PifProtocol& protocol,
+                                      std::uint64_t max_states,
+                                      bool normal_starts_only) {
+  SnapCheckReport report;
+  Packer packer(g, protocol);
+  SNAPPIF_ASSERT_MSG(packer.total_bits() <= 64,
+                     "instance too large for 64-bit lossless packing");
+  const ProcessorId n = g.n();
+  const ProcessorId root = protocol.root();
+  const std::uint32_t all_non_root_mask =
+      n >= 2 ? (std::uint32_t{1} << (n - 1)) - 1 : 0;
+
+  std::unordered_set<std::uint64_t> visited;
+  std::deque<std::uint64_t> queue;
+  visited.reserve(1 << 20);
+
+  // Seed with every configuration (or every all-Normal one), ghost inactive.
+  {
+    Config seed_config(g, protocol.initial_state(0));
+    enumerate_configs(g, protocol, [&](const std::vector<State>& states) {
+      if (normal_starts_only) {
+        for (ProcessorId p = 0; p < n; ++p) {
+          seed_config.state(p) = states[p];
+        }
+        for (ProcessorId p = 0; p < n; ++p) {
+          if (!protocol.normal(seed_config, p)) {
+            return;
+          }
+        }
+      }
+      const std::uint64_t packed = packer.pack(states, {});
+      if (visited.insert(packed).second) {
+        queue.push_back(packed);
+      }
+    });
+  }
+
+  Config c(g, protocol.initial_state(0));
+  std::vector<State> states;
+  Packer::Ghost ghost;
+
+  while (!queue.empty()) {
+    if (visited.size() > max_states) {
+      report.states = visited.size();
+      report.complete = false;
+      return report;
+    }
+    const std::uint64_t packed = queue.front();
+    queue.pop_front();
+    packer.unpack(packed, states, ghost);
+    for (ProcessorId p = 0; p < n; ++p) {
+      c.state(p) = states[p];
+    }
+
+    const auto enabled = enabled_info(c, protocol);
+    if (enabled.empty()) {
+      ++report.deadlocks;
+      continue;
+    }
+
+    // Every non-empty subset of enabled processors...
+    const std::size_t k = enabled.size();
+    SNAPPIF_ASSERT_MSG(k <= 20, "too many enabled processors for subset loop");
+    for (std::uint32_t subset = 1; subset < (std::uint32_t{1} << k); ++subset) {
+      // ... and every combination of enabled-action choices.
+      std::vector<std::size_t> idx;       // positions of set bits
+      for (std::size_t i = 0; i < k; ++i) {
+        if (subset & (std::uint32_t{1} << i)) {
+          idx.push_back(i);
+        }
+      }
+      std::vector<std::size_t> choice(idx.size(), 0);
+      while (true) {
+        // Apply this step.
+        std::vector<State> next = states;
+        Packer::Ghost next_ghost = ghost;
+        bool closed_cycle = false;
+        bool closed_ok = true;
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+          const EnabledInfo& info = enabled[idx[j]];
+          const ActionId a = info.actions[choice[j]];
+          next[info.p] = protocol.apply(c, info.p, a);
+          // Ghost transition (mirrors pif::GhostTracker with a "holds
+          // current message" abstraction instead of unbounded ids).
+          if (info.p == root) {
+            if (a == pif::kBAction) {
+              next_ghost.active = true;
+              next_ghost.received = 0;
+              next_ghost.holds = 0;
+              next_ghost.acked = 0;
+            } else if (a == pif::kFAction && ghost.active) {
+              closed_cycle = true;
+              closed_ok = ghost.received == all_non_root_mask &&
+                          ghost.acked == all_non_root_mask;
+              next_ghost = Packer::Ghost{};
+            } else if (a == pif::kBCorrection && ghost.active) {
+              ++report.aborts;
+              next_ghost = Packer::Ghost{};
+            }
+          } else {
+            const std::uint32_t bit = std::uint32_t{1}
+                                      << packer.non_root_index(info.p);
+            if (a == pif::kBAction) {
+              // Reads the parent's pre-step ghost (order-independent; the
+              // chosen parent cannot execute B-action in the same step).
+              const ProcessorId parent = next[info.p].parent;
+              const bool parent_holds =
+                  parent == root
+                      ? ghost.active
+                      : (ghost.holds &
+                         (std::uint32_t{1} << packer.non_root_index(parent))) != 0;
+              if (parent_holds && ghost.active) {
+                next_ghost.holds |= bit;
+                next_ghost.received |= bit;
+              } else {
+                next_ghost.holds &= ~bit;
+              }
+            } else if (a == pif::kFAction && ghost.active) {
+              if ((ghost.holds & bit) != 0) {
+                next_ghost.acked |= bit;
+              }
+            }
+          }
+        }
+        if (closed_cycle) {
+          ++report.cycle_closures;
+          if (!closed_ok) {
+            ++report.violations;
+          }
+        }
+        ++report.transitions;
+        const std::uint64_t next_packed = packer.pack(next, next_ghost);
+        if (visited.insert(next_packed).second) {
+          queue.push_back(next_packed);
+        }
+
+        // Odometer over action choices.
+        std::size_t j = 0;
+        for (; j < idx.size(); ++j) {
+          if (++choice[j] < enabled[idx[j]].actions.size()) {
+            break;
+          }
+          choice[j] = 0;
+        }
+        if (j == idx.size()) {
+          break;
+        }
+      }
+    }
+  }
+  report.states = visited.size();
+  report.complete = true;
+  return report;
+}
+
+LivenessReport synchronous_liveness_check(const graph::Graph& g,
+                                          const PifProtocol& protocol,
+                                          std::uint64_t step_cap) {
+  LivenessReport report;
+  Packer packer(g, protocol);
+  SNAPPIF_ASSERT_MSG(packer.total_bits() <= 64,
+                     "instance too large for 64-bit lossless packing");
+  const ProcessorId n = g.n();
+  const ProcessorId root = protocol.root();
+  const std::uint32_t all_non_root_mask =
+      n >= 2 ? (std::uint32_t{1} << (n - 1)) - 1 : 0;
+  (void)all_non_root_mask;
+
+  Config c(g, protocol.initial_state(0));
+  std::vector<State> states;
+  Packer::Ghost ghost;
+
+  constexpr std::uint64_t kUnknown = ~std::uint64_t{0};
+  constexpr std::uint64_t kStuck = kUnknown - 1;
+  // distance-to-first-closure per packed state (kStuck = never closes).
+  std::unordered_map<std::uint64_t, std::uint64_t> memo;
+  memo.reserve(1 << 18);
+
+  // Deterministic synchronous successor; sets `closed` if the transition
+  // completes a tracked cycle.
+  auto successor = [&](std::uint64_t packed, bool& closed,
+                       bool& terminal) -> std::uint64_t {
+    packer.unpack(packed, states, ghost);
+    for (ProcessorId p = 0; p < n; ++p) {
+      c.state(p) = states[p];
+    }
+    closed = false;
+    terminal = true;
+    std::vector<State> next = states;
+    Packer::Ghost next_ghost = ghost;
+    for (ProcessorId p = 0; p < n; ++p) {
+      ActionId chosen = 0xff;
+      for (ActionId a = 0; a < protocol.num_actions(); ++a) {
+        if (protocol.enabled(c, p, a)) {
+          chosen = a;
+          break;
+        }
+      }
+      if (chosen == 0xff) {
+        continue;
+      }
+      terminal = false;
+      next[p] = protocol.apply(c, p, chosen);
+      if (p == root) {
+        if (chosen == pif::kBAction) {
+          next_ghost.active = true;
+          next_ghost.received = 0;
+          next_ghost.holds = 0;
+          next_ghost.acked = 0;
+        } else if (chosen == pif::kFAction && ghost.active) {
+          closed = true;
+          next_ghost = Packer::Ghost{};
+        } else if (chosen == pif::kBCorrection && ghost.active) {
+          next_ghost = Packer::Ghost{};
+        }
+      } else {
+        const std::uint32_t bit = std::uint32_t{1}
+                                  << packer.non_root_index(p);
+        if (chosen == pif::kBAction) {
+          const ProcessorId parent = next[p].parent;
+          const bool parent_holds =
+              parent == root
+                  ? ghost.active
+                  : (ghost.holds &
+                     (std::uint32_t{1} << packer.non_root_index(parent))) != 0;
+          if (parent_holds && ghost.active) {
+            next_ghost.holds |= bit;
+            next_ghost.received |= bit;
+          } else {
+            next_ghost.holds &= ~bit;
+          }
+        } else if (chosen == pif::kFAction && ghost.active) {
+          if ((ghost.holds & bit) != 0) {
+            next_ghost.acked |= bit;
+          }
+        }
+      }
+    }
+    return packer.pack(next, next_ghost);
+  };
+
+  report.complete = true;
+  enumerate_configs(g, protocol, [&](const std::vector<State>& start) {
+    ++report.start_configs;
+    const std::uint64_t start_packed = packer.pack(start, {});
+    if (memo.count(start_packed) != 0) {
+      const auto d = memo[start_packed];
+      if (d == kStuck) {
+        ++report.stuck;
+      } else {
+        report.max_steps_to_closure = std::max(report.max_steps_to_closure, d);
+      }
+      return;
+    }
+    // Walk the deterministic chain, recording the path.
+    std::vector<std::uint64_t> path;
+    std::unordered_map<std::uint64_t, std::size_t> on_path;
+    std::uint64_t cur = start_packed;
+    std::uint64_t verdict = kStuck;  // distance of the path's LAST node
+    while (true) {
+      const auto it = memo.find(cur);
+      if (it != memo.end()) {
+        verdict = it->second;
+        break;
+      }
+      if (on_path.count(cur) != 0) {
+        verdict = kStuck;  // cycle before any closure
+        break;
+      }
+      if (path.size() >= step_cap) {
+        report.complete = false;
+        verdict = kStuck;
+        break;
+      }
+      on_path[cur] = path.size();
+      path.push_back(cur);
+      bool closed = false, terminal = false;
+      const std::uint64_t nxt = successor(cur, closed, terminal);
+      if (terminal) {
+        verdict = kStuck;  // deadlock (separately proven impossible)
+        break;
+      }
+      if (closed) {
+        // The node `cur` closes in 1 step; everything before chains up.
+        memo[cur] = 1;
+        path.pop_back();
+        verdict = 1;
+        break;
+      }
+      cur = nxt;
+    }
+    // Backfill the path.
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      verdict = verdict == kStuck ? kStuck
+                                  : verdict + 1;
+      memo[*it] = verdict;
+    }
+    const auto d = memo[start_packed];
+    if (d == kStuck) {
+      ++report.stuck;
+    } else {
+      report.max_steps_to_closure = std::max(report.max_steps_to_closure, d);
+    }
+  });
+  report.memo_states = memo.size();
+  return report;
+}
+
+}  // namespace snappif::analysis

@@ -1,0 +1,94 @@
+// Exhaustive model checking of the PIF protocol on tiny instances.
+//
+// For graphs small enough that a processor state fits in a few bits, we can
+// do what randomized testing cannot: *prove* properties over every initial
+// configuration and every daemon choice.
+//
+//   * check_no_deadlock — enumerates ALL configurations (the full product of
+//     the variable domains of Section 3) and verifies at least one action is
+//     enabled in each.  Snap-stabilization would be vacuous if an arbitrary
+//     initial configuration could freeze the network.
+//
+//   * exhaustive_snap_check — BFS over (configuration x ghost) states, seeded
+//     with every configuration, exploring every non-empty subset of enabled
+//     processors and every enabled-action choice (the full distributed
+//     daemon).  Verifies that every root F-action closing a root-initiated
+//     cycle has delivered the message to all and collected every
+//     acknowledgment ([PIF1] and [PIF2] of Definition 2), and that the root
+//     never aborts an initiated cycle.
+//
+// States are packed losslessly into 64 bits (widths derived from the
+// domains), so the visited set is exact — no hash-collision soundness hole.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "pif/protocol.hpp"
+
+namespace snappif::analysis {
+
+struct DeadlockReport {
+  std::uint64_t configurations = 0;
+  std::uint64_t deadlocks = 0;
+  /// A packed witness of the first deadlock (valid iff deadlocks > 0).
+  std::uint64_t witness = 0;
+};
+
+/// Enumerates every configuration of `protocol` on its graph and counts
+/// configurations with no enabled processor.  Feasible up to ~40M
+/// configurations (n = 4 with canonical parameters).
+[[nodiscard]] DeadlockReport check_no_deadlock(const graph::Graph& g,
+                                               const pif::PifProtocol& protocol);
+
+struct SnapCheckReport {
+  bool complete = false;          // false if the state cap was hit
+  std::uint64_t states = 0;       // distinct (config, ghost) states visited
+  std::uint64_t transitions = 0;
+  std::uint64_t cycle_closures = 0;  // root F-actions closing tracked cycles
+  std::uint64_t violations = 0;   // closures with PIF1 or PIF2 violated
+  std::uint64_t aborts = 0;       // root B-corrections inside tracked cycles
+  std::uint64_t deadlocks = 0;
+};
+
+/// Exhaustive snap-stabilization check; see header comment.  `max_states`
+/// caps exploration (report.complete tells whether the proof finished).
+/// With `normal_starts_only` the BFS is seeded from every all-Normal
+/// configuration instead of every configuration — a weaker statement
+/// ("snap from any post-correction state", the regime Theorem 1 guarantees
+/// within 3·Lmax+3 rounds) that stays tractable one network size further
+/// (n = 4: the full space has ~36M configurations; the normal slice is
+/// small enough to explore).
+[[nodiscard]] SnapCheckReport exhaustive_snap_check(
+    const graph::Graph& g, const pif::PifProtocol& protocol,
+    std::uint64_t max_states = 200'000'000, bool normal_starts_only = false);
+
+/// Number of bits needed to pack one full (config, ghost) state; the checks
+/// above require this to be <= 64.
+[[nodiscard]] unsigned packed_state_bits(const graph::Graph& g,
+                                         const pif::PifProtocol& protocol);
+
+struct LivenessReport {
+  bool complete = false;          // false if the step cap was hit somewhere
+  std::uint64_t start_configs = 0;
+  std::uint64_t memo_states = 0;
+  /// Max steps from any start configuration to the first completed
+  /// root-initiated cycle (the root's F-action closing a tracked cycle).
+  std::uint64_t max_steps_to_closure = 0;
+  /// Configurations from which the deterministic schedule never closes a
+  /// cycle (loops or exceeds the cap) — must be zero.
+  std::uint64_t stuck = 0;
+};
+
+/// Liveness complement to exhaustive_snap_check: the BFS proves safety over
+/// every schedule; this proves progress over one concrete weakly fair
+/// schedule — the deterministic synchronous daemon with first-enabled
+/// action choice.  From EVERY initial configuration the execution must
+/// complete a root-initiated PIF cycle within finitely many steps (detected
+/// by memoized walking of the deterministic successor chain; a cycle in the
+/// state graph before closure counts as stuck).
+[[nodiscard]] LivenessReport synchronous_liveness_check(
+    const graph::Graph& g, const pif::PifProtocol& protocol,
+    std::uint64_t step_cap = 100'000);
+
+}  // namespace snappif::analysis

@@ -1,0 +1,331 @@
+#include "analysis/runners.hpp"
+
+#include <memory>
+
+#include "baselines/selfstab_pif.hpp"
+#include "baselines/tree_pif.hpp"
+#include "graph/properties.hpp"
+#include "pif/instrument.hpp"
+#include "util/assert.hpp"
+
+namespace snappif::analysis {
+
+namespace {
+
+using PifSim = sim::Simulator<pif::PifProtocol>;
+
+/// Builds a corrupted, ready-to-run PIF simulator per the RunConfig.
+struct Bench {
+  std::unique_ptr<PifSim> sim;
+  std::unique_ptr<sim::IDaemon> daemon;
+  util::Rng rng;
+
+  Bench(const graph::Graph& g, const RunConfig& rc, bool corrupt)
+      : rng(rc.seed) {
+    pif::PifProtocol protocol(g, params_for(g, rc));
+    sim = std::make_unique<PifSim>(std::move(protocol), g, rng());
+    sim->set_action_policy(rc.policy);
+    sim->set_score([](const pif::State& s) {
+      return static_cast<std::int64_t>(s.level);
+    });
+    daemon = sim::make_daemon(rc.daemon);
+    if (corrupt) {
+      pif::apply_corruption(*sim, rc.corruption, rng);
+    }
+  }
+};
+
+}  // namespace
+
+pif::Params params_for(const graph::Graph& g, const RunConfig& rc) {
+  pif::Params params = pif::Params::for_graph(g, rc.root);
+  if (rc.l_max_override != 0) {
+    SNAPPIF_ASSERT(g.n() <= 1 || rc.l_max_override >= g.n() - 1);
+    params.l_max = rc.l_max_override;
+  }
+  params.min_level_potential = rc.min_level_potential;
+  return params;
+}
+
+StabilizationResult measure_stabilization(const graph::Graph& g,
+                                          const RunConfig& rc) {
+  Bench bench(g, rc, /*corrupt=*/true);
+  pif::Checker checker(bench.sim->protocol());
+  StabilizationResult result;
+  result.l_max = bench.sim->protocol().params().l_max;
+
+  sim::RunLimits limits;
+  limits.max_steps = rc.max_steps;
+
+  // Milestone 1 (Theorem 1): every processor Normal.
+  auto r1 = bench.sim->run_until(
+      *bench.daemon,
+      [&](const pif::Config& c) { return checker.all_normal(c); }, limits);
+  if (r1.reason != sim::StopReason::kPredicate) {
+    return result;  // ok stays false
+  }
+  result.rounds_to_all_normal = r1.rounds;
+  result.steps = r1.steps;
+
+  // Milestone 2: first SBN configuration.  (Composing Theorem 2's cases
+  // bounds this by 9*Lmax + 8 from any start; see EXPERIMENTS.md E2.)
+  auto r2 = bench.sim->run_until(
+      *bench.daemon,
+      [&](const pif::Config& c) { return checker.classify(c).sbn; }, limits);
+  if (r2.reason != sim::StopReason::kPredicate) {
+    return result;
+  }
+  result.rounds_to_sbn = result.rounds_to_all_normal + r2.rounds;
+  result.steps += r2.steps;
+  result.ok = true;
+  return result;
+}
+
+namespace {
+
+CycleResult run_one_cycle(PifSim& sim, sim::IDaemon& daemon,
+                          pif::GhostTracker& tracker, pif::Checker& checker,
+                          std::uint64_t max_steps) {
+  CycleResult result;
+  const std::uint64_t cycles_before = tracker.cycles_completed();
+  bool chordless_checked = false;
+  bool chordless_ok = true;
+
+  sim::RunLimits limits;
+  limits.max_steps = max_steps;
+
+  // Phase A: run until the root's F-action closes the cycle, checking the
+  // chordless-parent-path property once the full tree is assembled (first
+  // observation of Fok_r).
+  auto ra = sim.run_until(
+      daemon,
+      [&](const pif::Config& c) {
+        if (!chordless_checked) {
+          const pif::State& sr = c.state(checker.protocol().root());
+          if (sr.pif == pif::Phase::kB && sr.fok) {
+            chordless_ok = checker.parent_paths_chordless(c);
+            chordless_checked = true;
+          }
+        }
+        return tracker.cycles_completed() > cycles_before;
+      },
+      limits);
+  if (ra.reason != sim::StopReason::kPredicate) {
+    return result;  // ok = false
+  }
+  result.rounds_to_feedback = ra.rounds;
+  result.steps = ra.steps;
+
+  const pif::CycleVerdict& verdict = tracker.last_cycle();
+  result.pif1 = verdict.pif1;
+  result.pif2 = verdict.pif2;
+  result.height = verdict.tree_height;
+  result.chordless = chordless_ok;
+
+  // Phase B: cleaning back to the normal starting configuration.
+  auto rb = sim.run_until(
+      daemon, [&](const pif::Config& c) { return checker.all_c(c); }, limits);
+  if (rb.reason != sim::StopReason::kPredicate) {
+    return result;
+  }
+  result.rounds = result.rounds_to_feedback + rb.rounds;
+  result.steps += rb.steps;
+  result.ok = verdict.ok();
+  return result;
+}
+
+}  // namespace
+
+CycleResult run_cycle_from_sbn(const graph::Graph& g, const RunConfig& rc) {
+  auto cycles = run_cycles_from_sbn(g, rc, 1);
+  return cycles.at(0);
+}
+
+std::vector<CycleResult> run_cycles_from_sbn(const graph::Graph& g,
+                                             const RunConfig& rc,
+                                             std::size_t cycles) {
+  Bench bench(g, rc, /*corrupt=*/false);
+  pif::Checker checker(bench.sim->protocol());
+  pif::GhostTracker tracker(g, bench.sim->protocol().root());
+  pif::attach(*bench.sim, tracker);
+
+  std::vector<CycleResult> results;
+  for (std::size_t i = 0; i < cycles; ++i) {
+    results.push_back(run_one_cycle(*bench.sim, *bench.daemon, tracker, checker,
+                                    rc.max_steps));
+    if (!results.back().ok) {
+      break;
+    }
+  }
+  return results;
+}
+
+SnapResult check_snap_first_cycle(const graph::Graph& g, const RunConfig& rc) {
+  Bench bench(g, rc, /*corrupt=*/true);
+  pif::GhostTracker tracker(g, bench.sim->protocol().root());
+  pif::attach(*bench.sim, tracker);
+
+  SnapResult result;
+  sim::RunLimits limits;
+  limits.max_steps = rc.max_steps;
+
+  // Wait for the root to initiate a broadcast (its B-action).
+  auto ra = bench.sim->run_until(
+      *bench.daemon,
+      [&](const pif::Config&) {
+        return tracker.cycle_active() || tracker.cycles_completed() > 0;
+      },
+      limits);
+  if (ra.reason != sim::StopReason::kPredicate) {
+    return result;
+  }
+  result.rounds_to_start = ra.rounds;
+  result.steps = ra.steps;
+
+  // Run that first cycle to its close.
+  auto rb = bench.sim->run_until(
+      *bench.daemon,
+      [&](const pif::Config&) { return tracker.cycles_completed() > 0; },
+      limits);
+  if (rb.reason != sim::StopReason::kPredicate) {
+    return result;
+  }
+  result.rounds_to_close = rb.rounds;
+  result.steps += rb.steps;
+
+  const pif::CycleVerdict& verdict = tracker.verdicts().front();
+  result.cycle_completed = true;
+  result.pif1 = verdict.pif1;
+  result.pif2 = verdict.pif2;
+  result.aborted = verdict.aborted;
+  return result;
+}
+
+SelfStabResult check_selfstab_first_cycles(const graph::Graph& g,
+                                           const RunConfig& rc) {
+  util::Rng rng(rc.seed);
+  baselines::SelfStabPifProtocol protocol(g, rc.root);
+  sim::Simulator<baselines::SelfStabPifProtocol> sim(std::move(protocol), g,
+                                                     rng());
+  sim.set_action_policy(rc.policy);
+  auto daemon = sim::make_daemon(rc.daemon);
+  baselines::SelfStabGhost ghost(g, rc.root);
+  sim.set_apply_hook(
+      [&ghost](sim::ProcessorId p, sim::ActionId a,
+               const sim::Configuration<baselines::SelfStabState>& before,
+               const baselines::SelfStabState& after) {
+        ghost.on_apply(p, a, before, after);
+      });
+  sim.randomize(rng);
+
+  SelfStabResult result;
+  sim::RunLimits limits;
+  limits.max_steps = rc.max_steps;
+  auto r = sim.run_until(
+      *daemon,
+      [&](const sim::Configuration<baselines::SelfStabState>&) {
+        return ghost.first_ok_wave() != 0;
+      },
+      limits);
+  if (r.reason != sim::StopReason::kPredicate) {
+    return result;
+  }
+  result.ok = true;
+  result.failed_waves = ghost.first_ok_wave() - 1;
+  result.rounds_to_first_ok = r.rounds;
+  result.steps = r.steps;
+  return result;
+}
+
+TreePifResult measure_tree_pif(const graph::Graph& g, const RunConfig& rc) {
+  util::Rng rng(rc.seed);
+  const auto tree = graph::bfs_tree(g, rc.root);
+  TreePifResult result;
+
+  // Steady-state cost from a clean start: measure the second cycle (the
+  // first includes the initial B-action's round alignment).
+  {
+    baselines::TreePifProtocol protocol(g, rc.root, tree.parent);
+    sim::Simulator<baselines::TreePifProtocol> sim(protocol, g, rng());
+    sim.set_action_policy(rc.policy);
+    auto daemon = sim::make_daemon(rc.daemon);
+    baselines::TreePifGhost ghost(g, rc.root);
+    sim.set_apply_hook(
+        [&ghost, &protocol](sim::ProcessorId p, sim::ActionId a,
+                            const sim::Configuration<baselines::TreePifState>& before,
+                            const baselines::TreePifState& after) {
+          ghost.on_apply(p, a, before, after, protocol);
+        });
+    sim::RunLimits limits;
+    limits.max_steps = rc.max_steps;
+    auto warm = sim.run_until(
+        *daemon,
+        [&](const auto&) { return ghost.cycles_completed() >= 1; }, limits);
+    if (warm.reason != sim::StopReason::kPredicate) {
+      return result;
+    }
+    // Cleaning back to all-C, then one measured cycle.
+    auto clean = sim.run_until(
+        *daemon,
+        [&](const sim::Configuration<baselines::TreePifState>& c) {
+          for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+            if (c.state(p).pif != baselines::TreePhase::kC) {
+              return false;
+            }
+          }
+          return true;
+        },
+        limits);
+    if (clean.reason != sim::StopReason::kPredicate) {
+      return result;
+    }
+    auto measured = sim.run_until(
+        *daemon,
+        [&](const sim::Configuration<baselines::TreePifState>& c) {
+          if (ghost.cycles_completed() < 2) {
+            return false;
+          }
+          for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+            if (c.state(p).pif != baselines::TreePhase::kC) {
+              return false;
+            }
+          }
+          return true;
+        },
+        limits);
+    if (measured.reason != sim::StopReason::kPredicate) {
+      return result;
+    }
+    result.rounds_per_cycle = measured.rounds;
+    result.steps_per_cycle = measured.steps;
+  }
+
+  // Snap check from a corrupted start: is the first completed cycle a
+  // correct PIF cycle?  (For the fixed-tree baseline it often is not.)
+  {
+    baselines::TreePifProtocol protocol(g, rc.root, tree.parent);
+    sim::Simulator<baselines::TreePifProtocol> sim(protocol, g, rng());
+    sim.set_action_policy(rc.policy);
+    auto daemon = sim::make_daemon(rc.daemon);
+    baselines::TreePifGhost ghost(g, rc.root);
+    sim.set_apply_hook(
+        [&ghost, &protocol](sim::ProcessorId p, sim::ActionId a,
+                            const sim::Configuration<baselines::TreePifState>& before,
+                            const baselines::TreePifState& after) {
+          ghost.on_apply(p, a, before, after, protocol);
+        });
+    sim.randomize(rng);
+    sim::RunLimits limits;
+    limits.max_steps = rc.max_steps;
+    auto r = sim.run_until(
+        *daemon,
+        [&](const auto&) { return ghost.cycles_completed() >= 1; }, limits);
+    if (r.reason == sim::StopReason::kPredicate) {
+      result.first_cycle_ok = ghost.last_ok();
+      result.ok = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace snappif::analysis

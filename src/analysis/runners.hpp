@@ -1,0 +1,119 @@
+// Reusable experiment runners: every bench binary and most integration tests
+// drive the simulator through these, so benches and tests measure the same
+// thing.  Each runner builds a fresh simulator, applies the requested
+// corruption, runs under the requested daemon, and reports the milestones the
+// paper's theorems bound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pif/checker.hpp"
+#include "pif/faults.hpp"
+#include "pif/ghost.hpp"
+#include "pif/protocol.hpp"
+#include "sim/daemon.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::analysis {
+
+/// Common experiment knobs.
+struct RunConfig {
+  sim::DaemonKind daemon = sim::DaemonKind::kDistributedRandom;
+  pif::CorruptionKind corruption = pif::CorruptionKind::kUniformRandom;
+  std::uint64_t seed = 1;
+  sim::ActionPolicy policy = sim::ActionPolicy::kFirstEnabled;
+  std::uint64_t max_steps = 4'000'000;
+  /// The initiator r (any processor may be the root; Section 2).
+  sim::ProcessorId root = 0;
+  /// Overrides for the protocol parameters; 0 = canonical (for_graph).
+  std::uint32_t l_max_override = 0;
+  bool min_level_potential = true;  // E7 ablation switch
+};
+
+/// Milestones of error correction / tree formation (Theorems 1 and 3).
+struct StabilizationResult {
+  bool ok = false;                       // all milestones reached within limits
+  std::uint64_t rounds_to_all_normal = 0;  // Theorem 1: <= 3*Lmax + 3
+  std::uint64_t rounds_to_sbn = 0;         // Theorem 3-ish: <= 8*Lmax + 7
+  std::uint64_t steps = 0;
+  std::uint32_t l_max = 0;
+};
+
+/// From a corrupted configuration, measures rounds until every processor is
+/// normal and until the first SBN configuration.
+[[nodiscard]] StabilizationResult measure_stabilization(const graph::Graph& g,
+                                                        const RunConfig& rc);
+
+/// One full PIF cycle from the normal starting configuration (Theorem 4).
+struct CycleResult {
+  bool ok = false;            // cycle completed and returned to SBN
+  std::uint64_t rounds = 0;   // SBN -> ... -> SBN (one full cycle)
+  std::uint64_t rounds_to_feedback = 0;  // SBN -> root F-action
+  std::uint64_t steps = 0;
+  std::uint32_t height = 0;   // h: height of the constructed broadcast tree
+  bool chordless = true;      // all parent paths chordless at full-tree time
+  bool pif1 = false;
+  bool pif2 = false;
+};
+
+[[nodiscard]] CycleResult run_cycle_from_sbn(const graph::Graph& g,
+                                             const RunConfig& rc);
+
+/// Runs `cycles` back-to-back cycles from SBN; returns per-cycle results.
+[[nodiscard]] std::vector<CycleResult> run_cycles_from_sbn(const graph::Graph& g,
+                                                           const RunConfig& rc,
+                                                           std::size_t cycles);
+
+/// The snap-stabilization experiment (E4): corrupt, run until the root
+/// initiates a broadcast and that first cycle closes, and report whether the
+/// first cycle satisfied [PIF1] and [PIF2].
+struct SnapResult {
+  bool cycle_completed = false;
+  bool pif1 = false;
+  bool pif2 = false;
+  bool aborted = false;       // root B-correction mid-cycle (must not happen)
+  std::uint64_t rounds_to_start = 0;  // corruption -> root B-action
+  std::uint64_t rounds_to_close = 0;  // root B-action -> root F-action
+  std::uint64_t steps = 0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return cycle_completed && pif1 && pif2 && !aborted;
+  }
+};
+
+[[nodiscard]] SnapResult check_snap_first_cycle(const graph::Graph& g,
+                                                const RunConfig& rc);
+
+/// Baseline counterpart of check_snap_first_cycle for the self-stabilizing
+/// PIF: from a corrupted configuration, how many waves does the root
+/// spuriously complete before the first wave that actually reached everyone?
+struct SelfStabResult {
+  bool ok = false;                  // a correct wave eventually happened
+  std::uint64_t failed_waves = 0;   // completed waves before the first correct one
+  std::uint64_t rounds_to_first_ok = 0;
+  std::uint64_t steps = 0;
+};
+
+[[nodiscard]] SelfStabResult check_selfstab_first_cycles(const graph::Graph& g,
+                                                         const RunConfig& rc);
+
+/// Baseline counterpart for the fixed-tree PIF (E8 cost + E5 failure rate).
+struct TreePifResult {
+  bool ok = false;
+  std::uint64_t rounds_per_cycle = 0;  // steady-state cycle cost (clean start)
+  std::uint64_t steps_per_cycle = 0;
+  bool first_cycle_ok = false;         // from corrupted start
+};
+
+[[nodiscard]] TreePifResult measure_tree_pif(const graph::Graph& g,
+                                             const RunConfig& rc);
+
+/// Helper: canonical protocol parameters for `g` honoring RunConfig
+/// overrides.
+[[nodiscard]] pif::Params params_for(const graph::Graph& g, const RunConfig& rc);
+
+}  // namespace snappif::analysis

@@ -1,0 +1,156 @@
+#include "analysis/worstcase.hpp"
+
+#include "pif/checker.hpp"
+#include "pif/faults.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::analysis {
+
+WorstCaseResult find_worst_case(const graph::Graph& g, WorstCaseMetric metric,
+                                std::uint64_t trials, std::uint64_t seed) {
+  WorstCaseResult result;
+  util::Rng rng(seed);
+  const auto daemons = sim::standard_daemon_kinds();
+  const auto corruptions = pif::all_corruption_kinds();
+
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    RunConfig rc;
+    rc.daemon = daemons[trial % daemons.size()];
+    rc.policy = (trial / daemons.size()) % 2 == 0
+                    ? sim::ActionPolicy::kFirstEnabled
+                    : sim::ActionPolicy::kRandomEnabled;
+    rc.corruption = corruptions[trial % corruptions.size()];
+    rc.seed = rng();
+    ++result.trials;
+
+    std::uint64_t value = 0;
+    bool ok = false;
+    switch (metric) {
+      case WorstCaseMetric::kRoundsToNormal: {
+        const auto r = measure_stabilization(g, rc);
+        ok = r.ok;
+        value = r.rounds_to_all_normal;
+        break;
+      }
+      case WorstCaseMetric::kRoundsToSbn: {
+        const auto r = measure_stabilization(g, rc);
+        ok = r.ok;
+        value = r.rounds_to_sbn;
+        break;
+      }
+      case WorstCaseMetric::kCycleRounds: {
+        const auto r = run_cycle_from_sbn(g, rc);
+        ok = r.ok;
+        value = r.rounds;
+        break;
+      }
+    }
+    if (!ok) {
+      ++result.failures;
+      continue;
+    }
+    if (value > result.worst) {
+      result.worst = value;
+      result.worst_seed = rc.seed;
+      result.worst_daemon = rc.daemon;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Central daemon that executes one pre-chosen processor.
+class FixedChoiceDaemon final : public sim::IDaemon {
+ public:
+  void choose(sim::ProcessorId p) noexcept { choice_ = p; }
+  void select(std::span<const sim::ProcessorId> enabled,
+              const sim::DaemonContext&, util::Rng&,
+              std::vector<sim::ProcessorId>& out) override {
+    for (sim::ProcessorId p : enabled) {
+      if (p == choice_) {
+        out.push_back(p);
+        return;
+      }
+    }
+    out.push_back(enabled.front());  // defensive; should not happen
+  }
+  [[nodiscard]] std::string_view name() const override { return "fixed"; }
+
+ private:
+  sim::ProcessorId choice_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t greedy_delay_rounds_to_normal(const graph::Graph& g,
+                                            pif::CorruptionKind corruption,
+                                            std::uint64_t seed,
+                                            std::uint64_t max_steps) {
+  util::Rng rng(seed);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  sim::Simulator<pif::PifProtocol> sim(protocol, g, rng());
+  pif::apply_corruption(sim, corruption, rng);
+  pif::Checker checker(sim.protocol());
+
+  // Fairness bookkeeping: never let a processor stay enabled-but-unchosen
+  // for more than 4n consecutive steps.
+  std::vector<std::uint32_t> ages(g.n(), 0);
+  const std::uint32_t fairness_bound = 4 * g.n();
+  FixedChoiceDaemon daemon;
+
+  std::uint64_t steps = 0;
+  while (!checker.all_normal(sim.config())) {
+    if (steps++ >= max_steps) {
+      return 0;
+    }
+    const auto enabled = sim.enabled_processors();
+    if (enabled.empty()) {
+      return 0;  // terminal before normality: should be impossible
+    }
+    // Forced pick if someone is starving (weak fairness).
+    sim::ProcessorId pick = enabled.front();
+    bool forced = false;
+    for (sim::ProcessorId p : enabled) {
+      if (ages[p] >= fairness_bound) {
+        pick = p;
+        forced = true;
+        break;
+      }
+    }
+    if (!forced) {
+      // One-step lookahead: keep the network sick as long as possible —
+      // maximize the number of abnormal processors after the step, and
+      // among ties prefer completing rounds (burning the round budget).
+      std::int64_t best_score = -1;
+      for (sim::ProcessorId p : enabled) {
+        sim::Simulator<pif::PifProtocol> probe = sim;  // value copy
+        daemon.choose(p);
+        probe.step(daemon);
+        const auto abnormal =
+            static_cast<std::int64_t>(checker.abnormal(probe.config()).size());
+        const auto rounds_delta =
+            static_cast<std::int64_t>(probe.rounds() - sim.rounds());
+        const std::int64_t score = abnormal * 4 + rounds_delta;
+        if (score > best_score) {
+          best_score = score;
+          pick = p;
+        }
+      }
+    }
+    daemon.choose(pick);
+    sim.step(daemon);
+    for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+      if (!sim.is_enabled(p)) {
+        ages[p] = 0;
+      } else if (p == pick) {
+        ages[p] = 0;
+      } else {
+        ++ages[p];
+      }
+    }
+  }
+  return sim.rounds();
+}
+
+}  // namespace snappif::analysis

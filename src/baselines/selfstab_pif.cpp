@@ -1,0 +1,255 @@
+#include "baselines/selfstab_pif.hpp"
+
+#include <algorithm>
+
+#include "graph/properties.hpp"
+#include "util/assert.hpp"
+
+namespace snappif::baselines {
+
+SelfStabPifProtocol::SelfStabPifProtocol(const graph::Graph& g,
+                                         sim::ProcessorId root)
+    : graph_(&g), root_(root), dist_max_(g.n()) {
+  SNAPPIF_ASSERT(root < g.n());
+  true_dist_ = graph::bfs_distances(g, root);
+}
+
+SelfStabState SelfStabPifProtocol::initial_state(sim::ProcessorId p) const {
+  SelfStabState s;
+  if (p == root_) {
+    s.dist = 0;
+    s.parent = p;
+  } else {
+    // Clean start: correct BFS layer.
+    s.dist = true_dist_[p];
+    s.parent = graph_->neighbors(p)[0];
+    for (sim::ProcessorId q : graph_->neighbors(p)) {
+      if (true_dist_[q] + 1 == true_dist_[p]) {
+        s.parent = q;
+        break;
+      }
+    }
+  }
+  s.phase = TreePhase::kC;
+  return s;
+}
+
+std::string_view SelfStabPifProtocol::action_name(sim::ActionId a) const {
+  switch (a) {
+    case kFixDist:
+      return "FixDist";
+    case kWaveB:
+      return "B-action";
+    case kWaveF:
+      return "F-action";
+    case kWaveC:
+      return "C-action";
+    default:
+      return "?";
+  }
+}
+
+std::uint32_t SelfStabPifProtocol::min_neighbor_dist(const Config& c,
+                                                     sim::ProcessorId p) const {
+  std::uint32_t best = dist_max_;
+  for (sim::ProcessorId q : c.neighbors(p)) {
+    best = std::min(best, c.state(q).dist);
+  }
+  return best;
+}
+
+bool SelfStabPifProtocol::dist_consistent(const Config& c,
+                                          sim::ProcessorId p) const {
+  if (p == root_) {
+    return true;  // anchored constants
+  }
+  const SelfStabState& sp = c.state(p);
+  const std::uint32_t m = min_neighbor_dist(c, p);
+  const std::uint32_t target = std::min(m + 1, dist_max_);
+  if (sp.dist != target) {
+    return false;
+  }
+  if (!c.topology().has_edge(p, sp.parent)) {
+    return false;
+  }
+  return c.state(sp.parent).dist == m;
+}
+
+bool SelfStabPifProtocol::children_all(const Config& c, sim::ProcessorId p,
+                                       TreePhase ph) const {
+  for (sim::ProcessorId q : c.neighbors(p)) {
+    const SelfStabState& sq = c.state(q);
+    if (q != root_ && sq.parent == p && sq.phase != ph) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SelfStabPifProtocol::enabled(const Config& c, sim::ProcessorId p,
+                                  sim::ActionId a) const {
+  const SelfStabState& sp = c.state(p);
+  switch (a) {
+    case kFixDist:
+      return p != root_ && !dist_consistent(c, p);
+    case kWaveB:
+      if (sp.phase != TreePhase::kC || !children_all(c, p, TreePhase::kC)) {
+        return false;
+      }
+      if (p == root_) {
+        return true;
+      }
+      // Receive only through a locally consistent tree edge.
+      return dist_consistent(c, p) &&
+             c.state(sp.parent).phase == TreePhase::kB;
+    case kWaveF:
+      return sp.phase == TreePhase::kB && children_all(c, p, TreePhase::kF);
+    case kWaveC:
+      if (sp.phase != TreePhase::kF || !children_all(c, p, TreePhase::kC)) {
+        return false;
+      }
+      return p == root_ ||
+             c.state(sp.parent).phase != TreePhase::kB;
+    default:
+      return false;
+  }
+}
+
+SelfStabState SelfStabPifProtocol::apply(const Config& c, sim::ProcessorId p,
+                                         sim::ActionId a) const {
+  SelfStabState next = c.state(p);
+  switch (a) {
+    case kFixDist: {
+      const std::uint32_t m = min_neighbor_dist(c, p);
+      next.dist = std::min(m + 1, dist_max_);
+      // Par := the >_p-minimum neighbor at distance m.
+      for (sim::ProcessorId q : c.neighbors(p)) {
+        if (c.state(q).dist == m) {
+          next.parent = q;
+          break;
+        }
+      }
+      break;
+    }
+    case kWaveB:
+      next.phase = TreePhase::kB;
+      break;
+    case kWaveF:
+      next.phase = TreePhase::kF;
+      break;
+    case kWaveC:
+      next.phase = TreePhase::kC;
+      break;
+    default:
+      SNAPPIF_ASSERT_MSG(false, "unknown action id");
+  }
+  return next;
+}
+
+SelfStabState SelfStabPifProtocol::random_state(sim::ProcessorId p,
+                                                util::Rng& rng) const {
+  SelfStabState s;
+  if (p == root_) {
+    s.dist = 0;
+    s.parent = p;
+  } else {
+    s.dist = static_cast<std::uint32_t>(rng.below(dist_max_ + 1));
+    const auto nbrs = graph_->neighbors(p);
+    s.parent = nbrs[rng.below(nbrs.size())];
+  }
+  switch (rng.below(3)) {
+    case 0:
+      s.phase = TreePhase::kB;
+      break;
+    case 1:
+      s.phase = TreePhase::kF;
+      break;
+    default:
+      s.phase = TreePhase::kC;
+      break;
+  }
+  return s;
+}
+
+std::vector<SelfStabState> SelfStabPifProtocol::all_states(
+    sim::ProcessorId p) const {
+  std::vector<SelfStabState> out;
+  for (TreePhase phase : {TreePhase::kB, TreePhase::kF, TreePhase::kC}) {
+    if (p == root_) {
+      SelfStabState s;
+      s.dist = 0;
+      s.parent = p;
+      s.phase = phase;
+      out.push_back(s);
+      continue;
+    }
+    for (std::uint32_t dist = 0; dist <= dist_max_; ++dist) {
+      for (sim::ProcessorId parent : graph_->neighbors(p)) {
+        SelfStabState s;
+        s.dist = dist;
+        s.parent = parent;
+        s.phase = phase;
+        out.push_back(s);
+      }
+    }
+  }
+  return out;
+}
+
+bool SelfStabPifProtocol::bfs_stable(const Config& c) const {
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    if (p == root_) {
+      continue;
+    }
+    if (c.state(p).dist != true_dist_[p] || !dist_consistent(c, p)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SelfStabGhost::SelfStabGhost(const graph::Graph& g, sim::ProcessorId root)
+    : root_(root), n_(g.n()) {
+  msg_.assign(n_, 0);
+  received_.assign(n_, false);
+}
+
+void SelfStabGhost::on_apply(sim::ProcessorId p, sim::ActionId a,
+                             const sim::Configuration<SelfStabState>& before,
+                             const SelfStabState& /*after*/) {
+  if (p == root_) {
+    if (a == kWaveB) {
+      ++message_;
+      active_ = true;
+      received_.assign(n_, false);
+      msg_[root_] = message_;
+      received_[root_] = true;
+      return;
+    }
+    if (a == kWaveF && active_) {
+      ++completed_;
+      bool all = true;
+      for (sim::ProcessorId q = 0; q < n_; ++q) {
+        all = all && received_[q];
+      }
+      if (all) {
+        ++ok_;
+        if (first_ok_ == 0) {
+          first_ok_ = completed_;
+        }
+      }
+      active_ = false;
+      return;
+    }
+    return;
+  }
+  if (a == kWaveB) {
+    // Receives through its current parent pointer (unchanged by B-action).
+    msg_[p] = msg_[before.state(p).parent];
+    if (active_ && msg_[p] == message_) {
+      received_[p] = true;
+    }
+  }
+}
+
+}  // namespace snappif::baselines

@@ -1,0 +1,132 @@
+// Baseline 2: a self-stabilizing — but NOT snap-stabilizing — PIF for
+// arbitrary rooted networks, representative of the protocols the paper
+// improves upon ([12, 23]).
+//
+// Two composed layers:
+//   1. BFS layer: each p != r repairs (Dist_p, Par_p) toward
+//      Dist_p = 1 + min_q Dist_q with Par_p a minimum neighbor (the root is
+//      anchored at Dist_r = 0).  Classic min-propagation, self-stabilizes in
+//      O(diameter) rounds.
+//   2. Wave layer: the three-phase B/F/C PIF (same scheme as the fixed-tree
+//      baseline) riding the *current* Par pointers.
+//
+// Once the BFS layer has stabilized, the Par pointers form a genuine BFS
+// spanning tree and every subsequent wave is a correct PIF cycle.  But from
+// an arbitrary initial configuration the Par structure can be wrong — e.g.,
+// the root's neighbors may not point at it, so children(r) is empty and the
+// root "completes" broadcast-and-feedback instantly having reached nobody;
+// or distance-plateau cycles detach whole regions.  Those early waves are
+// lost: exactly the drawback quoted in the paper's introduction (a
+// self-stabilizing PIF only *eventually* delivers).  E5 counts them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "baselines/tree_pif.hpp"  // reuse TreePhase
+#include "graph/graph.hpp"
+#include "sim/configuration.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::baselines {
+
+struct SelfStabState {
+  std::uint32_t dist = 0;       // [0, dist_max]
+  sim::ProcessorId parent = 0;  // neighbor id (root: self)
+  TreePhase phase = TreePhase::kC;
+
+  [[nodiscard]] bool operator==(const SelfStabState&) const noexcept = default;
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    std::uint64_t h = dist;
+    h = util::hash_combine(h, parent);
+    h = util::hash_combine(h, static_cast<std::uint64_t>(phase));
+    return h;
+  }
+};
+
+enum SelfStabAction : sim::ActionId {
+  kFixDist = 0,   // p != r: repair (Dist, Par)
+  kWaveB = 1,     // receive/initiate the broadcast
+  kWaveF = 2,     // feedback
+  kWaveC = 3,     // cleaning
+  kSelfStabNumActions = 4,
+};
+
+class SelfStabPifProtocol {
+ public:
+  using State = SelfStabState;
+  using Config = sim::Configuration<State>;
+
+  SelfStabPifProtocol(const graph::Graph& g, sim::ProcessorId root);
+
+  [[nodiscard]] sim::ProcessorId root() const noexcept { return root_; }
+  [[nodiscard]] std::uint32_t dist_max() const noexcept { return dist_max_; }
+
+  // Protocol concept.
+  [[nodiscard]] State initial_state(sim::ProcessorId p) const;
+  [[nodiscard]] sim::ActionId num_actions() const noexcept {
+    return kSelfStabNumActions;
+  }
+  [[nodiscard]] std::string_view action_name(sim::ActionId a) const;
+  [[nodiscard]] bool enabled(const Config& c, sim::ProcessorId p,
+                             sim::ActionId a) const;
+  [[nodiscard]] State apply(const Config& c, sim::ProcessorId p,
+                            sim::ActionId a) const;
+  [[nodiscard]] State random_state(sim::ProcessorId p, util::Rng& rng) const;
+  /// The complete state domain of processor p: (dist_max+1) * deg * 3
+  /// (root: 3).
+  [[nodiscard]] std::vector<State> all_states(sim::ProcessorId p) const;
+
+  /// True iff the BFS layer equals the true BFS distance function (with
+  /// parents one level up); used to measure layer-1 stabilization.
+  [[nodiscard]] bool bfs_stable(const Config& c) const;
+
+  /// p's (Dist, Par) agrees with the min rule (local consistency).
+  [[nodiscard]] bool dist_consistent(const Config& c, sim::ProcessorId p) const;
+
+ private:
+  [[nodiscard]] std::uint32_t min_neighbor_dist(const Config& c,
+                                                sim::ProcessorId p) const;
+  /// All q with Par_q = p currently hold phase `ph`.
+  [[nodiscard]] bool children_all(const Config& c, sim::ProcessorId p,
+                                  TreePhase ph) const;
+
+  const graph::Graph* graph_;
+  sim::ProcessorId root_;
+  std::uint32_t dist_max_;
+  std::vector<std::uint32_t> true_dist_;
+};
+
+/// Wave delivery tracking, mirroring pif::GhostTracker: a cycle opens at the
+/// root's B-action and closes at its F-action; it is *correct* iff every
+/// processor received the cycle's ghost message in between.
+class SelfStabGhost {
+ public:
+  SelfStabGhost(const graph::Graph& g, sim::ProcessorId root);
+
+  void on_apply(sim::ProcessorId p, sim::ActionId a,
+                const sim::Configuration<SelfStabState>& before,
+                const SelfStabState& after);
+
+  [[nodiscard]] std::uint64_t waves_completed() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] std::uint64_t waves_ok() const noexcept { return ok_; }
+  /// 1-based index of the first correct wave (0 if none yet).
+  [[nodiscard]] std::uint64_t first_ok_wave() const noexcept { return first_ok_; }
+
+ private:
+  sim::ProcessorId root_;
+  sim::ProcessorId n_;
+  bool active_ = false;
+  std::uint64_t message_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t ok_ = 0;
+  std::uint64_t first_ok_ = 0;
+  std::vector<std::uint64_t> msg_;
+  std::vector<bool> received_;
+};
+
+}  // namespace snappif::baselines

@@ -1,0 +1,148 @@
+#include "baselines/tree_pif.hpp"
+
+#include "graph/properties.hpp"
+#include "util/assert.hpp"
+
+namespace snappif::baselines {
+
+TreePifProtocol::TreePifProtocol(const graph::Graph& g, sim::ProcessorId root,
+                                 std::vector<sim::ProcessorId> parent)
+    : root_(root), parent_(std::move(parent)) {
+  SNAPPIF_ASSERT_MSG(
+      graph::spanning_tree_height(g, root, parent_).has_value(),
+      "parent array must encode a spanning tree of g rooted at root");
+  children_.assign(g.n(), {});
+  for (sim::ProcessorId v = 0; v < g.n(); ++v) {
+    if (v != root_) {
+      children_[parent_[v]].push_back(v);
+    }
+  }
+}
+
+std::string_view TreePifProtocol::action_name(sim::ActionId a) const {
+  switch (a) {
+    case kTreeB:
+      return "B-action";
+    case kTreeF:
+      return "F-action";
+    case kTreeC:
+      return "C-action";
+    default:
+      return "?";
+  }
+}
+
+bool TreePifProtocol::children_all(const Config& c, sim::ProcessorId p,
+                                   TreePhase ph) const {
+  for (sim::ProcessorId q : children_[p]) {
+    if (c.state(q).pif != ph) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TreePifProtocol::enabled(const Config& c, sim::ProcessorId p,
+                              sim::ActionId a) const {
+  const TreePhase ph = c.state(p).pif;
+  switch (a) {
+    case kTreeB:
+      if (ph != TreePhase::kC || !children_all(c, p, TreePhase::kC)) {
+        return false;
+      }
+      return p == root_ || c.state(parent_[p]).pif == TreePhase::kB;
+    case kTreeF:
+      return ph == TreePhase::kB && children_all(c, p, TreePhase::kF);
+    case kTreeC:
+      if (ph != TreePhase::kF || !children_all(c, p, TreePhase::kC)) {
+        return false;
+      }
+      return p == root_ || c.state(parent_[p]).pif != TreePhase::kB;
+    default:
+      return false;
+  }
+}
+
+TreePifState TreePifProtocol::apply(const Config& c, sim::ProcessorId p,
+                                    sim::ActionId a) const {
+  TreePifState next = c.state(p);
+  switch (a) {
+    case kTreeB:
+      next.pif = TreePhase::kB;
+      break;
+    case kTreeF:
+      next.pif = TreePhase::kF;
+      break;
+    case kTreeC:
+      next.pif = TreePhase::kC;
+      break;
+    default:
+      SNAPPIF_ASSERT_MSG(false, "unknown action id");
+  }
+  return next;
+}
+
+TreePifState TreePifProtocol::random_state(sim::ProcessorId /*p*/,
+                                           util::Rng& rng) const {
+  TreePifState s;
+  switch (rng.below(3)) {
+    case 0:
+      s.pif = TreePhase::kB;
+      break;
+    case 1:
+      s.pif = TreePhase::kF;
+      break;
+    default:
+      s.pif = TreePhase::kC;
+      break;
+  }
+  return s;
+}
+
+std::vector<TreePifState> TreePifProtocol::all_states(
+    sim::ProcessorId /*p*/) const {
+  return {{TreePhase::kB}, {TreePhase::kF}, {TreePhase::kC}};
+}
+
+TreePifGhost::TreePifGhost(const graph::Graph& g, sim::ProcessorId root)
+    : root_(root), n_(g.n()) {
+  msg_.assign(n_, 0);
+  received_.assign(n_, false);
+}
+
+void TreePifGhost::on_apply(sim::ProcessorId p, sim::ActionId a,
+                            const sim::Configuration<TreePifState>& /*before*/,
+                            const TreePifState& /*after*/,
+                            const TreePifProtocol& proto) {
+  if (p == root_ && a == kTreeB) {
+    ++message_;
+    active_ = true;
+    received_.assign(n_, false);
+    msg_[root_] = message_;
+    received_[root_] = true;
+    return;
+  }
+  if (p == root_ && a == kTreeF) {
+    if (active_) {
+      bool all = true;
+      for (sim::ProcessorId q = 0; q < n_; ++q) {
+        all = all && received_[q];
+      }
+      ++completed_;
+      last_ok_ = all;
+      if (all) {
+        ++ok_;
+      }
+      active_ = false;
+    }
+    return;
+  }
+  if (p != root_ && a == kTreeB) {
+    msg_[p] = msg_[proto.parent_of(p)];
+    if (active_ && msg_[p] == message_) {
+      received_[p] = true;
+    }
+  }
+}
+
+}  // namespace snappif::baselines

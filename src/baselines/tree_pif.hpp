@@ -1,0 +1,123 @@
+// Baseline 1: three-phase PIF over a *pre-constructed* spanning tree.
+//
+// This is the setting of the tree-network PIF protocols the paper cites
+// ([7, 9]): the wave does not build its own tree — it rides a fixed spanning
+// tree given as input.  Each processor keeps only the phase variable
+// Pif in {B, F, C}:
+//
+//   root:      C /\ children all C  ->  B        (broadcast m)
+//              B /\ children all F  ->  F        (feedback complete)
+//              F /\ children all C  ->  C        (cleaning complete)
+//   non-root:  C /\ parent B /\ children all C -> B   (receive + forward)
+//              B /\ children all F  ->  F        (acknowledge)
+//              F /\ parent in {F,C} /\ children all C -> C
+//
+// From a clean start this executes perfect PIF cycles in Theta(h) rounds and
+// is the cost yardstick for E8 (what the arbitrary-network protocol pays for
+// not assuming a spanning tree).  From an arbitrary start it is NOT
+// snap-stabilizing: a stale B processor inside the tree absorbs its
+// descendants into a phantom broadcast whose feedback the root cannot
+// distinguish from the real one — the failure mode motivating the paper.
+// E5 measures exactly that.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/configuration.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::baselines {
+
+enum class TreePhase : std::uint8_t { kB = 0, kF = 1, kC = 2 };
+
+struct TreePifState {
+  TreePhase pif = TreePhase::kC;
+
+  [[nodiscard]] bool operator==(const TreePifState&) const noexcept = default;
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    return static_cast<std::uint64_t>(pif) * 0x9e3779b97f4a7c15ULL + 1;
+  }
+};
+
+enum TreePifAction : sim::ActionId {
+  kTreeB = 0,
+  kTreeF = 1,
+  kTreeC = 2,
+  kTreeNumActions = 3,
+};
+
+class TreePifProtocol {
+ public:
+  using State = TreePifState;
+  using Config = sim::Configuration<State>;
+
+  /// `parent[v]` must encode a spanning tree of g rooted at `root`
+  /// (parent[root] == root).
+  TreePifProtocol(const graph::Graph& g, sim::ProcessorId root,
+                  std::vector<sim::ProcessorId> parent);
+
+  [[nodiscard]] sim::ProcessorId root() const noexcept { return root_; }
+  [[nodiscard]] sim::ProcessorId parent_of(sim::ProcessorId p) const {
+    return parent_.at(p);
+  }
+  [[nodiscard]] const std::vector<sim::ProcessorId>& children_of(
+      sim::ProcessorId p) const {
+    return children_.at(p);
+  }
+
+  // Protocol concept.
+  [[nodiscard]] State initial_state(sim::ProcessorId) const { return {}; }
+  [[nodiscard]] sim::ActionId num_actions() const noexcept { return kTreeNumActions; }
+  [[nodiscard]] std::string_view action_name(sim::ActionId a) const;
+  [[nodiscard]] bool enabled(const Config& c, sim::ProcessorId p,
+                             sim::ActionId a) const;
+  [[nodiscard]] State apply(const Config& c, sim::ProcessorId p,
+                            sim::ActionId a) const;
+  [[nodiscard]] State random_state(sim::ProcessorId p, util::Rng& rng) const;
+  /// The complete state domain of any processor (the three phases).
+  [[nodiscard]] std::vector<State> all_states(sim::ProcessorId p) const;
+
+ private:
+  [[nodiscard]] bool children_all(const Config& c, sim::ProcessorId p,
+                                  TreePhase ph) const;
+
+  sim::ProcessorId root_;
+  std::vector<sim::ProcessorId> parent_;
+  std::vector<std::vector<sim::ProcessorId>> children_;
+};
+
+/// Ghost message tracking for TreePifProtocol, mirroring pif::GhostTracker:
+/// cycles open at the root's B-action and close at its F-action; [PIF1]
+/// requires every processor to have received the cycle's message.
+class TreePifGhost {
+ public:
+  TreePifGhost(const graph::Graph& g, sim::ProcessorId root);
+
+  void on_apply(sim::ProcessorId p, sim::ActionId a,
+                const sim::Configuration<TreePifState>& before,
+                const TreePifState& after, const TreePifProtocol& proto);
+
+  [[nodiscard]] std::uint64_t cycles_completed() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] std::uint64_t cycles_ok() const noexcept { return ok_; }
+  [[nodiscard]] bool last_ok() const noexcept { return last_ok_; }
+  [[nodiscard]] bool cycle_active() const noexcept { return active_; }
+
+ private:
+  sim::ProcessorId root_;
+  sim::ProcessorId n_;
+  bool active_ = false;
+  bool last_ok_ = false;
+  std::uint64_t message_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t ok_ = 0;
+  std::vector<std::uint64_t> msg_;
+  std::vector<bool> received_;
+};
+
+}  // namespace snappif::baselines

@@ -1,0 +1,38 @@
+#include "graph/dot.hpp"
+
+#include "util/assert.hpp"
+
+namespace snappif::graph {
+
+std::string to_dot(const Graph& g, const std::vector<NodeId>& tree_parent,
+                   const std::vector<std::string>& labels) {
+  SNAPPIF_ASSERT(tree_parent.empty() || tree_parent.size() == g.n());
+  SNAPPIF_ASSERT(labels.empty() || labels.size() == g.n());
+  std::string out = "graph G {\n  node [shape=circle];\n";
+  char buf[160];
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (!labels.empty()) {
+      std::snprintf(buf, sizeof(buf), "  %u [label=\"%u\\n%s\"];\n", v, v,
+                    labels[v].c_str());
+      out += buf;
+    }
+  }
+  auto is_tree_edge = [&](NodeId u, NodeId v) {
+    if (tree_parent.empty()) {
+      return false;
+    }
+    return (tree_parent[u] == v && u != v) || (tree_parent[v] == u && v != u);
+  };
+  for (const auto& [u, v] : g.edges()) {
+    if (is_tree_edge(u, v)) {
+      std::snprintf(buf, sizeof(buf), "  %u -- %u [penwidth=3];\n", u, v);
+    } else {
+      std::snprintf(buf, sizeof(buf), "  %u -- %u [style=dashed, color=gray];\n", u, v);
+    }
+    out += buf;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace snappif::graph

@@ -1,0 +1,19 @@
+// Graphviz DOT export, used by examples to visualize the constructed
+// broadcast tree over the network.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace snappif::graph {
+
+/// Renders g in DOT format.  `tree_parent`, if non-empty (size n), highlights
+/// the tree edges (v, tree_parent[v]) in bold; `labels`, if non-empty,
+/// annotates vertices.
+[[nodiscard]] std::string to_dot(const Graph& g,
+                                 const std::vector<NodeId>& tree_parent = {},
+                                 const std::vector<std::string>& labels = {});
+
+}  // namespace snappif::graph

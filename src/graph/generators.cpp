@@ -1,0 +1,273 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::graph {
+
+namespace {
+using util::Rng;
+}  // namespace
+
+Graph make_path(NodeId n) {
+  SNAPPIF_ASSERT(n >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    edges.emplace_back(v, v + 1);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_cycle(NodeId n) {
+  SNAPPIF_ASSERT(n >= 3);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    edges.emplace_back(v, v + 1);
+  }
+  edges.emplace_back(n - 1, 0);
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_star(NodeId n) {
+  SNAPPIF_ASSERT(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (NodeId v = 1; v < n; ++v) {
+    edges.emplace_back(0, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_complete(NodeId n) {
+  SNAPPIF_ASSERT(n >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_complete_bipartite(NodeId a, NodeId b) {
+  SNAPPIF_ASSERT(a >= 1 && b >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(a) * b);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) {
+      edges.emplace_back(u, a + v);
+    }
+  }
+  return Graph::from_edges(a + b, edges);
+}
+
+Graph make_grid(NodeId rows, NodeId cols) {
+  SNAPPIF_ASSERT(rows >= 1 && cols >= 1);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.emplace_back(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows) {
+        edges.emplace_back(id(r, c), id(r + 1, c));
+      }
+    }
+  }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph make_torus(NodeId rows, NodeId cols) {
+  SNAPPIF_ASSERT(rows >= 3 && cols >= 3);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      edges.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      edges.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph make_binary_tree(NodeId n) {
+  SNAPPIF_ASSERT(n >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (NodeId v = 1; v < n; ++v) {
+    edges.emplace_back((v - 1) / 2, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_hypercube(unsigned d) {
+  SNAPPIF_ASSERT(d >= 1 && d <= 20);
+  const NodeId n = NodeId{1} << d;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * d / 2);
+  for (NodeId v = 0; v < n; ++v) {
+    for (unsigned bit = 0; bit < d; ++bit) {
+      const NodeId w = v ^ (NodeId{1} << bit);
+      if (v < w) {
+        edges.emplace_back(v, w);
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_wheel(NodeId n) {
+  SNAPPIF_ASSERT(n >= 4);
+  std::vector<Edge> edges;
+  const NodeId rim = n - 1;
+  for (NodeId v = 1; v <= rim; ++v) {
+    edges.emplace_back(0, v);
+    const NodeId next = (v == rim) ? 1 : v + 1;
+    edges.emplace_back(v, next);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_lollipop(NodeId k, NodeId tail) {
+  SNAPPIF_ASSERT(k >= 2);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < k; ++u) {
+    for (NodeId v = u + 1; v < k; ++v) {
+      edges.emplace_back(u, v);
+    }
+  }
+  for (NodeId t = 0; t < tail; ++t) {
+    const NodeId from = (t == 0) ? k - 1 : k + t - 1;
+    edges.emplace_back(from, k + t);
+  }
+  return Graph::from_edges(k + tail, edges);
+}
+
+Graph make_caterpillar(NodeId spine, NodeId legs) {
+  SNAPPIF_ASSERT(spine >= 1);
+  std::vector<Edge> edges;
+  const NodeId n = spine + spine * legs;
+  for (NodeId s = 0; s + 1 < spine; ++s) {
+    edges.emplace_back(s, s + 1);
+  }
+  NodeId next = spine;
+  for (NodeId s = 0; s < spine; ++s) {
+    for (NodeId l = 0; l < legs; ++l) {
+      edges.emplace_back(s, next++);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_random_tree(NodeId n, std::uint64_t seed) {
+  SNAPPIF_ASSERT(n >= 1);
+  if (n == 1) {
+    return Graph(1);
+  }
+  if (n == 2) {
+    return Graph::from_edges(2, {{0, 1}});
+  }
+  // Decode a uniformly random Prüfer sequence of length n-2.
+  Rng rng(seed);
+  std::vector<NodeId> prufer(n - 2);
+  for (auto& x : prufer) {
+    x = static_cast<NodeId>(rng.below(n));
+  }
+  std::vector<NodeId> degree(n, 1);
+  for (NodeId x : prufer) {
+    ++degree[x];
+  }
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  // Min-leaf decoding via an ordered set of current leaves.
+  std::set<NodeId> leaves;
+  for (NodeId v = 0; v < n; ++v) {
+    if (degree[v] == 1) {
+      leaves.insert(v);
+    }
+  }
+  for (NodeId x : prufer) {
+    const NodeId leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    edges.emplace_back(leaf, x);
+    if (--degree[x] == 1) {
+      leaves.insert(x);
+    }
+  }
+  SNAPPIF_ASSERT(leaves.size() == 2);
+  const NodeId a = *leaves.begin();
+  const NodeId b = *std::next(leaves.begin());
+  edges.emplace_back(a, b);
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_random_connected(NodeId n, std::size_t extra_edges, std::uint64_t seed) {
+  SNAPPIF_ASSERT(n >= 1);
+  Rng rng(seed);
+  const Graph tree = make_random_tree(n, rng());
+  std::vector<Edge> edges = tree.edges();
+  std::set<Edge> present(edges.begin(), edges.end());
+  const std::size_t max_extra =
+      static_cast<std::size_t>(n) * (n - 1) / 2 - edges.size();
+  const std::size_t want = std::min(extra_edges, max_extra);
+  while (present.size() < edges.size() + want) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (u == v) {
+      continue;
+    }
+    const Edge e{std::min(u, v), std::max(u, v)};
+    if (present.insert(e).second) {
+      // inserted; collected below
+    }
+  }
+  std::vector<Edge> all(present.begin(), present.end());
+  return Graph::from_edges(n, all);
+}
+
+std::vector<NamedGraph> standard_suite(NodeId n, std::uint64_t seed) {
+  SNAPPIF_ASSERT(n >= 4);
+  std::vector<NamedGraph> suite;
+  suite.push_back({"line", make_path(n)});
+  suite.push_back({"ring", make_cycle(n)});
+  suite.push_back({"star", make_star(n)});
+  suite.push_back({"complete", make_complete(n)});
+  {
+    // Near-square grid.
+    NodeId rows = 2;
+    while ((rows + 1) * (rows + 1) <= n) {
+      ++rows;
+    }
+    const NodeId cols = std::max<NodeId>(2, n / rows);
+    suite.push_back({"grid", make_grid(rows, cols)});
+  }
+  suite.push_back({"bintree", make_binary_tree(n)});
+  suite.push_back({"lollipop", make_lollipop(std::max<NodeId>(3, n / 2),
+                                             n - std::max<NodeId>(3, n / 2))});
+  suite.push_back({"random", make_random_connected(n, n, seed)});
+  return suite;
+}
+
+std::vector<NamedGraph> tiny_suite() {
+  std::vector<NamedGraph> suite;
+  suite.push_back({"single", Graph(1)});
+  suite.push_back({"edge", make_path(2)});
+  suite.push_back({"path3", make_path(3)});
+  suite.push_back({"triangle", make_cycle(3)});
+  suite.push_back({"path4", make_path(4)});
+  suite.push_back({"star4", make_star(4)});
+  suite.push_back({"cycle4", make_cycle(4)});
+  suite.push_back({"k4", make_complete(4)});
+  suite.push_back({"paw", Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}})});
+  suite.push_back({"diamond", Graph::from_edges(4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}})});
+  return suite;
+}
+
+}  // namespace snappif::graph

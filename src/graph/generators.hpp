@@ -1,0 +1,64 @@
+// Topology generators for the benchmark and test workloads.
+//
+// The paper's evaluation claims are stated over *arbitrary* connected
+// networks, so the harness exercises the algorithm on topologies spanning the
+// extremes the bounds depend on: diameter (line/ring vs star/complete),
+// branching (star, tree), chords (complete, lollipop), and irregular random
+// graphs.  All generators produce connected graphs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace snappif::graph {
+
+/// Path 0-1-2-...-(n-1).  Requires n >= 1.
+[[nodiscard]] Graph make_path(NodeId n);
+/// Cycle of n vertices.  Requires n >= 3.
+[[nodiscard]] Graph make_cycle(NodeId n);
+/// Star: vertex 0 adjacent to all others.  Requires n >= 2.
+[[nodiscard]] Graph make_star(NodeId n);
+/// Complete graph K_n.  Requires n >= 1.
+[[nodiscard]] Graph make_complete(NodeId n);
+/// Complete bipartite K_{a,b} (parts [0,a) and [a,a+b)).  Requires a,b >= 1.
+[[nodiscard]] Graph make_complete_bipartite(NodeId a, NodeId b);
+/// rows x cols grid.  Requires rows, cols >= 1 and rows*cols >= 1.
+[[nodiscard]] Graph make_grid(NodeId rows, NodeId cols);
+/// rows x cols torus (grid with wraparound).  Requires rows, cols >= 3.
+[[nodiscard]] Graph make_torus(NodeId rows, NodeId cols);
+/// Complete binary tree with n vertices (heap indexing).  Requires n >= 1.
+[[nodiscard]] Graph make_binary_tree(NodeId n);
+/// d-dimensional hypercube (2^d vertices).  Requires 1 <= d <= 20.
+[[nodiscard]] Graph make_hypercube(unsigned d);
+/// Wheel: cycle of n-1 vertices plus hub 0.  Requires n >= 4.
+[[nodiscard]] Graph make_wheel(NodeId n);
+/// Lollipop: K_k (vertices [0,k)) with a path of `tail` extra vertices
+/// attached to vertex k-1.  High chordal part + long induced path.
+[[nodiscard]] Graph make_lollipop(NodeId k, NodeId tail);
+/// Caterpillar: spine path of `spine` vertices, each with `legs` pendant
+/// leaves.  Requires spine >= 1.
+[[nodiscard]] Graph make_caterpillar(NodeId spine, NodeId legs);
+/// Random connected graph: uniform random spanning tree (via random Prüfer
+/// sequence) plus `extra_edges` additional distinct random edges.
+[[nodiscard]] Graph make_random_connected(NodeId n, std::size_t extra_edges,
+                                          std::uint64_t seed);
+/// Random tree via Prüfer sequence.  Requires n >= 1.
+[[nodiscard]] Graph make_random_tree(NodeId n, std::uint64_t seed);
+
+/// A named topology instance, the unit of the benchmark sweeps.
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+
+/// The standard suite used across benches/tests: one instance per family,
+/// scaled near `n` vertices (exact vertex counts vary per family).
+[[nodiscard]] std::vector<NamedGraph> standard_suite(NodeId n, std::uint64_t seed);
+
+/// Small graphs (n <= 5) for exhaustive model checking.
+[[nodiscard]] std::vector<NamedGraph> tiny_suite();
+
+}  // namespace snappif::graph

@@ -1,0 +1,79 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace snappif::graph {
+
+Graph::Graph(NodeId n) : offsets_(static_cast<std::size_t>(n) + 1, 0) {}
+
+Graph Graph::from_edges(NodeId n, std::span<const Edge> edges) {
+  // Normalize: orient (min, max), drop self-loops (asserted), dedupe.
+  std::vector<Edge> normalized;
+  normalized.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    SNAPPIF_ASSERT_MSG(u != v, "self-loops are not allowed");
+    SNAPPIF_ASSERT_MSG(u < n && v < n, "edge endpoint out of range");
+    normalized.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(normalized.begin(), normalized.end());
+  normalized.erase(std::unique(normalized.begin(), normalized.end()),
+                   normalized.end());
+
+  Graph g(n);
+  std::vector<std::size_t> deg(n, 0);
+  for (const auto& [u, v] : normalized) {
+    ++deg[u];
+    ++deg[v];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  }
+  g.adjacency_.resize(g.offsets_[n]);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : normalized) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    auto row = g.adjacency_.begin();
+    std::sort(row + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              row + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+Graph Graph::from_edges(NodeId n, std::initializer_list<Edge> edges) {
+  return from_edges(n, std::span<const Edge>(edges.begin(), edges.size()));
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  SNAPPIF_ASSERT(v < n());
+  return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+std::size_t Graph::degree(NodeId v) const {
+  SNAPPIF_ASSERT(v < n());
+  return offsets_[v + 1] - offsets_[v];
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(m());
+  for (NodeId v = 0; v < n(); ++v) {
+    for (NodeId w : neighbors(v)) {
+      if (v < w) {
+        out.emplace_back(v, w);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace snappif::graph

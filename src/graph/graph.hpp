@@ -1,0 +1,55 @@
+// Undirected graph substrate.
+//
+// The paper's network is an arbitrary connected undirected graph of N
+// processors with bidirectional links; each processor reads only its
+// neighbors' variables.  Graph stores the topology in compressed sparse row
+// form with neighbor lists sorted ascending — the sorted order doubles as the
+// paper's arbitrary local total order `≻_p` on Neig_p (used by B-action's
+// min(Potential_p) tie-break).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace snappif::graph {
+
+using NodeId = std::uint32_t;
+using Edge = std::pair<NodeId, NodeId>;
+
+/// Immutable undirected simple graph (no self-loops, no parallel edges).
+class Graph {
+ public:
+  /// Empty graph of `n` isolated vertices.
+  explicit Graph(NodeId n = 0);
+
+  /// Builds from an edge list.  Self-loops are rejected; duplicate edges
+  /// (in either orientation) are collapsed.
+  static Graph from_edges(NodeId n, std::span<const Edge> edges);
+  static Graph from_edges(NodeId n, std::initializer_list<Edge> edges);
+
+  /// Number of vertices.
+  [[nodiscard]] NodeId n() const noexcept { return static_cast<NodeId>(offsets_.size() - 1); }
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t m() const noexcept { return adjacency_.size() / 2; }
+
+  /// Neighbors of `v`, sorted ascending (this order is the local order ≻_v).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const;
+  [[nodiscard]] std::size_t degree(NodeId v) const;
+  /// O(log deg) membership test.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// All edges, each once, with first < second, sorted.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  [[nodiscard]] bool operator==(const Graph& other) const noexcept = default;
+
+ private:
+  // CSR: adjacency_[offsets_[v] .. offsets_[v+1]) are v's neighbors.
+  std::vector<std::size_t> offsets_;
+  std::vector<NodeId> adjacency_;
+};
+
+}  // namespace snappif::graph

@@ -1,0 +1,182 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace snappif::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  SNAPPIF_ASSERT(source < g.n());
+  std::vector<std::uint32_t> dist(g.n(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId w : g.neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+BfsTree bfs_tree(const Graph& g, NodeId source) {
+  SNAPPIF_ASSERT(source < g.n());
+  BfsTree tree;
+  tree.parent.resize(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    tree.parent[v] = v;
+  }
+  tree.depth.assign(g.n(), kUnreachable);
+  tree.depth[source] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    tree.height = std::max(tree.height, tree.depth[v]);
+    for (NodeId w : g.neighbors(v)) {
+      if (tree.depth[w] == kUnreachable) {
+        tree.depth[w] = tree.depth[v] + 1;
+        tree.parent[w] = v;
+        frontier.push(w);
+      }
+    }
+  }
+  return tree;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.n() == 0) {
+    return true;
+  }
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId v) {
+  const auto dist = bfs_distances(g, v);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    SNAPPIF_ASSERT_MSG(d != kUnreachable, "eccentricity requires a connected graph");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  std::uint32_t diam = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    diam = std::max(diam, eccentricity(g, v));
+  }
+  return diam;
+}
+
+namespace {
+
+void chordless_dfs(const Graph& g, std::vector<NodeId>& path,
+                   std::vector<bool>& on_path, std::uint32_t& best) {
+  best = std::max(best, static_cast<std::uint32_t>(path.size() - 1));
+  const NodeId tip = path.back();
+  for (NodeId w : g.neighbors(tip)) {
+    if (on_path[w]) {
+      continue;
+    }
+    // Chordless: w may be adjacent only to the current tip among path
+    // members.
+    bool chord = false;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (g.has_edge(w, path[i])) {
+        chord = true;
+        break;
+      }
+    }
+    if (chord) {
+      continue;
+    }
+    path.push_back(w);
+    on_path[w] = true;
+    chordless_dfs(g, path, on_path, best);
+    on_path[w] = false;
+    path.pop_back();
+  }
+}
+
+}  // namespace
+
+std::uint32_t longest_chordless_path_from(const Graph& g, NodeId source, NodeId max_n) {
+  SNAPPIF_ASSERT_MSG(g.n() <= max_n,
+                     "exhaustive chordless-path search is exponential; graph too large");
+  SNAPPIF_ASSERT(source < g.n());
+  std::vector<NodeId> path{source};
+  std::vector<bool> on_path(g.n(), false);
+  on_path[source] = true;
+  std::uint32_t best = 0;
+  chordless_dfs(g, path, on_path, best);
+  return best;
+}
+
+bool is_chordless_path(const Graph& g, std::span<const NodeId> path) {
+  if (path.empty()) {
+    return false;
+  }
+  std::vector<bool> seen(g.n(), false);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (path[i] >= g.n() || seen[path[i]]) {
+      return false;
+    }
+    seen[path[i]] = true;
+    if (i + 1 < path.size() && !g.has_edge(path[i], path[i + 1])) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    for (std::size_t j = i + 2; j < path.size(); ++j) {
+      if (g.has_edge(path[i], path[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<std::uint32_t> spanning_tree_height(const Graph& g, NodeId root,
+                                                  std::span<const NodeId> parent) {
+  if (parent.size() != g.n() || root >= g.n() || parent[root] != root) {
+    return std::nullopt;
+  }
+  std::vector<std::uint32_t> depth(g.n(), kUnreachable);
+  depth[root] = 0;
+  std::uint32_t height = 0;
+  for (NodeId start = 0; start < g.n(); ++start) {
+    // Walk up to a vertex of known depth, recording the chain.
+    std::vector<NodeId> chain;
+    NodeId v = start;
+    while (depth[v] == kUnreachable) {
+      chain.push_back(v);
+      const NodeId p = parent[v];
+      if (p == v || p >= g.n() || !g.has_edge(v, p)) {
+        return std::nullopt;  // non-root fixpoint, bad id, or non-edge parent
+      }
+      if (chain.size() > g.n()) {
+        return std::nullopt;  // cycle
+      }
+      v = p;
+    }
+    std::uint32_t d = depth[v];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      depth[*it] = ++d;
+    }
+    height = std::max(height, d);
+  }
+  return height;
+}
+
+}  // namespace snappif::graph

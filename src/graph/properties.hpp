@@ -1,0 +1,57 @@
+// Structural graph properties used by the experiment harness.
+//
+// The paper's complexity bounds are phrased in terms of the network diameter,
+// the height `h` of the dynamically constructed broadcast tree, and the
+// length of the longest elementary *chordless* path (Theorem 4's remark).
+// This module computes those quantities on the workload graphs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace snappif::graph {
+
+/// Distance (in hops) of unreachable vertices.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffU;
+
+/// BFS distances from `source` (kUnreachable where disconnected).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// BFS tree parents from `source`; parent of source and of unreachable
+/// vertices is the vertex itself.
+struct BfsTree {
+  std::vector<NodeId> parent;
+  std::vector<std::uint32_t> depth;
+  std::uint32_t height = 0;  // max depth over reachable vertices
+};
+[[nodiscard]] BfsTree bfs_tree(const Graph& g, NodeId source);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Eccentricity of v: max distance to any vertex.  Graph must be connected.
+[[nodiscard]] std::uint32_t eccentricity(const Graph& g, NodeId v);
+/// Diameter (max eccentricity).  Graph must be connected.
+[[nodiscard]] std::uint32_t diameter(const Graph& g);
+
+/// Length (edge count) of the longest elementary chordless path starting at
+/// `source`, computed by exhaustive DFS.  Exponential — intended for graphs
+/// with <= ~20 vertices; asserts if n exceeds `max_n`.
+[[nodiscard]] std::uint32_t longest_chordless_path_from(const Graph& g, NodeId source,
+                                                        NodeId max_n = 20);
+
+/// Checks whether the vertex sequence `path` is an elementary chordless path
+/// in g: consecutive vertices adjacent, all distinct, and no edge between
+/// non-consecutive members.
+[[nodiscard]] bool is_chordless_path(const Graph& g, std::span<const NodeId> path);
+
+/// Validates that `parent` encodes a spanning tree of g rooted at `root`:
+/// parent[root] == root, every other vertex's parent is a neighbor, and
+/// following parents reaches the root without cycles.  Returns tree height,
+/// or nullopt if invalid.
+[[nodiscard]] std::optional<std::uint32_t> spanning_tree_height(
+    const Graph& g, NodeId root, std::span<const NodeId> parent);
+
+}  // namespace snappif::graph

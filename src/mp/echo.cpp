@@ -1,0 +1,66 @@
+#include "mp/echo.hpp"
+
+#include "util/assert.hpp"
+
+namespace snappif::mp {
+
+EchoProtocol::EchoProtocol(const graph::Graph& g, ProcessorId root,
+                           std::uint64_t payload)
+    : graph_(&g), root_(root), payload_(payload) {
+  SNAPPIF_ASSERT(root < g.n());
+  received_.assign(g.n(), false);
+  payload_seen_.assign(g.n(), 0);
+  parent_.resize(g.n());
+  pending_.resize(g.n());
+  acked_.assign(g.n(), false);
+  for (ProcessorId p = 0; p < g.n(); ++p) {
+    parent_[p] = p;
+    pending_[p] = static_cast<std::uint32_t>(g.degree(p));
+  }
+}
+
+void EchoProtocol::on_start(ProcessorId p, Mailer& mailer) {
+  if (p != root_) {
+    return;
+  }
+  received_[root_] = true;
+  payload_seen_[root_] = payload_;
+  for (ProcessorId q : graph_->neighbors(root_)) {
+    mailer.send(root_, q, Message{kToken, payload_, 0});
+  }
+}
+
+void EchoProtocol::maybe_ack(ProcessorId p, Mailer& mailer) {
+  if (pending_[p] != 0 || acked_[p]) {
+    return;
+  }
+  acked_[p] = true;
+  if (p == root_) {
+    completed_ = true;
+    return;
+  }
+  mailer.send(p, parent_[p], Message{kEcho, payload_seen_[p], 0});
+}
+
+void EchoProtocol::on_message(ProcessorId p, ProcessorId from, const Message& m,
+                              Mailer& mailer) {
+  SNAPPIF_ASSERT(m.kind == kToken || m.kind == kEcho);
+  // Every incoming message (token or echo) settles one incident edge.
+  SNAPPIF_ASSERT_MSG(pending_[p] > 0, "more messages than incident edges");
+  --pending_[p];
+
+  if (m.kind == kToken && !received_[p] && p != root_) {
+    // First token: adopt the sender as parent, forward everywhere else.
+    received_[p] = true;
+    payload_seen_[p] = m.a;
+    parent_[p] = from;
+    for (ProcessorId q : graph_->neighbors(p)) {
+      if (q != from) {
+        mailer.send(p, q, Message{kToken, m.a, 0});
+      }
+    }
+  }
+  maybe_ack(p, mailer);
+}
+
+}  // namespace snappif::mp

@@ -1,0 +1,65 @@
+// Chang's echo algorithm (reference [10]; also Segall [21]) — the original,
+// fault-free PIF on reliable asynchronous channels.
+//
+//   * the root sends TOKEN(m) over every incident edge;
+//   * a non-root, on its FIRST token, adopts the sender as parent and
+//     forwards TOKEN(m) over every other incident edge;
+//   * every processor sends exactly one message per incident edge; once a
+//     processor has received one message on every incident edge (tokens
+//     from non-parents count as echoes), it sends ECHO(m) to its parent;
+//   * the wave terminates when the root has received a message on every
+//     incident edge.
+//
+// Classic properties (verified in tests): exactly 2|E| messages, spanning
+// tree construction, completion after ~2*ecc(root) synchronous rounds,
+// [PIF1] and [PIF2] always — but only under the no-fault assumption: a
+// single lost message deadlocks the wave forever, which is the gap the
+// paper's snap-stabilizing protocol closes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/network.hpp"
+
+namespace snappif::mp {
+
+class EchoProtocol final : public IMpProtocol {
+ public:
+  static constexpr std::uint8_t kToken = 1;
+  static constexpr std::uint8_t kEcho = 2;
+
+  EchoProtocol(const graph::Graph& g, ProcessorId root, std::uint64_t payload);
+
+  void on_start(ProcessorId p, Mailer& mailer) override;
+  void on_message(ProcessorId p, ProcessorId from, const Message& m,
+                  Mailer& mailer) override;
+
+  /// Did the feedback phase reach the root?
+  [[nodiscard]] bool completed() const noexcept { return completed_; }
+  /// Has processor p received the broadcast payload?
+  [[nodiscard]] bool received(ProcessorId p) const { return received_.at(p); }
+  [[nodiscard]] std::uint64_t payload_of(ProcessorId p) const {
+    return payload_seen_.at(p);
+  }
+  /// Parent array of the constructed spanning tree (root: self).
+  [[nodiscard]] const std::vector<ProcessorId>& parents() const noexcept {
+    return parent_;
+  }
+  [[nodiscard]] ProcessorId root() const noexcept { return root_; }
+
+ private:
+  void maybe_ack(ProcessorId p, Mailer& mailer);
+
+  const graph::Graph* graph_;
+  ProcessorId root_;
+  std::uint64_t payload_;
+  bool completed_ = false;
+  std::vector<bool> received_;
+  std::vector<std::uint64_t> payload_seen_;
+  std::vector<ProcessorId> parent_;
+  std::vector<std::uint32_t> pending_;  // incident edges still owing a message
+  std::vector<bool> acked_;             // sent the echo upward already
+};
+
+}  // namespace snappif::mp

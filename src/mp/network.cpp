@@ -1,0 +1,111 @@
+#include "mp/network.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace snappif::mp {
+
+Network::Network(const graph::Graph& g, IMpProtocol& protocol,
+                 Delivery delivery, std::uint64_t seed)
+    : graph_(&g), protocol_(&protocol), delivery_(delivery), rng_(seed) {
+  inbox_.resize(g.n());
+  for (ProcessorId p = 0; p < g.n(); ++p) {
+    inbox_[p].resize(g.degree(p));
+  }
+}
+
+std::size_t Network::channel_index(ProcessorId from, ProcessorId to) const {
+  const auto nbrs = graph_->neighbors(to);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), from);
+  SNAPPIF_ASSERT_MSG(it != nbrs.end() && *it == from,
+                     "send along a non-edge");
+  return static_cast<std::size_t>(it - nbrs.begin());
+}
+
+void Network::send(ProcessorId from, ProcessorId to, const Message& m) {
+  ++sent_;
+  if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) {
+    ++dropped_;
+    return;
+  }
+  inbox_[to][channel_index(from, to)].push_back({from, m});
+  ++in_flight_;
+}
+
+void Network::start() {
+  SNAPPIF_ASSERT_MSG(!started_, "start() called twice");
+  started_ = true;
+  for (ProcessorId p = 0; p < graph_->n(); ++p) {
+    protocol_->on_start(p, *this);
+  }
+}
+
+bool Network::step() {
+  SNAPPIF_ASSERT_MSG(started_, "step() before start()");
+  if (in_flight_ == 0) {
+    return false;
+  }
+  if (delivery_ == Delivery::kSynchronous) {
+    // Deliver exactly the messages in flight NOW (newly sent ones wait for
+    // the next round).
+    struct Pending {
+      ProcessorId to;
+      ProcessorId from;
+      Message message;
+    };
+    std::vector<Pending> batch;
+    for (ProcessorId p = 0; p < graph_->n(); ++p) {
+      for (auto& queue : inbox_[p]) {
+        while (!queue.empty()) {
+          batch.push_back({p, queue.front().from, queue.front().message});
+          queue.pop_front();
+          --in_flight_;
+        }
+      }
+    }
+    for (const Pending& pending : batch) {
+      ++delivered_;
+      protocol_->on_message(pending.to, pending.from, pending.message, *this);
+    }
+    ++rounds_;
+    return true;
+  }
+
+  // kRandomChannel: pick a uniformly random non-empty (receiver, slot).
+  // Weighted by queue? Uniform over non-empty channels is the common
+  // adversary abstraction; FIFO within a channel preserved.
+  std::vector<std::pair<ProcessorId, std::size_t>> channels;
+  for (ProcessorId p = 0; p < graph_->n(); ++p) {
+    for (std::size_t slot = 0; slot < inbox_[p].size(); ++slot) {
+      if (!inbox_[p][slot].empty()) {
+        channels.emplace_back(p, slot);
+      }
+    }
+  }
+  SNAPPIF_ASSERT(!channels.empty());
+  const auto [to, slot] = channels[rng_.below(channels.size())];
+  const InFlight head = inbox_[to][slot].front();
+  inbox_[to][slot].pop_front();
+  --in_flight_;
+  ++delivered_;
+  protocol_->on_message(to, head.from, head.message, *this);
+  return true;
+}
+
+bool Network::run(std::uint64_t max_deliveries) {
+  if (!started_) {
+    start();
+  }
+  std::uint64_t budget = max_deliveries;
+  while (in_flight_ > 0) {
+    if (budget == 0) {
+      return false;
+    }
+    --budget;
+    step();
+  }
+  return true;
+}
+
+}  // namespace snappif::mp

@@ -1,0 +1,120 @@
+// Message-passing substrate.
+//
+// The PIF concept originates in the message-passing world (Chang's echo
+// algorithm [10], Segall's propagation of information with feedback [21]);
+// the paper recasts it into the locally-shared-memory model to make
+// snap-stabilization possible.  This substrate implements the original
+// model so the repository can run the fault-free ancestor as a reference
+// point: asynchronous reliable channels, an adversarial delivery scheduler,
+// and a synchronous mode that measures time in hops.
+//
+// Fault-tolerance contrast: the substrate also supports dropping messages —
+// classic echo deadlocks permanently after a single loss (no retransmission,
+// no stabilization), which is precisely the failure class self-/snap-
+// stabilization addresses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::mp {
+
+using sim::ProcessorId;
+
+/// A small fixed-shape message (kind + two payload words) — enough for the
+/// wave algorithms here without type erasure.
+struct Message {
+  std::uint8_t kind = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Send-side API handed to protocol callbacks.
+class Mailer {
+ public:
+  virtual ~Mailer() = default;
+  virtual void send(ProcessorId from, ProcessorId to, const Message& m) = 0;
+};
+
+/// A message-passing protocol: event handlers, no direct state access by the
+/// network (protocols own their per-processor state).
+class IMpProtocol {
+ public:
+  virtual ~IMpProtocol() = default;
+  /// Called once per processor before any delivery.
+  virtual void on_start(ProcessorId p, Mailer& mailer) = 0;
+  virtual void on_message(ProcessorId p, ProcessorId from, const Message& m,
+                          Mailer& mailer) = 0;
+};
+
+/// How the adversary schedules deliveries.
+enum class Delivery {
+  kRandomChannel,   // asynchronous: uniformly random non-empty channel,
+                    // FIFO within each channel
+  kSynchronous,     // lock-step: all in-flight messages deliver each round
+};
+
+class Network final : public Mailer {
+ public:
+  Network(const graph::Graph& g, IMpProtocol& protocol, Delivery delivery,
+          std::uint64_t seed);
+
+  /// Probability of silently dropping each sent message (default 0: the
+  /// classic reliable-channel assumption).
+  void set_loss_rate(double rate) noexcept { loss_rate_ = rate; }
+
+  /// Invokes on_start everywhere, then delivers until quiescence or the
+  /// delivery budget is exhausted.  Returns true iff the network quiesced.
+  bool run(std::uint64_t max_deliveries = 10'000'000);
+
+  /// Delivers at most one message (kRandomChannel) or one synchronous round
+  /// (kSynchronous).  Returns false when no message is in flight.
+  bool step();
+
+  void start();
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+    return delivered_;
+  }
+  [[nodiscard]] std::uint64_t messages_dropped() const noexcept {
+    return dropped_;
+  }
+  [[nodiscard]] std::uint64_t in_flight() const noexcept { return in_flight_; }
+  /// Synchronous mode: completed delivery rounds ("hops" of wall time).
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+
+  // Mailer:
+  void send(ProcessorId from, ProcessorId to, const Message& m) override;
+
+ private:
+  struct InFlight {
+    ProcessorId from;
+    Message message;
+  };
+
+  [[nodiscard]] std::size_t channel_index(ProcessorId from, ProcessorId to) const;
+
+  const graph::Graph* graph_;
+  IMpProtocol* protocol_;
+  Delivery delivery_;
+  util::Rng rng_;
+  double loss_rate_ = 0.0;
+
+  // One FIFO per directed edge; channels_[to] groups by receiver.
+  std::vector<std::vector<std::deque<InFlight>>> inbox_;  // [to][slot]
+  std::vector<ProcessorId> nonempty_;  // receivers with pending messages
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t rounds_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace snappif::mp

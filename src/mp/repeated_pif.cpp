@@ -1,0 +1,96 @@
+#include "mp/repeated_pif.hpp"
+
+#include "util/assert.hpp"
+
+namespace snappif::mp {
+
+RepeatedPifProtocol::RepeatedPifProtocol(const graph::Graph& g,
+                                         ProcessorId root)
+    : graph_(&g), root_(root) {
+  SNAPPIF_ASSERT(root < g.n());
+  seen_.assign(g.n(), 0);
+  payload_.assign(g.n(), 0);
+  parent_.resize(g.n());
+  pending_.assign(g.n(), 0);
+  acked_.assign(g.n(), true);
+  for (ProcessorId p = 0; p < g.n(); ++p) {
+    parent_[p] = p;
+  }
+}
+
+void RepeatedPifProtocol::on_start(ProcessorId /*p*/, Mailer& /*mailer*/) {
+  // Waves are started explicitly via start_wave.
+}
+
+void RepeatedPifProtocol::start_wave(Mailer& mailer, std::uint64_t payload) {
+  ++seq_;
+  seen_[root_] = seq_;
+  payload_[root_] = payload;
+  pending_[root_] = static_cast<std::uint32_t>(graph_->degree(root_));
+  acked_[root_] = false;
+  for (ProcessorId q : graph_->neighbors(root_)) {
+    mailer.send(root_, q, Message{kToken, seq_, payload});
+  }
+  if (graph_->degree(root_) == 0) {
+    acked_[root_] = true;
+    ++completed_;
+    ++ok_;
+  }
+}
+
+void RepeatedPifProtocol::maybe_ack(ProcessorId p, Mailer& mailer) {
+  if (pending_[p] != 0 || acked_[p]) {
+    return;
+  }
+  acked_[p] = true;
+  if (p == root_) {
+    ++completed_;
+    // Observed (omniscient-checker) wave verdict: everyone on seq_ with the
+    // root's payload.
+    bool all = true;
+    for (ProcessorId q = 0; q < graph_->n(); ++q) {
+      all = all && seen_[q] == seq_ && payload_[q] == payload_[root_];
+    }
+    if (all) {
+      ++ok_;
+    }
+    return;
+  }
+  mailer.send(p, parent_[p], Message{kEcho, seen_[p], 0});
+}
+
+void RepeatedPifProtocol::on_message(ProcessorId p, ProcessorId from,
+                                     const Message& m, Mailer& mailer) {
+  SNAPPIF_ASSERT(m.kind == kToken || m.kind == kEcho);
+  if (m.kind == kToken) {
+    if (m.a > seen_[p]) {
+      // A fresh wave (by p's reckoning): adopt, reset per-wave bookkeeping.
+      seen_[p] = m.a;
+      payload_[p] = m.b;
+      parent_[p] = from;
+      pending_[p] = static_cast<std::uint32_t>(graph_->degree(p)) - 1;
+      acked_[p] = false;
+      for (ProcessorId q : graph_->neighbors(p)) {
+        if (q != from) {
+          mailer.send(p, q, Message{kToken, m.a, m.b});
+        }
+      }
+      maybe_ack(p, mailer);
+      return;
+    }
+    // A token of p's current wave from a non-parent: counts as an echo.
+    // Stale tokens (older waves) are ignored entirely.
+    if (m.a == seen_[p] && pending_[p] > 0) {
+      --pending_[p];
+      maybe_ack(p, mailer);
+    }
+    return;
+  }
+  // Echo: only current-wave echoes count.
+  if (m.a == seen_[p] && pending_[p] > 0) {
+    --pending_[p];
+    maybe_ack(p, mailer);
+  }
+}
+
+}  // namespace snappif::mp

@@ -1,0 +1,72 @@
+// Segall-style repeated PIF with sequence numbers (reference [21]).
+//
+// Chang's echo handles one wave; Segall's propagation of information with
+// feedback runs an unbounded sequence of waves, distinguished by sequence
+// numbers: the root numbers each broadcast; a processor joins wave k when it
+// first sees a token numbered k > its highest seen, and the usual echo
+// bookkeeping runs per wave.
+//
+// This is the message-passing state of the art the self-/snap-stabilizing
+// line of work starts from, and it exhibits the classic limitation the
+// shared-memory reformulation addresses: sequence numbers survive crashes of
+// *waves* (a new wave supersedes a broken one) but NOT arbitrary state
+// corruption — a single phantom token carrying a future sequence number
+// makes every receiver deaf to legitimate waves until the root's counter
+// catches up (tests demonstrate the lost waves).  With bounded counters the
+// adversary can even wrap them; unbounded counters are un-implementable —
+// the impossibility folklore motivating snap-stabilization's different
+// route (exact N + local checking instead of unbounded names).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/network.hpp"
+
+namespace snappif::mp {
+
+class RepeatedPifProtocol final : public IMpProtocol {
+ public:
+  static constexpr std::uint8_t kToken = 1;  // a = seq, b = payload
+  static constexpr std::uint8_t kEcho = 2;   // a = seq
+
+  RepeatedPifProtocol(const graph::Graph& g, ProcessorId root);
+
+  void on_start(ProcessorId p, Mailer& mailer) override;
+  void on_message(ProcessorId p, ProcessorId from, const Message& m,
+                  Mailer& mailer) override;
+
+  /// Starts wave `waves_started()+1` carrying `payload` (root only; call
+  /// only when the previous wave completed — the classic usage).
+  void start_wave(Mailer& mailer, std::uint64_t payload);
+
+  [[nodiscard]] std::uint64_t waves_started() const noexcept { return seq_; }
+  [[nodiscard]] std::uint64_t waves_completed() const noexcept {
+    return completed_;
+  }
+  /// Waves whose completion was observed with every processor having
+  /// received that wave's payload.
+  [[nodiscard]] std::uint64_t waves_ok() const noexcept { return ok_; }
+  [[nodiscard]] std::uint64_t highest_seq_seen(ProcessorId p) const {
+    return seen_.at(p);
+  }
+  [[nodiscard]] std::uint64_t payload_of(ProcessorId p) const {
+    return payload_.at(p);
+  }
+
+ private:
+  void maybe_ack(ProcessorId p, Mailer& mailer);
+
+  const graph::Graph* graph_;
+  ProcessorId root_;
+  std::uint64_t seq_ = 0;        // root's wave counter
+  std::uint64_t completed_ = 0;
+  std::uint64_t ok_ = 0;
+  std::vector<std::uint64_t> seen_;     // highest sequence number seen
+  std::vector<std::uint64_t> payload_;  // payload of that wave
+  std::vector<ProcessorId> parent_;
+  std::vector<std::uint32_t> pending_;  // outstanding edges, current wave
+  std::vector<bool> acked_;
+};
+
+}  // namespace snappif::mp

@@ -1,0 +1,134 @@
+// Global aggregation over one PIF cycle — the "distributed infimum function
+// computation" / snapshot use-case the paper's introduction lists, and the
+// building block of the "universal transformer" its conclusion announces
+// (wrap any request/response computation in a snap-stabilizing wave).
+//
+// Semantics: when a processor joins the broadcast (its B-action) it
+// snapshots a local contribution; when it feeds back (its F-action) it folds
+// its contribution with its tree children's folded values; the root's
+// F-action completes the global fold.  Because the protocol is
+// snap-stabilizing, the FIRST wave after any corruption already aggregates
+// over *all* N processors — no stabilization period during which results
+// silently cover only part of the network.
+//
+// Correctness requires each processor to contribute exactly once per cycle,
+// which holds because a processor cannot rejoin the legal tree within one
+// root-initiated cycle: re-joining requires having cleaned (C-action under
+// BFree), and a broadcasting neighbor can only (re)appear next to a cleaned
+// processor through a chain of B-actions that must terminate in a fresh
+// join — impossible once Fok_r has risen, since Fok_r requires Count_r = N,
+// i.e. everyone already joined.  The GhostTracker records per-cycle receive
+// counts (CycleVerdict::max_receives) and the test suite asserts the
+// invariant across every adversarial run.
+//
+// The fold must be a commutative monoid (fold order across siblings is
+// schedule-dependent).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "pif/ghost.hpp"
+#include "pif/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+
+template <typename T>
+class WaveAggregator {
+ public:
+  /// `local` is sampled at each processor the moment it joins the wave.
+  /// `fold` combines two partial aggregates (commutative, associative).
+  WaveAggregator(const graph::Graph& g, sim::ProcessorId root,
+                 std::function<T(sim::ProcessorId)> local,
+                 std::function<T(const T&, const T&)> fold)
+      : root_(root),
+        n_(g.n()),
+        local_(std::move(local)),
+        fold_(std::move(fold)),
+        contribution_(g.n()),
+        subtree_(g.n()) {}
+
+  /// Wire AFTER the GhostTracker's own on_apply (the aggregator consults the
+  /// tracker's view of the same step).
+  void on_apply(sim::ProcessorId p, sim::ActionId a,
+                const sim::Configuration<State>& before,
+                const State& /*after*/, const GhostTracker& tracker) {
+    if (a == kBAction) {
+      if (p == root_) {
+        contribution_[p] = local_(p);
+        result_.reset();
+      } else if (tracker.cycle_active() &&
+                 tracker.message_of(p) == tracker.current_message()) {
+        // p just received the current message: snapshot its contribution.
+        contribution_[p] = local_(p);
+      }
+      return;
+    }
+    if (a != kFAction || !tracker.cycle_active()) {
+      return;
+    }
+    if (tracker.message_of(p) != tracker.current_message()) {
+      return;  // phantom-tree feedback: not part of this wave
+    }
+    // Fold p's subtree: its contribution plus every legal child's folded
+    // value.  BLeaf(p) guarantees all pointers at p are already in F.
+    T acc = contribution_[p];
+    for (sim::ProcessorId q : before.neighbors(p)) {
+      if (before.state(q).parent == p && before.state(q).pif == Phase::kF &&
+          tracker.message_of(q) == tracker.current_message() &&
+          tracker.received_current(q)) {
+        acc = fold_(acc, subtree_[q]);
+      }
+    }
+    if (p == root_) {
+      result_ = acc;  // the global aggregate, available as the cycle closes
+      ++results_computed_;
+    } else {
+      subtree_[p] = acc;
+    }
+  }
+
+  /// The aggregate of the most recently completed wave, if any.
+  [[nodiscard]] const std::optional<T>& result() const noexcept { return result_; }
+  [[nodiscard]] std::uint64_t results_computed() const noexcept {
+    return results_computed_;
+  }
+
+ private:
+  sim::ProcessorId root_;
+  sim::ProcessorId n_;
+  std::function<T(sim::ProcessorId)> local_;
+  std::function<T(const T&, const T&)> fold_;
+  std::vector<T> contribution_;
+  std::vector<T> subtree_;
+  std::optional<T> result_;
+  std::uint64_t results_computed_ = 0;
+};
+
+/// Convenience: installs tracker + aggregator as the simulator's apply hook.
+/// Ordering matters: the aggregator must observe the root's F-action while
+/// the tracker still reports the cycle as active (the tracker's own handler
+/// closes it), but must see a joiner's ghost message only after the tracker
+/// assigned it.
+template <typename T>
+void attach(sim::Simulator<PifProtocol>& sim, GhostTracker& tracker,
+            WaveAggregator<T>& aggregator) {
+  const sim::ProcessorId root = sim.protocol().root();
+  sim.set_apply_hook([&sim, &tracker, &aggregator, root](
+                         sim::ProcessorId p, sim::ActionId a,
+                         const sim::Configuration<State>& before,
+                         const State& after) {
+    tracker.note_step(sim.steps());
+    if (p == root && a == kFAction) {
+      aggregator.on_apply(p, a, before, after, tracker);
+      tracker.on_apply(p, a, after);
+    } else {
+      tracker.on_apply(p, a, after);
+      aggregator.on_apply(p, a, before, after, tracker);
+    }
+  });
+}
+
+}  // namespace snappif::pif

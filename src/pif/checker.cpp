@@ -1,0 +1,310 @@
+#include "pif/checker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "graph/properties.hpp"
+#include "util/assert.hpp"
+
+namespace snappif::pif {
+
+bool Checker::all_normal(const Config& c) const {
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    if (!protocol_->normal(c, p)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<sim::ProcessorId> Checker::abnormal(const Config& c) const {
+  std::vector<sim::ProcessorId> out;
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    if (!protocol_->normal(c, p)) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+bool Checker::all_c(const Config& c) const {
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    if (c.state(p).pif != Phase::kC) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ConfigClass Checker::classify(const Config& c) const {
+  ConfigClass cls;
+  const sim::ProcessorId r = protocol_->root();
+  const State& sr = c.state(r);
+  cls.normal = all_normal(c);
+  cls.broadcast = sr.pif == Phase::kB && !sr.fok;
+  cls.start_broadcast = sr.pif == Phase::kC;
+  cls.sbn = cls.start_broadcast && cls.normal;
+  cls.end_feedback = sr.pif == Phase::kF;
+  cls.efn = cls.end_feedback && cls.normal;
+  bool all_b = true;
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    all_b = all_b && c.state(p).pif == Phase::kB;
+  }
+  cls.ebn = cls.normal && !sr.fok && all_b;
+  return cls;
+}
+
+std::vector<sim::ProcessorId> Checker::parent_path(const Config& c,
+                                                   sim::ProcessorId p) const {
+  std::vector<sim::ProcessorId> path;
+  if (p != protocol_->root() && c.state(p).pif == Phase::kC) {
+    return path;  // ParentPath is defined for Pif_p != C only
+  }
+  sim::ProcessorId cur = p;
+  path.push_back(cur);
+  // Extend while the current extremity is a normal non-root processor.
+  while (cur != protocol_->root() && protocol_->normal(c, cur) &&
+         path.size() <= c.n()) {
+    cur = c.state(cur).parent;
+    SNAPPIF_ASSERT(cur < c.n());
+    path.push_back(cur);
+  }
+  // A cycle through normal processors is impossible (GoodLevel forces levels
+  // to strictly decrease toward the extremity); the cap is defensive.
+  SNAPPIF_ASSERT_MSG(path.size() <= c.n(), "parent chain longer than n: cycle?");
+  return path;
+}
+
+std::vector<bool> Checker::legal_tree(const Config& c) const {
+  const sim::ProcessorId r = protocol_->root();
+  // memo: 0 = unknown, 1 = in, 2 = out
+  std::vector<std::uint8_t> memo(c.n(), 0);
+  memo[r] = c.state(r).pif != Phase::kC ? 1 : 2;
+
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    if (memo[p] != 0) {
+      continue;
+    }
+    std::vector<sim::ProcessorId> chain;
+    sim::ProcessorId cur = p;
+    std::uint8_t verdict = 0;
+    while (true) {
+      if (memo[cur] != 0) {
+        verdict = memo[cur];
+        break;
+      }
+      if (c.state(cur).pif == Phase::kC || !protocol_->normal(c, cur)) {
+        // cur itself can't extend a path (abnormal extremity or not
+        // participating): cur is out (it is not the root; handled above).
+        verdict = 2;
+        chain.push_back(cur);
+        break;
+      }
+      chain.push_back(cur);
+      cur = c.state(cur).parent;
+      if (chain.size() > c.n()) {
+        verdict = 2;  // defensive: parent cycle through seemingly-normal nodes
+        break;
+      }
+    }
+    for (sim::ProcessorId q : chain) {
+      memo[q] = verdict;
+    }
+  }
+  std::vector<bool> legal(c.n(), false);
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    legal[p] = memo[p] == 1;
+  }
+  return legal;
+}
+
+std::uint32_t Checker::legal_tree_height(const Config& c) const {
+  const auto legal = legal_tree(c);
+  std::uint32_t height = 0;
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    if (legal[p]) {
+      height = std::max(height, c.state(p).level);
+    }
+  }
+  return height;
+}
+
+std::size_t Checker::legal_tree_size(const Config& c) const {
+  const auto legal = legal_tree(c);
+  return static_cast<std::size_t>(std::count(legal.begin(), legal.end(), true));
+}
+
+bool Checker::good_configuration(const Config& c) const {
+  const auto legal = legal_tree(c);
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    if (legal[p] || p == protocol_->root()) {
+      continue;
+    }
+    const State& sp = c.state(p);
+    if ((sp.pif == Phase::kB || sp.pif == Phase::kF) && legal[sp.parent]) {
+      if (!protocol_->good_count(c, p)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Checker::property1_holds(const Config& c) const {
+  const sim::ProcessorId r = protocol_->root();
+  const State& sr = c.state(r);
+  // Antecedent: the root is in a *legitimate* broadcast phase.  The paper
+  // writes (Pif_r = B) /\ ¬Fok_r, but its proof additionally uses
+  // Count_r <= Sum_r, i.e. Normal(r) ("Furthermore, Pif_r = B, Fok_r =
+  // false, and Count_r <= Sum_r").  Without Normal(r) the statement is not
+  // inductive: a counted child's B-correction can push an arbitrary-start
+  // root's Count above its Sum (Lemma 2's mechanism), which then resolves
+  // through the root's own B-correction.  The inductiveness of this
+  // formalization is verified over the full path-3 configuration space in
+  // tests/pif/test_section4_lemmas.cpp.
+  if (sr.pif != Phase::kB || sr.fok || !protocol_->normal(c, r)) {
+    return true;  // antecedent false
+  }
+  const auto legal = legal_tree(c);
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    if (!legal[p]) {
+      continue;
+    }
+    const State& sp = c.state(p);
+    if (sp.pif != Phase::kB || sp.fok) {
+      return false;
+    }
+    if (p != r && sp.level != c.state(sp.parent).level + 1) {
+      return false;
+    }
+    if (sp.count > protocol_->sum(c, p)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Checker::property2_holds(const Config& c, bool* applicable) const {
+  const bool normal_config = all_normal(c);
+  if (applicable != nullptr) {
+    *applicable = normal_config;
+  }
+  if (!normal_config) {
+    return true;
+  }
+  const sim::ProcessorId r = protocol_->root();
+  const State& sr = c.state(r);
+  const auto legal = legal_tree(c);
+
+  // 2.1: forall p, Pif_p != C => p in the (good) legal tree.
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    if (c.state(p).pif != Phase::kC && !legal[p]) {
+      return false;
+    }
+  }
+  // 2.2: Pif_r = C => forall p, Pif_p = C.
+  if (sr.pif == Phase::kC && !all_c(c)) {
+    return false;
+  }
+  // 2.3: Pif_r = F => every legal-tree member is in F.
+  if (sr.pif == Phase::kF) {
+    for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+      if (legal[p] && c.state(p).pif != Phase::kF) {
+        return false;
+      }
+    }
+  }
+  // 2.4: (Pif_r = B /\ ¬Fok_r) => Count_p <= #Subtree(p) for legal members.
+  if (sr.pif == Phase::kB && !sr.fok) {
+    // Subtree sizes via processing members by decreasing level.
+    std::vector<sim::ProcessorId> members;
+    for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+      if (legal[p]) {
+        members.push_back(p);
+      }
+    }
+    std::sort(members.begin(), members.end(),
+              [&](sim::ProcessorId a, sim::ProcessorId b) {
+                return c.state(a).level > c.state(b).level;
+              });
+    std::vector<std::uint64_t> subtree(c.n(), 0);
+    for (sim::ProcessorId p : members) {
+      std::uint64_t size = 1;
+      for (sim::ProcessorId q : c.neighbors(p)) {
+        if (legal[q] && c.state(q).parent == p &&
+            c.state(q).level == c.state(p).level + 1) {
+          size += subtree[q];
+        }
+      }
+      subtree[p] = size;
+      if (c.state(p).count > size) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Checker::parent_paths_chordless(const Config& c) const {
+  const auto legal = legal_tree(c);
+  const graph::Graph& g = c.topology();
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    if (!legal[p] || p == protocol_->root()) {
+      continue;
+    }
+    const auto path = parent_path(c, p);
+    if (!graph::is_chordless_path(g, path)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<sim::ProcessorId>> Checker::extract_spanning_tree(
+    const Config& c) const {
+  const auto legal = legal_tree(c);
+  std::vector<sim::ProcessorId> parent(c.n());
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    if (!legal[p]) {
+      return std::nullopt;  // the tree does not span the network (yet)
+    }
+    parent[p] = p == protocol_->root() ? p : c.state(p).parent;
+  }
+  return parent;
+}
+
+std::string Checker::phase_strip(const Config& c) const {
+  std::string strip;
+  strip.reserve(static_cast<std::size_t>(c.n()) * 2);
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    strip += phase_char(c.state(p).pif);
+    strip += c.state(p).fok ? '*' : ' ';
+  }
+  return strip;
+}
+
+std::string Checker::describe(const Config& c) const {
+  std::string out;
+  char buf[160];
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    const State& s = c.state(p);
+    const bool is_normal = protocol_->normal(c, p);
+    if (s.parent == kNoParent) {
+      std::snprintf(buf, sizeof(buf),
+                    "%4u: Pif=%c Fok=%d L=%-3u Par=-   Cnt=%-4u %s%s\n", p,
+                    phase_char(s.pif), s.fok ? 1 : 0, s.level, s.count,
+                    is_normal ? "normal" : "ABNORMAL",
+                    p == protocol_->root() ? " (root)" : "");
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "%4u: Pif=%c Fok=%d L=%-3u Par=%-3u Cnt=%-4u %s%s\n", p,
+                    phase_char(s.pif), s.fok ? 1 : 0, s.level, s.parent, s.count,
+                    is_normal ? "normal" : "ABNORMAL",
+                    p == protocol_->root() ? " (root)" : "");
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace snappif::pif

@@ -1,0 +1,96 @@
+// Configuration analysis: the definitions of Section 4.1 and the invariants
+// of Section 4.2, used by tests and by the experiment harness to classify
+// configurations and measure stabilization milestones.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pif/protocol.hpp"
+#include "sim/configuration.hpp"
+
+namespace snappif::pif {
+
+using Config = sim::Configuration<State>;
+
+/// Definitions 8-14 as a classification bundle.
+struct ConfigClass {
+  bool normal = false;             // Def. 8: forall p, Normal(p)
+  bool broadcast = false;          // Def. 9: Pif_r = B /\ ¬Fok_r
+  bool start_broadcast = false;    // Def. 10 (SB): Pif_r = C
+  bool sbn = false;                // Def. 11: SB /\ normal
+  bool ebn = false;                // Def. 12: normal /\ ¬Fok_r /\ forall p Pif_p = B
+  bool end_feedback = false;       // Def. 13 (EF): Pif_r = F
+  bool efn = false;                // Def. 14: EF /\ normal
+};
+
+class Checker {
+ public:
+  explicit Checker(const PifProtocol& protocol) : protocol_(&protocol) {}
+
+  [[nodiscard]] const PifProtocol& protocol() const noexcept { return *protocol_; }
+
+  /// Def. 8: every processor satisfies Normal.
+  [[nodiscard]] bool all_normal(const Config& c) const;
+  /// Abnormal processors, ascending.
+  [[nodiscard]] std::vector<sim::ProcessorId> abnormal(const Config& c) const;
+  [[nodiscard]] ConfigClass classify(const Config& c) const;
+
+  /// The normal starting configuration: forall p, Pif_p = C.
+  [[nodiscard]] bool all_c(const Config& c) const;
+
+  /// Definition 4: ParentPath(p) — the maximal chain p, Par_p, Par_Par_p, ...
+  /// through *normal* processors, ending at the root or at the first
+  /// abnormal processor (which is included as the path's extremity).
+  /// Only defined for Pif_p != C; returns empty vector otherwise.
+  [[nodiscard]] std::vector<sim::ProcessorId> parent_path(const Config& c,
+                                                          sim::ProcessorId p) const;
+
+  /// Definitions 5-6: membership in the LegalTree (the tree rooted at r).
+  /// legal[p] is true iff p = r, or Pif_p != C and ParentPath(p) ends at r
+  /// with every non-extremity processor normal.
+  [[nodiscard]] std::vector<bool> legal_tree(const Config& c) const;
+
+  /// Height of the legal tree = max level over members (root level is 0).
+  [[nodiscard]] std::uint32_t legal_tree_height(const Config& c) const;
+  [[nodiscard]] std::size_t legal_tree_size(const Config& c) const;
+
+  /// Definition 15: Good Configuration.
+  [[nodiscard]] bool good_configuration(const Config& c) const;
+
+  /// Property 1 invariant: (Pif_r = B /\ ¬Fok_r) implies every legal-tree
+  /// member is in B with consistent levels, ¬Fok, and Count <= Sum.
+  [[nodiscard]] bool property1_holds(const Config& c) const;
+
+  /// Property 2 (only meaningful in normal configurations; returns true and
+  /// sets *applicable=false otherwise).
+  [[nodiscard]] bool property2_holds(const Config& c, bool* applicable = nullptr) const;
+
+  /// Theorem 4's structural claim: every ParentPath of a legal-tree member is
+  /// a chordless path in the network.  Checks all members.
+  [[nodiscard]] bool parent_paths_chordless(const Config& c) const;
+
+  /// One-line-per-processor dump for debugging.
+  [[nodiscard]] std::string describe(const Config& c) const;
+
+  /// Compact one-character-per-processor strip ("B*B F C ..."): phase letter
+  /// followed by '*' when Fok is raised.  Feeds sim::Timeline.
+  [[nodiscard]] std::string phase_strip(const Config& c) const;
+
+  /// The constructed broadcast tree as a parent array (root: itself), or
+  /// nullopt unless the legal tree currently spans the whole network.  In a
+  /// root-initiated cycle this is guaranteed at the step Fok_r rises
+  /// (Count_r = N: everyone just joined, nobody has fed back yet) — the
+  /// moment the PIF doubles as a spanning-tree construction, one fresh tree
+  /// per cycle (Section 1 lists this application).  Later in the cycle the
+  /// tree erodes: distant leaves may clean while the root still broadcasts.
+  [[nodiscard]] std::optional<std::vector<sim::ProcessorId>> extract_spanning_tree(
+      const Config& c) const;
+
+ private:
+  const PifProtocol* protocol_;
+};
+
+}  // namespace snappif::pif

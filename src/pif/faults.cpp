@@ -1,0 +1,206 @@
+#include "pif/faults.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace snappif::pif {
+
+void plant_fake_tree(PifSimulator& sim, util::Rng& rng) {
+  const graph::Graph& g = sim.topology();
+  const Params& params = sim.protocol().params();
+  const sim::ProcessorId n = g.n();
+  if (n <= 1) {
+    return;
+  }
+  // Seed: a random non-root processor pretending to be deep in a broadcast.
+  sim::ProcessorId seed;
+  do {
+    seed = static_cast<sim::ProcessorId>(rng.below(n));
+  } while (seed == params.root);
+
+  const auto region_target = 1 + rng.below(std::max<std::uint64_t>(1, n / 2));
+  const std::uint32_t seed_level =
+      1 + static_cast<std::uint32_t>(rng.below(std::max<std::uint32_t>(1, params.l_max / 2)));
+
+  // Grow a BFS region from the seed with levels increasing hop by hop,
+  // skipping the root and stopping at L_max.
+  std::vector<bool> in_region(n, false);
+  std::vector<std::uint32_t> fake_level(n, 0);
+  std::vector<sim::ProcessorId> fake_parent(n, kNoParent);
+  std::queue<sim::ProcessorId> frontier;
+  in_region[seed] = true;
+  fake_level[seed] = seed_level;
+  // Seed's parent is an arbitrary neighbor; its level will generally be
+  // inconsistent with that neighbor, making the seed the tree's abnormal
+  // "source" — exactly the shape Definition 5's Tree(p) describes.
+  fake_parent[seed] = g.neighbors(seed)[rng.below(g.degree(seed))];
+  frontier.push(seed);
+  std::size_t count_in_region = 1;
+  std::vector<sim::ProcessorId> order{seed};
+  while (!frontier.empty() && count_in_region < region_target) {
+    const sim::ProcessorId v = frontier.front();
+    frontier.pop();
+    if (fake_level[v] >= params.l_max) {
+      continue;
+    }
+    for (sim::ProcessorId w : g.neighbors(v)) {
+      if (in_region[w] || w == params.root || count_in_region >= region_target) {
+        continue;
+      }
+      in_region[w] = true;
+      fake_level[w] = fake_level[v] + 1;
+      fake_parent[w] = v;
+      order.push_back(w);
+      ++count_in_region;
+      frontier.push(w);
+    }
+  }
+
+  // Counts consistent with GoodCount: process in reverse BFS order so each
+  // node's count is exactly 1 + sum of its fake children's counts.
+  std::vector<std::uint32_t> fake_count(n, 1);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const sim::ProcessorId v = *it;
+    std::uint64_t total = 1;
+    for (sim::ProcessorId w : g.neighbors(v)) {
+      if (in_region[w] && fake_parent[w] == v) {
+        total += fake_count[w];
+      }
+    }
+    fake_count[v] = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(total, params.n_upper));
+  }
+  for (sim::ProcessorId v : order) {
+    State s;
+    s.pif = Phase::kB;
+    s.fok = false;
+    s.level = fake_level[v];
+    s.parent = fake_parent[v];
+    s.count = fake_count[v];
+    sim.set_state(v, s);
+  }
+}
+
+void plant_stray_feedback(PifSimulator& sim, util::Rng& rng, double fraction) {
+  const graph::Graph& g = sim.topology();
+  const Params& params = sim.protocol().params();
+  for (sim::ProcessorId v = 0; v < g.n(); ++v) {
+    if (v == params.root || !rng.chance(fraction)) {
+      continue;
+    }
+    State s = sim.config().state(v);
+    s.pif = Phase::kF;
+    s.parent = g.neighbors(v)[rng.below(g.degree(v))];
+    s.level = 1 + static_cast<std::uint32_t>(rng.below(params.l_max));
+    sim.set_state(v, s);
+  }
+}
+
+void plant_stray_fok(PifSimulator& sim, util::Rng& rng, double fraction) {
+  for (sim::ProcessorId v = 0; v < sim.topology().n(); ++v) {
+    if (!rng.chance(fraction)) {
+      continue;
+    }
+    State s = sim.config().state(v);
+    if (s.pif == Phase::kB) {
+      s.fok = true;
+      sim.set_state(v, s);
+    }
+  }
+}
+
+void inflate_counts(PifSimulator& sim, util::Rng& rng, double fraction) {
+  const Params& params = sim.protocol().params();
+  for (sim::ProcessorId v = 0; v < sim.topology().n(); ++v) {
+    if (!rng.chance(fraction)) {
+      continue;
+    }
+    State s = sim.config().state(v);
+    s.count = params.n_upper;
+    sim.set_state(v, s);
+  }
+}
+
+void adversarial_corruption(PifSimulator& sim, util::Rng& rng) {
+  const auto trees = 1 + rng.below(3);
+  for (std::uint64_t i = 0; i < trees; ++i) {
+    plant_fake_tree(sim, rng);
+  }
+  plant_stray_feedback(sim, rng, 0.15);
+  plant_stray_fok(sim, rng, 0.25);
+  inflate_counts(sim, rng, 0.10);
+  // Occasionally corrupt the root too: the snap property must survive the
+  // root waking up mid-"cycle" of a phantom broadcast.
+  if (rng.chance(0.5)) {
+    State s = sim.config().state(sim.protocol().root());
+    s.pif = rng.chance(0.5) ? Phase::kB : Phase::kF;
+    s.fok = rng.chance(0.5);
+    s.count = 1 + static_cast<std::uint32_t>(
+                      rng.below(sim.protocol().params().n_upper));
+    sim.set_state(sim.protocol().root(), s);
+  }
+}
+
+std::string_view corruption_name(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kUniformRandom:
+      return "uniform";
+    case CorruptionKind::kFakeTree:
+      return "fake-tree";
+    case CorruptionKind::kStrayFeedback:
+      return "stray-F";
+    case CorruptionKind::kStrayFok:
+      return "stray-Fok";
+    case CorruptionKind::kInflatedCounts:
+      return "inflated";
+    case CorruptionKind::kAdversarialMix:
+      return "adversarial";
+  }
+  return "?";
+}
+
+void apply_corruption(PifSimulator& sim, CorruptionKind kind, util::Rng& rng) {
+  switch (kind) {
+    case CorruptionKind::kUniformRandom:
+      sim.randomize(rng);
+      return;
+    case CorruptionKind::kFakeTree:
+      sim.reset_to_initial();
+      plant_fake_tree(sim, rng);
+      return;
+    case CorruptionKind::kStrayFeedback:
+      sim.reset_to_initial();
+      plant_fake_tree(sim, rng);
+      plant_stray_feedback(sim, rng, 0.3);
+      return;
+    case CorruptionKind::kStrayFok:
+      sim.reset_to_initial();
+      plant_fake_tree(sim, rng);
+      plant_stray_fok(sim, rng, 0.5);
+      return;
+    case CorruptionKind::kInflatedCounts:
+      sim.reset_to_initial();
+      plant_fake_tree(sim, rng);
+      inflate_counts(sim, rng, 0.3);
+      return;
+    case CorruptionKind::kAdversarialMix:
+      sim.reset_to_initial();
+      adversarial_corruption(sim, rng);
+      return;
+  }
+  SNAPPIF_ASSERT_MSG(false, "unknown corruption kind");
+}
+
+std::span<const CorruptionKind> all_corruption_kinds() {
+  static constexpr CorruptionKind kKinds[] = {
+      CorruptionKind::kUniformRandom,  CorruptionKind::kFakeTree,
+      CorruptionKind::kStrayFeedback,  CorruptionKind::kStrayFok,
+      CorruptionKind::kInflatedCounts, CorruptionKind::kAdversarialMix,
+  };
+  return kKinds;
+}
+
+}  // namespace snappif::pif

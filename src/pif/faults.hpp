@@ -1,0 +1,58 @@
+// Structured adversarial corruptions of PIF configurations.
+//
+// Uniform randomization (Simulator::randomize) produces states that mostly
+// violate the local-checking predicates and are corrected within a round or
+// two.  The corruptions here are *crafted to look locally consistent* — fake
+// trees with coherent levels and counts, stray Fok waves, premature feedback
+// phases — so they survive as long as the theory allows and exercise the
+// correction machinery's worst cases (Theorems 1-3) and the snap property's
+// hardest inputs (a root starting a broadcast while impostor trees occupy
+// the network).
+#pragma once
+
+#include <cstdint>
+
+#include "pif/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::pif {
+
+using PifSimulator = sim::Simulator<PifProtocol>;
+
+/// Plants a locally consistent fake broadcast tree: a random non-root seed
+/// gets Pif=B at a random level, and a BFS region around it joins with
+/// levels increasing by one and subtree counts consistent with GoodCount.
+/// Processors outside the region are left untouched.
+void plant_fake_tree(PifSimulator& sim, util::Rng& rng);
+
+/// Sets Pif=F with plausible parent/level on a random subset (premature
+/// feedback wave).
+void plant_stray_feedback(PifSimulator& sim, util::Rng& rng, double fraction);
+
+/// Raises Fok on a random subset of B-phase processors (premature Fok wave).
+void plant_stray_fok(PifSimulator& sim, util::Rng& rng, double fraction);
+
+/// Saturates Count at N' on a random subset (count inflation).
+void inflate_counts(PifSimulator& sim, util::Rng& rng, double fraction);
+
+/// The kitchen sink: fake trees + stray feedback + stray Fok + inflated
+/// counts, composed from `rng`.  Produces the nastiest initial
+/// configurations used by E1/E2/E4.
+void adversarial_corruption(PifSimulator& sim, util::Rng& rng);
+
+/// Enumerated corruption recipes for sweep tables.
+enum class CorruptionKind {
+  kUniformRandom,    // every variable uniform over its domain
+  kFakeTree,
+  kStrayFeedback,
+  kStrayFok,
+  kInflatedCounts,
+  kAdversarialMix,
+};
+
+[[nodiscard]] std::string_view corruption_name(CorruptionKind kind);
+void apply_corruption(PifSimulator& sim, CorruptionKind kind, util::Rng& rng);
+[[nodiscard]] std::span<const CorruptionKind> all_corruption_kinds();
+
+}  // namespace snappif::pif

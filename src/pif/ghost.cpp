@@ -1,0 +1,110 @@
+#include "pif/ghost.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace snappif::pif {
+
+GhostTracker::GhostTracker(const graph::Graph& g, sim::ProcessorId root)
+    : root_(root), n_(g.n()) {
+  SNAPPIF_ASSERT(root < g.n());
+  reset();
+}
+
+void GhostTracker::reset() {
+  active_ = false;
+  message_ = 0;
+  height_ = 0;
+  msg_.assign(n_, 0);
+  received_.assign(n_, false);
+  acked_.assign(n_, false);
+  receive_counts_.assign(n_, 0);
+  ack_counts_.assign(n_, 0);
+  verdicts_.clear();
+}
+
+const CycleVerdict& GhostTracker::last_cycle() const {
+  SNAPPIF_ASSERT_MSG(!verdicts_.empty(), "no cycle has completed yet");
+  return verdicts_.back();
+}
+
+void GhostTracker::on_apply(sim::ProcessorId p, sim::ActionId a,
+                            const State& after) {
+  if (p == root_) {
+    if (a == kBAction) {
+      // Root broadcasts a fresh message m in this computation step.
+      ++message_;
+      active_ = true;
+      broadcast_step_ = step_;
+      height_ = 0;
+      received_.assign(n_, false);
+      acked_.assign(n_, false);
+      receive_counts_.assign(n_, 0);
+      ack_counts_.assign(n_, 0);
+      msg_[root_] = message_;
+      received_[root_] = true;
+      acked_[root_] = true;  // trivially: the root needs no ack from itself
+      return;
+    }
+    if (a == kFAction && active_) {
+      // The feedback phase reached the root: the cycle ends here (Def. 2's
+      // configuration gamma_t).
+      CycleVerdict verdict;
+      verdict.message = message_;
+      verdict.broadcast_step = broadcast_step_;
+      verdict.feedback_step = step_;
+      verdict.tree_height = height_;
+      verdict.pif1 = true;
+      verdict.pif2 = true;
+      verdict.max_receives = 0;
+      verdict.max_acks = 0;
+      for (sim::ProcessorId q = 0; q < n_; ++q) {
+        verdict.pif1 = verdict.pif1 && received_[q];
+        verdict.pif2 = verdict.pif2 && acked_[q];
+        verdict.max_receives = std::max(verdict.max_receives, receive_counts_[q]);
+        verdict.max_acks = std::max(verdict.max_acks, ack_counts_[q]);
+      }
+      verdicts_.push_back(verdict);
+      active_ = false;
+      return;
+    }
+    if (a == kBCorrection && active_) {
+      // The root abandoned a broadcast mid-cycle — a specification abort.
+      // Snap-stabilization promises this never happens; tests assert so.
+      CycleVerdict verdict;
+      verdict.message = message_;
+      verdict.broadcast_step = broadcast_step_;
+      verdict.feedback_step = step_;
+      verdict.aborted = true;
+      verdicts_.push_back(verdict);
+      active_ = false;
+      return;
+    }
+    return;
+  }
+
+  // Non-root processors.
+  if (a == kBAction) {
+    // p receives the message of the parent it just adopted.  The parent's
+    // ghost value is stable within this step (see header comment).
+    SNAPPIF_ASSERT(after.parent != kNoParent && after.parent < n_);
+    msg_[p] = msg_[after.parent];
+    if (active_ && msg_[p] == message_) {
+      received_[p] = true;
+      ++receive_counts_[p];
+      height_ = std::max(height_, after.level);
+    }
+    return;
+  }
+  if (a == kFAction) {
+    // p acknowledges the message it holds.
+    if (active_ && msg_[p] == message_ && received_[p]) {
+      acked_[p] = true;
+      ++ack_counts_[p];
+    }
+    return;
+  }
+}
+
+}  // namespace snappif::pif

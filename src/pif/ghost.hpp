@@ -1,0 +1,106 @@
+// Ghost-variable instrumentation of the PIF specification (Definition 2).
+//
+// The PIF Cycle specification speaks about a *message* m broadcast by the
+// root and acknowledged by every other processor.  The algorithm itself
+// carries no message payload (the broadcast value rides along with the
+// B-action in a real deployment), so the checker attaches ghost variables
+// that the protocol cannot read:
+//
+//   * each root B-action mints a fresh message id m and opens a cycle;
+//   * a non-root B-action "receives" its chosen parent's ghost message;
+//   * [PIF1] is satisfied when every p != r has received the open cycle's m;
+//   * a non-root F-action while holding m "acknowledges" m;
+//   * the root's F-action closes the cycle; [PIF2] requires every p != r to
+//     have acknowledged m by then.
+//
+// Ghost updates are order-independent within one computation step: a freshly
+// joining processor's parent had Pif = B in the pre-step configuration, so
+// that parent cannot execute a ghost-changing action (B-action requires
+// Pif = C) in the same step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pif/protocol.hpp"
+#include "sim/types.hpp"
+
+namespace snappif::pif {
+
+/// Verdict for one completed (root B-action .. root F-action) cycle.
+struct CycleVerdict {
+  std::uint64_t message = 0;
+  bool pif1 = false;        // every p != r received m
+  bool pif2 = false;        // every p != r acknowledged m
+  bool aborted = false;     // root executed B-correction mid-cycle
+  std::uint64_t broadcast_step = 0;
+  std::uint64_t feedback_step = 0;
+  /// h: height of the tree constructed by this cycle's broadcast (max level
+  /// among processors that joined with the cycle's message).
+  std::uint32_t tree_height = 0;
+  /// Largest number of times any single processor received this cycle's
+  /// message (B-joined the legal tree).  In a cycle initiated from SBN this
+  /// is exactly 1; re-joins can only occur while digesting corrupted debris,
+  /// and even then only via phantom trees (stale messages) — every tracked
+  /// cycle observed 1 (asserted in tests; the WaveAggregator relies on it).
+  std::uint32_t max_receives = 0;
+  /// Same for acknowledgments of this cycle's message.
+  std::uint32_t max_acks = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return pif1 && pif2 && !aborted; }
+};
+
+class GhostTracker {
+ public:
+  GhostTracker(const graph::Graph& g, sim::ProcessorId root);
+
+  /// Wire into Simulator<PifProtocol>::set_apply_hook.  Only the acting
+  /// processor's id, action, and *new* state are needed.
+  void on_apply(sim::ProcessorId p, sim::ActionId a, const State& after);
+
+  /// Advances the step counter; call once per Simulator::step executed (the
+  /// harness uses run_until's step count; simplest is to call via hook —
+  /// instead we stamp with an internal counter incremented per root action).
+  void note_step(std::uint64_t step) noexcept { step_ = step; }
+
+  [[nodiscard]] bool cycle_active() const noexcept { return active_; }
+  [[nodiscard]] std::uint64_t current_message() const noexcept { return message_; }
+  [[nodiscard]] std::uint64_t cycles_completed() const noexcept {
+    return verdicts_.size();
+  }
+  [[nodiscard]] const std::vector<CycleVerdict>& verdicts() const noexcept {
+    return verdicts_;
+  }
+  /// Must not be called before a cycle completed.
+  [[nodiscard]] const CycleVerdict& last_cycle() const;
+
+  /// Ghost message currently held by p (0 = never received anything).
+  [[nodiscard]] std::uint64_t message_of(sim::ProcessorId p) const {
+    return msg_.at(p);
+  }
+  [[nodiscard]] bool received_current(sim::ProcessorId p) const {
+    return received_.at(p);
+  }
+  [[nodiscard]] bool acked_current(sim::ProcessorId p) const {
+    return acked_.at(p);
+  }
+
+  void reset();
+
+ private:
+  sim::ProcessorId root_;
+  sim::ProcessorId n_;
+  bool active_ = false;
+  std::uint64_t message_ = 0;
+  std::uint64_t step_ = 0;
+  std::uint64_t broadcast_step_ = 0;
+  std::uint32_t height_ = 0;
+  std::vector<std::uint64_t> msg_;
+  std::vector<bool> received_;
+  std::vector<bool> acked_;
+  std::vector<std::uint32_t> receive_counts_;
+  std::vector<std::uint32_t> ack_counts_;
+  std::vector<CycleVerdict> verdicts_;
+};
+
+}  // namespace snappif::pif

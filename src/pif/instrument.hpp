@@ -1,0 +1,22 @@
+// Glue: attach a GhostTracker to a running Simulator<PifProtocol>.
+#pragma once
+
+#include "pif/ghost.hpp"
+#include "pif/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+
+/// Installs `tracker` as the simulator's apply hook.  The tracker is stamped
+/// with the current step index before each ghost update so cycle verdicts
+/// carry meaningful step ranges.  `tracker` must outlive `sim`'s hook.
+inline void attach(sim::Simulator<PifProtocol>& sim, GhostTracker& tracker) {
+  sim.set_apply_hook([&sim, &tracker](sim::ProcessorId p, sim::ActionId a,
+                                      const sim::Configuration<State>& /*before*/,
+                                      const State& after) {
+    tracker.note_step(sim.steps());
+    tracker.on_apply(p, a, after);
+  });
+}
+
+}  // namespace snappif::pif

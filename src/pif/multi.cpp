@@ -1,0 +1,93 @@
+#include "pif/multi.hpp"
+
+#include "util/assert.hpp"
+
+namespace snappif::pif {
+
+MultiPifProtocol::MultiPifProtocol(const graph::Graph& g,
+                                   std::vector<sim::ProcessorId> roots)
+    : graph_(&g), scratch_(g, {}) {
+  SNAPPIF_ASSERT_MSG(!roots.empty(), "need at least one initiator");
+  SNAPPIF_ASSERT_MSG(roots.size() * kNumActions <= 250,
+                     "too many initiators for the 8-bit action id space");
+  for (sim::ProcessorId root : roots) {
+    instances_.emplace_back(g, Params::for_graph(g, root));
+  }
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    for (sim::ActionId a = 0; a < kNumActions; ++a) {
+      action_names_.push_back("r" + std::to_string(instances_[i].root()) + ":" +
+                              std::string(action_label(a)));
+    }
+  }
+}
+
+MultiState MultiPifProtocol::initial_state(sim::ProcessorId p) const {
+  MultiState s;
+  s.slots.reserve(instances_.size());
+  for (const PifProtocol& instance : instances_) {
+    s.slots.push_back(instance.initial_state(p));
+  }
+  return s;
+}
+
+std::string_view MultiPifProtocol::action_name(sim::ActionId a) const {
+  return action_names_.at(a);
+}
+
+const sim::Configuration<pif::State>& MultiPifProtocol::slice(
+    const Config& c, std::size_t i) const {
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    scratch_.state(p) = c.state(p).slots.at(i);
+  }
+  return scratch_;
+}
+
+bool MultiPifProtocol::enabled(const Config& c, sim::ProcessorId p,
+                               sim::ActionId a) const {
+  const std::size_t i = instance_of(a);
+  SNAPPIF_ASSERT(i < instances_.size());
+  return instances_[i].enabled(slice(c, i), p, base_action(a));
+}
+
+MultiState MultiPifProtocol::apply(const Config& c, sim::ProcessorId p,
+                                   sim::ActionId a) const {
+  const std::size_t i = instance_of(a);
+  SNAPPIF_ASSERT(i < instances_.size());
+  MultiState next = c.state(p);
+  next.slots[i] = instances_[i].apply(slice(c, i), p, base_action(a));
+  return next;
+}
+
+MultiState MultiPifProtocol::random_state(sim::ProcessorId p,
+                                          util::Rng& rng) const {
+  MultiState s;
+  s.slots.reserve(instances_.size());
+  for (const PifProtocol& instance : instances_) {
+    s.slots.push_back(instance.random_state(p, rng));
+  }
+  return s;
+}
+
+MultiGhost::MultiGhost(const graph::Graph& g, const MultiPifProtocol& protocol) {
+  trackers_.reserve(protocol.instances());
+  for (std::size_t i = 0; i < protocol.instances(); ++i) {
+    trackers_.emplace_back(g, protocol.root_of(i));
+  }
+}
+
+void MultiGhost::on_apply(sim::ProcessorId p, sim::ActionId a,
+                          const MultiState& after) {
+  const std::size_t i = MultiPifProtocol::instance_of(a);
+  SNAPPIF_ASSERT(i < trackers_.size());
+  trackers_[i].on_apply(p, MultiPifProtocol::base_action(a), after.slots[i]);
+}
+
+std::uint64_t MultiGhost::min_cycles_completed() const {
+  std::uint64_t min_cycles = ~0ull;
+  for (const GhostTracker& tracker : trackers_) {
+    min_cycles = std::min(min_cycles, tracker.cycles_completed());
+  }
+  return min_cycles;
+}
+
+}  // namespace snappif::pif

@@ -1,0 +1,72 @@
+// Protocol parameters (the paper's Inputs/Constants).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+
+namespace snappif::pif {
+
+struct Params {
+  /// The initiator r.  Any processor may be the root; the algorithm is run
+  /// with one designated initiator per instance (Section 2, "The problem to
+  /// be solved").
+  sim::ProcessorId root = 0;
+  /// Exact network size N, known at the root (the snap-stabilization
+  /// linchpin: the root starts the Fok wave only once Count_r = N).
+  std::uint32_t n = 0;
+  /// N': upper bound of N; the Count variable's domain is [1, N'].
+  std::uint32_t n_upper = 0;
+  /// L_max >= N-1; the level variable's domain is [1, L_max] for p != r.
+  std::uint32_t l_max = 0;
+
+  // --- experiment hooks (all default to the paper's algorithm) ---
+
+  /// E7 ablation: when false, B-action picks min_{>_p}(Pre_Potential_p)
+  /// instead of restricting to minimum-level neighbors; chordless-path
+  /// guarantee (Theorem 4) is lost.
+  bool min_level_potential = true;
+
+  // --- E13 guard ablations: each removes one safety guard to demonstrate
+  // it is load-bearing (the model checker finds snap violations) ---
+
+  /// Drop Leaf(p) from Broadcast(p): a processor may join the wave while a
+  /// stale child still points at it — pre-existing debris with luckily
+  /// consistent levels gets adopted (and counted) without ever receiving
+  /// the message: [PIF1] violations.
+  bool ablate_broadcast_leaf = false;
+  /// Drop BLeaf(p) from Feedback(p): a processor may feed back while its
+  /// children are still broadcasting — their acknowledgments are lost to
+  /// corrections: [PIF2] violations.
+  bool ablate_feedback_bleaf = false;
+  /// Root raises Fok on its first Count-action regardless of Sum = N: the
+  /// feedback is authorized before the broadcast covered the network —
+  /// the cycle closes early: [PIF1] violations.  (Root GoodFok is waived
+  /// accordingly.)  This is the ablation of the snap linchpin itself.
+  bool ablate_count_wait = false;
+  /// Literal-typo mode (tests only): root GoodFok as printed,
+  /// `Fok_r = (Sum_r = N)`, which self-destroys mid-cycle.
+  bool literal_root_goodfok = false;
+  /// Literal-typo mode (tests only): Sum_Set filters on the set owner's
+  /// ¬Fok_p instead of the member's ¬Fok_q.
+  bool literal_sumset_fok_owner = false;
+  /// Literal mode (tests only): keep the printed ¬Fok_q conjunct in
+  /// Pre_Potential.  With it, a processor left in phase C with a stale Par
+  /// pointer into a Fok'd tree can never join nor unblock its "parent" —
+  /// the model checker exhibits a global deadlock (DESIGN.md §2 item 4).
+  bool literal_prepotential_fok = false;
+
+  /// Canonical parameters for a graph: N' = N, L_max = N-1.
+  [[nodiscard]] static Params for_graph(const graph::Graph& g,
+                                        sim::ProcessorId root = 0) {
+    Params params;
+    params.root = root;
+    params.n = g.n();
+    params.n_upper = g.n();
+    params.l_max = g.n() > 1 ? g.n() - 1 : 1;
+    return params;
+  }
+};
+
+}  // namespace snappif::pif

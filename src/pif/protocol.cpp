@@ -1,0 +1,483 @@
+#include "pif/protocol.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace snappif::pif {
+
+std::string_view action_label(sim::ActionId a) {
+  switch (a) {
+    case kBAction:
+      return "B-action";
+    case kFokAction:
+      return "Fok-action";
+    case kFAction:
+      return "F-action";
+    case kCAction:
+      return "C-action";
+    case kCountAction:
+      return "Count-action";
+    case kBCorrection:
+      return "B-correction";
+    case kFCorrection:
+      return "F-correction";
+    default:
+      return "?";
+  }
+}
+
+PifProtocol::PifProtocol(const graph::Graph& g, Params params)
+    : graph_(&g), params_(params) {
+  SNAPPIF_ASSERT_MSG(params_.n == g.n(), "Params.n must equal the graph order");
+  SNAPPIF_ASSERT_MSG(params_.n_upper >= params_.n, "N' must be an upper bound of N");
+  SNAPPIF_ASSERT_MSG(params_.n <= 1 || params_.l_max >= params_.n - 1,
+                     "L_max must be >= N-1");
+  SNAPPIF_ASSERT(params_.root < g.n());
+}
+
+State PifProtocol::initial_state(sim::ProcessorId p) const {
+  State s;
+  s.pif = Phase::kC;
+  s.fok = false;
+  s.count = 1;
+  if (is_root(p)) {
+    s.level = 0;
+    s.parent = kNoParent;
+  } else {
+    s.level = 1;
+    SNAPPIF_ASSERT_MSG(g().degree(p) > 0, "network must be connected");
+    s.parent = g().neighbors(p)[0];
+  }
+  return s;
+}
+
+State PifProtocol::random_state(sim::ProcessorId p, util::Rng& rng) const {
+  State s;
+  switch (rng.below(3)) {
+    case 0:
+      s.pif = Phase::kB;
+      break;
+    case 1:
+      s.pif = Phase::kF;
+      break;
+    default:
+      s.pif = Phase::kC;
+      break;
+  }
+  s.fok = rng.chance(0.5);
+  s.count = 1 + static_cast<std::uint32_t>(rng.below(params_.n_upper));
+  if (is_root(p)) {
+    s.level = 0;
+    s.parent = kNoParent;
+  } else {
+    s.level = 1 + static_cast<std::uint32_t>(rng.below(params_.l_max));
+    const auto nbrs = g().neighbors(p);
+    SNAPPIF_ASSERT(!nbrs.empty());
+    s.parent = nbrs[rng.below(nbrs.size())];
+  }
+  return s;
+}
+
+std::vector<State> PifProtocol::all_states(sim::ProcessorId p) const {
+  std::vector<State> out;
+  const bool root = is_root(p);
+  for (Phase pif : {Phase::kB, Phase::kF, Phase::kC}) {
+    for (int fok = 0; fok < 2; ++fok) {
+      for (std::uint32_t count = 1; count <= params_.n_upper; ++count) {
+        if (root) {
+          State s;
+          s.pif = pif;
+          s.fok = fok != 0;
+          s.count = count;
+          s.level = 0;
+          s.parent = kNoParent;
+          out.push_back(s);
+          continue;
+        }
+        for (std::uint32_t level = 1; level <= params_.l_max; ++level) {
+          for (sim::ProcessorId parent : g().neighbors(p)) {
+            State s;
+            s.pif = pif;
+            s.fok = fok != 0;
+            s.count = count;
+            s.level = level;
+            s.parent = parent;
+            out.push_back(s);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// --- Macros ------------------------------------------------------------------
+
+bool PifProtocol::in_sum_set(const Config& c, sim::ProcessorId p,
+                             sim::ProcessorId q) const {
+  const State& sp = c.state(p);
+  const State& sq = c.state(q);
+  // Sum_Set_p = { q in Neig_p :: Pif_q = B  /\  Par_q = p  /\  L_q = L_p + 1
+  //               /\ ¬Fok_q }.
+  // The conference text prints the last conjunct as ¬Fok_p (the set owner's
+  // flag); DESIGN.md §2 item 1 explains the repair.  The literal reading is
+  // available for the negative tests.
+  const bool fok_filter =
+      params_.literal_sumset_fok_owner ? !sp.fok : !sq.fok;
+  return sq.pif == Phase::kB && sq.parent == p && sq.level == sp.level + 1 &&
+         fok_filter;
+}
+
+std::uint64_t PifProtocol::sum(const Config& c, sim::ProcessorId p) const {
+  std::uint64_t total = 1;
+  for (sim::ProcessorId q : c.neighbors(p)) {
+    if (in_sum_set(c, p, q)) {
+      total += c.state(q).count;
+    }
+  }
+  return total;
+}
+
+std::vector<sim::ProcessorId> PifProtocol::pre_potential(const Config& c,
+                                                         sim::ProcessorId p) const {
+  // Pre_Potential_p = { q in Neig_p :: Pif_q = B  AND  Par_q != p
+  //                      AND  L_q < L_max  AND  ¬Fok_q }.
+  // Repair (DESIGN.md §2 item 4): the printed ¬Fok_q conjunct is dropped.
+  // With it, a processor stuck in phase C whose stale Par points at a
+  // neighbor that is broadcasting with Fok raised can neither join the tree
+  // (its only candidates are Fok'd) nor release that neighbor's BLeaf, and
+  // the whole network deadlocks before the root ever broadcasts — the
+  // exhaustive model checker produces the witness on a 3-processor path.
+  // Allowing joins of Fok'd broadcasters is safe: in a root-initiated cycle
+  // Fok_r rises only after Count_r = N, i.e. after every processor already
+  // joined, so the relaxation is only ever exercised while recovering from
+  // corrupted initial configurations.
+  std::vector<sim::ProcessorId> out;
+  for (sim::ProcessorId q : c.neighbors(p)) {
+    const State& sq = c.state(q);
+    if (sq.pif == Phase::kB && sq.parent != p && sq.level < params_.l_max &&
+        (!params_.literal_prepotential_fok || !sq.fok)) {
+      out.push_back(q);
+    }
+  }
+  return out;
+}
+
+std::vector<sim::ProcessorId> PifProtocol::potential(const Config& c,
+                                                     sim::ProcessorId p) const {
+  // Potential_p = { q in Pre_Potential_p :: forall u in Pre_Potential_p,
+  //                 L_u >= L_q }  (minimum-level members).
+  std::vector<sim::ProcessorId> pre = pre_potential(c, p);
+  if (!params_.min_level_potential || pre.empty()) {
+    return pre;  // E7 ablation: no minimum-level restriction
+  }
+  std::uint32_t min_level = c.state(pre.front()).level;
+  for (sim::ProcessorId q : pre) {
+    min_level = std::min(min_level, c.state(q).level);
+  }
+  std::vector<sim::ProcessorId> out;
+  for (sim::ProcessorId q : pre) {
+    if (c.state(q).level == min_level) {
+      out.push_back(q);
+    }
+  }
+  return out;
+}
+
+// --- Predicates ----------------------------------------------------------------
+
+bool PifProtocol::good_fok(const Config& c, sim::ProcessorId p) const {
+  const State& sp = c.state(p);
+  if (is_root(p)) {
+    if (params_.literal_root_goodfok) {
+      // Literal conference text: (Pif_r = B) => (Fok_r = (Sum_r = N)).
+      if (sp.pif != Phase::kB) {
+        return true;
+      }
+      return sp.fok == (sum(c, p) == params_.n);
+    }
+    // Repaired (DESIGN.md §2 item 2): the equivalence on *Count* rather than
+    // Sum — Fok_r = (Count_r = N).  Both root actions establish it atomically
+    // (B-action: Count=1, Fok=(1=N); Count-action: Count=Sum, Fok=(Sum=N)),
+    // nothing invalidates it during a normal cycle (Count freezes once Fok
+    // rises), and unlike the printed Sum version it stays true across the
+    // feedback phase.  The equivalence direction matters: an arbitrary
+    // initial configuration with Fok_r=false and Count_r=N would otherwise
+    // deadlock the whole network (no guard fires; found by the exhaustive
+    // model checker in tests/pif/test_model_check.cpp).
+    if (sp.pif != Phase::kB) {
+      return true;
+    }
+    if (params_.ablate_count_wait) {
+      return true;  // E13: no constraint ties Fok_r to the count
+    }
+    return sp.fok == (sp.count == params_.n);
+  }
+  // Algorithm 2:
+  //   ((Pif_p = B) => ((Fok_p != Fok_Par_p) => ¬Fok_p))
+  //   /\ ((Pif_p = F) => ((Pif_Par_p = B) => Fok_Par_p))
+  const State& spar = c.state(sp.parent);
+  if (sp.pif == Phase::kB) {
+    if (sp.fok != spar.fok && sp.fok) {
+      return false;
+    }
+  }
+  if (sp.pif == Phase::kF) {
+    if (spar.pif == Phase::kB && !spar.fok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PifProtocol::good_pif(const Config& c, sim::ProcessorId p) const {
+  SNAPPIF_ASSERT(!is_root(p));
+  const State& sp = c.state(p);
+  if (sp.pif == Phase::kC) {
+    return true;
+  }
+  const State& spar = c.state(sp.parent);
+  // (Pif_Par_p != Pif_p) => (Pif_Par_p = B)
+  return spar.pif == sp.pif || spar.pif == Phase::kB;
+}
+
+bool PifProtocol::good_level(const Config& c, sim::ProcessorId p) const {
+  SNAPPIF_ASSERT(!is_root(p));
+  const State& sp = c.state(p);
+  if (sp.pif == Phase::kC) {
+    return true;
+  }
+  return sp.level == c.state(sp.parent).level + 1;
+}
+
+bool PifProtocol::good_count(const Config& c, sim::ProcessorId p) const {
+  const State& sp = c.state(p);
+  if (sp.pif != Phase::kB || sp.fok) {
+    return true;
+  }
+  return sp.count <= sum(c, p);
+}
+
+bool PifProtocol::normal(const Config& c, sim::ProcessorId p) const {
+  if (is_root(p)) {
+    return good_fok(c, p) && good_count(c, p);
+  }
+  return good_pif(c, p) && good_level(c, p) && good_fok(c, p) &&
+         good_count(c, p);
+}
+
+bool PifProtocol::leaf(const Config& c, sim::ProcessorId p) const {
+  // Leaf(p) = forall q in Neig_p :: (Pif_q != C) => (Par_q != p)
+  for (sim::ProcessorId q : c.neighbors(p)) {
+    const State& sq = c.state(q);
+    if (sq.pif != Phase::kC && sq.parent == p) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PifProtocol::b_leaf(const Config& c, sim::ProcessorId p) const {
+  // BLeaf(p) = (Pif_p = B) => (forall q in Neig_p :: (Par_q = p) => (Pif_q = F))
+  if (c.state(p).pif != Phase::kB) {
+    return true;
+  }
+  for (sim::ProcessorId q : c.neighbors(p)) {
+    const State& sq = c.state(q);
+    if (sq.parent == p && sq.pif != Phase::kF) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PifProtocol::b_free(const Config& c, sim::ProcessorId p) const {
+  for (sim::ProcessorId q : c.neighbors(p)) {
+    if (c.state(q).pif == Phase::kB) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- Guards --------------------------------------------------------------------
+
+bool PifProtocol::broadcast_guard(const Config& c, sim::ProcessorId p) const {
+  const State& sp = c.state(p);
+  if (sp.pif != Phase::kC) {
+    return false;
+  }
+  if (is_root(p)) {
+    // Broadcast(r) = (Pif_r = C) /\ (forall q :: Pif_q = C)
+    for (sim::ProcessorId q : c.neighbors(p)) {
+      if (c.state(q).pif != Phase::kC) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Broadcast(p) = (Pif_p = C) /\ Leaf(p) /\ (Potential_p != {})
+  return (params_.ablate_broadcast_leaf || leaf(c, p)) &&
+         !potential(c, p).empty();
+}
+
+bool PifProtocol::change_fok_guard(const Config& c, sim::ProcessorId p) const {
+  if (is_root(p)) {
+    return false;  // Algorithm 1 has no Fok-action
+  }
+  const State& sp = c.state(p);
+  return sp.pif == Phase::kB && normal(c, p) &&
+         sp.fok != c.state(sp.parent).fok;
+}
+
+bool PifProtocol::feedback_guard(const Config& c, sim::ProcessorId p) const {
+  const State& sp = c.state(p);
+  if (sp.pif != Phase::kB || !sp.fok || !normal(c, p)) {
+    return false;
+  }
+  if (is_root(p)) {
+    // Feedback(r) = ... /\ (forall q :: Pif_q != B) /\ Fok_r
+    for (sim::ProcessorId q : c.neighbors(p)) {
+      if (c.state(q).pif == Phase::kB) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Feedback(p) = (Pif_p = B) /\ Normal(p) /\ BLeaf(p) /\ Fok_p
+  return params_.ablate_feedback_bleaf || b_leaf(c, p);
+}
+
+bool PifProtocol::cleaning_guard(const Config& c, sim::ProcessorId p) const {
+  const State& sp = c.state(p);
+  if (sp.pif != Phase::kF) {
+    return false;
+  }
+  if (is_root(p)) {
+    // Cleaning(r) = (Pif_r = F) /\ (forall q :: Pif_q = C)
+    for (sim::ProcessorId q : c.neighbors(p)) {
+      if (c.state(q).pif != Phase::kC) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Cleaning(p) = (Pif_p = F) /\ Normal(p) /\ Leaf(p) /\ BFree(p)
+  return normal(c, p) && leaf(c, p) && b_free(c, p);
+}
+
+bool PifProtocol::new_count_guard(const Config& c, sim::ProcessorId p) const {
+  const State& sp = c.state(p);
+  if (sp.pif != Phase::kB || sp.fok || !normal(c, p)) {
+    return false;
+  }
+  return sp.count < sum(c, p);
+}
+
+bool PifProtocol::b_correction_guard(const Config& c, sim::ProcessorId p) const {
+  if (is_root(p)) {
+    // Algorithm 1: B-correction :: ¬Normal(r).  (Normal(r) is vacuous unless
+    // Pif_r = B, so this only fires in the broadcast phase.)
+    return !normal(c, p);
+  }
+  // AbnormalB(p) = ¬Normal(p) /\ (Pif_p = B)
+  return c.state(p).pif == Phase::kB && !normal(c, p);
+}
+
+bool PifProtocol::f_correction_guard(const Config& c, sim::ProcessorId p) const {
+  if (is_root(p)) {
+    return false;  // Algorithm 1 has no F-correction
+  }
+  // AbnormalF(p) = ¬Normal(p) /\ (Pif_p = F)
+  return c.state(p).pif == Phase::kF && !normal(c, p);
+}
+
+bool PifProtocol::enabled(const Config& c, sim::ProcessorId p,
+                          sim::ActionId a) const {
+  switch (a) {
+    case kBAction:
+      return broadcast_guard(c, p);
+    case kFokAction:
+      return change_fok_guard(c, p);
+    case kFAction:
+      return feedback_guard(c, p);
+    case kCAction:
+      return cleaning_guard(c, p);
+    case kCountAction:
+      return new_count_guard(c, p);
+    case kBCorrection:
+      return b_correction_guard(c, p);
+    case kFCorrection:
+      return f_correction_guard(c, p);
+    default:
+      return false;
+  }
+}
+
+State PifProtocol::apply(const Config& c, sim::ProcessorId p,
+                         sim::ActionId a) const {
+  State next = c.state(p);
+  switch (a) {
+    case kBAction: {
+      if (is_root(p)) {
+        // B-action(r) :: Pif := B; Count := 1; Fok := (1 = N)
+        next.pif = Phase::kB;
+        next.count = 1;
+        next.fok = (params_.n == 1);
+      } else {
+        // B-action(p) :: Par := min(Potential); L := L_Par + 1; Count := 1;
+        //                Fok := false; Pif := B
+        const auto candidates = potential(c, p);
+        SNAPPIF_ASSERT_MSG(!candidates.empty(),
+                           "B-action applied with empty Potential");
+        // Neighbor lists are sorted ascending = the local order >_p, so the
+        // minimum is the first candidate.
+        next.parent = candidates.front();
+        next.level = c.state(next.parent).level + 1;
+        next.count = 1;
+        next.fok = false;
+        next.pif = Phase::kB;
+      }
+      break;
+    }
+    case kFokAction:
+      // Fok-action(p) :: Fok := true
+      next.fok = true;
+      break;
+    case kFAction:
+      // F-action :: Pif := F
+      next.pif = Phase::kF;
+      break;
+    case kCAction:
+      // C-action :: Pif := C
+      next.pif = Phase::kC;
+      break;
+    case kCountAction: {
+      // Count-action :: Count := Sum  (root also: Fok := (Sum = N)).
+      // The Count domain is [1, N']; an arbitrary initial configuration can
+      // transiently make Sum exceed N' (bogus descendants), in which case
+      // the stored value saturates at the domain ceiling.
+      const std::uint64_t s = sum(c, p);
+      next.count = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(s, params_.n_upper));
+      if (is_root(p)) {
+        next.fok = params_.ablate_count_wait || (s == params_.n);
+      }
+      break;
+    }
+    case kBCorrection:
+      // Algorithm 1: Pif := C.  Algorithm 2: Pif := F.
+      next.pif = is_root(p) ? Phase::kC : Phase::kF;
+      break;
+    case kFCorrection:
+      // F-correction(p) :: Pif := C
+      next.pif = Phase::kC;
+      break;
+    default:
+      SNAPPIF_ASSERT_MSG(false, "unknown action id");
+  }
+  return next;
+}
+
+}  // namespace snappif::pif

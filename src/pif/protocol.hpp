@@ -1,0 +1,120 @@
+// Algorithms 1 and 2 of the paper: the snap-stabilizing PIF protocol for the
+// root (Algorithm 1) and the other processors (Algorithm 2).
+//
+// All of the paper's macros (Sum_Set, Sum, Pre_Potential, Potential),
+// predicates (GoodFok, GoodPif, GoodLevel, GoodCount, Normal, Leaf, BLeaf,
+// BFree, Broadcast, ChangeFok, Feedback, Cleaning, NewCount, AbnormalB,
+// AbnormalF) and actions (B-action, Fok-action, F-action, C-action,
+// Count-action, B-correction, F-correction) are exposed as public methods so
+// the test suite can exercise each one against hand-built neighborhoods.
+//
+// See DESIGN.md §2 for the three documented repairs of apparent typos in the
+// conference text (Sum_Set's ¬Fok conjunct, the root's GoodFok, and
+// Potential's undefined Set_p); Params offers literal-reading switches so the
+// test suite can demonstrate the literal text misbehaves.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pif/params.hpp"
+#include "pif/state.hpp"
+#include "sim/configuration.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::pif {
+
+/// Action table shared by both algorithms, in the paper's listing order.
+/// Fok-action and F-correction are never enabled at the root (Algorithm 1
+/// has no such actions); B-correction's guard differs per algorithm.
+enum Action : sim::ActionId {
+  kBAction = 0,
+  kFokAction = 1,
+  kFAction = 2,
+  kCAction = 3,
+  kCountAction = 4,
+  kBCorrection = 5,
+  kFCorrection = 6,
+  kNumActions = 7,
+};
+
+[[nodiscard]] std::string_view action_label(sim::ActionId a);
+
+class PifProtocol {
+ public:
+  using State = pif::State;
+  using Config = sim::Configuration<State>;
+
+  PifProtocol(const graph::Graph& g, Params params);
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] sim::ProcessorId root() const noexcept { return params_.root; }
+  [[nodiscard]] bool is_root(sim::ProcessorId p) const noexcept {
+    return p == params_.root;
+  }
+
+  // --- Protocol concept interface -----------------------------------------
+
+  /// The normal starting configuration: Pif=C everywhere (plus canonical
+  /// values for the unconstrained variables).
+  [[nodiscard]] State initial_state(sim::ProcessorId p) const;
+  [[nodiscard]] sim::ActionId num_actions() const noexcept { return kNumActions; }
+  [[nodiscard]] std::string_view action_name(sim::ActionId a) const {
+    return action_label(a);
+  }
+  [[nodiscard]] bool enabled(const Config& c, sim::ProcessorId p,
+                             sim::ActionId a) const;
+  [[nodiscard]] State apply(const Config& c, sim::ProcessorId p,
+                            sim::ActionId a) const;
+  /// Uniform over the variable domains of Section 3 (Pif x Fok x Count x
+  /// Level x Par); the root's constants are respected.
+  [[nodiscard]] State random_state(sim::ProcessorId p, util::Rng& rng) const;
+  /// The complete (finite) state domain of processor p, for exhaustive
+  /// exploration.  Size: 3 * 2 * N' (* Lmax * deg(p) for p != r).
+  [[nodiscard]] std::vector<State> all_states(sim::ProcessorId p) const;
+
+  // --- Macros (Section 3) --------------------------------------------------
+
+  /// Sum_p = 1 + sum of Count_q over q in Sum_Set_p.
+  [[nodiscard]] std::uint64_t sum(const Config& c, sim::ProcessorId p) const;
+  /// Membership of q in Sum_Set_p.
+  [[nodiscard]] bool in_sum_set(const Config& c, sim::ProcessorId p,
+                                sim::ProcessorId q) const;
+  /// Pre_Potential_p, ascending neighbor order.
+  [[nodiscard]] std::vector<sim::ProcessorId> pre_potential(
+      const Config& c, sim::ProcessorId p) const;
+  /// Potential_p (minimum-level restriction of Pre_Potential_p).
+  [[nodiscard]] std::vector<sim::ProcessorId> potential(const Config& c,
+                                                        sim::ProcessorId p) const;
+
+  // --- Predicates (Section 3, both algorithms) -----------------------------
+
+  [[nodiscard]] bool good_fok(const Config& c, sim::ProcessorId p) const;
+  [[nodiscard]] bool good_pif(const Config& c, sim::ProcessorId p) const;    // p != r
+  [[nodiscard]] bool good_level(const Config& c, sim::ProcessorId p) const;  // p != r
+  [[nodiscard]] bool good_count(const Config& c, sim::ProcessorId p) const;
+  [[nodiscard]] bool normal(const Config& c, sim::ProcessorId p) const;
+  [[nodiscard]] bool leaf(const Config& c, sim::ProcessorId p) const;
+  [[nodiscard]] bool b_leaf(const Config& c, sim::ProcessorId p) const;
+  [[nodiscard]] bool b_free(const Config& c, sim::ProcessorId p) const;
+
+  // --- Guards ---------------------------------------------------------------
+
+  [[nodiscard]] bool broadcast_guard(const Config& c, sim::ProcessorId p) const;
+  [[nodiscard]] bool change_fok_guard(const Config& c, sim::ProcessorId p) const;
+  [[nodiscard]] bool feedback_guard(const Config& c, sim::ProcessorId p) const;
+  [[nodiscard]] bool cleaning_guard(const Config& c, sim::ProcessorId p) const;
+  [[nodiscard]] bool new_count_guard(const Config& c, sim::ProcessorId p) const;
+  [[nodiscard]] bool b_correction_guard(const Config& c, sim::ProcessorId p) const;
+  [[nodiscard]] bool f_correction_guard(const Config& c, sim::ProcessorId p) const;
+
+ private:
+  [[nodiscard]] const graph::Graph& g() const noexcept { return *graph_; }
+
+  const graph::Graph* graph_;
+  Params params_;
+};
+
+}  // namespace snappif::pif

@@ -1,0 +1,173 @@
+#include "pif/serialize.hpp"
+
+#include <charconv>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace snappif::pif {
+
+namespace {
+
+std::optional<std::uint32_t> parse_u32(std::string_view text) {
+  std::uint32_t value = 0;
+  const auto* begin = text.data();
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string format_state(const State& s, bool is_root) {
+  std::string out;
+  out += phase_char(s.pif);
+  if (s.fok) {
+    out += '*';
+  }
+  out += ':';
+  out += std::to_string(s.count);
+  if (!is_root) {
+    out += ':';
+    out += std::to_string(s.level);
+    out += ':';
+    out += std::to_string(s.parent);
+  }
+  return out;
+}
+
+std::string format_config(const PifProtocol& protocol,
+                          const sim::Configuration<State>& c) {
+  std::string out;
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    if (p > 0) {
+      out += ' ';
+    }
+    out += format_state(c.state(p), protocol.is_root(p));
+  }
+  return out;
+}
+
+std::optional<State> parse_state(const PifProtocol& protocol,
+                                 sim::ProcessorId p, std::string_view token) {
+  if (token.empty()) {
+    return std::nullopt;
+  }
+  State s;
+  switch (token.front()) {
+    case 'B':
+      s.pif = Phase::kB;
+      break;
+    case 'F':
+      s.pif = Phase::kF;
+      break;
+    case 'C':
+      s.pif = Phase::kC;
+      break;
+    default:
+      return std::nullopt;
+  }
+  token.remove_prefix(1);
+  if (!token.empty() && token.front() == '*') {
+    s.fok = true;
+    token.remove_prefix(1);
+  }
+  // Split remaining ":a:b:c" fields.
+  std::vector<std::string_view> fields;
+  while (!token.empty()) {
+    if (token.front() != ':') {
+      return std::nullopt;
+    }
+    token.remove_prefix(1);
+    const auto next = token.find(':');
+    fields.push_back(token.substr(0, next));
+    token.remove_prefix(next == std::string_view::npos ? token.size() : next);
+  }
+  const bool is_root = protocol.is_root(p);
+  const auto& params = protocol.params();
+
+  s.count = 1;
+  if (is_root) {
+    s.level = 0;
+    s.parent = kNoParent;
+    if (fields.size() > 1) {
+      return std::nullopt;
+    }
+  } else {
+    s.level = 1;
+    if (fields.size() > 3) {
+      return std::nullopt;
+    }
+  }
+  if (!fields.empty()) {
+    const auto count = parse_u32(fields[0]);
+    if (!count || *count < 1 || *count > params.n_upper) {
+      return std::nullopt;
+    }
+    s.count = *count;
+  }
+  if (!is_root && fields.size() >= 2) {
+    const auto level = parse_u32(fields[1]);
+    if (!level || *level < 1 || *level > params.l_max) {
+      return std::nullopt;
+    }
+    s.level = *level;
+  }
+  if (!is_root && fields.size() >= 3) {
+    const auto parent = parse_u32(fields[2]);
+    if (!parent) {
+      return std::nullopt;
+    }
+    s.parent = *parent;
+  }
+  return s;
+}
+
+std::optional<sim::Configuration<State>> parse_config(
+    const PifProtocol& protocol, const graph::Graph& g, std::string_view text) {
+  sim::Configuration<State> c(g, protocol.initial_state(0));
+  sim::ProcessorId p = 0;
+  std::size_t pos = 0;
+  while (pos < text.size() && p <= g.n()) {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\n' || text[pos] == '\t')) {
+      ++pos;
+    }
+    if (pos >= text.size()) {
+      break;
+    }
+    std::size_t end = pos;
+    while (end < text.size() && text[end] != ' ' && text[end] != '\n' &&
+           text[end] != '\t') {
+      ++end;
+    }
+    if (p >= g.n()) {
+      return std::nullopt;  // too many tokens
+    }
+    auto s = parse_state(protocol, p, text.substr(pos, end - pos));
+    if (!s) {
+      return std::nullopt;
+    }
+    if (!protocol.is_root(p)) {
+      // Parent omitted in the token: default to the first neighbor.
+      if (s->parent == kNoParent) {
+        s->parent = g.neighbors(p)[0];
+      }
+      if (!g.has_edge(p, s->parent)) {
+        return std::nullopt;
+      }
+    }
+    c.state(p) = *s;
+    ++p;
+    pos = end;
+  }
+  if (p != g.n()) {
+    return std::nullopt;  // too few tokens
+  }
+  return c;
+}
+
+}  // namespace snappif::pif

@@ -1,0 +1,40 @@
+// Text serialization of PIF configurations — model-check witnesses, test
+// fixtures and bug reports share a stable, human-editable format:
+//
+//   B*:3:2:5    one processor: Phase[Fok-star][:count[:level[:parent]]]
+//
+// A configuration is processors separated by whitespace, in id order.  The
+// root omits level/parent (constants).  Examples:
+//   "C C C"                          the 3-processor quiet configuration
+//   "B*:3 B*:1:1:0 C:1:1:1"          the Pre_Potential deadlock witness
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "pif/protocol.hpp"
+#include "sim/configuration.hpp"
+
+namespace snappif::pif {
+
+/// Renders one processor's state ("B*:3:2:5" — phase, fok star, count,
+/// level, parent; root renders phase/fok/count only).
+[[nodiscard]] std::string format_state(const State& s, bool is_root);
+
+/// Renders a whole configuration, one token per processor, space-separated.
+[[nodiscard]] std::string format_config(const PifProtocol& protocol,
+                                        const sim::Configuration<State>& c);
+
+/// Parses one processor token.  Omitted fields default to count=1, level=1
+/// (0 for the root), parent = first neighbor.  Returns nullopt on malformed
+/// input or out-of-domain values.
+[[nodiscard]] std::optional<State> parse_state(const PifProtocol& protocol,
+                                               sim::ProcessorId p,
+                                               std::string_view token);
+
+/// Parses a whole configuration (exactly n whitespace-separated tokens).
+[[nodiscard]] std::optional<sim::Configuration<State>> parse_config(
+    const PifProtocol& protocol, const graph::Graph& g, std::string_view text);
+
+}  // namespace snappif::pif

@@ -1,0 +1,131 @@
+// WaveService — a snap-stabilizing request/response service, the shape of
+// the "universal transformer" the paper's conclusion announces (reference
+// [13]): wrap a terminating request -> distributed-computation -> response
+// task into PIF waves so that it inherits snap-stabilization.
+//
+// The root owns a request queue.  Each PIF cycle serves the front request:
+// the broadcast carries it to every processor (conceptually — the payload
+// rides the same tree the ghost message does), each processor computes its
+// local share on receipt, and the feedback folds the shares into the
+// response delivered with the root's F-action.  Snap-stabilization
+// guarantees the FIRST response after any transient fault is already
+// computed over all N processors.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "pif/aggregate.hpp"
+
+namespace snappif::pif {
+
+template <typename Req, typename Resp>
+class WaveService {
+ public:
+  struct Completed {
+    Req request;
+    Resp response;
+    bool wave_ok = false;  // the serving cycle satisfied PIF1 and PIF2
+  };
+
+  /// `handler(request, p)` computes processor p's share of the response;
+  /// `fold` combines shares (commutative monoid, like WaveAggregator's).
+  WaveService(const graph::Graph& g, sim::ProcessorId root,
+              std::function<Resp(const Req&, sim::ProcessorId)> handler,
+              std::function<Resp(const Resp&, const Resp&)> fold)
+      : root_(root),
+        handler_(std::move(handler)),
+        aggregator_(
+            g, root,
+            [this](sim::ProcessorId p) {
+              // Sampled while a wave with an in-flight request is running.
+              return handler_(*in_flight_, p);
+            },
+            std::move(fold)) {}
+
+  /// Enqueues a request; served by the next wave the root initiates.
+  void submit(Req request) { queue_.push_back(std::move(request)); }
+
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return queue_.size() + (in_flight_.has_value() ? 1 : 0);
+  }
+
+  /// Pops the next completed request/response, if any.
+  [[nodiscard]] std::optional<Completed> poll() {
+    if (completed_.empty()) {
+      return std::nullopt;
+    }
+    Completed out = std::move(completed_.front());
+    completed_.pop_front();
+    return out;
+  }
+
+  /// Wire as the simulator hook together with a GhostTracker — same
+  /// contract as WaveAggregator (see attach below).
+  void on_apply(sim::ProcessorId p, sim::ActionId a,
+                const sim::Configuration<State>& before, const State& after,
+                const GhostTracker& tracker) {
+    if (p == root_ && a == kBAction) {
+      // A new wave opens: dedicate it to the front request, if any.
+      if (!in_flight_ && !queue_.empty()) {
+        in_flight_ = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      serving_message_ = in_flight_ ? tracker.current_message() : 0;
+    }
+    if (!in_flight_ || tracker.current_message() != serving_message_) {
+      return;  // idle wave (no request) or unrelated bookkeeping
+    }
+    aggregator_.on_apply(p, a, before, after, tracker);
+    if (p == root_ && a == kFAction && aggregator_.result().has_value()) {
+      Completed done;
+      done.request = std::move(*in_flight_);
+      done.response = *aggregator_.result();
+      // The serving wave's verdict closes in the same step, after this
+      // handler (attach() orders service before tracker on the root's
+      // F-action) — record obligations via the tracker's live view.
+      bool all = true;
+      for (sim::ProcessorId q = 0; q < before.n(); ++q) {
+        all = all && tracker.received_current(q) && tracker.acked_current(q);
+      }
+      done.wave_ok = all;
+      completed_.push_back(std::move(done));
+      in_flight_.reset();
+      serving_message_ = 0;
+    }
+  }
+
+ private:
+  sim::ProcessorId root_;
+  std::function<Resp(const Req&, sim::ProcessorId)> handler_;
+  WaveAggregator<Resp> aggregator_;
+  std::deque<Req> queue_;
+  std::optional<Req> in_flight_;
+  std::uint64_t serving_message_ = 0;
+  std::deque<Completed> completed_;
+};
+
+/// Installs tracker + service with the same ordering contract as the
+/// aggregator attach (service sees the root's F-action while the cycle is
+/// still active).
+template <typename Req, typename Resp>
+void attach(sim::Simulator<PifProtocol>& sim, GhostTracker& tracker,
+            WaveService<Req, Resp>& service) {
+  const sim::ProcessorId root = sim.protocol().root();
+  sim.set_apply_hook([&sim, &tracker, &service, root](
+                         sim::ProcessorId p, sim::ActionId a,
+                         const sim::Configuration<State>& before,
+                         const State& after) {
+    tracker.note_step(sim.steps());
+    if (p == root && a == kFAction) {
+      service.on_apply(p, a, before, after, tracker);
+      tracker.on_apply(p, a, after);
+    } else {
+      tracker.on_apply(p, a, after);
+      service.on_apply(p, a, before, after, tracker);
+    }
+  });
+}
+
+}  // namespace snappif::pif

@@ -1,0 +1,56 @@
+// Per-processor state of the snap-stabilizing PIF protocol (Section 3).
+//
+// Every processor p maintains:
+//   Pif_p   in {B, F, C} — broadcast / feedback / cleaning ("ready") phase
+//   Fok_p   boolean      — the feedback-authorization wave flag
+//   Count_p in [1, N']   — size estimate of the broadcast subtree under p
+//   L_p     — level: 0 constant at the root, in [1, L_max] otherwise
+//   Par_p   — parent in the dynamically built broadcast tree: a neighbor id
+//             for p != r; the constant "bottom" at the root
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::pif {
+
+/// Phase values of the Pif variable, in the paper's order.
+enum class Phase : std::uint8_t { kB = 0, kF = 1, kC = 2 };
+
+[[nodiscard]] constexpr char phase_char(Phase ph) noexcept {
+  switch (ph) {
+    case Phase::kB:
+      return 'B';
+    case Phase::kF:
+      return 'F';
+    case Phase::kC:
+      return 'C';
+  }
+  return '?';
+}
+
+/// The root's Par constant (the paper's ⊥).
+inline constexpr sim::ProcessorId kNoParent = 0xffffffffU;
+
+struct State {
+  Phase pif = Phase::kC;
+  bool fok = false;
+  std::uint32_t count = 1;
+  std::uint32_t level = 0;
+  sim::ProcessorId parent = kNoParent;
+
+  [[nodiscard]] bool operator==(const State&) const noexcept = default;
+
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    std::uint64_t h = static_cast<std::uint64_t>(pif);
+    h = util::hash_combine(h, fok ? 1 : 0);
+    h = util::hash_combine(h, count);
+    h = util::hash_combine(h, level);
+    h = util::hash_combine(h, parent);
+    return h;
+  }
+};
+
+}  // namespace snappif::pif

@@ -1,0 +1,61 @@
+// Global configuration: the product of all processors' local states
+// (Section 2 of the paper).  Immutable topology, mutable states.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::sim {
+
+template <typename S>
+class Configuration {
+ public:
+  using State = S;
+
+  /// All processors start in `init`.
+  Configuration(const graph::Graph& g, const S& init)
+      : graph_(&g), states_(g.n(), init) {}
+
+  [[nodiscard]] const graph::Graph& topology() const noexcept { return *graph_; }
+  [[nodiscard]] ProcessorId n() const noexcept { return graph_->n(); }
+
+  [[nodiscard]] const S& state(ProcessorId p) const {
+    SNAPPIF_ASSERT(p < states_.size());
+    return states_[p];
+  }
+  [[nodiscard]] S& state(ProcessorId p) {
+    SNAPPIF_ASSERT(p < states_.size());
+    return states_[p];
+  }
+  [[nodiscard]] std::span<const S> states() const noexcept { return states_; }
+
+  [[nodiscard]] std::span<const ProcessorId> neighbors(ProcessorId p) const {
+    return graph_->neighbors(p);
+  }
+
+  /// Order-sensitive content hash of all states; S must provide
+  /// `std::uint64_t hash() const`.  Used by model checking and determinism
+  /// tests.
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const S& s : states_) {
+      h = util::hash_combine(h, s.hash());
+    }
+    return h;
+  }
+
+  [[nodiscard]] bool operator==(const Configuration& other) const {
+    return states_ == other.states_;
+  }
+
+ private:
+  const graph::Graph* graph_;
+  std::vector<S> states_;
+};
+
+}  // namespace snappif::sim

@@ -1,0 +1,184 @@
+#include "sim/daemon.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace snappif::sim {
+
+void SynchronousDaemon::select(std::span<const ProcessorId> enabled,
+                               const DaemonContext& /*ctx*/, util::Rng& /*rng*/,
+                               std::vector<ProcessorId>& out) {
+  out.insert(out.end(), enabled.begin(), enabled.end());
+}
+
+void CentralRandomDaemon::select(std::span<const ProcessorId> enabled,
+                                 const DaemonContext& /*ctx*/, util::Rng& rng,
+                                 std::vector<ProcessorId>& out) {
+  SNAPPIF_ASSERT(!enabled.empty());
+  out.push_back(enabled[rng.below(enabled.size())]);
+}
+
+void CentralRoundRobinDaemon::select(std::span<const ProcessorId> enabled,
+                                     const DaemonContext& ctx, util::Rng& /*rng*/,
+                                     std::vector<ProcessorId>& out) {
+  SNAPPIF_ASSERT(!enabled.empty());
+  // First enabled processor with id >= cursor, wrapping around.
+  auto it = std::lower_bound(enabled.begin(), enabled.end(), cursor_);
+  if (it == enabled.end()) {
+    it = enabled.begin();
+  }
+  out.push_back(*it);
+  cursor_ = (*it + 1) % std::max<ProcessorId>(ctx.n, 1);
+}
+
+DistributedRandomDaemon::DistributedRandomDaemon(double probability)
+    : probability_(probability) {
+  SNAPPIF_ASSERT(probability > 0.0 && probability <= 1.0);
+  name_ = "distributed-random";
+}
+
+void DistributedRandomDaemon::select(std::span<const ProcessorId> enabled,
+                                     const DaemonContext& /*ctx*/, util::Rng& rng,
+                                     std::vector<ProcessorId>& out) {
+  SNAPPIF_ASSERT(!enabled.empty());
+  const std::size_t before = out.size();
+  for (ProcessorId p : enabled) {
+    if (rng.chance(probability_)) {
+      out.push_back(p);
+    }
+  }
+  if (out.size() == before) {
+    out.push_back(enabled[rng.below(enabled.size())]);
+  }
+}
+
+AdversarialScoreDaemon::AdversarialScoreDaemon(Goal goal, std::size_t width)
+    : goal_(goal), width_(width) {
+  SNAPPIF_ASSERT(width >= 1);
+  name_ = goal == Goal::kMaxScore ? "adversarial-max" : "adversarial-min";
+}
+
+void AdversarialScoreDaemon::select(std::span<const ProcessorId> enabled,
+                                    const DaemonContext& ctx, util::Rng& /*rng*/,
+                                    std::vector<ProcessorId>& out) {
+  SNAPPIF_ASSERT(!enabled.empty());
+  if (!ctx.score) {
+    // No score available: degrade to picking the lowest ids.
+    const std::size_t take = std::min(width_, enabled.size());
+    out.insert(out.end(), enabled.begin(), enabled.begin() + static_cast<std::ptrdiff_t>(take));
+    return;
+  }
+  std::vector<ProcessorId> sorted(enabled.begin(), enabled.end());
+  const bool maximize = goal_ == Goal::kMaxScore;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](ProcessorId a, ProcessorId b) {
+                     const auto sa = ctx.score(a);
+                     const auto sb = ctx.score(b);
+                     return maximize ? sa > sb : sa < sb;
+                   });
+  const std::size_t take = std::min(width_, sorted.size());
+  out.insert(out.end(), sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(take));
+}
+
+FairDaemon::FairDaemon(std::unique_ptr<IDaemon> inner, std::uint32_t bound)
+    : inner_(std::move(inner)), bound_(bound) {
+  SNAPPIF_ASSERT(inner_ != nullptr);
+  SNAPPIF_ASSERT(bound >= 1);
+  name_ = "fair(" + std::string(inner_->name()) + ")";
+}
+
+void FairDaemon::select(std::span<const ProcessorId> enabled, const DaemonContext& ctx,
+                        util::Rng& rng, std::vector<ProcessorId>& out) {
+  if (ages_.size() != ctx.n) {
+    ages_.assign(ctx.n, 0);
+  }
+  const std::size_t before = out.size();
+  inner_->select(enabled, ctx, rng, out);
+  SNAPPIF_ASSERT_MSG(out.size() > before, "inner daemon selected nothing");
+
+  // Age accounting: enabled processors age; disabled ones reset (they were
+  // not *continuously* enabled).  Selected ones reset too.
+  std::vector<bool> is_enabled(ctx.n, false);
+  for (ProcessorId p : enabled) {
+    is_enabled[p] = true;
+  }
+  std::vector<bool> selected(ctx.n, false);
+  for (std::size_t i = before; i < out.size(); ++i) {
+    selected[out[i]] = true;
+  }
+  for (ProcessorId p : enabled) {
+    if (selected[p]) {
+      continue;
+    }
+    if (++ages_[p] >= bound_) {
+      out.push_back(p);
+      selected[p] = true;
+    }
+  }
+  for (ProcessorId p = 0; p < ctx.n; ++p) {
+    if (!is_enabled[p] || selected[p]) {
+      ages_[p] = 0;
+    }
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(before), out.end());
+}
+
+void FairDaemon::reset() {
+  inner_->reset();
+  ages_.clear();
+}
+
+std::unique_ptr<IDaemon> make_daemon(DaemonKind kind) {
+  switch (kind) {
+    case DaemonKind::kSynchronous:
+      return std::make_unique<SynchronousDaemon>();
+    case DaemonKind::kCentralRandom:
+      return std::make_unique<CentralRandomDaemon>();
+    case DaemonKind::kCentralRoundRobin:
+      return std::make_unique<CentralRoundRobinDaemon>();
+    case DaemonKind::kDistributedRandom:
+      return std::make_unique<DistributedRandomDaemon>(0.5);
+    case DaemonKind::kAdversarialMaxLevel:
+      return std::make_unique<FairDaemon>(
+          std::make_unique<AdversarialScoreDaemon>(
+              AdversarialScoreDaemon::Goal::kMaxScore, 1),
+          /*bound=*/8);
+    case DaemonKind::kAdversarialMinLevel:
+      return std::make_unique<FairDaemon>(
+          std::make_unique<AdversarialScoreDaemon>(
+              AdversarialScoreDaemon::Goal::kMinScore, 1),
+          /*bound=*/8);
+  }
+  SNAPPIF_ASSERT_MSG(false, "unknown daemon kind");
+  return nullptr;
+}
+
+std::string_view daemon_kind_name(DaemonKind kind) {
+  switch (kind) {
+    case DaemonKind::kSynchronous:
+      return "synchronous";
+    case DaemonKind::kCentralRandom:
+      return "central-random";
+    case DaemonKind::kCentralRoundRobin:
+      return "central-rr";
+    case DaemonKind::kDistributedRandom:
+      return "distributed-random";
+    case DaemonKind::kAdversarialMaxLevel:
+      return "adversarial-max";
+    case DaemonKind::kAdversarialMinLevel:
+      return "adversarial-min";
+  }
+  return "?";
+}
+
+std::span<const DaemonKind> standard_daemon_kinds() {
+  static constexpr DaemonKind kKinds[] = {
+      DaemonKind::kSynchronous,          DaemonKind::kCentralRandom,
+      DaemonKind::kCentralRoundRobin,    DaemonKind::kDistributedRandom,
+      DaemonKind::kAdversarialMaxLevel,  DaemonKind::kAdversarialMinLevel,
+  };
+  return kKinds;
+}
+
+}  // namespace snappif::sim

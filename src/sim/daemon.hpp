@@ -1,0 +1,144 @@
+// Daemons (schedulers).
+//
+// The paper assumes a *weakly fair distributed daemon*: in each computation
+// step the daemon picks a non-empty subset of the enabled processors, and any
+// continuously enabled processor is eventually picked.  Since the correctness
+// claims quantify over all daemons, the harness provides a family of daemon
+// strategies — synchronous, central (sequential), randomized distributed, and
+// score-driven adversarial — plus a fairness enforcer that turns any strategy
+// into a weakly fair one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::sim {
+
+/// Read-only context handed to the daemon at each step.
+struct DaemonContext {
+  /// Total number of processors.
+  ProcessorId n = 0;
+  /// Index of the upcoming computation step (0-based).
+  std::uint64_t step = 0;
+  /// Optional per-processor score for adversarial strategies (e.g., the
+  /// PIF level variable).  May be empty.
+  std::function<std::int64_t(ProcessorId)> score;
+};
+
+/// Daemon strategy interface.  `select` must append a non-empty subset of
+/// `enabled` (which is non-empty, sorted ascending, duplicate-free) to `out`.
+class IDaemon {
+ public:
+  virtual ~IDaemon() = default;
+  virtual void select(std::span<const ProcessorId> enabled, const DaemonContext& ctx,
+                      util::Rng& rng, std::vector<ProcessorId>& out) = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Clears any internal scheduling state (cursors, fairness ages).
+  virtual void reset() {}
+};
+
+/// All enabled processors execute every step.  Deterministic.
+class SynchronousDaemon final : public IDaemon {
+ public:
+  void select(std::span<const ProcessorId> enabled, const DaemonContext& ctx,
+              util::Rng& rng, std::vector<ProcessorId>& out) override;
+  [[nodiscard]] std::string_view name() const override { return "synchronous"; }
+};
+
+/// Central daemon, uniformly random singleton.
+class CentralRandomDaemon final : public IDaemon {
+ public:
+  void select(std::span<const ProcessorId> enabled, const DaemonContext& ctx,
+              util::Rng& rng, std::vector<ProcessorId>& out) override;
+  [[nodiscard]] std::string_view name() const override { return "central-random"; }
+};
+
+/// Central daemon cycling through processor ids; picks the first enabled
+/// processor at or after the cursor.  Deterministic and weakly fair.
+class CentralRoundRobinDaemon final : public IDaemon {
+ public:
+  void select(std::span<const ProcessorId> enabled, const DaemonContext& ctx,
+              util::Rng& rng, std::vector<ProcessorId>& out) override;
+  [[nodiscard]] std::string_view name() const override { return "central-rr"; }
+  void reset() override { cursor_ = 0; }
+
+ private:
+  ProcessorId cursor_ = 0;
+};
+
+/// Distributed daemon: each enabled processor is included independently with
+/// probability `p`; if none got included, one uniform processor is forced so
+/// the subset is non-empty.
+class DistributedRandomDaemon final : public IDaemon {
+ public:
+  explicit DistributedRandomDaemon(double probability = 0.5);
+  void select(std::span<const ProcessorId> enabled, const DaemonContext& ctx,
+              util::Rng& rng, std::vector<ProcessorId>& out) override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  double probability_;
+  std::string name_;
+};
+
+/// Adversarial daemon driven by the context's score function: each step it
+/// picks the `width` enabled processors with extreme (max or min) score.
+/// Intentionally unfair on its own — wrap in FairDaemon for executions, or
+/// use directly to construct worst-case prefixes.
+class AdversarialScoreDaemon final : public IDaemon {
+ public:
+  enum class Goal { kMaxScore, kMinScore };
+  AdversarialScoreDaemon(Goal goal, std::size_t width = 1);
+  void select(std::span<const ProcessorId> enabled, const DaemonContext& ctx,
+              util::Rng& rng, std::vector<ProcessorId>& out) override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  Goal goal_;
+  std::size_t width_;
+  std::string name_;
+};
+
+/// Weak-fairness enforcer: delegates to `inner`, but any processor that has
+/// been continuously enabled for `bound` consecutive steps without being
+/// selected is force-included.  With bound >= 1 every continuously enabled
+/// processor executes within `bound` steps, so the result is weakly fair.
+class FairDaemon final : public IDaemon {
+ public:
+  FairDaemon(std::unique_ptr<IDaemon> inner, std::uint32_t bound);
+  void select(std::span<const ProcessorId> enabled, const DaemonContext& ctx,
+              util::Rng& rng, std::vector<ProcessorId>& out) override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  void reset() override;
+
+ private:
+  std::unique_ptr<IDaemon> inner_;
+  std::uint32_t bound_;
+  std::string name_;
+  std::vector<std::uint32_t> ages_;  // consecutive enabled-but-unselected steps
+};
+
+/// Daemon kinds constructible by name (for sweep tables and CLI flags).
+enum class DaemonKind {
+  kSynchronous,
+  kCentralRandom,
+  kCentralRoundRobin,
+  kDistributedRandom,
+  kAdversarialMaxLevel,  // score-max wrapped in FairDaemon
+  kAdversarialMinLevel,  // score-min wrapped in FairDaemon
+};
+
+[[nodiscard]] std::unique_ptr<IDaemon> make_daemon(DaemonKind kind);
+[[nodiscard]] std::string_view daemon_kind_name(DaemonKind kind);
+/// The daemon set every sweep iterates over.
+[[nodiscard]] std::span<const DaemonKind> standard_daemon_kinds();
+
+}  // namespace snappif::sim

@@ -1,0 +1,35 @@
+// Generic transient-fault injection.
+//
+// Self- and snap-stabilization model transient faults as arbitrary
+// corruption of local states.  These helpers corrupt a whole configuration
+// (arbitrary initial configuration) or a random subset of processors
+// mid-execution (transient burst).  Protocol-specific *structured*
+// corruptions (fake trees, inflated counts) live with the protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::sim {
+
+/// Corrupts exactly `count` distinct random processors with uniformly random
+/// states (count is clamped to n).
+template <Protocol P>
+void inject_burst(Simulator<P>& sim, std::uint32_t count, util::Rng& rng) {
+  const ProcessorId n = sim.config().n();
+  if (count > n) {
+    count = n;
+  }
+  // Floyd's algorithm for a uniform size-`count` subset of [0, n).
+  std::vector<bool> hit(n, false);
+  for (ProcessorId j = n - count; j < n; ++j) {
+    const auto t = static_cast<ProcessorId>(rng.below(j + 1));
+    const ProcessorId pick = hit[t] ? j : t;
+    hit[pick] = true;
+    sim.set_state(pick, sim.protocol().random_state(pick, rng));
+  }
+}
+
+}  // namespace snappif::sim

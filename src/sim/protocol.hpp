@@ -1,0 +1,46 @@
+// The Protocol concept: a distributed algorithm in the locally shared memory
+// model, expressed as guarded actions (Section 2 of the paper).
+//
+// A protocol type P provides:
+//   * `using State`       — the per-processor local state (regular type with
+//                           `std::uint64_t hash() const`).
+//   * `initial_state(p)`  — a designated clean state (for convenience; the
+//                           algorithms must work from ANY state).
+//   * `num_actions()`     — number of actions in the program.
+//   * `action_name(a)`    — label of action `a` (for traces/tables).
+//   * `enabled(c, p, a)`  — whether the guard of action `a` holds at
+//                           processor `p` in configuration `c`.  Guards read
+//                           only p's own state and its neighbors' states.
+//   * `apply(c, p, a)`    — the statement: computes p's next state from the
+//                           *current* configuration.  Pure (no side effects):
+//                           the engine writes the result back, which gives
+//                           composite read/write atomicity and lets a
+//                           distributed daemon execute many processors in the
+//                           same step against the same snapshot.
+//   * `random_state(p, rng)` — uniform sample of p's state space, for
+//                           arbitrary-initial-configuration experiments.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/configuration.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::sim {
+
+template <typename P>
+concept Protocol = requires(const P proto, const Configuration<typename P::State>& c,
+                            ProcessorId p, ActionId a, util::Rng& rng) {
+  typename P::State;
+  { proto.initial_state(p) } -> std::convertible_to<typename P::State>;
+  { proto.num_actions() } -> std::convertible_to<ActionId>;
+  { proto.action_name(a) } -> std::convertible_to<std::string_view>;
+  { proto.enabled(c, p, a) } -> std::convertible_to<bool>;
+  { proto.apply(c, p, a) } -> std::convertible_to<typename P::State>;
+  { proto.random_state(p, rng) } -> std::convertible_to<typename P::State>;
+};
+
+}  // namespace snappif::sim

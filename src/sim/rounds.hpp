@@ -1,0 +1,45 @@
+// Round accounting.
+//
+// The paper measures time in *rounds* (Dolev-Israeli-Moran): the first round
+// of a computation is its minimal prefix in which every processor that was
+// continuously enabled from the first configuration has executed an action —
+// either a protocol action or the "disable action" (it became disabled
+// because neighbors moved).  Subsequent rounds are defined on the suffix.
+//
+// RoundTracker implements exactly that: at each round boundary it snapshots
+// the enabled set; processors leave the pending set when they execute or
+// become disabled; when the pending set drains, a round has elapsed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace snappif::sim {
+
+class RoundTracker {
+ public:
+  /// Starts (or restarts) tracking with the enabled set of the current
+  /// configuration.  `enabled_now[p]` is true iff processor p is enabled.
+  void begin(const std::vector<bool>& enabled_now);
+
+  /// Records one computation step: `executed[p]` true iff p executed a
+  /// protocol action in the step; `enabled_after[p]` the new enabled set.
+  /// Returns true iff this step completed a round.
+  bool on_step(const std::vector<bool>& executed,
+               const std::vector<bool>& enabled_after);
+
+  /// Completed rounds since begin().
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+
+  /// Processors still owed an action in the current round.
+  [[nodiscard]] std::uint64_t pending_count() const noexcept { return pending_count_; }
+
+ private:
+  std::vector<bool> pending_;
+  std::uint64_t pending_count_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace snappif::sim

@@ -1,0 +1,356 @@
+// The execution engine.
+//
+// Simulator<P> runs a Protocol P on a graph under a daemon, implementing the
+// computation-step semantics of Section 2: the daemon picks a non-empty
+// subset of the enabled processors; each picked processor atomically
+// evaluates one enabled action's guard and executes its statement; all
+// statements in one step read the *same* pre-step configuration (composite
+// atomicity), so concurrent moves are well defined.
+//
+// The engine keeps an incrementally maintained enabled-set: an action's guard
+// reads only its processor's and its neighbors' variables, so after a step
+// only the executed processors and their neighbors can change enabledness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/configuration.hpp"
+#include "sim/daemon.hpp"
+#include "sim/protocol.hpp"
+#include "sim/rounds.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::sim {
+
+/// How a processor with several enabled actions picks one.  The paper's
+/// guards are designed to be pairwise mutually exclusive in reachable
+/// configurations (asserted in tests), but arbitrary *initial* configurations
+/// may enable several actions at once; the choice is the adversary's.
+enum class ActionPolicy {
+  kFirstEnabled,   // deterministic: lowest action id
+  kRandomEnabled,  // adversary explored via randomization
+};
+
+/// Why a run stopped.
+enum class StopReason {
+  kPredicate,   // the caller's goal predicate became true
+  kTerminal,    // no processor enabled (should not happen for PIF; tested)
+  kStepLimit,
+  kRoundLimit,
+};
+
+struct RunLimits {
+  std::uint64_t max_steps = 1'000'000;
+  std::uint64_t max_rounds = std::numeric_limits<std::uint64_t>::max();
+};
+
+struct RunResult {
+  StopReason reason = StopReason::kTerminal;
+  std::uint64_t steps = 0;   // steps executed during this run call
+  std::uint64_t rounds = 0;  // rounds completed during this run call
+};
+
+template <Protocol P>
+class Simulator {
+ public:
+  using State = typename P::State;
+  using Config = Configuration<State>;
+  /// Called once per executed action with the pre-step configuration and the
+  /// processor's new state; used for ghost-variable instrumentation.
+  using ApplyHook =
+      std::function<void(ProcessorId, ActionId, const Config&, const State&)>;
+
+  Simulator(P protocol, const graph::Graph& g, std::uint64_t seed = 1)
+      : protocol_(std::move(protocol)),
+        config_(g, protocol_.initial_state(0)),
+        rng_(seed) {
+    for (ProcessorId p = 0; p < config_.n(); ++p) {
+      config_.state(p) = protocol_.initial_state(p);
+    }
+    rebuild_enabled();
+  }
+
+  [[nodiscard]] const P& protocol() const noexcept { return protocol_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const graph::Graph& topology() const noexcept {
+    return config_.topology();
+  }
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+  /// Overwrites one processor's state (test fixtures, fault injection).
+  void set_state(ProcessorId p, const State& s) {
+    config_.state(p) = s;
+    mark_dirty_around(p);
+    flush_dirty();
+    rounds_.begin(enabled_);
+  }
+
+  /// Resets every processor to the protocol's designated initial state.
+  void reset_to_initial() {
+    for (ProcessorId p = 0; p < config_.n(); ++p) {
+      config_.state(p) = protocol_.initial_state(p);
+    }
+    rebuild_enabled();
+    steps_ = 0;
+    action_counts_.assign(protocol_.num_actions(), 0);
+  }
+
+  /// Draws every processor's state uniformly from its state space —
+  /// the "arbitrary initial configuration" of the snap-stabilization
+  /// definition.
+  void randomize(util::Rng& rng) {
+    for (ProcessorId p = 0; p < config_.n(); ++p) {
+      config_.state(p) = protocol_.random_state(p, rng);
+    }
+    rebuild_enabled();
+  }
+
+  void set_action_policy(ActionPolicy policy) noexcept { policy_ = policy; }
+  void set_apply_hook(ApplyHook hook) { apply_hook_ = std::move(hook); }
+  /// Score used by adversarial daemons (e.g., the level variable).
+  void set_score(std::function<std::int64_t(const State&)> score) {
+    score_ = std::move(score);
+  }
+  /// Attaches a trace recorder (nullptr detaches).
+  void set_trace(Trace* trace) noexcept { trace_ = trace; }
+
+  [[nodiscard]] bool is_enabled(ProcessorId p) const { return enabled_[p]; }
+  [[nodiscard]] bool any_enabled() const noexcept { return !enabled_list_.empty(); }
+  [[nodiscard]] std::span<const ProcessorId> enabled_processors() const noexcept {
+    return enabled_list_;
+  }
+
+  /// Enabled actions of p, in action-id order.
+  [[nodiscard]] std::vector<ActionId> enabled_actions(ProcessorId p) const {
+    std::vector<ActionId> out;
+    for (ActionId a = 0; a < protocol_.num_actions(); ++a) {
+      if (protocol_.enabled(config_, p, a)) {
+        out.push_back(a);
+      }
+    }
+    return out;
+  }
+
+  /// Executes one computation step under `daemon`.  Returns false iff the
+  /// configuration is terminal (no enabled processor), in which case nothing
+  /// happens.
+  bool step(IDaemon& daemon) {
+    if (enabled_list_.empty()) {
+      return false;
+    }
+    DaemonContext ctx;
+    ctx.n = config_.n();
+    ctx.step = steps_;
+    if (score_) {
+      ctx.score = [this](ProcessorId p) { return score_(config_.state(p)); };
+    }
+    selected_.clear();
+    daemon.select(enabled_list_, ctx, rng_, selected_);
+    SNAPPIF_ASSERT_MSG(!selected_.empty(), "daemon must select a non-empty subset");
+
+    // Phase 1: choose actions and compute new states against the pre-step
+    // configuration.
+    staged_.clear();
+    for (ProcessorId p : selected_) {
+      SNAPPIF_ASSERT_MSG(enabled_[p], "daemon selected a disabled processor");
+      const ActionId a = choose_action(p);
+      staged_.push_back({p, a, protocol_.apply(config_, p, a)});
+    }
+    if (trace_ != nullptr) {
+      StepRecord rec;
+      rec.step = steps_;
+      rec.rounds_before = rounds_.rounds();
+      for (const auto& s : staged_) {
+        rec.choices.push_back({s.processor, s.action});
+      }
+      trace_->record(std::move(rec));
+    }
+    if (apply_hook_) {
+      for (const auto& s : staged_) {
+        apply_hook_(s.processor, s.action, config_, s.next);
+      }
+    }
+
+    // Phase 2: commit all writes, then refresh enabledness around writers.
+    executed_.assign(config_.n(), false);
+    for (auto& s : staged_) {
+      config_.state(s.processor) = std::move(s.next);
+      executed_[s.processor] = true;
+      if (s.action < action_counts_.size()) {
+        ++action_counts_[s.action];
+      }
+    }
+    for (const auto& s : staged_) {
+      mark_dirty_around(s.processor);
+    }
+    flush_dirty();
+    ++steps_;
+    rounds_.on_step(executed_, enabled_);
+    return true;
+  }
+
+  /// Runs until `goal(config)` holds (checked before each step), the
+  /// configuration is terminal, or a limit is hit.
+  template <typename Goal>
+  RunResult run_until(IDaemon& daemon, Goal&& goal, RunLimits limits = {}) {
+    RunResult result;
+    const std::uint64_t rounds_at_start = rounds_.rounds();
+    while (true) {
+      result.rounds = rounds_.rounds() - rounds_at_start;
+      if (goal(config_)) {
+        result.reason = StopReason::kPredicate;
+        return result;
+      }
+      if (result.steps >= limits.max_steps) {
+        result.reason = StopReason::kStepLimit;
+        return result;
+      }
+      if (result.rounds >= limits.max_rounds) {
+        result.reason = StopReason::kRoundLimit;
+        return result;
+      }
+      if (!step(daemon)) {
+        result.reason = StopReason::kTerminal;
+        return result;
+      }
+      ++result.steps;
+    }
+  }
+
+  /// Total computation steps executed since construction/reset.
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  /// Total completed rounds since the last reset/randomize/set_state.
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_.rounds(); }
+  /// Executions of action `a` since construction/reset.
+  [[nodiscard]] std::uint64_t action_count(ActionId a) const {
+    return action_counts_.at(a);
+  }
+  [[nodiscard]] std::vector<std::string> action_names() const {
+    std::vector<std::string> names;
+    for (ActionId a = 0; a < protocol_.num_actions(); ++a) {
+      names.emplace_back(protocol_.action_name(a));
+    }
+    return names;
+  }
+
+ private:
+  struct Staged {
+    ProcessorId processor;
+    ActionId action;
+    State next;
+  };
+
+  [[nodiscard]] ActionId choose_action(ProcessorId p) {
+    ActionId first = kNoAction;
+    std::uint32_t count = 0;
+    ActionId chosen = kNoAction;
+    for (ActionId a = 0; a < protocol_.num_actions(); ++a) {
+      if (!protocol_.enabled(config_, p, a)) {
+        continue;
+      }
+      if (first == kNoAction) {
+        first = a;
+      }
+      ++count;
+      if (policy_ == ActionPolicy::kRandomEnabled) {
+        // Reservoir sampling over enabled actions.
+        if (rng_.below(count) == 0) {
+          chosen = a;
+        }
+      }
+    }
+    SNAPPIF_ASSERT_MSG(first != kNoAction, "selected processor has no enabled action");
+    return policy_ == ActionPolicy::kFirstEnabled ? first : chosen;
+  }
+
+  void rebuild_enabled() {
+    enabled_.assign(config_.n(), false);
+    enabled_list_.clear();
+    for (ProcessorId p = 0; p < config_.n(); ++p) {
+      enabled_[p] = compute_enabled(p);
+      if (enabled_[p]) {
+        enabled_list_.push_back(p);
+      }
+    }
+    dirty_.assign(config_.n(), false);
+    rounds_.begin(enabled_);
+    if (action_counts_.size() != protocol_.num_actions()) {
+      action_counts_.assign(protocol_.num_actions(), 0);
+    }
+  }
+
+  [[nodiscard]] bool compute_enabled(ProcessorId p) const {
+    for (ActionId a = 0; a < protocol_.num_actions(); ++a) {
+      if (protocol_.enabled(config_, p, a)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void mark_dirty_around(ProcessorId p) {
+    if (dirty_.size() != config_.n()) {
+      dirty_.assign(config_.n(), false);
+    }
+    if (!dirty_[p]) {
+      dirty_[p] = true;
+      dirty_list_.push_back(p);
+    }
+    for (ProcessorId q : config_.neighbors(p)) {
+      if (!dirty_[q]) {
+        dirty_[q] = true;
+        dirty_list_.push_back(q);
+      }
+    }
+  }
+
+  void flush_dirty() {
+    bool changed = false;
+    for (ProcessorId p : dirty_list_) {
+      const bool now = compute_enabled(p);
+      if (now != enabled_[p]) {
+        enabled_[p] = now;
+        changed = true;
+      }
+      dirty_[p] = false;
+    }
+    dirty_list_.clear();
+    if (changed) {
+      enabled_list_.clear();
+      for (ProcessorId p = 0; p < config_.n(); ++p) {
+        if (enabled_[p]) {
+          enabled_list_.push_back(p);
+        }
+      }
+    }
+  }
+
+  P protocol_;
+  Config config_;
+  util::Rng rng_;
+  ActionPolicy policy_ = ActionPolicy::kFirstEnabled;
+  ApplyHook apply_hook_;
+  std::function<std::int64_t(const State&)> score_;
+  Trace* trace_ = nullptr;
+
+  std::vector<bool> enabled_;
+  std::vector<ProcessorId> enabled_list_;
+  std::vector<bool> dirty_;
+  std::vector<ProcessorId> dirty_list_;
+  std::vector<ProcessorId> selected_;
+  std::vector<Staged> staged_;
+  std::vector<bool> executed_;
+
+  RoundTracker rounds_;
+  std::uint64_t steps_ = 0;
+  std::vector<std::uint64_t> action_counts_;
+};
+
+}  // namespace snappif::sim

@@ -1,0 +1,76 @@
+// Compact execution timelines for human consumption.
+//
+// A Timeline collects one text "strip" per interesting moment (typically one
+// character column per processor) and renders the deduplicated sequence with
+// step/round stamps — the format the quickstart example prints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snappif::sim {
+
+class Timeline {
+ public:
+  explicit Timeline(std::size_t max_rows = 512) : max_rows_(max_rows) {}
+
+  /// Records a strip; consecutive duplicates are collapsed.
+  void snapshot(std::uint64_t step, std::uint64_t round, std::string strip);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// One line per recorded strip: "step NNN round RRR  |strip|".
+  [[nodiscard]] std::string render() const;
+
+  void clear();
+
+ private:
+  struct Row {
+    std::uint64_t step;
+    std::uint64_t round;
+    std::string strip;
+  };
+  std::size_t max_rows_;
+  std::vector<Row> rows_;
+  std::uint64_t dropped_ = 0;
+};
+
+inline void Timeline::snapshot(std::uint64_t step, std::uint64_t round,
+                               std::string strip) {
+  if (!rows_.empty() && rows_.back().strip == strip) {
+    return;
+  }
+  if (rows_.size() >= max_rows_) {
+    ++dropped_;
+    return;
+  }
+  rows_.push_back({step, round, std::move(strip)});
+}
+
+inline std::string Timeline::render() const {
+  std::string out;
+  char head[64];
+  for (const Row& row : rows_) {
+    std::snprintf(head, sizeof(head), "step %6llu round %4llu  |",
+                  static_cast<unsigned long long>(row.step),
+                  static_cast<unsigned long long>(row.round));
+    out += head;
+    out += row.strip;
+    out += "|\n";
+  }
+  if (dropped_ > 0) {
+    std::snprintf(head, sizeof(head), "... (%llu later rows dropped)\n",
+                  static_cast<unsigned long long>(dropped_));
+    out += head;
+  }
+  return out;
+}
+
+inline void Timeline::clear() {
+  rows_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace snappif::sim

@@ -1,0 +1,51 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace snappif::sim {
+
+Trace::Trace(std::size_t max_records) : max_records_(max_records) {
+  SNAPPIF_ASSERT(max_records >= 1);
+}
+
+void Trace::record(StepRecord record) {
+  if (records_.size() >= max_records_) {
+    records_.erase(records_.begin());
+    ++dropped_;
+  }
+  records_.push_back(std::move(record));
+}
+
+const StepRecord& Trace::operator[](std::size_t i) const { return records_.at(i); }
+
+std::string Trace::render(const std::vector<std::string>& action_names) const {
+  std::string out;
+  char buf[96];
+  if (dropped_ > 0) {
+    std::snprintf(buf, sizeof(buf), "... (%llu earlier steps dropped)\n",
+                  static_cast<unsigned long long>(dropped_));
+    out += buf;
+  }
+  for (const auto& rec : records_) {
+    std::snprintf(buf, sizeof(buf), "step %6llu (round %4llu):",
+                  static_cast<unsigned long long>(rec.step),
+                  static_cast<unsigned long long>(rec.rounds_before));
+    out += buf;
+    for (const auto& [p, a] : rec.choices) {
+      const char* label = a < action_names.size() ? action_names[a].c_str() : "?";
+      std::snprintf(buf, sizeof(buf), "  %u:%s", p, label);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Trace::clear() {
+  records_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace snappif::sim

@@ -1,0 +1,43 @@
+// Execution trace recording (optional, off the hot path unless attached).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace snappif::sim {
+
+/// One computation step: which processors executed which actions.
+struct StepRecord {
+  std::uint64_t step = 0;
+  std::uint64_t rounds_before = 0;  // completed rounds before this step
+  std::vector<ActionChoice> choices;
+};
+
+/// Bounded in-memory trace.  When the bound is hit, older records are
+/// discarded (the tail of an execution is usually what matters for
+/// debugging a stuck run).
+class Trace {
+ public:
+  explicit Trace(std::size_t max_records = 1 << 16);
+
+  void record(StepRecord record);
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] const StepRecord& operator[](std::size_t i) const;
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Human-readable dump using `action_name` to label actions.
+  [[nodiscard]] std::string render(
+      const std::vector<std::string>& action_names) const;
+
+  void clear();
+
+ private:
+  std::size_t max_records_;
+  std::vector<StepRecord> records_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace snappif::sim

@@ -1,0 +1,27 @@
+// Shared identifiers for the simulation core.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace snappif::sim {
+
+/// A processor in the network; identical to a graph vertex id.
+using ProcessorId = graph::NodeId;
+
+/// Index into a protocol's action table (small; protocols here have <= 8).
+using ActionId = std::uint8_t;
+
+/// Marker for "no action" in per-processor selections.
+inline constexpr ActionId kNoAction = 0xff;
+
+/// One executed action of one processor within a computation step.
+struct ActionChoice {
+  ProcessorId processor;
+  ActionId action;
+
+  [[nodiscard]] bool operator==(const ActionChoice&) const noexcept = default;
+};
+
+}  // namespace snappif::sim

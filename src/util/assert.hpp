@@ -1,0 +1,38 @@
+// Lightweight always-on assertion macro for internal invariants.
+//
+// Unlike <cassert>, SNAPPIF_ASSERT stays active in release builds: the
+// simulator's correctness claims are the whole point of this project, so we
+// never trade them for speed silently.  The macro prints the failing
+// expression, file and line, plus an optional human-readable message, then
+// aborts.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace snappif::util::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "SNAPPIF_ASSERT failed: %s\n  at %s:%d\n", expr, file, line);
+  if (msg != nullptr && msg[0] != '\0') {
+    std::fprintf(stderr, "  %s\n", msg);
+  }
+  std::abort();
+}
+
+}  // namespace snappif::util::detail
+
+#define SNAPPIF_ASSERT(expr)                                                       \
+  do {                                                                             \
+    if (!(expr)) {                                                                 \
+      ::snappif::util::detail::assert_fail(#expr, __FILE__, __LINE__, "");         \
+    }                                                                              \
+  } while (false)
+
+#define SNAPPIF_ASSERT_MSG(expr, msg)                                              \
+  do {                                                                             \
+    if (!(expr)) {                                                                 \
+      ::snappif::util::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));      \
+    }                                                                              \
+  } while (false)

@@ -1,0 +1,97 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace snappif::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) {
+    program_ = argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    if (body.empty()) {
+      // "--" ends flag parsing, the rest are positionals.
+      for (int j = i + 1; j < argc; ++j) {
+        positional_.emplace_back(argv[j]);
+      }
+      break;
+    }
+    Flag flag;
+    if (const auto eq = body.find('='); eq != std::string_view::npos) {
+      flag.name = std::string(body.substr(0, eq));
+      flag.value = std::string(body.substr(eq + 1));
+      flag.has_value = true;
+    } else if (body.starts_with("no-")) {
+      flag.name = std::string(body.substr(3));
+      flag.value = "false";
+      flag.has_value = true;
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      flag.name = std::string(body);
+      flag.value = argv[i + 1];
+      flag.has_value = true;
+      ++i;
+    } else {
+      flag.name = std::string(body);
+      flag.value = "true";
+      flag.has_value = true;
+    }
+    flags_.push_back(std::move(flag));
+  }
+}
+
+std::optional<std::string> Cli::get(std::string_view name) const {
+  // Last occurrence wins, so callers can override defaults on re-invocation.
+  std::optional<std::string> found;
+  for (const auto& flag : flags_) {
+    if (flag.name == name) {
+      found = flag.value;
+    }
+  }
+  return found;
+}
+
+std::string Cli::get_string(std::string_view name, std::string default_value) const {
+  if (auto v = get(name)) {
+    return *v;
+  }
+  return default_value;
+}
+
+std::int64_t Cli::get_int(std::string_view name, std::int64_t default_value) const {
+  if (auto v = get(name)) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(v->c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && !v->empty()) {
+      return parsed;
+    }
+  }
+  return default_value;
+}
+
+double Cli::get_double(std::string_view name, double default_value) const {
+  if (auto v = get(name)) {
+    char* end = nullptr;
+    const double parsed = std::strtod(v->c_str(), &end);
+    if (end != nullptr && *end == '\0' && !v->empty()) {
+      return parsed;
+    }
+  }
+  return default_value;
+}
+
+bool Cli::get_bool(std::string_view name, bool default_value) const {
+  if (auto v = get(name)) {
+    return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+  }
+  return default_value;
+}
+
+bool Cli::has(std::string_view name) const { return get(name).has_value(); }
+
+}  // namespace snappif::util

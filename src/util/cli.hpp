@@ -1,0 +1,52 @@
+// Tiny command-line flag parser for the examples and bench binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`.  Unknown flags are reported; positional arguments collected.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snappif::util {
+
+class Cli {
+ public:
+  /// Parses argv; never throws — malformed input is recorded in errors().
+  Cli(int argc, const char* const* argv);
+
+  /// Value of --name, if present.
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+
+  /// Typed accessors with defaults.
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string default_value) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t default_value) const;
+  [[nodiscard]] double get_double(std::string_view name, double default_value) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool default_value) const;
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  [[nodiscard]] const std::vector<std::string>& errors() const noexcept {
+    return errors_;
+  }
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value;  // empty for bare boolean flags
+    bool has_value = false;
+  };
+  std::string program_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace snappif::util

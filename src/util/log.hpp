@@ -1,0 +1,25 @@
+// Minimal leveled logger (stderr).  The simulator core never logs on hot
+// paths; logging is for examples and bench harness progress reporting.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace snappif::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// printf-style logging.  Thread-compatible (callers serialize externally;
+/// the simulator is single-threaded by design).
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace snappif::util
+
+#define SNAPPIF_LOG_DEBUG(...) ::snappif::util::logf(::snappif::util::LogLevel::kDebug, __VA_ARGS__)
+#define SNAPPIF_LOG_INFO(...) ::snappif::util::logf(::snappif::util::LogLevel::kInfo, __VA_ARGS__)
+#define SNAPPIF_LOG_WARN(...) ::snappif::util::logf(::snappif::util::LogLevel::kWarn, __VA_ARGS__)
+#define SNAPPIF_LOG_ERROR(...) ::snappif::util::logf(::snappif::util::LogLevel::kError, __VA_ARGS__)

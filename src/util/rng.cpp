@@ -1,0 +1,11 @@
+#include "util/rng.hpp"
+
+// Header-only implementation; this translation unit exists so the library has
+// a concrete object for the module and to host the static checks below.
+
+namespace snappif::util {
+
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == 0xffffffffffffffffULL);
+
+}  // namespace snappif::util

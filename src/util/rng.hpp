@@ -1,0 +1,146 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component of the simulator (daemons, fault injectors,
+// workload generators) draws from an explicitly seeded Rng so that any run can
+// be reproduced from its seed.  We implement xoshiro256** (Blackman/Vigna)
+// seeded through SplitMix64, the combination recommended by the authors; both
+// are tiny, fast, and have no global state, unlike std::mt19937 whose seeding
+// via a single u32 is notoriously weak.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace snappif::util {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used standalone for hashing and for seeding xoshiro.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit constexpr Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+    // xoshiro must not start at the all-zero state; splitmix64 of any seed
+    // cannot produce four zero words, but guard against logic rot.
+    SNAPPIF_ASSERT((state_[0] | state_[1] | state_[2] | state_[3]) != 0);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t s1 = state_[1];
+    const std::uint64_t result = rotl(s1 * 5, 7) * 9;
+    const std::uint64_t t = s1 << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= s1;
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  `bound` must be positive.
+  /// Uses Lemire's multiply-shift rejection method (no modulo bias).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    SNAPPIF_ASSERT(bound > 0);
+    // 128-bit multiply; rejection loop runs < 2 iterations in expectation.
+    while (true) {
+      const std::uint64_t x = (*this)();
+      const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      const std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    SNAPPIF_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range.
+    if (span == 0) {
+      return static_cast<std::int64_t>((*this)());
+    }
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability `p` of returning true.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Uniformly picks one element of a non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) noexcept {
+    SNAPPIF_ASSERT(!items.empty());
+    return items[below(items.size())];
+  }
+
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& items) noexcept {
+    return pick(std::span<const T>(items));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = below(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    shuffle(std::span<T>(items));
+  }
+
+  /// Derives an independent child generator; useful to give each component
+  /// of an experiment its own stream while keeping one master seed.
+  [[nodiscard]] Rng fork() noexcept { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Stable 64-bit hash combiner (for configuration hashing in model checking).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t h,
+                                                   std::uint64_t v) noexcept {
+  std::uint64_t s = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  return splitmix64(s);
+}
+
+}  // namespace snappif::util

@@ -1,0 +1,135 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace snappif::util {
+
+void OnlineStats::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::min() const {
+  SNAPPIF_ASSERT(!values_.empty());
+  ensure_sorted();
+  return values_.front();
+}
+
+double Samples::max() const {
+  SNAPPIF_ASSERT(!values_.empty());
+  ensure_sorted();
+  return values_.back();
+}
+
+double Samples::mean() const {
+  SNAPPIF_ASSERT(!values_.empty());
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::quantile(double q) const {
+  SNAPPIF_ASSERT(!values_.empty());
+  SNAPPIF_ASSERT(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (values_.size() == 1) {
+    return values_[0];
+  }
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) {
+    return values_.back();
+  }
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+Histogram::Histogram(std::size_t bucket_count, double bucket_width)
+    : counts_(bucket_count, 0), width_(bucket_width) {
+  SNAPPIF_ASSERT(bucket_count > 0);
+  SNAPPIF_ASSERT(bucket_width > 0.0);
+}
+
+void Histogram::add(double x) noexcept {
+  std::size_t idx = 0;
+  if (x > 0.0) {
+    idx = static_cast<std::size_t>(x / width_);
+    if (idx >= counts_.size()) {
+      idx = counts_.size() - 1;
+    }
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::uint64_t peak = 0;
+  for (std::uint64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  if (peak == 0) {
+    return "(empty histogram)\n";
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_bar_width));
+    char head[64];
+    std::snprintf(head, sizeof(head), "[%8.1f, %8.1f) %8llu ", bucket_lo(i),
+                  bucket_lo(i) + width_,
+                  static_cast<unsigned long long>(counts_[i]));
+    out += head;
+    out.append(std::max<std::size_t>(bar, 1), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace snappif::util

@@ -1,0 +1,91 @@
+// Online statistics accumulators used by the experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace snappif::util {
+
+/// Streaming min/max/mean/variance accumulator (Welford's algorithm).
+/// All operations are O(1); no samples are retained.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Smallest sample seen; +inf when empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  /// Largest sample seen; -inf when empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Arithmetic mean; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample-retaining accumulator for exact quantiles.  Appropriate for the
+/// experiment scales in this project (at most a few million samples).
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Exact empirical quantile by linear interpolation, q in [0, 1].
+  /// Must not be called on an empty accumulator.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+ private:
+  // Sorted lazily on demand.
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Fixed-width integer histogram over [0, bucket_count * bucket_width).
+/// Out-of-range values are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(std::size_t bucket_count, double bucket_width);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept {
+    return static_cast<double>(i) * width_;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Renders a compact ASCII bar chart, one line per non-empty bucket.
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  double width_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace snappif::util

@@ -1,0 +1,109 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace snappif::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SNAPPIF_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SNAPPIF_ASSERT_MSG(cells.size() == headers_.size(),
+                     "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  return rows_.at(row).at(col);
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += "| ";
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += "|";
+    out.append(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) {
+    emit_row(row, out);
+  }
+  return out;
+}
+
+std::string Table::render_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      return cell;
+    }
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') {
+        quoted += '"';
+      }
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out += ',';
+      }
+      out += escape(row[c]);
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out;
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_int(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+std::string fmt_uint(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string fmt_bool(bool value) { return value ? "yes" : "no"; }
+
+}  // namespace snappif::util

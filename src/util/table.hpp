@@ -1,0 +1,59 @@
+// ASCII table and CSV rendering for benchmark/experiment output.
+//
+// Every bench binary prints its results as a paper-style table; TablePrinter
+// keeps the formatting uniform (right-aligned numerics, aligned columns,
+// optional CSV sidecar output).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace snappif::util {
+
+/// Column-aligned text table.  Usage:
+///   Table t({"topology", "N", "rounds", "bound"});
+///   t.add_row({"ring", "32", "17", "20"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Renders with a header rule, columns padded to the widest cell.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+[[nodiscard]] std::string fmt(double value, int digits = 2);
+/// Formats an integer (any integral type).
+[[nodiscard]] std::string fmt_int(std::int64_t value);
+[[nodiscard]] std::string fmt_uint(std::uint64_t value);
+template <typename T>
+  requires std::is_integral_v<T>
+[[nodiscard]] std::string fmt(T value) {
+  if constexpr (std::is_signed_v<T>) {
+    return fmt_int(static_cast<std::int64_t>(value));
+  } else {
+    return fmt_uint(static_cast<std::uint64_t>(value));
+  }
+}
+/// "yes"/"no" for booleans (used in "bound satisfied?" columns).
+[[nodiscard]] std::string fmt_bool(bool value);
+
+}  // namespace snappif::util

@@ -1,0 +1,124 @@
+// Generic exhaustive deadlock checking across ALL protocols in the repo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analysis/explore.hpp"
+#include "baselines/selfstab_pif.hpp"
+#include "baselines/tree_pif.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "pif/multi.hpp"
+#include "pif/protocol.hpp"
+
+namespace snappif::analysis {
+namespace {
+
+template <sim::Protocol P>
+std::vector<std::vector<typename P::State>> domains_of(const graph::Graph& g,
+                                                       const P& protocol) {
+  std::vector<std::vector<typename P::State>> out;
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    out.push_back(protocol.all_states(p));
+  }
+  return out;
+}
+
+TEST(Explore, EnumerateProductCountsExactly) {
+  std::vector<std::vector<int>> domains{{1, 2}, {10}, {100, 200, 300}};
+  std::uint64_t count = 0;
+  std::set<std::vector<int>> seen;
+  enumerate_product(domains, [&](const std::vector<int>& states) {
+    ++count;
+    seen.insert(states);
+  });
+  EXPECT_EQ(count, 6u);
+  EXPECT_EQ(seen.size(), 6u);  // all distinct
+  EXPECT_EQ(product_space_size(domains), 6u);
+}
+
+TEST(Explore, PifAllStatesMatchesDomainArithmetic) {
+  const auto g = graph::make_path(3);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  // root: 3*2*3 = 18; middle (deg 2): 3*2*3*2*2 = 72; end (deg 1): 36.
+  EXPECT_EQ(protocol.all_states(0).size(), 18u);
+  EXPECT_EQ(protocol.all_states(1).size(), 72u);
+  EXPECT_EQ(protocol.all_states(2).size(), 36u);
+}
+
+TEST(Explore, PifGenericMatchesSpecializedChecker) {
+  const auto g = graph::make_path(3);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report =
+      check_no_deadlock_generic(g, protocol, domains_of(g, protocol));
+  EXPECT_EQ(report.configurations, 46656u);
+  EXPECT_EQ(report.deadlocks, 0u);
+}
+
+TEST(Explore, TreePifNeverDeadlocks) {
+  for (const auto& named :
+       {graph::NamedGraph{"path4", graph::make_path(4)},
+        graph::NamedGraph{"star5", graph::make_star(5)},
+        graph::NamedGraph{"bintree7", graph::make_binary_tree(7)}}) {
+    const auto tree = graph::bfs_tree(named.graph, 0);
+    baselines::TreePifProtocol protocol(named.graph, 0, tree.parent);
+    const auto report = check_no_deadlock_generic(named.graph, protocol,
+                                                  domains_of(named.graph, protocol));
+    EXPECT_EQ(report.configurations,
+              static_cast<std::uint64_t>(std::pow(3.0, named.graph.n())))
+        << named.name;
+    EXPECT_EQ(report.deadlocks, 0u) << named.name;
+  }
+}
+
+TEST(Explore, SelfStabPifNeverDeadlocksOnTinyGraphs) {
+  for (const auto& named :
+       {graph::NamedGraph{"path3", graph::make_path(3)},
+        graph::NamedGraph{"triangle", graph::make_cycle(3)},
+        graph::NamedGraph{"path4", graph::make_path(4)}}) {
+    baselines::SelfStabPifProtocol protocol(named.graph, 0);
+    const auto domains = domains_of(named.graph, protocol);
+    ASSERT_LT(product_space_size(domains), 3'000'000u) << named.name;
+    const auto report =
+        check_no_deadlock_generic(named.graph, protocol, domains);
+    EXPECT_EQ(report.deadlocks, 0u) << named.name;
+  }
+}
+
+TEST(Explore, MultiPifNeverDeadlocksOnTinyInstance) {
+  // Two initiators on a 2-path: the product of two full PIF domains.
+  const auto g = graph::make_path(2);
+  pif::MultiPifProtocol protocol(g, {0, 1});
+
+  // Build the multi-state domains as products of the per-instance domains.
+  std::vector<std::vector<pif::MultiState>> domains(g.n());
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    std::vector<std::vector<pif::State>> slot_domains;
+    for (std::size_t i = 0; i < protocol.instances(); ++i) {
+      slot_domains.push_back(protocol.instance(i).all_states(p));
+    }
+    enumerate_product(slot_domains, [&](const std::vector<pif::State>& slots) {
+      pif::MultiState ms;
+      ms.slots = slots;
+      domains[p].push_back(ms);
+    });
+  }
+  ASSERT_LT(product_space_size(domains), 30'000u);
+  const auto report = check_no_deadlock_generic(g, protocol, domains);
+  EXPECT_EQ(report.deadlocks, 0u);
+}
+
+TEST(Explore, LiteralPrePotentialWitnessReproducedGenerically) {
+  const auto g = graph::make_path(3);
+  pif::Params params = pif::Params::for_graph(g);
+  params.literal_prepotential_fok = true;
+  pif::PifProtocol protocol(g, params);
+  const auto report =
+      check_no_deadlock_generic(g, protocol, domains_of(g, protocol));
+  EXPECT_EQ(report.deadlocks, 36u);
+  EXPECT_FALSE(report.witness_indices.empty());
+}
+
+}  // namespace
+}  // namespace snappif::analysis

@@ -1,0 +1,69 @@
+// Unit-level checks of the model checker's machinery: packing widths,
+// configuration-space counting, and behavior on the smallest instances.
+#include <gtest/gtest.h>
+
+#include "analysis/modelcheck.hpp"
+#include "graph/generators.hpp"
+
+namespace snappif::analysis {
+namespace {
+
+TEST(ModelCheckUnits, PackedBitsMatchHandCount) {
+  // Path of 3, root 0, N'=3, Lmax=2.
+  // root: pif 2 + fok 1 + count 2 (3 values) = 5 bits
+  // p1 (deg 2): 2+1+2 + level 1 (2 values) + parent 1 = 7 bits
+  // p2 (deg 1): 2+1+2 + level 1 + parent 0 = 6 bits
+  // ghost: 1 + 3*2 = 7 bits -> total 25.
+  const auto g = graph::make_path(3);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  EXPECT_EQ(packed_state_bits(g, protocol), 25u);
+}
+
+TEST(ModelCheckUnits, ConfigurationCountMatchesDomainProduct) {
+  // path2: root (3*2*2=12) x p1 (3*2*2*1 level... Lmax=1 so level has 1
+  // value -> 0 bits; count N'=2 -> 2 values) = 3*2*2 = 12 -> 12*12=144.
+  const auto g = graph::make_path(2);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report = check_no_deadlock(g, protocol);
+  EXPECT_EQ(report.configurations, 144u);
+}
+
+TEST(ModelCheckUnits, SingleProcessorNetworkNeverDeadlocks) {
+  const graph::Graph g(1);
+  pif::Params params = pif::Params::for_graph(g);
+  pif::PifProtocol protocol(g, params);
+  const auto report = check_no_deadlock(g, protocol);
+  // Domains: pif 3 x fok 2 x count 1 = 6 configurations.
+  EXPECT_EQ(report.configurations, 6u);
+  EXPECT_EQ(report.deadlocks, 0u);
+}
+
+TEST(ModelCheckUnits, ExhaustiveSnapOnSingleton) {
+  const graph::Graph g(1);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report = exhaustive_snap_check(g, protocol);
+  ASSERT_TRUE(report.complete);
+  EXPECT_GT(report.cycle_closures, 0u);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.deadlocks, 0u);
+}
+
+TEST(ModelCheckUnits, StateCapAbortsCleanly) {
+  const auto g = graph::make_path(3);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report = exhaustive_snap_check(g, protocol, /*max_states=*/100);
+  EXPECT_FALSE(report.complete);
+  EXPECT_GT(report.states, 100u);  // reports how far it got
+}
+
+TEST(ModelCheckUnits, TransitionsAndClosuresAreCounted) {
+  const auto g = graph::make_path(2);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report = exhaustive_snap_check(g, protocol);
+  ASSERT_TRUE(report.complete);
+  EXPECT_GT(report.transitions, report.states);  // branching factor > 1
+  EXPECT_GT(report.cycle_closures, 0u);
+}
+
+}  // namespace
+}  // namespace snappif::analysis

@@ -1,0 +1,105 @@
+// The experiment runners themselves: limit handling, metric consistency,
+// determinism, and agreement between independent runners.
+#include <gtest/gtest.h>
+
+#include "analysis/runners.hpp"
+#include "graph/generators.hpp"
+
+namespace snappif::analysis {
+namespace {
+
+TEST(Runners, StabilizationHonorsStepLimit) {
+  const auto g = graph::make_path(12);
+  RunConfig rc;
+  rc.max_steps = 1;  // absurdly small: must fail gracefully
+  rc.corruption = pif::CorruptionKind::kAdversarialMix;
+  const auto r = measure_stabilization(g, rc);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Runners, CycleHonorsStepLimit) {
+  const auto g = graph::make_path(12);
+  RunConfig rc;
+  rc.max_steps = 2;
+  const auto r = run_cycle_from_sbn(g, rc);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Runners, StabilizationFromCleanStartIsInstant) {
+  // reset_to_initial IS the SBN configuration: both milestones at round 0.
+  const auto g = graph::make_cycle(8);
+  RunConfig rc;
+  rc.corruption = pif::CorruptionKind::kUniformRandom;
+  rc.seed = 3;
+  const auto r = measure_stabilization(g, rc);
+  ASSERT_TRUE(r.ok);
+  // (Corrupted start, so not zero — but the milestones must be ordered.)
+  EXPECT_LE(r.rounds_to_all_normal, r.rounds_to_sbn);
+}
+
+TEST(Runners, DeterministicForSameSeed) {
+  const auto g = graph::make_random_connected(10, 8, 5);
+  RunConfig rc;
+  rc.corruption = pif::CorruptionKind::kAdversarialMix;
+  rc.seed = 42;
+  const auto a = measure_stabilization(g, rc);
+  const auto b = measure_stabilization(g, rc);
+  EXPECT_EQ(a.rounds_to_all_normal, b.rounds_to_all_normal);
+  EXPECT_EQ(a.rounds_to_sbn, b.rounds_to_sbn);
+  EXPECT_EQ(a.steps, b.steps);
+  const auto c1 = run_cycle_from_sbn(g, rc);
+  const auto c2 = run_cycle_from_sbn(g, rc);
+  EXPECT_EQ(c1.rounds, c2.rounds);
+  EXPECT_EQ(c1.height, c2.height);
+  EXPECT_EQ(c1.steps, c2.steps);
+}
+
+TEST(Runners, CycleMetricsAreInternallyConsistent) {
+  const auto g = graph::make_grid(3, 4);
+  RunConfig rc;
+  rc.seed = 9;
+  const auto r = run_cycle_from_sbn(g, rc);
+  ASSERT_TRUE(r.ok);
+  EXPECT_LE(r.rounds_to_feedback, r.rounds);
+  EXPECT_GE(r.height, 1u);
+  EXPECT_GT(r.steps, 0u);
+}
+
+TEST(Runners, MultiCycleRunsAreIndependentCycles) {
+  const auto g = graph::make_cycle(7);
+  RunConfig rc;
+  rc.daemon = sim::DaemonKind::kSynchronous;
+  const auto runs = run_cycles_from_sbn(g, rc, 4);
+  ASSERT_EQ(runs.size(), 4u);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].rounds, runs[0].rounds);  // deterministic daemon
+  }
+}
+
+TEST(Runners, SnapRunnerReportsPhases) {
+  const auto g = graph::make_star(9);
+  RunConfig rc;
+  rc.corruption = pif::CorruptionKind::kAdversarialMix;
+  rc.seed = 77;
+  const auto r = check_snap_first_cycle(g, rc);
+  ASSERT_TRUE(r.cycle_completed);
+  EXPECT_TRUE(r.ok());
+  EXPECT_GT(r.steps, 0u);
+}
+
+TEST(Runners, ParamsForAppliesOverrides) {
+  const auto g = graph::make_path(6);
+  RunConfig rc;
+  rc.l_max_override = 10;
+  rc.min_level_potential = false;
+  rc.root = 3;
+  const auto params = params_for(g, rc);
+  EXPECT_EQ(params.l_max, 10u);
+  EXPECT_FALSE(params.min_level_potential);
+  EXPECT_EQ(params.root, 3u);
+  EXPECT_EQ(params.n, 6u);
+  EXPECT_EQ(params.n_upper, 6u);
+}
+
+}  // namespace
+}  // namespace snappif::analysis

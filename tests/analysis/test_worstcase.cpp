@@ -1,0 +1,89 @@
+// Worst-case schedule search: the found maxima must respect the theorem
+// bounds, and the search must actually explore (find something > typical).
+#include <gtest/gtest.h>
+
+#include "analysis/worstcase.hpp"
+#include "graph/generators.hpp"
+
+namespace snappif::analysis {
+namespace {
+
+TEST(WorstCase, RoundsToNormalWithinTheorem1) {
+  const auto g = graph::make_random_connected(12, 8, 4);
+  const auto result =
+      find_worst_case(g, WorstCaseMetric::kRoundsToNormal, 60, 1);
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_GT(result.worst, 0u);
+  EXPECT_LE(result.worst, 3u * (g.n() - 1) + 3);
+}
+
+TEST(WorstCase, RoundsToSbnWithinComposedBound) {
+  const auto g = graph::make_cycle(10);
+  const auto result = find_worst_case(g, WorstCaseMetric::kRoundsToSbn, 60, 2);
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_LE(result.worst, 9u * (g.n() - 1) + 8);
+}
+
+TEST(WorstCase, CycleRoundsWithinTheorem4) {
+  const auto g = graph::make_path(9);
+  const auto result = find_worst_case(g, WorstCaseMetric::kCycleRounds, 40, 3);
+  EXPECT_EQ(result.failures, 0u);
+  // On a path the constructed tree is the path itself: h = 8 always.
+  EXPECT_LE(result.worst, 5u * 8 + 5);
+  EXPECT_GE(result.worst, 8u);
+}
+
+TEST(WorstCase, GreedyAdversaryStaysWithinTheorem1) {
+  // The lookahead adversary tries hard to keep the network abnormal; the
+  // theorem bound must still hold and the search must make progress.
+  for (const auto& named :
+       {graph::NamedGraph{"path8", graph::make_path(8)},
+        graph::NamedGraph{"ring8", graph::make_cycle(8)},
+        graph::NamedGraph{"rand10", graph::make_random_connected(10, 6, 3)}}) {
+    std::uint64_t worst = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto rounds = greedy_delay_rounds_to_normal(
+          named.graph, pif::CorruptionKind::kAdversarialMix, seed);
+      worst = std::max(worst, rounds);
+      EXPECT_LE(rounds, 3u * (named.graph.n() - 1) + 3) << named.name;
+    }
+    EXPECT_GT(worst, 0u) << named.name;
+  }
+}
+
+TEST(WorstCase, GreedyAdversaryHandlesCleanStart) {
+  // A clean (already all-normal) start returns immediately with 0 rounds.
+  const auto g = graph::make_star(6);
+  const auto rounds =
+      greedy_delay_rounds_to_normal(g, pif::CorruptionKind::kUniformRandom, 2);
+  EXPECT_LE(rounds, 3u * (g.n() - 1) + 3);
+}
+
+TEST(WorstCase, ReportsReproducibleSeed) {
+  const auto g = graph::make_star(8);
+  const auto result =
+      find_worst_case(g, WorstCaseMetric::kRoundsToNormal, 30, 4);
+  ASSERT_GT(result.worst, 0u);
+  // Re-running the winning configuration must reproduce the winning value.
+  RunConfig rc;
+  rc.daemon = result.worst_daemon;
+  rc.seed = result.worst_seed;
+  // Note: policy/corruption rotation is part of the trial index; we only
+  // check determinism of the daemon+seed pair across the recipes.
+  bool reproduced = false;
+  for (pif::CorruptionKind kind : pif::all_corruption_kinds()) {
+    for (sim::ActionPolicy policy :
+         {sim::ActionPolicy::kFirstEnabled, sim::ActionPolicy::kRandomEnabled}) {
+      rc.corruption = kind;
+      rc.policy = policy;
+      const auto r = measure_stabilization(g, rc);
+      if (r.ok && r.rounds_to_all_normal == result.worst) {
+        reproduced = true;
+      }
+    }
+  }
+  EXPECT_TRUE(reproduced);
+}
+
+}  // namespace
+}  // namespace snappif::analysis

@@ -1,0 +1,241 @@
+// Baseline 1 (fixed-spanning-tree PIF): correct cycles from clean starts,
+// and the first-wave failure from corrupted starts that motivates the paper.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/runners.hpp"
+#include "baselines/tree_pif.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::baselines {
+namespace {
+
+using Sim = sim::Simulator<TreePifProtocol>;
+
+Sim make_sim(const graph::Graph& g, std::uint64_t seed = 1) {
+  const auto tree = graph::bfs_tree(g, 0);
+  return Sim(TreePifProtocol(g, 0, tree.parent), g, seed);
+}
+
+TEST(TreePif, RejectsNonSpanningTree) {
+  const auto g = graph::make_cycle(3);
+  EXPECT_DEATH(TreePifProtocol(g, 0, std::vector<sim::ProcessorId>{0, 2, 1}),
+               "spanning tree");
+}
+
+TEST(TreePif, ChildrenListsConsistent) {
+  const auto g = graph::make_star(5);
+  const auto tree = graph::bfs_tree(g, 0);
+  TreePifProtocol proto(g, 0, tree.parent);
+  EXPECT_EQ(proto.children_of(0).size(), 4u);
+  EXPECT_TRUE(proto.children_of(3).empty());
+  EXPECT_EQ(proto.parent_of(3), 0u);
+}
+
+TEST(TreePif, CleanCycleVisitsAllPhases) {
+  const auto g = graph::make_path(4);
+  Sim sim = make_sim(g);
+  sim::SynchronousDaemon daemon;
+  TreePifGhost ghost(g, 0);
+  const auto tree = graph::bfs_tree(g, 0);
+  TreePifProtocol proto(g, 0, tree.parent);
+  sim.set_apply_hook([&](sim::ProcessorId p, sim::ActionId a,
+                         const sim::Configuration<TreePifState>& before,
+                         const TreePifState& after) {
+    ghost.on_apply(p, a, before, after, proto);
+  });
+  auto r = sim.run_until(
+      *sim::make_daemon(sim::DaemonKind::kSynchronous),
+      [&](const auto&) { return ghost.cycles_completed() >= 2; },
+      sim::RunLimits{.max_steps = 500});
+  ASSERT_EQ(r.reason, sim::StopReason::kPredicate);
+  EXPECT_EQ(ghost.cycles_ok(), 2u);
+}
+
+TEST(TreePif, CleanCyclesUnderEveryDaemon) {
+  const auto g = graph::make_grid(3, 3);
+  for (sim::DaemonKind kind : sim::standard_daemon_kinds()) {
+    analysis::RunConfig rc;
+    rc.daemon = kind;
+    rc.seed = 17;
+    const auto result = analysis::measure_tree_pif(g, rc);
+    ASSERT_TRUE(result.ok) << sim::daemon_kind_name(kind);
+    EXPECT_GT(result.rounds_per_cycle, 0u);
+  }
+}
+
+TEST(TreePif, SteadyStateCycleCostIsLinearInHeight) {
+  const auto g = graph::make_path(12);  // BFS tree = the path, height 11
+  analysis::RunConfig rc;
+  rc.daemon = sim::DaemonKind::kSynchronous;
+  const auto result = analysis::measure_tree_pif(g, rc);
+  ASSERT_TRUE(result.ok);
+  // Three phase sweeps of a height-11 tree: ~3h rounds, certainly <= 4h+8.
+  EXPECT_LE(result.rounds_per_cycle, 4u * 11u + 8u);
+  EXPECT_GE(result.rounds_per_cycle, 11u);
+}
+
+TEST(TreePif, FirstCycleCorrectFromCorruptedStarts) {
+  // The three-phase tree PIF with the children-all-C join guard is
+  // snap-stabilizing *given a correct pre-constructed spanning tree* —
+  // consistent with the tree-network results the paper cites ([7, 9]).
+  // A fresh broadcast never crosses an undigested stale region (a parent
+  // can only join once its children are clean), so contaminated subtrees
+  // drain and rejoin before the feedback can close.  Verify statistically.
+  const auto g = graph::make_binary_tree(15);
+  int completed = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    analysis::RunConfig rc;
+    rc.daemon = sim::DaemonKind::kDistributedRandom;
+    rc.seed = seed;
+    const auto result = analysis::measure_tree_pif(g, rc);
+    if (result.ok) {
+      ++completed;
+      EXPECT_TRUE(result.first_cycle_ok) << "seed " << seed;
+    }
+  }
+  ASSERT_GT(completed, 30);
+}
+
+TEST(TreePif, ExhaustiveSnapOnTinyTrees) {
+  // Brute-force analogue of the PIF model check: from EVERY phase
+  // configuration of a 4-vertex path tree, under every daemon subset
+  // choice, each root-initiated cycle delivers to all and no deadlock
+  // exists.  State: 3^4 phases x ghost.
+  const auto g = graph::make_path(4);
+  const auto tree = graph::bfs_tree(g, 0);
+  TreePifProtocol proto(g, 0, tree.parent);
+  using Cfg = sim::Configuration<TreePifState>;
+
+  // Packed state: phases (2 bits x 4) | active << 16 | received << 17 (3
+  // bits, sticky "got the current message") | holds << 20 (3 bits,
+  // "currently holds the current message" — distinguishes a receiver that
+  // later re-joined through a stale parent).
+  auto pack = [](const Cfg& cfg, bool active, std::uint8_t received,
+                 std::uint8_t holds) {
+    std::uint32_t key = 0;
+    for (sim::ProcessorId p = 0; p < 4; ++p) {
+      key |= static_cast<std::uint32_t>(cfg.state(p).pif) << (2 * p);
+    }
+    key |= static_cast<std::uint32_t>(active) << 16;
+    key |= static_cast<std::uint32_t>(received) << 17;
+    key |= static_cast<std::uint32_t>(holds) << 20;
+    return key;
+  };
+
+  std::set<std::uint32_t> visited;
+  std::vector<std::uint32_t> queue;
+  Cfg c(g, proto.initial_state(0));
+  auto unpack = [&](std::uint32_t key, Cfg& cfg, bool& active,
+                    std::uint8_t& received, std::uint8_t& holds) {
+    for (sim::ProcessorId p = 0; p < 4; ++p) {
+      TreePifState s;
+      s.pif = static_cast<TreePhase>((key >> (2 * p)) & 3u);
+      cfg.state(p) = s;
+    }
+    active = ((key >> 16) & 1u) != 0;
+    received = static_cast<std::uint8_t>((key >> 17) & 7u);
+    holds = static_cast<std::uint8_t>((key >> 20) & 7u);
+  };
+
+  // Seed all 81 phase configurations.
+  for (std::uint32_t mask = 0; mask < 81; ++mask) {
+    std::uint32_t m = mask;
+    for (sim::ProcessorId p = 0; p < 4; ++p) {
+      TreePifState s;
+      s.pif = static_cast<TreePhase>(m % 3);
+      m /= 3;
+      c.state(p) = s;
+    }
+    const auto key = pack(c, false, 0, 0);
+    if (visited.insert(key).second) {
+      queue.push_back(key);
+    }
+  }
+
+  std::uint64_t closures = 0, violations = 0, deadlocks = 0;
+  while (!queue.empty()) {
+    const auto key = queue.back();
+    queue.pop_back();
+    bool active;
+    std::uint8_t received, holds;
+    unpack(key, c, active, received, holds);
+    std::vector<std::pair<sim::ProcessorId, sim::ActionId>> enabled;
+    for (sim::ProcessorId p = 0; p < 4; ++p) {
+      for (sim::ActionId a = 0; a < proto.num_actions(); ++a) {
+        if (proto.enabled(c, p, a)) {
+          enabled.emplace_back(p, a);
+        }
+      }
+    }
+    if (enabled.empty()) {
+      ++deadlocks;
+      continue;
+    }
+    for (std::uint32_t subset = 1; subset < (1u << enabled.size()); ++subset) {
+      Cfg next = c;
+      bool next_active = active;
+      std::uint8_t next_received = received;
+      std::uint8_t next_holds = holds;
+      bool closed = false, closed_ok = true;
+      for (std::size_t i = 0; i < enabled.size(); ++i) {
+        if (!(subset & (1u << i))) {
+          continue;
+        }
+        const auto [p, a] = enabled[i];
+        next.state(p) = proto.apply(c, p, a);
+        if (p == 0 && a == kTreeB) {
+          next_active = true;
+          next_received = 0;
+          next_holds = 0;
+        } else if (p == 0 && a == kTreeF && active) {
+          closed = true;
+          closed_ok = received == 7;  // all three non-root bits
+          next_active = false;
+          next_received = 0;
+          next_holds = 0;
+        } else if (p != 0 && a == kTreeB && active) {
+          const sim::ProcessorId parent = proto.parent_of(p);
+          const std::uint8_t bit = static_cast<std::uint8_t>(1u << (p - 1));
+          const bool parent_has =
+              parent == 0 ? active : ((holds >> (parent - 1)) & 1u) != 0;
+          if (parent_has) {
+            next_received |= bit;
+            next_holds |= bit;
+          } else {
+            next_holds = static_cast<std::uint8_t>(next_holds & ~bit);
+          }
+        }
+      }
+      if (closed) {
+        ++closures;
+        violations += closed_ok ? 0 : 1;
+      }
+      const auto nkey = pack(next, next_active, next_received, next_holds);
+      if (visited.insert(nkey).second) {
+        queue.push_back(nkey);
+      }
+    }
+  }
+  EXPECT_GT(closures, 0u);
+  EXPECT_EQ(violations, 0u);
+  EXPECT_EQ(deadlocks, 0u);
+}
+
+TEST(TreePif, RandomStatesStayInDomain) {
+  const auto g = graph::make_path(3);
+  const auto tree = graph::bfs_tree(g, 0);
+  TreePifProtocol proto(g, 0, tree.parent);
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const TreePifState s = proto.random_state(0, rng);
+    EXPECT_TRUE(s.pif == TreePhase::kB || s.pif == TreePhase::kF ||
+                s.pif == TreePhase::kC);
+  }
+}
+
+}  // namespace
+}  // namespace snappif::baselines

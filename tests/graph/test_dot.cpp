@@ -1,0 +1,44 @@
+#include "graph/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace snappif::graph {
+namespace {
+
+TEST(Dot, PlainGraph) {
+  const Graph g = make_path(3);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+  EXPECT_EQ(dot.find("penwidth"), std::string::npos);  // no tree highlighting
+}
+
+TEST(Dot, TreeEdgesHighlighted) {
+  const Graph g = make_cycle(4);
+  // Tree: 1->0, 2->1, 3->0 (parent array; root 0 self-parent).
+  const std::vector<NodeId> parent{0, 0, 1, 0};
+  const std::string dot = to_dot(g, parent);
+  // Tree edges bold, the one non-tree edge (2-3) dashed.
+  EXPECT_NE(dot.find("0 -- 1 [penwidth=3]"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2 [penwidth=3]"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 3 [penwidth=3]"), std::string::npos);
+  EXPECT_NE(dot.find("2 -- 3 [style=dashed"), std::string::npos);
+}
+
+TEST(Dot, LabelsEmitted) {
+  const Graph g = make_path(2);
+  const std::string dot = to_dot(g, {}, {"root", "leaf"});
+  EXPECT_NE(dot.find("label=\"0\\nroot\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"1\\nleaf\""), std::string::npos);
+}
+
+TEST(DotDeath, RejectsWrongSizedInputs) {
+  const Graph g = make_path(3);
+  EXPECT_DEATH((void)to_dot(g, std::vector<NodeId>{0}), "SNAPPIF_ASSERT");
+}
+
+}  // namespace
+}  // namespace snappif::graph

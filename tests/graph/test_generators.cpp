@@ -1,0 +1,165 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+
+namespace snappif::graph {
+namespace {
+
+TEST(Generators, Path) {
+  const Graph g = make_path(5);
+  EXPECT_EQ(g.n(), 5u);
+  EXPECT_EQ(g.m(), 4u);
+  EXPECT_EQ(diameter(g), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Generators, SingleVertexPath) {
+  const Graph g = make_path(1);
+  EXPECT_EQ(g.n(), 1u);
+  EXPECT_EQ(g.m(), 0u);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = make_cycle(6);
+  EXPECT_EQ(g.m(), 6u);
+  EXPECT_EQ(diameter(g), 3u);
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_EQ(g.degree(v), 2u);
+  }
+}
+
+TEST(Generators, Star) {
+  const Graph g = make_star(7);
+  EXPECT_EQ(g.m(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Generators, Complete) {
+  const Graph g = make_complete(5);
+  EXPECT_EQ(g.m(), 10u);
+  EXPECT_EQ(diameter(g), 1u);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = make_complete_bipartite(2, 3);
+  EXPECT_EQ(g.n(), 5u);
+  EXPECT_EQ(g.m(), 6u);
+  EXPECT_FALSE(g.has_edge(0, 1));  // same side
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(Generators, Grid) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.n(), 12u);
+  EXPECT_EQ(g.m(), 17u);  // 3*3 horizontal + 2*4 vertical
+  EXPECT_EQ(diameter(g), 5u);
+}
+
+TEST(Generators, Torus) {
+  const Graph g = make_torus(3, 3);
+  EXPECT_EQ(g.n(), 9u);
+  for (NodeId v = 0; v < 9; ++v) {
+    EXPECT_EQ(g.degree(v), 4u);
+  }
+}
+
+TEST(Generators, BinaryTree) {
+  const Graph g = make_binary_tree(7);
+  EXPECT_EQ(g.m(), 6u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(6), 1u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = make_hypercube(3);
+  EXPECT_EQ(g.n(), 8u);
+  EXPECT_EQ(g.m(), 12u);
+  EXPECT_EQ(diameter(g), 3u);
+}
+
+TEST(Generators, Wheel) {
+  const Graph g = make_wheel(6);  // hub + C5
+  EXPECT_EQ(g.n(), 6u);
+  EXPECT_EQ(g.m(), 10u);
+  EXPECT_EQ(g.degree(0), 5u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Generators, Lollipop) {
+  const Graph g = make_lollipop(4, 3);
+  EXPECT_EQ(g.n(), 7u);
+  EXPECT_EQ(g.m(), 6u + 3u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(6), 1u);  // tail end
+}
+
+TEST(Generators, Caterpillar) {
+  const Graph g = make_caterpillar(3, 2);
+  EXPECT_EQ(g.n(), 9u);
+  EXPECT_EQ(g.m(), 8u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Graph g = make_random_tree(17, seed);
+    EXPECT_EQ(g.n(), 17u);
+    EXPECT_EQ(g.m(), 16u);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, RandomTreeTinySizes) {
+  EXPECT_EQ(make_random_tree(1, 3).n(), 1u);
+  EXPECT_EQ(make_random_tree(2, 3).m(), 1u);
+  EXPECT_EQ(make_random_tree(3, 3).m(), 2u);
+}
+
+TEST(Generators, RandomTreesDiffer) {
+  const Graph a = make_random_tree(12, 1);
+  const Graph b = make_random_tree(12, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Generators, RandomConnectedHasExtraEdges) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = make_random_connected(15, 10, seed);
+    EXPECT_EQ(g.n(), 15u);
+    EXPECT_EQ(g.m(), 14u + 10u);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, RandomConnectedClampsExtraEdges) {
+  // Requesting more extras than the complete graph holds saturates.
+  const Graph g = make_random_connected(4, 1000, 5);
+  EXPECT_EQ(g.m(), 6u);
+}
+
+TEST(Generators, RandomGeneratorsDeterministic) {
+  EXPECT_EQ(make_random_connected(10, 5, 77), make_random_connected(10, 5, 77));
+  EXPECT_EQ(make_random_tree(10, 77), make_random_tree(10, 77));
+}
+
+TEST(Generators, StandardSuiteAllConnected) {
+  for (const auto& named : standard_suite(16, 3)) {
+    EXPECT_TRUE(is_connected(named.graph)) << named.name;
+    EXPECT_GE(named.graph.n(), 4u) << named.name;
+  }
+}
+
+TEST(Generators, TinySuiteAllConnectedAndTiny) {
+  for (const auto& named : tiny_suite()) {
+    EXPECT_TRUE(is_connected(named.graph)) << named.name;
+    EXPECT_LE(named.graph.n(), 5u) << named.name;
+  }
+}
+
+}  // namespace
+}  // namespace snappif::graph

@@ -1,0 +1,70 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snappif::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0);
+  EXPECT_EQ(g.n(), 0u);
+  EXPECT_EQ(g.m(), 0u);
+}
+
+TEST(Graph, IsolatedVertices) {
+  Graph g(3);
+  EXPECT_EQ(g.n(), 3u);
+  EXPECT_EQ(g.m(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(Graph, FromEdgesBasics) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.n(), 4u);
+  EXPECT_EQ(g.m(), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Graph, NeighborsSortedAscending) {
+  const Graph g = Graph::from_edges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (std::size_t i = 0; i + 1 < nbrs.size(); ++i) {
+    EXPECT_LT(nbrs[i], nbrs[i + 1]);
+  }
+}
+
+TEST(Graph, DuplicateEdgesCollapse) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.m(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, EdgesCanonicalOrder) {
+  const Graph g = Graph::from_edges(4, {{3, 1}, {2, 0}});
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (Edge{0, 2}));
+  EXPECT_EQ(edges[1], (Edge{1, 3}));
+}
+
+TEST(Graph, EqualityIgnoresInputOrder) {
+  const Graph a = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  const Graph b = Graph::from_edges(3, {{2, 1}, {1, 0}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(GraphDeath, RejectsSelfLoop) {
+  EXPECT_DEATH((void)Graph::from_edges(2, {{1, 1}}), "self-loops");
+}
+
+TEST(GraphDeath, RejectsOutOfRange) {
+  EXPECT_DEATH((void)Graph::from_edges(2, {{0, 5}}), "out of range");
+}
+
+}  // namespace
+}  // namespace snappif::graph

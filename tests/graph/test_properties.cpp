@@ -1,0 +1,121 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace snappif::graph {
+namespace {
+
+TEST(Properties, BfsDistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(dist[v], v);
+  }
+}
+
+TEST(Properties, BfsDistancesDisconnected) {
+  Graph g(3);  // no edges
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], kUnreachable);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Properties, BfsTreeParentsAndHeight) {
+  const Graph g = make_star(5);
+  const BfsTree tree = bfs_tree(g, 0);
+  EXPECT_EQ(tree.height, 1u);
+  for (NodeId v = 1; v < 5; ++v) {
+    EXPECT_EQ(tree.parent[v], 0u);
+    EXPECT_EQ(tree.depth[v], 1u);
+  }
+  EXPECT_EQ(tree.parent[0], 0u);
+}
+
+TEST(Properties, EccentricityAndDiameter) {
+  const Graph g = make_path(7);
+  EXPECT_EQ(eccentricity(g, 0), 6u);
+  EXPECT_EQ(eccentricity(g, 3), 3u);
+  EXPECT_EQ(diameter(g), 6u);
+  EXPECT_EQ(diameter(make_complete(6)), 1u);
+  EXPECT_EQ(diameter(make_cycle(8)), 4u);
+}
+
+TEST(Properties, ChordlessPathChecker) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 2}});
+  // 0-1-2 has the chord 0-2.
+  const std::vector<NodeId> chorded{0, 1, 2};
+  EXPECT_FALSE(is_chordless_path(g, chorded));
+  // 0-2-3 is chordless.
+  const std::vector<NodeId> fine{0, 2, 3};
+  EXPECT_TRUE(is_chordless_path(g, fine));
+  // Non-adjacent consecutive vertices are not a path.
+  const std::vector<NodeId> broken{0, 3};
+  EXPECT_FALSE(is_chordless_path(g, broken));
+  // Repeats are not elementary.
+  const std::vector<NodeId> repeat{0, 1, 0};
+  EXPECT_FALSE(is_chordless_path(g, repeat));
+  // A single vertex is a trivial chordless path.
+  const std::vector<NodeId> single{2};
+  EXPECT_TRUE(is_chordless_path(g, single));
+}
+
+TEST(Properties, LongestChordlessPathOnPathGraph) {
+  const Graph g = make_path(6);
+  EXPECT_EQ(longest_chordless_path_from(g, 0), 5u);
+  EXPECT_EQ(longest_chordless_path_from(g, 2), 3u);
+}
+
+TEST(Properties, LongestChordlessPathOnComplete) {
+  // In K_n every 2-edge path has a chord: longest chordless path = 1 edge.
+  const Graph g = make_complete(5);
+  EXPECT_EQ(longest_chordless_path_from(g, 0), 1u);
+}
+
+TEST(Properties, LongestChordlessPathOnCycle) {
+  // On C_n the longest induced path from any vertex has n-2 edges.
+  const Graph g = make_cycle(6);
+  EXPECT_EQ(longest_chordless_path_from(g, 0), 4u);
+}
+
+TEST(Properties, SpanningTreeHeightValid) {
+  const Graph g = make_path(4);
+  const std::vector<NodeId> parent{0, 0, 1, 2};
+  const auto h = spanning_tree_height(g, 0, parent);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(*h, 3u);
+}
+
+TEST(Properties, SpanningTreeRejectsCycle) {
+  const Graph g = make_cycle(3);
+  // 1 and 2 point at each other.
+  const std::vector<NodeId> parent{0, 2, 1};
+  EXPECT_FALSE(spanning_tree_height(g, 0, parent).has_value());
+}
+
+TEST(Properties, SpanningTreeRejectsNonEdgeParent) {
+  const Graph g = make_path(4);
+  const std::vector<NodeId> parent{0, 0, 0, 2};  // 2's parent 0 is not adjacent
+  EXPECT_FALSE(spanning_tree_height(g, 0, parent).has_value());
+}
+
+TEST(Properties, SpanningTreeRejectsBadRoot) {
+  const Graph g = make_path(3);
+  const std::vector<NodeId> parent{1, 0, 1};  // parent[root] != root
+  EXPECT_FALSE(spanning_tree_height(g, 0, parent).has_value());
+}
+
+TEST(Properties, BfsTreeIsValidSpanningTree) {
+  for (const auto& named : standard_suite(14, 5)) {
+    const BfsTree tree = bfs_tree(named.graph, 0);
+    const auto h = spanning_tree_height(named.graph, 0, tree.parent);
+    ASSERT_TRUE(h.has_value()) << named.name;
+    EXPECT_EQ(*h, tree.height) << named.name;
+  }
+}
+
+}  // namespace
+}  // namespace snappif::graph

@@ -1,0 +1,146 @@
+// Message-passing substrate: channel FIFO-ness, delivery accounting,
+// synchronous rounds, loss injection.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mp/network.hpp"
+
+namespace snappif::mp {
+namespace {
+
+/// Records every delivery; replies once to the first ping.
+class Recorder final : public IMpProtocol {
+ public:
+  struct Event {
+    ProcessorId to;
+    ProcessorId from;
+    Message message;
+  };
+
+  void on_start(ProcessorId, Mailer&) override {}
+  void on_message(ProcessorId p, ProcessorId from, const Message& m,
+                  Mailer&) override {
+    events.push_back({p, from, m});
+  }
+
+  std::vector<Event> events;
+};
+
+TEST(MpNetwork, FifoWithinChannel) {
+  const auto g = graph::make_path(2);
+  Recorder recorder;
+  Network net(g, recorder, Delivery::kRandomChannel, 1);
+  net.start();
+  net.send(0, 1, Message{1, 10, 0});
+  net.send(0, 1, Message{1, 20, 0});
+  net.send(0, 1, Message{1, 30, 0});
+  ASSERT_TRUE(net.run());
+  ASSERT_EQ(recorder.events.size(), 3u);
+  EXPECT_EQ(recorder.events[0].message.a, 10u);
+  EXPECT_EQ(recorder.events[1].message.a, 20u);
+  EXPECT_EQ(recorder.events[2].message.a, 30u);
+}
+
+TEST(MpNetwork, CrossChannelOrderIsAdversarial) {
+  // Messages on different channels may interleave in any order; over many
+  // seeds both orders occur.
+  const auto g = graph::make_path(3);  // 1 receives from 0 and 2
+  bool saw_0_first = false, saw_2_first = false;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Recorder recorder;
+    Network net(g, recorder, Delivery::kRandomChannel, seed);
+    net.start();
+    net.send(0, 1, Message{1, 0, 0});
+    net.send(2, 1, Message{1, 2, 0});
+    ASSERT_TRUE(net.run());
+    ASSERT_EQ(recorder.events.size(), 2u);
+    (recorder.events[0].from == 0 ? saw_0_first : saw_2_first) = true;
+  }
+  EXPECT_TRUE(saw_0_first);
+  EXPECT_TRUE(saw_2_first);
+}
+
+TEST(MpNetwork, CountsSentDeliveredInFlight) {
+  const auto g = graph::make_path(2);
+  Recorder recorder;
+  Network net(g, recorder, Delivery::kRandomChannel, 2);
+  net.start();
+  net.send(0, 1, Message{});
+  net.send(1, 0, Message{});
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.in_flight(), 2u);
+  EXPECT_TRUE(net.step());
+  EXPECT_EQ(net.messages_delivered(), 1u);
+  EXPECT_EQ(net.in_flight(), 1u);
+  ASSERT_TRUE(net.run());
+  EXPECT_EQ(net.messages_delivered(), 2u);
+  EXPECT_FALSE(net.step());  // quiescent
+}
+
+TEST(MpNetwork, SynchronousRoundsBatchInFlight) {
+  // In synchronous mode, replies sent during round k deliver in round k+1.
+  class PingPong final : public IMpProtocol {
+   public:
+    void on_start(ProcessorId p, Mailer& mailer) override {
+      if (p == 0) {
+        mailer.send(0, 1, Message{1, 3, 0});  // 3 bounces left
+      }
+    }
+    void on_message(ProcessorId p, ProcessorId from, const Message& m,
+                    Mailer& mailer) override {
+      if (m.a > 0) {
+        mailer.send(p, from, Message{1, m.a - 1, 0});
+      }
+    }
+  };
+  const auto g = graph::make_path(2);
+  PingPong protocol;
+  Network net(g, protocol, Delivery::kSynchronous, 3);
+  ASSERT_TRUE(net.run());
+  EXPECT_EQ(net.rounds(), 4u);  // 3,2,1,0 bounce deliveries
+  EXPECT_EQ(net.messages_delivered(), 4u);
+}
+
+TEST(MpNetwork, LossDropsMessages) {
+  const auto g = graph::make_path(2);
+  Recorder recorder;
+  Network net(g, recorder, Delivery::kRandomChannel, 4);
+  net.set_loss_rate(1.0);
+  net.start();
+  net.send(0, 1, Message{});
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.in_flight(), 0u);
+  EXPECT_TRUE(net.run());  // trivially quiescent
+  EXPECT_TRUE(recorder.events.empty());
+}
+
+TEST(MpNetworkDeath, RejectsNonEdgeSend) {
+  const auto g = graph::make_path(3);
+  Recorder recorder;
+  Network net(g, recorder, Delivery::kRandomChannel, 5);
+  net.start();
+  EXPECT_DEATH(net.send(0, 2, Message{}), "non-edge");
+}
+
+TEST(MpNetwork, RunBudgetExhaustionReportsFalse) {
+  // An infinite ping-pong never quiesces; run() must stop at the budget.
+  class Forever final : public IMpProtocol {
+   public:
+    void on_start(ProcessorId p, Mailer& mailer) override {
+      if (p == 0) {
+        mailer.send(0, 1, Message{});
+      }
+    }
+    void on_message(ProcessorId p, ProcessorId from, const Message&,
+                    Mailer& mailer) override {
+      mailer.send(p, from, Message{});
+    }
+  };
+  const auto g = graph::make_path(2);
+  Forever protocol;
+  Network net(g, protocol, Delivery::kRandomChannel, 6);
+  EXPECT_FALSE(net.run(/*max_deliveries=*/100));
+}
+
+}  // namespace
+}  // namespace snappif::mp

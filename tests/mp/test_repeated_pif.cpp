@@ -1,0 +1,105 @@
+// Segall-style repeated PIF: correct repeated waves in the fault-free
+// model, and the phantom-sequence-number failure that motivates abandoning
+// unbounded names in the stabilizing reformulation.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "mp/repeated_pif.hpp"
+
+namespace snappif::mp {
+namespace {
+
+TEST(RepeatedPif, ManyWavesAllDeliver) {
+  for (const auto& named : graph::standard_suite(10, 31)) {
+    RepeatedPifProtocol pif(named.graph, 0);
+    Network net(named.graph, pif, Delivery::kRandomChannel, 7);
+    net.start();
+    for (std::uint64_t wave = 1; wave <= 5; ++wave) {
+      pif.start_wave(net, 1000 + wave);
+      ASSERT_TRUE(net.run()) << named.name;
+      EXPECT_EQ(pif.waves_completed(), wave) << named.name;
+      EXPECT_EQ(pif.waves_ok(), wave) << named.name;
+      for (graph::NodeId p = 0; p < named.graph.n(); ++p) {
+        EXPECT_EQ(pif.payload_of(p), 1000 + wave) << named.name;
+      }
+    }
+  }
+}
+
+TEST(RepeatedPif, EachWaveCosts2MMessages) {
+  const auto g = graph::make_random_connected(12, 10, 3);
+  RepeatedPifProtocol pif(g, 0);
+  Network net(g, pif, Delivery::kRandomChannel, 5);
+  net.start();
+  pif.start_wave(net, 1);
+  ASSERT_TRUE(net.run());
+  const auto after_one = net.messages_sent();
+  EXPECT_EQ(after_one, 2 * g.m());
+  pif.start_wave(net, 2);
+  ASSERT_TRUE(net.run());
+  EXPECT_EQ(net.messages_sent(), 2 * after_one);
+}
+
+TEST(RepeatedPif, StaleTokensOfOldWavesIgnored) {
+  // Start wave 2 while wave-1 stragglers are still in flight: deliveries of
+  // old tokens must not corrupt the new wave (this is what the sequence
+  // numbers are FOR).
+  const auto g = graph::make_cycle(8);
+  RepeatedPifProtocol pif(g, 0);
+  Network net(g, pif, Delivery::kRandomChannel, 11);
+  net.start();
+  pif.start_wave(net, 1);
+  // Deliver only half of wave 1...
+  for (int i = 0; i < 8; ++i) {
+    (void)net.step();
+  }
+  // ...then preempt with wave 2 (an impatient root; allowed by the model).
+  pif.start_wave(net, 2);
+  ASSERT_TRUE(net.run());
+  // Wave 2 must have delivered everywhere.
+  for (graph::NodeId p = 0; p < g.n(); ++p) {
+    EXPECT_EQ(pif.highest_seq_seen(p), 2u);
+    EXPECT_EQ(pif.payload_of(p), 2u);
+  }
+}
+
+TEST(RepeatedPif, PhantomFutureSequenceNumberKillsSubsequentWaves) {
+  // THE classic vulnerability: a single corrupted in-flight token carrying
+  // a future sequence number deafens the network to legitimate waves.
+  const auto g = graph::make_cycle(6);
+  RepeatedPifProtocol pif(g, 0);
+  Network net(g, pif, Delivery::kRandomChannel, 13);
+  net.start();
+  pif.start_wave(net, 1);
+  ASSERT_TRUE(net.run());
+  ASSERT_EQ(pif.waves_ok(), 1u);
+
+  // The adversary forges one token with sequence number 1000.
+  net.send(2, 3, Message{RepeatedPifProtocol::kToken, 1000, 666});
+  ASSERT_TRUE(net.run());  // the phantom wave floods the network
+
+  // Legitimate waves 2, 3, 4 are now ignored by everyone.
+  const auto ok_before = pif.waves_ok();
+  for (std::uint64_t wave = 2; wave <= 4; ++wave) {
+    pif.start_wave(net, wave);
+    (void)net.run();
+  }
+  EXPECT_EQ(pif.waves_ok(), ok_before) << "phantom did not poison the waves?";
+  // And the phantom payload squats on the processors.
+  EXPECT_EQ(pif.payload_of(4), 666u);
+}
+
+TEST(RepeatedPif, SoloRootCompletesTrivially) {
+  const graph::Graph g(1);
+  RepeatedPifProtocol pif(g, 0);
+  Network net(g, pif, Delivery::kRandomChannel, 1);
+  net.start();
+  pif.start_wave(net, 9);
+  ASSERT_TRUE(net.run());
+  EXPECT_EQ(pif.waves_completed(), 1u);
+  EXPECT_EQ(pif.waves_ok(), 1u);
+}
+
+}  // namespace
+}  // namespace snappif::mp

@@ -1,0 +1,36 @@
+// Shared helpers for hand-built PIF configurations in unit tests.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "pif/protocol.hpp"
+#include "sim/configuration.hpp"
+
+namespace snappif::pif::testfix {
+
+/// Shorthand state builder.
+inline State st(Phase pif, bool fok, std::uint32_t count, std::uint32_t level,
+                sim::ProcessorId parent) {
+  State s;
+  s.pif = pif;
+  s.fok = fok;
+  s.count = count;
+  s.level = level;
+  s.parent = parent;
+  return s;
+}
+
+inline State root_st(Phase pif, bool fok, std::uint32_t count) {
+  return st(pif, fok, count, 0, kNoParent);
+}
+
+/// A configuration where every processor is in the clean C state.
+inline sim::Configuration<State> clean_config(const graph::Graph& g,
+                                              const PifProtocol& protocol) {
+  sim::Configuration<State> c(g, protocol.initial_state(0));
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    c.state(p) = protocol.initial_state(p);
+  }
+  return c;
+}
+
+}  // namespace snappif::pif::testfix

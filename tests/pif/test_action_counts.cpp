@@ -1,0 +1,103 @@
+// Exact work characterization of a clean PIF cycle: each of the N
+// processors executes exactly one B-action, one F-action and one C-action
+// per cycle; Fok-actions touch every non-root processor at most once; no
+// correction ever fires from a clean start.  This pins the step complexity
+// behind Theorem 4's round bound.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pif/checker.hpp"
+#include "pif/instrument.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+struct Counts {
+  std::uint64_t counts[kNumActions] = {};
+};
+
+Counts run_cycles(const graph::Graph& g, sim::DaemonKind kind,
+                  std::size_t cycles, std::uint64_t seed) {
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, seed);
+  GhostTracker tracker(g, 0);
+  attach(sim, tracker);
+  Checker checker(sim.protocol());
+  auto daemon = sim::make_daemon(kind);
+  auto r = sim.run_until(
+      *daemon,
+      [&](const sim::Configuration<State>& c) {
+        return tracker.cycles_completed() >= cycles && checker.all_c(c);
+      },
+      sim::RunLimits{.max_steps = 1'000'000});
+  EXPECT_EQ(r.reason, sim::StopReason::kPredicate);
+  Counts out;
+  for (sim::ActionId a = 0; a < kNumActions; ++a) {
+    out.counts[a] = sim.action_count(a);
+  }
+  return out;
+}
+
+TEST(ActionCounts, OneBFCActionPerProcessorPerCycle) {
+  for (const auto& named : graph::standard_suite(12, 77)) {
+    const std::size_t kCycles = 3;
+    const auto counts =
+        run_cycles(named.graph, sim::DaemonKind::kDistributedRandom, kCycles, 5);
+    const std::uint64_t n = named.graph.n();
+    EXPECT_EQ(counts.counts[kBAction], n * kCycles) << named.name;
+    EXPECT_EQ(counts.counts[kFAction], n * kCycles) << named.name;
+    EXPECT_EQ(counts.counts[kCAction], n * kCycles) << named.name;
+    // Fok-action: at most once per non-root processor per cycle (a leaf that
+    // already sees Fok when it would feedback still executes it).
+    EXPECT_LE(counts.counts[kFokAction], (n - 1) * kCycles) << named.name;
+    EXPECT_GE(counts.counts[kFokAction], kCycles) << named.name;  // > 0
+    // Clean start: corrections never fire.
+    EXPECT_EQ(counts.counts[kBCorrection], 0u) << named.name;
+    EXPECT_EQ(counts.counts[kFCorrection], 0u) << named.name;
+  }
+}
+
+TEST(ActionCounts, CountActionsBoundedByNTimesHeight) {
+  // Each processor re-computes Count at most once per growth of its subtree
+  // count, and a subtree grows at most N times: Count-actions per cycle are
+  // O(N * h) in the worst case, and on a path exactly the triangular wave.
+  const auto g = graph::make_path(10);
+  const std::size_t kCycles = 2;
+  const auto counts =
+      run_cycles(g, sim::DaemonKind::kSynchronous, kCycles, 11);
+  // Path rooted at 0: processor at depth d executes (N-1-d) count updates
+  // as the suffix counts bubble up; total = sum_{d=0}^{N-2}(N-1-d) = 45.
+  EXPECT_EQ(counts.counts[kCountAction], 45u * kCycles);
+}
+
+TEST(ActionCounts, StarCountsAreMinimal) {
+  // On a star rooted at the hub, every leaf joins at level 1 with Count=1
+  // and the hub folds them: hub executes Count-action once per wave of
+  // simultaneous joins (synchronous: exactly one).
+  const auto g = graph::make_star(9);
+  const auto counts = run_cycles(g, sim::DaemonKind::kSynchronous, 1, 13);
+  EXPECT_EQ(counts.counts[kCountAction], 1u);
+  EXPECT_EQ(counts.counts[kBAction], 9u);
+}
+
+TEST(ActionCounts, TotalStepsMatchActionSum) {
+  const auto g = graph::make_cycle(8);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 17);
+  auto daemon = sim::make_daemon(sim::DaemonKind::kCentralRandom);
+  for (int i = 0; i < 500; ++i) {
+    if (!sim.step(*daemon)) {
+      break;
+    }
+  }
+  std::uint64_t total = 0;
+  for (sim::ActionId a = 0; a < kNumActions; ++a) {
+    total += sim.action_count(a);
+  }
+  // Central daemon: exactly one action per step.
+  EXPECT_EQ(total, sim.steps());
+}
+
+}  // namespace
+}  // namespace snappif::pif

@@ -1,0 +1,179 @@
+// WaveAggregator: global folds over one PIF cycle (the paper's "distributed
+// infimum function computations" / snapshot use-case).
+#include <gtest/gtest.h>
+
+#include "analysis/runners.hpp"
+#include "graph/generators.hpp"
+#include "pif/aggregate.hpp"
+#include "pif/faults.hpp"
+#include "pif/instrument.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+struct AggFixture {
+  explicit AggFixture(const graph::Graph& graph, std::uint64_t seed = 1)
+      : g(graph),
+        protocol(g, Params::for_graph(g)),
+        sim(protocol, g, seed),
+        tracker(g, 0),
+        values(g.n()) {
+    for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+      values[p] = 100 + p;  // distinct, checkable contributions
+    }
+  }
+
+  const graph::Graph& g;
+  PifProtocol protocol;
+  sim::Simulator<PifProtocol> sim;
+  GhostTracker tracker;
+  std::vector<std::int64_t> values;
+};
+
+TEST(Aggregate, SumOverOneCycle) {
+  const auto g = graph::make_grid(3, 3);
+  AggFixture fx(g);
+  WaveAggregator<std::int64_t> agg(
+      g, 0, [&](sim::ProcessorId p) { return fx.values[p]; },
+      [](const std::int64_t& a, const std::int64_t& b) { return a + b; });
+  attach(fx.sim, fx.tracker, agg);
+  sim::SynchronousDaemon daemon;
+  auto r = fx.sim.run_until(
+      daemon, [&](const auto&) { return agg.results_computed() >= 1; },
+      sim::RunLimits{.max_steps = 1000});
+  ASSERT_EQ(r.reason, sim::StopReason::kPredicate);
+  std::int64_t expected = 0;
+  for (std::int64_t v : fx.values) {
+    expected += v;
+  }
+  ASSERT_TRUE(agg.result().has_value());
+  EXPECT_EQ(*agg.result(), expected);
+}
+
+TEST(Aggregate, MinAndMaxFolds) {
+  const auto g = graph::make_random_connected(12, 8, 3);
+  {
+    AggFixture fx(g);
+    WaveAggregator<std::int64_t> agg(
+        g, 0, [&](sim::ProcessorId p) { return fx.values[p]; },
+        [](const std::int64_t& a, const std::int64_t& b) {
+          return std::min(a, b);
+        });
+    attach(fx.sim, fx.tracker, agg);
+    auto daemon = sim::make_daemon(sim::DaemonKind::kCentralRandom);
+    auto r = fx.sim.run_until(
+        *daemon, [&](const auto&) { return agg.results_computed() >= 1; },
+        sim::RunLimits{.max_steps = 100000});
+    ASSERT_EQ(r.reason, sim::StopReason::kPredicate);
+    EXPECT_EQ(*agg.result(), 100);  // min of 100..111
+  }
+  {
+    AggFixture fx(g, 7);
+    WaveAggregator<std::int64_t> agg(
+        g, 0, [&](sim::ProcessorId p) { return fx.values[p]; },
+        [](const std::int64_t& a, const std::int64_t& b) {
+          return std::max(a, b);
+        });
+    attach(fx.sim, fx.tracker, agg);
+    auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+    auto r = fx.sim.run_until(
+        *daemon, [&](const auto&) { return agg.results_computed() >= 1; },
+        sim::RunLimits{.max_steps = 100000});
+    ASSERT_EQ(r.reason, sim::StopReason::kPredicate);
+    EXPECT_EQ(*agg.result(), 111);
+  }
+}
+
+TEST(Aggregate, CorrectOnEveryTopologyAndDaemon) {
+  for (const auto& named : graph::standard_suite(10, 17)) {
+    for (sim::DaemonKind kind : sim::standard_daemon_kinds()) {
+      AggFixture fx(named.graph, 23);
+      WaveAggregator<std::int64_t> agg(
+          named.graph, 0, [&](sim::ProcessorId p) { return fx.values[p]; },
+          [](const std::int64_t& a, const std::int64_t& b) { return a + b; });
+      attach(fx.sim, fx.tracker, agg);
+      auto daemon = sim::make_daemon(kind);
+      auto r = fx.sim.run_until(
+          *daemon, [&](const auto&) { return agg.results_computed() >= 2; },
+          sim::RunLimits{.max_steps = 200000});
+      ASSERT_EQ(r.reason, sim::StopReason::kPredicate)
+          << named.name << "/" << sim::daemon_kind_name(kind);
+      std::int64_t expected = 0;
+      for (std::int64_t v : fx.values) {
+        expected += v;
+      }
+      EXPECT_EQ(*agg.result(), expected)
+          << named.name << "/" << sim::daemon_kind_name(kind);
+    }
+  }
+}
+
+TEST(Aggregate, FirstWaveAfterCorruptionAggregatesEveryone) {
+  // The snap payoff: even the FIRST wave from an adversarial configuration
+  // produces the full-network aggregate.
+  const auto g = graph::make_random_connected(14, 10, 5);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    AggFixture fx(g, seed);
+    WaveAggregator<std::int64_t> agg(
+        g, 0, [&](sim::ProcessorId p) { return fx.values[p]; },
+        [](const std::int64_t& a, const std::int64_t& b) { return a + b; });
+    attach(fx.sim, fx.tracker, agg);
+    util::Rng rng(seed * 37);
+    apply_corruption(fx.sim, CorruptionKind::kAdversarialMix, rng);
+    auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+    auto r = fx.sim.run_until(
+        *daemon, [&](const auto&) { return agg.results_computed() >= 1; },
+        sim::RunLimits{.max_steps = 400000});
+    ASSERT_EQ(r.reason, sim::StopReason::kPredicate) << "seed " << seed;
+    std::int64_t expected = 0;
+    for (std::int64_t v : fx.values) {
+      expected += v;
+    }
+    EXPECT_EQ(*agg.result(), expected) << "seed " << seed;
+    // The single-contribution invariant the fold relies on.
+    EXPECT_EQ(fx.tracker.last_cycle().max_receives, 1u) << "seed " << seed;
+    EXPECT_EQ(fx.tracker.last_cycle().max_acks, 1u) << "seed " << seed;
+  }
+}
+
+TEST(Aggregate, SnapshotValuesAreJoinTimeValues) {
+  // Contributions are sampled when the processor joins the wave, so changes
+  // after joining do not leak into the running wave's aggregate.
+  const auto g = graph::make_path(4);
+  AggFixture fx(g);
+  WaveAggregator<std::int64_t> agg(
+      g, 0, [&](sim::ProcessorId p) { return fx.values[p]; },
+      [](const std::int64_t& a, const std::int64_t& b) { return a + b; });
+  attach(fx.sim, fx.tracker, agg);
+  sim::SynchronousDaemon daemon;
+  // Let the broadcast pass processor 1, then mutate its value.
+  while (fx.sim.config().state(1).pif != Phase::kB) {
+    ASSERT_TRUE(fx.sim.step(daemon));
+  }
+  const std::int64_t expected = 100 + 101 + 102 + 103;
+  fx.values[1] = 9999;  // too late: 1 already contributed 101
+  auto r = fx.sim.run_until(
+      daemon, [&](const auto&) { return agg.results_computed() >= 1; },
+      sim::RunLimits{.max_steps = 1000});
+  ASSERT_EQ(r.reason, sim::StopReason::kPredicate);
+  EXPECT_EQ(*agg.result(), expected);
+}
+
+TEST(Aggregate, SingleProcessorNetwork) {
+  const graph::Graph g(1);
+  AggFixture fx(g);
+  WaveAggregator<std::int64_t> agg(
+      g, 0, [&](sim::ProcessorId p) { return fx.values[p]; },
+      [](const std::int64_t& a, const std::int64_t& b) { return a + b; });
+  attach(fx.sim, fx.tracker, agg);
+  sim::SynchronousDaemon daemon;
+  auto r = fx.sim.run_until(
+      daemon, [&](const auto&) { return agg.results_computed() >= 1; },
+      sim::RunLimits{.max_steps = 100});
+  ASSERT_EQ(r.reason, sim::StopReason::kPredicate);
+  EXPECT_EQ(*agg.result(), 100);
+}
+
+}  // namespace
+}  // namespace snappif::pif

@@ -1,0 +1,187 @@
+// Unit tests for the Section 4.1 definitions (ParentPath, Tree/LegalTree,
+// configuration classes) and the Section 4.2 invariants (Properties 1-2).
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "graph/generators.hpp"
+#include "pif/checker.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using testfix::clean_config;
+using testfix::root_st;
+using testfix::st;
+
+class CheckerTest : public ::testing::Test {
+ protected:
+  CheckerTest()
+      : g_(graph::make_path(4)),  // 0(root) - 1 - 2 - 3
+        protocol_(g_, Params::for_graph(g_)),
+        checker_(protocol_),
+        c_(clean_config(g_, protocol_)) {}
+
+  void make_full_broadcast_chain() {
+    c_.state(0) = root_st(Phase::kB, false, 1);
+    c_.state(1) = st(Phase::kB, false, 1, 1, 0);
+    c_.state(2) = st(Phase::kB, false, 1, 2, 1);
+    c_.state(3) = st(Phase::kB, false, 1, 3, 2);
+  }
+
+  graph::Graph g_;
+  PifProtocol protocol_;
+  Checker checker_;
+  sim::Configuration<State> c_;
+};
+
+TEST_F(CheckerTest, CleanConfigClassification) {
+  const ConfigClass cls = checker_.classify(c_);
+  EXPECT_TRUE(cls.normal);
+  EXPECT_TRUE(cls.start_broadcast);
+  EXPECT_TRUE(cls.sbn);
+  EXPECT_FALSE(cls.broadcast);
+  EXPECT_FALSE(cls.ebn);
+  EXPECT_FALSE(cls.end_feedback);
+  EXPECT_TRUE(checker_.all_c(c_));
+  EXPECT_TRUE(checker_.all_normal(c_));
+  EXPECT_TRUE(checker_.abnormal(c_).empty());
+}
+
+TEST_F(CheckerTest, EbnClassification) {
+  make_full_broadcast_chain();
+  const ConfigClass cls = checker_.classify(c_);
+  EXPECT_TRUE(cls.normal);
+  EXPECT_TRUE(cls.broadcast);
+  EXPECT_TRUE(cls.ebn);
+  EXPECT_FALSE(cls.sbn);
+}
+
+TEST_F(CheckerTest, EfClassification) {
+  c_.state(0) = root_st(Phase::kF, true, 4);
+  c_.state(1) = st(Phase::kF, true, 1, 1, 0);
+  c_.state(2) = st(Phase::kF, true, 1, 2, 1);
+  c_.state(3) = st(Phase::kF, true, 1, 3, 2);
+  const ConfigClass cls = checker_.classify(c_);
+  EXPECT_TRUE(cls.end_feedback);
+  EXPECT_TRUE(cls.efn);
+}
+
+TEST_F(CheckerTest, ParentPathFollowsToRoot) {
+  make_full_broadcast_chain();
+  const auto path = checker_.parent_path(c_, 3);
+  EXPECT_EQ(path, (std::vector<sim::ProcessorId>{3, 2, 1, 0}));
+}
+
+TEST_F(CheckerTest, ParentPathStopsAtAbnormal) {
+  make_full_broadcast_chain();
+  c_.state(1) = st(Phase::kB, false, 1, 3, 0);  // wrong level: abnormal
+  // Processor 2 now has the wrong level w.r.t. 1?  L_2 = 2 but L_1 = 3:
+  // GoodLevel(2) fails too; ParentPath(3) ends at 2 (first abnormal).
+  const auto path = checker_.parent_path(c_, 3);
+  EXPECT_EQ(path, (std::vector<sim::ProcessorId>{3, 2}));
+}
+
+TEST_F(CheckerTest, ParentPathEmptyForCState) {
+  EXPECT_TRUE(checker_.parent_path(c_, 2).empty());
+}
+
+TEST_F(CheckerTest, LegalTreeMembership) {
+  make_full_broadcast_chain();
+  const auto legal = checker_.legal_tree(c_);
+  for (sim::ProcessorId p = 0; p < 4; ++p) {
+    EXPECT_TRUE(legal[p]) << p;
+  }
+  EXPECT_EQ(checker_.legal_tree_size(c_), 4u);
+  EXPECT_EQ(checker_.legal_tree_height(c_), 3u);
+}
+
+TEST_F(CheckerTest, LegalTreeExcludesDetachedSuffix) {
+  make_full_broadcast_chain();
+  c_.state(2) = st(Phase::kB, false, 1, 3, 1);  // breaks GoodLevel(2)
+  const auto legal = checker_.legal_tree(c_);
+  EXPECT_TRUE(legal[0]);
+  EXPECT_TRUE(legal[1]);
+  EXPECT_FALSE(legal[2]);
+  EXPECT_FALSE(legal[3]);  // its ParentPath ends at abnormal 2
+  EXPECT_EQ(checker_.legal_tree_size(c_), 2u);
+}
+
+TEST_F(CheckerTest, LegalTreeEmptyWhenRootClean) {
+  make_full_broadcast_chain();
+  c_.state(0) = root_st(Phase::kC, false, 1);
+  const auto legal = checker_.legal_tree(c_);
+  EXPECT_FALSE(legal[0]);
+  // 1's ParentPath reaches the root... but 1 itself is abnormal now
+  // (GoodPif: parent C while 1 is B), so nothing is legal.
+  EXPECT_FALSE(legal[1]);
+}
+
+TEST_F(CheckerTest, Property1HoldsOnBroadcastChain) {
+  make_full_broadcast_chain();
+  EXPECT_TRUE(checker_.property1_holds(c_));
+}
+
+TEST_F(CheckerTest, Property1ViolatedByFokInTree) {
+  make_full_broadcast_chain();
+  // Root ¬Fok but a legal member holds Fok: invariant broken.  (Such a
+  // member is abnormal and drops out of the tree, so craft the minimal
+  // violation through count instead: Count_p > Sum_p cannot be in the tree
+  // either.  Use the count form.)
+  c_.state(3) = st(Phase::kB, false, 1, 3, 2);
+  c_.state(2) = st(Phase::kB, false, 3, 2, 1);  // Count 3 > Sum 2: abnormal
+  // Property 1 quantifies over legal members only; 2 left the tree, so the
+  // invariant still holds.
+  EXPECT_TRUE(checker_.property1_holds(c_));
+  EXPECT_FALSE(checker_.all_normal(c_));
+}
+
+TEST_F(CheckerTest, Property2HoldsOnNormalConfigs) {
+  bool applicable = false;
+  make_full_broadcast_chain();
+  EXPECT_TRUE(checker_.property2_holds(c_, &applicable));
+  EXPECT_TRUE(applicable);
+}
+
+TEST_F(CheckerTest, Property2NotApplicableWhenAbnormal) {
+  make_full_broadcast_chain();
+  c_.state(2) = st(Phase::kB, false, 1, 3, 1);
+  bool applicable = true;
+  EXPECT_TRUE(checker_.property2_holds(c_, &applicable));
+  EXPECT_FALSE(applicable);
+}
+
+TEST_F(CheckerTest, GoodConfigurationDetectsBadHangerOn) {
+  make_full_broadcast_chain();
+  // Detach 3 by giving it an inconsistent level (abnormal, outside tree),
+  // with its parent 2 in the tree and an inflated count: Def. 15 violated.
+  c_.state(3) = st(Phase::kB, false, 4, 1, 2);
+  EXPECT_FALSE(checker_.good_configuration(c_));
+  // With a truthful count it is a good configuration again.
+  c_.state(3) = st(Phase::kB, false, 1, 1, 2);
+  EXPECT_TRUE(checker_.good_configuration(c_));
+}
+
+TEST_F(CheckerTest, ChordlessParentPaths) {
+  make_full_broadcast_chain();
+  EXPECT_TRUE(checker_.parent_paths_chordless(c_));
+  // On a graph with a chord, a path through the chord is flagged.
+  const auto g = graph::Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  PifProtocol proto(g, Params::for_graph(g));
+  Checker checker(proto);
+  auto c = clean_config(g, proto);
+  c.state(0) = root_st(Phase::kB, false, 1);
+  c.state(1) = st(Phase::kB, false, 1, 1, 0);
+  c.state(2) = st(Phase::kB, false, 1, 2, 1);  // 0-1-2 but chord 0-2 exists
+  EXPECT_FALSE(checker.parent_paths_chordless(c));
+  c.state(2) = st(Phase::kB, false, 1, 1, 0);  // direct child of the root
+  EXPECT_TRUE(checker.parent_paths_chordless(c));
+}
+
+TEST_F(CheckerTest, DescribeMentionsEveryProcessor) {
+  const std::string out = checker_.describe(c_);
+  EXPECT_NE(out.find("(root)"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace snappif::pif

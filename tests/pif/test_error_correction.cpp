@@ -1,0 +1,168 @@
+// Error-correction behavior (Section 4.3): abnormal processors disappear,
+// within the proved round bounds — Theorem 1 (all normal within 3*Lmax + 3),
+// and the composed bound for reaching the normal starting configuration
+// (<= 9*Lmax + 8, from Theorem 2's cases; see EXPERIMENTS.md E2).
+#include <gtest/gtest.h>
+
+#include "analysis/runners.hpp"
+#include "fixtures.hpp"
+#include "graph/generators.hpp"
+#include "pif/checker.hpp"
+#include "pif/faults.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using analysis::RunConfig;
+using analysis::StabilizationResult;
+using testfix::root_st;
+using testfix::st;
+
+TEST(ErrorCorrection, AbnormalBGoesToFThenC) {
+  // A lone abnormal broadcaster is flushed in two corrections (Lemma 4).
+  const auto g = graph::make_path(3);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 3);
+  sim.set_state(1, st(Phase::kB, false, 1, 2, 0));  // wrong level vs root C
+  sim::SynchronousDaemon daemon;
+
+  ASSERT_TRUE(sim.is_enabled(1));
+  ASSERT_TRUE(sim.step(daemon));
+  EXPECT_EQ(sim.config().state(1).pif, Phase::kF);
+  ASSERT_TRUE(sim.step(daemon));
+  EXPECT_EQ(sim.config().state(1).pif, Phase::kC);
+}
+
+TEST(ErrorCorrection, FakeTreeFlushedTopDown) {
+  // A consistent fake tree is dismantled from its (abnormal) source toward
+  // the leaves: B-corrections cascade as parents turn F.
+  const auto g = graph::make_path(5);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 4);
+  // Fake chain 2 <- 3 <- 4 at levels 2,3,4; processor 2's parent (1) is C,
+  // so 2 is the abnormal source; 3 and 4 are locally consistent.
+  sim.set_state(2, st(Phase::kB, false, 3, 2, 1));
+  sim.set_state(3, st(Phase::kB, false, 2, 3, 2));
+  sim.set_state(4, st(Phase::kB, false, 1, 4, 3));
+  Checker checker(sim.protocol());
+  EXPECT_EQ(checker.abnormal(sim.config()), (std::vector<sim::ProcessorId>{2}));
+
+  sim::SynchronousDaemon daemon;
+  // After one step, 2 corrected to F, which makes 3 abnormal, etc.
+  std::vector<Phase> phase2;
+  for (int i = 0; i < 12 && !checker.all_c(sim.config()); ++i) {
+    ASSERT_TRUE(sim.step(daemon));
+  }
+  // Everything flushed; the root then starts a legitimate cycle eventually.
+  for (sim::ProcessorId p = 1; p < 5; ++p) {
+    EXPECT_TRUE(checker.all_normal(sim.config()));
+  }
+}
+
+struct CorrectionCase {
+  std::string name;
+  graph::Graph graph;
+  sim::DaemonKind daemon;
+  CorruptionKind corruption;
+};
+
+class CorrectionBound : public ::testing::TestWithParam<CorrectionCase> {};
+
+TEST_P(CorrectionBound, Theorem1And2Bounds) {
+  const CorrectionCase& cc = GetParam();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RunConfig rc;
+    rc.daemon = cc.daemon;
+    rc.corruption = cc.corruption;
+    rc.seed = seed * 31 + 7;
+    const StabilizationResult result =
+        analysis::measure_stabilization(cc.graph, rc);
+    ASSERT_TRUE(result.ok) << cc.name << " seed=" << seed;
+    const std::uint64_t lmax = result.l_max;
+    EXPECT_LE(result.rounds_to_all_normal, 3 * lmax + 3)
+        << cc.name << " seed=" << seed << " (Theorem 1)";
+    EXPECT_LE(result.rounds_to_sbn, 9 * lmax + 8)
+        << cc.name << " seed=" << seed << " (composed Theorem 2 bound)";
+  }
+}
+
+std::vector<CorrectionCase> make_cases() {
+  std::vector<CorrectionCase> cases;
+  for (const auto& named : graph::standard_suite(10, 11)) {
+    for (CorruptionKind corruption :
+         {CorruptionKind::kUniformRandom, CorruptionKind::kFakeTree,
+          CorruptionKind::kAdversarialMix}) {
+      cases.push_back({named.name + "_" + std::string(corruption_name(corruption)),
+                       named.graph, sim::DaemonKind::kDistributedRandom,
+                       corruption});
+    }
+  }
+  // The synchronous daemon is the canonical worst case for round counts.
+  for (const auto& named : graph::standard_suite(10, 12)) {
+    cases.push_back({named.name + "_sync_adv", named.graph,
+                     sim::DaemonKind::kSynchronous,
+                     CorruptionKind::kAdversarialMix});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CorrectionBound, ::testing::ValuesIn(make_cases()),
+                         [](const ::testing::TestParamInfo<CorrectionCase>& info) {
+                           std::string name = info.param.name;
+                           for (char& ch : name) {
+                             if (ch == '-') {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(ErrorCorrection, LmaxSlackStillWithinScaledBound) {
+  // Using L_max = 2(N-1) doubles the level domain; Theorem 1's bound scales
+  // with L_max, and corrections still respect it.
+  const auto g = graph::make_path(8);
+  RunConfig rc;
+  rc.daemon = sim::DaemonKind::kDistributedRandom;
+  rc.corruption = CorruptionKind::kAdversarialMix;
+  rc.l_max_override = 14;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rc.seed = seed;
+    const StabilizationResult result = analysis::measure_stabilization(g, rc);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.l_max, 14u);
+    EXPECT_LE(result.rounds_to_all_normal, 3 * result.l_max + 3);
+  }
+}
+
+TEST(ErrorCorrection, GoodCountStaysTrueOnceEstablishedEverywhere) {
+  // Property 3: after GoodCount holds for everyone, it holds forever.
+  const auto g = graph::make_random_connected(9, 6, 21);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 9);
+  util::Rng rng(1234);
+  apply_corruption(sim, CorruptionKind::kAdversarialMix, rng);
+  auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+
+  auto all_good_count = [&](const sim::Configuration<State>& c) {
+    for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+      if (!sim.protocol().good_count(c, p)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto r = sim.run_until(*daemon, all_good_count,
+                         sim::RunLimits{.max_steps = 100000});
+  ASSERT_EQ(r.reason, sim::StopReason::kPredicate);
+  // From here on GoodCount must never be violated again.
+  for (int i = 0; i < 2000; ++i) {
+    if (!sim.step(*daemon)) {
+      break;
+    }
+    ASSERT_TRUE(all_good_count(sim.config())) << "GoodCount regressed at step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace snappif::pif

@@ -1,0 +1,86 @@
+// Topology families outside the standard suite: torus, hypercube, wheel,
+// caterpillar, complete bipartite — denser / more symmetric / chord-rich
+// shapes, full property bundle on each.
+#include <gtest/gtest.h>
+
+#include "analysis/runners.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "pif/faults.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using analysis::RunConfig;
+
+std::vector<graph::NamedGraph> extra_suite() {
+  std::vector<graph::NamedGraph> suite;
+  suite.push_back({"torus3x4", graph::make_torus(3, 4)});
+  suite.push_back({"hypercube4", graph::make_hypercube(4)});
+  suite.push_back({"wheel12", graph::make_wheel(12)});
+  suite.push_back({"caterpillar", graph::make_caterpillar(5, 2)});
+  suite.push_back({"k4_5", graph::make_complete_bipartite(4, 5)});
+  return suite;
+}
+
+class ExtraTopology : public ::testing::TestWithParam<graph::NamedGraph> {};
+
+TEST_P(ExtraTopology, CyclesWithinBounds) {
+  const auto& named = GetParam();
+  for (sim::DaemonKind daemon :
+       {sim::DaemonKind::kSynchronous, sim::DaemonKind::kDistributedRandom}) {
+    RunConfig rc;
+    rc.daemon = daemon;
+    rc.seed = 31;
+    const auto results = analysis::run_cycles_from_sbn(named.graph, rc, 3);
+    ASSERT_EQ(results.size(), 3u) << named.name;
+    for (const auto& r : results) {
+      EXPECT_TRUE(r.ok) << named.name;
+      EXPECT_TRUE(r.chordless) << named.name;
+      EXPECT_LE(r.rounds, 5u * r.height + 5) << named.name;
+    }
+  }
+}
+
+TEST_P(ExtraTopology, SynchronousHeightIsEccentricity) {
+  const auto& named = GetParam();
+  RunConfig rc;
+  rc.daemon = sim::DaemonKind::kSynchronous;
+  const auto r = analysis::run_cycle_from_sbn(named.graph, rc);
+  ASSERT_TRUE(r.ok) << named.name;
+  EXPECT_EQ(r.height, graph::eccentricity(named.graph, 0)) << named.name;
+}
+
+TEST_P(ExtraTopology, SnapFromAdversarialStarts) {
+  const auto& named = GetParam();
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    RunConfig rc;
+    rc.corruption = CorruptionKind::kAdversarialMix;
+    rc.seed = seed * 3 + 1;
+    const auto r = analysis::check_snap_first_cycle(named.graph, rc);
+    ASSERT_TRUE(r.cycle_completed) << named.name << " seed " << seed;
+    EXPECT_TRUE(r.ok()) << named.name << " seed " << seed;
+  }
+}
+
+TEST_P(ExtraTopology, StabilizationBounds) {
+  const auto& named = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RunConfig rc;
+    rc.corruption = CorruptionKind::kFakeTree;
+    rc.seed = seed * 11;
+    const auto r = analysis::measure_stabilization(named.graph, rc);
+    ASSERT_TRUE(r.ok) << named.name;
+    EXPECT_LE(r.rounds_to_all_normal, 3u * r.l_max + 3) << named.name;
+    EXPECT_LE(r.rounds_to_sbn, 9u * r.l_max + 8) << named.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ExtraTopology,
+                         ::testing::ValuesIn(extra_suite()),
+                         [](const ::testing::TestParamInfo<graph::NamedGraph>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace snappif::pif

@@ -1,0 +1,145 @@
+// Tests for the structured corruption machinery itself (the fault injector
+// must produce the shapes it promises) and for recovery from mid-run bursts.
+#include <gtest/gtest.h>
+
+#include "analysis/runners.hpp"
+#include "graph/generators.hpp"
+#include "pif/checker.hpp"
+#include "pif/faults.hpp"
+#include "pif/instrument.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+TEST(Faults, FakeTreeIsLocallyConsistentExceptSource) {
+  const auto g = graph::make_grid(3, 3);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 1);
+  util::Rng rng(42);
+  plant_fake_tree(sim, rng);
+  Checker checker(sim.protocol());
+  // At least one processor entered B...
+  std::size_t in_b = 0;
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    in_b += sim.config().state(p).pif == Phase::kB ? 1 : 0;
+  }
+  EXPECT_GE(in_b, 1u);
+  // ...and the fake tree resists instant dissolution: the number of
+  // abnormal processors is small compared to the planted region (typically
+  // just the seed whose level disagrees with its pretend-parent).
+  EXPECT_LE(checker.abnormal(sim.config()).size(), in_b);
+}
+
+TEST(Faults, StrayFokOnlyTouchesBroadcastPhase) {
+  const auto g = graph::make_cycle(8);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 2);
+  util::Rng rng(43);
+  plant_fake_tree(sim, rng);
+  // Snapshot which processors are in B.
+  std::vector<bool> was_b(g.n());
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    was_b[p] = sim.config().state(p).pif == Phase::kB;
+  }
+  plant_stray_fok(sim, rng, 1.0);
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    if (was_b[p]) {
+      EXPECT_TRUE(sim.config().state(p).fok);
+    } else {
+      EXPECT_EQ(sim.config().state(p).pif != Phase::kB,
+                !sim.config().state(p).fok || !was_b[p]);
+    }
+  }
+}
+
+TEST(Faults, InflateCountsSetsDomainCeiling) {
+  const auto g = graph::make_path(6);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 3);
+  util::Rng rng(44);
+  inflate_counts(sim, rng, 1.0);
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    EXPECT_EQ(sim.config().state(p).count, g.n());
+  }
+}
+
+TEST(Faults, EveryCorruptionKindIsApplicableAndRecoverable) {
+  const auto g = graph::make_random_connected(10, 6, 77);
+  for (CorruptionKind kind : all_corruption_kinds()) {
+    PifProtocol protocol(g, Params::for_graph(g));
+    sim::Simulator<PifProtocol> sim(protocol, g, 4);
+    util::Rng rng(45);
+    apply_corruption(sim, kind, rng);
+    Checker checker(sim.protocol());
+    auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+    auto r = sim.run_until(
+        *daemon,
+        [&](const sim::Configuration<State>& c) {
+          return checker.classify(c).sbn;
+        },
+        sim::RunLimits{.max_steps = 200000});
+    EXPECT_EQ(r.reason, sim::StopReason::kPredicate)
+        << corruption_name(kind) << ": never recovered to SBN";
+  }
+}
+
+TEST(Faults, MidRunBurstsDoNotBreakSubsequentCycles) {
+  // Run cycles; every completed cycle, corrupt a random subset of
+  // processors; the protocol must keep completing correct cycles whenever
+  // the root re-initiates (snap-stabilization under repeated transient
+  // faults).  Bursts can hit mid-cycle, so individual cycles may abort or
+  // lose messages — but cycles STARTED after the last burst must be clean.
+  const auto g = graph::make_grid(3, 4);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 5);
+  GhostTracker tracker(g, 0);
+  attach(sim, tracker);
+  auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+  util::Rng fault_rng(4711);
+
+  for (int round = 0; round < 8; ++round) {
+    sim::inject_burst(sim, 3, fault_rng);
+    // Let the system settle to SBN (all clean), then run one tracked cycle.
+    Checker checker(sim.protocol());
+    auto settle = sim.run_until(
+        *daemon,
+        [&](const sim::Configuration<State>& c) {
+          return checker.classify(c).sbn;
+        },
+        sim::RunLimits{.max_steps = 200000});
+    ASSERT_EQ(settle.reason, sim::StopReason::kPredicate) << "round " << round;
+    const std::uint64_t before = tracker.cycles_completed();
+    auto cycle = sim.run_until(
+        *daemon,
+        [&](const sim::Configuration<State>&) {
+          return tracker.cycles_completed() > before;
+        },
+        sim::RunLimits{.max_steps = 200000});
+    ASSERT_EQ(cycle.reason, sim::StopReason::kPredicate) << "round " << round;
+    EXPECT_TRUE(tracker.last_cycle().ok()) << "round " << round;
+  }
+}
+
+TEST(Faults, InjectBurstCorruptsExactlyK) {
+  const auto g = graph::make_complete(8);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 6);
+  // Drive into a mid-broadcast state first so corruption is visible.
+  sim::SynchronousDaemon daemon;
+  (void)sim.step(daemon);
+  const auto before = sim.config();
+  util::Rng rng(4242);
+  sim::inject_burst(sim, 3, rng);
+  int changed = 0;
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    changed += (sim.config().state(p) == before.state(p)) ? 0 : 1;
+  }
+  // A random state can coincide with the old one; at most 3 changed.
+  EXPECT_LE(changed, 3);
+  EXPECT_GE(changed, 1);
+}
+
+}  // namespace
+}  // namespace snappif::pif

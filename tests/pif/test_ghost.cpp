@@ -1,0 +1,173 @@
+// Unit tests for the ghost-variable specification oracle (PIF1/PIF2
+// bookkeeping of Definition 2).
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "graph/generators.hpp"
+#include "pif/ghost.hpp"
+#include "pif/instrument.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using testfix::clean_config;
+
+TEST(Ghost, TracksOneCleanCycle) {
+  const auto g = graph::make_path(3);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 5);
+  GhostTracker tracker(g, 0);
+  attach(sim, tracker);
+  sim::SynchronousDaemon daemon;
+
+  EXPECT_FALSE(tracker.cycle_active());
+  EXPECT_EQ(tracker.cycles_completed(), 0u);
+
+  // Step 1: the root broadcasts.
+  ASSERT_TRUE(sim.step(daemon));
+  EXPECT_TRUE(tracker.cycle_active());
+  EXPECT_EQ(tracker.current_message(), 1u);
+  EXPECT_TRUE(tracker.received_current(0));
+  EXPECT_FALSE(tracker.received_current(2));
+
+  // Run to completion of the first cycle.
+  auto result = sim.run_until(
+      daemon,
+      [&](const sim::Configuration<State>&) {
+        return tracker.cycles_completed() >= 1;
+      },
+      sim::RunLimits{.max_steps = 200});
+  ASSERT_EQ(result.reason, sim::StopReason::kPredicate);
+  const CycleVerdict& verdict = tracker.last_cycle();
+  EXPECT_TRUE(verdict.pif1);
+  EXPECT_TRUE(verdict.pif2);
+  EXPECT_FALSE(verdict.aborted);
+  EXPECT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict.message, 1u);
+  EXPECT_EQ(verdict.tree_height, 2u);  // path of 3 rooted at the end
+  EXPECT_GT(verdict.feedback_step, verdict.broadcast_step);
+}
+
+TEST(Ghost, MessageIdsAreFreshPerCycle) {
+  const auto g = graph::make_path(2);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 6);
+  GhostTracker tracker(g, 0);
+  attach(sim, tracker);
+  sim::SynchronousDaemon daemon;
+  auto result = sim.run_until(
+      daemon,
+      [&](const sim::Configuration<State>&) {
+        return tracker.cycles_completed() >= 3;
+      },
+      sim::RunLimits{.max_steps = 500});
+  ASSERT_EQ(result.reason, sim::StopReason::kPredicate);
+  ASSERT_EQ(tracker.verdicts().size(), 3u);
+  EXPECT_EQ(tracker.verdicts()[0].message, 1u);
+  EXPECT_EQ(tracker.verdicts()[1].message, 2u);
+  EXPECT_EQ(tracker.verdicts()[2].message, 3u);
+  for (const auto& verdict : tracker.verdicts()) {
+    EXPECT_TRUE(verdict.ok());
+  }
+}
+
+TEST(Ghost, StaleHoldersAreNotReceivers) {
+  // Drive the tracker manually: a processor that never B-joins during the
+  // cycle must fail PIF1 at the root's F-action.
+  const auto g = graph::make_path(3);
+  PifProtocol protocol(g, Params::for_graph(g));
+  GhostTracker tracker(g, 0);
+  auto c = clean_config(g, protocol);
+
+  auto fire = [&](sim::ProcessorId p, sim::ActionId a, const State& after) {
+    tracker.on_apply(p, a, after);
+  };
+
+  State root_b = protocol.initial_state(0);
+  root_b.pif = Phase::kB;
+  fire(0, kBAction, root_b);
+  ASSERT_TRUE(tracker.cycle_active());
+
+  // Only processor 1 joins; 2 never does.
+  State p1 = protocol.initial_state(1);
+  p1.pif = Phase::kB;
+  p1.parent = 0;
+  fire(1, kBAction, p1);
+  EXPECT_TRUE(tracker.received_current(1));
+  EXPECT_FALSE(tracker.received_current(2));
+
+  State p1f = p1;
+  p1f.pif = Phase::kF;
+  fire(1, kFAction, p1f);
+  EXPECT_TRUE(tracker.acked_current(1));
+
+  State root_f = root_b;
+  root_f.pif = Phase::kF;
+  fire(0, kFAction, root_f);
+  ASSERT_EQ(tracker.cycles_completed(), 1u);
+  EXPECT_FALSE(tracker.last_cycle().pif1);
+  EXPECT_FALSE(tracker.last_cycle().pif2);
+}
+
+TEST(Ghost, JoiningViaStaleParentDoesNotCountAsReceipt) {
+  const auto g = graph::make_path(3);
+  PifProtocol protocol(g, Params::for_graph(g));
+  GhostTracker tracker(g, 0);
+  auto c = clean_config(g, protocol);
+  auto fire = [&](sim::ProcessorId p, sim::ActionId a, const State& after) {
+    tracker.on_apply(p, a, after);
+  };
+
+  State root_b = protocol.initial_state(0);
+  root_b.pif = Phase::kB;
+  fire(0, kBAction, root_b);
+
+  // Processor 2 joins *processor 1* which never received the current
+  // message (its ghost is stale/zero).
+  State p2 = protocol.initial_state(2);
+  p2.pif = Phase::kB;
+  p2.parent = 1;
+  fire(2, kBAction, p2);
+  EXPECT_FALSE(tracker.received_current(2));
+  // Its later F-action must not count as an acknowledgment of m.
+  State p2f = p2;
+  p2f.pif = Phase::kF;
+  fire(2, kFAction, p2f);
+  EXPECT_FALSE(tracker.acked_current(2));
+}
+
+TEST(Ghost, RootAbortRecordsAbortedVerdict) {
+  const auto g = graph::make_path(2);
+  PifProtocol protocol(g, Params::for_graph(g));
+  GhostTracker tracker(g, 0);
+  auto c = clean_config(g, protocol);
+  State root_b = protocol.initial_state(0);
+  root_b.pif = Phase::kB;
+  tracker.on_apply(0, kBAction, root_b);
+  State root_c = root_b;
+  root_c.pif = Phase::kC;
+  tracker.on_apply(0, kBCorrection, root_c);
+  ASSERT_EQ(tracker.cycles_completed(), 1u);
+  EXPECT_TRUE(tracker.last_cycle().aborted);
+  EXPECT_FALSE(tracker.last_cycle().ok());
+  EXPECT_FALSE(tracker.cycle_active());
+}
+
+TEST(Ghost, ResetClearsEverything) {
+  const auto g = graph::make_path(2);
+  PifProtocol protocol(g, Params::for_graph(g));
+  GhostTracker tracker(g, 0);
+  auto c = clean_config(g, protocol);
+  State root_b = protocol.initial_state(0);
+  root_b.pif = Phase::kB;
+  tracker.on_apply(0, kBAction, root_b);
+  tracker.reset();
+  EXPECT_FALSE(tracker.cycle_active());
+  EXPECT_EQ(tracker.cycles_completed(), 0u);
+  EXPECT_EQ(tracker.current_message(), 0u);
+  EXPECT_EQ(tracker.message_of(0), 0u);
+}
+
+}  // namespace
+}  // namespace snappif::pif

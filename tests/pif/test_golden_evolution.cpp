@@ -1,0 +1,94 @@
+// Golden-trace regression: the exact synchronous evolution of one PIF cycle
+// on the 4-path, phase strip per step.  Any change to guard or statement
+// semantics shows up here first, with a human-readable diff.
+//
+// Legend: one column per processor; letter = Pif phase, '*' = Fok raised.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pif/checker.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+TEST(GoldenEvolution, SynchronousCycleOnPath4) {
+  const auto g = graph::make_path(4);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 1);
+  Checker checker(sim.protocol());
+  sim::SynchronousDaemon daemon;
+
+  const std::vector<std::string> expected{
+      "C C C C ",   // the normal starting configuration (SBN)
+      "B C C C ",   // the root broadcasts
+      "B B C C ",   // the wave sweeps down...
+      "B B B C ",   //
+      "B B B B ",   // EBN: everyone broadcasting (h = 3 reached)
+      "B B B B ",   // Count-actions bubble subtree sizes up (invisible in
+      "B B B B ",   //   the strip: Count 2 then 3 arrive at processor 0)
+      "B*B B B ",   // Count_r = N: the root raises Fok
+      "B*B*B B ",   // the Fok wave authorizes feedback, sweeping down...
+      "B*B*B*B ",   //
+      "B*B*B*B*",   // ...reaching the leaf
+      "B*B*B*F*",   // the leaf feeds back
+      "B*B*F*F*",   // feedback rolls up...
+      "B*F*F*C*",   // ...while cleaning chases it from the leaf
+      "F*F*C*C*",   // the root's F-action: the cycle closes ([PIF2])
+      "F*C*C*C*",   // cleaning drains the rest
+      "C*C*C*C*",   // back to all-C: ready for the next cycle (the stale
+                    //   Fok flags are don't-cares; B-action resets them)
+  };
+
+  std::vector<std::string> actual{checker.phase_strip(sim.config())};
+  for (std::size_t i = 1; i < expected.size(); ++i) {
+    ASSERT_TRUE(sim.step(daemon)) << "terminal at step " << i;
+    actual.push_back(checker.phase_strip(sim.config()));
+  }
+  EXPECT_EQ(actual, expected);
+  EXPECT_TRUE(checker.all_c(sim.config()));
+  // 16 synchronous rounds for h = 3: within Theorem 4's 5h+5 = 20.
+  EXPECT_EQ(sim.rounds(), 16u);
+
+  // The next cycle starts identically (the scheme repeats); the non-root
+  // Fok residue lingers until each processor's own B-action clears it.
+  ASSERT_TRUE(sim.step(daemon));
+  EXPECT_EQ(checker.phase_strip(sim.config()), "B C*C*C*");
+  EXPECT_FALSE(sim.config().state(0).fok);  // the root's B-action cleared its
+}
+
+TEST(GoldenEvolution, CountsDuringTheInvisibleSteps) {
+  // Pin the counting wave the strip cannot show.  Counting overlaps the
+  // broadcast: a processor absorbs a child's Count one step after the child
+  // joins, so the counts trail the wavefront by one level.
+  const auto g = graph::make_path(4);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 1);
+  sim::SynchronousDaemon daemon;
+  auto counts = [&](int a, int b, int c, int d) {
+    EXPECT_EQ(sim.config().state(0).count, static_cast<std::uint32_t>(a));
+    EXPECT_EQ(sim.config().state(1).count, static_cast<std::uint32_t>(b));
+    EXPECT_EQ(sim.config().state(2).count, static_cast<std::uint32_t>(c));
+    EXPECT_EQ(sim.config().state(3).count, static_cast<std::uint32_t>(d));
+  };
+  auto advance = [&](int steps) {
+    for (int i = 0; i < steps; ++i) {
+      ASSERT_TRUE(sim.step(daemon));
+    }
+  };
+  counts(1, 1, 1, 1);  // SBN
+  advance(3);          // 0, 1, 2 broadcasting; 0 already absorbed 1's count
+  counts(2, 1, 1, 1);
+  advance(1);          // EBN; 1 absorbed 2's initial count
+  counts(2, 2, 1, 1);
+  advance(1);
+  counts(3, 2, 2, 1);
+  advance(1);
+  counts(3, 3, 2, 1);
+  advance(1);
+  counts(4, 3, 2, 1);  // Count_r = N = 4...
+  EXPECT_TRUE(sim.config().state(0).fok);  // ...and Fok rose atomically
+}
+
+}  // namespace
+}  // namespace snappif::pif

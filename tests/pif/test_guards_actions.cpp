@@ -1,0 +1,300 @@
+// Unit tests for every guard and statement of Algorithms 1 (root) and 2
+// (other processors), plus the mutual-exclusivity structure: correction
+// guards fire exactly when ¬Normal, normal-phase guards conjoin Normal.
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "graph/generators.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using testfix::clean_config;
+using testfix::root_st;
+using testfix::st;
+
+class GuardTest : public ::testing::Test {
+ protected:
+  GuardTest()
+      : g_(graph::make_path(3)),
+        protocol_(g_, Params::for_graph(g_)),
+        c_(clean_config(g_, protocol_)) {}
+
+  graph::Graph g_;
+  PifProtocol protocol_;
+  sim::Configuration<State> c_;
+};
+
+// --- Algorithm 1 (root) ------------------------------------------------------
+
+TEST_F(GuardTest, RootBroadcastNeedsAllNeighborsClean) {
+  EXPECT_TRUE(protocol_.broadcast_guard(c_, 0));
+  c_.state(1) = st(Phase::kB, false, 1, 1, 0);
+  EXPECT_FALSE(protocol_.broadcast_guard(c_, 0));
+  c_.state(1) = st(Phase::kF, false, 1, 1, 0);
+  EXPECT_FALSE(protocol_.broadcast_guard(c_, 0));
+}
+
+TEST_F(GuardTest, RootBActionStatement) {
+  const State next = protocol_.apply(c_, 0, kBAction);
+  EXPECT_EQ(next.pif, Phase::kB);
+  EXPECT_EQ(next.count, 1u);
+  EXPECT_FALSE(next.fok);  // N = 3 > 1
+  EXPECT_EQ(next.level, 0u);
+  EXPECT_EQ(next.parent, kNoParent);
+}
+
+TEST_F(GuardTest, RootBActionSoloNetworkRaisesFokImmediately) {
+  const graph::Graph solo(1);
+  PifProtocol proto(solo, Params::for_graph(solo));
+  auto c = clean_config(solo, proto);
+  const State next = proto.apply(c, 0, kBAction);
+  EXPECT_TRUE(next.fok);  // Fok := (1 = N) with N = 1
+}
+
+TEST_F(GuardTest, RootFeedbackGuard) {
+  // Root B + Fok + Count = N, neighbors out of B.
+  c_.state(0) = root_st(Phase::kB, true, 3);
+  c_.state(1) = st(Phase::kF, false, 1, 1, 0);
+  EXPECT_TRUE(protocol_.feedback_guard(c_, 0));
+  // A broadcasting neighbor blocks.
+  c_.state(1) = st(Phase::kB, true, 1, 1, 0);
+  EXPECT_FALSE(protocol_.feedback_guard(c_, 0));
+  // Without Fok no feedback.
+  c_.state(0) = root_st(Phase::kB, false, 2);
+  c_.state(1) = st(Phase::kF, false, 1, 1, 0);
+  EXPECT_FALSE(protocol_.feedback_guard(c_, 0));
+}
+
+TEST_F(GuardTest, RootCleaningGuard) {
+  c_.state(0) = root_st(Phase::kF, true, 3);
+  EXPECT_TRUE(protocol_.cleaning_guard(c_, 0));
+  c_.state(1) = st(Phase::kF, false, 1, 1, 0);
+  EXPECT_FALSE(protocol_.cleaning_guard(c_, 0));
+}
+
+TEST_F(GuardTest, RootNewCountAndStatement) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, false, 2, 1, 0);
+  c_.state(2) = st(Phase::kB, false, 1, 2, 1);
+  // Sum_r = 1 + 2 = 3 > Count_r = 1.
+  EXPECT_TRUE(protocol_.new_count_guard(c_, 0));
+  const State next = protocol_.apply(c_, 0, kCountAction);
+  EXPECT_EQ(next.count, 3u);
+  EXPECT_TRUE(next.fok);  // Sum = N = 3
+}
+
+TEST_F(GuardTest, RootCountActionBelowNLeavesFokDown) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, false, 1, 1, 0);
+  // Sum_r = 2 < N.
+  const State next = protocol_.apply(c_, 0, kCountAction);
+  EXPECT_EQ(next.count, 2u);
+  EXPECT_FALSE(next.fok);
+}
+
+TEST_F(GuardTest, RootBCorrectionOnAbnormal) {
+  c_.state(0) = root_st(Phase::kB, true, 2);  // Fok with Count != N
+  EXPECT_TRUE(protocol_.b_correction_guard(c_, 0));
+  const State next = protocol_.apply(c_, 0, kBCorrection);
+  EXPECT_EQ(next.pif, Phase::kC);  // root correction goes straight to C
+}
+
+TEST_F(GuardTest, RootHasNoFokOrFCorrectionActions) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  EXPECT_FALSE(protocol_.change_fok_guard(c_, 0));
+  c_.state(0) = root_st(Phase::kF, false, 1);
+  EXPECT_FALSE(protocol_.f_correction_guard(c_, 0));
+}
+
+// --- Algorithm 2 (non-root) --------------------------------------------------
+
+TEST_F(GuardTest, NonRootBroadcastGuard) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  EXPECT_TRUE(protocol_.broadcast_guard(c_, 1));
+  // Not in C: no.
+  c_.state(1) = st(Phase::kB, false, 1, 1, 0);
+  EXPECT_FALSE(protocol_.broadcast_guard(c_, 1));
+  // Blocked by a participating neighbor still pointing at it.
+  c_.state(1) = st(Phase::kC, false, 1, 1, 0);
+  c_.state(2) = st(Phase::kB, false, 1, 2, 1);
+  EXPECT_FALSE(protocol_.broadcast_guard(c_, 1));
+  // Empty Potential: no.
+  c_.state(0) = root_st(Phase::kC, false, 1);
+  c_.state(2) = st(Phase::kC, false, 1, 2, 1);
+  EXPECT_FALSE(protocol_.broadcast_guard(c_, 1));
+}
+
+TEST_F(GuardTest, NonRootBActionStatement) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  const State next = protocol_.apply(c_, 1, kBAction);
+  EXPECT_EQ(next.parent, 0u);
+  EXPECT_EQ(next.level, 1u);
+  EXPECT_EQ(next.count, 1u);
+  EXPECT_FALSE(next.fok);
+  EXPECT_EQ(next.pif, Phase::kB);
+}
+
+TEST_F(GuardTest, ChangeFokGuardAndStatement) {
+  c_.state(0) = root_st(Phase::kB, true, 3);
+  c_.state(1) = st(Phase::kB, false, 2, 1, 0);
+  c_.state(2) = st(Phase::kB, false, 1, 2, 1);
+  EXPECT_TRUE(protocol_.change_fok_guard(c_, 1));
+  const State next = protocol_.apply(c_, 1, kFokAction);
+  EXPECT_TRUE(next.fok);
+  // Equal flags: not enabled.
+  c_.state(1) = st(Phase::kB, true, 2, 1, 0);
+  EXPECT_FALSE(protocol_.change_fok_guard(c_, 1));
+}
+
+TEST_F(GuardTest, ChangeFokRequiresNormal) {
+  c_.state(0) = root_st(Phase::kB, true, 3);
+  c_.state(1) = st(Phase::kB, false, 2, 1, 0);
+  c_.state(2) = st(Phase::kB, false, 1, 3, 1);  // wrong level: 2 abnormal
+  // Processor 1's count 2 > Sum 1 (child 2 has wrong level): 1 abnormal too.
+  EXPECT_FALSE(protocol_.change_fok_guard(c_, 1));
+}
+
+TEST_F(GuardTest, NonRootFeedbackGuard) {
+  c_.state(0) = root_st(Phase::kB, true, 3);
+  c_.state(1) = st(Phase::kB, true, 2, 1, 0);
+  c_.state(2) = st(Phase::kF, false, 1, 2, 1);
+  EXPECT_TRUE(protocol_.feedback_guard(c_, 1));
+  // Child still broadcasting: BLeaf fails.
+  c_.state(2) = st(Phase::kB, true, 1, 2, 1);
+  EXPECT_FALSE(protocol_.feedback_guard(c_, 1));
+  // No Fok: no feedback.
+  c_.state(1) = st(Phase::kB, false, 2, 1, 0);
+  c_.state(2) = st(Phase::kF, false, 1, 2, 1);
+  EXPECT_FALSE(protocol_.feedback_guard(c_, 1));
+}
+
+TEST_F(GuardTest, NonRootCleaningGuard) {
+  // 2 (leaf of the tree) in F, its parent 1 in F, root already F.
+  c_.state(0) = root_st(Phase::kF, true, 3);
+  c_.state(1) = st(Phase::kF, true, 2, 1, 0);
+  c_.state(2) = st(Phase::kF, true, 1, 2, 1);
+  EXPECT_TRUE(protocol_.cleaning_guard(c_, 2));
+  // Processor 1 still has a participating child pointing at it: not a Leaf.
+  EXPECT_FALSE(protocol_.cleaning_guard(c_, 1));
+  // A broadcasting neighbor (any) blocks cleaning.
+  c_.state(1) = st(Phase::kB, true, 2, 1, 0);
+  EXPECT_FALSE(protocol_.cleaning_guard(c_, 2));
+}
+
+TEST_F(GuardTest, NonRootNewCount) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, false, 1, 1, 0);
+  c_.state(2) = st(Phase::kB, false, 1, 2, 1);
+  EXPECT_TRUE(protocol_.new_count_guard(c_, 1));  // Sum = 2 > Count = 1
+  const State next = protocol_.apply(c_, 1, kCountAction);
+  EXPECT_EQ(next.count, 2u);
+  EXPECT_FALSE(next.fok);  // non-root Count-action never touches Fok
+}
+
+TEST_F(GuardTest, CountActionSaturatesAtDomainCeiling) {
+  // N' = 3; craft Sum = 4 via an (abnormal) inflated child.
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, false, 1, 1, 0);
+  c_.state(2) = st(Phase::kB, false, 3, 2, 1);
+  const State next = protocol_.apply(c_, 1, kCountAction);
+  EXPECT_EQ(next.count, 3u);  // min(1 + 3, N'=3)... saturated
+}
+
+TEST_F(GuardTest, NonRootCorrections) {
+  // Abnormal B -> F.
+  c_.state(1) = st(Phase::kB, false, 1, 1, 0);  // parent is C: GoodPif fails
+  EXPECT_TRUE(protocol_.b_correction_guard(c_, 1));
+  EXPECT_FALSE(protocol_.f_correction_guard(c_, 1));
+  EXPECT_EQ(protocol_.apply(c_, 1, kBCorrection).pif, Phase::kF);
+  // Abnormal F -> C.
+  c_.state(1) = st(Phase::kF, false, 1, 1, 0);  // parent is C: GoodPif fails
+  EXPECT_TRUE(protocol_.f_correction_guard(c_, 1));
+  EXPECT_FALSE(protocol_.b_correction_guard(c_, 1));
+  EXPECT_EQ(protocol_.apply(c_, 1, kFCorrection).pif, Phase::kC);
+}
+
+// --- Structural exclusivity ---------------------------------------------------
+
+TEST_F(GuardTest, CorrectionsExcludeNormalActionsEverywhere) {
+  // Sweep random configurations; on each processor, if any correction guard
+  // holds then no normal-phase guard may hold, and vice versa (B/Fok/F/C/
+  // Count guards all conjoin Normal — except B-action and the root's
+  // C-action whose guards are Normal-free but phase-disjoint from the
+  // corrections).
+  util::Rng rng(2024);
+  for (int iter = 0; iter < 3000; ++iter) {
+    for (sim::ProcessorId p = 0; p < g_.n(); ++p) {
+      c_.state(p) = protocol_.random_state(p, rng);
+    }
+    for (sim::ProcessorId p = 0; p < g_.n(); ++p) {
+      const bool correcting = protocol_.b_correction_guard(c_, p) ||
+                              protocol_.f_correction_guard(c_, p);
+      const bool normal_acting =
+          protocol_.change_fok_guard(c_, p) || protocol_.feedback_guard(c_, p) ||
+          protocol_.new_count_guard(c_, p) ||
+          (p != 0 && protocol_.cleaning_guard(c_, p));
+      EXPECT_FALSE(correcting && normal_acting)
+          << "processor " << p << " has overlapping correction/normal guards";
+      // B-action needs phase C; corrections need phase B or F.
+      EXPECT_FALSE(correcting && protocol_.broadcast_guard(c_, p));
+    }
+  }
+}
+
+TEST_F(GuardTest, AtMostCountAndFokOverlap) {
+  // Among the normal-phase actions, only Count-action and Fok-action can be
+  // simultaneously enabled (count still growing when the Fok wave arrives).
+  util::Rng rng(77);
+  bool saw_overlap = false;
+  for (int iter = 0; iter < 5000; ++iter) {
+    for (sim::ProcessorId p = 0; p < g_.n(); ++p) {
+      c_.state(p) = protocol_.random_state(p, rng);
+    }
+    for (sim::ProcessorId p = 0; p < g_.n(); ++p) {
+      int enabled = 0;
+      enabled += protocol_.broadcast_guard(c_, p) ? 1 : 0;
+      enabled += protocol_.change_fok_guard(c_, p) ? 1 : 0;
+      enabled += protocol_.feedback_guard(c_, p) ? 1 : 0;
+      enabled += protocol_.cleaning_guard(c_, p) ? 1 : 0;
+      enabled += protocol_.new_count_guard(c_, p) ? 1 : 0;
+      if (enabled == 2) {
+        EXPECT_TRUE(protocol_.change_fok_guard(c_, p) &&
+                    protocol_.new_count_guard(c_, p))
+            << "unexpected pair at processor " << p;
+        saw_overlap = true;
+      } else {
+        EXPECT_LE(enabled, 1);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_overlap);  // the Fok/Count overlap is actually reachable
+}
+
+TEST_F(GuardTest, EnabledDispatchMatchesGuards) {
+  util::Rng rng(31337);
+  for (int iter = 0; iter < 1000; ++iter) {
+    for (sim::ProcessorId p = 0; p < g_.n(); ++p) {
+      c_.state(p) = protocol_.random_state(p, rng);
+    }
+    for (sim::ProcessorId p = 0; p < g_.n(); ++p) {
+      EXPECT_EQ(protocol_.enabled(c_, p, kBAction),
+                protocol_.broadcast_guard(c_, p));
+      EXPECT_EQ(protocol_.enabled(c_, p, kFokAction),
+                protocol_.change_fok_guard(c_, p));
+      EXPECT_EQ(protocol_.enabled(c_, p, kFAction),
+                protocol_.feedback_guard(c_, p));
+      EXPECT_EQ(protocol_.enabled(c_, p, kCAction),
+                protocol_.cleaning_guard(c_, p));
+      EXPECT_EQ(protocol_.enabled(c_, p, kCountAction),
+                protocol_.new_count_guard(c_, p));
+      EXPECT_EQ(protocol_.enabled(c_, p, kBCorrection),
+                protocol_.b_correction_guard(c_, p));
+      EXPECT_EQ(protocol_.enabled(c_, p, kFCorrection),
+                protocol_.f_correction_guard(c_, p));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snappif::pif

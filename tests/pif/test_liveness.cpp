@@ -1,0 +1,93 @@
+// Liveness: the PIF *scheme* (Specification 1) is an infinite sequence of
+// PIF cycles — under any weakly fair daemon the system must keep producing
+// completed cycles forever, from any start, including across repeated
+// transient faults.  Safety was model-checked exhaustively; these long-run
+// tests are the liveness counterpart.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pif/checker.hpp"
+#include "pif/faults.hpp"
+#include "pif/instrument.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+TEST(Liveness, CyclesKeepCompletingUnderEveryDaemon) {
+  const auto g = graph::make_random_connected(12, 9, 31);
+  for (sim::DaemonKind kind : sim::standard_daemon_kinds()) {
+    PifProtocol protocol(g, Params::for_graph(g));
+    sim::Simulator<PifProtocol> sim(protocol, g, 3);
+    GhostTracker tracker(g, 0);
+    attach(sim, tracker);
+    util::Rng rng(99);
+    apply_corruption(sim, CorruptionKind::kAdversarialMix, rng);
+    auto daemon = sim::make_daemon(kind);
+
+    std::uint64_t last_count = 0;
+    // In ten windows of 20k steps each, at least one new cycle must close.
+    for (int window = 0; window < 10; ++window) {
+      for (int step = 0; step < 20000; ++step) {
+        ASSERT_TRUE(sim.step(*daemon))
+            << sim::daemon_kind_name(kind) << ": terminal configuration";
+      }
+      EXPECT_GT(tracker.cycles_completed(), last_count)
+          << sim::daemon_kind_name(kind) << " window " << window;
+      last_count = tracker.cycles_completed();
+    }
+    // And every one of them was a correct cycle.
+    for (const auto& verdict : tracker.verdicts()) {
+      EXPECT_TRUE(verdict.ok()) << sim::daemon_kind_name(kind);
+    }
+  }
+}
+
+TEST(Liveness, SurvivesContinuousFaultBarrage) {
+  // Random bursts every few hundred steps; cycle production never stalls
+  // permanently.  Mid-cycle bursts may abort or spoil individual cycles
+  // (no obligation — the faults strike while the wave is in flight), but
+  // completions must keep occurring.
+  const auto g = graph::make_grid(4, 4);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 4);
+  GhostTracker tracker(g, 0);
+  attach(sim, tracker);
+  auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+  util::Rng rng(555);
+
+  std::uint64_t completions = 0;
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    sim::inject_burst(sim, 2, rng);
+    for (int step = 0; step < 2000; ++step) {
+      ASSERT_TRUE(sim.step(*daemon));
+    }
+    completions = tracker.cycles_completed();
+  }
+  EXPECT_GT(completions, 25u);  // ~ one per epoch at minimum
+}
+
+TEST(Liveness, NoStarvationOfDeepProcessors) {
+  // Under the fair-wrapped adversarial daemon that always prefers shallow
+  // processors, deep processors still receive every broadcast (weak
+  // fairness is enough for snap-stabilization; the paper assumes no more).
+  const auto g = graph::make_path(14);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 5);
+  GhostTracker tracker(g, 0);
+  attach(sim, tracker);
+  sim.set_score([](const State& s) { return static_cast<std::int64_t>(s.level); });
+  auto daemon = sim::make_daemon(sim::DaemonKind::kAdversarialMinLevel);
+  auto r = sim.run_until(
+      *daemon,
+      [&](const auto&) { return tracker.cycles_completed() >= 5; },
+      sim::RunLimits{.max_steps = 500000});
+  ASSERT_EQ(r.reason, sim::StopReason::kPredicate);
+  for (const auto& verdict : tracker.verdicts()) {
+    EXPECT_TRUE(verdict.pif1);  // the far end of the path received every m
+  }
+}
+
+}  // namespace
+}  // namespace snappif::pif

@@ -1,0 +1,159 @@
+// Unit tests for the paper's macros: Sum_Set_p / Sum_p, Pre_Potential_p,
+// Potential_p (Section 3, Algorithms 1 and 2).
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "graph/generators.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using testfix::clean_config;
+using testfix::root_st;
+using testfix::st;
+
+class MacroTest : public ::testing::Test {
+ protected:
+  MacroTest()
+      : g_(graph::make_star(4)),  // 0 is the hub/root; leaves 1,2,3
+        protocol_(g_, Params::for_graph(g_)),
+        c_(clean_config(g_, protocol_)) {}
+
+  graph::Graph g_;
+  PifProtocol protocol_;
+  sim::Configuration<State> c_;
+};
+
+TEST_F(MacroTest, SumIsOneWithNoChildren) {
+  EXPECT_EQ(protocol_.sum(c_, 0), 1u);
+  EXPECT_EQ(protocol_.sum(c_, 2), 1u);
+}
+
+TEST_F(MacroTest, SumCountsMatchingChildren) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, false, 2, 1, 0);
+  c_.state(2) = st(Phase::kB, false, 3, 1, 0);
+  c_.state(3) = st(Phase::kC, false, 1, 1, 0);  // phase C: not counted
+  EXPECT_EQ(protocol_.sum(c_, 0), 1u + 2u + 3u);
+  EXPECT_TRUE(protocol_.in_sum_set(c_, 0, 1));
+  EXPECT_FALSE(protocol_.in_sum_set(c_, 0, 3));
+}
+
+TEST_F(MacroTest, SumIgnoresWrongLevel) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, false, 2, 2, 0);  // level must be L_0 + 1 = 1
+  EXPECT_EQ(protocol_.sum(c_, 0), 1u);
+}
+
+TEST_F(MacroTest, SumIgnoresNonChildren) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, false, 2, 1, 2);  // parent is 2, not the root
+  EXPECT_EQ(protocol_.sum(c_, 0), 1u);
+}
+
+TEST_F(MacroTest, SumExcludesFokdChildren) {
+  // Repaired reading (¬Fok_q): a child already swept by the Fok wave leaves
+  // the count set.
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, true, 2, 1, 0);
+  EXPECT_EQ(protocol_.sum(c_, 0), 1u);
+}
+
+TEST_F(MacroTest, LiteralSumSetFiltersOnOwnerInstead) {
+  Params params = Params::for_graph(g_);
+  params.literal_sumset_fok_owner = true;
+  PifProtocol literal(g_, params);
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, true, 2, 1, 0);
+  // Literal: the member's Fok is irrelevant; the owner's ¬Fok_p gates.
+  EXPECT_EQ(literal.sum(c_, 0), 3u);
+  c_.state(0) = root_st(Phase::kB, true, 1);
+  EXPECT_EQ(literal.sum(c_, 0), 1u);  // owner Fok'd -> empty set
+}
+
+TEST_F(MacroTest, PrePotentialRequiresBroadcastingNonParentPointer) {
+  // Processor 3 (leaf) sees the hub 0.
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  EXPECT_EQ(protocol_.pre_potential(c_, 3),
+            (std::vector<sim::ProcessorId>{0}));
+  // Hub in F: no candidate.
+  c_.state(0) = root_st(Phase::kF, false, 1);
+  EXPECT_TRUE(protocol_.pre_potential(c_, 3).empty());
+}
+
+TEST_F(MacroTest, PrePotentialExcludesNeighborPointingAtMe) {
+  // Hub 0 is root; test from leaf 1's perspective with a fake: leaf 1 sees
+  // only the hub.  Give the hub's state Par = bottom (root), so the
+  // "Par_q != p" clause passes; then simulate a non-root neighborhood using
+  // path graph instead.
+  const auto path = graph::make_path(3);
+  PifProtocol proto(path, Params::for_graph(path));
+  auto c = clean_config(path, proto);
+  c.state(1) = st(Phase::kB, false, 1, 1, 2);  // points AT processor 2
+  EXPECT_TRUE(proto.pre_potential(c, 2).empty());
+  c.state(1) = st(Phase::kB, false, 1, 1, 0);
+  EXPECT_EQ(proto.pre_potential(c, 2), (std::vector<sim::ProcessorId>{1}));
+}
+
+TEST_F(MacroTest, PrePotentialRespectsLmax) {
+  const auto path = graph::make_path(3);
+  PifProtocol proto(path, Params::for_graph(path));  // Lmax = 2
+  auto c = clean_config(path, proto);
+  c.state(1) = st(Phase::kB, false, 1, 2, 0);  // level = Lmax: cannot extend
+  EXPECT_TRUE(proto.pre_potential(c, 2).empty());
+}
+
+TEST_F(MacroTest, PrePotentialAllowsFokdNeighborsAfterRepair) {
+  // DESIGN.md §2 item 4: Fok'd broadcasters remain joinable.
+  const auto path = graph::make_path(3);
+  PifProtocol proto(path, Params::for_graph(path));
+  auto c = clean_config(path, proto);
+  c.state(1) = st(Phase::kB, true, 1, 1, 0);
+  EXPECT_EQ(proto.pre_potential(c, 2), (std::vector<sim::ProcessorId>{1}));
+
+  Params literal_params = Params::for_graph(path);
+  literal_params.literal_prepotential_fok = true;
+  PifProtocol literal(path, literal_params);
+  EXPECT_TRUE(literal.pre_potential(c, 2).empty());
+}
+
+TEST(PotentialTest, KeepsOnlyMinimumLevel) {
+  // Square 0-1, 0-2, 1-3, 2-3; root 0; processor 3 sees 1 (level 1) and
+  // 2 (level 2, inconsistent but present).
+  const auto g = graph::make_cycle(4);
+  PifProtocol proto(g, Params::for_graph(g));
+  auto c = clean_config(g, proto);
+  c.state(1) = st(Phase::kB, false, 1, 1, 0);
+  c.state(3) = st(Phase::kB, false, 1, 2, 0);
+  // Processor 2 is adjacent to 1 and 3 on C4 (0-1-2-3-0)?  C4 edges:
+  // 0-1,1-2,2-3,3-0.  Processor 2 sees {1,3}.
+  const auto potential = proto.potential(c, 2);
+  EXPECT_EQ(potential, (std::vector<sim::ProcessorId>{1}));
+  // Without the min-level restriction both qualify.
+  Params ablated = Params::for_graph(g);
+  ablated.min_level_potential = false;
+  PifProtocol ablated_proto(g, ablated);
+  EXPECT_EQ(ablated_proto.potential(c, 2),
+            (std::vector<sim::ProcessorId>{1, 3}));
+}
+
+TEST(PotentialTest, TieBreakByLocalOrder) {
+  // Star with two broadcasting neighbors at the same level: B-action must
+  // pick the >_p-minimum, i.e. the smallest id.
+  const auto g = graph::Graph::from_edges(4, {{0, 3}, {1, 3}, {2, 3}, {0, 1}, {0, 2}});
+  PifProtocol proto(g, Params::for_graph(g));
+  auto c = clean_config(g, proto);
+  c.state(1) = st(Phase::kB, false, 1, 1, 0);
+  c.state(2) = st(Phase::kB, false, 1, 1, 0);
+  const auto potential = proto.potential(c, 3);
+  EXPECT_EQ(potential, (std::vector<sim::ProcessorId>{1, 2}));
+  const State next = proto.apply(c, 3, kBAction);
+  EXPECT_EQ(next.parent, 1u);
+  EXPECT_EQ(next.level, 2u);
+  EXPECT_EQ(next.count, 1u);
+  EXPECT_FALSE(next.fok);
+  EXPECT_EQ(next.pif, Phase::kB);
+}
+
+}  // namespace
+}  // namespace snappif::pif

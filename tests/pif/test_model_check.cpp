@@ -1,0 +1,276 @@
+// Exhaustive verification on tiny instances: these tests PROVE (by complete
+// state-space exploration, all daemon choices included) that on the checked
+// graphs the protocol
+//   (a) has no terminal configuration anywhere in its state space, and
+//   (b) satisfies the snap-stabilization specification: every root-initiated
+//       cycle closes with [PIF1] and [PIF2], and is never aborted,
+// starting from EVERY configuration.
+//
+// They also demonstrate why DESIGN.md's repairs are necessary: with the
+// literal conference-text readings the same exploration finds violations.
+#include <gtest/gtest.h>
+
+#include "analysis/modelcheck.hpp"
+#include "graph/generators.hpp"
+#include "pif/protocol.hpp"
+
+namespace snappif {
+namespace {
+
+using analysis::check_no_deadlock;
+using analysis::exhaustive_snap_check;
+using analysis::packed_state_bits;
+
+TEST(ModelCheck, PackingFitsTinyInstances) {
+  for (const auto& named : graph::tiny_suite()) {
+    pif::PifProtocol protocol(named.graph, pif::Params::for_graph(named.graph));
+    EXPECT_LE(packed_state_bits(named.graph, protocol), 64u) << named.name;
+  }
+}
+
+TEST(ModelCheck, NoDeadlockAnywhere_Path2) {
+  const auto g = graph::make_path(2);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report = check_no_deadlock(g, protocol);
+  EXPECT_GT(report.configurations, 0u);
+  EXPECT_EQ(report.deadlocks, 0u);
+}
+
+TEST(ModelCheck, NoDeadlockAnywhere_Path3) {
+  const auto g = graph::make_path(3);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report = check_no_deadlock(g, protocol);
+  EXPECT_EQ(report.configurations, 46656u);  // 18 * 72 * 36
+  EXPECT_EQ(report.deadlocks, 0u);
+}
+
+TEST(ModelCheck, NoDeadlockAnywhere_Triangle) {
+  const auto g = graph::make_cycle(3);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report = check_no_deadlock(g, protocol);
+  EXPECT_EQ(report.deadlocks, 0u);
+}
+
+TEST(ModelCheck, NoDeadlockAnywhere_Path4AndStar4) {
+  for (const auto& name : {std::string("path4"), std::string("star4")}) {
+    const auto g = name == "path4" ? graph::make_path(4) : graph::make_star(4);
+    pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+    const auto report = check_no_deadlock(g, protocol);
+    EXPECT_EQ(report.deadlocks, 0u) << name;
+  }
+}
+
+// DESIGN.md §2 item 2: with the *implication-only* root GoodFok repair
+// (Fok_r => Count_r = N, without the reverse direction) the configuration
+// {root: B, ¬Fok, Count=N} over a complete quiescent tree deadlocks.  Our
+// equivalence repair classifies that root as abnormal, so B-correction is
+// enabled.  This test pins the counterexample configuration.
+TEST(ModelCheck, EquivalenceRepairKillsTheDeadlockWitness) {
+  const auto g = graph::make_path(2);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  sim::Configuration<pif::State> c(g, protocol.initial_state(0));
+  // root 0: B, ¬Fok, Count = N = 2;  processor 1: B, ¬Fok, Count=1, L=1,
+  // Par=0 — a completed, quiet broadcast tree with the Fok flag lost.
+  pif::State root = c.state(0);
+  root.pif = pif::Phase::kB;
+  root.fok = false;
+  root.count = 2;
+  c.state(0) = root;
+  pif::State other = c.state(1);
+  other.pif = pif::Phase::kB;
+  other.fok = false;
+  other.count = 1;
+  other.level = 1;
+  other.parent = 0;
+  c.state(1) = other;
+
+  // Processor 1 is fully normal and has no enabled action.
+  EXPECT_TRUE(protocol.normal(c, 1));
+  for (sim::ActionId a = 0; a < protocol.num_actions(); ++a) {
+    EXPECT_FALSE(protocol.enabled(c, 1, a)) << pif::action_label(a);
+  }
+  // The equivalence makes the root abnormal => B-correction fires.
+  EXPECT_FALSE(protocol.normal(c, 0));
+  EXPECT_TRUE(protocol.enabled(c, 0, pif::kBCorrection));
+}
+
+TEST(ModelCheck, ExhaustiveSnap_Path2) {
+  const auto g = graph::make_path(2);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report = exhaustive_snap_check(g, protocol);
+  ASSERT_TRUE(report.complete);
+  EXPECT_GT(report.cycle_closures, 0u);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.aborts, 0u);
+  EXPECT_EQ(report.deadlocks, 0u);
+}
+
+TEST(ModelCheck, ExhaustiveSnap_Path3) {
+  const auto g = graph::make_path(3);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report = exhaustive_snap_check(g, protocol);
+  ASSERT_TRUE(report.complete);
+  EXPECT_GT(report.cycle_closures, 0u);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.aborts, 0u);
+  EXPECT_EQ(report.deadlocks, 0u);
+}
+
+TEST(ModelCheck, ExhaustiveSnap_Triangle) {
+  const auto g = graph::make_cycle(3);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report = exhaustive_snap_check(g, protocol);
+  ASSERT_TRUE(report.complete);
+  EXPECT_GT(report.cycle_closures, 0u);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.aborts, 0u);
+  EXPECT_EQ(report.deadlocks, 0u);
+}
+
+// Negative (DESIGN.md §2 item 4): with the printed ¬Fok_q conjunct kept in
+// Pre_Potential, the 3-processor path deadlocks — a C-state processor with a
+// stale Par pointer into a Fok'd tree can neither join nor unblock its
+// "parent"'s BLeaf.
+TEST(ModelCheck, LiteralPrePotentialDeadlocks) {
+  const auto g = graph::make_path(3);
+  pif::Params params = pif::Params::for_graph(g);
+  params.literal_prepotential_fok = true;
+  pif::PifProtocol protocol(g, params);
+  const auto report = check_no_deadlock(g, protocol);
+  EXPECT_EQ(report.deadlocks, 36u);  // the witness family
+  // And pin the canonical witness: 0:{B,Fok,Cnt=3} 1:{B,Fok,Par=0,L=1}
+  // 2:{C,Par=1}.
+  sim::Configuration<pif::State> c(g, protocol.initial_state(0));
+  c.state(0) = {pif::Phase::kB, true, 3, 0, pif::kNoParent};
+  c.state(1) = {pif::Phase::kB, true, 1, 1, 0};
+  c.state(2) = {pif::Phase::kC, false, 1, 1, 1};
+  for (sim::ProcessorId p = 0; p < 3; ++p) {
+    for (sim::ActionId a = 0; a < protocol.num_actions(); ++a) {
+      EXPECT_FALSE(protocol.enabled(c, p, a))
+          << "p=" << p << " " << pif::action_label(a);
+    }
+  }
+  // The repaired algorithm un-sticks processor 2 via B-action.
+  pif::PifProtocol repaired(g, pif::Params::for_graph(g));
+  EXPECT_TRUE(repaired.enabled(c, 2, pif::kBAction));
+}
+
+// n = 4 instances: the full configuration space (~36M for path-4) is out of
+// reach for the BFS, but the all-Normal slice — every state Theorem 1
+// guarantees within 3*Lmax+3 rounds — is tractable and the snap property is
+// proven exhaustively over it, all daemon choices included.
+TEST(ModelCheck, ExhaustiveSnapFromNormalStarts_Path4) {
+  const auto g = graph::make_path(4);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report =
+      exhaustive_snap_check(g, protocol, 200'000'000, /*normal_starts_only=*/true);
+  ASSERT_TRUE(report.complete);
+  EXPECT_GT(report.cycle_closures, 0u);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.aborts, 0u);
+  EXPECT_EQ(report.deadlocks, 0u);
+}
+
+TEST(ModelCheck, ExhaustiveSnapFromNormalStarts_Star4) {
+  const auto g = graph::make_star(4);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report =
+      exhaustive_snap_check(g, protocol, 200'000'000, /*normal_starts_only=*/true);
+  ASSERT_TRUE(report.complete);
+  EXPECT_GT(report.cycle_closures, 0u);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.aborts, 0u);
+  EXPECT_EQ(report.deadlocks, 0u);
+}
+
+// Liveness: from EVERY initial configuration, the deterministic synchronous
+// schedule completes a root-initiated PIF cycle within finitely many steps
+// (no livelock under this weakly fair schedule).
+TEST(ModelCheck, SynchronousLiveness_Path2) {
+  const auto g = graph::make_path(2);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report = analysis::synchronous_liveness_check(g, protocol);
+  ASSERT_TRUE(report.complete);
+  EXPECT_EQ(report.stuck, 0u);
+  EXPECT_GT(report.start_configs, 0u);
+  EXPECT_GT(report.max_steps_to_closure, 0u);
+}
+
+TEST(ModelCheck, SynchronousLiveness_Path3) {
+  const auto g = graph::make_path(3);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report = analysis::synchronous_liveness_check(g, protocol);
+  ASSERT_TRUE(report.complete);
+  EXPECT_EQ(report.start_configs, 46656u);
+  EXPECT_EQ(report.stuck, 0u);
+  // Rounds == steps under the synchronous daemon; the worst distance must
+  // respect "recover (9Lmax+8) + one full cycle (5h+5, h <= 2)" ~ 41.
+  EXPECT_LE(report.max_steps_to_closure, 9u * 2 + 8 + 5u * 2 + 5);
+}
+
+TEST(ModelCheck, SynchronousLiveness_Triangle) {
+  const auto g = graph::make_cycle(3);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const auto report = analysis::synchronous_liveness_check(g, protocol);
+  ASSERT_TRUE(report.complete);
+  EXPECT_EQ(report.stuck, 0u);
+}
+
+TEST(ModelCheck, SynchronousLivenessCatchesTheLiteralDeadlock) {
+  const auto g = graph::make_path(3);
+  pif::Params params = pif::Params::for_graph(g);
+  params.literal_prepotential_fok = true;
+  pif::PifProtocol protocol(g, params);
+  const auto report = analysis::synchronous_liveness_check(g, protocol);
+  ASSERT_TRUE(report.complete);
+  EXPECT_GT(report.stuck, 0u);  // the 36 deadlock configurations never close
+}
+
+// E13 negatives: each safety guard is load-bearing — removing it lets the
+// exhaustive check produce concrete snap violations on a tiny instance.
+TEST(ModelCheck, AblatingBroadcastLeafBreaksSnap) {
+  const auto g = graph::make_path(3);
+  pif::Params params = pif::Params::for_graph(g);
+  params.ablate_broadcast_leaf = true;
+  pif::PifProtocol protocol(g, params);
+  const auto report = exhaustive_snap_check(g, protocol);
+  ASSERT_TRUE(report.complete);
+  EXPECT_GT(report.violations + report.aborts, 0u);
+}
+
+TEST(ModelCheck, AblatingFeedbackBLeafBreaksSnap) {
+  const auto g = graph::make_path(3);
+  pif::Params params = pif::Params::for_graph(g);
+  params.ablate_feedback_bleaf = true;
+  pif::PifProtocol protocol(g, params);
+  const auto report = exhaustive_snap_check(g, protocol);
+  ASSERT_TRUE(report.complete);
+  EXPECT_GT(report.violations, 0u);
+}
+
+TEST(ModelCheck, AblatingCountWaitBreaksSnap) {
+  const auto g = graph::make_cycle(3);
+  pif::Params params = pif::Params::for_graph(g);
+  params.ablate_count_wait = true;
+  pif::PifProtocol protocol(g, params);
+  const auto report = exhaustive_snap_check(g, protocol);
+  ASSERT_TRUE(report.complete);
+  EXPECT_GT(report.violations, 0u);
+}
+
+// Negative: the literal conference-text root GoodFok (= on Sum) lets the
+// root abort its own initiated broadcasts — the exhaustive check catches the
+// specification abort.
+TEST(ModelCheck, LiteralRootGoodFokAbortsCycles) {
+  const auto g = graph::make_path(2);
+  pif::Params params = pif::Params::for_graph(g);
+  params.literal_root_goodfok = true;
+  pif::PifProtocol protocol(g, params);
+  const auto report = exhaustive_snap_check(g, protocol);
+  ASSERT_TRUE(report.complete);
+  EXPECT_GT(report.aborts + report.violations + report.deadlocks, 0u)
+      << "the literal reading unexpectedly verified clean";
+}
+
+}  // namespace
+}  // namespace snappif

@@ -1,0 +1,159 @@
+// Multi-initiator PIF: concurrent waves from several roots (Section 1's
+// setting), built as the product of independent instances.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pif/checker.hpp"
+#include "pif/multi.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using MultiSim = sim::Simulator<MultiPifProtocol>;
+
+void attach_multi(MultiSim& sim, MultiGhost& ghost) {
+  sim.set_apply_hook([&ghost](sim::ProcessorId p, sim::ActionId a,
+                              const sim::Configuration<MultiState>&,
+                              const MultiState& after) {
+    ghost.on_apply(p, a, after);
+  });
+}
+
+TEST(MultiPif, ActionIdCodec) {
+  EXPECT_EQ(MultiPifProtocol::instance_of(0), 0u);
+  EXPECT_EQ(MultiPifProtocol::base_action(0), kBAction);
+  EXPECT_EQ(MultiPifProtocol::instance_of(kNumActions), 1u);
+  EXPECT_EQ(MultiPifProtocol::base_action(kNumActions + 2),
+            static_cast<sim::ActionId>(2));
+}
+
+TEST(MultiPif, ActionNamesCarryInitiator) {
+  const auto g = graph::make_path(3);
+  MultiPifProtocol protocol(g, {0, 2});
+  EXPECT_EQ(protocol.num_actions(), 2 * kNumActions);
+  EXPECT_EQ(protocol.action_name(0), "r0:B-action");
+  EXPECT_EQ(protocol.action_name(kNumActions), "r2:B-action");
+}
+
+TEST(MultiPif, TwoInitiatorsCompleteConcurrentCycles) {
+  const auto g = graph::make_cycle(8);
+  MultiPifProtocol protocol(g, {0, 4});
+  MultiSim sim(protocol, g, 5);
+  MultiGhost ghost(g, sim.protocol());
+  attach_multi(sim, ghost);
+  auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+  auto r = sim.run_until(
+      *daemon,
+      [&](const auto&) { return ghost.min_cycles_completed() >= 3; },
+      sim::RunLimits{.max_steps = 100000});
+  ASSERT_EQ(r.reason, sim::StopReason::kPredicate);
+  for (std::size_t i = 0; i < ghost.instances(); ++i) {
+    for (const auto& verdict : ghost.tracker(i).verdicts()) {
+      EXPECT_TRUE(verdict.ok()) << "instance " << i;
+    }
+  }
+}
+
+TEST(MultiPif, InstancesDoNotInterfere) {
+  // Freeze instance 1 (adversarial daemon never picks its actions is not
+  // expressible; instead verify the composite invariants per slice): run
+  // with three initiators and check each slice independently satisfies the
+  // single-instance invariants at every step.
+  const auto g = graph::make_random_connected(9, 6, 11);
+  MultiPifProtocol protocol(g, {0, 3, 7});
+  MultiSim sim(protocol, g, 6);
+  auto daemon = sim::make_daemon(sim::DaemonKind::kCentralRandom);
+
+  std::vector<PifProtocol> singles;
+  std::vector<Checker> checkers;
+  singles.reserve(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    singles.emplace_back(g, Params::for_graph(g, sim.protocol().root_of(i)));
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    checkers.emplace_back(singles[i]);
+  }
+
+  sim::Configuration<State> slice(g, State{});
+  for (int step = 0; step < 2000; ++step) {
+    if (!sim.step(*daemon)) {
+      break;
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+        slice.state(p) = sim.config().state(p).slots[i];
+      }
+      ASSERT_TRUE(checkers[i].all_normal(slice))
+          << "instance " << i << " step " << step;
+      ASSERT_TRUE(checkers[i].property1_holds(slice))
+          << "instance " << i << " step " << step;
+    }
+  }
+}
+
+TEST(MultiPif, SnapPropertyHoldsPerInitiatorFromCorruptedStarts) {
+  const auto g = graph::make_grid(3, 3);
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    MultiPifProtocol protocol(g, {0, 8});
+    MultiSim sim(protocol, g, seed);
+    MultiGhost ghost(g, sim.protocol());
+    attach_multi(sim, ghost);
+    util::Rng rng(seed * 71);
+    sim.randomize(rng);
+    auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+    auto r = sim.run_until(
+        *daemon,
+        [&](const auto&) { return ghost.min_cycles_completed() >= 1; },
+        sim::RunLimits{.max_steps = 400000});
+    ASSERT_EQ(r.reason, sim::StopReason::kPredicate) << "seed " << seed;
+    for (std::size_t i = 0; i < ghost.instances(); ++i) {
+      const auto& verdict = ghost.tracker(i).verdicts().front();
+      EXPECT_TRUE(verdict.pif1) << "instance " << i << " seed " << seed;
+      EXPECT_TRUE(verdict.pif2) << "instance " << i << " seed " << seed;
+      EXPECT_FALSE(verdict.aborted) << "instance " << i << " seed " << seed;
+    }
+  }
+}
+
+TEST(MultiPif, EveryProcessorCanInitiate) {
+  // The general setting: one instance per processor, all roots concurrent.
+  const auto g = graph::make_path(5);
+  std::vector<sim::ProcessorId> roots;
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    roots.push_back(p);
+  }
+  MultiPifProtocol protocol(g, roots);
+  MultiSim sim(protocol, g, 9);
+  MultiGhost ghost(g, sim.protocol());
+  attach_multi(sim, ghost);
+  auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+  auto r = sim.run_until(
+      *daemon,
+      [&](const auto&) { return ghost.min_cycles_completed() >= 2; },
+      sim::RunLimits{.max_steps = 400000});
+  ASSERT_EQ(r.reason, sim::StopReason::kPredicate);
+  for (std::size_t i = 0; i < ghost.instances(); ++i) {
+    for (const auto& verdict : ghost.tracker(i).verdicts()) {
+      EXPECT_TRUE(verdict.ok()) << "initiator " << i;
+    }
+  }
+}
+
+TEST(MultiPif, StateHashingDistinguishesSlots) {
+  MultiState a, b;
+  a.slots.resize(2);
+  b.slots.resize(2);
+  b.slots[1].pif = Phase::kB;
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.hash(), b.hash());
+  std::swap(b.slots[0], b.slots[1]);
+  MultiState c;
+  c.slots.resize(2);
+  c.slots[0].pif = Phase::kB;
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(b.hash(), c.hash());
+}
+
+}  // namespace
+}  // namespace snappif::pif

@@ -1,0 +1,114 @@
+// Long-horizon behavior: the PIF *scheme* is an infinite repetition of PIF
+// cycles (Specification 1).  Run many consecutive cycles and check
+// steady-state invariants, determinism, and per-cycle consistency.
+#include <gtest/gtest.h>
+
+#include "analysis/runners.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "pif/checker.hpp"
+#include "pif/instrument.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using analysis::RunConfig;
+
+TEST(MultiCycle, TwentyCyclesOnRing) {
+  const auto g = graph::make_cycle(9);
+  RunConfig rc;
+  rc.daemon = sim::DaemonKind::kDistributedRandom;
+  rc.seed = 2025;
+  const auto results = analysis::run_cycles_from_sbn(g, rc, 20);
+  ASSERT_EQ(results.size(), 20u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok);
+    EXPECT_LE(r.rounds, 5u * r.height + 5u);
+  }
+}
+
+TEST(MultiCycle, HeightStableUnderSynchronousDaemon) {
+  // Under the deterministic synchronous daemon every cycle builds the same
+  // (BFS-like) tree, so heights repeat exactly.
+  const auto g = graph::make_grid(4, 4);
+  RunConfig rc;
+  rc.daemon = sim::DaemonKind::kSynchronous;
+  const auto results = analysis::run_cycles_from_sbn(g, rc, 5);
+  ASSERT_EQ(results.size(), 5u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.height, results[0].height);
+    EXPECT_EQ(r.rounds, results[0].rounds);
+  }
+}
+
+TEST(MultiCycle, SynchronousHeightIsRootEccentricity) {
+  // Synchronous broadcast joins every processor at BFS distance: the
+  // constructed tree height equals the root's eccentricity.
+  for (const auto& named : graph::standard_suite(12, 31)) {
+    RunConfig rc;
+    rc.daemon = sim::DaemonKind::kSynchronous;
+    const auto result = analysis::run_cycle_from_sbn(named.graph, rc);
+    ASSERT_TRUE(result.ok) << named.name;
+    EXPECT_EQ(result.height, graph::eccentricity(named.graph, 0)) << named.name;
+  }
+}
+
+TEST(MultiCycle, InvariantsHoldThroughoutExecution) {
+  // Property 1 and the chordless-parent-path structure hold in *every*
+  // configuration along multi-cycle runs.
+  const auto g = graph::make_random_connected(8, 5, 5);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 77);
+  Checker checker(sim.protocol());
+  auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+  for (int step = 0; step < 3000; ++step) {
+    if (!sim.step(*daemon)) {
+      break;
+    }
+    ASSERT_TRUE(checker.all_normal(sim.config())) << "step " << step;
+    ASSERT_TRUE(checker.property1_holds(sim.config())) << "step " << step;
+    bool applicable = false;
+    ASSERT_TRUE(checker.property2_holds(sim.config(), &applicable))
+        << "step " << step;
+    ASSERT_TRUE(checker.parent_paths_chordless(sim.config())) << "step " << step;
+  }
+}
+
+TEST(MultiCycle, RandomDaemonsProduceDifferentTreesAcrossCycles) {
+  // With chords available and a randomized daemon, the dynamically built
+  // tree is not fixed: heights vary across cycles (this is the "no
+  // pre-constructed spanning tree" selling point).
+  const auto g = graph::make_random_connected(14, 20, 8);
+  RunConfig rc;
+  rc.daemon = sim::DaemonKind::kCentralRandom;
+  rc.seed = 99;
+  const auto results = analysis::run_cycles_from_sbn(g, rc, 12);
+  ASSERT_EQ(results.size(), 12u);
+  std::set<std::uint32_t> heights;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok);
+    heights.insert(r.height);
+  }
+  EXPECT_GE(heights.size(), 2u) << "tree construction appears deterministic";
+}
+
+TEST(MultiCycle, StepsPerCycleScaleModestly) {
+  // Work per cycle: every processor executes O(1) actions per phase, so a
+  // cycle's step count under the central daemon is O(N * h)-ish; sanity-
+  // check a generous linear-per-processor bound.
+  const auto g = graph::make_path(16);
+  RunConfig rc;
+  rc.daemon = sim::DaemonKind::kCentralRandom;
+  rc.seed = 3;
+  const auto results = analysis::run_cycles_from_sbn(g, rc, 3);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok);
+    // path of 16: h = 15; actions per processor per cycle: B, (Fok), F, C
+    // plus Count-actions (at most one per child count change: <= h).
+    EXPECT_LE(r.steps, 16u * (4u + 15u) * 4u);
+  }
+}
+
+}  // namespace
+}  // namespace snappif::pif

@@ -1,0 +1,90 @@
+// The initiator may be any processor (Section 2: "we assume that the PIF is
+// initiated by a processor, called the root").  Everything must hold with
+// r != 0, including on asymmetric topologies where the root's position
+// changes h materially.
+#include <gtest/gtest.h>
+
+#include "analysis/runners.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "pif/checker.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using analysis::RunConfig;
+
+TEST(NonZeroRoot, CycleFromEveryPossibleRoot) {
+  const auto g = graph::make_lollipop(5, 5);
+  for (sim::ProcessorId root = 0; root < g.n(); ++root) {
+    RunConfig rc;
+    rc.root = root;
+    rc.daemon = sim::DaemonKind::kSynchronous;
+    const auto r = analysis::run_cycle_from_sbn(g, rc);
+    ASSERT_TRUE(r.ok) << "root " << root;
+    EXPECT_TRUE(r.pif1) << "root " << root;
+    EXPECT_TRUE(r.pif2) << "root " << root;
+    EXPECT_EQ(r.height, graph::eccentricity(g, root)) << "root " << root;
+    EXPECT_LE(r.rounds, 5u * r.height + 5u) << "root " << root;
+  }
+}
+
+TEST(NonZeroRoot, SnapPropertyWithMiddleRoot) {
+  const auto g = graph::make_path(9);
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    RunConfig rc;
+    rc.root = 4;  // middle of the path: h = 4 instead of 8
+    rc.corruption = CorruptionKind::kAdversarialMix;
+    rc.seed = seed;
+    const auto r = analysis::check_snap_first_cycle(g, rc);
+    ASSERT_TRUE(r.cycle_completed) << "seed " << seed;
+    EXPECT_TRUE(r.ok()) << "seed " << seed;
+  }
+}
+
+TEST(NonZeroRoot, StabilizationBoundsHold) {
+  const auto g = graph::make_binary_tree(15);
+  for (sim::ProcessorId root : {sim::ProcessorId{7}, sim::ProcessorId{14}}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      RunConfig rc;
+      rc.root = root;
+      rc.corruption = CorruptionKind::kAdversarialMix;
+      rc.seed = seed * 5;
+      const auto r = analysis::measure_stabilization(g, rc);
+      ASSERT_TRUE(r.ok) << "root " << root << " seed " << seed;
+      EXPECT_LE(r.rounds_to_all_normal, 3u * r.l_max + 3u);
+      EXPECT_LE(r.rounds_to_sbn, 9u * r.l_max + 8u);
+    }
+  }
+}
+
+TEST(NonZeroRoot, RootPositionChangesTreeHeight) {
+  // On a path, an end root builds a height-(N-1) tree; a middle root builds
+  // height ceil((N-1)/2): the Theorem 4 cost halves.
+  const auto g = graph::make_path(11);
+  RunConfig end_rc;
+  end_rc.daemon = sim::DaemonKind::kSynchronous;
+  end_rc.root = 0;
+  RunConfig mid_rc = end_rc;
+  mid_rc.root = 5;
+  const auto end_run = analysis::run_cycle_from_sbn(g, end_rc);
+  const auto mid_run = analysis::run_cycle_from_sbn(g, mid_rc);
+  ASSERT_TRUE(end_run.ok && mid_run.ok);
+  EXPECT_EQ(end_run.height, 10u);
+  EXPECT_EQ(mid_run.height, 5u);
+  EXPECT_LT(mid_run.rounds, end_run.rounds);
+}
+
+TEST(NonZeroRoot, BaselinesHonorRootToo) {
+  const auto g = graph::make_grid(3, 3);
+  RunConfig rc;
+  rc.root = 4;  // center of the grid
+  rc.daemon = sim::DaemonKind::kSynchronous;
+  const auto tree = analysis::measure_tree_pif(g, rc);
+  EXPECT_TRUE(tree.ok);
+  const auto self = analysis::check_selfstab_first_cycles(g, rc);
+  EXPECT_TRUE(self.ok);
+}
+
+}  // namespace
+}  // namespace snappif::pif

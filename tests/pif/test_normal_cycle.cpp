@@ -1,0 +1,130 @@
+// Integration: full PIF cycles from the normal starting configuration on
+// every topology family, under every daemon.  Exercises Theorem 4's setting.
+#include <gtest/gtest.h>
+
+#include "analysis/runners.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "pif/checker.hpp"
+#include "pif/instrument.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif {
+namespace {
+
+using analysis::CycleResult;
+using analysis::RunConfig;
+
+TEST(NormalCycle, SingleProcessorNetworkCycles) {
+  const graph::Graph g(1);
+  RunConfig rc;
+  rc.daemon = sim::DaemonKind::kSynchronous;
+  const CycleResult result = analysis::run_cycle_from_sbn(g, rc);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.pif1);
+  EXPECT_TRUE(result.pif2);
+  EXPECT_EQ(result.height, 0u);
+}
+
+TEST(NormalCycle, TwoProcessorsCycle) {
+  const graph::Graph g = graph::make_path(2);
+  RunConfig rc;
+  rc.daemon = sim::DaemonKind::kSynchronous;
+  const CycleResult result = analysis::run_cycle_from_sbn(g, rc);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.height, 1u);
+}
+
+TEST(NormalCycle, PathDetailedPhases) {
+  // On a path rooted at one end the wave sweeps down and back; verify the
+  // milestone configurations appear in order.
+  const graph::Graph g = graph::make_path(5);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  sim::Simulator<pif::PifProtocol> sim(protocol, g, 7);
+  pif::Checker checker(sim.protocol());
+  sim::SynchronousDaemon daemon;
+
+  // Initially SBN.
+  EXPECT_TRUE(checker.classify(sim.config()).sbn);
+
+  // Run until EBN (everyone broadcasting, Fok_r still false).
+  bool saw_ebn = false;
+  for (int step = 0; step < 200 && !saw_ebn; ++step) {
+    ASSERT_TRUE(sim.step(daemon));
+    saw_ebn = checker.classify(sim.config()).ebn;
+  }
+  EXPECT_TRUE(saw_ebn);
+
+  // Then EFN (root in feedback, everything normal).
+  bool saw_efn = false;
+  for (int step = 0; step < 200 && !saw_efn; ++step) {
+    ASSERT_TRUE(sim.step(daemon));
+    saw_efn = checker.classify(sim.config()).efn;
+  }
+  EXPECT_TRUE(saw_efn);
+
+  // And back to SBN.
+  bool saw_sbn = false;
+  for (int step = 0; step < 200 && !saw_sbn; ++step) {
+    ASSERT_TRUE(sim.step(daemon));
+    saw_sbn = checker.classify(sim.config()).sbn;
+  }
+  EXPECT_TRUE(saw_sbn);
+}
+
+struct CycleCase {
+  std::string name;
+  graph::Graph graph;
+  sim::DaemonKind daemon;
+};
+
+class CycleSuite : public ::testing::TestWithParam<CycleCase> {};
+
+TEST_P(CycleSuite, CompletesCorrectly) {
+  const CycleCase& cs = GetParam();
+  RunConfig rc;
+  rc.daemon = cs.daemon;
+  rc.seed = 0x5111 + cs.graph.n();
+  const auto results = analysis::run_cycles_from_sbn(cs.graph, rc, 3);
+  ASSERT_EQ(results.size(), 3u);
+  for (const CycleResult& r : results) {
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.pif1);
+    EXPECT_TRUE(r.pif2);
+    EXPECT_TRUE(r.chordless);
+    // Theorem 4: at most 5h + 5 rounds per cycle.
+    EXPECT_LE(r.rounds, 5u * r.height + 5u);
+    // h is at least the eccentricity of the root (every processor joined).
+    if (cs.graph.n() > 1) {
+      EXPECT_GE(r.height, 1u);
+    }
+  }
+}
+
+std::vector<CycleCase> make_cases() {
+  std::vector<CycleCase> cases;
+  const auto suite = graph::standard_suite(12, /*seed=*/99);
+  for (const auto& named : suite) {
+    for (sim::DaemonKind daemon : sim::standard_daemon_kinds()) {
+      cases.push_back({named.name + "_" +
+                           std::string(sim::daemon_kind_name(daemon)),
+                       named.graph, daemon});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologiesAllDaemons, CycleSuite,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const ::testing::TestParamInfo<CycleCase>& info) {
+                           std::string name = info.param.name;
+                           for (char& ch : name) {
+                             if (ch == '-') {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace snappif

@@ -1,0 +1,135 @@
+// Variable-domain corner cases: the Count domain ceiling N' > N, the level
+// ceiling L_max, and parameter validation.
+#include <gtest/gtest.h>
+
+#include "analysis/runners.hpp"
+#include "fixtures.hpp"
+#include "graph/generators.hpp"
+#include "pif/faults.hpp"
+#include "pif/instrument.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using testfix::clean_config;
+using testfix::root_st;
+using testfix::st;
+
+TEST(ParamsDomains, ValidationRejectsBadParameters) {
+  const auto g = graph::make_path(4);
+  {
+    Params params = Params::for_graph(g);
+    params.n = 3;  // must equal graph order
+    EXPECT_DEATH(PifProtocol(g, params), "Params.n");
+  }
+  {
+    Params params = Params::for_graph(g);
+    params.n_upper = 2;  // N' < N
+    EXPECT_DEATH(PifProtocol(g, params), "upper bound");
+  }
+  {
+    Params params = Params::for_graph(g);
+    params.l_max = 1;  // < N-1
+    EXPECT_DEATH(PifProtocol(g, params), "L_max");
+  }
+}
+
+TEST(ParamsDomains, SnapHoldsWithSlackNUpper) {
+  // N' = 2N: corrupted counts range over a domain twice the network size;
+  // the root still requires Count_r = N exactly.
+  const auto g = graph::make_random_connected(10, 6, 13);
+  Params params = Params::for_graph(g);
+  params.n_upper = 2 * g.n();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    PifProtocol protocol(g, params);
+    sim::Simulator<PifProtocol> sim(protocol, g, seed);
+    GhostTracker tracker(g, 0);
+    sim.set_apply_hook([&](sim::ProcessorId p, sim::ActionId a,
+                           const sim::Configuration<State>&, const State& after) {
+      tracker.note_step(sim.steps());
+      tracker.on_apply(p, a, after);
+    });
+    util::Rng rng(seed * 17);
+    sim.randomize(rng);
+    auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+    auto r = sim.run_until(
+        *daemon, [&](const auto&) { return tracker.cycles_completed() >= 1; },
+        sim::RunLimits{.max_steps = 500000});
+    ASSERT_EQ(r.reason, sim::StopReason::kPredicate) << "seed " << seed;
+    EXPECT_TRUE(tracker.last_cycle().ok()) << "seed " << seed;
+  }
+}
+
+TEST(ParamsDomains, RandomStatesRespectDomains) {
+  const auto g = graph::make_star(6);
+  Params params = Params::for_graph(g);
+  params.n_upper = 9;
+  params.l_max = 8;
+  PifProtocol protocol(g, params);
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const State root = protocol.random_state(0, rng);
+    EXPECT_EQ(root.level, 0u);
+    EXPECT_EQ(root.parent, kNoParent);
+    EXPECT_GE(root.count, 1u);
+    EXPECT_LE(root.count, 9u);
+    const State leaf = protocol.random_state(3, rng);
+    EXPECT_GE(leaf.level, 1u);
+    EXPECT_LE(leaf.level, 8u);
+    EXPECT_EQ(leaf.parent, 0u);  // the hub is the only neighbor
+  }
+}
+
+TEST(ParamsDomains, LmaxCeilingBlocksDeeperJoins) {
+  // A broadcaster at level L_max cannot be anyone's parent.
+  const auto g = graph::make_path(4);
+  Params params = Params::for_graph(g);  // Lmax = 3
+  PifProtocol protocol(g, params);
+  auto c = clean_config(g, protocol);
+  c.state(2) = st(Phase::kB, false, 1, 3, 1);  // at the ceiling
+  EXPECT_TRUE(protocol.pre_potential(c, 3).empty());
+  c.state(2) = st(Phase::kB, false, 1, 2, 1);
+  EXPECT_EQ(protocol.pre_potential(c, 3).size(), 1u);
+}
+
+TEST(ParamsDomains, GenerousLmaxStillSnap) {
+  const auto g = graph::make_cycle(8);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    analysis::RunConfig rc;
+    rc.l_max_override = 20;  // >> N-1
+    rc.corruption = CorruptionKind::kAdversarialMix;
+    rc.seed = seed;
+    const auto r = analysis::check_snap_first_cycle(g, rc);
+    ASSERT_TRUE(r.cycle_completed) << "seed " << seed;
+    EXPECT_TRUE(r.ok()) << "seed " << seed;
+  }
+}
+
+TEST(ParamsDomains, CountSaturationIsTransient) {
+  // Sum above N' saturates Count at N'; once the bogus children are
+  // corrected the counts renormalize and a correct cycle follows.
+  const auto g = graph::make_star(5);  // hub 0 = root
+  Params params = Params::for_graph(g);
+  PifProtocol protocol(g, params);
+  sim::Simulator<PifProtocol> sim(protocol, g, 7);
+  // Hub broadcasting; every leaf claims Count = N' = 5 as its child.
+  sim.set_state(0, root_st(Phase::kB, false, 1));
+  for (sim::ProcessorId leaf = 1; leaf < 5; ++leaf) {
+    sim.set_state(leaf, st(Phase::kB, false, 5, 1, 0));
+  }
+  // Sum_r = 1 + 4*5 = 21 > N' — the leaves are all abnormal (leaf Count
+  // must be 1), so corrections win before Fok can ever rise with a lie.
+  Checker checker(sim.protocol());
+  EXPECT_EQ(checker.abnormal(sim.config()).size(), 4u);
+  GhostTracker tracker(g, 0);
+  attach(sim, tracker);
+  auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+  auto r = sim.run_until(
+      *daemon, [&](const auto&) { return tracker.cycles_completed() >= 1; },
+      sim::RunLimits{.max_steps = 100000});
+  ASSERT_EQ(r.reason, sim::StopReason::kPredicate);
+  EXPECT_TRUE(tracker.last_cycle().ok());
+}
+
+}  // namespace
+}  // namespace snappif::pif

@@ -1,0 +1,119 @@
+// Targeted single-predicate corruptions: break exactly one local-checking
+// condition at exactly one processor and verify the intended correction
+// fires and repairs it — the finest-grained view of Section 3.2's error
+// detection.
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "graph/generators.hpp"
+#include "pif/checker.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using testfix::root_st;
+using testfix::st;
+
+/// Drives a mid-broadcast configuration on the path 0-1-2-3 (root 0),
+/// everyone in B with consistent levels and counts.
+class TargetedCorruption : public ::testing::Test {
+ protected:
+  TargetedCorruption()
+      : g_(graph::make_path(4)),
+        protocol_(g_, Params::for_graph(g_)),
+        sim_(protocol_, g_, 3) {
+    sim_.set_state(0, root_st(Phase::kB, false, 3));  // count still in flight
+    sim_.set_state(1, st(Phase::kB, false, 3, 1, 0));
+    sim_.set_state(2, st(Phase::kB, false, 2, 2, 1));
+    sim_.set_state(3, st(Phase::kB, false, 1, 3, 2));
+  }
+
+  [[nodiscard]] std::vector<sim::ProcessorId> abnormal() {
+    Checker checker(sim_.protocol());
+    return checker.abnormal(sim_.config());
+  }
+
+  graph::Graph g_;
+  PifProtocol protocol_;
+  sim::Simulator<PifProtocol> sim_;
+};
+
+TEST_F(TargetedCorruption, BaselineIsFullyNormal) {
+  EXPECT_TRUE(abnormal().empty());
+}
+
+TEST_F(TargetedCorruption, BreakGoodLevelOnly) {
+  auto s = sim_.config().state(2);
+  s.level = 3;  // parent is at level 1: GoodLevel(2) fails
+  sim_.set_state(2, s);
+  EXPECT_FALSE(protocol_.good_level(sim_.config(), 2));
+  EXPECT_TRUE(protocol_.good_pif(sim_.config(), 2));
+  // The lie radiates: 2 leaves 1's Sum_Set (wrong level), so GoodCount(1)
+  // fails too (Lemma 2's mechanism), and 3's level no longer matches 2's.
+  EXPECT_EQ(abnormal(), (std::vector<sim::ProcessorId>{1, 2, 3}));
+  EXPECT_TRUE(protocol_.enabled(sim_.config(), 2, kBCorrection));
+}
+
+TEST_F(TargetedCorruption, BreakGoodFokOnly) {
+  auto s = sim_.config().state(2);
+  s.fok = true;  // parent's Fok is false: GoodFok(2) fails
+  sim_.set_state(2, s);
+  EXPECT_FALSE(protocol_.good_fok(sim_.config(), 2));
+  EXPECT_TRUE(protocol_.good_level(sim_.config(), 2));
+  EXPECT_TRUE(protocol_.enabled(sim_.config(), 2, kBCorrection));
+}
+
+TEST_F(TargetedCorruption, BreakGoodCountOnly) {
+  auto s = sim_.config().state(3);
+  s.count = 2;  // a leaf's Sum is 1: GoodCount(3) fails
+  sim_.set_state(3, s);
+  EXPECT_FALSE(protocol_.good_count(sim_.config(), 3));
+  EXPECT_TRUE(protocol_.good_level(sim_.config(), 3));
+  EXPECT_TRUE(protocol_.enabled(sim_.config(), 3, kBCorrection));
+}
+
+TEST_F(TargetedCorruption, BreakGoodPifOnly) {
+  auto s = sim_.config().state(2);
+  s.pif = Phase::kF;  // parent still B without Fok: GoodFok clause 2 fails
+  sim_.set_state(2, s);
+  // The F-flavored abnormality routes through F-correction.
+  EXPECT_TRUE(protocol_.enabled(sim_.config(), 2, kFCorrection));
+  EXPECT_FALSE(protocol_.enabled(sim_.config(), 2, kBCorrection));
+}
+
+TEST_F(TargetedCorruption, RootCountLieDetected) {
+  auto s = sim_.config().state(0);
+  s.count = 4;
+  s.fok = false;  // Count = N without Fok: the repaired GoodFok(r) fails
+  sim_.set_state(0, s);
+  EXPECT_FALSE(protocol_.good_fok(sim_.config(), 0));
+  EXPECT_TRUE(protocol_.enabled(sim_.config(), 0, kBCorrection));
+}
+
+TEST_F(TargetedCorruption, EachSingleCorruptionHealsLocally) {
+  // Whatever single-processor corruption is injected mid-broadcast, the
+  // system returns to a fully normal configuration and eventually to SBN.
+  util::Rng rng(17);
+  Checker checker(sim_.protocol());
+  for (int trial = 0; trial < 40; ++trial) {
+    // Reset the broadcast scenario.
+    sim_.set_state(0, root_st(Phase::kB, false, 3));  // count still in flight
+    sim_.set_state(1, st(Phase::kB, false, 3, 1, 0));
+    sim_.set_state(2, st(Phase::kB, false, 2, 2, 1));
+    sim_.set_state(3, st(Phase::kB, false, 1, 3, 2));
+    const auto victim = static_cast<sim::ProcessorId>(rng.below(4));
+    sim_.set_state(victim, protocol_.random_state(victim, rng));
+    auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+    auto r = sim_.run_until(
+        *daemon,
+        [&](const sim::Configuration<State>& c) {
+          return checker.classify(c).sbn;
+        },
+        sim::RunLimits{.max_steps = 100000});
+    ASSERT_EQ(r.reason, sim::StopReason::kPredicate) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace snappif::pif

@@ -1,0 +1,201 @@
+// Unit tests for the local-checking predicates of Section 3.2: GoodPif,
+// GoodLevel, GoodFok, GoodCount, Normal, and the structural helpers Leaf,
+// BLeaf, BFree — the error-detection conditions 1-4 in the paper's prose.
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "graph/generators.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using testfix::clean_config;
+using testfix::root_st;
+using testfix::st;
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  PredicateTest()
+      : g_(graph::make_path(3)),  // root 0 - 1 - 2
+        protocol_(g_, Params::for_graph(g_)),
+        c_(clean_config(g_, protocol_)) {}
+
+  graph::Graph g_;
+  PifProtocol protocol_;
+  sim::Configuration<State> c_;
+};
+
+// --- Condition 1 (GoodPif): phase consistency with the parent ---------------
+
+TEST_F(PredicateTest, GoodPifVacuousInC) {
+  c_.state(1) = st(Phase::kC, false, 1, 1, 0);
+  EXPECT_TRUE(protocol_.good_pif(c_, 1));
+}
+
+TEST_F(PredicateTest, GoodPifBroadcastNeedsBroadcastingParent) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, false, 1, 1, 0);
+  EXPECT_TRUE(protocol_.good_pif(c_, 1));
+  c_.state(0) = root_st(Phase::kC, false, 1);
+  EXPECT_FALSE(protocol_.good_pif(c_, 1));
+  c_.state(0) = root_st(Phase::kF, false, 1);
+  EXPECT_FALSE(protocol_.good_pif(c_, 1));
+}
+
+TEST_F(PredicateTest, GoodPifFeedbackAllowsBorFParent) {
+  c_.state(1) = st(Phase::kF, false, 1, 1, 0);
+  c_.state(0) = root_st(Phase::kB, true, 3);
+  EXPECT_TRUE(protocol_.good_pif(c_, 1));
+  c_.state(0) = root_st(Phase::kF, false, 3);
+  EXPECT_TRUE(protocol_.good_pif(c_, 1));
+  c_.state(0) = root_st(Phase::kC, false, 3);
+  EXPECT_FALSE(protocol_.good_pif(c_, 1));
+}
+
+// --- Condition 2 (GoodLevel) -------------------------------------------------
+
+TEST_F(PredicateTest, GoodLevelExactIncrement) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, false, 1, 1, 0);
+  EXPECT_TRUE(protocol_.good_level(c_, 1));
+  c_.state(1) = st(Phase::kB, false, 1, 2, 0);
+  EXPECT_FALSE(protocol_.good_level(c_, 1));
+  // Vacuous in C regardless of level.
+  c_.state(1) = st(Phase::kC, false, 1, 2, 0);
+  EXPECT_TRUE(protocol_.good_level(c_, 1));
+}
+
+TEST_F(PredicateTest, GoodLevelDeepChain) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, false, 1, 1, 0);
+  c_.state(2) = st(Phase::kB, false, 1, 2, 1);
+  EXPECT_TRUE(protocol_.good_level(c_, 2));
+  c_.state(1) = st(Phase::kB, false, 1, 2, 0);  // parent level changed
+  EXPECT_FALSE(protocol_.good_level(c_, 2));
+}
+
+// --- Condition 3 (GoodFok) ---------------------------------------------------
+
+TEST_F(PredicateTest, GoodFokNonRootBroadcast) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  // Same flags: fine.
+  c_.state(1) = st(Phase::kB, false, 1, 1, 0);
+  EXPECT_TRUE(protocol_.good_fok(c_, 1));
+  // Parent true, child false: the wave is on its way down — fine.
+  c_.state(0) = root_st(Phase::kB, true, 3);
+  EXPECT_TRUE(protocol_.good_fok(c_, 1));
+  // Child true while parent false: corruption.
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, true, 1, 1, 0);
+  EXPECT_FALSE(protocol_.good_fok(c_, 1));
+}
+
+TEST_F(PredicateTest, GoodFokFeedbackRequiresFokdBroadcastingParent) {
+  // p in F with parent in B: parent must hold Fok (the feedback could only
+  // have been authorized through it).
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kF, false, 1, 1, 0);
+  EXPECT_FALSE(protocol_.good_fok(c_, 1));
+  c_.state(0) = root_st(Phase::kB, true, 3);
+  EXPECT_TRUE(protocol_.good_fok(c_, 1));
+  // Parent already in F: no constraint.
+  c_.state(0) = root_st(Phase::kF, false, 3);
+  EXPECT_TRUE(protocol_.good_fok(c_, 1));
+}
+
+TEST_F(PredicateTest, GoodFokRootEquivalenceOnCount) {
+  // Repaired root predicate: Fok_r = (Count_r = N); N = 3 here.
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  EXPECT_TRUE(protocol_.good_fok(c_, 0));
+  c_.state(0) = root_st(Phase::kB, true, 3);
+  EXPECT_TRUE(protocol_.good_fok(c_, 0));
+  c_.state(0) = root_st(Phase::kB, true, 2);   // Fok without full count
+  EXPECT_FALSE(protocol_.good_fok(c_, 0));
+  c_.state(0) = root_st(Phase::kB, false, 3);  // full count without Fok
+  EXPECT_FALSE(protocol_.good_fok(c_, 0));
+  // Vacuous outside the broadcast phase.
+  c_.state(0) = root_st(Phase::kF, true, 2);
+  EXPECT_TRUE(protocol_.good_fok(c_, 0));
+}
+
+// --- Condition 4 (GoodCount) -------------------------------------------------
+
+TEST_F(PredicateTest, GoodCountBoundsBySum) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, false, 2, 1, 0);
+  c_.state(2) = st(Phase::kB, false, 1, 2, 1);
+  // Sum_1 = 1 + Count_2 = 2, Count_1 = 2: ok.
+  EXPECT_TRUE(protocol_.good_count(c_, 1));
+  c_.state(1) = st(Phase::kB, false, 3, 1, 0);  // inflated
+  EXPECT_FALSE(protocol_.good_count(c_, 1));
+}
+
+TEST_F(PredicateTest, GoodCountVacuousWhenFokOrNotB) {
+  c_.state(1) = st(Phase::kB, true, 3, 1, 0);
+  EXPECT_TRUE(protocol_.good_count(c_, 1));
+  c_.state(1) = st(Phase::kF, false, 3, 1, 0);
+  EXPECT_TRUE(protocol_.good_count(c_, 1));
+}
+
+TEST_F(PredicateTest, GoodCountLeafMustBeOne) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(2) = st(Phase::kB, false, 1, 2, 1);
+  c_.state(1) = st(Phase::kB, false, 1, 1, 0);
+  // Processor 2 has no children: Sum = 1, so Count must be exactly 1.
+  EXPECT_TRUE(protocol_.good_count(c_, 2));
+  c_.state(2) = st(Phase::kB, false, 2, 2, 1);
+  EXPECT_FALSE(protocol_.good_count(c_, 2));
+}
+
+// --- Normal = conjunction ----------------------------------------------------
+
+TEST_F(PredicateTest, NormalRequiresAllFour) {
+  c_.state(0) = root_st(Phase::kB, false, 1);
+  c_.state(1) = st(Phase::kB, false, 1, 1, 0);
+  EXPECT_TRUE(protocol_.normal(c_, 1));
+  c_.state(1) = st(Phase::kB, false, 1, 2, 0);  // bad level only
+  EXPECT_FALSE(protocol_.normal(c_, 1));
+}
+
+TEST_F(PredicateTest, CleanConfigurationIsAllNormal) {
+  for (sim::ProcessorId p = 0; p < g_.n(); ++p) {
+    EXPECT_TRUE(protocol_.normal(c_, p)) << p;
+  }
+}
+
+// --- Structural helpers ------------------------------------------------------
+
+TEST_F(PredicateTest, LeafIgnoresCStatePointers) {
+  // Leaf(p): no *participating* neighbor points at p.
+  c_.state(2) = st(Phase::kC, false, 1, 2, 1);  // stale pointer at 1, but C
+  EXPECT_TRUE(protocol_.leaf(c_, 1));
+  c_.state(2) = st(Phase::kB, false, 1, 2, 1);
+  EXPECT_FALSE(protocol_.leaf(c_, 1));
+  c_.state(2) = st(Phase::kF, false, 1, 2, 1);
+  EXPECT_FALSE(protocol_.leaf(c_, 1));
+}
+
+TEST_F(PredicateTest, BLeafCountsAllPointers) {
+  // BLeaf(p) in the broadcast phase: every neighbor pointing at p must be F
+  // (a C-state pointer blocks — the stale-pointer deadlock of DESIGN.md §2
+  // item 4 flows through here).
+  c_.state(1) = st(Phase::kB, false, 1, 1, 0);
+  c_.state(2) = st(Phase::kF, false, 1, 2, 1);
+  EXPECT_TRUE(protocol_.b_leaf(c_, 1));
+  c_.state(2) = st(Phase::kB, false, 1, 2, 1);
+  EXPECT_FALSE(protocol_.b_leaf(c_, 1));
+  c_.state(2) = st(Phase::kC, false, 1, 2, 1);
+  EXPECT_FALSE(protocol_.b_leaf(c_, 1));
+  // Vacuous outside B.
+  c_.state(1) = st(Phase::kF, false, 1, 1, 0);
+  EXPECT_TRUE(protocol_.b_leaf(c_, 1));
+}
+
+TEST_F(PredicateTest, BFree) {
+  EXPECT_TRUE(protocol_.b_free(c_, 1));
+  c_.state(2) = st(Phase::kB, false, 1, 2, 1);
+  EXPECT_FALSE(protocol_.b_free(c_, 1));
+}
+
+}  // namespace
+}  // namespace snappif::pif

@@ -1,0 +1,255 @@
+// Direct validation of Section 4's machinery, beyond what the end-to-end
+// bounds already imply:
+//
+//   * the Checker's LegalTree agrees with an independent brute-force
+//     implementation of Definitions 4-6 on EVERY configuration of a tiny
+//     instance;
+//   * Property 1 is inductive: on every configuration where it holds, it
+//     still holds after every synchronous step (checked over the full
+//     configuration space of path-3);
+//   * Corollary 1's potential function: the minimal level among abnormal
+//     processors never decreases per round and strictly increases every
+//     two rounds (randomized over larger instances);
+//   * Lemma 2's trigger: GoodCount(p) can only newly fail when a
+//     counted child executed B-correction in that step.
+#include <gtest/gtest.h>
+
+#include "analysis/explore.hpp"
+#include "fixtures.hpp"
+#include "graph/generators.hpp"
+#include "pif/checker.hpp"
+#include "pif/faults.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using testfix::clean_config;
+
+// Brute-force Definitions 4-6: walk Par pointers through normal processors.
+std::vector<bool> brute_force_legal_tree(const PifProtocol& protocol,
+                                         const sim::Configuration<State>& c) {
+  std::vector<bool> legal(c.n(), false);
+  const sim::ProcessorId root = protocol.root();
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    if (p == root) {
+      legal[p] = c.state(p).pif != Phase::kC;
+      continue;
+    }
+    if (c.state(p).pif == Phase::kC) {
+      continue;
+    }
+    sim::ProcessorId cur = p;
+    std::size_t hops = 0;
+    bool ok = true;
+    while (cur != root) {
+      if (!protocol.normal(c, cur) || ++hops > c.n()) {
+        ok = false;
+        break;
+      }
+      cur = c.state(cur).parent;
+    }
+    legal[p] = ok;
+  }
+  return legal;
+}
+
+TEST(Section4, LegalTreeMatchesBruteForceOnFullSpace) {
+  const auto g = graph::make_path(3);
+  PifProtocol protocol(g, Params::for_graph(g));
+  Checker checker(protocol);
+  std::vector<std::vector<State>> domains;
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    domains.push_back(protocol.all_states(p));
+  }
+  sim::Configuration<State> c(g, protocol.initial_state(0));
+  std::uint64_t checked = 0;
+  analysis::enumerate_product(domains, [&](const std::vector<State>& states) {
+    for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+      c.state(p) = states[p];
+    }
+    const auto fast = checker.legal_tree(c);
+    const auto slow = brute_force_legal_tree(protocol, c);
+    ASSERT_EQ(fast, slow) << checker.describe(c);
+    ++checked;
+  });
+  EXPECT_EQ(checked, 46656u);
+}
+
+TEST(Section4, Property1IsInductiveOnFullSpace) {
+  // For every configuration where Property 1 holds, it holds after one
+  // synchronous step (the paper states it as an invariant).
+  const auto g = graph::make_path(3);
+  PifProtocol protocol(g, Params::for_graph(g));
+  Checker checker(protocol);
+  sim::Simulator<PifProtocol> sim(protocol, g, 1);
+  sim::SynchronousDaemon daemon;
+
+  std::vector<std::vector<State>> domains;
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    domains.push_back(protocol.all_states(p));
+  }
+  std::uint64_t applicable = 0;
+  analysis::enumerate_product(domains, [&](const std::vector<State>& states) {
+    // Load the configuration into the simulator.
+    for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+      sim.set_state(p, states[p]);
+    }
+    if (!checker.property1_holds(sim.config())) {
+      return;  // antecedent false: nothing to preserve
+    }
+    ++applicable;
+    if (!sim.step(daemon)) {
+      return;  // terminal (none exist; deadlock checks prove it)
+    }
+    ASSERT_TRUE(checker.property1_holds(sim.config()))
+        << "Property 1 broken by a synchronous step from:\n"
+        << checker.describe(sim.config());
+  });
+  EXPECT_GT(applicable, 0u);
+}
+
+TEST(Section4, Corollary1AbnormalLevelPotential) {
+  // The minimal level among abnormal processors is a potential function:
+  // non-decreasing per synchronous round, strictly increasing every two
+  // rounds (until no abnormal processor remains).
+  const auto g = graph::make_path(10);
+  PifProtocol protocol(g, Params::for_graph(g));
+  auto min_abnormal_level = [&](const sim::Configuration<State>& c)
+      -> std::optional<std::uint32_t> {
+    std::optional<std::uint32_t> level;
+    for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+      if (!protocol.normal(c, p)) {
+        const std::uint32_t lp = c.state(p).level;
+        level = level ? std::min(*level, lp) : lp;
+      }
+    }
+    return level;
+  };
+
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    sim::Simulator<PifProtocol> sim(protocol, g, seed);
+    util::Rng rng(seed * 101);
+    apply_corruption(sim, CorruptionKind::kAdversarialMix, rng);
+    sim::SynchronousDaemon daemon;  // one step = one round
+
+    auto level = min_abnormal_level(sim.config());
+    int rounds_without_increase = 0;
+    for (int round = 0; round < 200 && level.has_value(); ++round) {
+      ASSERT_TRUE(sim.step(daemon));
+      const auto next = min_abnormal_level(sim.config());
+      if (next.has_value()) {
+        ASSERT_GE(*next, *level)
+            << "seed " << seed << ": abnormal level decreased";
+        rounds_without_increase = (*next == *level)
+                                      ? rounds_without_increase + 1
+                                      : 0;
+        ASSERT_LE(rounds_without_increase, 1)
+            << "seed " << seed << ": level stagnated beyond two rounds";
+      }
+      level = next;
+    }
+    EXPECT_FALSE(level.has_value()) << "seed " << seed << ": abnormal forever";
+  }
+}
+
+TEST(Section4, GuardStructureExhaustive) {
+  // Over EVERY configuration of path-3: (a) correction guards fire exactly
+  // on ¬Normal processors of the matching phase; (b) correction and
+  // normal-phase guards never overlap; (c) among normal-phase guards only
+  // the Fok/Count pair can co-fire (the randomized version of this check
+  // lives in test_guards_actions.cpp; this is the complete proof for the
+  // instance).
+  const auto g = graph::make_path(3);
+  PifProtocol protocol(g, Params::for_graph(g));
+  std::vector<std::vector<State>> domains;
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    domains.push_back(protocol.all_states(p));
+  }
+  sim::Configuration<State> c(g, protocol.initial_state(0));
+  std::uint64_t overlaps_seen = 0;
+  analysis::enumerate_product(domains, [&](const std::vector<State>& states) {
+    for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+      c.state(p) = states[p];
+    }
+    for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+      const bool normal = protocol.normal(c, p);
+      const bool b_corr = protocol.b_correction_guard(c, p);
+      const bool f_corr = protocol.f_correction_guard(c, p);
+      ASSERT_FALSE(b_corr && normal);
+      ASSERT_FALSE(f_corr && normal);
+      ASSERT_FALSE(b_corr && f_corr);
+      if (!normal && c.state(p).pif == Phase::kB) {
+        ASSERT_TRUE(b_corr);
+      }
+      if (!normal && p != 0 && c.state(p).pif == Phase::kF) {
+        ASSERT_TRUE(f_corr);
+      }
+      const bool fok_g = protocol.change_fok_guard(c, p);
+      const bool count_g = protocol.new_count_guard(c, p);
+      const int others = (protocol.broadcast_guard(c, p) ? 1 : 0) +
+                         (protocol.feedback_guard(c, p) ? 1 : 0) +
+                         (protocol.cleaning_guard(c, p) ? 1 : 0);
+      ASSERT_LE(others + (fok_g ? 1 : 0) + (count_g ? 1 : 0),
+                (fok_g && count_g) ? 2 : 1);
+      if (fok_g && count_g) {
+        ++overlaps_seen;
+      }
+    }
+  });
+  EXPECT_GT(overlaps_seen, 0u);  // the one legal overlap is reachable
+}
+
+TEST(Section4, Lemma2GoodCountFailsOnlyViaChildCorrection) {
+  // If GoodCount(p) is true before a step and false after, some neighbor q
+  // with Par_q = p, L_q = L_p + 1, Pif_q = B executed B-correction in that
+  // step (Lemma 2's only mechanism).
+  const auto g = graph::make_random_connected(8, 5, 4);
+  PifProtocol protocol(g, Params::for_graph(g));
+
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    sim::Simulator<PifProtocol> sim(protocol, g, seed);
+    util::Rng rng(seed * 7 + 1);
+    apply_corruption(sim, CorruptionKind::kAdversarialMix, rng);
+    auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+
+    std::vector<std::pair<sim::ProcessorId, sim::ActionId>> executed;
+    sim.set_apply_hook([&](sim::ProcessorId p, sim::ActionId a,
+                           const sim::Configuration<State>&, const State&) {
+      executed.emplace_back(p, a);
+    });
+
+    for (int step = 0; step < 1500; ++step) {
+      const auto before = sim.config();
+      executed.clear();
+      if (!sim.step(*daemon)) {
+        break;
+      }
+      for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+        if (!protocol.good_count(before, p) ||
+            protocol.good_count(sim.config(), p)) {
+          continue;
+        }
+        // Newly broken: find the Lemma 2 witness.
+        bool witness = false;
+        for (const auto& [q, a] : executed) {
+          if (a != kBCorrection || q == p) {
+            continue;
+          }
+          if (before.state(q).parent == p &&
+              before.state(q).level == before.state(p).level + 1 &&
+              before.state(q).pif == Phase::kB) {
+            witness = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(witness)
+            << "seed " << seed << " step " << step
+            << ": GoodCount broke without a correcting child";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snappif::pif

@@ -1,0 +1,100 @@
+// Configuration text format: round-trips, defaults, malformed input, and
+// the documented witness strings.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pif/faults.hpp"
+#include "pif/serialize.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+TEST(Serialize, FormatsCleanConfig) {
+  const auto g = graph::make_path(3);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Configuration<State> c(g, protocol.initial_state(0));
+  for (sim::ProcessorId p = 0; p < 3; ++p) {
+    c.state(p) = protocol.initial_state(p);
+  }
+  EXPECT_EQ(format_config(protocol, c), "C:1 C:1:1:0 C:1:1:1");
+}
+
+TEST(Serialize, ParsesShorthand) {
+  const auto g = graph::make_path(3);
+  PifProtocol protocol(g, Params::for_graph(g));
+  const auto c = parse_config(protocol, g, "C C C");
+  ASSERT_TRUE(c.has_value());
+  for (sim::ProcessorId p = 0; p < 3; ++p) {
+    EXPECT_EQ(c->state(p).pif, Phase::kC);
+    EXPECT_EQ(c->state(p).count, 1u);
+  }
+  EXPECT_EQ(c->state(1).parent, 0u);  // first neighbor default
+  EXPECT_EQ(c->state(0).parent, kNoParent);
+}
+
+TEST(Serialize, RoundTripsRandomConfigs) {
+  const auto g = graph::make_random_connected(8, 6, 5);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 1);
+  util::Rng rng(9);
+  for (int iter = 0; iter < 50; ++iter) {
+    sim.randomize(rng);
+    const std::string text = format_config(protocol, sim.config());
+    const auto parsed = parse_config(protocol, g, text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, sim.config()) << text;
+  }
+}
+
+TEST(Serialize, TheDeadlockWitnessString) {
+  // The DESIGN.md §2 item 4 witness, as documented.
+  const auto g = graph::make_path(3);
+  PifProtocol protocol(g, Params::for_graph(g));
+  const auto c = parse_config(protocol, g, "B*:3 B*:1:1:0 C:1:1:1");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->state(0).pif, Phase::kB);
+  EXPECT_TRUE(c->state(0).fok);
+  EXPECT_EQ(c->state(0).count, 3u);
+  EXPECT_TRUE(c->state(1).fok);
+  EXPECT_EQ(c->state(2).pif, Phase::kC);
+  // Under the literal Pre_Potential it deadlocks; under the repair it moves.
+  Params literal = Params::for_graph(g);
+  literal.literal_prepotential_fok = true;
+  PifProtocol literal_protocol(g, literal);
+  bool any = false;
+  for (sim::ProcessorId p = 0; p < 3 && !any; ++p) {
+    for (sim::ActionId a = 0; a < literal_protocol.num_actions(); ++a) {
+      any = any || literal_protocol.enabled(*c, p, a);
+    }
+  }
+  EXPECT_FALSE(any);
+  EXPECT_TRUE(protocol.enabled(*c, 2, kBAction));
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  const auto g = graph::make_path(3);
+  PifProtocol protocol(g, Params::for_graph(g));
+  EXPECT_FALSE(parse_config(protocol, g, "").has_value());
+  EXPECT_FALSE(parse_config(protocol, g, "C C").has_value());        // too few
+  EXPECT_FALSE(parse_config(protocol, g, "C C C C").has_value());    // too many
+  EXPECT_FALSE(parse_config(protocol, g, "X C C").has_value());      // bad phase
+  EXPECT_FALSE(parse_config(protocol, g, "C:9 C C").has_value());    // count > N'
+  EXPECT_FALSE(parse_config(protocol, g, "C C:1:7:0 C").has_value());  // level > Lmax
+  EXPECT_FALSE(parse_config(protocol, g, "C C C:1:1:0").has_value());  // non-edge parent
+  EXPECT_FALSE(parse_config(protocol, g, "C:1:1:0 C C").has_value());  // root w/ level
+  EXPECT_FALSE(parse_config(protocol, g, "C:x C C").has_value());    // junk number
+}
+
+TEST(Serialize, WhitespaceFlexibility) {
+  const auto g = graph::make_path(2);
+  PifProtocol protocol(g, Params::for_graph(g));
+  const auto c = parse_config(protocol, g, "  B:1 \n\t F:2:1:0  ");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->state(0).pif, Phase::kB);
+  EXPECT_EQ(c->state(1).pif, Phase::kF);
+  EXPECT_EQ(c->state(1).count, 2u);
+}
+
+}  // namespace
+}  // namespace snappif::pif

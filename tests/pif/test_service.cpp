@@ -1,0 +1,139 @@
+// WaveService: snap-stabilizing request/response over PIF waves.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pif/faults.hpp"
+#include "pif/service.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+struct ServiceFixture {
+  explicit ServiceFixture(const graph::Graph& graph, std::uint64_t seed = 1)
+      : g(graph),
+        protocol(g, Params::for_graph(g)),
+        sim(protocol, g, seed),
+        tracker(g, 0),
+        // Request: multiply each processor's id by the request value and
+        // sum — an easily checkable distributed computation.
+        service(
+            g, 0,
+            [](const std::uint64_t& req, sim::ProcessorId p) {
+              return req * p;
+            },
+            [](const std::uint64_t& a, const std::uint64_t& b) {
+              return a + b;
+            }) {
+    attach(sim, tracker, service);
+  }
+
+  [[nodiscard]] std::uint64_t expected(std::uint64_t req) const {
+    std::uint64_t total = 0;
+    for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+      total += req * p;
+    }
+    return total;
+  }
+
+  const graph::Graph& g;
+  PifProtocol protocol;
+  sim::Simulator<PifProtocol> sim;
+  GhostTracker tracker;
+  WaveService<std::uint64_t, std::uint64_t> service;
+};
+
+TEST(WaveService, ServesOneRequest) {
+  const auto g = graph::make_grid(3, 3);
+  ServiceFixture fx(g);
+  fx.service.submit(7);
+  auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+  std::optional<WaveService<std::uint64_t, std::uint64_t>::Completed> done;
+  while (!done && fx.sim.steps() < 100000) {
+    ASSERT_TRUE(fx.sim.step(*daemon));
+    done = fx.service.poll();
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->request, 7u);
+  EXPECT_EQ(done->response, fx.expected(7));
+  EXPECT_TRUE(done->wave_ok);
+  EXPECT_EQ(fx.service.pending(), 0u);
+}
+
+TEST(WaveService, ServesQueueInOrder) {
+  const auto g = graph::make_cycle(7);
+  ServiceFixture fx(g, 3);
+  fx.service.submit(1);
+  fx.service.submit(2);
+  fx.service.submit(3);
+  EXPECT_EQ(fx.service.pending(), 3u);
+  auto daemon = sim::make_daemon(sim::DaemonKind::kCentralRandom);
+  std::vector<std::uint64_t> served;
+  while (served.size() < 3 && fx.sim.steps() < 400000) {
+    ASSERT_TRUE(fx.sim.step(*daemon));
+    while (auto done = fx.service.poll()) {
+      EXPECT_EQ(done->response, fx.expected(done->request));
+      EXPECT_TRUE(done->wave_ok);
+      served.push_back(done->request);
+    }
+  }
+  EXPECT_EQ(served, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(WaveService, IdleWavesDoNotFabricateResponses) {
+  const auto g = graph::make_path(5);
+  ServiceFixture fx(g, 5);
+  auto daemon = sim::make_daemon(sim::DaemonKind::kSynchronous);
+  // Run several request-free cycles.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(fx.sim.step(*daemon));
+    EXPECT_FALSE(fx.service.poll().has_value());
+  }
+  EXPECT_GE(fx.tracker.cycles_completed(), 2u);
+  // A late request is still served correctly.
+  fx.service.submit(11);
+  std::optional<WaveService<std::uint64_t, std::uint64_t>::Completed> done;
+  while (!done && fx.sim.steps() < 100000) {
+    ASSERT_TRUE(fx.sim.step(*daemon));
+    done = fx.service.poll();
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->response, fx.expected(11));
+}
+
+TEST(WaveService, FirstResponseAfterCorruptionIsComplete) {
+  const auto g = graph::make_random_connected(12, 8, 9);
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    ServiceFixture fx(g, seed);
+    util::Rng rng(seed * 41);
+    apply_corruption(fx.sim, CorruptionKind::kAdversarialMix, rng);
+    fx.service.submit(5);
+    auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+    std::optional<WaveService<std::uint64_t, std::uint64_t>::Completed> done;
+    while (!done && fx.sim.steps() < 400000) {
+      ASSERT_TRUE(fx.sim.step(*daemon));
+      done = fx.service.poll();
+    }
+    ASSERT_TRUE(done.has_value()) << "seed " << seed;
+    EXPECT_EQ(done->response, fx.expected(5)) << "seed " << seed;
+    EXPECT_TRUE(done->wave_ok) << "seed " << seed;
+  }
+}
+
+TEST(WaveService, SingleProcessorService) {
+  const graph::Graph g(1);
+  ServiceFixture fx(g);
+  fx.service.submit(9);
+  auto daemon = sim::make_daemon(sim::DaemonKind::kSynchronous);
+  std::optional<WaveService<std::uint64_t, std::uint64_t>::Completed> done;
+  while (!done && fx.sim.steps() < 100) {
+    ASSERT_TRUE(fx.sim.step(*daemon));
+    done = fx.service.poll();
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->response, 0u);  // 9 * processor-id 0
+  EXPECT_TRUE(done->wave_ok);
+}
+
+}  // namespace
+}  // namespace snappif::pif

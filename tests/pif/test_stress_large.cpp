@@ -1,0 +1,50 @@
+// Larger-scale sanity: N = 256.  Nothing in the implementation depends on N
+// beyond memory; these tests pin that claim inside the suite (the benches
+// sweep up to 128).
+#include <gtest/gtest.h>
+
+#include "analysis/runners.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using analysis::RunConfig;
+
+TEST(StressLarge, CycleOnRing256) {
+  const auto g = graph::make_cycle(256);
+  RunConfig rc;
+  rc.daemon = sim::DaemonKind::kSynchronous;
+  const auto r = analysis::run_cycle_from_sbn(g, rc);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.height, 128u);  // root eccentricity on C_256
+  EXPECT_LE(r.rounds, 5u * r.height + 5);
+  EXPECT_TRUE(r.chordless);
+}
+
+TEST(StressLarge, SnapOnRandom256) {
+  const auto g = graph::make_random_connected(256, 300, 424242);
+  RunConfig rc;
+  rc.corruption = CorruptionKind::kAdversarialMix;
+  rc.seed = 7;
+  rc.max_steps = 8'000'000;
+  const auto r = analysis::check_snap_first_cycle(g, rc);
+  ASSERT_TRUE(r.cycle_completed);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(StressLarge, RecoveryBoundsOnGrid256) {
+  const auto g = graph::make_grid(16, 16);
+  RunConfig rc;
+  rc.corruption = CorruptionKind::kAdversarialMix;
+  rc.seed = 11;
+  rc.max_steps = 8'000'000;
+  const auto r = analysis::measure_stabilization(g, rc);
+  ASSERT_TRUE(r.ok);
+  EXPECT_LE(r.rounds_to_all_normal, 3u * r.l_max + 3);
+  EXPECT_LE(r.rounds_to_sbn, 9u * r.l_max + 8);
+}
+
+}  // namespace
+}  // namespace snappif::pif

@@ -1,0 +1,98 @@
+// Spanning-tree construction as a PIF byproduct (Section 1 lists it among
+// the applications): every cycle dynamically builds a spanning tree, fully
+// assembled from the moment Fok_r rises; extract and validate it.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "pif/checker.hpp"
+#include "pif/faults.hpp"
+#include "pif/instrument.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+TEST(TreeExtraction, ValidSpanningTreeAtFokTimeEveryCycle) {
+  const auto g = graph::make_random_connected(14, 12, 7);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 3);
+  Checker checker(sim.protocol());
+  GhostTracker tracker(g, 0);
+  attach(sim, tracker);
+  auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+
+  std::set<std::vector<sim::ProcessorId>> trees;
+  std::uint64_t fok_windows = 0;
+  std::uint64_t last_extracted_msg = 0;
+  while (tracker.cycles_completed() < 10 && sim.steps() < 200000) {
+    ASSERT_TRUE(sim.step(*daemon));
+    const State& root = sim.config().state(0);
+    // Extract at the FIRST observation of Fok_r in each cycle — the moment
+    // the tree is guaranteed complete (later it erodes as leaves clean).
+    if (root.pif == Phase::kB && root.fok &&
+        tracker.current_message() != last_extracted_msg) {
+      last_extracted_msg = tracker.current_message();
+      const auto tree = checker.extract_spanning_tree(sim.config());
+      ASSERT_TRUE(tree.has_value()) << "Fok_r raised without a spanning tree";
+      const auto height = graph::spanning_tree_height(g, 0, *tree);
+      ASSERT_TRUE(height.has_value());
+      EXPECT_LE(*height, g.n() - 1);
+      trees.insert(*tree);
+      ++fok_windows;
+    }
+  }
+  EXPECT_GT(fok_windows, 0u);
+  // With a randomized daemon and chords available, different cycles build
+  // different trees (the "no fixed spanning tree" selling point).
+  EXPECT_GE(trees.size(), 2u);
+}
+
+TEST(TreeExtraction, NulloptBeforeTreeSpans) {
+  const auto g = graph::make_path(4);
+  PifProtocol protocol(g, Params::for_graph(g));
+  sim::Simulator<PifProtocol> sim(protocol, g, 5);
+  Checker checker(sim.protocol());
+  // Quiet configuration: no tree at all.
+  EXPECT_FALSE(checker.extract_spanning_tree(sim.config()).has_value());
+  // Mid-broadcast (only the root in B): still not spanning.
+  sim::SynchronousDaemon daemon;
+  ASSERT_TRUE(sim.step(daemon));
+  EXPECT_FALSE(checker.extract_spanning_tree(sim.config()).has_value());
+}
+
+TEST(TreeExtraction, FirstTreeAfterCorruptionIsValid) {
+  // Snap payoff for the spanning-tree application: the FIRST Fok window
+  // after a fault already certifies a complete, valid tree.
+  const auto g = graph::make_grid(4, 4);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    PifProtocol protocol(g, Params::for_graph(g));
+    sim::Simulator<PifProtocol> sim(protocol, g, seed);
+    Checker checker(sim.protocol());
+    GhostTracker tracker(g, 0);
+    attach(sim, tracker);
+    util::Rng rng(seed * 19);
+    apply_corruption(sim, CorruptionKind::kAdversarialMix, rng);
+    auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+
+    bool saw_tree = false;
+    while (tracker.cycles_completed() == 0 && sim.steps() < 400000) {
+      ASSERT_TRUE(sim.step(*daemon));
+      const State& root = sim.config().state(0);
+      if (tracker.cycle_active() && root.pif == Phase::kB && root.fok &&
+          !saw_tree) {
+        const auto tree = checker.extract_spanning_tree(sim.config());
+        ASSERT_TRUE(tree.has_value()) << "seed " << seed;
+        EXPECT_TRUE(graph::spanning_tree_height(g, 0, *tree).has_value())
+            << "seed " << seed;
+        saw_tree = true;
+      }
+    }
+    EXPECT_TRUE(saw_tree) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace snappif::pif

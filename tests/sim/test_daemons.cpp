@@ -1,0 +1,181 @@
+#include "sim/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace snappif::sim {
+namespace {
+
+DaemonContext context(ProcessorId n, std::uint64_t step = 0) {
+  DaemonContext ctx;
+  ctx.n = n;
+  ctx.step = step;
+  return ctx;
+}
+
+TEST(SynchronousDaemon, SelectsEveryone) {
+  SynchronousDaemon daemon;
+  util::Rng rng(1);
+  const std::vector<ProcessorId> enabled{0, 2, 5};
+  std::vector<ProcessorId> out;
+  daemon.select(enabled, context(6), rng, out);
+  EXPECT_EQ(out, enabled);
+}
+
+TEST(CentralRandomDaemon, SelectsExactlyOneEnabled) {
+  CentralRandomDaemon daemon;
+  util::Rng rng(2);
+  const std::vector<ProcessorId> enabled{1, 3, 4};
+  std::set<ProcessorId> seen;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<ProcessorId> out;
+    daemon.select(enabled, context(5), rng, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(std::count(enabled.begin(), enabled.end(), out[0]) == 1);
+    seen.insert(out[0]);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // covers all enabled eventually
+}
+
+TEST(CentralRoundRobinDaemon, CyclesThroughProcessors) {
+  CentralRoundRobinDaemon daemon;
+  util::Rng rng(3);
+  const std::vector<ProcessorId> enabled{0, 1, 2};
+  std::vector<ProcessorId> picks;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<ProcessorId> out;
+    daemon.select(enabled, context(3), rng, out);
+    ASSERT_EQ(out.size(), 1u);
+    picks.push_back(out[0]);
+  }
+  EXPECT_EQ(picks, (std::vector<ProcessorId>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(CentralRoundRobinDaemon, SkipsDisabled) {
+  CentralRoundRobinDaemon daemon;
+  util::Rng rng(4);
+  std::vector<ProcessorId> out;
+  daemon.select(std::vector<ProcessorId>{2}, context(5), rng, out);
+  EXPECT_EQ(out[0], 2u);
+  out.clear();
+  // Cursor is now 3; only processor 1 enabled -> wraps around.
+  daemon.select(std::vector<ProcessorId>{1}, context(5), rng, out);
+  EXPECT_EQ(out[0], 1u);
+}
+
+TEST(DistributedRandomDaemon, NeverEmpty) {
+  DistributedRandomDaemon daemon(0.05);  // low probability
+  util::Rng rng(5);
+  const std::vector<ProcessorId> enabled{0, 1};
+  for (int i = 0; i < 300; ++i) {
+    std::vector<ProcessorId> out;
+    daemon.select(enabled, context(2), rng, out);
+    EXPECT_GE(out.size(), 1u);
+    for (ProcessorId p : out) {
+      EXPECT_TRUE(p == 0 || p == 1);
+    }
+  }
+}
+
+TEST(DistributedRandomDaemon, SometimesSelectsSubsetsAndAll) {
+  DistributedRandomDaemon daemon(0.5);
+  util::Rng rng(6);
+  const std::vector<ProcessorId> enabled{0, 1, 2, 3};
+  bool saw_singleton = false, saw_all = false;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<ProcessorId> out;
+    daemon.select(enabled, context(4), rng, out);
+    saw_singleton = saw_singleton || out.size() == 1;
+    saw_all = saw_all || out.size() == 4;
+  }
+  EXPECT_TRUE(saw_singleton);
+  EXPECT_TRUE(saw_all);
+}
+
+TEST(AdversarialScoreDaemon, PicksExtremeScore) {
+  AdversarialScoreDaemon max_daemon(AdversarialScoreDaemon::Goal::kMaxScore, 1);
+  AdversarialScoreDaemon min_daemon(AdversarialScoreDaemon::Goal::kMinScore, 1);
+  util::Rng rng(7);
+  DaemonContext ctx = context(4);
+  ctx.score = [](ProcessorId p) { return static_cast<std::int64_t>(p * 10); };
+  const std::vector<ProcessorId> enabled{0, 1, 2, 3};
+  std::vector<ProcessorId> out;
+  max_daemon.select(enabled, ctx, rng, out);
+  EXPECT_EQ(out, (std::vector<ProcessorId>{3}));
+  out.clear();
+  min_daemon.select(enabled, ctx, rng, out);
+  EXPECT_EQ(out, (std::vector<ProcessorId>{0}));
+}
+
+TEST(AdversarialScoreDaemon, WidthTakesSeveral) {
+  AdversarialScoreDaemon daemon(AdversarialScoreDaemon::Goal::kMaxScore, 2);
+  util::Rng rng(8);
+  DaemonContext ctx = context(4);
+  ctx.score = [](ProcessorId p) { return static_cast<std::int64_t>(p); };
+  std::vector<ProcessorId> out;
+  daemon.select(std::vector<ProcessorId>{0, 1, 2, 3}, ctx, rng, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 3u);
+  EXPECT_EQ(out[1], 2u);
+}
+
+TEST(FairDaemon, ForcesStarvedProcessors) {
+  // Inner daemon always picks the max-score processor (0 is starved).
+  auto inner = std::make_unique<AdversarialScoreDaemon>(
+      AdversarialScoreDaemon::Goal::kMaxScore, 1);
+  FairDaemon daemon(std::move(inner), /*bound=*/3);
+  util::Rng rng(9);
+  DaemonContext ctx = context(2);
+  ctx.score = [](ProcessorId p) { return static_cast<std::int64_t>(p); };
+  const std::vector<ProcessorId> enabled{0, 1};
+  int zero_selected_by = -1;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<ProcessorId> out;
+    daemon.select(enabled, ctx, rng, out);
+    if (std::count(out.begin(), out.end(), 0u) > 0) {
+      zero_selected_by = i;
+      break;
+    }
+  }
+  ASSERT_NE(zero_selected_by, -1) << "starved processor never forced";
+  EXPECT_LE(zero_selected_by, 3);
+}
+
+TEST(FairDaemon, ResetClearsAges) {
+  auto inner = std::make_unique<AdversarialScoreDaemon>(
+      AdversarialScoreDaemon::Goal::kMaxScore, 1);
+  FairDaemon daemon(std::move(inner), 2);
+  util::Rng rng(10);
+  DaemonContext ctx = context(2);
+  ctx.score = [](ProcessorId p) { return static_cast<std::int64_t>(p); };
+  const std::vector<ProcessorId> enabled{0, 1};
+  std::vector<ProcessorId> out;
+  daemon.select(enabled, ctx, rng, out);  // age[0] = 1
+  daemon.reset();
+  out.clear();
+  daemon.select(enabled, ctx, rng, out);  // age was cleared -> only {1}
+  EXPECT_EQ(out, (std::vector<ProcessorId>{1}));
+}
+
+TEST(DaemonFactory, AllKindsConstructible) {
+  for (DaemonKind kind : standard_daemon_kinds()) {
+    auto daemon = make_daemon(kind);
+    ASSERT_NE(daemon, nullptr);
+    EXPECT_FALSE(daemon->name().empty());
+    // Every daemon must return a non-empty subset of enabled.
+    util::Rng rng(11);
+    std::vector<ProcessorId> out;
+    DaemonContext ctx = context(3);
+    ctx.score = [](ProcessorId) { return 0; };
+    daemon->select(std::vector<ProcessorId>{0, 2}, ctx, rng, out);
+    EXPECT_GE(out.size(), 1u);
+    for (ProcessorId p : out) {
+      EXPECT_TRUE(p == 0 || p == 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snappif::sim

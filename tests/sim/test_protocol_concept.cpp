@@ -1,0 +1,54 @@
+// Compile-time documentation: every protocol in the repository satisfies the
+// sim::Protocol concept, and the state types satisfy the engine's regularity
+// expectations.
+#include <gtest/gtest.h>
+
+#include <concepts>
+
+#include "baselines/selfstab_pif.hpp"
+#include "baselines/tree_pif.hpp"
+#include "pif/multi.hpp"
+#include "pif/protocol.hpp"
+#include "sim/protocol.hpp"
+
+namespace snappif {
+namespace {
+
+static_assert(sim::Protocol<pif::PifProtocol>);
+static_assert(sim::Protocol<pif::MultiPifProtocol>);
+static_assert(sim::Protocol<baselines::TreePifProtocol>);
+static_assert(sim::Protocol<baselines::SelfStabPifProtocol>);
+
+static_assert(std::equality_comparable<pif::State>);
+static_assert(std::equality_comparable<pif::MultiState>);
+static_assert(std::equality_comparable<baselines::TreePifState>);
+static_assert(std::equality_comparable<baselines::SelfStabState>);
+
+static_assert(std::copyable<pif::PifProtocol>);
+static_assert(std::copyable<sim::Configuration<pif::State>>);
+
+TEST(ProtocolConcept, StateHashesAreUsable) {
+  pif::State a, b;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.pif = pif::Phase::kB;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(ProtocolConcept, ActionTablesAreStable) {
+  // The action indices are load-bearing (traces, ghosts, model checking
+  // decode them); pin the table layout.
+  EXPECT_EQ(pif::kBAction, 0);
+  EXPECT_EQ(pif::kFokAction, 1);
+  EXPECT_EQ(pif::kFAction, 2);
+  EXPECT_EQ(pif::kCAction, 3);
+  EXPECT_EQ(pif::kCountAction, 4);
+  EXPECT_EQ(pif::kBCorrection, 5);
+  EXPECT_EQ(pif::kFCorrection, 6);
+  EXPECT_EQ(pif::kNumActions, 7);
+  EXPECT_EQ(pif::action_label(pif::kBAction), "B-action");
+  EXPECT_EQ(pif::action_label(pif::kCountAction), "Count-action");
+  EXPECT_EQ(pif::action_label(200), "?");
+}
+
+}  // namespace
+}  // namespace snappif

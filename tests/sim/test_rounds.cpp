@@ -1,0 +1,89 @@
+#include "sim/rounds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snappif::sim {
+namespace {
+
+TEST(RoundTracker, SingleProcessorRounds) {
+  RoundTracker tracker;
+  tracker.begin({true});
+  EXPECT_EQ(tracker.rounds(), 0u);
+  EXPECT_TRUE(tracker.on_step({true}, {true}));
+  EXPECT_EQ(tracker.rounds(), 1u);
+  EXPECT_TRUE(tracker.on_step({true}, {true}));
+  EXPECT_EQ(tracker.rounds(), 2u);
+}
+
+TEST(RoundTracker, RoundNeedsEveryPendingProcessor) {
+  RoundTracker tracker;
+  tracker.begin({true, true});
+  // Only processor 0 executes; 1 stays enabled: round not complete.
+  EXPECT_FALSE(tracker.on_step({true, false}, {true, true}));
+  EXPECT_EQ(tracker.rounds(), 0u);
+  EXPECT_EQ(tracker.pending_count(), 1u);
+  // Now 1 executes: round completes.
+  EXPECT_TRUE(tracker.on_step({false, true}, {true, true}));
+  EXPECT_EQ(tracker.rounds(), 1u);
+}
+
+TEST(RoundTracker, DisableActionDischarges) {
+  RoundTracker tracker;
+  tracker.begin({true, true});
+  // Processor 0 executes; this disables processor 1 (its guard went false):
+  // the "disable action" discharges it, so the round completes.
+  EXPECT_TRUE(tracker.on_step({true, false}, {true, false}));
+  EXPECT_EQ(tracker.rounds(), 1u);
+}
+
+TEST(RoundTracker, NewlyEnabledNotOwedThisRound) {
+  RoundTracker tracker;
+  tracker.begin({true, false});
+  // Processor 1 becomes enabled mid-round; only 0 was owed.
+  EXPECT_TRUE(tracker.on_step({true, false}, {true, true}));
+  EXPECT_EQ(tracker.rounds(), 1u);
+  // Next round owes both.
+  EXPECT_FALSE(tracker.on_step({true, false}, {true, true}));
+  EXPECT_TRUE(tracker.on_step({false, true}, {true, true}));
+  EXPECT_EQ(tracker.rounds(), 2u);
+}
+
+TEST(RoundTracker, SynchronousStepsAreRounds) {
+  RoundTracker tracker;
+  tracker.begin({true, true, true});
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(
+        tracker.on_step({true, true, true}, {true, true, true}));
+    EXPECT_EQ(tracker.rounds(), static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(RoundTracker, BeginResets) {
+  RoundTracker tracker;
+  tracker.begin({true});
+  (void)tracker.on_step({true}, {true});
+  EXPECT_EQ(tracker.rounds(), 1u);
+  tracker.begin({true});
+  EXPECT_EQ(tracker.rounds(), 0u);
+}
+
+TEST(RoundTracker, EmptyEnabledSetCompletesImmediately) {
+  RoundTracker tracker;
+  tracker.begin({false, false});
+  EXPECT_EQ(tracker.pending_count(), 0u);
+  // A step executed by nobody (can't happen in practice) closes the round
+  // trivially because nothing is owed.
+  EXPECT_TRUE(tracker.on_step({false, false}, {true, false}));
+}
+
+TEST(RoundTracker, PendingOnlyAmongInitiallyEnabled) {
+  RoundTracker tracker;
+  tracker.begin({false, true});
+  EXPECT_EQ(tracker.pending_count(), 1u);
+  // Executing processor 0 (not owed) does not finish the round.
+  EXPECT_FALSE(tracker.on_step({true, false}, {true, true}));
+  EXPECT_EQ(tracker.rounds(), 0u);
+}
+
+}  // namespace
+}  // namespace snappif::sim

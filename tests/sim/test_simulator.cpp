@@ -1,0 +1,236 @@
+// Engine semantics tests using small synthetic protocols: composite
+// atomicity (all statements in a step read the pre-step configuration),
+// incremental enabled-set maintenance, termination, counters, determinism.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace snappif::sim {
+namespace {
+
+struct IntState {
+  std::uint32_t value = 0;
+  [[nodiscard]] bool operator==(const IntState&) const noexcept = default;
+  [[nodiscard]] std::uint64_t hash() const noexcept { return value; }
+};
+
+/// MaxProtocol: value := max over neighborhood, enabled while some neighbor
+/// is larger.  Converges to the global maximum; a terminal configuration.
+class MaxProtocol {
+ public:
+  using State = IntState;
+  [[nodiscard]] State initial_state(ProcessorId p) const { return {p}; }
+  [[nodiscard]] ActionId num_actions() const { return 1; }
+  [[nodiscard]] std::string_view action_name(ActionId) const { return "max"; }
+  [[nodiscard]] bool enabled(const Configuration<State>& c, ProcessorId p,
+                             ActionId) const {
+    for (ProcessorId q : c.neighbors(p)) {
+      if (c.state(q).value > c.state(p).value) {
+        return true;
+      }
+    }
+    return false;
+  }
+  [[nodiscard]] State apply(const Configuration<State>& c, ProcessorId p,
+                            ActionId) const {
+    State next = c.state(p);
+    for (ProcessorId q : c.neighbors(p)) {
+      next.value = std::max(next.value, c.state(q).value);
+    }
+    return next;
+  }
+  [[nodiscard]] State random_state(ProcessorId, util::Rng& rng) const {
+    return {static_cast<std::uint32_t>(rng.below(100))};
+  }
+};
+
+/// SwapProtocol on exactly two connected processors: each copies the other's
+/// value; always enabled.  Under the synchronous daemon the values must
+/// exchange (proof of reads-before-writes atomicity).
+class SwapProtocol {
+ public:
+  using State = IntState;
+  [[nodiscard]] State initial_state(ProcessorId p) const {
+    return {p == 0 ? 111u : 222u};
+  }
+  [[nodiscard]] ActionId num_actions() const { return 1; }
+  [[nodiscard]] std::string_view action_name(ActionId) const { return "swap"; }
+  [[nodiscard]] bool enabled(const Configuration<State>&, ProcessorId,
+                             ActionId) const {
+    return true;
+  }
+  [[nodiscard]] State apply(const Configuration<State>& c, ProcessorId p,
+                            ActionId) const {
+    return c.state(c.neighbors(p)[0]);
+  }
+  [[nodiscard]] State random_state(ProcessorId, util::Rng& rng) const {
+    return {static_cast<std::uint32_t>(rng.below(10))};
+  }
+};
+
+TEST(Simulator, CompositeAtomicitySwap) {
+  const auto g = graph::make_path(2);
+  Simulator<SwapProtocol> sim(SwapProtocol{}, g, 1);
+  SynchronousDaemon daemon;
+  EXPECT_EQ(sim.config().state(0).value, 111u);
+  ASSERT_TRUE(sim.step(daemon));
+  // Both read the pre-step configuration: a true swap, not a clobber.
+  EXPECT_EQ(sim.config().state(0).value, 222u);
+  EXPECT_EQ(sim.config().state(1).value, 111u);
+  ASSERT_TRUE(sim.step(daemon));
+  EXPECT_EQ(sim.config().state(0).value, 111u);
+}
+
+TEST(Simulator, MaxConvergesAndTerminates) {
+  const auto g = graph::make_path(6);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 2);
+  SynchronousDaemon daemon;
+  auto result = sim.run_until(
+      daemon, [](const Configuration<IntState>&) { return false; },
+      RunLimits{.max_steps = 100});
+  EXPECT_EQ(result.reason, StopReason::kTerminal);
+  for (ProcessorId p = 0; p < 6; ++p) {
+    EXPECT_EQ(sim.config().state(p).value, 5u);
+  }
+  // Path with max at the end: value propagates one hop per synchronous step.
+  EXPECT_EQ(result.steps, 5u);
+  EXPECT_EQ(result.rounds, 5u);
+}
+
+TEST(Simulator, TerminalStepReturnsFalse) {
+  const auto g = graph::make_path(2);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 3);
+  SynchronousDaemon daemon;
+  EXPECT_TRUE(sim.step(daemon));   // 0 adopts 1's value
+  EXPECT_FALSE(sim.any_enabled());
+  EXPECT_FALSE(sim.step(daemon));  // terminal: no-op
+}
+
+TEST(Simulator, EnabledSetMaintainedIncrementally) {
+  const auto g = graph::make_path(4);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 4);
+  // Initially every processor except the last sees a larger right neighbor.
+  EXPECT_EQ(sim.enabled_processors().size(), 3u);
+  EXPECT_FALSE(sim.is_enabled(3));
+  CentralRoundRobinDaemon daemon;
+  ASSERT_TRUE(sim.step(daemon));  // processor 0 copies 1: becomes disabled...
+  EXPECT_FALSE(sim.is_enabled(0));
+  // ...until neighbor 1 grows past it again.
+  ASSERT_TRUE(sim.step(daemon));  // processor 1 copies 2
+  EXPECT_TRUE(sim.is_enabled(0));
+}
+
+TEST(Simulator, ActionCountsAccumulate) {
+  const auto g = graph::make_path(4);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 5);
+  SynchronousDaemon daemon;
+  while (sim.step(daemon)) {
+  }
+  EXPECT_GT(sim.action_count(0), 0u);
+  EXPECT_EQ(sim.steps(), 3u);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  const auto g = graph::make_random_connected(10, 8, 17);
+  auto run = [&](std::uint64_t seed) {
+    Simulator<MaxProtocol> sim(MaxProtocol{}, g, seed);
+    util::Rng fault_rng(99);
+    sim.randomize(fault_rng);
+    DistributedRandomDaemon daemon(0.5);
+    std::vector<std::uint64_t> hashes;
+    while (sim.step(daemon)) {
+      hashes.push_back(sim.config().hash());
+    }
+    return hashes;
+  };
+  EXPECT_EQ(run(7), run(7));
+  // Different engine seeds give different schedules (very likely).
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(Simulator, RandomizeUsesProtocolDomains) {
+  const auto g = graph::make_path(3);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 6);
+  util::Rng rng(123);
+  sim.randomize(rng);
+  for (ProcessorId p = 0; p < 3; ++p) {
+    EXPECT_LT(sim.config().state(p).value, 100u);
+  }
+}
+
+TEST(Simulator, ResetToInitialRestoresCleanState) {
+  const auto g = graph::make_path(3);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 7);
+  util::Rng rng(5);
+  sim.randomize(rng);
+  sim.reset_to_initial();
+  for (ProcessorId p = 0; p < 3; ++p) {
+    EXPECT_EQ(sim.config().state(p).value, p);
+  }
+  EXPECT_EQ(sim.steps(), 0u);
+}
+
+TEST(Simulator, ApplyHookSeesPreStepConfig) {
+  const auto g = graph::make_path(2);
+  Simulator<SwapProtocol> sim(SwapProtocol{}, g, 8);
+  SynchronousDaemon daemon;
+  int hooks = 0;
+  sim.set_apply_hook([&](ProcessorId p, ActionId a,
+                         const Configuration<IntState>& before,
+                         const IntState& after) {
+    ++hooks;
+    EXPECT_EQ(a, 0);
+    // `before` must hold the original values even while both swap.
+    EXPECT_EQ(before.state(0).value, 111u);
+    EXPECT_EQ(before.state(1).value, 222u);
+    EXPECT_EQ(after.value, p == 0 ? 222u : 111u);
+  });
+  ASSERT_TRUE(sim.step(daemon));
+  EXPECT_EQ(hooks, 2);
+}
+
+TEST(Simulator, RunUntilPredicateAndLimits) {
+  const auto g = graph::make_path(8);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 9);
+  SynchronousDaemon daemon;
+  auto r1 = sim.run_until(
+      daemon,
+      [](const Configuration<IntState>& c) { return c.state(0).value >= 3; },
+      RunLimits{.max_steps = 100});
+  EXPECT_EQ(r1.reason, StopReason::kPredicate);
+
+  sim.reset_to_initial();
+  auto r2 = sim.run_until(
+      daemon, [](const Configuration<IntState>&) { return false; },
+      RunLimits{.max_steps = 2});
+  EXPECT_EQ(r2.reason, StopReason::kStepLimit);
+  EXPECT_EQ(r2.steps, 2u);
+
+  sim.reset_to_initial();
+  auto r3 = sim.run_until(
+      daemon, [](const Configuration<IntState>&) { return false; },
+      RunLimits{.max_steps = 1000, .max_rounds = 3});
+  EXPECT_EQ(r3.reason, StopReason::kRoundLimit);
+  EXPECT_EQ(r3.rounds, 3u);
+}
+
+TEST(Simulator, TraceRecordsChoices) {
+  const auto g = graph::make_path(3);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 10);
+  Trace trace(16);
+  sim.set_trace(&trace);
+  SynchronousDaemon daemon;
+  while (sim.step(daemon)) {
+  }
+  EXPECT_GT(trace.size(), 0u);
+  EXPECT_EQ(trace[0].step, 0u);
+  EXPECT_EQ(trace[0].choices.size(), 2u);  // processors 0 and 1 enabled
+  const auto names = sim.action_names();
+  const std::string out = trace.render(names);
+  EXPECT_NE(out.find("max"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snappif::sim

@@ -1,0 +1,68 @@
+#include "sim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pif/checker.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::sim {
+namespace {
+
+TEST(Timeline, CollapsesConsecutiveDuplicates) {
+  Timeline timeline;
+  timeline.snapshot(0, 0, "AAA");
+  timeline.snapshot(1, 0, "AAA");
+  timeline.snapshot(2, 1, "BBB");
+  timeline.snapshot(3, 1, "AAA");  // not consecutive with the first: kept
+  EXPECT_EQ(timeline.rows(), 3u);
+}
+
+TEST(Timeline, RenderFormat) {
+  Timeline timeline;
+  timeline.snapshot(7, 2, "XY");
+  const std::string out = timeline.render();
+  EXPECT_NE(out.find("step      7 round    2  |XY|"), std::string::npos);
+}
+
+TEST(Timeline, RespectsRowCap) {
+  Timeline timeline(2);
+  timeline.snapshot(0, 0, "A");
+  timeline.snapshot(1, 0, "B");
+  timeline.snapshot(2, 0, "C");
+  EXPECT_EQ(timeline.rows(), 2u);
+  EXPECT_EQ(timeline.dropped(), 1u);
+  EXPECT_NE(timeline.render().find("1 later rows dropped"), std::string::npos);
+}
+
+TEST(Timeline, ClearResets) {
+  Timeline timeline(1);
+  timeline.snapshot(0, 0, "A");
+  timeline.snapshot(1, 0, "B");
+  timeline.clear();
+  EXPECT_EQ(timeline.rows(), 0u);
+  EXPECT_EQ(timeline.dropped(), 0u);
+}
+
+TEST(Timeline, PifPhaseStripIntegration) {
+  const auto g = graph::make_path(4);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  Simulator<pif::PifProtocol> sim(protocol, g, 1);
+  pif::Checker checker(sim.protocol());
+  SynchronousDaemon daemon;
+  Timeline timeline;
+  timeline.snapshot(sim.steps(), sim.rounds(), checker.phase_strip(sim.config()));
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(sim.step(daemon));
+    timeline.snapshot(sim.steps(), sim.rounds(),
+                      checker.phase_strip(sim.config()));
+  }
+  // The strip starts all-C and must show a broadcast sweep.
+  const std::string out = timeline.render();
+  EXPECT_NE(out.find("|C C C C |"), std::string::npos);
+  EXPECT_NE(out.find("|B B B B |"), std::string::npos);
+  EXPECT_GE(timeline.rows(), 4u);
+}
+
+}  // namespace
+}  // namespace snappif::sim

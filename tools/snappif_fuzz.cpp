@@ -1,0 +1,75 @@
+// snappif_fuzz — endless randomized snap-property fuzzing.
+//
+// Runs check_snap_first_cycle forever over random graphs x corruptions x
+// daemons x action policies, printing a progress line periodically and
+// stopping (with a full reproduction recipe) on the first violation.
+//
+//   ./snappif_fuzz [--seed=1] [--max-n=24] [--iterations=0 (unbounded)]
+//                  [--report-every=500]
+#include <cstdio>
+
+#include "analysis/runners.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "pif/faults.hpp"
+#include "util/cli.hpp"
+
+using namespace snappif;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  const auto max_n = static_cast<graph::NodeId>(cli.get_int("max-n", 24));
+  const auto iterations = static_cast<std::uint64_t>(cli.get_int("iterations", 0));
+  const auto report_every =
+      static_cast<std::uint64_t>(cli.get_int("report-every", 500));
+
+  const auto daemons = sim::standard_daemon_kinds();
+  const auto corruptions = pif::all_corruption_kinds();
+
+  std::uint64_t runs = 0;
+  while (iterations == 0 || runs < iterations) {
+    ++runs;
+    // Random instance.
+    const auto n = static_cast<graph::NodeId>(3 + rng.below(max_n - 2));
+    const auto extra = rng.below(2 * n);
+    const auto graph_seed = rng();
+    const graph::Graph g = graph::make_random_connected(n, extra, graph_seed);
+
+    analysis::RunConfig rc;
+    rc.daemon = daemons[rng.below(daemons.size())];
+    rc.corruption = corruptions[rng.below(corruptions.size())];
+    rc.policy = rng.chance(0.5) ? sim::ActionPolicy::kFirstEnabled
+                                : sim::ActionPolicy::kRandomEnabled;
+    rc.root = static_cast<sim::ProcessorId>(rng.below(n));
+    rc.seed = rng();
+
+    const auto result = analysis::check_snap_first_cycle(g, rc);
+    if (!result.cycle_completed || !result.ok()) {
+      std::printf(
+          "VIOLATION after %llu runs!\n"
+          "  graph: make_random_connected(%u, %llu, %llu)\n"
+          "  root=%u daemon=%s corruption=%s policy=%s seed=%llu\n"
+          "  completed=%d pif1=%d pif2=%d aborted=%d\n",
+          static_cast<unsigned long long>(runs), n,
+          static_cast<unsigned long long>(extra),
+          static_cast<unsigned long long>(graph_seed), rc.root,
+          std::string(sim::daemon_kind_name(rc.daemon)).c_str(),
+          std::string(pif::corruption_name(rc.corruption)).c_str(),
+          rc.policy == sim::ActionPolicy::kFirstEnabled ? "first" : "random",
+          static_cast<unsigned long long>(rc.seed), result.cycle_completed,
+          result.pif1, result.pif2, result.aborted);
+      return 1;
+    }
+    if (runs % report_every == 0) {
+      std::printf("%llu runs, 0 violations (last: n=%u %s/%s)\n",
+                  static_cast<unsigned long long>(runs), n,
+                  std::string(sim::daemon_kind_name(rc.daemon)).c_str(),
+                  std::string(pif::corruption_name(rc.corruption)).c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("done: %llu runs, 0 violations\n",
+              static_cast<unsigned long long>(runs));
+  return 0;
+}
