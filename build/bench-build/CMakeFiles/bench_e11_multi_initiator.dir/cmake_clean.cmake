@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_multi_initiator"
+  "../bench/bench_e11_multi_initiator.pdb"
+  "CMakeFiles/bench_e11_multi_initiator.dir/bench_e11_multi_initiator.cpp.o"
+  "CMakeFiles/bench_e11_multi_initiator.dir/bench_e11_multi_initiator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_multi_initiator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e12_vs_classic_echo"
+  "../bench/bench_e12_vs_classic_echo.pdb"
+  "CMakeFiles/bench_e12_vs_classic_echo.dir/bench_e12_vs_classic_echo.cpp.o"
+  "CMakeFiles/bench_e12_vs_classic_echo.dir/bench_e12_vs_classic_echo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_vs_classic_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

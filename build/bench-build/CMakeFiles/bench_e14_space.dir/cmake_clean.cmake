@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e14_space"
+  "../bench/bench_e14_space.pdb"
+  "CMakeFiles/bench_e14_space.dir/bench_e14_space.cpp.o"
+  "CMakeFiles/bench_e14_space.dir/bench_e14_space.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

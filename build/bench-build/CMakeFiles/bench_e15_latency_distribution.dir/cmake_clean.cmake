@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e15_latency_distribution"
+  "../bench/bench_e15_latency_distribution.pdb"
+  "CMakeFiles/bench_e15_latency_distribution.dir/bench_e15_latency_distribution.cpp.o"
+  "CMakeFiles/bench_e15_latency_distribution.dir/bench_e15_latency_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_latency_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

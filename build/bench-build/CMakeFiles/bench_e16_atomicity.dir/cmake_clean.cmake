@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e16_atomicity"
+  "../bench/bench_e16_atomicity.pdb"
+  "CMakeFiles/bench_e16_atomicity.dir/bench_e16_atomicity.cpp.o"
+  "CMakeFiles/bench_e16_atomicity.dir/bench_e16_atomicity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

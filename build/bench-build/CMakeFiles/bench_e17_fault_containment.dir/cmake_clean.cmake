@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e17_fault_containment"
+  "../bench/bench_e17_fault_containment.pdb"
+  "CMakeFiles/bench_e17_fault_containment.dir/bench_e17_fault_containment.cpp.o"
+  "CMakeFiles/bench_e17_fault_containment.dir/bench_e17_fault_containment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_fault_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

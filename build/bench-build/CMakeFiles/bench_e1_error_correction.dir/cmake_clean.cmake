@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_error_correction"
+  "../bench/bench_e1_error_correction.pdb"
+  "CMakeFiles/bench_e1_error_correction.dir/bench_e1_error_correction.cpp.o"
+  "CMakeFiles/bench_e1_error_correction.dir/bench_e1_error_correction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_error_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_glt_formation"
+  "../bench/bench_e2_glt_formation.pdb"
+  "CMakeFiles/bench_e2_glt_formation.dir/bench_e2_glt_formation.cpp.o"
+  "CMakeFiles/bench_e2_glt_formation.dir/bench_e2_glt_formation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_glt_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_cycle_rounds"
+  "../bench/bench_e3_cycle_rounds.pdb"
+  "CMakeFiles/bench_e3_cycle_rounds.dir/bench_e3_cycle_rounds.cpp.o"
+  "CMakeFiles/bench_e3_cycle_rounds.dir/bench_e3_cycle_rounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_cycle_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

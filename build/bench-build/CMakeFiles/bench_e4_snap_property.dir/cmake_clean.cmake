@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_snap_property"
+  "../bench/bench_e4_snap_property.pdb"
+  "CMakeFiles/bench_e4_snap_property.dir/bench_e4_snap_property.cpp.o"
+  "CMakeFiles/bench_e4_snap_property.dir/bench_e4_snap_property.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_snap_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e4_snap_property.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_vs_selfstab"
+  "../bench/bench_e5_vs_selfstab.pdb"
+  "CMakeFiles/bench_e5_vs_selfstab.dir/bench_e5_vs_selfstab.cpp.o"
+  "CMakeFiles/bench_e5_vs_selfstab.dir/bench_e5_vs_selfstab.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_vs_selfstab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_ablation_potential"
+  "../bench/bench_e7_ablation_potential.pdb"
+  "CMakeFiles/bench_e7_ablation_potential.dir/bench_e7_ablation_potential.cpp.o"
+  "CMakeFiles/bench_e7_ablation_potential.dir/bench_e7_ablation_potential.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_ablation_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_vs_treepif"
+  "../bench/bench_e8_vs_treepif.pdb"
+  "CMakeFiles/bench_e8_vs_treepif.dir/bench_e8_vs_treepif.cpp.o"
+  "CMakeFiles/bench_e8_vs_treepif.dir/bench_e8_vs_treepif.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_vs_treepif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echo_vs_snap.dir/echo_vs_snap.cpp.o"
+  "CMakeFiles/echo_vs_snap.dir/echo_vs_snap.cpp.o.d"
+  "echo_vs_snap"
+  "echo_vs_snap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echo_vs_snap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

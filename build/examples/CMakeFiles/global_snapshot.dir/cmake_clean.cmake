@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_snapshot.dir/global_snapshot.cpp.o"
+  "CMakeFiles/global_snapshot.dir/global_snapshot.cpp.o.d"
+  "global_snapshot"
+  "global_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_reset.dir/network_reset.cpp.o"
+  "CMakeFiles/network_reset.dir/network_reset.cpp.o.d"
+  "network_reset"
+  "network_reset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

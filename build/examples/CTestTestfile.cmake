@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--n=8")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart_corrupt "/root/repo/build/examples/quickstart" "--n=8" "--corrupt" "--dot")
+set_tests_properties(example_quickstart_corrupt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_network_reset "/root/repo/build/examples/network_reset" "--n=10" "--faults=2")
+set_tests_properties(example_network_reset PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_termination_detection "/root/repo/build/examples/termination_detection" "--n=8" "--work=15")
+set_tests_properties(example_termination_detection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_barrier_sync "/root/repo/build/examples/barrier_sync" "--n=9" "--barriers=4")
+set_tests_properties(example_barrier_sync PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_barrier_sync_corrupt "/root/repo/build/examples/barrier_sync" "--n=9" "--barriers=4" "--corrupt")
+set_tests_properties(example_barrier_sync_corrupt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_global_snapshot "/root/repo/build/examples/global_snapshot" "--n=10" "--rounds=3")
+set_tests_properties(example_global_snapshot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_echo_vs_snap "/root/repo/build/examples/echo_vs_snap" "--n=10" "--trials=5")
+set_tests_properties(example_echo_vs_snap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snappif_analysis.dir/atomicity.cpp.o"
+  "CMakeFiles/snappif_analysis.dir/atomicity.cpp.o.d"
+  "CMakeFiles/snappif_analysis.dir/modelcheck.cpp.o"
+  "CMakeFiles/snappif_analysis.dir/modelcheck.cpp.o.d"
+  "CMakeFiles/snappif_analysis.dir/runners.cpp.o"
+  "CMakeFiles/snappif_analysis.dir/runners.cpp.o.d"
+  "CMakeFiles/snappif_analysis.dir/worstcase.cpp.o"
+  "CMakeFiles/snappif_analysis.dir/worstcase.cpp.o.d"
+  "libsnappif_analysis.a"
+  "libsnappif_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snappif_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

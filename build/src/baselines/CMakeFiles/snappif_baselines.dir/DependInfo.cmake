@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/selfstab_pif.cpp" "src/baselines/CMakeFiles/snappif_baselines.dir/selfstab_pif.cpp.o" "gcc" "src/baselines/CMakeFiles/snappif_baselines.dir/selfstab_pif.cpp.o.d"
+  "/root/repo/src/baselines/tree_pif.cpp" "src/baselines/CMakeFiles/snappif_baselines.dir/tree_pif.cpp.o" "gcc" "src/baselines/CMakeFiles/snappif_baselines.dir/tree_pif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snappif_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/snappif_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snappif_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

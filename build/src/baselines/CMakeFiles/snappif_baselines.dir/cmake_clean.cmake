@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snappif_baselines.dir/selfstab_pif.cpp.o"
+  "CMakeFiles/snappif_baselines.dir/selfstab_pif.cpp.o.d"
+  "CMakeFiles/snappif_baselines.dir/tree_pif.cpp.o"
+  "CMakeFiles/snappif_baselines.dir/tree_pif.cpp.o.d"
+  "libsnappif_baselines.a"
+  "libsnappif_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snappif_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snappif_graph.dir/dot.cpp.o"
+  "CMakeFiles/snappif_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/snappif_graph.dir/generators.cpp.o"
+  "CMakeFiles/snappif_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/snappif_graph.dir/graph.cpp.o"
+  "CMakeFiles/snappif_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/snappif_graph.dir/properties.cpp.o"
+  "CMakeFiles/snappif_graph.dir/properties.cpp.o.d"
+  "libsnappif_graph.a"
+  "libsnappif_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snappif_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

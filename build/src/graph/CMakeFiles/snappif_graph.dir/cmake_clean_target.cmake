@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnappif_graph.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/echo.cpp" "src/mp/CMakeFiles/snappif_mp.dir/echo.cpp.o" "gcc" "src/mp/CMakeFiles/snappif_mp.dir/echo.cpp.o.d"
+  "/root/repo/src/mp/network.cpp" "src/mp/CMakeFiles/snappif_mp.dir/network.cpp.o" "gcc" "src/mp/CMakeFiles/snappif_mp.dir/network.cpp.o.d"
+  "/root/repo/src/mp/repeated_pif.cpp" "src/mp/CMakeFiles/snappif_mp.dir/repeated_pif.cpp.o" "gcc" "src/mp/CMakeFiles/snappif_mp.dir/repeated_pif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snappif_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/snappif_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snappif_mp.dir/echo.cpp.o"
+  "CMakeFiles/snappif_mp.dir/echo.cpp.o.d"
+  "CMakeFiles/snappif_mp.dir/network.cpp.o"
+  "CMakeFiles/snappif_mp.dir/network.cpp.o.d"
+  "CMakeFiles/snappif_mp.dir/repeated_pif.cpp.o"
+  "CMakeFiles/snappif_mp.dir/repeated_pif.cpp.o.d"
+  "libsnappif_mp.a"
+  "libsnappif_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snappif_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

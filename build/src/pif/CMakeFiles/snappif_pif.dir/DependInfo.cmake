@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pif/checker.cpp" "src/pif/CMakeFiles/snappif_pif.dir/checker.cpp.o" "gcc" "src/pif/CMakeFiles/snappif_pif.dir/checker.cpp.o.d"
+  "/root/repo/src/pif/faults.cpp" "src/pif/CMakeFiles/snappif_pif.dir/faults.cpp.o" "gcc" "src/pif/CMakeFiles/snappif_pif.dir/faults.cpp.o.d"
+  "/root/repo/src/pif/ghost.cpp" "src/pif/CMakeFiles/snappif_pif.dir/ghost.cpp.o" "gcc" "src/pif/CMakeFiles/snappif_pif.dir/ghost.cpp.o.d"
+  "/root/repo/src/pif/multi.cpp" "src/pif/CMakeFiles/snappif_pif.dir/multi.cpp.o" "gcc" "src/pif/CMakeFiles/snappif_pif.dir/multi.cpp.o.d"
+  "/root/repo/src/pif/protocol.cpp" "src/pif/CMakeFiles/snappif_pif.dir/protocol.cpp.o" "gcc" "src/pif/CMakeFiles/snappif_pif.dir/protocol.cpp.o.d"
+  "/root/repo/src/pif/serialize.cpp" "src/pif/CMakeFiles/snappif_pif.dir/serialize.cpp.o" "gcc" "src/pif/CMakeFiles/snappif_pif.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snappif_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/snappif_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snappif_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snappif_pif.dir/checker.cpp.o"
+  "CMakeFiles/snappif_pif.dir/checker.cpp.o.d"
+  "CMakeFiles/snappif_pif.dir/faults.cpp.o"
+  "CMakeFiles/snappif_pif.dir/faults.cpp.o.d"
+  "CMakeFiles/snappif_pif.dir/ghost.cpp.o"
+  "CMakeFiles/snappif_pif.dir/ghost.cpp.o.d"
+  "CMakeFiles/snappif_pif.dir/multi.cpp.o"
+  "CMakeFiles/snappif_pif.dir/multi.cpp.o.d"
+  "CMakeFiles/snappif_pif.dir/protocol.cpp.o"
+  "CMakeFiles/snappif_pif.dir/protocol.cpp.o.d"
+  "CMakeFiles/snappif_pif.dir/serialize.cpp.o"
+  "CMakeFiles/snappif_pif.dir/serialize.cpp.o.d"
+  "libsnappif_pif.a"
+  "libsnappif_pif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snappif_pif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

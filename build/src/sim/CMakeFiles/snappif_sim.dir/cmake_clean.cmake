@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snappif_sim.dir/daemon.cpp.o"
+  "CMakeFiles/snappif_sim.dir/daemon.cpp.o.d"
+  "CMakeFiles/snappif_sim.dir/rounds.cpp.o"
+  "CMakeFiles/snappif_sim.dir/rounds.cpp.o.d"
+  "CMakeFiles/snappif_sim.dir/trace.cpp.o"
+  "CMakeFiles/snappif_sim.dir/trace.cpp.o.d"
+  "libsnappif_sim.a"
+  "libsnappif_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snappif_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

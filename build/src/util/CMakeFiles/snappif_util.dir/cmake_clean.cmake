@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snappif_util.dir/cli.cpp.o"
+  "CMakeFiles/snappif_util.dir/cli.cpp.o.d"
+  "CMakeFiles/snappif_util.dir/log.cpp.o"
+  "CMakeFiles/snappif_util.dir/log.cpp.o.d"
+  "CMakeFiles/snappif_util.dir/rng.cpp.o"
+  "CMakeFiles/snappif_util.dir/rng.cpp.o.d"
+  "CMakeFiles/snappif_util.dir/stats.cpp.o"
+  "CMakeFiles/snappif_util.dir/stats.cpp.o.d"
+  "CMakeFiles/snappif_util.dir/table.cpp.o"
+  "CMakeFiles/snappif_util.dir/table.cpp.o.d"
+  "libsnappif_util.a"
+  "libsnappif_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snappif_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_action_counts.dir/pif/test_action_counts.cpp.o"
+  "CMakeFiles/test_action_counts.dir/pif/test_action_counts.cpp.o.d"
+  "test_action_counts"
+  "test_action_counts.pdb"
+  "test_action_counts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_action_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

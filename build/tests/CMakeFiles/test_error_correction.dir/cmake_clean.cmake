@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_correction.dir/pif/test_error_correction.cpp.o"
+  "CMakeFiles/test_error_correction.dir/pif/test_error_correction.cpp.o.d"
+  "test_error_correction"
+  "test_error_correction.pdb"
+  "test_error_correction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

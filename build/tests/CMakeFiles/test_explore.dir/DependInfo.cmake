@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_explore.cpp" "tests/CMakeFiles/test_explore.dir/analysis/test_explore.cpp.o" "gcc" "tests/CMakeFiles/test_explore.dir/analysis/test_explore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snappif_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/snappif_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snappif_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/snappif_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pif/CMakeFiles/snappif_pif.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/snappif_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/snappif_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extra_topologies.dir/pif/test_extra_topologies.cpp.o"
+  "CMakeFiles/test_extra_topologies.dir/pif/test_extra_topologies.cpp.o.d"
+  "test_extra_topologies"
+  "test_extra_topologies.pdb"
+  "test_extra_topologies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extra_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ghost.dir/pif/test_ghost.cpp.o"
+  "CMakeFiles/test_ghost.dir/pif/test_ghost.cpp.o.d"
+  "test_ghost"
+  "test_ghost.pdb"
+  "test_ghost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ghost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_evolution.dir/pif/test_golden_evolution.cpp.o"
+  "CMakeFiles/test_golden_evolution.dir/pif/test_golden_evolution.cpp.o.d"
+  "test_golden_evolution"
+  "test_golden_evolution.pdb"
+  "test_golden_evolution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

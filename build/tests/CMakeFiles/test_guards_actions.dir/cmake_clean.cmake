@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guards_actions.dir/pif/test_guards_actions.cpp.o"
+  "CMakeFiles/test_guards_actions.dir/pif/test_guards_actions.cpp.o.d"
+  "test_guards_actions"
+  "test_guards_actions.pdb"
+  "test_guards_actions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guards_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modelcheck_units.dir/analysis/test_modelcheck_units.cpp.o"
+  "CMakeFiles/test_modelcheck_units.dir/analysis/test_modelcheck_units.cpp.o.d"
+  "test_modelcheck_units"
+  "test_modelcheck_units.pdb"
+  "test_modelcheck_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modelcheck_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp_echo.dir/mp/test_echo.cpp.o"
+  "CMakeFiles/test_mp_echo.dir/mp/test_echo.cpp.o.d"
+  "test_mp_echo"
+  "test_mp_echo.pdb"
+  "test_mp_echo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

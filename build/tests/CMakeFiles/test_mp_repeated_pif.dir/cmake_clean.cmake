@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp_repeated_pif.dir/mp/test_repeated_pif.cpp.o"
+  "CMakeFiles/test_mp_repeated_pif.dir/mp/test_repeated_pif.cpp.o.d"
+  "test_mp_repeated_pif"
+  "test_mp_repeated_pif.pdb"
+  "test_mp_repeated_pif[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp_repeated_pif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

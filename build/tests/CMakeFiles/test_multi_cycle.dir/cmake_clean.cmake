@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_cycle.dir/pif/test_multi_cycle.cpp.o"
+  "CMakeFiles/test_multi_cycle.dir/pif/test_multi_cycle.cpp.o.d"
+  "test_multi_cycle"
+  "test_multi_cycle.pdb"
+  "test_multi_cycle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonzero_root.dir/pif/test_nonzero_root.cpp.o"
+  "CMakeFiles/test_nonzero_root.dir/pif/test_nonzero_root.cpp.o.d"
+  "test_nonzero_root"
+  "test_nonzero_root.pdb"
+  "test_nonzero_root[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonzero_root.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

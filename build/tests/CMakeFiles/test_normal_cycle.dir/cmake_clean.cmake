@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_normal_cycle.dir/pif/test_normal_cycle.cpp.o"
+  "CMakeFiles/test_normal_cycle.dir/pif/test_normal_cycle.cpp.o.d"
+  "test_normal_cycle"
+  "test_normal_cycle.pdb"
+  "test_normal_cycle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_normal_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_params_domains.dir/pif/test_params_domains.cpp.o"
+  "CMakeFiles/test_params_domains.dir/pif/test_params_domains.cpp.o.d"
+  "test_params_domains"
+  "test_params_domains.pdb"
+  "test_params_domains[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_params_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predicate_corrections.dir/pif/test_predicate_corrections.cpp.o"
+  "CMakeFiles/test_predicate_corrections.dir/pif/test_predicate_corrections.cpp.o.d"
+  "test_predicate_corrections"
+  "test_predicate_corrections.pdb"
+  "test_predicate_corrections[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predicate_corrections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_concept.dir/sim/test_protocol_concept.cpp.o"
+  "CMakeFiles/test_protocol_concept.dir/sim/test_protocol_concept.cpp.o.d"
+  "test_protocol_concept"
+  "test_protocol_concept.pdb"
+  "test_protocol_concept[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_concept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

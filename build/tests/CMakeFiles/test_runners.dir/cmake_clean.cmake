@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runners.dir/analysis/test_runners.cpp.o"
+  "CMakeFiles/test_runners.dir/analysis/test_runners.cpp.o.d"
+  "test_runners"
+  "test_runners.pdb"
+  "test_runners[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_section4_lemmas.dir/pif/test_section4_lemmas.cpp.o"
+  "CMakeFiles/test_section4_lemmas.dir/pif/test_section4_lemmas.cpp.o.d"
+  "test_section4_lemmas"
+  "test_section4_lemmas.pdb"
+  "test_section4_lemmas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_section4_lemmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selfstab_pif.dir/baselines/test_selfstab_pif.cpp.o"
+  "CMakeFiles/test_selfstab_pif.dir/baselines/test_selfstab_pif.cpp.o.d"
+  "test_selfstab_pif"
+  "test_selfstab_pif.pdb"
+  "test_selfstab_pif[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selfstab_pif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

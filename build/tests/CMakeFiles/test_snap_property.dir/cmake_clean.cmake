@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snap_property.dir/pif/test_snap_property.cpp.o"
+  "CMakeFiles/test_snap_property.dir/pif/test_snap_property.cpp.o.d"
+  "test_snap_property"
+  "test_snap_property.pdb"
+  "test_snap_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snap_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stress_large.dir/pif/test_stress_large.cpp.o"
+  "CMakeFiles/test_stress_large.dir/pif/test_stress_large.cpp.o.d"
+  "test_stress_large"
+  "test_stress_large.pdb"
+  "test_stress_large[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stress_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_extraction.dir/pif/test_tree_extraction.cpp.o"
+  "CMakeFiles/test_tree_extraction.dir/pif/test_tree_extraction.cpp.o.d"
+  "test_tree_extraction"
+  "test_tree_extraction.pdb"
+  "test_tree_extraction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_pif.dir/baselines/test_tree_pif.cpp.o"
+  "CMakeFiles/test_tree_pif.dir/baselines/test_tree_pif.cpp.o.d"
+  "test_tree_pif"
+  "test_tree_pif.pdb"
+  "test_tree_pif[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_pif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

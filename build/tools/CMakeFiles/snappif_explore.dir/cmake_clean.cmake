@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snappif_explore.dir/snappif_explore.cpp.o"
+  "CMakeFiles/snappif_explore.dir/snappif_explore.cpp.o.d"
+  "snappif_explore"
+  "snappif_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snappif_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

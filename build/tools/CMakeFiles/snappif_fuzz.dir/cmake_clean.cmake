@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snappif_fuzz.dir/snappif_fuzz.cpp.o"
+  "CMakeFiles/snappif_fuzz.dir/snappif_fuzz.cpp.o.d"
+  "snappif_fuzz"
+  "snappif_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snappif_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_fuzz_smoke "/root/repo/build/tools/snappif_fuzz" "--iterations=50" "--max-n=12")
+set_tests_properties(tool_fuzz_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_explore_smoke "/root/repo/build/tools/snappif_explore" "--topology=path2" "--liveness")
+set_tests_properties(tool_explore_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_explore_finds_literal_deadlock "/root/repo/build/tools/snappif_explore" "--topology=path3" "--literal-prepotential")
+set_tests_properties(tool_explore_finds_literal_deadlock PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
