@@ -9,6 +9,7 @@
 
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -38,5 +39,13 @@ inline void print_table(const util::Table& table) {
 /// Default topology sweep sizes (kept modest so `for b in bench/*` finishes
 /// in seconds; the tables still show the scaling shape).
 inline std::vector<graph::NodeId> sweep_sizes() { return {8, 16, 32, 64}; }
+
+/// Prints a metrics-registry snapshot under a one-line caption: the hook
+/// benches use to surface per-phase/per-round telemetry next to their main
+/// table.  Honors --csv like print_table.
+inline void print_registry(const char* caption, const obs::Registry& registry) {
+  std::printf("%s\n", caption);
+  print_table(registry.summary_table());
+}
 
 }  // namespace snappif::bench

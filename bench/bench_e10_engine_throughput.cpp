@@ -6,14 +6,20 @@
 
 #include "analysis/runners.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
 #include "pif/checker.hpp"
 #include "pif/faults.hpp"
+#include "pif/instrument.hpp"
 #include "pif/protocol.hpp"
 #include "sim/simulator.hpp"
 
 namespace snappif {
 namespace {
 
+// BM_SynchronousStep is the no-probe baseline: with nothing attached the
+// engine pays exactly one probes_.empty() check per step, so this number
+// must not regress when observability code changes.  Compare against
+// BM_SynchronousStepWithMetricsProbe below for the attached cost.
 void BM_SynchronousStep(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
   const auto g = graph::make_random_connected(n, 2 * n, 42);
@@ -34,6 +40,32 @@ void BM_SynchronousStep(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SynchronousStep)->Arg(16)->Arg(64)->Arg(256);
+
+// Same workload with the full telemetry stack (registry + PIF metrics
+// probe) attached: the before/after pair quantifies observation overhead.
+void BM_SynchronousStepWithMetricsProbe(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto g = graph::make_random_connected(n, 2 * n, 42);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  sim::Simulator<pif::PifProtocol> sim(protocol, g, 1);
+  obs::Registry registry;
+  pif::PifMetricsProbe probe(protocol, registry);
+  sim.add_probe(&probe);
+  sim::SynchronousDaemon daemon;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    if (!sim.step(daemon)) {
+      state.PauseTiming();
+      sim.reset_to_initial();
+      state.ResumeTiming();
+    }
+    ++steps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps) * n);
+  state.counters["steps/s"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SynchronousStepWithMetricsProbe)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_CentralStep(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));

@@ -5,6 +5,9 @@
 #include "bench_common.hpp"
 
 #include "analysis/runners.hpp"
+#include "obs/metrics.hpp"
+#include "pif/instrument.hpp"
+#include "sim/simulator.hpp"
 #include "util/stats.hpp"
 
 namespace snappif {
@@ -79,6 +82,37 @@ void run() {
                     util::fmt(bound), util::fmt_bool(max_h <= bound)});
   }
   bench::print_table(remark);
+
+  // Third table: per-phase-round telemetry from the metrics registry
+  // (obs::Registry + pif::PifMetricsProbe) over 4 cycles per family — where
+  // the 5h + 5 budget is actually spent, phase by phase.
+  util::Table phases({"topology", "N", "cycles", "rounds root=B",
+                      "rounds root=F", "rounds root=C", "mean #B", "mean #F",
+                      "mean #C", "fok wave rnds", "par changes"});
+  for (const auto& named : graph::standard_suite(16, 3016)) {
+    pif::PifProtocol protocol(named.graph,
+                              pif::Params::for_graph(named.graph));
+    sim::Simulator<pif::PifProtocol> sim(protocol, named.graph, 29);
+    obs::Registry registry;
+    pif::PifMetricsProbe probe(protocol, registry);
+    sim.add_probe(&probe);
+    sim::SynchronousDaemon daemon;
+    while (probe.cycles_closed() < 4 && sim.step(daemon)) {
+    }
+    const auto& fok = registry.stats("pif.fok_wave_rounds");
+    phases.add_row(
+        {named.name, util::fmt(named.graph.n()),
+         util::fmt(probe.cycles_closed()),
+         util::fmt(registry.counter("pif.rounds_root_b").value()),
+         util::fmt(registry.counter("pif.rounds_root_f").value()),
+         util::fmt(registry.counter("pif.rounds_root_c").value()),
+         util::fmt(registry.stats("pif.round.occupancy_b").mean()),
+         util::fmt(registry.stats("pif.round.occupancy_f").mean()),
+         util::fmt(registry.stats("pif.round.occupancy_c").mean()),
+         fok.empty() ? std::string("-") : util::fmt(fok.mean()),
+         util::fmt(registry.counter("pif.par_changes").value())});
+  }
+  bench::print_table(phases);
 }
 
 }  // namespace

@@ -270,4 +270,68 @@ std::vector<NamedGraph> tiny_suite() {
   return suite;
 }
 
+std::optional<Graph> make_by_name(std::string_view name, NodeId n,
+                                  std::uint64_t seed) {
+  if (name == "line" || name == "path") {
+    return make_path(n);
+  }
+  if (name == "ring" || name == "cycle") {
+    return make_cycle(std::max<NodeId>(3, n));
+  }
+  if (name == "star") {
+    return make_star(std::max<NodeId>(2, n));
+  }
+  if (name == "complete") {
+    return make_complete(n);
+  }
+  if (name == "grid") {
+    NodeId rows = 2;
+    while ((rows + 1) * (rows + 1) <= n) {
+      ++rows;
+    }
+    return make_grid(rows, std::max<NodeId>(2, n / rows));
+  }
+  if (name == "torus") {
+    NodeId rows = 3;
+    while ((rows + 1) * (rows + 1) <= n) {
+      ++rows;
+    }
+    return make_torus(rows, std::max<NodeId>(3, n / rows));
+  }
+  if (name == "bintree" || name == "tree") {
+    return make_binary_tree(n);
+  }
+  if (name == "hypercube") {
+    unsigned d = 1;
+    while ((NodeId{1} << (d + 1)) <= n && d < 20) {
+      ++d;
+    }
+    return make_hypercube(d);
+  }
+  if (name == "wheel") {
+    return make_wheel(std::max<NodeId>(4, n));
+  }
+  if (name == "lollipop") {
+    const NodeId k = std::max<NodeId>(3, n / 2);
+    return make_lollipop(k, n > k ? n - k : 1);
+  }
+  if (name == "caterpillar") {
+    const NodeId spine = std::max<NodeId>(1, n / 3);
+    const NodeId legs = std::max<NodeId>(1, (n - spine) / spine);
+    return make_caterpillar(spine, legs);
+  }
+  if (name == "random") {
+    return make_random_connected(n, n, seed);
+  }
+  if (name == "random-tree") {
+    return make_random_tree(n, seed);
+  }
+  return std::nullopt;
+}
+
+std::string_view topology_names() {
+  return "line, ring, star, complete, grid, torus, bintree, hypercube, wheel, "
+         "lollipop, caterpillar, random, random-tree";
+}
+
 }  // namespace snappif::graph

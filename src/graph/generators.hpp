@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -60,5 +62,15 @@ struct NamedGraph {
 
 /// Small graphs (n <= 5) for exhaustive model checking.
 [[nodiscard]] std::vector<NamedGraph> tiny_suite();
+
+/// Builds a topology from a family name and target size — the CLI-facing
+/// factory ("line", "ring", "star", "complete", "grid", "torus", "bintree",
+/// "hypercube", "wheel", "lollipop", "caterpillar", "random", "random-tree").
+/// `seed` only affects the random families.  Returns nullopt for unknown
+/// names; size constraints of the family are asserted.
+[[nodiscard]] std::optional<Graph> make_by_name(std::string_view name, NodeId n,
+                                                std::uint64_t seed);
+/// Comma-separated list of the family names make_by_name accepts.
+[[nodiscard]] std::string_view topology_names();
 
 }  // namespace snappif::graph

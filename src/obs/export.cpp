@@ -1,0 +1,122 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "util/log.hpp"
+
+namespace snappif::obs {
+
+TraceEvent&& TraceEvent::arg(std::string_view key, double value) && {
+  args.emplace_back(std::string(key), json_number(value));
+  return std::move(*this);
+}
+
+TraceEvent&& TraceEvent::arg(std::string_view key, std::uint64_t value) && {
+  args.emplace_back(std::string(key), json_number(static_cast<double>(value)));
+  return std::move(*this);
+}
+
+TraceEvent&& TraceEvent::arg(std::string_view key, std::string_view value) && {
+  args.emplace_back(std::string(key), '"' + json_escape(value) + '"');
+  return std::move(*this);
+}
+
+EventLog::EventLog(std::size_t max_events) : max_events_(max_events) {}
+
+void EventLog::emit(TraceEvent event) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void EventLog::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string event_json(const TraceEvent& event) {
+  std::string out = "{\"name\":\"";
+  out += json_escape(event.name);
+  out += "\",\"cat\":\"";
+  out += json_escape(event.cat);
+  out += "\",\"ph\":\"";
+  out += json_escape(std::string_view(&event.ph, 1));
+  out += "\",\"ts\":";
+  out += json_number(static_cast<double>(event.ts));
+  if (event.ph == 'X') {
+    out += ",\"dur\":";
+    out += json_number(static_cast<double>(event.dur));
+  }
+  out += ",\"pid\":0,\"tid\":";
+  out += json_number(static_cast<double>(event.tid));
+  if (!event.args.empty()) {
+    out += ",\"args\":{";
+    bool first = true;
+    for (const auto& [key, value] : event.args) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"';
+      out += json_escape(key);
+      out += "\":";
+      out += value;
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+std::string EventLog::render_jsonl() const {
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    out += event_json(event);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string EventLog::render_chrome_trace() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events_) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += event_json(event);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+namespace {
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    SNAPPIF_LOG_ERROR("cannot open %s for writing", path.c_str());
+    return false;
+  }
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  const bool ok = written == content.size() && closed;
+  if (!ok) {
+    SNAPPIF_LOG_ERROR("short write to %s", path.c_str());
+  }
+  return ok;
+}
+}  // namespace
+
+bool EventLog::write_jsonl(const std::string& path) const {
+  return write_file(path, render_jsonl());
+}
+
+bool EventLog::write_chrome_trace(const std::string& path) const {
+  return write_file(path, render_chrome_trace());
+}
+
+}  // namespace snappif::obs

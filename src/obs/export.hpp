@@ -1,0 +1,77 @@
+// Trace-event log and exporters.
+//
+// An EventLog collects structured events during a run and serializes them in
+// two formats:
+//   * JSONL — one JSON object per line; trivially greppable/jq-able;
+//   * Chrome trace_event JSON — loadable in about:tracing / Perfetto.
+//
+// Timestamps are *logical*: the exporters map one simulation step to one
+// microsecond so the about:tracing ruler reads directly in steps.  Counter
+// events ("C" phase) render the per-round phase-occupancy stack charts;
+// instant events ("i") mark actions and milestones; duration events
+// ("B"/"E") bracket PIF cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snappif::obs {
+
+/// One structured event (a pragmatic subset of the Chrome trace_event
+/// format's fields).
+struct TraceEvent {
+  std::string name;
+  std::string cat = "sim";
+  char ph = 'i';          // 'i' instant, 'C' counter, 'B'/'E' begin/end, 'X' complete
+  std::uint64_t ts = 0;   // logical timestamp (simulation step)
+  std::uint64_t dur = 0;  // for 'X' only
+  std::uint32_t tid = 0;  // processor id (0 for global events)
+  /// Key/value payload; values are JSON fragments produced by the arg()
+  /// helpers so both numbers and strings round-trip correctly.
+  std::vector<std::pair<std::string, std::string>> args;
+
+  TraceEvent() = default;
+  TraceEvent(std::string name_, char ph_, std::uint64_t ts_)
+      : name(std::move(name_)), ph(ph_), ts(ts_) {}
+
+  TraceEvent&& arg(std::string_view key, double value) &&;
+  TraceEvent&& arg(std::string_view key, std::uint64_t value) &&;
+  TraceEvent&& arg(std::string_view key, std::string_view value) &&;
+};
+
+/// Bounded in-memory event collector.  When the bound is hit, further events
+/// are dropped and counted (never silently).
+class EventLog {
+ public:
+  explicit EventLog(std::size_t max_events = 1 << 20);
+
+  void emit(TraceEvent event);
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  void clear();
+
+  /// One JSON object per line.
+  [[nodiscard]] std::string render_jsonl() const;
+  /// Chrome trace_event file: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  [[nodiscard]] std::string render_chrome_trace() const;
+
+  /// Writes the given rendering to `path`; false (with a log line) on I/O
+  /// failure.
+  [[nodiscard]] bool write_jsonl(const std::string& path) const;
+  [[nodiscard]] bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  std::size_t max_events_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Serializes one event as a JSON object (shared by both renderers).
+[[nodiscard]] std::string event_json(const TraceEvent& event);
+
+}  // namespace snappif::obs

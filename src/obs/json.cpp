@@ -1,0 +1,266 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace snappif::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  // Integers up to 2^53 print exactly without a fraction; everything else
+  // gets shortest-round-trip-ish %.17g trimmed of trailing noise.
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser that only answers "well-formed?".
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : s_(text) {}
+
+  [[nodiscard]] bool run() {
+    skip_ws();
+    if (!value(0)) {
+      return false;
+    }
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+  char take() { return s_[pos_++]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) {
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  [[nodiscard]] bool value(int depth) {
+    if (eof() || depth > kMaxDepth) {
+      return false;
+    }
+    switch (peek()) {
+      case '{':
+        return object(depth + 1);
+      case '[':
+        return array(depth + 1);
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  [[nodiscard]] bool object(int depth) {
+    take();  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      take();
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"' || !string()) {
+        return false;
+      }
+      skip_ws();
+      if (eof() || take() != ':') {
+        return false;
+      }
+      skip_ws();
+      if (!value(depth)) {
+        return false;
+      }
+      skip_ws();
+      if (eof()) {
+        return false;
+      }
+      const char c = take();
+      if (c == '}') {
+        return true;
+      }
+      if (c != ',') {
+        return false;
+      }
+    }
+  }
+
+  [[nodiscard]] bool array(int depth) {
+    take();  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      take();
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value(depth)) {
+        return false;
+      }
+      skip_ws();
+      if (eof()) {
+        return false;
+      }
+      const char c = take();
+      if (c == ']') {
+        return true;
+      }
+      if (c != ',') {
+        return false;
+      }
+    }
+  }
+
+  [[nodiscard]] bool string() {
+    take();  // '"'
+    while (!eof()) {
+      const char c = take();
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character
+      }
+      if (c == '\\') {
+        if (eof()) {
+          return false;
+        }
+        const char e = take();
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(take()))) {
+              return false;
+            }
+          }
+        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  [[nodiscard]] bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return false;
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool number() {
+    if (!eof() && peek() == '-') {
+      ++pos_;
+    }
+    if (eof()) {
+      return false;
+    }
+    if (peek() == '0') {
+      ++pos_;  // leading zero must stand alone
+    } else if (!digits()) {
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digits()) {
+        return false;
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) {
+        ++pos_;
+      }
+      if (!digits()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) { return Validator(text).run(); }
+
+}  // namespace snappif::obs

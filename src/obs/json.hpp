@@ -1,0 +1,27 @@
+// Minimal JSON utilities for the observability exporters.
+//
+// The exporters emit JSON by direct string building (no external dependency);
+// this header supplies the two pieces that are easy to get subtly wrong —
+// string escaping and number formatting — plus a strict well-formedness
+// validator used by the format tests (RFC 8259 grammar, no extensions).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace snappif::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).  Control characters become \u00XX.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Formats a double as a JSON value.  NaN and infinities are not
+/// representable in JSON; they are emitted as null.
+[[nodiscard]] std::string json_number(double value);
+
+/// Strict well-formedness check: true iff `text` is exactly one valid JSON
+/// value (with optional surrounding whitespace).  Used by unit tests to
+/// validate the JSONL and Chrome trace output.
+[[nodiscard]] bool json_valid(std::string_view text);
+
+}  // namespace snappif::obs

@@ -1,0 +1,144 @@
+#include "obs/metrics.hpp"
+
+#include "obs/json.hpp"
+
+namespace snappif::obs {
+
+Counter& Registry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    return it->second;
+  }
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    return it->second;
+  }
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+util::OnlineStats& Registry::stats(std::string_view name) {
+  const auto it = stats_.find(name);
+  if (it != stats_.end()) {
+    return it->second;
+  }
+  return stats_.try_emplace(std::string(name)).first->second;
+}
+
+util::Histogram& Registry::histogram(std::string_view name,
+                                     std::size_t bucket_count,
+                                     double bucket_width) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return it->second;
+  }
+  return histograms_
+      .try_emplace(std::string(name), bucket_count, bucket_width)
+      .first->second;
+}
+
+util::Table Registry::summary_table() const {
+  util::Table table({"metric", "kind", "count", "value/mean", "min", "max"});
+  for (const auto& [name, c] : counters_) {
+    table.add_row({name, "counter", "", util::fmt(c.value()), "", ""});
+  }
+  for (const auto& [name, g] : gauges_) {
+    table.add_row({name, "gauge", "", util::fmt(g.value()), "", ""});
+  }
+  for (const auto& [name, s] : stats_) {
+    if (s.empty()) {
+      table.add_row({name, "stats", "0", "", "", ""});
+      continue;
+    }
+    table.add_row({name, "stats", util::fmt(s.count()), util::fmt(s.mean()),
+                   util::fmt(s.min()), util::fmt(s.max())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    table.add_row({name, "histogram", util::fmt(h.total()), "", "", ""});
+  }
+  return table;
+}
+
+std::string Registry::json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":";
+    out += json_number(static_cast<double>(c.value()));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":";
+    out += json_number(g.value());
+  }
+  out += "},\"stats\":{";
+  first = true;
+  for (const auto& [name, s] : stats_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":{\"count\":";
+    out += json_number(static_cast<double>(s.count()));
+    out += ",\"mean\":";
+    out += json_number(s.empty() ? 0.0 : s.mean());
+    out += ",\"min\":";
+    out += json_number(s.empty() ? 0.0 : s.min());
+    out += ",\"max\":";
+    out += json_number(s.empty() ? 0.0 : s.max());
+    out += ",\"stddev\":";
+    out += json_number(s.stddev());
+    out += '}';
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":{\"total\":";
+    out += json_number(static_cast<double>(h.total()));
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+      if (h.bucket(i) == 0) {
+        continue;  // sparse: empty buckets omitted
+      }
+      if (!first_bucket) {
+        out += ',';
+      }
+      first_bucket = false;
+      out += "{\"lo\":";
+      out += json_number(h.bucket_lo(i));
+      out += ",\"count\":";
+      out += json_number(static_cast<double>(h.bucket(i)));
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace snappif::obs

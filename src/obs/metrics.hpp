@@ -1,0 +1,117 @@
+// Metrics registry: named counters, gauges, online statistics, and
+// histograms for run telemetry.
+//
+// Design constraints (see src/obs/README.md):
+//   * zero cost when unused — nothing in this header is touched by the
+//     simulator unless a probe that owns a Registry is attached;
+//   * stable handles — counter()/gauge()/stats()/histogram() return
+//     references that remain valid for the registry's lifetime (node-based
+//     map), so hot loops resolve a name once and then bump a plain integer;
+//   * everything is exportable — summary_table() renders the paper-style
+//     ASCII table, json() a machine-readable snapshot.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace snappif::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Registry {
+ public:
+  /// Finds or creates the named instrument.  References stay valid for the
+  /// registry's lifetime.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] util::OnlineStats& stats(std::string_view name);
+  /// Bucket shape is fixed at first creation; later lookups of the same name
+  /// ignore the shape arguments.
+  [[nodiscard]] util::Histogram& histogram(std::string_view name,
+                                           std::size_t bucket_count = 32,
+                                           double bucket_width = 1.0);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && stats_.empty() &&
+           histograms_.empty();
+  }
+
+  /// All instruments as one "metric | kind | value ..." table, sorted by
+  /// name (maps iterate in order).
+  [[nodiscard]] util::Table summary_table() const;
+
+  /// JSON snapshot:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "stats":{name:{count,mean,min,max,stddev}},
+  ///    "histograms":{name:{total,buckets:[{lo,count},...]}}}
+  [[nodiscard]] std::string json() const;
+
+  /// Read-only iteration (exporters, tests).
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters()
+      const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges()
+      const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, util::OnlineStats, std::less<>>&
+  all_stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const std::map<std::string, util::Histogram, std::less<>>&
+  histograms() const noexcept {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, util::OnlineStats, std::less<>> stats_;
+  std::map<std::string, util::Histogram, std::less<>> histograms_;
+};
+
+/// RAII wall-clock timer feeding an OnlineStats sink in seconds:
+///   { ScopedTimer t(registry.stats("phase.broadcast_s")); ...work... }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(util::OnlineStats& sink) noexcept
+      : sink_(&sink), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    sink_->add(std::chrono::duration<double>(elapsed).count());
+  }
+
+ private:
+  util::OnlineStats* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace snappif::obs

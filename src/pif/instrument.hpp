@@ -1,8 +1,34 @@
-// Glue: attach a GhostTracker to a running Simulator<PifProtocol>.
+// PIF-specific observability.
+//
+// Two layers:
+//   * attach(): wires a GhostTracker (specification checking, Definition 2)
+//     into a simulator as an owned probe — unchanged public API.
+//   * PifMetricsProbe: derives the run-time quantities the paper's proofs
+//     reason about and feeds them into an obs::Registry (and optionally an
+//     obs::EventLog for timeline export):
+//       - per-round phase occupancy (#B / #F / #C, #Fok raised)  — the Pif
+//         variable distribution Theorems 1-4 argue over;
+//       - Count_r progress — the counting wave (Count_r = N gates the root's
+//         Fok; see GoodCount / the counting lemmas of Section 4);
+//       - Fok-wave latency — rounds from the root's B-action until Fok_r
+//         rises, and the feedback tail until the root's F-action closes the
+//         cycle (Theorem 4's 5h + 5 budget);
+//       - broadcast-tree churn — Par rewrites per round (tree formation and
+//         abnormal-tree digestion);
+//       - correction totals — B-/F-correction executions (Theorems 1-3 bound
+//         when these can still fire).
+// See src/obs/README.md for the metric naming scheme.
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "pif/ghost.hpp"
 #include "pif/protocol.hpp"
+#include "sim/probe.hpp"
 #include "sim/simulator.hpp"
 
 namespace snappif::pif {
@@ -18,5 +44,194 @@ inline void attach(sim::Simulator<PifProtocol>& sim, GhostTracker& tracker) {
     tracker.on_apply(p, a, after);
   });
 }
+
+/// Registry- and event-backed telemetry for Simulator<PifProtocol> runs.
+/// Attach with sim.add_probe(&probe); detach with sim.remove_probe(&probe).
+/// The probe must outlive its attachment.
+class PifMetricsProbe final : public sim::IProbe<PifProtocol> {
+ public:
+  using Config = sim::Configuration<State>;
+
+  /// One completed round's derived quantities.
+  struct RoundSample {
+    std::uint64_t round = 0;        // 1-based completed-round index
+    std::uint64_t step = 0;         // step that completed the round
+    std::uint32_t in_b = 0;         // processors with Pif = B
+    std::uint32_t in_f = 0;         // processors with Pif = F
+    std::uint32_t in_c = 0;         // processors with Pif = C
+    std::uint32_t fok_raised = 0;   // processors with Fok = true
+    std::uint64_t count_root = 0;   // Count_r
+    std::uint64_t par_changes = 0;  // Par rewrites during this round
+    std::uint64_t corrections = 0;  // correction actions during this round
+  };
+
+  PifMetricsProbe(const PifProtocol& protocol, obs::Registry& registry,
+                  obs::EventLog* events = nullptr)
+      : protocol_(&protocol), reg_(&registry), events_(events) {
+    for (sim::ActionId a = 0; a < kNumActions; ++a) {
+      action_counters_[a] = &reg_->counter(
+          std::string("pif.action.") + std::string(action_label(a)));
+    }
+  }
+
+  [[nodiscard]] const std::vector<RoundSample>& round_samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::uint64_t cycles_closed() const noexcept {
+    return cycles_closed_;
+  }
+
+  void on_attach(const Config& config) override {
+    prev_root_fok_ = config.state(protocol_->root()).fok;
+    round_par_changes_ = 0;
+    round_corrections_ = 0;
+    cycle_open_ = false;
+  }
+
+  void on_step_begin(const sim::StepEvent& ev, const Config& /*config*/) override {
+    cur_step_ = ev.step;
+    cur_rounds_ = ev.rounds_before;
+    reg_->stats("sim.step.selected").add(static_cast<double>(ev.selected.size()));
+    reg_->stats("sim.step.enabled").add(static_cast<double>(ev.enabled_before));
+  }
+
+  void on_apply(sim::ProcessorId p, sim::ActionId a, const Config& before,
+                const State& after) override {
+    if (a < kNumActions) {
+      action_counters_[a]->inc();
+    }
+    if (after.parent != before.state(p).parent) {
+      ++round_par_changes_;
+      reg_->counter("pif.par_changes").inc();
+    }
+    if (a == kBCorrection || a == kFCorrection) {
+      ++round_corrections_;
+      reg_->counter("pif.corrections").inc();
+      if (events_ != nullptr) {
+        obs::TraceEvent e("pif.correction", 'i', cur_step_);
+        e.tid = p;
+        events_->emit(std::move(e).arg("action", action_label(a)));
+      }
+    }
+    if (p == protocol_->root()) {
+      on_root_action(a);
+    }
+  }
+
+  void on_step_end(const sim::StepEvent& ev, const Config& config) override {
+    // Detect the Fok wave reaching the root (Fok_r rising edge).
+    const bool root_fok = config.state(protocol_->root()).fok;
+    if (root_fok && !prev_root_fok_ && cycle_open_) {
+      fok_rise_round_ = ev.rounds_before;
+      fok_rise_valid_ = true;
+      reg_->stats("pif.fok_wave_rounds")
+          .add(static_cast<double>(ev.rounds_before - cycle_start_round_));
+      if (events_ != nullptr) {
+        events_->emit(obs::TraceEvent("pif.fok_at_root", 'i', ev.step));
+      }
+    }
+    prev_root_fok_ = root_fok;
+  }
+
+  void on_round_complete(std::uint64_t rounds, const sim::StepEvent& ev,
+                         const Config& config) override {
+    RoundSample s;
+    s.round = rounds;
+    s.step = ev.step;
+    for (const State& st : config.states()) {
+      switch (st.pif) {
+        case Phase::kB:
+          ++s.in_b;
+          break;
+        case Phase::kF:
+          ++s.in_f;
+          break;
+        case Phase::kC:
+          ++s.in_c;
+          break;
+      }
+      if (st.fok) {
+        ++s.fok_raised;
+      }
+    }
+    s.count_root = config.state(protocol_->root()).count;
+    s.par_changes = round_par_changes_;
+    s.corrections = round_corrections_;
+    round_par_changes_ = 0;
+    round_corrections_ = 0;
+    samples_.push_back(s);
+
+    reg_->stats("pif.round.occupancy_b").add(s.in_b);
+    reg_->stats("pif.round.occupancy_f").add(s.in_f);
+    reg_->stats("pif.round.occupancy_c").add(s.in_c);
+    reg_->stats("pif.round.fok_raised").add(s.fok_raised);
+    reg_->stats("pif.round.par_changes").add(static_cast<double>(s.par_changes));
+    reg_->gauge("pif.count_root").set(static_cast<double>(s.count_root));
+    switch (config.state(protocol_->root()).pif) {
+      case Phase::kB:
+        reg_->counter("pif.rounds_root_b").inc();
+        break;
+      case Phase::kF:
+        reg_->counter("pif.rounds_root_f").inc();
+        break;
+      case Phase::kC:
+        reg_->counter("pif.rounds_root_c").inc();
+        break;
+    }
+
+    if (events_ != nullptr) {
+      events_->emit(obs::TraceEvent("pif.phase", 'C', ev.step)
+                        .arg("B", static_cast<std::uint64_t>(s.in_b))
+                        .arg("F", static_cast<std::uint64_t>(s.in_f))
+                        .arg("C", static_cast<std::uint64_t>(s.in_c)));
+      events_->emit(obs::TraceEvent("pif.wave", 'C', ev.step)
+                        .arg("fok", static_cast<std::uint64_t>(s.fok_raised))
+                        .arg("count_root", s.count_root)
+                        .arg("par_changes", s.par_changes));
+    }
+  }
+
+ private:
+  void on_root_action(sim::ActionId a) {
+    if (a == kBAction) {
+      cycle_open_ = true;
+      fok_rise_valid_ = false;
+      cycle_start_round_ = cur_rounds_;
+      if (events_ != nullptr) {
+        events_->emit(obs::TraceEvent("pif.cycle", 'B', cur_step_));
+      }
+    } else if (a == kFAction && cycle_open_) {
+      cycle_open_ = false;
+      ++cycles_closed_;
+      reg_->stats("pif.cycle_rounds")
+          .add(static_cast<double>(cur_rounds_ - cycle_start_round_));
+      if (fok_rise_valid_) {
+        reg_->stats("pif.feedback_wait_rounds")
+            .add(static_cast<double>(cur_rounds_ - fok_rise_round_));
+      }
+      if (events_ != nullptr) {
+        events_->emit(obs::TraceEvent("pif.cycle", 'E', cur_step_));
+      }
+    }
+  }
+
+  const PifProtocol* protocol_;
+  obs::Registry* reg_;
+  obs::EventLog* events_;
+  obs::Counter* action_counters_[kNumActions] = {};
+
+  std::vector<RoundSample> samples_;
+  std::uint64_t round_par_changes_ = 0;
+  std::uint64_t round_corrections_ = 0;
+
+  bool prev_root_fok_ = false;
+  bool cycle_open_ = false;
+  bool fok_rise_valid_ = false;
+  std::uint64_t cycle_start_round_ = 0;
+  std::uint64_t fok_rise_round_ = 0;
+  std::uint64_t cycles_closed_ = 0;
+  std::uint64_t cur_step_ = 0;
+  std::uint64_t cur_rounds_ = 0;
+};
 
 }  // namespace snappif::pif

@@ -1,0 +1,99 @@
+// Observer interface for the execution engine.
+//
+// A probe watches a Simulator run without perturbing it: the engine invokes
+// the callbacks below around each computation step and at every round
+// boundary.  Probes are the single observation mechanism of the engine — the
+// legacy per-action "apply hook" is sugar implemented as an owned
+// FunctionProbe — so the hot path pays exactly one emptiness check when
+// nothing is attached.
+//
+// Callback order within one step:
+//   on_step_begin   pre-step configuration; selected set and choices staged
+//   on_apply        once per executed action, pre-step configuration + the
+//                   processor's new state (composite atomicity: all on_apply
+//                   calls of a step see the same `before`)
+//   on_step_end     post-step configuration; cumulative action counts
+//   on_round_complete   only on steps that finish a round (Dolev-Israeli-
+//                       Moran accounting; see sim/rounds.hpp)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "sim/configuration.hpp"
+#include "sim/protocol.hpp"
+#include "sim/types.hpp"
+
+namespace snappif::sim {
+
+/// Per-step observation payload handed to every probe callback.  Spans point
+/// into engine-owned scratch buffers: valid only for the duration of the
+/// callback.
+struct StepEvent {
+  /// Index of this step (0-based, monotonically increasing).
+  std::uint64_t step = 0;
+  /// Completed rounds before this step.
+  std::uint64_t rounds_before = 0;
+  /// Processors the daemon selected, in selection order.
+  std::span<const ProcessorId> selected;
+  /// The action each selected processor executes.
+  std::span<const ActionChoice> choices;
+  /// Enabled-set size in the pre-step configuration.
+  std::size_t enabled_before = 0;
+  /// Enabled-set size after the step committed (0 in on_step_begin).
+  std::size_t enabled_after = 0;
+  /// Cumulative per-action execution counts, indexed by ActionId.  In
+  /// on_step_begin these are the pre-step totals; in on_step_end and
+  /// on_round_complete they include this step.
+  std::span<const std::uint64_t> action_counts;
+};
+
+/// Observer of a Simulator<P> execution.  Default implementations are no-ops
+/// so probes override only what they need.
+template <Protocol P>
+class IProbe {
+ public:
+  using State = typename P::State;
+  using Config = Configuration<State>;
+
+  virtual ~IProbe() = default;
+
+  /// Called when the probe is attached (and after reset_to_initial /
+  /// randomize / set_state rebuild the configuration).
+  virtual void on_attach(const Config& /*config*/) {}
+  /// Before the step's writes commit; `config` is the pre-step configuration.
+  virtual void on_step_begin(const StepEvent& /*ev*/, const Config& /*config*/) {}
+  /// Once per executed action, with the pre-step configuration and the
+  /// processor's new state (not yet committed).
+  virtual void on_apply(ProcessorId /*p*/, ActionId /*a*/,
+                        const Config& /*before*/, const State& /*after*/) {}
+  /// After the step's writes committed and enabledness refreshed.
+  virtual void on_step_end(const StepEvent& /*ev*/, const Config& /*config*/) {}
+  /// After on_step_end, on steps that completed a round.  `rounds` is the
+  /// total completed round count (i.e. ev.rounds_before + 1).
+  virtual void on_round_complete(std::uint64_t /*rounds*/, const StepEvent& /*ev*/,
+                                 const Config& /*config*/) {}
+};
+
+/// Adapter: wraps a per-action callback as a probe.  Backs
+/// Simulator::set_apply_hook.
+template <Protocol P>
+class FunctionProbe final : public IProbe<P> {
+ public:
+  using State = typename P::State;
+  using Config = Configuration<State>;
+  using Fn = std::function<void(ProcessorId, ActionId, const Config&, const State&)>;
+
+  explicit FunctionProbe(Fn fn) : fn_(std::move(fn)) {}
+
+  void on_apply(ProcessorId p, ActionId a, const Config& before,
+                const State& after) override {
+    fn_(p, a, before, after);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace snappif::sim

@@ -12,14 +12,17 @@
 // only the executed processors and their neighbors can change enabledness.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/configuration.hpp"
 #include "sim/daemon.hpp"
+#include "sim/probe.hpp"
 #include "sim/protocol.hpp"
 #include "sim/rounds.hpp"
 #include "sim/trace.hpp"
@@ -62,8 +65,10 @@ class Simulator {
  public:
   using State = typename P::State;
   using Config = Configuration<State>;
+  using Probe = IProbe<P>;
   /// Called once per executed action with the pre-step configuration and the
   /// processor's new state; used for ghost-variable instrumentation.
+  /// Installed as an owned FunctionProbe (see set_apply_hook).
   using ApplyHook =
       std::function<void(ProcessorId, ActionId, const Config&, const State&)>;
 
@@ -76,6 +81,44 @@ class Simulator {
     }
     rebuild_enabled();
   }
+
+  /// Copying forks the simulation state (configuration, RNG, round/step
+  /// accounting) — used by lookahead searches.  Attached observers (probes,
+  /// the apply hook, the trace recorder) are bound to an instance and do not
+  /// follow the copy; a copy starts with none, and copy-assignment keeps the
+  /// destination's own attachments.
+  Simulator(const Simulator& other)
+      : protocol_(other.protocol_),
+        config_(other.config_),
+        rng_(other.rng_),
+        policy_(other.policy_),
+        score_(other.score_),
+        enabled_(other.enabled_),
+        enabled_list_(other.enabled_list_),
+        dirty_(other.dirty_),
+        rounds_(other.rounds_),
+        steps_(other.steps_),
+        action_counts_(other.action_counts_) {}
+  Simulator& operator=(const Simulator& other) {
+    if (this == &other) {
+      return *this;
+    }
+    protocol_ = other.protocol_;
+    config_ = other.config_;
+    rng_ = other.rng_;
+    policy_ = other.policy_;
+    score_ = other.score_;
+    enabled_ = other.enabled_;
+    enabled_list_ = other.enabled_list_;
+    dirty_ = other.dirty_;
+    dirty_list_.clear();
+    rounds_ = other.rounds_;
+    steps_ = other.steps_;
+    action_counts_ = other.action_counts_;
+    return *this;
+  }
+  Simulator(Simulator&&) = default;
+  Simulator& operator=(Simulator&&) = default;
 
   [[nodiscard]] const P& protocol() const noexcept { return protocol_; }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
@@ -90,6 +133,7 @@ class Simulator {
     mark_dirty_around(p);
     flush_dirty();
     rounds_.begin(enabled_);
+    notify_attach();
   }
 
   /// Resets every processor to the protocol's designated initial state.
@@ -100,6 +144,7 @@ class Simulator {
     rebuild_enabled();
     steps_ = 0;
     action_counts_.assign(protocol_.num_actions(), 0);
+    notify_attach();
   }
 
   /// Draws every processor's state uniformly from its state space —
@@ -110,10 +155,36 @@ class Simulator {
       config_.state(p) = protocol_.random_state(p, rng);
     }
     rebuild_enabled();
+    notify_attach();
   }
 
   void set_action_policy(ActionPolicy policy) noexcept { policy_ = policy; }
-  void set_apply_hook(ApplyHook hook) { apply_hook_ = std::move(hook); }
+
+  /// Attaches an observer (non-owning; must outlive the simulator or be
+  /// removed).  Probes are invoked in attachment order.
+  void add_probe(Probe* probe) {
+    SNAPPIF_ASSERT(probe != nullptr);
+    probes_.push_back(probe);
+    probe->on_attach(config_);
+  }
+  void remove_probe(Probe* probe) {
+    std::erase(probes_, probe);
+  }
+  [[nodiscard]] bool has_probes() const noexcept { return !probes_.empty(); }
+
+  /// Convenience: installs `hook` as an owned FunctionProbe.  Replaces any
+  /// previously installed hook; nullptr uninstalls.  Other probes attached
+  /// via add_probe are unaffected.
+  void set_apply_hook(ApplyHook hook) {
+    if (hook_probe_ != nullptr) {
+      remove_probe(hook_probe_.get());
+      hook_probe_.reset();
+    }
+    if (hook) {
+      hook_probe_ = std::make_unique<FunctionProbe<P>>(std::move(hook));
+      add_probe(hook_probe_.get());
+    }
+  }
   /// Score used by adversarial daemons (e.g., the level variable).
   void set_score(std::function<std::int64_t(const State&)> score) {
     score_ = std::move(score);
@@ -172,9 +243,25 @@ class Simulator {
       }
       trace_->record(std::move(rec));
     }
-    if (apply_hook_) {
+    StepEvent ev;
+    if (!probes_.empty()) {
+      choices_.clear();
       for (const auto& s : staged_) {
-        apply_hook_(s.processor, s.action, config_, s.next);
+        choices_.push_back({s.processor, s.action});
+      }
+      ev.step = steps_;
+      ev.rounds_before = rounds_.rounds();
+      ev.selected = selected_;
+      ev.choices = choices_;
+      ev.enabled_before = enabled_list_.size();
+      ev.action_counts = action_counts_;
+      for (Probe* probe : probes_) {
+        probe->on_step_begin(ev, config_);
+      }
+      for (const auto& s : staged_) {
+        for (Probe* probe : probes_) {
+          probe->on_apply(s.processor, s.action, config_, s.next);
+        }
       }
     }
 
@@ -192,7 +279,18 @@ class Simulator {
     }
     flush_dirty();
     ++steps_;
-    rounds_.on_step(executed_, enabled_);
+    const bool round_done = rounds_.on_step(executed_, enabled_);
+    if (!probes_.empty()) {
+      ev.enabled_after = enabled_list_.size();
+      for (Probe* probe : probes_) {
+        probe->on_step_end(ev, config_);
+      }
+      if (round_done) {
+        for (Probe* probe : probes_) {
+          probe->on_round_complete(rounds_.rounds(), ev, config_);
+        }
+      }
+    }
     return true;
   }
 
@@ -332,11 +430,19 @@ class Simulator {
     }
   }
 
+  void notify_attach() {
+    for (Probe* probe : probes_) {
+      probe->on_attach(config_);
+    }
+  }
+
   P protocol_;
   Config config_;
   util::Rng rng_;
   ActionPolicy policy_ = ActionPolicy::kFirstEnabled;
-  ApplyHook apply_hook_;
+  std::vector<Probe*> probes_;
+  std::unique_ptr<FunctionProbe<P>> hook_probe_;
+  std::vector<ActionChoice> choices_;
   std::function<std::int64_t(const State&)> score_;
   Trace* trace_ = nullptr;
 

@@ -11,14 +11,23 @@ Trace::Trace(std::size_t max_records) : max_records_(max_records) {
 }
 
 void Trace::record(StepRecord record) {
-  if (records_.size() >= max_records_) {
-    records_.erase(records_.begin());
-    ++dropped_;
+  if (size_ < max_records_) {
+    records_.push_back(std::move(record));
+    ++size_;
+    return;
   }
-  records_.push_back(std::move(record));
+  // Full: overwrite the oldest slot and advance the head.  Reusing the
+  // evicted record's choices vector keeps its capacity (no reallocation in
+  // steady state).
+  records_[head_] = std::move(record);
+  head_ = (head_ + 1) % max_records_;
+  ++dropped_;
 }
 
-const StepRecord& Trace::operator[](std::size_t i) const { return records_.at(i); }
+const StepRecord& Trace::operator[](std::size_t i) const {
+  SNAPPIF_ASSERT(i < size_);
+  return records_[(head_ + i) % max_records_];
+}
 
 std::string Trace::render(const std::vector<std::string>& action_names) const {
   std::string out;
@@ -28,7 +37,8 @@ std::string Trace::render(const std::vector<std::string>& action_names) const {
                   static_cast<unsigned long long>(dropped_));
     out += buf;
   }
-  for (const auto& rec : records_) {
+  for (std::size_t i = 0; i < size_; ++i) {
+    const StepRecord& rec = (*this)[i];
     std::snprintf(buf, sizeof(buf), "step %6llu (round %4llu):",
                   static_cast<unsigned long long>(rec.step),
                   static_cast<unsigned long long>(rec.rounds_before));
@@ -45,6 +55,8 @@ std::string Trace::render(const std::vector<std::string>& action_names) const {
 
 void Trace::clear() {
   records_.clear();
+  head_ = 0;
+  size_ = 0;
   dropped_ = 0;
 }
 

@@ -18,13 +18,15 @@ struct StepRecord {
 
 /// Bounded in-memory trace.  When the bound is hit, older records are
 /// discarded (the tail of an execution is usually what matters for
-/// debugging a stuck run).
+/// debugging a stuck run).  Implemented as a ring buffer: recording is O(1)
+/// amortized regardless of how many records have been evicted.
 class Trace {
  public:
   explicit Trace(std::size_t max_records = 1 << 16);
 
   void record(StepRecord record);
-  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// i = 0 is the oldest retained record, i = size()-1 the newest.
   [[nodiscard]] const StepRecord& operator[](std::size_t i) const;
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
@@ -36,7 +38,9 @@ class Trace {
 
  private:
   std::size_t max_records_;
-  std::vector<StepRecord> records_;
+  std::vector<StepRecord> records_;  // ring storage, capacity max_records_
+  std::size_t head_ = 0;             // index of the oldest record
+  std::size_t size_ = 0;             // live records (<= max_records_)
   std::uint64_t dropped_ = 0;
 };
 

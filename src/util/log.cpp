@@ -1,11 +1,17 @@
 #include "util/log.hpp"
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 
 namespace snappif::util {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+bool g_env_checked = false;
+bool g_timestamps = true;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -22,15 +28,80 @@ const char* level_tag(LogLevel level) {
   }
   return "?    ";
 }
+
+void ensure_env_applied() {
+  if (g_env_checked) {
+    return;
+  }
+  g_env_checked = true;
+  if (const char* env = std::getenv("SNAPPIF_LOG_LEVEL")) {
+    g_level = parse_log_level(env, g_level);
+  }
+}
+
+void print_timestamp(std::FILE* out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+  std::fprintf(out, "[%02d:%02d:%02d.%03d] ", tm_buf.tm_hour, tm_buf.tm_min,
+               tm_buf.tm_sec, static_cast<int>(ms));
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
+void set_log_level(LogLevel level) noexcept {
+  g_env_checked = true;  // explicit choice beats the environment
+  g_level = level;
+}
 
-LogLevel log_level() noexcept { return g_level; }
+LogLevel log_level() noexcept {
+  ensure_env_applied();
+  return g_level;
+}
+
+LogLevel parse_log_level(std::string_view name, LogLevel fallback) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") {
+    return LogLevel::kDebug;
+  }
+  if (lower == "info") {
+    return LogLevel::kInfo;
+  }
+  if (lower == "warn" || lower == "warning") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error") {
+    return LogLevel::kError;
+  }
+  if (lower == "off" || lower == "none") {
+    return LogLevel::kOff;
+  }
+  return fallback;
+}
+
+void reload_log_level_from_env() noexcept {
+  g_env_checked = false;
+  ensure_env_applied();
+}
+
+void set_log_timestamps(bool enabled) noexcept { g_timestamps = enabled; }
 
 void logf(LogLevel level, const char* fmt, ...) {
+  ensure_env_applied();
   if (static_cast<int>(level) < static_cast<int>(g_level)) {
     return;
+  }
+  if (g_timestamps) {
+    print_timestamp(stderr);
   }
   std::fprintf(stderr, "[%s] ", level_tag(level));
   va_list args;

@@ -1,17 +1,39 @@
 // Minimal leveled logger (stderr).  The simulator core never logs on hot
 // paths; logging is for examples and bench harness progress reporting.
+//
+// Runtime control without code changes: the first log call (or log_level()
+// query) reads the SNAPPIF_LOG_LEVEL environment variable — one of
+// debug | info | warn | error | off (case-insensitive).  set_log_level()
+// always wins over the environment.  Each line is prefixed with a
+// wall-clock timestamp ("[HH:MM:SS.mmm]"); disable with
+// set_log_timestamps(false) when diffing output.
 #pragma once
 
 #include <cstdarg>
 #include <string>
+#include <string_view>
 
 namespace snappif::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Sets the global threshold; messages below it are dropped.
+/// Sets the global threshold; messages below it are dropped.  Overrides any
+/// SNAPPIF_LOG_LEVEL from the environment.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses a level name ("debug", "INFO", "Warn", ...); `fallback` on
+/// unrecognized input.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name,
+                                       LogLevel fallback) noexcept;
+
+/// Re-applies SNAPPIF_LOG_LEVEL from the environment (tools call this after
+/// flag parsing so the variable beats the built-in default but not explicit
+/// --flags; tests use it to exercise the env path).
+void reload_log_level_from_env() noexcept;
+
+/// Toggles the "[HH:MM:SS.mmm]" line prefix (on by default).
+void set_log_timestamps(bool enabled) noexcept;
 
 /// printf-style logging.  Thread-compatible (callers serialize externally;
 /// the simulator is single-threaded by design).

@@ -94,12 +94,15 @@ Histogram::Histogram(std::size_t bucket_count, double bucket_width)
 }
 
 void Histogram::add(double x) noexcept {
+  // NaN fails the x > 0.0 test and lands in bucket 0 alongside negatives;
+  // clamp to the last bucket *before* the size_t cast so +inf and huge
+  // values stay defined behavior.
   std::size_t idx = 0;
   if (x > 0.0) {
-    idx = static_cast<std::size_t>(x / width_);
-    if (idx >= counts_.size()) {
-      idx = counts_.size() - 1;
-    }
+    const double pos = x / width_;
+    idx = pos >= static_cast<double>(counts_.size())
+              ? counts_.size() - 1
+              : static_cast<std::size_t>(pos);
   }
   ++counts_[idx];
   ++total_;

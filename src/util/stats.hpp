@@ -71,6 +71,9 @@ class Histogram {
  public:
   Histogram(std::size_t bucket_count, double bucket_width);
 
+  /// Clamping policy: negative values and NaN land in bucket 0; values at or
+  /// beyond bucket_count * bucket_width (including +inf) land in the last
+  /// bucket.  total() counts every add, clamped or not.
   void add(double x) noexcept;
   [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }

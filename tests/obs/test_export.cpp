@@ -1,0 +1,135 @@
+// Event log and exporters: every JSONL line and the whole Chrome trace file
+// must be well-formed JSON (validated with obs::json_valid), with the
+// trace_event fields about:tracing requires.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace snappif::obs {
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+EventLog sample_log() {
+  EventLog log;
+  log.emit(TraceEvent("pif.cycle", 'B', 10));
+  log.emit(TraceEvent("pif.phase", 'C', 12)
+               .arg("B", std::uint64_t{5})
+               .arg("F", std::uint64_t{3})
+               .arg("C", std::uint64_t{8}));
+  TraceEvent corr("pif.correction", 'i', 13);
+  corr.tid = 7;
+  log.emit(std::move(corr).arg("action", "B-correction"));
+  TraceEvent span("pif.cycle", 'X', 10);
+  span.dur = 25;
+  log.emit(std::move(span));
+  log.emit(TraceEvent("weird \"name\"\n", 'i', 14).arg("v", 0.5));
+  return log;
+}
+
+TEST(EventLog, EveryJsonlLineIsValidJson) {
+  const EventLog log = sample_log();
+  const auto lines = split_lines(log.render_jsonl());
+  ASSERT_EQ(lines.size(), log.size());
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(json_valid(line)) << line;
+  }
+}
+
+TEST(EventLog, ChromeTraceIsOneValidJsonDocument) {
+  const EventLog log = sample_log();
+  const std::string trace = log.render_chrome_trace();
+  EXPECT_TRUE(json_valid(trace)) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(EventLog, EventJsonCarriesTraceEventFields) {
+  TraceEvent e("pif.fok_at_root", 'i', 42);
+  e.tid = 3;
+  const std::string json = event_json(e);
+  EXPECT_TRUE(json_valid(json));
+  EXPECT_NE(json.find("\"name\":\"pif.fok_at_root\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_EQ(json.find("\"dur\""), std::string::npos);  // only for 'X'
+
+  TraceEvent x("span", 'X', 5);
+  x.dur = 9;
+  const std::string xjson = event_json(x);
+  EXPECT_TRUE(json_valid(xjson));
+  EXPECT_NE(xjson.find("\"dur\":9"), std::string::npos);
+}
+
+TEST(EventLog, ArgsRoundTripNumbersAndStrings) {
+  const std::string json =
+      event_json(TraceEvent("e", 'i', 0)
+                     .arg("n", std::uint64_t{16})
+                     .arg("x", 2.5)
+                     .arg("s", "B phase"));
+  EXPECT_TRUE(json_valid(json));
+  EXPECT_NE(json.find("\"n\":16"), std::string::npos);
+  EXPECT_NE(json.find("\"x\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"B phase\""), std::string::npos);
+}
+
+TEST(EventLog, BoundedWithDropAccounting) {
+  EventLog log(2);
+  log.emit(TraceEvent("a", 'i', 0));
+  log.emit(TraceEvent("b", 'i', 1));
+  log.emit(TraceEvent("c", 'i', 2));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 1u);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLog, WritesFilesThatValidate) {
+  const EventLog log = sample_log();
+  const std::string jsonl_path = ::testing::TempDir() + "snappif_events.jsonl";
+  const std::string trace_path = ::testing::TempDir() + "snappif_trace.json";
+  ASSERT_TRUE(log.write_jsonl(jsonl_path));
+  ASSERT_TRUE(log.write_chrome_trace(trace_path));
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const std::string jsonl = slurp(jsonl_path);
+  ASSERT_FALSE(jsonl.empty());
+  for (const std::string& line : split_lines(jsonl)) {
+    EXPECT_TRUE(json_valid(line)) << line;
+  }
+  EXPECT_TRUE(json_valid(slurp(trace_path)));
+  std::remove(jsonl_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(EventLog, WriteToUnwritablePathFails) {
+  const EventLog log = sample_log();
+  EXPECT_FALSE(log.write_jsonl("/nonexistent-dir/x/y.jsonl"));
+}
+
+}  // namespace
+}  // namespace snappif::obs

@@ -1,0 +1,138 @@
+// Metrics registry: find-or-create semantics, stable handles, table/JSON
+// snapshots, plus the JSON utility layer the exporters build on.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/json.hpp"
+
+namespace snappif::obs {
+namespace {
+
+TEST(Registry, FindOrCreateReturnsSameInstrument) {
+  Registry reg;
+  EXPECT_TRUE(reg.empty());
+  Counter& a = reg.counter("steps");
+  a.inc(3);
+  Counter& b = reg.counter("steps");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(Registry, HandlesStayValidAcrossInsertions) {
+  Registry reg;
+  Counter& first = reg.counter("a");
+  // Insert many more names; node-based map must not invalidate `first`.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i)).inc();
+  }
+  first.inc(7);
+  EXPECT_EQ(reg.counter("a").value(), 7u);
+}
+
+TEST(Registry, GaugeLastWriteWins) {
+  Registry reg;
+  reg.gauge("count_root").set(3);
+  reg.gauge("count_root").set(16);
+  EXPECT_DOUBLE_EQ(reg.gauge("count_root").value(), 16.0);
+}
+
+TEST(Registry, StatsAccumulate) {
+  Registry reg;
+  reg.stats("rounds").add(2);
+  reg.stats("rounds").add(4);
+  EXPECT_EQ(reg.stats("rounds").count(), 2u);
+  EXPECT_DOUBLE_EQ(reg.stats("rounds").mean(), 3.0);
+}
+
+TEST(Registry, HistogramShapeFixedAtCreation) {
+  Registry reg;
+  util::Histogram& h = reg.histogram("lat", 4, 10.0);
+  h.add(35);
+  // Later lookups ignore the shape arguments.
+  EXPECT_EQ(&reg.histogram("lat", 99, 1.0), &h);
+  EXPECT_EQ(reg.histogram("lat").bucket_count(), 4u);
+  EXPECT_EQ(reg.histogram("lat").bucket(3), 1u);
+}
+
+TEST(Registry, SummaryTableListsEveryKind) {
+  Registry reg;
+  reg.counter("c").inc(5);
+  reg.gauge("g").set(1.5);
+  reg.stats("s").add(2);
+  reg.histogram("h").add(0.5);
+  const std::string out = reg.summary_table().render();
+  EXPECT_NE(out.find("counter"), std::string::npos);
+  EXPECT_NE(out.find("gauge"), std::string::npos);
+  EXPECT_NE(out.find("stats"), std::string::npos);
+  EXPECT_NE(out.find("histogram"), std::string::npos);
+}
+
+TEST(Registry, JsonSnapshotIsValidJson) {
+  Registry reg;
+  EXPECT_TRUE(json_valid(reg.json()));  // empty registry
+  reg.counter("pif.action.B").inc(12);
+  reg.gauge("pif.count_root").set(16);
+  reg.stats("pif.cycle_rounds").add(11);
+  reg.stats("pif.cycle_rounds").add(13);
+  reg.stats("never.fed");  // empty stats must still serialize
+  reg.histogram("steps", 8, 4.0).add(9);
+  const std::string json = reg.json();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"pif.action.B\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"pif.cycle_rounds\":{\"count\":2,\"mean\":12"),
+            std::string::npos);
+}
+
+TEST(ScopedTimer, FeedsSinkOnDestruction) {
+  util::OnlineStats sink;
+  {
+    ScopedTimer t(sink);
+  }
+  EXPECT_EQ(sink.count(), 1u);
+  EXPECT_GE(sink.min(), 0.0);
+}
+
+TEST(Json, EscapeControlAndSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(Json, NumberFormatting) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-3.0), "-3");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  // Non-integral values keep their precision and stay valid JSON.
+  EXPECT_TRUE(json_valid(json_number(0.1)));
+  EXPECT_TRUE(json_valid(json_number(-1e300)));
+}
+
+TEST(Json, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid(" {\"a\": [1, 2.5, -3e2, true, false, null]} "));
+  EXPECT_TRUE(json_valid("\"lone string\""));
+  EXPECT_TRUE(json_valid("{\"u\":\"\\u00e9\"}"));
+
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("{\"a\":1,}"));
+  EXPECT_FALSE(json_valid("[1 2]"));
+  EXPECT_FALSE(json_valid("{\"a\":01}"));
+  EXPECT_FALSE(json_valid("nul"));
+  EXPECT_FALSE(json_valid("{} {}"));  // trailing content
+  EXPECT_FALSE(json_valid("{\"a\":+1}"));
+  EXPECT_FALSE(json_valid("\"unterminated"));
+}
+
+}  // namespace
+}  // namespace snappif::obs

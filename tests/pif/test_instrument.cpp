@@ -1,0 +1,166 @@
+// PifMetricsProbe: the registry- and event-backed telemetry layer must agree
+// with the engine's own accounting and derive sane per-round quantities.
+#include "pif/instrument.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "obs/json.hpp"
+#include "pif/faults.hpp"
+#include "pif/ghost.hpp"
+#include "pif/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::pif {
+namespace {
+
+struct Instrumented {
+  graph::Graph g;
+  PifProtocol protocol;
+  sim::Simulator<PifProtocol> sim;
+  obs::Registry registry;
+  obs::EventLog events;
+  PifMetricsProbe probe;
+
+  explicit Instrumented(graph::Graph graph, std::uint64_t seed = 1)
+      : g(std::move(graph)),
+        protocol(g, Params::for_graph(g)),
+        sim(protocol, g, seed),
+        probe(protocol, registry, &events) {
+    sim.add_probe(&probe);
+  }
+};
+
+TEST(PifMetricsProbe, NormalCyclesProduceConsistentTelemetry) {
+  Instrumented t(graph::make_cycle(8));
+  sim::SynchronousDaemon daemon;
+  while (t.probe.cycles_closed() < 3 && t.sim.step(daemon)) {
+  }
+  ASSERT_EQ(t.probe.cycles_closed(), 3u);
+
+  // Action counters mirror the engine's own per-action totals exactly.
+  for (sim::ActionId a = 0; a < kNumActions; ++a) {
+    EXPECT_EQ(t.registry.counter(std::string("pif.action.") +
+                                 std::string(action_label(a)))
+                  .value(),
+              t.sim.action_count(a))
+        << action_label(a);
+  }
+  EXPECT_GT(t.registry.counter("pif.action.B-action").value(), 0u);
+  EXPECT_GT(t.registry.counter("pif.action.F-action").value(), 0u);
+
+  // Per-round phase occupancy partitions the network.
+  ASSERT_FALSE(t.probe.round_samples().empty());
+  for (const auto& s : t.probe.round_samples()) {
+    EXPECT_EQ(s.in_b + s.in_f + s.in_c, t.g.n());
+    EXPECT_LE(s.fok_raised, t.g.n());
+    EXPECT_LE(s.count_root, t.g.n());
+  }
+  EXPECT_EQ(t.probe.round_samples().size(), t.sim.rounds());
+  EXPECT_EQ(t.registry.stats("pif.round.occupancy_b").count(), t.sim.rounds());
+
+  // One cycle-length sample per closed cycle; the root's per-phase round
+  // counters partition the completed rounds.
+  EXPECT_EQ(t.registry.stats("pif.cycle_rounds").count(), 3u);
+  EXPECT_EQ(t.registry.counter("pif.rounds_root_b").value() +
+                t.registry.counter("pif.rounds_root_f").value() +
+                t.registry.counter("pif.rounds_root_c").value(),
+            t.sim.rounds());
+
+  // From the normal starting configuration no correction ever fires.
+  EXPECT_EQ(t.registry.counter("pif.corrections").value(), 0u);
+}
+
+TEST(PifMetricsProbe, CountingWaveReachesNBeforeCycleCloses) {
+  Instrumented t(graph::make_path(6));
+  sim::SynchronousDaemon daemon;
+  while (t.probe.cycles_closed() < 1 && t.sim.step(daemon)) {
+  }
+  ASSERT_EQ(t.probe.cycles_closed(), 1u);
+  // Count_r must hit N at some round: the root only authorizes feedback once
+  // the counting wave has accounted for every processor (GoodCount gating).
+  bool saw_full_count = false;
+  for (const auto& s : t.probe.round_samples()) {
+    saw_full_count = saw_full_count || s.count_root == t.g.n();
+  }
+  EXPECT_TRUE(saw_full_count);
+  EXPECT_GE(t.registry.stats("pif.fok_wave_rounds").count(), 1u);
+}
+
+TEST(PifMetricsProbe, EmitsCycleAndPhaseEvents) {
+  Instrumented t(graph::make_cycle(6));
+  sim::SynchronousDaemon daemon;
+  while (t.probe.cycles_closed() < 2 && t.sim.step(daemon)) {
+  }
+  std::size_t cycle_begins = 0;
+  std::size_t cycle_ends = 0;
+  std::size_t phase_counters = 0;
+  for (const auto& e : t.events.events()) {
+    if (e.name == "pif.cycle" && e.ph == 'B') {
+      ++cycle_begins;
+    }
+    if (e.name == "pif.cycle" && e.ph == 'E') {
+      ++cycle_ends;
+    }
+    if (e.name == "pif.phase" && e.ph == 'C') {
+      ++phase_counters;
+    }
+  }
+  EXPECT_GE(cycle_begins, 2u);
+  EXPECT_EQ(cycle_ends, 2u);
+  EXPECT_EQ(phase_counters, t.sim.rounds());
+
+  // Both export formats stay well-formed with real run data.
+  std::istringstream jsonl(t.events.render_jsonl());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(jsonl, line)) {
+    EXPECT_TRUE(obs::json_valid(line)) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, t.events.size());
+  EXPECT_TRUE(obs::json_valid(t.events.render_chrome_trace()));
+}
+
+TEST(PifMetricsProbe, CorruptedRunCountsCorrectionsConsistently) {
+  Instrumented t(graph::make_random_connected(12, 10, 5), 7);
+  util::Rng rng(99);
+  apply_corruption(t.sim, CorruptionKind::kAdversarialMix, rng);
+  sim::SynchronousDaemon daemon;
+  for (int i = 0; i < 2000 && t.probe.cycles_closed() < 1; ++i) {
+    if (!t.sim.step(daemon)) {
+      break;
+    }
+  }
+  EXPECT_EQ(t.registry.counter("pif.corrections").value(),
+            t.sim.action_count(kBCorrection) + t.sim.action_count(kFCorrection));
+  EXPECT_EQ(t.registry.counter("pif.action.B-correction").value(),
+            t.sim.action_count(kBCorrection));
+  // Per-round correction/par-change accumulators sum to the run totals.
+  std::uint64_t round_corrections = 0;
+  std::uint64_t round_par_changes = 0;
+  for (const auto& s : t.probe.round_samples()) {
+    round_corrections += s.corrections;
+    round_par_changes += s.par_changes;
+  }
+  EXPECT_LE(round_corrections, t.registry.counter("pif.corrections").value());
+  EXPECT_LE(round_par_changes, t.registry.counter("pif.par_changes").value());
+}
+
+TEST(PifMetricsProbe, CoexistsWithGhostTrackerHook) {
+  Instrumented t(graph::make_cycle(6), 3);
+  GhostTracker tracker(t.g, t.protocol.root());
+  attach(t.sim, tracker);
+  sim::SynchronousDaemon daemon;
+  while (tracker.cycles_completed() < 2 && t.sim.step(daemon)) {
+  }
+  EXPECT_EQ(tracker.cycles_completed(), 2u);
+  EXPECT_EQ(t.probe.cycles_closed(), 2u);
+  EXPECT_GT(t.registry.counter("pif.action.B-action").value(), 0u);
+}
+
+}  // namespace
+}  // namespace snappif::pif

@@ -1,0 +1,263 @@
+// Probe observer semantics: callback order and payloads, composite-atomicity
+// visibility in on_apply, round-boundary notification, attach/detach, and the
+// apply-hook compatibility layer on top of FunctionProbe.
+#include "sim/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::sim {
+namespace {
+
+struct IntState {
+  std::uint32_t value = 0;
+  [[nodiscard]] bool operator==(const IntState&) const noexcept = default;
+  [[nodiscard]] std::uint64_t hash() const noexcept { return value; }
+};
+
+/// value := max over neighborhood; enabled while some neighbor is larger.
+class MaxProtocol {
+ public:
+  using State = IntState;
+  [[nodiscard]] State initial_state(ProcessorId p) const { return {p}; }
+  [[nodiscard]] ActionId num_actions() const { return 1; }
+  [[nodiscard]] std::string_view action_name(ActionId) const { return "max"; }
+  [[nodiscard]] bool enabled(const Configuration<State>& c, ProcessorId p,
+                             ActionId) const {
+    for (ProcessorId q : c.neighbors(p)) {
+      if (c.state(q).value > c.state(p).value) {
+        return true;
+      }
+    }
+    return false;
+  }
+  [[nodiscard]] State apply(const Configuration<State>& c, ProcessorId p,
+                            ActionId) const {
+    State next = c.state(p);
+    for (ProcessorId q : c.neighbors(p)) {
+      next.value = std::max(next.value, c.state(q).value);
+    }
+    return next;
+  }
+  [[nodiscard]] State random_state(ProcessorId, util::Rng& rng) const {
+    return {static_cast<std::uint32_t>(rng.below(100))};
+  }
+};
+
+/// Records every callback for post-hoc assertions.
+class RecordingProbe final : public IProbe<MaxProtocol> {
+ public:
+  struct StepObs {
+    std::uint64_t step;
+    std::size_t selected;
+    std::size_t choices;
+    std::size_t enabled_before;
+    std::size_t enabled_after;  // from on_step_end
+  };
+
+  int attaches = 0;
+  int applies = 0;
+  int step_begins = 0;
+  int step_ends = 0;
+  std::vector<std::uint64_t> rounds_seen;
+  std::vector<StepObs> steps;
+  std::vector<std::uint64_t> counts_at_last_end;
+
+  void on_attach(const Config& /*config*/) override { ++attaches; }
+
+  void on_step_begin(const StepEvent& ev, const Config& /*config*/) override {
+    ++step_begins;
+    steps.push_back({ev.step, ev.selected.size(), ev.choices.size(),
+                     ev.enabled_before, 0});
+    // Choices correspond 1:1 with the selected set, in order.
+    ASSERT_EQ(ev.selected.size(), ev.choices.size());
+    for (std::size_t i = 0; i < ev.selected.size(); ++i) {
+      EXPECT_EQ(ev.choices[i].processor, ev.selected[i]);
+    }
+  }
+
+  void on_apply(ProcessorId /*p*/, ActionId a, const Config& /*before*/,
+                const State& /*after*/) override {
+    ++applies;
+    EXPECT_EQ(a, 0);
+  }
+
+  void on_step_end(const StepEvent& ev, const Config& /*config*/) override {
+    ++step_ends;
+    ASSERT_FALSE(steps.empty());
+    steps.back().enabled_after = ev.enabled_after;
+    counts_at_last_end.assign(ev.action_counts.begin(), ev.action_counts.end());
+  }
+
+  void on_round_complete(std::uint64_t rounds, const StepEvent& /*ev*/,
+                         const Config& /*config*/) override {
+    rounds_seen.push_back(rounds);
+  }
+};
+
+TEST(Probe, CallbackCountsAndStepEventPayload) {
+  const auto g = graph::make_path(4);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 1);
+  RecordingProbe probe;
+  sim.add_probe(&probe);
+  EXPECT_TRUE(sim.has_probes());
+  EXPECT_EQ(probe.attaches, 1);
+
+  SynchronousDaemon daemon;
+  std::uint64_t steps = 0;
+  while (sim.step(daemon)) {
+    ++steps;
+  }
+  EXPECT_EQ(steps, 3u);  // path-4 max propagation
+  EXPECT_EQ(probe.step_begins, 3);
+  EXPECT_EQ(probe.step_ends, 3);
+  ASSERT_EQ(probe.steps.size(), 3u);
+  // Synchronous daemon: every enabled processor is selected.
+  for (const auto& s : probe.steps) {
+    EXPECT_EQ(s.selected, s.enabled_before);
+    EXPECT_EQ(s.choices, s.selected);
+  }
+  EXPECT_EQ(probe.steps[0].step, 0u);
+  EXPECT_EQ(probe.steps[0].enabled_before, 3u);
+  EXPECT_EQ(probe.steps[2].enabled_after, 0u);  // terminal after last step
+  // on_apply fired once per executed action; totals match the engine's.
+  EXPECT_EQ(probe.applies, 3 + 2 + 1);
+  ASSERT_EQ(probe.counts_at_last_end.size(), 1u);
+  EXPECT_EQ(probe.counts_at_last_end[0], sim.action_count(0));
+}
+
+TEST(Probe, RoundCompletionsMatchEngineRounds) {
+  const auto g = graph::make_path(5);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 2);
+  RecordingProbe probe;
+  sim.add_probe(&probe);
+  SynchronousDaemon daemon;
+  while (sim.step(daemon)) {
+  }
+  EXPECT_EQ(probe.rounds_seen.size(), sim.rounds());
+  // Rounds arrive in order: 1, 2, 3, ...
+  for (std::size_t i = 0; i < probe.rounds_seen.size(); ++i) {
+    EXPECT_EQ(probe.rounds_seen[i], i + 1);
+  }
+}
+
+TEST(Probe, OnApplySeesPreStepConfig) {
+  // Two processors swap via max: 0 adopts 1's value while `before` still
+  // holds the original configuration for every on_apply of the step.
+  const auto g = graph::make_path(2);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 3);
+
+  class PreStepProbe final : public IProbe<MaxProtocol> {
+   public:
+    int applies = 0;
+    void on_apply(ProcessorId p, ActionId /*a*/, const Config& before,
+                  const State& after) override {
+      ++applies;
+      EXPECT_EQ(p, 0u);
+      EXPECT_EQ(before.state(0).value, 0u);
+      EXPECT_EQ(before.state(1).value, 1u);
+      EXPECT_EQ(after.value, 1u);
+    }
+  } probe;
+  sim.add_probe(&probe);
+  SynchronousDaemon daemon;
+  ASSERT_TRUE(sim.step(daemon));
+  EXPECT_EQ(probe.applies, 1);
+  EXPECT_EQ(sim.config().state(0).value, 1u);
+}
+
+TEST(Probe, RemoveProbeStopsCallbacks) {
+  const auto g = graph::make_path(4);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 4);
+  RecordingProbe probe;
+  sim.add_probe(&probe);
+  SynchronousDaemon daemon;
+  ASSERT_TRUE(sim.step(daemon));
+  const int begins = probe.step_begins;
+  sim.remove_probe(&probe);
+  EXPECT_FALSE(sim.has_probes());
+  ASSERT_TRUE(sim.step(daemon));
+  EXPECT_EQ(probe.step_begins, begins);
+}
+
+TEST(Probe, AttachNotifiedOnConfigurationRebuilds) {
+  const auto g = graph::make_path(3);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 5);
+  RecordingProbe probe;
+  sim.add_probe(&probe);
+  EXPECT_EQ(probe.attaches, 1);
+  sim.reset_to_initial();
+  EXPECT_EQ(probe.attaches, 2);
+  util::Rng rng(9);
+  sim.randomize(rng);
+  EXPECT_EQ(probe.attaches, 3);
+  sim.set_state(0, IntState{77});
+  EXPECT_EQ(probe.attaches, 4);
+}
+
+TEST(Probe, MultipleProbesAllInvoked) {
+  const auto g = graph::make_path(3);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 6);
+  RecordingProbe a, b;
+  sim.add_probe(&a);
+  sim.add_probe(&b);
+  SynchronousDaemon daemon;
+  ASSERT_TRUE(sim.step(daemon));
+  EXPECT_EQ(a.step_begins, 1);
+  EXPECT_EQ(b.step_begins, 1);
+  EXPECT_EQ(a.applies, b.applies);
+}
+
+TEST(Probe, ApplyHookCoexistsWithProbesAndReplaces) {
+  const auto g = graph::make_path(4);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 7);
+  RecordingProbe probe;
+  sim.add_probe(&probe);
+
+  int first_hook = 0;
+  sim.set_apply_hook([&](ProcessorId, ActionId, const Configuration<IntState>&,
+                         const IntState&) { ++first_hook; });
+  SynchronousDaemon daemon;
+  ASSERT_TRUE(sim.step(daemon));
+  EXPECT_EQ(first_hook, 3);
+  EXPECT_EQ(probe.applies, 3);
+
+  // Replacing the hook removes the previous one but leaves probes attached.
+  int second_hook = 0;
+  sim.set_apply_hook([&](ProcessorId, ActionId, const Configuration<IntState>&,
+                         const IntState&) { ++second_hook; });
+  ASSERT_TRUE(sim.step(daemon));
+  EXPECT_EQ(first_hook, 3);
+  EXPECT_EQ(second_hook, 2);
+  EXPECT_EQ(probe.applies, 5);
+
+  // nullptr uninstalls; the simulator may still have other probes.
+  sim.set_apply_hook(nullptr);
+  EXPECT_TRUE(sim.has_probes());
+  ASSERT_TRUE(sim.step(daemon));
+  EXPECT_EQ(second_hook, 2);
+  EXPECT_EQ(probe.applies, 6);
+}
+
+TEST(Probe, FunctionProbeForwardsToCallable) {
+  int calls = 0;
+  FunctionProbe<MaxProtocol> fp(
+      [&](ProcessorId p, ActionId a, const Configuration<IntState>&,
+          const IntState& after) {
+        ++calls;
+        EXPECT_EQ(p, 1u);
+        EXPECT_EQ(a, 0);
+        EXPECT_EQ(after.value, 9u);
+      });
+  const auto g = graph::make_path(2);
+  Configuration<IntState> cfg(g, IntState{});
+  fp.on_apply(1, 0, cfg, IntState{9});
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace snappif::sim

@@ -1,0 +1,101 @@
+// Trace ring-buffer semantics: bounded memory, O(1) amortized eviction,
+// oldest-first indexing, drop accounting.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace snappif::sim {
+namespace {
+
+StepRecord make_record(std::uint64_t step) {
+  StepRecord r;
+  r.step = step;
+  r.rounds_before = step / 2;
+  r.choices = {{static_cast<ProcessorId>(step % 7), 0}};
+  return r;
+}
+
+TEST(Trace, RecordsInOrderBelowBound) {
+  Trace trace(8);
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    trace.record(make_record(s));
+  }
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(trace[i].step, i);
+  }
+}
+
+TEST(Trace, EvictsOldestWhenFull) {
+  Trace trace(4);
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    trace.record(make_record(s));
+  }
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  // Retains the last 4 records, oldest first.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(trace[i].step, 6 + i);
+  }
+}
+
+// Regression: record() used to erase the front of a vector on every eviction
+// (O(n) per record).  A million records through a tiny trace must be
+// effectively instant and retain exactly the last max_records entries.
+TEST(Trace, MillionRecordsThroughTinyBufferStaysFastAndKeepsTail) {
+  constexpr std::uint64_t kTotal = 1'000'000;
+  constexpr std::size_t kMax = 16;
+  Trace trace(kMax);
+  for (std::uint64_t s = 0; s < kTotal; ++s) {
+    trace.record(make_record(s));
+  }
+  ASSERT_EQ(trace.size(), kMax);
+  EXPECT_EQ(trace.dropped(), kTotal - kMax);
+  for (std::size_t i = 0; i < kMax; ++i) {
+    EXPECT_EQ(trace[i].step, kTotal - kMax + i);
+    EXPECT_EQ(trace[i].rounds_before, (kTotal - kMax + i) / 2);
+  }
+}
+
+TEST(Trace, RenderListsOldestFirst) {
+  Trace trace(3);
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    trace.record(make_record(s));
+  }
+  const std::string out = trace.render({"act"});
+  auto step_line = [](std::uint64_t s) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "step %6llu",
+                  static_cast<unsigned long long>(s));
+    return std::string(buf);
+  };
+  const auto pos2 = out.find(step_line(2));
+  const auto pos3 = out.find(step_line(3));
+  const auto pos4 = out.find(step_line(4));
+  EXPECT_NE(pos2, std::string::npos);
+  EXPECT_NE(pos3, std::string::npos);
+  EXPECT_NE(pos4, std::string::npos);
+  EXPECT_LT(pos2, pos3);
+  EXPECT_LT(pos3, pos4);
+  EXPECT_EQ(out.find(step_line(1)), std::string::npos);
+  EXPECT_NE(out.find("2 earlier steps dropped"), std::string::npos);
+}
+
+TEST(Trace, ClearResetsEverything) {
+  Trace trace(2);
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    trace.record(make_record(s));
+  }
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  trace.record(make_record(42));
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].step, 42u);
+}
+
+}  // namespace
+}  // namespace snappif::sim

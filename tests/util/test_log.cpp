@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 namespace snappif::util {
 namespace {
 
@@ -53,6 +55,68 @@ TEST(Log, FormatsArguments) {
   SNAPPIF_LOG_INFO("x=%d y=%s", 42, "abc");
   const std::string err = ::testing::internal::GetCapturedStderr();
   EXPECT_NE(err.find("x=42 y=abc"), std::string::npos);
+}
+
+TEST(Log, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("debug", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off", LogLevel::kDebug), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none", LogLevel::kDebug), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(Log, EnvVariableControlsLevel) {
+  LogLevelGuard guard;
+  ASSERT_EQ(setenv("SNAPPIF_LOG_LEVEL", "error", 1), 0);
+  reload_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+
+  ASSERT_EQ(setenv("SNAPPIF_LOG_LEVEL", "DEBUG", 1), 0);
+  reload_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+
+  // Unrecognized values keep the previously effective level.
+  ASSERT_EQ(setenv("SNAPPIF_LOG_LEVEL", "garbage", 1), 0);
+  reload_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+
+  ASSERT_EQ(unsetenv("SNAPPIF_LOG_LEVEL"), 0);
+}
+
+TEST(Log, ExplicitSetterBeatsEnvironment) {
+  LogLevelGuard guard;
+  ASSERT_EQ(setenv("SNAPPIF_LOG_LEVEL", "off", 1), 0);
+  reload_log_level_from_env();
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+  ASSERT_EQ(unsetenv("SNAPPIF_LOG_LEVEL"), 0);
+}
+
+TEST(Log, TimestampPrefixPresentAndToggleable) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  SNAPPIF_LOG_INFO("stamped");
+  const std::string with_ts = ::testing::internal::GetCapturedStderr();
+  // "[HH:MM:SS.mmm] [INFO ] stamped"
+  ASSERT_GE(with_ts.size(), 15u);
+  EXPECT_EQ(with_ts[0], '[');
+  EXPECT_EQ(with_ts[3], ':');
+  EXPECT_EQ(with_ts[6], ':');
+  EXPECT_EQ(with_ts[9], '.');
+  EXPECT_EQ(with_ts[13], ']');
+  EXPECT_NE(with_ts.find("[INFO ] stamped"), std::string::npos);
+
+  set_log_timestamps(false);
+  ::testing::internal::CaptureStderr();
+  SNAPPIF_LOG_INFO("bare");
+  const std::string without_ts = ::testing::internal::GetCapturedStderr();
+  set_log_timestamps(true);
+  EXPECT_EQ(without_ts, "[INFO ] bare\n");
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace snappif::util {
 namespace {
 
@@ -90,6 +92,13 @@ TEST(Samples, SingleSample) {
   EXPECT_DOUBLE_EQ(s.mean(), 42.0);
 }
 
+TEST(Samples, ExtremeQuantilesWithSingleSample) {
+  Samples s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.0);
+}
+
 TEST(Samples, AddAfterQuantileStillCorrect) {
   Samples s;
   s.add(3.0);
@@ -112,6 +121,21 @@ TEST(Histogram, BucketsAndClamping) {
   EXPECT_EQ(h.bucket(1), 2u);
   EXPECT_EQ(h.bucket(2), 0u);
   EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Histogram, ClampingEdges) {
+  Histogram h(4, 10.0);  // [0,10) [10,20) [20,30) [30,40)
+  h.add(-1e9);  // far negative still clamps into bucket 0
+  EXPECT_EQ(h.bucket(0), 1u);
+  h.add(40.0);  // exactly bucket_count * width lands in the last bucket
+  EXPECT_EQ(h.bucket(3), 1u);
+  h.add(39.999);  // just below the upper edge also in the last bucket
+  EXPECT_EQ(h.bucket(3), 2u);
+  h.add(std::numeric_limits<double>::quiet_NaN());  // NaN policy: bucket 0
+  EXPECT_EQ(h.bucket(0), 2u);
+  h.add(std::numeric_limits<double>::infinity());  // +inf: last bucket
+  EXPECT_EQ(h.bucket(3), 3u);
+  EXPECT_EQ(h.total(), 5u);
 }
 
 TEST(Histogram, RenderNonEmpty) {

@@ -1,0 +1,181 @@
+// snappif_trace — run any topology/daemon/fault scenario with the full
+// telemetry stack attached and export the observations.
+//
+//   ./snappif_trace --topology=ring --n=16 --seed=1
+//                   [--daemon=synchronous|central-random|central-rr|
+//                             distributed-random|adversarial-max|adversarial-min]
+//                   [--corruption=none|uniform|fake-tree|stray-F|stray-Fok|
+//                                 inflated|adversarial]
+//                   [--root=0] [--cycles=3] [--max-steps=1000000]
+//                   [--jsonl=out.jsonl] [--trace=out.trace.json]
+//                   [--metrics=out.metrics.json] [--csv]
+//
+// Prints a run summary and the metrics-registry table on stdout; optionally
+// writes the JSONL event stream, a Chrome trace_event file (load in
+// about:tracing / Perfetto), and a JSON registry snapshot.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "pif/faults.hpp"
+#include "pif/ghost.hpp"
+#include "pif/instrument.hpp"
+#include "pif/protocol.hpp"
+#include "sim/daemon.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace snappif;
+
+namespace {
+
+std::unique_ptr<sim::IDaemon> daemon_by_name(const std::string& name) {
+  for (const sim::DaemonKind kind : sim::standard_daemon_kinds()) {
+    if (name == sim::daemon_kind_name(kind)) {
+      return sim::make_daemon(kind);
+    }
+  }
+  return nullptr;
+}
+
+bool corruption_by_name(const std::string& name, pif::CorruptionKind* out) {
+  for (const pif::CorruptionKind kind : pif::all_corruption_kinds()) {
+    if (name == pif::corruption_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  for (const std::string& err : cli.errors()) {
+    std::fprintf(stderr, "argument error: %s\n", err.c_str());
+  }
+
+  const std::string topology = cli.get_string("topology", "random");
+  const auto n = static_cast<graph::NodeId>(cli.get_int("n", 16));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto g = graph::make_by_name(topology, n, seed);
+  if (!g.has_value()) {
+    std::fprintf(stderr, "unknown --topology=%s (expected one of: %s)\n",
+                 topology.c_str(), std::string(graph::topology_names()).c_str());
+    return 2;
+  }
+
+  const std::string daemon_name = cli.get_string("daemon", "distributed-random");
+  auto daemon = daemon_by_name(daemon_name);
+  if (daemon == nullptr) {
+    std::fprintf(stderr, "unknown --daemon=%s\n", daemon_name.c_str());
+    return 2;
+  }
+
+  const std::string corruption = cli.get_string("corruption", "none");
+  pif::CorruptionKind corruption_kind = pif::CorruptionKind::kUniformRandom;
+  const bool corrupt = corruption != "none";
+  if (corrupt && !corruption_by_name(corruption, &corruption_kind)) {
+    std::fprintf(stderr, "unknown --corruption=%s\n", corruption.c_str());
+    return 2;
+  }
+
+  const auto root = static_cast<sim::ProcessorId>(cli.get_int("root", 0));
+  const auto cycles = static_cast<std::uint64_t>(cli.get_int("cycles", 3));
+  const auto max_steps = static_cast<std::uint64_t>(
+      cli.get_int("max-steps", 1'000'000));
+
+  pif::PifProtocol protocol(*g, pif::Params::for_graph(*g, root));
+  sim::Simulator<pif::PifProtocol> sim(protocol, *g, seed);
+
+  obs::Registry registry;
+  obs::EventLog events;
+  pif::PifMetricsProbe probe(protocol, registry, &events);
+  sim.add_probe(&probe);
+  pif::GhostTracker tracker(*g, root);
+  pif::attach(sim, tracker);
+
+  if (corrupt) {
+    util::Rng corruption_rng(seed ^ 0x5eedc0de);
+    pif::apply_corruption(sim, corruption_kind, corruption_rng);
+  }
+
+  const auto result = sim.run_until(
+      *daemon,
+      [&](const sim::Configuration<pif::State>&) {
+        return tracker.cycles_completed() >= cycles;
+      },
+      sim::RunLimits{.max_steps = max_steps});
+
+  const char* reason = "predicate";
+  switch (result.reason) {
+    case sim::StopReason::kPredicate:
+      reason = "target cycles reached";
+      break;
+    case sim::StopReason::kTerminal:
+      reason = "terminal (no enabled processor)";
+      break;
+    case sim::StopReason::kStepLimit:
+      reason = "step limit";
+      break;
+    case sim::StopReason::kRoundLimit:
+      reason = "round limit";
+      break;
+  }
+
+  const bool csv = cli.get_bool("csv", false);
+  util::Table run({"topology", "N", "daemon", "corruption", "seed", "steps",
+                   "rounds", "cycles", "stop"});
+  run.add_row({topology, util::fmt(g->n()), daemon_name, corruption,
+               util::fmt(seed), util::fmt(result.steps), util::fmt(result.rounds),
+               util::fmt(tracker.cycles_completed()), reason});
+  std::fputs((csv ? run.render_csv() : run.render()).c_str(), stdout);
+  std::printf("\n");
+  std::fputs((csv ? registry.summary_table().render_csv()
+                  : registry.summary_table().render())
+                 .c_str(),
+             stdout);
+
+  bool io_ok = true;
+  if (const auto path = cli.get("jsonl"); path.has_value()) {
+    if (events.write_jsonl(*path)) {
+      std::printf("\nwrote %zu events to %s", events.size(), path->c_str());
+    } else {
+      std::fprintf(stderr, "\nerror: cannot write %s\n", path->c_str());
+      io_ok = false;
+    }
+  }
+  if (const auto path = cli.get("trace"); path.has_value()) {
+    if (events.write_chrome_trace(*path)) {
+      std::printf("\nwrote Chrome trace to %s (load in about:tracing)",
+                  path->c_str());
+    } else {
+      std::fprintf(stderr, "\nerror: cannot write %s\n", path->c_str());
+      io_ok = false;
+    }
+  }
+  if (const auto path = cli.get("metrics"); path.has_value()) {
+    std::FILE* f = std::fopen(path->c_str(), "w");
+    if (f != nullptr) {
+      const std::string json = registry.json();
+      io_ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+              std::fclose(f) == 0 && io_ok;
+      std::printf("\nwrote registry snapshot to %s", path->c_str());
+    } else {
+      std::fprintf(stderr, "\nerror: cannot write %s\n", path->c_str());
+      io_ok = false;
+    }
+  }
+  if (events.dropped() > 0) {
+    std::printf("\nWARNING: %llu events dropped (bounded log)",
+                static_cast<unsigned long long>(events.dropped()));
+  }
+  std::printf("\n");
+
+  return (result.reason == sim::StopReason::kPredicate && io_ok) ? 0 : 1;
+}
