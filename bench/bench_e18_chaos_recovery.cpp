@@ -1,0 +1,83 @@
+// E18 — chaos campaigns: recovery time from *sustained, mixed* fault
+// timelines.  E1/E15 measure recovery from a single corruption burst; the
+// snap-stabilization claim is about the quiet point after ANY transient
+// fault pattern, so here the adversary is a whole scheduled campaign —
+// bursts, structured corruptions, daemon swaps, connectivity-preserving
+// link churn — and the chaos oracle measures rounds from the quiet point to
+// (a) all-Normal closure and (b) the first clean cycle's close, asserting
+// the snap property on that cycle.  Worst observed recovery sits far below
+// the composed theorem budget (20*Lmax + 50).
+#include "bench_common.hpp"
+
+#include "chaos/campaign.hpp"
+#include "chaos/schedule.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace snappif {
+namespace {
+
+void run() {
+  bench::print_header(
+      "E18  Chaos campaign recovery",
+      "after the last scheduled fault of a mixed campaign, every processor "
+      "re-normalizes and the first root cycle is a correct PIF (snap)");
+
+  util::Table table({"topology", "N", "events", "campaigns", "recovered",
+                     "snap ok", "mean to-normal", "mean to-cycle", "worst",
+                     "budget 20Lmax+50"});
+  const std::uint64_t kCampaigns = 12;
+  obs::Registry registry;
+
+  for (const auto& named : graph::standard_suite(24, 18000)) {
+    if (named.name == "complete" || named.name == "lollipop") {
+      continue;  // keep the table compact
+    }
+    for (std::uint32_t events : {4u, 8u}) {
+      chaos::CampaignShape shape;
+      shape.events = events;
+      shape.horizon_rounds = 40;
+      shape.max_magnitude = 4;
+      util::Rng rng(18000 + events);
+
+      util::OnlineStats to_normal;
+      util::OnlineStats to_cycle;
+      std::uint64_t recovered = 0;
+      std::uint64_t snap_ok = 0;
+      std::uint64_t worst = 0;
+      std::uint32_t l_max = 1;
+      for (std::uint64_t i = 0; i < kCampaigns; ++i) {
+        const chaos::FaultSchedule schedule = chaos::random_schedule(shape, rng);
+        chaos::CampaignOptions opts;
+        opts.seed = rng();
+        opts.registry = &registry;
+        const chaos::CampaignResult r =
+            chaos::run_campaign(named.graph, schedule, opts);
+        l_max = named.graph.n() > 1 ? named.graph.n() - 1 : 1;
+        if (r.recovered) {
+          ++recovered;
+          to_normal.add(static_cast<double>(r.rounds_to_normal));
+          to_cycle.add(static_cast<double>(r.rounds_to_cycle_close));
+          worst = std::max(worst, r.rounds_to_cycle_close);
+        }
+        snap_ok += r.snap_ok ? 1 : 0;
+      }
+      table.add_row({named.name, util::fmt(named.graph.n()), util::fmt(events),
+                     util::fmt(kCampaigns), util::fmt(recovered),
+                     util::fmt(snap_ok), util::fmt(to_normal.mean()),
+                     util::fmt(to_cycle.mean()), util::fmt(worst),
+                     util::fmt(20u * l_max + 50u)});
+    }
+  }
+  bench::print_table(table);
+  bench::print_registry("chaos telemetry (all campaigns above):", registry);
+}
+
+}  // namespace
+}  // namespace snappif
+
+int main(int argc, char** argv) {
+  snappif::bench::init(argc, argv);
+  snappif::run();
+  return 0;
+}

@@ -1,0 +1,326 @@
+#include "chaos/campaign.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <utility>
+
+#include "graph/properties.hpp"
+#include "pif/checker.hpp"
+#include "pif/faults.hpp"
+#include "pif/ghost.hpp"
+#include "pif/instrument.hpp"
+#include "sim/daemon.hpp"
+#include "sim/faults.hpp"
+#include "util/assert.hpp"
+
+namespace snappif::chaos {
+
+namespace {
+
+using PifSim = sim::Simulator<pif::PifProtocol>;
+
+class CampaignEngine {
+ public:
+  CampaignEngine(const graph::Graph& g, const CampaignOptions& opts)
+      : opts_(opts), rng_(opts.seed), n_(g.n()), tracker_(g, opts.root) {
+    SNAPPIF_ASSERT_MSG(graph::is_connected(g), "campaign graph must be connected");
+    SNAPPIF_ASSERT(opts.root < g.n());
+    present_ = g.edges();
+    daemon_ = sim::make_daemon(opts.daemon);
+    rebuild(nullptr);
+  }
+
+  CampaignResult run(const FaultSchedule& schedule) {
+    CampaignResult result;
+    FaultSchedule sorted = schedule;
+    sorted.normalize();
+
+    // Fault phase: march the campaign clock to each event round, apply.
+    std::size_t next = 0;
+    while (next < sorted.events.size()) {
+      while (next < sorted.events.size() &&
+             sorted.events[next].round <= clock_.rounds()) {
+        apply_event(sorted.events[next], result);
+        ++next;
+      }
+      if (next >= sorted.events.size()) {
+        break;
+      }
+      const std::uint64_t target = sorted.events[next].round;
+      const auto r = sim_->run_until(
+          *daemon_,
+          [&](const pif::Config&) { return clock_.rounds() >= target; },
+          sim::RunLimits{.max_steps = remaining_steps(result)});
+      result.steps += r.steps;
+      if (r.reason != sim::StopReason::kPredicate) {
+        result.failure = "fault phase stalled before round " +
+                         std::to_string(target) + " (" + stop_name(r.reason) +
+                         ")";
+        record_telemetry(result);
+        return result;
+      }
+    }
+    result.completed = true;
+    result.quiet_round = clock_.rounds();
+
+    run_oracle(result);
+    record_telemetry(result);
+    return result;
+  }
+
+ private:
+  // --- construction / link churn -------------------------------------------
+
+  /// (Re)builds protocol + simulator on the current edge set, transferring
+  /// states.  States whose Par left the variable domain (edge removed) are
+  /// re-drawn uniformly on the new topology; `result` (when non-null) counts
+  /// them as injected faults.
+  void rebuild(CampaignResult* result) {
+    auto next_graph =
+        std::make_unique<graph::Graph>(graph::Graph::from_edges(n_, present_));
+    pif::Params params = pif::Params::for_graph(*next_graph, opts_.root);
+    if (opts_.tweak_params) {
+      opts_.tweak_params(params);
+    }
+    auto next_sim = std::make_unique<PifSim>(
+        pif::PifProtocol(*next_graph, params), *next_graph, rng_());
+    next_sim->set_action_policy(opts_.policy);
+    next_sim->set_score(
+        [](const pif::State& s) { return static_cast<std::int64_t>(s.level); });
+    if (sim_ != nullptr) {
+      const pif::Config& old = sim_->config();
+      for (sim::ProcessorId p = 0; p < n_; ++p) {
+        pif::State s = old.state(p);
+        if (p != opts_.root &&
+            (s.parent >= n_ || !next_graph->has_edge(p, s.parent))) {
+          s = next_sim->protocol().random_state(p, rng_);
+          if (result != nullptr) {
+            ++result->faults_injected;
+          }
+        }
+        next_sim->set_state(p, s);
+      }
+    }
+    sim_ = std::move(next_sim);    // old simulator (and its graph refs) die first
+    graph_ = std::move(next_graph);
+    sim_->add_probe(&clock_);
+    pif::attach(*sim_, tracker_);
+  }
+
+  void kill_links(std::uint32_t magnitude, CampaignResult& result) {
+    std::uint32_t killed = 0;
+    for (std::uint32_t i = 0; i < magnitude; ++i) {
+      if (present_.size() <= 1) {
+        break;
+      }
+      std::vector<std::size_t> order(present_.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      rng_.shuffle(std::span<std::size_t>(order));
+      bool removed_one = false;
+      for (std::size_t idx : order) {
+        std::vector<graph::Edge> candidate;
+        candidate.reserve(present_.size() - 1);
+        for (std::size_t j = 0; j < present_.size(); ++j) {
+          if (j != idx) {
+            candidate.push_back(present_[j]);
+          }
+        }
+        if (graph::is_connected(graph::Graph::from_edges(n_, candidate))) {
+          removed_.push_back(present_[idx]);
+          present_ = std::move(candidate);
+          removed_one = true;
+          break;
+        }
+      }
+      if (!removed_one) {
+        break;  // every remaining edge is a bridge
+      }
+      ++killed;
+    }
+    if (killed == 0) {
+      ++result.events_skipped;
+      return;
+    }
+    result.links_killed += killed;
+    ++result.events_applied;
+    rebuild(&result);
+  }
+
+  void restore_links(std::uint32_t magnitude, CampaignResult& result) {
+    std::uint32_t restored = 0;
+    while (restored < magnitude && !removed_.empty()) {
+      const std::size_t idx = rng_.below(removed_.size());
+      present_.push_back(removed_[idx]);
+      removed_[idx] = removed_.back();
+      removed_.pop_back();
+      ++restored;
+    }
+    if (restored == 0) {
+      ++result.events_skipped;
+      return;
+    }
+    result.links_restored += restored;
+    ++result.events_applied;
+    rebuild(&result);
+  }
+
+  void apply_event(const FaultEvent& ev, CampaignResult& result) {
+    switch (ev.kind) {
+      case EventKind::kBurst: {
+        const auto hit = std::min<std::uint32_t>(ev.magnitude, n_);
+        sim::inject_burst(*sim_, ev.magnitude, rng_);
+        result.faults_injected += hit;
+        ++result.events_applied;
+        return;
+      }
+      case EventKind::kCorrupt:
+        pif::apply_corruption(*sim_, ev.corruption, rng_);
+        result.faults_injected += n_;
+        ++result.events_applied;
+        return;
+      case EventKind::kDaemonSwap:
+        daemon_ = sim::make_daemon(ev.daemon);
+        ++result.events_applied;
+        return;
+      case EventKind::kLinkKill:
+        kill_links(ev.magnitude, result);
+        return;
+      case EventKind::kLinkRestore:
+        restore_links(ev.magnitude, result);
+        return;
+      case EventKind::kMpLoss:
+      case EventKind::kMpDuplicate:
+      case EventKind::kMpReorder:
+        ++result.events_skipped;  // mp substrate events; see mp_campaign.hpp
+        return;
+    }
+    SNAPPIF_ASSERT_MSG(false, "unknown fault event kind");
+  }
+
+  // --- recovery oracle -----------------------------------------------------
+
+  void run_oracle(CampaignResult& result) {
+    pif::Checker checker(sim_->protocol());
+    const std::uint32_t l_max = sim_->protocol().params().l_max;
+    const std::uint64_t budget = opts_.recovery_round_budget != 0
+                                     ? opts_.recovery_round_budget
+                                     : 20ull * l_max + 50;
+    const std::uint64_t quiet = clock_.rounds();
+    const std::uint64_t cycles_at_quiet = tracker_.cycles_completed();
+    const bool in_flight = tracker_.cycle_active();
+
+    // Milestone 1 (Theorem 1): all-Normal closure.
+    const auto r1 = sim_->run_until(
+        *daemon_,
+        [&](const pif::Config& c) { return checker.all_normal(c); },
+        sim::RunLimits{.max_steps = remaining_steps(result),
+                       .max_rounds = budget});
+    result.steps += r1.steps;
+    if (r1.reason != sim::StopReason::kPredicate) {
+      result.failure = "no all-Normal closure within " + std::to_string(budget) +
+                       " post-quiet rounds (" + stop_name(r1.reason) + ")";
+      return;
+    }
+    result.rounds_to_normal = clock_.rounds() - quiet;
+
+    // Milestone 2 (snap property): the first cycle the root initiates after
+    // the quiet point closes and is correct.  A cycle already in flight at
+    // quiet started under faults and is excused — skip its verdict.
+    const std::uint64_t target_idx = cycles_at_quiet + (in_flight ? 1 : 0);
+    const auto r2 = sim_->run_until(
+        *daemon_,
+        [&](const pif::Config&) {
+          return tracker_.cycles_completed() > target_idx;
+        },
+        sim::RunLimits{.max_steps = remaining_steps(result),
+                       .max_rounds = budget});
+    result.steps += r2.steps;
+    if (r2.reason != sim::StopReason::kPredicate) {
+      result.failure = "first post-quiet cycle did not close within " +
+                       std::to_string(budget) + " post-quiet rounds (" +
+                       stop_name(r2.reason) + ")";
+      return;
+    }
+    result.recovered = true;
+    result.rounds_to_cycle_close = clock_.rounds() - quiet;
+
+    const pif::CycleVerdict& verdict = tracker_.verdicts().at(target_idx);
+    result.pif1 = verdict.pif1;
+    result.pif2 = verdict.pif2;
+    result.aborted = verdict.aborted;
+    result.snap_ok = verdict.ok();
+    if (!result.snap_ok) {
+      result.failure = std::string("snap violation on first post-quiet cycle:") +
+                       (verdict.pif1 ? "" : " !pif1") +
+                       (verdict.pif2 ? "" : " !pif2") +
+                       (verdict.aborted ? " aborted" : "");
+    }
+  }
+
+  // --- bookkeeping ---------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t remaining_steps(const CampaignResult& result) const {
+    return result.steps >= opts_.max_steps ? 0 : opts_.max_steps - result.steps;
+  }
+
+  [[nodiscard]] static const char* stop_name(sim::StopReason reason) {
+    switch (reason) {
+      case sim::StopReason::kPredicate:
+        return "predicate";
+      case sim::StopReason::kTerminal:
+        return "terminal configuration";
+      case sim::StopReason::kStepLimit:
+        return "step limit";
+      case sim::StopReason::kRoundLimit:
+        return "round limit";
+    }
+    return "?";
+  }
+
+  void record_telemetry(const CampaignResult& result) const {
+    if (opts_.registry == nullptr) {
+      return;
+    }
+    obs::Registry& reg = *opts_.registry;
+    reg.counter("chaos.campaigns").inc();
+    if (!result.ok()) {
+      reg.counter("chaos.campaigns_failed").inc();
+    }
+    reg.counter("chaos.events_applied").inc(result.events_applied);
+    reg.counter("chaos.events_skipped").inc(result.events_skipped);
+    reg.counter("chaos.faults_injected").inc(result.faults_injected);
+    reg.counter("chaos.links_killed").inc(result.links_killed);
+    reg.counter("chaos.links_restored").inc(result.links_restored);
+    if (result.recovered) {
+      reg.histogram("chaos.recovery_rounds", 32, 4.0)
+          .add(static_cast<double>(result.rounds_to_cycle_close));
+      reg.stats("chaos.rounds_to_normal")
+          .add(static_cast<double>(result.rounds_to_normal));
+      obs::Gauge& worst = reg.gauge("chaos.worst_recovery_rounds");
+      worst.set(std::max(worst.value(),
+                         static_cast<double>(result.rounds_to_cycle_close)));
+    }
+  }
+
+  CampaignOptions opts_;
+  util::Rng rng_;
+  graph::NodeId n_;
+  std::vector<graph::Edge> present_;
+  std::vector<graph::Edge> removed_;
+  std::unique_ptr<graph::Graph> graph_;
+  std::unique_ptr<PifSim> sim_;
+  std::unique_ptr<sim::IDaemon> daemon_;
+  RoundClock clock_;
+  pif::GhostTracker tracker_;
+};
+
+}  // namespace
+
+CampaignResult run_campaign(const graph::Graph& g, const FaultSchedule& schedule,
+                            const CampaignOptions& opts) {
+  CampaignEngine engine(g, opts);
+  return engine.run(schedule);
+}
+
+}  // namespace snappif::chaos

@@ -1,0 +1,119 @@
+// Campaign engine + recovery oracle for the shared-memory PIF.
+//
+// run_campaign() subjects one Simulator<PifProtocol> run to a FaultSchedule:
+// events fire at their scheduled global rounds (bursts, structured
+// corruptions, daemon swaps, connectivity-preserving link churn), and once
+// the schedule is exhausted — the *quiet point*, the paper's "after the last
+// transient fault" — the recovery oracle takes over and mechanically checks
+// the claims of Theorems 1 and 4:
+//
+//   1. every processor returns to Normal within the round budget
+//      (Theorem 1: <= 3·Lmax + 3 rounds from any configuration);
+//   2. the first root-initiated cycle after the quiet point satisfies
+//      [PIF1] and [PIF2] and is never aborted (snap-stabilization: a cycle
+//      already in flight at the quiet point is excused — it *started* under
+//      faults — but the next one is not).
+//
+// Timekeeping: fault injection rewrites states, which restarts the engine's
+// Dolev-Israeli-Moran round tracker, and link churn rebuilds the simulator
+// outright.  The campaign therefore carries its own monotone round clock — a
+// RoundClock probe that counts on_round_complete callbacks and survives both
+// resets — and every event round / recovery measurement is stated on that
+// clock.  (The partial round in progress when a fault lands is discarded;
+// faults do not get to *speed up* the clock.)
+//
+// Link churn and the paper's model: removing an edge can leave Par_p
+// pointing at a non-neighbor, which is outside the variable's domain
+// (Par_p ∈ Neig_p).  The engine re-draws such states uniformly on the new
+// topology — the churn itself is the transient fault, but every variable
+// stays inside its domain, so the theorems (stated over in-domain
+// configurations of the *current* graph) remain applicable and the oracle
+// stays sound.  N is fixed throughout (the root's exact-N knowledge is the
+// snap linchpin); only edges churn, and kills that would disconnect the
+// graph are skipped and reported.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "chaos/schedule.hpp"
+#include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "pif/params.hpp"
+#include "pif/protocol.hpp"
+#include "sim/probe.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::chaos {
+
+/// Monotone campaign clock: counts completed rounds across the round-tracker
+/// resets caused by fault injection and across simulator rebuilds caused by
+/// link churn (re-attach the same instance to the new simulator).
+class RoundClock final : public sim::IProbe<pif::PifProtocol> {
+ public:
+  void on_round_complete(std::uint64_t /*rounds*/, const sim::StepEvent& /*ev*/,
+                         const Config& /*config*/) override {
+    ++total_;
+  }
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return total_; }
+
+ private:
+  std::uint64_t total_ = 0;
+};
+
+struct CampaignOptions {
+  sim::ProcessorId root = 0;
+  sim::DaemonKind daemon = sim::DaemonKind::kDistributedRandom;
+  sim::ActionPolicy policy = sim::ActionPolicy::kFirstEnabled;
+  std::uint64_t seed = 1;
+  /// Global step ceiling for the whole campaign (fault phase + recovery).
+  std::uint64_t max_steps = 4'000'000;
+  /// Rounds allowed after the quiet point for each oracle milestone
+  /// (all-normal, then first-clean-cycle close).  0 = automatic:
+  /// 20·Lmax + 50, generous against Theorem 1's 3·Lmax + 3 and the
+  /// SBN + cycle budgets (9·Lmax + 8, 5h + 5) plus an in-flight cycle.
+  std::uint64_t recovery_round_budget = 0;
+  /// Hook for deliberately broken protocol variants (shrinker tests, guard
+  /// ablation campaigns).  Called on the canonical Params before each
+  /// protocol construction.
+  std::function<void(pif::Params&)> tweak_params;
+  /// Optional telemetry sink; see src/chaos/README.md for the metric names.
+  obs::Registry* registry = nullptr;
+};
+
+struct CampaignResult {
+  // --- fault phase ---
+  bool completed = false;  // schedule fully applied within the step budget
+  std::uint64_t events_applied = 0;
+  std::uint64_t events_skipped = 0;   // mp-only kinds, un-killable edges
+  std::uint64_t faults_injected = 0;  // processor states rewritten
+  std::uint64_t links_killed = 0;
+  std::uint64_t links_restored = 0;
+  std::uint64_t quiet_round = 0;  // campaign clock at the quiet point
+
+  // --- recovery oracle ---
+  bool recovered = false;  // both milestones inside the round budget
+  std::uint64_t rounds_to_normal = 0;       // quiet -> all Normal
+  std::uint64_t rounds_to_cycle_close = 0;  // quiet -> first clean cycle closed
+  bool snap_ok = false;  // that cycle: pif1 && pif2 && !aborted
+  bool pif1 = false;
+  bool pif2 = false;
+  bool aborted = false;
+
+  std::uint64_t steps = 0;  // total steps executed
+  /// Human-readable diagnosis when !ok(); empty otherwise.
+  std::string failure;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return completed && recovered && snap_ok;
+  }
+};
+
+/// Runs one campaign of `schedule` against the PIF on `g`.  Deterministic in
+/// (g, schedule, opts.seed).
+[[nodiscard]] CampaignResult run_campaign(const graph::Graph& g,
+                                          const FaultSchedule& schedule,
+                                          const CampaignOptions& opts);
+
+}  // namespace snappif::chaos

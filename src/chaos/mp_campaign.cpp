@@ -1,0 +1,178 @@
+#include "chaos/mp_campaign.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/properties.hpp"
+#include "mp/network.hpp"
+#include "mp/repeated_pif.hpp"
+#include "util/assert.hpp"
+
+namespace snappif::chaos {
+
+namespace {
+
+/// An active fault window on the campaign clock: [begin, end).
+struct Window {
+  EventKind kind;
+  std::uint64_t begin;
+  std::uint64_t end;
+  double rate;
+};
+
+void record_telemetry(obs::Registry* registry, const MpCampaignResult& result) {
+  if (registry == nullptr) {
+    return;
+  }
+  obs::Registry& reg = *registry;
+  reg.counter("chaos.mp.campaigns").inc();
+  if (!result.ok()) {
+    reg.counter("chaos.mp.campaigns_failed").inc();
+  }
+  reg.counter("chaos.mp.messages_dropped").inc(result.messages_dropped);
+  reg.counter("chaos.mp.messages_duplicated").inc(result.messages_duplicated);
+  reg.counter("chaos.mp.messages_reordered").inc(result.messages_reordered);
+  reg.counter("chaos.mp.waves_started").inc(result.waves_started);
+  if (result.recovered) {
+    reg.stats("chaos.mp.rounds_to_recover")
+        .add(static_cast<double>(result.rounds_to_recover));
+    obs::Gauge& worst = reg.gauge("chaos.mp.worst_recovery_rounds");
+    worst.set(std::max(worst.value(),
+                       static_cast<double>(result.rounds_to_recover)));
+  }
+}
+
+}  // namespace
+
+MpCampaignResult run_mp_campaign(const graph::Graph& g,
+                                 const FaultSchedule& schedule,
+                                 const MpCampaignOptions& opts) {
+  SNAPPIF_ASSERT_MSG(graph::is_connected(g),
+                     "mp campaign graph must be connected");
+  SNAPPIF_ASSERT(opts.root < g.n());
+  MpCampaignResult result;
+
+  std::vector<Window> windows;
+  for (const FaultEvent& ev : schedule.events) {
+    switch (ev.kind) {
+      case EventKind::kMpLoss:
+      case EventKind::kMpDuplicate:
+      case EventKind::kMpReorder:
+        // duration 0 means "at least this round".
+        windows.push_back({ev.kind, ev.round,
+                           ev.round + std::max<std::uint64_t>(ev.duration, 1),
+                           ev.rate});
+        break;
+      default:
+        ++result.events_skipped;  // shared-memory kinds; see campaign.hpp
+        break;
+    }
+  }
+  result.windows_applied = windows.size();
+  std::uint64_t quiet = 0;
+  for (const Window& w : windows) {
+    quiet = std::max(quiet, w.end);
+  }
+  result.quiet_round = quiet;
+
+  mp::RepeatedPifProtocol proto(g, opts.root);
+  mp::Network net(g, proto, mp::Delivery::kSynchronous, opts.seed);
+  net.start();
+
+  // The campaign clock is a local counter: one iteration = one synchronous
+  // round, whether or not anything was in flight.  (net.rounds() stalls when
+  // total loss empties the channels, which would freeze window expiry.)
+  std::uint64_t round = 0;
+  std::uint64_t wave_payload = 0;
+
+  const auto set_rates = [&]() {
+    double loss = 0.0;
+    double dup = 0.0;
+    double reorder = 0.0;
+    for (const Window& w : windows) {
+      if (round < w.begin || round >= w.end) {
+        continue;
+      }
+      switch (w.kind) {
+        case EventKind::kMpLoss:
+          loss = std::max(loss, w.rate);
+          break;
+        case EventKind::kMpDuplicate:
+          dup = std::max(dup, w.rate);
+          break;
+        default:
+          reorder = std::max(reorder, w.rate);
+          break;
+      }
+    }
+    net.set_loss_rate(loss);
+    net.set_duplication_rate(dup);
+    net.set_reorder_rate(reorder);
+  };
+
+  const auto finish = [&](MpCampaignResult& r) {
+    r.messages_dropped = net.messages_dropped();
+    r.messages_duplicated = net.messages_duplicated();
+    r.messages_reordered = net.messages_reordered();
+    r.waves_started = proto.waves_started();
+    r.waves_ok = proto.waves_ok();
+    record_telemetry(opts.registry, r);
+    return r;
+  };
+
+  // Fault phase: the root keeps the classic repeated-PIF usage — start a new
+  // wave whenever the network quiesces (which is also how a fully-dropped
+  // wave gets superseded).
+  while (round < quiet) {
+    if (round >= opts.max_rounds) {
+      result.failure = "fault phase exceeded max_rounds";
+      return finish(result);
+    }
+    set_rates();
+    if (net.in_flight() == 0) {
+      proto.start_wave(net, ++wave_payload);
+    }
+    net.step();
+    ++round;
+  }
+  result.completed = true;
+
+  // Recovery oracle: channels are reliable again; a wave observed fully
+  // correct (waves_ok advances) must appear within the wave/round budgets.
+  net.set_loss_rate(0.0);
+  net.set_duplication_rate(0.0);
+  net.set_reorder_rate(0.0);
+  const std::uint64_t quiet_start = round;
+  const std::uint64_t ok_at_quiet = proto.waves_ok();
+  std::uint64_t fresh_waves = 0;
+  while (true) {
+    if (proto.waves_ok() > ok_at_quiet) {
+      result.recovered = true;
+      result.rounds_to_recover = round - quiet_start;
+      result.waves_to_recover = fresh_waves;
+      break;
+    }
+    if (round - quiet_start >= opts.recovery_round_budget ||
+        round >= opts.max_rounds) {
+      result.failure = "no correct wave within " +
+                       std::to_string(opts.recovery_round_budget) +
+                       " post-quiet rounds";
+      break;
+    }
+    if (net.in_flight() == 0) {
+      if (fresh_waves >= opts.recovery_wave_budget) {
+        result.failure = "no correct wave within " +
+                         std::to_string(opts.recovery_wave_budget) +
+                         " post-quiet waves";
+        break;
+      }
+      ++fresh_waves;
+      proto.start_wave(net, ++wave_payload);
+    }
+    net.step();
+    ++round;
+  }
+  return finish(result);
+}
+
+}  // namespace snappif::chaos

@@ -1,0 +1,71 @@
+// Fault campaigns for the message-passing substrate.
+//
+// "Snap-Stabilization in Message-Passing Systems" (PAPERS.md) motivates the
+// same question for the mp world the shared-memory oracle answers for the
+// paper's protocol: after the channels stop misbehaving, how quickly does
+// the wave machinery deliver a correct PIF again?  This runner drives
+// mp::RepeatedPifProtocol (Segall-style sequence-numbered waves) under a
+// FaultSchedule's window events — loss, duplication, and intra-channel
+// reordering, each active for `duration` synchronous delivery rounds — and
+// then applies the recovery oracle: with the channels reliable again, the
+// next root-initiated wave must complete and be observed correct
+// (waves_ok() advances) within the wave/round budget.
+//
+// The window semantics make the known limitation measurable: a lost token
+// stalls the current wave forever (no retransmission), and recovery happens
+// only because the root supersedes it with a fresh sequence number — the
+// message-passing ancestor of the snap-stabilization story, and the reason
+// the quiet-point oracle is the right yardstick in both models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/schedule.hpp"
+#include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+
+namespace snappif::chaos {
+
+struct MpCampaignOptions {
+  sim::ProcessorId root = 0;
+  std::uint64_t seed = 1;
+  /// Synchronous delivery rounds allowed for the whole campaign.
+  std::uint64_t max_rounds = 100'000;
+  /// After the quiet point: fresh waves the root may start before one must
+  /// be observed correct.
+  std::uint64_t recovery_wave_budget = 4;
+  /// ...and the delivery-round ceiling for that recovery.
+  std::uint64_t recovery_round_budget = 1'000;
+  /// Optional telemetry sink (metrics prefixed "chaos.mp.").
+  obs::Registry* registry = nullptr;
+};
+
+struct MpCampaignResult {
+  bool completed = false;  // all windows elapsed within max_rounds
+  std::uint64_t quiet_round = 0;
+  std::uint64_t windows_applied = 0;
+  std::uint64_t events_skipped = 0;  // non-mp event kinds in the schedule
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_reordered = 0;
+  std::uint64_t waves_started = 0;
+  std::uint64_t waves_ok = 0;
+
+  bool recovered = false;  // a post-quiet wave completed correctly in budget
+  std::uint64_t rounds_to_recover = 0;  // quiet -> that wave's completion
+  std::uint64_t waves_to_recover = 0;   // fresh waves needed post-quiet
+
+  std::string failure;
+
+  [[nodiscard]] bool ok() const noexcept { return completed && recovered; }
+};
+
+/// Runs one mp campaign on `g` (synchronous delivery; time = delivery
+/// rounds).  Only the schedule's loss/dup/reorder windows apply; other kinds
+/// are counted as skipped.  Deterministic in (g, schedule, opts.seed).
+[[nodiscard]] MpCampaignResult run_mp_campaign(const graph::Graph& g,
+                                               const FaultSchedule& schedule,
+                                               const MpCampaignOptions& opts);
+
+}  // namespace snappif::chaos

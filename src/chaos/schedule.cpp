@@ -1,0 +1,314 @@
+#include "chaos/schedule.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace snappif::chaos {
+
+namespace {
+
+struct KindName {
+  EventKind kind;
+  std::string_view name;
+};
+
+constexpr KindName kKindNames[] = {
+    {EventKind::kBurst, "burst"},
+    {EventKind::kCorrupt, "corrupt"},
+    {EventKind::kDaemonSwap, "daemon"},
+    {EventKind::kLinkKill, "kill"},
+    {EventKind::kLinkRestore, "restore"},
+    {EventKind::kMpLoss, "loss"},
+    {EventKind::kMpDuplicate, "dup"},
+    {EventKind::kMpReorder, "reorder"},
+};
+
+[[nodiscard]] bool kind_by_name(std::string_view name, EventKind* out) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.name == name) {
+      *out = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] bool parse_u64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (char ch : text) {
+    if (ch < '0' || ch > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  *out = value;
+  return true;
+}
+
+[[nodiscard]] bool parse_rate(std::string_view text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  const std::string owned(text);
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) {
+    return false;
+  }
+  if (!(value >= 0.0 && value <= 1.0)) {  // also rejects NaN
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+/// Formats a rate with enough precision to roundtrip typical hand-written
+/// values ("0.25") without trailing-zero noise.
+[[nodiscard]] std::string format_rate(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", rate);
+  return buf;
+}
+
+[[nodiscard]] bool is_mp_window(EventKind kind) {
+  return kind == EventKind::kMpLoss || kind == EventKind::kMpDuplicate ||
+         kind == EventKind::kMpReorder;
+}
+
+}  // namespace
+
+std::string_view event_kind_name(EventKind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) {
+      return entry.name;
+    }
+  }
+  return "?";
+}
+
+std::string FaultEvent::to_string() const {
+  std::string out = std::to_string(round);
+  out += ':';
+  out += event_kind_name(kind);
+  switch (kind) {
+    case EventKind::kBurst:
+    case EventKind::kLinkKill:
+    case EventKind::kLinkRestore:
+      out += '*';
+      out += std::to_string(magnitude);
+      break;
+    case EventKind::kCorrupt:
+      out += '=';
+      out += pif::corruption_name(corruption);
+      break;
+    case EventKind::kDaemonSwap:
+      out += '=';
+      out += sim::daemon_kind_name(daemon);
+      break;
+    case EventKind::kMpLoss:
+    case EventKind::kMpDuplicate:
+    case EventKind::kMpReorder:
+      out += '@';
+      out += format_rate(rate);
+      out += '/';
+      out += std::to_string(duration);
+      break;
+  }
+  return out;
+}
+
+std::optional<FaultEvent> FaultEvent::parse(std::string_view text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    return std::nullopt;
+  }
+  FaultEvent ev;
+  if (!parse_u64(text.substr(0, colon), &ev.round)) {
+    return std::nullopt;
+  }
+  std::string_view body = text.substr(colon + 1);
+
+  const std::size_t arg = body.find_first_of("*=@");
+  const std::string_view name =
+      arg == std::string_view::npos ? body : body.substr(0, arg);
+  if (!kind_by_name(name, &ev.kind)) {
+    return std::nullopt;
+  }
+
+  switch (ev.kind) {
+    case EventKind::kBurst:
+    case EventKind::kLinkKill:
+    case EventKind::kLinkRestore: {
+      if (arg == std::string_view::npos) {
+        ev.magnitude = 1;
+        return ev;
+      }
+      if (body[arg] != '*') {
+        return std::nullopt;
+      }
+      std::uint64_t magnitude = 0;
+      if (!parse_u64(body.substr(arg + 1), &magnitude) || magnitude == 0 ||
+          magnitude > 0xffffffffULL) {
+        return std::nullopt;
+      }
+      ev.magnitude = static_cast<std::uint32_t>(magnitude);
+      return ev;
+    }
+    case EventKind::kCorrupt: {
+      if (arg == std::string_view::npos || body[arg] != '=') {
+        return std::nullopt;
+      }
+      const std::string_view which = body.substr(arg + 1);
+      for (pif::CorruptionKind kind : pif::all_corruption_kinds()) {
+        if (which == pif::corruption_name(kind)) {
+          ev.corruption = kind;
+          return ev;
+        }
+      }
+      return std::nullopt;
+    }
+    case EventKind::kDaemonSwap: {
+      if (arg == std::string_view::npos || body[arg] != '=') {
+        return std::nullopt;
+      }
+      const std::string_view which = body.substr(arg + 1);
+      for (sim::DaemonKind kind : sim::standard_daemon_kinds()) {
+        if (which == sim::daemon_kind_name(kind)) {
+          ev.daemon = kind;
+          return ev;
+        }
+      }
+      return std::nullopt;
+    }
+    case EventKind::kMpLoss:
+    case EventKind::kMpDuplicate:
+    case EventKind::kMpReorder: {
+      if (arg == std::string_view::npos || body[arg] != '@') {
+        return std::nullopt;
+      }
+      const std::string_view tail = body.substr(arg + 1);
+      const std::size_t slash = tail.find('/');
+      if (slash == std::string_view::npos) {
+        return std::nullopt;
+      }
+      if (!parse_rate(tail.substr(0, slash), &ev.rate) ||
+          !parse_u64(tail.substr(slash + 1), &ev.duration)) {
+        return std::nullopt;
+      }
+      return ev;
+    }
+  }
+  return std::nullopt;
+}
+
+void FaultSchedule::normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.round < b.round;
+                   });
+}
+
+std::uint64_t FaultSchedule::quiet_round() const {
+  std::uint64_t quiet = 0;
+  for (const FaultEvent& ev : events) {
+    quiet = std::max(quiet, ev.round + ev.duration);
+  }
+  return quiet;
+}
+
+std::string FaultSchedule::to_string() const {
+  std::string out;
+  for (const FaultEvent& ev : events) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += ev.to_string();
+  }
+  return out;
+}
+
+std::optional<FaultSchedule> FaultSchedule::parse(std::string_view text) {
+  FaultSchedule schedule;
+  while (!text.empty()) {
+    const std::size_t semi = text.find(';');
+    const std::string_view piece =
+        semi == std::string_view::npos ? text : text.substr(0, semi);
+    text = semi == std::string_view::npos ? std::string_view{}
+                                          : text.substr(semi + 1);
+    if (piece.empty()) {
+      continue;  // tolerate trailing/double separators
+    }
+    const auto ev = FaultEvent::parse(piece);
+    if (!ev.has_value()) {
+      return std::nullopt;
+    }
+    schedule.events.push_back(*ev);
+  }
+  schedule.normalize();
+  return schedule;
+}
+
+FaultSchedule random_schedule(const CampaignShape& shape, util::Rng& rng) {
+  FaultSchedule schedule;
+  std::vector<EventKind> menu;
+  if (shape.shared_memory) {
+    menu.insert(menu.end(), {EventKind::kBurst, EventKind::kCorrupt,
+                             EventKind::kDaemonSwap, EventKind::kLinkKill});
+  }
+  if (shape.message_passing) {
+    menu.insert(menu.end(), {EventKind::kMpLoss, EventKind::kMpDuplicate,
+                             EventKind::kMpReorder});
+  }
+  if (menu.empty() || shape.events == 0) {
+    return schedule;
+  }
+  const std::uint64_t horizon = std::max<std::uint64_t>(1, shape.horizon_rounds);
+  for (std::uint32_t i = 0; i < shape.events; ++i) {
+    FaultEvent ev;
+    ev.round = rng.below(horizon);
+    ev.kind = menu[rng.below(menu.size())];
+    switch (ev.kind) {
+      case EventKind::kBurst:
+      case EventKind::kLinkKill:
+        ev.magnitude = 1 + static_cast<std::uint32_t>(
+                               rng.below(std::max<std::uint32_t>(1, shape.max_magnitude)));
+        break;
+      case EventKind::kCorrupt: {
+        const auto kinds = pif::all_corruption_kinds();
+        ev.corruption = kinds[rng.below(kinds.size())];
+        break;
+      }
+      case EventKind::kDaemonSwap: {
+        const auto kinds = sim::standard_daemon_kinds();
+        ev.daemon = kinds[rng.below(kinds.size())];
+        break;
+      }
+      case EventKind::kMpLoss:
+      case EventKind::kMpDuplicate:
+      case EventKind::kMpReorder:
+        // Hundredths so to_string/parse replays the exact schedule.
+        ev.rate = static_cast<double>(5 + rng.below(46)) / 100.0;
+        ev.duration = 1 + rng.below(horizon / 4 + 1);
+        break;
+      case EventKind::kLinkRestore:
+        break;  // unreachable: restores are only paired below
+    }
+    schedule.events.push_back(ev);
+    // Pair every kill with a restore so the graph does not erode forever;
+    // the restore lands strictly later, still inside the campaign.
+    if (ev.kind == EventKind::kLinkKill) {
+      FaultEvent heal = ev;
+      heal.kind = EventKind::kLinkRestore;
+      heal.round = ev.round + 1 + rng.below(horizon / 2 + 1);
+      schedule.events.push_back(heal);
+    }
+  }
+  schedule.normalize();
+  return schedule;
+}
+
+}  // namespace snappif::chaos

@@ -1,0 +1,117 @@
+// Declarative fault campaigns.
+//
+// The paper's snap-stabilization theorems speak about behavior *after the
+// last transient fault*: whatever garbage the adversary injected, the first
+// cycle the root initiates once faults stop must be a correct PIF cycle.
+// A FaultSchedule makes "the adversary" a first-class, replayable value — a
+// timeline of fault events stamped in global rounds — so campaigns can be
+// generated from a seed, replayed from a one-line string, and shrunk to a
+// minimal reproducer when a run violates the theory (see chaos/shrink.hpp).
+//
+// Event vocabulary (see src/chaos/README.md for the full grammar):
+//   burst       uniform state corruption of k random processors
+//   corrupt     one of pif::CorruptionKind's structured corruptions
+//   daemon      swap the scheduler strategy mid-run
+//   kill        link churn: remove k edges, preserving connectivity (N fixed)
+//   restore     link churn: re-add up to k previously removed edges
+//   loss        mp substrate: message-loss window (rate, duration in rounds)
+//   dup         mp substrate: message-duplication window
+//   reorder     mp substrate: intra-channel reordering window
+//
+// The shared-memory campaign runner (chaos/campaign.hpp) consumes the first
+// five kinds; the message-passing runner (chaos/mp_campaign.hpp) consumes the
+// window kinds.  A schedule may mix both; each runner skips the kinds outside
+// its model and reports them as skipped.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pif/faults.hpp"
+#include "sim/daemon.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::chaos {
+
+enum class EventKind {
+  kBurst,       // magnitude = processors corrupted
+  kCorrupt,     // corruption = structured recipe
+  kDaemonSwap,  // daemon = new scheduler
+  kLinkKill,    // magnitude = edges removed (connectivity-preserving)
+  kLinkRestore, // magnitude = edges restored
+  kMpLoss,      // rate + duration (rounds)
+  kMpDuplicate, // rate + duration
+  kMpReorder,   // rate + duration
+};
+
+[[nodiscard]] std::string_view event_kind_name(EventKind kind);
+
+/// One timeline entry.  `round` is a *global* round index (rounds survive the
+/// round-tracker resets that fault injection causes; see campaign.hpp).
+struct FaultEvent {
+  std::uint64_t round = 0;
+  EventKind kind = EventKind::kBurst;
+  /// Processors (burst) or edges (kill/restore) touched.
+  std::uint32_t magnitude = 1;
+  /// Probability for the mp window kinds.
+  double rate = 0.0;
+  /// Window length in delivery rounds for the mp kinds (0 = instantaneous).
+  std::uint64_t duration = 0;
+  pif::CorruptionKind corruption = pif::CorruptionKind::kUniformRandom;
+  sim::DaemonKind daemon = sim::DaemonKind::kDistributedRandom;
+
+  [[nodiscard]] bool operator==(const FaultEvent&) const = default;
+
+  /// Grammar form, e.g. "12:burst*3", "20:corrupt=fake-tree",
+  /// "8:kill*2", "5:loss@0.25/10".
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static std::optional<FaultEvent> parse(std::string_view text);
+};
+
+/// A campaign: fault events sorted by round.  The quiet point — the round
+/// after which the adversary is silent — is where the recovery oracle starts
+/// the clock on the paper's guarantees.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  /// Sorts events by round (stable: same-round events keep insertion order).
+  void normalize();
+
+  /// First round with no scheduled activity: max over events of
+  /// round + duration.  0 for an empty schedule.
+  [[nodiscard]] std::uint64_t quiet_round() const;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+
+  /// One-line reproducer, events joined with ';' ("" for empty).
+  [[nodiscard]] std::string to_string() const;
+  /// Inverse of to_string; also accepts unsorted input (normalizes).
+  /// Returns nullopt on any malformed event.
+  [[nodiscard]] static std::optional<FaultSchedule> parse(std::string_view text);
+
+  [[nodiscard]] bool operator==(const FaultSchedule&) const = default;
+};
+
+/// Knobs for random campaign generation (the soak runner's default mode).
+struct CampaignShape {
+  /// Number of events to draw.
+  std::uint32_t events = 6;
+  /// Events land uniformly in [0, horizon_rounds).
+  std::uint64_t horizon_rounds = 60;
+  /// Largest burst / churn magnitude drawn.
+  std::uint32_t max_magnitude = 4;
+  /// Include shared-memory kinds (burst/corrupt/daemon/churn).
+  bool shared_memory = true;
+  /// Include mp window kinds (loss/dup/reorder).
+  bool message_passing = false;
+};
+
+/// Draws a random campaign.  Link kills are paired with a later restore so
+/// sustained campaigns do not thin the graph monotonically.
+[[nodiscard]] FaultSchedule random_schedule(const CampaignShape& shape,
+                                            util::Rng& rng);
+
+}  // namespace snappif::chaos

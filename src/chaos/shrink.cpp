@@ -1,0 +1,116 @@
+#include "chaos/shrink.hpp"
+
+#include <utility>
+
+namespace snappif::chaos {
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(const std::function<bool(const FaultSchedule&)>& still_fails,
+           const ShrinkOptions& options)
+      : still_fails_(still_fails), options_(options) {}
+
+  ShrinkResult run(FaultSchedule schedule) {
+    schedule.normalize();
+    ShrinkResult result;
+    result.minimal = schedule;
+    result.input_failed = fails(schedule);
+    if (result.input_failed) {
+      drop_events(result.minimal);
+      halve_fields(result.minimal);
+      result.reduced = !(result.minimal == schedule);
+    }
+    result.campaigns_run = campaigns_run_;
+    result.reproducer = result.minimal.to_string();
+    return result;
+  }
+
+ private:
+  [[nodiscard]] bool fails(const FaultSchedule& candidate) {
+    if (campaigns_run_ >= options_.max_campaigns) {
+      return false;  // budget exhausted: treat as "could not reproduce"
+    }
+    ++campaigns_run_;
+    return still_fails_(candidate);
+  }
+
+  /// Greedy single-event drops, restarting the scan after every success,
+  /// until no single removal still fails.
+  void drop_events(FaultSchedule& minimal) {
+    bool progress = true;
+    while (progress && !minimal.events.empty()) {
+      progress = false;
+      for (std::size_t i = 0; i < minimal.events.size(); ++i) {
+        FaultSchedule candidate = minimal;
+        candidate.events.erase(candidate.events.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+        if (fails(candidate)) {
+          minimal = std::move(candidate);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  /// Per-event halving of magnitude, rate, and duration while the failure
+  /// reproduces.  Each field shrinks toward its smallest meaningful value
+  /// (magnitude 1, duration 0; rates halve until they stop mattering).
+  void halve_fields(FaultSchedule& minimal) {
+    for (std::size_t i = 0; i < minimal.events.size(); ++i) {
+      while (minimal.events[i].magnitude > 1) {
+        FaultSchedule candidate = minimal;
+        candidate.events[i].magnitude /= 2;
+        if (!fails(candidate)) {
+          break;
+        }
+        minimal = std::move(candidate);
+      }
+      while (minimal.events[i].duration > 0) {
+        FaultSchedule candidate = minimal;
+        candidate.events[i].duration /= 2;
+        if (!fails(candidate)) {
+          break;
+        }
+        minimal = std::move(candidate);
+      }
+      while (minimal.events[i].rate > 0.01) {
+        FaultSchedule candidate = minimal;
+        candidate.events[i].rate /= 2;
+        if (!fails(candidate)) {
+          break;
+        }
+        minimal = std::move(candidate);
+      }
+    }
+  }
+
+  const std::function<bool(const FaultSchedule&)>& still_fails_;
+  ShrinkOptions options_;
+  std::uint64_t campaigns_run_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink(const FaultSchedule& schedule,
+                    const std::function<bool(const FaultSchedule&)>& still_fails,
+                    const ShrinkOptions& options) {
+  Shrinker shrinker(still_fails, options);
+  return shrinker.run(schedule);
+}
+
+ShrinkResult shrink_campaign(const graph::Graph& g,
+                             const FaultSchedule& schedule,
+                             const CampaignOptions& opts,
+                             const ShrinkOptions& options) {
+  CampaignOptions replay = opts;
+  replay.registry = nullptr;  // replays must not pollute telemetry
+  const auto still_fails = [&](const FaultSchedule& candidate) {
+    return !run_campaign(g, candidate, replay).ok();
+  };
+  return shrink(schedule, still_fails, options);
+}
+
+}  // namespace snappif::chaos

@@ -1,0 +1,63 @@
+// Automatic schedule shrinking.
+//
+// When a soak run finds a campaign that violates the recovery oracle, the
+// raw schedule is usually noisy: most of its events are irrelevant to the
+// failure.  shrink() minimizes it the property-based-testing way (delta
+// debugging, QuickCheck-style): greedily drop single events to a fixpoint,
+// then halve magnitudes, rates, and durations while the campaign still
+// fails.  The output is a one-line reproducer (FaultSchedule::to_string)
+// that replays the minimal failing adversary.
+//
+// The predicate abstraction keeps the shrinker model-agnostic: pass a
+// closure running run_campaign (shared memory), run_mp_campaign, or any
+// other deterministic oracle.  Campaigns must be deterministic in the
+// schedule (fixed seed/options inside the closure) — a flaky predicate
+// makes "minimal" meaningless, though the evaluation budget still bounds
+// the work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "chaos/campaign.hpp"
+#include "chaos/schedule.hpp"
+#include "graph/graph.hpp"
+
+namespace snappif::chaos {
+
+struct ShrinkOptions {
+  /// Ceiling on predicate evaluations (each one replays a campaign).
+  std::uint64_t max_campaigns = 400;
+};
+
+struct ShrinkResult {
+  /// The minimal schedule that still fails (== input if nothing could be
+  /// removed or the input did not fail in the first place).
+  FaultSchedule minimal;
+  /// True iff the input failed under the predicate (shrinking only makes
+  /// sense when it did).
+  bool input_failed = false;
+  bool reduced = false;  // minimal differs from the input
+  std::uint64_t campaigns_run = 0;
+  /// minimal.to_string() — the copy-pasteable reproducer.
+  std::string reproducer;
+};
+
+/// Minimizes `schedule` against `still_fails` (true = the failure
+/// reproduces).  Greedy single-event drops to fixpoint, then halving of
+/// magnitudes / rates / durations.
+[[nodiscard]] ShrinkResult shrink(
+    const FaultSchedule& schedule,
+    const std::function<bool(const FaultSchedule&)>& still_fails,
+    const ShrinkOptions& options = {});
+
+/// Convenience wrapper: shrink against run_campaign(g, ·, opts), where
+/// "fails" means !CampaignResult::ok().  Telemetry is suppressed during
+/// shrinking (opts.registry ignored) so replays do not pollute the metrics.
+[[nodiscard]] ShrinkResult shrink_campaign(const graph::Graph& g,
+                                           const FaultSchedule& schedule,
+                                           const CampaignOptions& opts,
+                                           const ShrinkOptions& options = {});
+
+}  // namespace snappif::chaos

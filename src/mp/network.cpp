@@ -1,10 +1,35 @@
 #include "mp/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/assert.hpp"
 
 namespace snappif::mp {
+
+namespace {
+
+/// Fault rates must be probabilities.  NaN is a programming error (it would
+/// silently disable the comparison-based injection below); out-of-range
+/// finite values are clamped, matching the Histogram clamping policy.
+[[nodiscard]] double sanitize_rate(double rate) noexcept {
+  SNAPPIF_ASSERT_MSG(!std::isnan(rate), "fault rate must not be NaN");
+  return std::clamp(rate, 0.0, 1.0);
+}
+
+}  // namespace
+
+void Network::set_loss_rate(double rate) noexcept {
+  loss_rate_ = sanitize_rate(rate);
+}
+
+void Network::set_duplication_rate(double rate) noexcept {
+  duplication_rate_ = sanitize_rate(rate);
+}
+
+void Network::set_reorder_rate(double rate) noexcept {
+  reorder_rate_ = sanitize_rate(rate);
+}
 
 Network::Network(const graph::Graph& g, IMpProtocol& protocol,
                  Delivery delivery, std::uint64_t seed)
@@ -23,14 +48,30 @@ std::size_t Network::channel_index(ProcessorId from, ProcessorId to) const {
   return static_cast<std::size_t>(it - nbrs.begin());
 }
 
-void Network::send(ProcessorId from, ProcessorId to, const Message& m) {
-  ++sent_;
+void Network::enqueue(ProcessorId from, ProcessorId to, const Message& m) {
+  // Loss is decided per enqueued copy (a duplicated message can lose either
+  // copy independently, like a real retransmission race).
   if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) {
     ++dropped_;
     return;
   }
-  inbox_[to][channel_index(from, to)].push_back({from, m});
+  auto& queue = inbox_[to][channel_index(from, to)];
+  if (reorder_rate_ > 0.0 && !queue.empty() && rng_.chance(reorder_rate_)) {
+    queue.push_front({from, m});
+    ++reordered_;
+  } else {
+    queue.push_back({from, m});
+  }
   ++in_flight_;
+}
+
+void Network::send(ProcessorId from, ProcessorId to, const Message& m) {
+  ++sent_;
+  enqueue(from, to, m);
+  if (duplication_rate_ > 0.0 && rng_.chance(duplication_rate_)) {
+    ++duplicated_;
+    enqueue(from, to, m);
+  }
 }
 
 void Network::start() {

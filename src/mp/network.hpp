@@ -65,8 +65,15 @@ class Network final : public Mailer {
           std::uint64_t seed);
 
   /// Probability of silently dropping each sent message (default 0: the
-  /// classic reliable-channel assumption).
-  void set_loss_rate(double rate) noexcept { loss_rate_ = rate; }
+  /// classic reliable-channel assumption).  All rate setters validate their
+  /// argument: NaN is rejected (assert), anything else is clamped to [0,1].
+  void set_loss_rate(double rate) noexcept;
+  /// Probability of enqueueing each sent message twice (duplication fault).
+  /// Loss is decided per copy, after duplication.
+  void set_duplication_rate(double rate) noexcept;
+  /// Probability of a sent message jumping to the *front* of its channel
+  /// queue (intra-channel reordering; FIFO is otherwise preserved).
+  void set_reorder_rate(double rate) noexcept;
 
   /// Invokes on_start everywhere, then delivers until quiescence or the
   /// delivery budget is exhausted.  Returns true iff the network quiesced.
@@ -85,6 +92,14 @@ class Network final : public Mailer {
   [[nodiscard]] std::uint64_t messages_dropped() const noexcept {
     return dropped_;
   }
+  /// Extra copies enqueued by duplication.
+  [[nodiscard]] std::uint64_t messages_duplicated() const noexcept {
+    return duplicated_;
+  }
+  /// Messages that jumped ahead of at least one queued message.
+  [[nodiscard]] std::uint64_t messages_reordered() const noexcept {
+    return reordered_;
+  }
   [[nodiscard]] std::uint64_t in_flight() const noexcept { return in_flight_; }
   /// Synchronous mode: completed delivery rounds ("hops" of wall time).
   [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
@@ -99,12 +114,15 @@ class Network final : public Mailer {
   };
 
   [[nodiscard]] std::size_t channel_index(ProcessorId from, ProcessorId to) const;
+  void enqueue(ProcessorId from, ProcessorId to, const Message& m);
 
   const graph::Graph* graph_;
   IMpProtocol* protocol_;
   Delivery delivery_;
   util::Rng rng_;
   double loss_rate_ = 0.0;
+  double duplication_rate_ = 0.0;
+  double reorder_rate_ = 0.0;
 
   // One FIFO per directed edge; channels_[to] groups by receiver.
   std::vector<std::vector<std::deque<InFlight>>> inbox_;  // [to][slot]
@@ -112,6 +130,8 @@ class Network final : public Mailer {
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
   std::uint64_t in_flight_ = 0;
   std::uint64_t rounds_ = 0;
   bool started_ = false;

@@ -1,0 +1,154 @@
+// FaultSchedule grammar: print/parse roundtrips, malformed-input rejection,
+// normalization, quiet-round computation, and random generation shape.
+#include "chaos/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snappif::chaos {
+namespace {
+
+TEST(Schedule, EventToStringForms) {
+  FaultEvent burst{.round = 12, .kind = EventKind::kBurst, .magnitude = 3};
+  EXPECT_EQ(burst.to_string(), "12:burst*3");
+
+  FaultEvent corrupt{.round = 20,
+                     .kind = EventKind::kCorrupt,
+                     .corruption = pif::CorruptionKind::kFakeTree};
+  EXPECT_EQ(corrupt.to_string(), "20:corrupt=fake-tree");
+
+  FaultEvent daemon{.round = 5,
+                    .kind = EventKind::kDaemonSwap,
+                    .daemon = sim::DaemonKind::kSynchronous};
+  EXPECT_EQ(daemon.to_string(),
+            "5:daemon=" + std::string(sim::daemon_kind_name(
+                              sim::DaemonKind::kSynchronous)));
+
+  FaultEvent kill{.round = 8, .kind = EventKind::kLinkKill, .magnitude = 2};
+  EXPECT_EQ(kill.to_string(), "8:kill*2");
+
+  FaultEvent loss{.round = 5,
+                  .kind = EventKind::kMpLoss,
+                  .rate = 0.25,
+                  .duration = 10};
+  EXPECT_EQ(loss.to_string(), "5:loss@0.25/10");
+}
+
+TEST(Schedule, EventParseRoundtripsEveryKind) {
+  const char* samples[] = {
+      "12:burst*3",          "0:burst*1",
+      "20:corrupt=uniform",  "20:corrupt=fake-tree",
+      "20:corrupt=stray-F",  "20:corrupt=stray-Fok",
+      "20:corrupt=inflated", "20:corrupt=adversarial",
+      "8:kill*2",            "30:restore*2",
+      "5:loss@0.25/10",      "5:dup@0.5/1",
+      "5:reorder@1/3",
+  };
+  for (const char* text : samples) {
+    const auto ev = FaultEvent::parse(text);
+    ASSERT_TRUE(ev.has_value()) << text;
+    EXPECT_EQ(ev->to_string(), text) << text;
+    // to_string/parse is a proper roundtrip on the value, too.
+    const auto again = FaultEvent::parse(ev->to_string());
+    ASSERT_TRUE(again.has_value()) << text;
+    EXPECT_EQ(*again, *ev) << text;
+  }
+}
+
+TEST(Schedule, MalformedEventsAreRejected) {
+  const char* bad[] = {
+      "",                    // empty
+      "burst*3",             // missing round
+      "x:burst*3",           // non-numeric round
+      "12:boom*3",           // unknown kind
+      "12:burst*0",          // zero magnitude
+      "12:burst*-1",         // negative magnitude
+      "12:corrupt",          // corrupt needs a recipe
+      "12:corrupt=nonsense", // unknown recipe
+      "12:daemon=nonsense",  // unknown daemon
+      "12:loss@0.25",        // window needs a duration
+      "12:loss@1.5/3",       // rate out of range
+      "12:loss@-0.5/3",      // rate out of range
+      "12:loss@nan/3",       // NaN rate
+      "12:burst=3",          // wrong separator for the kind
+      "12:loss*3",           // wrong separator for the kind
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(FaultEvent::parse(text).has_value()) << text;
+  }
+}
+
+TEST(Schedule, ParseNormalizesAndToStringJoins) {
+  const auto schedule = FaultSchedule::parse(
+      "20:corrupt=fake-tree;3:burst*2;;9:kill*1;");  // unsorted, extra ';'
+  ASSERT_TRUE(schedule.has_value());
+  ASSERT_EQ(schedule->events.size(), 3u);
+  EXPECT_EQ(schedule->events[0].round, 3u);
+  EXPECT_EQ(schedule->events[1].round, 9u);
+  EXPECT_EQ(schedule->events[2].round, 20u);
+  EXPECT_EQ(schedule->to_string(), "3:burst*2;9:kill*1;20:corrupt=fake-tree");
+
+  const auto again = FaultSchedule::parse(schedule->to_string());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *schedule);
+}
+
+TEST(Schedule, ParseRejectsAnyMalformedPiece) {
+  EXPECT_FALSE(FaultSchedule::parse("3:burst*2;bogus").has_value());
+}
+
+TEST(Schedule, EmptyScheduleRoundtrips) {
+  const auto schedule = FaultSchedule::parse("");
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_TRUE(schedule->empty());
+  EXPECT_EQ(schedule->to_string(), "");
+  EXPECT_EQ(schedule->quiet_round(), 0u);
+}
+
+TEST(Schedule, QuietRoundCoversWindowDurations) {
+  const auto schedule = FaultSchedule::parse("3:burst*2;5:loss@0.5/20");
+  ASSERT_TRUE(schedule.has_value());
+  // The loss window is active through round 24; quiet starts at 25's clock.
+  EXPECT_EQ(schedule->quiet_round(), 25u);
+}
+
+TEST(Schedule, NormalizeIsStableWithinARound) {
+  FaultSchedule schedule;
+  schedule.events.push_back({.round = 7, .kind = EventKind::kLinkKill});
+  schedule.events.push_back({.round = 7, .kind = EventKind::kLinkRestore});
+  schedule.events.push_back({.round = 2, .kind = EventKind::kBurst});
+  schedule.normalize();
+  EXPECT_EQ(schedule.events[0].kind, EventKind::kBurst);
+  EXPECT_EQ(schedule.events[1].kind, EventKind::kLinkKill);
+  EXPECT_EQ(schedule.events[2].kind, EventKind::kLinkRestore);
+}
+
+TEST(Schedule, RandomSchedulesAreWellFormedAndReplayable) {
+  util::Rng rng(1234);
+  CampaignShape shape;
+  shape.events = 8;
+  shape.horizon_rounds = 50;
+  shape.max_magnitude = 3;
+  shape.message_passing = true;
+  for (int i = 0; i < 20; ++i) {
+    const FaultSchedule schedule = random_schedule(shape, rng);
+    EXPECT_GE(schedule.events.size(), shape.events);  // kills add restores
+    std::size_t kills = 0;
+    std::size_t restores = 0;
+    for (const FaultEvent& ev : schedule.events) {
+      if (ev.kind == EventKind::kBurst || ev.kind == EventKind::kLinkKill) {
+        EXPECT_GE(ev.magnitude, 1u);
+        EXPECT_LE(ev.magnitude, shape.max_magnitude);
+      }
+      kills += ev.kind == EventKind::kLinkKill ? 1 : 0;
+      restores += ev.kind == EventKind::kLinkRestore ? 1 : 0;
+    }
+    EXPECT_EQ(kills, restores);  // every kill is paired with a heal
+    // The one-line form replays to the identical schedule.
+    const auto replay = FaultSchedule::parse(schedule.to_string());
+    ASSERT_TRUE(replay.has_value());
+    EXPECT_EQ(*replay, schedule);
+  }
+}
+
+}  // namespace
+}  // namespace snappif::chaos

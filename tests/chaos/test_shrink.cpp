@@ -1,0 +1,135 @@
+// Schedule shrinker: minimal reproducers from noisy failing campaigns.
+#include "chaos/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace snappif::chaos {
+namespace {
+
+[[nodiscard]] FaultSchedule noisy_schedule() {
+  const auto schedule = FaultSchedule::parse(
+      "2:burst*4;5:corrupt=fake-tree;8:kill*2;11:daemon=synchronous;"
+      "14:restore*2;17:burst*8;20:corrupt=adversarial");
+  EXPECT_TRUE(schedule.has_value());
+  return *schedule;
+}
+
+TEST(Shrink, PassingScheduleIsLeftAlone) {
+  const FaultSchedule schedule = noisy_schedule();
+  const auto never_fails = [](const FaultSchedule&) { return false; };
+  const ShrinkResult r = shrink(schedule, never_fails);
+  EXPECT_FALSE(r.input_failed);
+  EXPECT_FALSE(r.reduced);
+  EXPECT_EQ(r.campaigns_run, 1u);  // one probe of the input, nothing more
+  EXPECT_EQ(r.minimal, schedule);
+}
+
+TEST(Shrink, DropsEveryIrrelevantEventAndHalvesMagnitude) {
+  // Failure reproduces iff some burst at round >= 10 has magnitude >= 2:
+  // the minimal reproducer is the single 17:burst halved down to *2.
+  const auto fails = [](const FaultSchedule& s) {
+    for (const FaultEvent& ev : s.events) {
+      if (ev.kind == EventKind::kBurst && ev.round >= 10 && ev.magnitude >= 2) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const ShrinkResult r = shrink(noisy_schedule(), fails);
+  EXPECT_TRUE(r.input_failed);
+  EXPECT_TRUE(r.reduced);
+  ASSERT_EQ(r.minimal.events.size(), 1u);
+  EXPECT_EQ(r.minimal.events[0].round, 17u);
+  EXPECT_EQ(r.minimal.events[0].kind, EventKind::kBurst);
+  EXPECT_EQ(r.minimal.events[0].magnitude, 2u);
+  EXPECT_EQ(r.reproducer, "17:burst*2");
+}
+
+TEST(Shrink, HalvesRatesAndDurations) {
+  const auto schedule = FaultSchedule::parse("3:loss@0.8/16;7:dup@0.5/4");
+  ASSERT_TRUE(schedule.has_value());
+  // Failure needs only a loss window with rate >= 0.1.
+  const auto fails = [](const FaultSchedule& s) {
+    for (const FaultEvent& ev : s.events) {
+      if (ev.kind == EventKind::kMpLoss && ev.rate >= 0.1) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const ShrinkResult r = shrink(*schedule, fails);
+  EXPECT_TRUE(r.input_failed);
+  ASSERT_EQ(r.minimal.events.size(), 1u);
+  EXPECT_EQ(r.minimal.events[0].kind, EventKind::kMpLoss);
+  EXPECT_DOUBLE_EQ(r.minimal.events[0].rate, 0.1);
+  EXPECT_EQ(r.minimal.events[0].duration, 0u);  // halved 16->8->4->2->1->0
+}
+
+TEST(Shrink, EvaluationBudgetBounds) {
+  const auto always_fails = [](const FaultSchedule&) { return true; };
+  ShrinkOptions options;
+  options.max_campaigns = 5;
+  const ShrinkResult r = shrink(noisy_schedule(), always_fails, options);
+  EXPECT_LE(r.campaigns_run, 5u);
+}
+
+TEST(Shrink, BrokenProtocolVariantYieldsAMinimalFailingSchedule) {
+  // The acceptance scenario: ablate the Count=N wait so the protocol is no
+  // longer snap-stabilizing, find a noisy campaign the oracle rejects
+  // (min-level adversarial daemon; the ablation needs scheduling pressure
+  // to bite), and hand it to the shrinker.  The minimal reproducer must be
+  // a strictly smaller schedule that still fails on replay.
+  const auto g = graph::make_random_connected(10, 10, 5);
+  CampaignOptions opts;
+  opts.tweak_params = [](pif::Params& p) { p.ablate_count_wait = true; };
+  // Same noisy timeline as above but opening with a swap to the min-level
+  // adversarial daemon — the scheduling pressure the ablation needs — so
+  // the swap event itself is part of the failing combination.
+  const auto parsed = FaultSchedule::parse(
+      "0:daemon=adversarial-min;2:burst*4;5:corrupt=fake-tree;8:kill*2;"
+      "14:restore*2;17:burst*8;20:corrupt=adversarial");
+  ASSERT_TRUE(parsed.has_value());
+  const FaultSchedule noisy = *parsed;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !found; ++seed) {
+    opts.seed = seed;
+    found = !run_campaign(g, noisy, opts).ok();
+  }
+  ASSERT_TRUE(found) << "no failing noisy campaign within the seed budget";
+
+  const ShrinkResult r = shrink_campaign(g, noisy, opts);
+  EXPECT_TRUE(r.input_failed);
+  EXPECT_TRUE(r.reduced);
+  ASSERT_LT(r.minimal.events.size(), noisy.events.size());
+  // The reproducer replays (via the grammar) to a failing campaign.
+  const auto replay = FaultSchedule::parse(r.reproducer);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_FALSE(run_campaign(g, *replay, opts).ok());
+  // ...and it is minimal: dropping any surviving event makes it pass.
+  for (std::size_t i = 0; i < r.minimal.events.size(); ++i) {
+    FaultSchedule smaller = r.minimal;
+    smaller.events.erase(smaller.events.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+    EXPECT_TRUE(run_campaign(g, smaller, opts).ok())
+        << "dropping event " << i << " of '" << r.reproducer
+        << "' still fails - not minimal";
+  }
+}
+
+TEST(Shrink, RealCampaignMinimalReproducerStillFails) {
+  // Shrinking against the real oracle with a *correct* protocol and a
+  // passing schedule: nothing to do.
+  const auto g = graph::make_cycle(7);
+  const auto schedule = FaultSchedule::parse("2:burst*2");
+  ASSERT_TRUE(schedule.has_value());
+  CampaignOptions opts;
+  opts.seed = 37;
+  const ShrinkResult r = shrink_campaign(g, *schedule, opts);
+  EXPECT_FALSE(r.input_failed);
+  EXPECT_EQ(r.minimal, *schedule);
+}
+
+}  // namespace
+}  // namespace snappif::chaos

@@ -2,6 +2,8 @@
 // synchronous rounds, loss injection.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "graph/generators.hpp"
 #include "mp/network.hpp"
 
@@ -112,6 +114,80 @@ TEST(MpNetwork, LossDropsMessages) {
   EXPECT_EQ(net.in_flight(), 0u);
   EXPECT_TRUE(net.run());  // trivially quiescent
   EXPECT_TRUE(recorder.events.empty());
+}
+
+TEST(MpNetwork, DuplicationEnqueuesASecondCopy) {
+  const auto g = graph::make_path(2);
+  Recorder recorder;
+  Network net(g, recorder, Delivery::kRandomChannel, 7);
+  net.set_duplication_rate(1.0);
+  net.start();
+  net.send(0, 1, Message{1, 42, 0});
+  EXPECT_EQ(net.messages_sent(), 1u);  // sent counts logical sends
+  EXPECT_EQ(net.messages_duplicated(), 1u);
+  EXPECT_EQ(net.in_flight(), 2u);
+  ASSERT_TRUE(net.run());
+  ASSERT_EQ(recorder.events.size(), 2u);
+  EXPECT_EQ(recorder.events[0].message.a, 42u);
+  EXPECT_EQ(recorder.events[1].message.a, 42u);
+}
+
+TEST(MpNetwork, DuplicationLosesEachCopyIndependently) {
+  // Loss is decided per enqueued copy, after duplication: with both rates at
+  // 1.0, every send produces two drops and nothing in flight.
+  const auto g = graph::make_path(2);
+  Recorder recorder;
+  Network net(g, recorder, Delivery::kRandomChannel, 8);
+  net.set_duplication_rate(1.0);
+  net.set_loss_rate(1.0);
+  net.start();
+  net.send(0, 1, Message{});
+  EXPECT_EQ(net.messages_duplicated(), 1u);
+  EXPECT_EQ(net.messages_dropped(), 2u);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(MpNetwork, ReorderJumpsTheChannelQueue) {
+  // With reorder at 1.0 every send jumps to the queue front (except into an
+  // empty queue), so three sends deliver in reverse order.
+  const auto g = graph::make_path(2);
+  Recorder recorder;
+  Network net(g, recorder, Delivery::kRandomChannel, 9);
+  net.set_reorder_rate(1.0);
+  net.start();
+  net.send(0, 1, Message{1, 10, 0});
+  net.send(0, 1, Message{1, 20, 0});
+  net.send(0, 1, Message{1, 30, 0});
+  EXPECT_EQ(net.messages_reordered(), 2u);  // first send found an empty queue
+  ASSERT_TRUE(net.run());
+  ASSERT_EQ(recorder.events.size(), 3u);
+  EXPECT_EQ(recorder.events[0].message.a, 30u);
+  EXPECT_EQ(recorder.events[1].message.a, 20u);
+  EXPECT_EQ(recorder.events[2].message.a, 10u);
+}
+
+TEST(MpNetwork, RateSettersClampToUnitInterval) {
+  const auto g = graph::make_path(2);
+  Recorder recorder;
+  Network net(g, recorder, Delivery::kRandomChannel, 10);
+  net.set_loss_rate(2.5);  // clamps to 1.0: everything drops
+  net.start();
+  net.send(0, 1, Message{});
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  net.set_loss_rate(-3.0);  // clamps to 0.0: nothing drops
+  net.send(0, 1, Message{});
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.in_flight(), 1u);
+}
+
+TEST(MpNetworkDeath, RejectsNaNRates) {
+  const auto g = graph::make_path(2);
+  Recorder recorder;
+  Network net(g, recorder, Delivery::kRandomChannel, 11);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(net.set_loss_rate(nan), "NaN");
+  EXPECT_DEATH(net.set_duplication_rate(nan), "NaN");
+  EXPECT_DEATH(net.set_reorder_rate(nan), "NaN");
 }
 
 TEST(MpNetworkDeath, RejectsNonEdgeSend) {

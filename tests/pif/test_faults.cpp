@@ -141,5 +141,45 @@ TEST(Faults, InjectBurstCorruptsExactlyK) {
   EXPECT_GE(changed, 1);
 }
 
+TEST(Faults, EveryCorruptionKindStaysInsideVariableDomains) {
+  // The theorems are stated over in-domain configurations: Count in [1, N'],
+  // L_r = 0 and L_p in [1, Lmax] otherwise, Par_r = bottom and Par_p a
+  // neighbor otherwise.  Every corruption recipe models a *transient fault
+  // within the model*, so none may escape those domains — on any topology,
+  // from any prior configuration, for any seed.
+  const auto suite = graph::standard_suite(10, 99);
+  for (const auto& [name, g] : suite) {
+    PifProtocol protocol(g, Params::for_graph(g));
+    const Params& params = protocol.params();
+    for (const CorruptionKind kind : all_corruption_kinds()) {
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        sim::Simulator<PifProtocol> sim(protocol, g, seed);
+        util::Rng rng(seed * 31 + static_cast<std::uint64_t>(kind));
+        // Stack recipes: the second lands on an already-corrupted config.
+        apply_corruption(sim, kind, rng);
+        apply_corruption(sim, kind, rng);
+        for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+          const State& s = sim.config().state(p);
+          ASSERT_GE(s.count, 1u) << name << " " << corruption_name(kind);
+          ASSERT_LE(s.count, params.n_upper)
+              << name << " " << corruption_name(kind);
+          if (p == params.root) {
+            ASSERT_EQ(s.level, 0u) << name << " " << corruption_name(kind);
+            ASSERT_EQ(s.parent, kNoParent)
+                << name << " " << corruption_name(kind);
+          } else {
+            ASSERT_GE(s.level, 1u) << name << " " << corruption_name(kind);
+            ASSERT_LE(s.level, params.l_max)
+                << name << " " << corruption_name(kind);
+            ASSERT_TRUE(g.has_edge(p, s.parent))
+                << name << " " << corruption_name(kind) << " p=" << p
+                << " parent=" << s.parent;
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace snappif::pif

@@ -1,0 +1,110 @@
+// sim::inject_burst contract: count clamping, zero no-op, and exact-size
+// distinct-subset selection (Floyd sampling must never hit a processor
+// twice).
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif::sim {
+namespace {
+
+struct TagState {
+  std::uint32_t value = 0;
+  [[nodiscard]] bool operator==(const TagState&) const noexcept = default;
+  [[nodiscard]] std::uint64_t hash() const noexcept { return value; }
+};
+
+/// Inert protocol whose random_state is always distinguishable from every
+/// initial state (initial: value = p < n; random: value >= 1000), so the
+/// number of changed processors equals the number of corruptions exactly.
+class TagProtocol {
+ public:
+  using State = TagState;
+  [[nodiscard]] State initial_state(ProcessorId p) const { return {p}; }
+  [[nodiscard]] ActionId num_actions() const { return 1; }
+  [[nodiscard]] std::string_view action_name(ActionId) const { return "noop"; }
+  [[nodiscard]] bool enabled(const Configuration<State>&, ProcessorId,
+                             ActionId) const {
+    return false;
+  }
+  [[nodiscard]] State apply(const Configuration<State>& c, ProcessorId p,
+                            ActionId) const {
+    return c.state(p);
+  }
+  [[nodiscard]] State random_state(ProcessorId, util::Rng& rng) const {
+    return {1000 + static_cast<std::uint32_t>(rng.below(1'000'000))};
+  }
+};
+
+constexpr ProcessorId kN = 12;
+
+[[nodiscard]] std::size_t changed_count(const Simulator<TagProtocol>& sim) {
+  std::size_t changed = 0;
+  for (ProcessorId p = 0; p < sim.config().n(); ++p) {
+    changed += sim.config().state(p).value >= 1000 ? 1 : 0;
+  }
+  return changed;
+}
+
+TEST(InjectBurst, ZeroCountIsANoOp) {
+  const auto g = graph::make_cycle(kN);
+  TagProtocol protocol;
+  Simulator<TagProtocol> sim(protocol, g, 1);
+  util::Rng rng(7);
+  inject_burst(sim, 0, rng);
+  EXPECT_EQ(changed_count(sim), 0u);
+  for (ProcessorId p = 0; p < kN; ++p) {
+    EXPECT_EQ(sim.config().state(p).value, p);
+  }
+}
+
+TEST(InjectBurst, CountIsClampedToN) {
+  const auto g = graph::make_cycle(kN);
+  TagProtocol protocol;
+  Simulator<TagProtocol> sim(protocol, g, 2);
+  util::Rng rng(8);
+  inject_burst(sim, kN + 5, rng);
+  EXPECT_EQ(changed_count(sim), static_cast<std::size_t>(kN));
+}
+
+TEST(InjectBurst, HitsExactlyCountDistinctProcessors) {
+  // If Floyd sampling ever picked a processor twice, fewer than `count`
+  // states would change.  Exercise every count over many seeds.
+  const auto g = graph::make_cycle(kN);
+  TagProtocol protocol;
+  for (std::uint32_t count = 1; count <= kN; ++count) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      Simulator<TagProtocol> sim(protocol, g, seed);
+      util::Rng rng(seed * 1000 + count);
+      inject_burst(sim, count, rng);
+      ASSERT_EQ(changed_count(sim), count)
+          << "count=" << count << " seed=" << seed;
+    }
+  }
+}
+
+TEST(InjectBurst, EveryProcessorIsReachable) {
+  // Single-processor bursts must not be biased away from any position.
+  const auto g = graph::make_cycle(kN);
+  TagProtocol protocol;
+  std::vector<bool> hit(kN, false);
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    Simulator<TagProtocol> sim(protocol, g, seed);
+    util::Rng rng(seed);
+    inject_burst(sim, 1, rng);
+    for (ProcessorId p = 0; p < kN; ++p) {
+      if (sim.config().state(p).value >= 1000) {
+        hit[p] = true;
+      }
+    }
+  }
+  for (ProcessorId p = 0; p < kN; ++p) {
+    EXPECT_TRUE(hit[p]) << "processor " << p << " never corrupted";
+  }
+}
+
+}  // namespace
+}  // namespace snappif::sim

@@ -1,0 +1,233 @@
+// snappif_chaos — seeded chaos soak runs against the recovery oracle.
+//
+// Soak mode (default): draw --campaigns random fault schedules, run each
+// against the shared-memory campaign engine (and, with --mp, the
+// message-passing runner), and export telemetry through the obs registry.
+// On the first failing campaign the schedule is shrunk to a minimal
+// reproducer, a copy-pasteable repro command is printed to stderr, and the
+// exit code is nonzero.
+//
+// Replay mode (--schedule='...'): run exactly one campaign from a grammar
+// one-liner — the other end of the repro loop.
+//
+//   ./snappif_chaos [--topology=random] [--n=16] [--graph-seed=1] [--root=0]
+//                   [--campaigns=20] [--seed=1] [--events=6] [--horizon=60]
+//                   [--max-magnitude=4] [--daemon=distributed-random]
+//                   [--mp] [--schedule='12:burst*3;20:corrupt=fake-tree']
+//                   [--break=none|broadcast-leaf|feedback-bleaf|count-wait]
+//                   [--budget=0 (auto)] [--no-shrink] [--metrics=out.json]
+//                   [--csv]
+//
+// --break ablates one protocol guard (the deliberately broken variants from
+// the ablation benches) so the oracle and shrinker can be demonstrated on a
+// protocol that is NOT snap-stabilizing.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "chaos/campaign.hpp"
+#include "chaos/mp_campaign.hpp"
+#include "chaos/schedule.hpp"
+#include "chaos/shrink.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "sim/daemon.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace snappif;
+
+namespace {
+
+bool daemon_by_name(const std::string& name, sim::DaemonKind* out) {
+  for (const sim::DaemonKind kind : sim::standard_daemon_kinds()) {
+    if (name == sim::daemon_kind_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Maps --break to a Params tweak; returns false for unknown names.
+bool break_by_name(const std::string& name,
+                   std::function<void(pif::Params&)>* out) {
+  if (name == "none") {
+    *out = nullptr;
+    return true;
+  }
+  if (name == "broadcast-leaf") {
+    *out = [](pif::Params& p) { p.ablate_broadcast_leaf = true; };
+    return true;
+  }
+  if (name == "feedback-bleaf") {
+    *out = [](pif::Params& p) { p.ablate_feedback_bleaf = true; };
+    return true;
+  }
+  if (name == "count-wait") {
+    *out = [](pif::Params& p) { p.ablate_count_wait = true; };
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  for (const std::string& err : cli.errors()) {
+    std::fprintf(stderr, "argument error: %s\n", err.c_str());
+  }
+
+  const std::string topology = cli.get_string("topology", "random");
+  const auto n = static_cast<graph::NodeId>(cli.get_int("n", 16));
+  const auto graph_seed =
+      static_cast<std::uint64_t>(cli.get_int("graph-seed", 1));
+  const auto g = graph::make_by_name(topology, n, graph_seed);
+  if (!g.has_value()) {
+    std::fprintf(stderr, "unknown --topology=%s (expected one of: %s)\n",
+                 topology.c_str(), std::string(graph::topology_names()).c_str());
+    return 2;
+  }
+
+  chaos::CampaignOptions opts;
+  opts.root = static_cast<sim::ProcessorId>(cli.get_int("root", 0));
+  const std::string daemon_name =
+      cli.get_string("daemon", "distributed-random");
+  if (!daemon_by_name(daemon_name, &opts.daemon)) {
+    std::fprintf(stderr, "unknown --daemon=%s\n", daemon_name.c_str());
+    return 2;
+  }
+  const std::string broken = cli.get_string("break", "none");
+  if (!break_by_name(broken, &opts.tweak_params)) {
+    std::fprintf(stderr,
+                 "unknown --break=%s (none|broadcast-leaf|feedback-bleaf|"
+                 "count-wait)\n",
+                 broken.c_str());
+    return 2;
+  }
+  opts.recovery_round_budget =
+      static_cast<std::uint64_t>(cli.get_int("budget", 0));
+
+  obs::Registry registry;
+  opts.registry = &registry;
+
+  const bool run_mp = cli.get_bool("mp", false);
+  const bool shrink_on_failure = cli.get_bool("shrink", true);
+  const auto master_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  chaos::CampaignShape shape;
+  shape.events = static_cast<std::uint32_t>(cli.get_int("events", 6));
+  shape.horizon_rounds = static_cast<std::uint64_t>(cli.get_int("horizon", 60));
+  shape.max_magnitude =
+      static_cast<std::uint32_t>(cli.get_int("max-magnitude", 4));
+  shape.message_passing = run_mp;
+
+  // Assemble the (schedule, seed) work list: one replay or a seeded soak.
+  struct Job {
+    chaos::FaultSchedule schedule;
+    std::uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  if (const auto text = cli.get("schedule"); text.has_value()) {
+    const auto parsed = chaos::FaultSchedule::parse(*text);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "malformed --schedule='%s'\n", text->c_str());
+      return 2;
+    }
+    jobs.push_back({*parsed, master_seed});
+  } else {
+    util::Rng master(master_seed);
+    const auto campaigns =
+        static_cast<std::uint64_t>(cli.get_int("campaigns", 20));
+    for (std::uint64_t i = 0; i < campaigns; ++i) {
+      jobs.push_back({chaos::random_schedule(shape, master), master()});
+    }
+  }
+
+  util::Table table({"campaign", "schedule", "seed", "quiet", "to-normal",
+                     "to-cycle", "snap", "status"});
+  int exit_code = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    opts.seed = jobs[i].seed;
+    const chaos::CampaignResult r = chaos::run_campaign(*g, jobs[i].schedule, opts);
+    std::string schedule_text = jobs[i].schedule.to_string();
+    if (schedule_text.size() > 40) {
+      schedule_text.resize(37);
+      schedule_text += "...";
+    }
+    table.add_row({util::fmt(static_cast<std::uint64_t>(i)), schedule_text,
+                   util::fmt(opts.seed), util::fmt(r.quiet_round),
+                   r.recovered ? util::fmt(r.rounds_to_normal) : "-",
+                   r.recovered ? util::fmt(r.rounds_to_cycle_close) : "-",
+                   r.snap_ok ? "ok" : "FAIL",
+                   r.ok() ? "recovered" : r.failure});
+
+    chaos::MpCampaignResult mp_result;
+    bool mp_failed = false;
+    if (run_mp) {
+      chaos::MpCampaignOptions mp_opts;
+      mp_opts.root = opts.root;
+      mp_opts.seed = opts.seed;
+      mp_opts.registry = &registry;
+      mp_result = chaos::run_mp_campaign(*g, jobs[i].schedule, mp_opts);
+      mp_failed = !mp_result.ok();
+    }
+
+    if (!r.ok() || mp_failed) {
+      exit_code = 1;
+      const chaos::FaultSchedule* repro = &jobs[i].schedule;
+      chaos::ShrinkResult shrunk;
+      if (!r.ok() && shrink_on_failure) {
+        shrunk = chaos::shrink_campaign(*g, jobs[i].schedule, opts);
+        repro = &shrunk.minimal;
+        std::fprintf(stderr,
+                     "shrunk %zu -> %zu events in %llu replays\n",
+                     jobs[i].schedule.events.size(),
+                     shrunk.minimal.events.size(),
+                     static_cast<unsigned long long>(shrunk.campaigns_run));
+      }
+      std::fprintf(stderr, "campaign %zu FAILED: %s\n", i,
+                   !r.ok() ? r.failure.c_str() : mp_result.failure.c_str());
+      std::fprintf(
+          stderr,
+          "repro: %s --topology=%s --n=%u --graph-seed=%llu --root=%u "
+          "--daemon=%s%s%s --seed=%llu --schedule='%s'\n",
+          cli.program().c_str(), topology.c_str(), g->n(),
+          static_cast<unsigned long long>(graph_seed), opts.root,
+          daemon_name.c_str(), broken == "none" ? "" : " --break=",
+          broken == "none" ? "" : broken.c_str(),
+          static_cast<unsigned long long>(opts.seed),
+          repro->to_string().c_str());
+      break;  // first failure stops the soak; telemetry still exported below
+    }
+  }
+
+  const bool csv = cli.get_bool("csv", false);
+  std::fputs((csv ? table.render_csv() : table.render()).c_str(), stdout);
+  std::printf("\n");
+  std::fputs((csv ? registry.summary_table().render_csv()
+                  : registry.summary_table().render())
+                 .c_str(),
+             stdout);
+
+  if (const auto path = cli.get("metrics"); path.has_value()) {
+    std::FILE* f = std::fopen(path->c_str(), "w");
+    if (f != nullptr) {
+      const std::string json = registry.json();
+      const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+      if (std::fclose(f) != 0 || !ok) {
+        std::fprintf(stderr, "error: cannot write %s\n", path->c_str());
+        exit_code = exit_code == 0 ? 1 : exit_code;
+      } else {
+        std::printf("\nwrote registry snapshot to %s", path->c_str());
+      }
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", path->c_str());
+      exit_code = exit_code == 0 ? 1 : exit_code;
+    }
+  }
+  std::printf("\n");
+  return exit_code;
+}

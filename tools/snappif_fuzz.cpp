@@ -18,7 +18,8 @@ using namespace snappif;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  const auto master_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  util::Rng rng(master_seed);
   const auto max_n = static_cast<graph::NodeId>(cli.get_int("max-n", 24));
   const auto iterations = static_cast<std::uint64_t>(cli.get_int("iterations", 0));
   const auto report_every =
@@ -59,6 +60,18 @@ int main(int argc, char** argv) {
           rc.policy == sim::ActionPolicy::kFirstEnabled ? "first" : "random",
           static_cast<unsigned long long>(rc.seed), result.cycle_completed,
           result.pif1, result.pif2, result.aborted);
+      // The machine-readable half goes to stderr: the exact failing seeds
+      // and a command that deterministically replays run #`runs`.
+      std::fprintf(stderr,
+                   "snappif_fuzz: violation at run %llu "
+                   "(instance seed %llu, graph seed %llu)\n"
+                   "repro: %s --seed=%llu --max-n=%u --iterations=%llu\n",
+                   static_cast<unsigned long long>(runs),
+                   static_cast<unsigned long long>(rc.seed),
+                   static_cast<unsigned long long>(graph_seed),
+                   cli.program().c_str(),
+                   static_cast<unsigned long long>(master_seed), max_n,
+                   static_cast<unsigned long long>(runs));
       return 1;
     }
     if (runs % report_every == 0) {
