@@ -3,8 +3,10 @@
 // these outputs.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -12,6 +14,12 @@
 #include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+
+// Commit hash baked in at configure time (bench/CMakeLists.txt); "unknown"
+// outside a git checkout.
+#ifndef SNAPPIF_GIT_SHA
+#define SNAPPIF_GIT_SHA "unknown"
+#endif
 
 namespace snappif::bench {
 
@@ -47,5 +55,89 @@ inline void print_registry(const char* caption, const obs::Registry& registry) {
   std::printf("%s\n", caption);
   print_table(registry.summary_table());
 }
+
+/// Machine-readable run report (BENCH_<name>.json): experiment id, the
+/// commit the binary was built from, the graph sizes swept, and a flat
+/// ordered map of named numeric metrics.  Written by benches that feed the
+/// CI regression gate (scripts/check_bench_regression.py) or downstream
+/// tooling; string values are restricted to what a JSON string can hold
+/// verbatim (the writer escapes quotes/backslashes/control characters).
+class JsonReport {
+ public:
+  JsonReport(std::string experiment, std::string description)
+      : experiment_(std::move(experiment)),
+        description_(std::move(description)) {}
+
+  void set_string(std::string key, std::string value) {
+    strings_.emplace_back(std::move(key), std::move(value));
+  }
+  void set_metric(std::string key, double value) {
+    metrics_.emplace_back(std::move(key), value);
+  }
+  void add_size(graph::NodeId n) { sizes_.push_back(n); }
+
+  [[nodiscard]] std::string render() const {
+    std::string out = "{\n";
+    out += "  \"experiment\": \"" + escape(experiment_) + "\",\n";
+    out += "  \"description\": \"" + escape(description_) + "\",\n";
+    out += "  \"commit\": \"" + escape(SNAPPIF_GIT_SHA) + "\",\n";
+    for (const auto& [key, value] : strings_) {
+      out += "  \"" + escape(key) + "\": \"" + escape(value) + "\",\n";
+    }
+    out += "  \"sizes\": [";
+    for (std::size_t i = 0; i < sizes_.size(); ++i) {
+      out += (i ? ", " : "") + std::to_string(sizes_[i]);
+    }
+    out += "],\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", metrics_[i].second);
+      out += (i ? ",\n    " : "\n    ");
+      out += "\"" + escape(metrics_[i].first) + "\": " + buf;
+    }
+    out += metrics_.empty() ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+  }
+
+  /// Writes render() to `path`; returns false (with a note on stderr) on
+  /// I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    const std::string text = render();
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  [[nodiscard]] static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out += '\\';
+        out += ch;
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+        out += buf;
+      } else {
+        out += ch;
+      }
+    }
+    return out;
+  }
+
+  std::string experiment_;
+  std::string description_;
+  std::vector<std::pair<std::string, std::string>> strings_;
+  std::vector<graph::NodeId> sizes_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace snappif::bench

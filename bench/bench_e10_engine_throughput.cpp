@@ -1,10 +1,22 @@
-// E10 — engineering numbers for the simulator itself (google-benchmark):
-// computation steps per second for the PIF protocol under the synchronous
-// and central daemons, guard-evaluation cost, and cycle throughput.  These
-// are the numbers that justify the experiment scales used in E1-E9.
+// E10 — engineering numbers for the simulator itself: computation steps per
+// second for the PIF protocol under the synchronous and central daemons,
+// guard-evaluation cost, and cycle throughput.  These are the numbers that
+// justify the experiment scales used in E1-E9.
+//
+// Two modes:
+//   * default: the google-benchmark suite below (micro-benchmarks).
+//   * --quick [--json=PATH]: a fixed-workload mask-vs-loop comparison that
+//     writes a machine-readable BENCH_e10.json (commit hash, graph sizes,
+//     steps/s for the one-pass mask engine vs the per-action fallback
+//     adapter, and the speedup).  The checked-in BENCH_e10.json at the repo
+//     root is the CI regression baseline (scripts/check_bench_regression.py).
+#include <chrono>
+#include <cstdio>
+
 #include <benchmark/benchmark.h>
 
 #include "analysis/runners.hpp"
+#include "bench_common.hpp"
 #include "graph/generators.hpp"
 #include "obs/metrics.hpp"
 #include "pif/checker.hpp"
@@ -12,9 +24,116 @@
 #include "pif/instrument.hpp"
 #include "pif/protocol.hpp"
 #include "sim/simulator.hpp"
+#include "util/cli.hpp"
 
 namespace snappif {
 namespace {
+
+/// Adapter that hides the wrapped protocol's native `enabled_mask`, forcing
+/// sim::enabled_mask back onto the per-action `enabled()` loop — i.e., the
+/// exact cost a third-party protocol without a one-pass evaluator pays.
+/// The E10 quick report measures Simulator<P> vs Simulator<LoopOnly<P>> on
+/// identical workloads; the ratio is the guard-mask core's speedup.
+template <typename P>
+class LoopOnly {
+ public:
+  using State = typename P::State;
+
+  explicit LoopOnly(P inner) : inner_(std::move(inner)) {}
+
+  [[nodiscard]] State initial_state(sim::ProcessorId p) const {
+    return inner_.initial_state(p);
+  }
+  [[nodiscard]] sim::ActionId num_actions() const {
+    return inner_.num_actions();
+  }
+  [[nodiscard]] std::string_view action_name(sim::ActionId a) const {
+    return inner_.action_name(a);
+  }
+  [[nodiscard]] bool enabled(const sim::Configuration<State>& c,
+                             sim::ProcessorId p, sim::ActionId a) const {
+    return inner_.enabled(c, p, a);
+  }
+  [[nodiscard]] State apply(const sim::Configuration<State>& c,
+                            sim::ProcessorId p, sim::ActionId a) const {
+    return inner_.apply(c, p, a);
+  }
+  [[nodiscard]] State random_state(sim::ProcessorId p, util::Rng& rng) const {
+    return inner_.random_state(p, rng);
+  }
+
+ private:
+  P inner_;
+};
+
+static_assert(!sim::MaskProtocol<LoopOnly<pif::PifProtocol>>,
+              "LoopOnly must not expose a native mask");
+
+/// Steps/s of `steps` synchronous-daemon steps from a corrupted start (all
+/// guard classes live, including corrections), after a short warm-up.
+template <typename P>
+double measure_steps_per_sec(const P& proto, const graph::Graph& g,
+                             std::uint64_t steps) {
+  sim::Simulator<P> sim(proto, g, /*seed=*/1);
+  util::Rng rng(7);
+  sim.randomize(rng);
+  sim::SynchronousDaemon daemon;
+  for (int i = 0; i < 50; ++i) {
+    (void)sim.step(daemon);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    if (!sim.step(daemon)) {
+      sim.randomize(rng);  // PIF never terminates; defensive only
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(steps) / seconds;
+}
+
+int run_quick_report(const util::Cli& cli) {
+  const bool quick = cli.get_bool("quick", false);
+  std::string path = cli.get_string("json", "BENCH_e10.json");
+  if (path.empty()) {
+    path = "BENCH_e10.json";  // bare --json
+  }
+  // --quick trims the measured step count, not the sizes: the regression
+  // gate compares like-for-like metric names across runs.
+  const std::uint64_t steps = quick ? 2000 : 20000;
+
+  bench::JsonReport report(
+      "E10",
+      "engine throughput: one-pass guard masks vs per-action fallback loop");
+  report.set_string("mode", quick ? "quick" : "full");
+  report.set_string("graph", "random_connected(n, 2n extra edges, seed 42)");
+  report.set_string("daemon", "synchronous, corrupted start");
+
+  std::printf("E10 quick report (%s, %llu timed steps per size)\n",
+              quick ? "quick" : "full",
+              static_cast<unsigned long long>(steps));
+  std::printf("%8s %16s %16s %10s\n", "n", "mask steps/s", "loop steps/s",
+              "speedup");
+  for (const graph::NodeId n : {64, 256, 1024}) {
+    const auto g = graph::make_random_connected(n, 2 * n, 42);
+    pif::PifProtocol proto(g, pif::Params::for_graph(g));
+    const double mask_rate = measure_steps_per_sec(proto, g, steps);
+    const double loop_rate =
+        measure_steps_per_sec(LoopOnly<pif::PifProtocol>(proto), g, steps);
+    report.add_size(n);
+    const std::string suffix = "_n" + std::to_string(n);
+    report.set_metric("mask_steps_per_s" + suffix, mask_rate);
+    report.set_metric("loop_steps_per_s" + suffix, loop_rate);
+    report.set_metric("speedup" + suffix, mask_rate / loop_rate);
+    std::printf("%8u %16.0f %16.0f %9.2fx\n", n, mask_rate, loop_rate,
+                mask_rate / loop_rate);
+  }
+  if (!report.write(path)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
 
 // BM_SynchronousStep is the no-probe baseline: with nothing attached the
 // engine pays exactly one probes_.empty() check per step, so this number
@@ -95,6 +214,9 @@ void BM_FullCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_FullCycle)->Arg(16)->Arg(64)->Arg(256);
 
+// Per-processor guard evaluation: the reference per-action loop (one
+// neighborhood walk per guard) vs the one-pass GuardEval mask.  The ratio is
+// the per-evaluation payoff the engine banks on every dirty-mask refresh.
 void BM_GuardEvaluation(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
   const auto g = graph::make_random_connected(n, 2 * n, 45);
@@ -112,6 +234,22 @@ void BM_GuardEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GuardEvaluation)->Arg(16)->Arg(256);
+
+void BM_GuardMaskEvaluation(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto g = graph::make_random_connected(n, 2 * n, 45);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  sim::Simulator<pif::PifProtocol> sim(protocol, g, 3);
+  util::Rng rng(7);
+  sim.randomize(rng);
+  const auto& c = sim.config();
+  sim::ProcessorId p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.enabled_mask(c, p));
+    p = (p + 1) % n;
+  }
+}
+BENCHMARK(BM_GuardMaskEvaluation)->Arg(16)->Arg(256);
 
 void BM_StabilizationRun(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
@@ -131,4 +269,16 @@ BENCHMARK(BM_StabilizationRun)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace snappif
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const snappif::util::Cli cli(argc, argv);
+  if (cli.has("quick") || cli.has("json")) {
+    return snappif::run_quick_report(cli);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

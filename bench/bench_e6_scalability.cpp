@@ -11,7 +11,7 @@
 namespace snappif {
 namespace {
 
-void run() {
+void run(const util::Cli& cli) {
   bench::print_header(
       "E6  Cycle cost vs network size (scaling shape of Theorem 4)",
       "rounds per cycle track the constructed-tree height h, not N");
@@ -39,6 +39,11 @@ void run() {
 
   std::printf("series: rounds-per-cycle by N (synchronous daemon)\n");
   util::Table series({"topology", "N=8", "N=16", "N=32", "N=64"});
+  bench::JsonReport report("E6",
+                           "rounds per cycle vs N across topology families");
+  for (graph::NodeId n : bench::sweep_sizes()) {
+    report.add_size(n);
+  }
   for (const char* family : {"line", "ring", "star", "complete", "grid",
                              "bintree", "lollipop", "random"}) {
     std::vector<std::string> row{family};
@@ -53,11 +58,26 @@ void run() {
         row.push_back(results.empty() || !results[0].ok
                           ? "-"
                           : util::fmt(results[0].rounds));
+        if (!results.empty() && results[0].ok) {
+          report.set_metric(std::string("rounds_per_cycle_") + family + "_n" +
+                                std::to_string(n),
+                            static_cast<double>(results[0].rounds));
+        }
       }
     }
     series.add_row(row);
   }
   bench::print_table(series);
+
+  if (cli.has("json")) {
+    std::string path = cli.get_string("json", "BENCH_e6.json");
+    if (path.empty()) {
+      path = "BENCH_e6.json";  // bare --json
+    }
+    if (report.write(path)) {
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
 }
 
 }  // namespace
@@ -65,6 +85,7 @@ void run() {
 
 int main(int argc, char** argv) {
   snappif::bench::init(argc, argv);
-  snappif::run();
+  const snappif::util::Cli cli(argc, argv);
+  snappif::run(cli);
   return 0;
 }

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Throughput regression gate for the engine bench (E10).
+
+Compares a freshly produced BENCH_e10.json against the checked-in baseline
+and fails when any compared metric fell by more than the tolerance factor:
+
+    current < baseline / factor   ->  regression
+
+Only throughput metrics (default prefix: mask_steps_per_s) are gated — the
+mask-vs-loop speedup ratio is recorded for humans but depends on both paths,
+so it is reported without gating.  The factor defaults to 2.0: generous
+enough to absorb CI-runner hardware variance, tight enough to catch the
+engine falling back to per-action loops or losing its incremental
+enabled-set maintenance.
+
+Usage:
+    check_bench_regression.py BASELINE CURRENT [--factor 2.0]
+                              [--prefix mask_steps_per_s]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in BENCH_*.json")
+    parser.add_argument("current", help="freshly measured BENCH_*.json")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="allowed slowdown factor (default: 2.0)")
+    parser.add_argument("--prefix", default="mask_steps_per_s",
+                        help="metric-name prefix to gate on")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+    with open(args.current, encoding="utf-8") as f:
+        current = json.load(f)
+
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    print(f"baseline commit: {baseline.get('commit', '?')}  "
+          f"current commit: {current.get('commit', '?')}")
+
+    gated = [k for k in base_metrics if k.startswith(args.prefix)]
+    if not gated:
+        print(f"error: baseline has no metrics with prefix "
+              f"'{args.prefix}'", file=sys.stderr)
+        return 2
+
+    failures = []
+    for key in sorted(gated):
+        base = base_metrics[key]
+        cur = cur_metrics.get(key)
+        if cur is None:
+            failures.append(f"{key}: missing from current report")
+            continue
+        floor = base / args.factor
+        verdict = "OK" if cur >= floor else "REGRESSION"
+        print(f"  {key}: baseline={base:.0f} current={cur:.0f} "
+              f"floor={floor:.0f} [{verdict}]")
+        if cur < floor:
+            failures.append(
+                f"{key}: {cur:.0f} < {floor:.0f} "
+                f"(baseline {base:.0f} / factor {args.factor})")
+
+    for key in sorted(k for k in cur_metrics if k.startswith("speedup")):
+        print(f"  {key}: {cur_metrics[key]:.2f}x (informational)")
+
+    if failures:
+        print("throughput regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("no throughput regression.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,11 +77,9 @@ AtomicityResult check_snap_with_delayed_commits(const graph::Graph& g,
       if (write_in_flight[p]) {
         continue;
       }
-      for (ActionId a = 0; a < protocol.num_actions(); ++a) {
-        if (protocol.enabled(c, p, a)) {
-          enabled.emplace_back(p, a);
-          break;
-        }
+      const sim::ActionMask mask = protocol.enabled_mask(c, p);
+      if (mask != 0) {
+        enabled.emplace_back(p, sim::first_action(mask));
       }
     }
     if (enabled.empty()) {

@@ -76,12 +76,7 @@ template <sim::Protocol P>
     }
     bool any = false;
     for (sim::ProcessorId p = 0; p < g.n() && !any; ++p) {
-      for (sim::ActionId a = 0; a < protocol.num_actions(); ++a) {
-        if (protocol.enabled(scratch, p, a)) {
-          any = true;
-          break;
-        }
-      }
+      any = sim::enabled_mask(protocol, scratch, p) != 0;
     }
     if (!any) {
       ++report.deadlocks;

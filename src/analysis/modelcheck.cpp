@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/configuration.hpp"
+#include "sim/protocol.hpp"
 #include "util/assert.hpp"
 
 namespace snappif::analysis {
@@ -243,10 +244,8 @@ std::vector<EnabledInfo> enabled_info(const Config& c,
   for (ProcessorId p = 0; p < c.n(); ++p) {
     EnabledInfo info;
     info.p = p;
-    for (ActionId a = 0; a < protocol.num_actions(); ++a) {
-      if (protocol.enabled(c, p, a)) {
-        info.actions.push_back(a);
-      }
+    for (sim::ActionMask m = protocol.enabled_mask(c, p); m != 0; m &= m - 1) {
+      info.actions.push_back(sim::first_action(m));
     }
     if (!info.actions.empty()) {
       out.push_back(std::move(info));
@@ -273,12 +272,7 @@ DeadlockReport check_no_deadlock(const graph::Graph& g,
     }
     bool any = false;
     for (ProcessorId p = 0; p < g.n() && !any; ++p) {
-      for (ActionId a = 0; a < protocol.num_actions(); ++a) {
-        if (protocol.enabled(scratch, p, a)) {
-          any = true;
-          break;
-        }
-      }
+      any = protocol.enabled_mask(scratch, p) != 0;
     }
     if (!any) {
       if (report.deadlocks == 0) {
@@ -316,7 +310,7 @@ SnapCheckReport exhaustive_snap_check(const graph::Graph& g,
           seed_config.state(p) = states[p];
         }
         for (ProcessorId p = 0; p < n; ++p) {
-          if (!protocol.normal(seed_config, p)) {
+          if (!pif::GuardEval(protocol, seed_config, p).normal) {
             return;
           }
         }
@@ -482,16 +476,11 @@ LivenessReport synchronous_liveness_check(const graph::Graph& g,
     std::vector<State> next = states;
     Packer::Ghost next_ghost = ghost;
     for (ProcessorId p = 0; p < n; ++p) {
-      ActionId chosen = 0xff;
-      for (ActionId a = 0; a < protocol.num_actions(); ++a) {
-        if (protocol.enabled(c, p, a)) {
-          chosen = a;
-          break;
-        }
-      }
-      if (chosen == 0xff) {
+      const sim::ActionMask mask = protocol.enabled_mask(c, p);
+      if (mask == 0) {
         continue;
       }
+      const ActionId chosen = sim::first_action(mask);
       terminal = false;
       next[p] = protocol.apply(c, p, chosen);
       if (p == root) {

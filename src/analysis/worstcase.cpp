@@ -122,13 +122,16 @@ std::uint64_t greedy_delay_rounds_to_normal(const graph::Graph& g,
       // One-step lookahead: keep the network sick as long as possible —
       // maximize the number of abnormal processors after the step, and
       // among ties prefer completing rounds (burning the round budget).
+      // The copied probe carries the cached action masks, so the step costs
+      // only the dirty-neighborhood refresh; count_abnormal is the
+      // allocation-free GuardEval sweep.
       std::int64_t best_score = -1;
       for (sim::ProcessorId p : enabled) {
         sim::Simulator<pif::PifProtocol> probe = sim;  // value copy
         daemon.choose(p);
         probe.step(daemon);
         const auto abnormal =
-            static_cast<std::int64_t>(checker.abnormal(probe.config()).size());
+            static_cast<std::int64_t>(checker.count_abnormal(probe.config()));
         const auto rounds_delta =
             static_cast<std::int64_t>(probe.rounds() - sim.rounds());
         const std::int64_t score = abnormal * 4 + rounds_delta;

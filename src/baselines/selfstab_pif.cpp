@@ -115,6 +115,52 @@ bool SelfStabPifProtocol::enabled(const Config& c, sim::ProcessorId p,
   }
 }
 
+sim::ActionMask SelfStabPifProtocol::enabled_mask(const Config& c,
+                                                  sim::ProcessorId p) const {
+  const SelfStabState& sp = c.state(p);
+  std::uint32_t min_dist = dist_max_;
+  bool parent_is_neighbor = false;
+  bool children_c = true;
+  bool children_f = true;
+  for (sim::ProcessorId q : c.neighbors(p)) {
+    const SelfStabState& sq = c.state(q);
+    min_dist = std::min(min_dist, sq.dist);
+    if (q == sp.parent) {
+      parent_is_neighbor = true;
+    }
+    if (q != root_ && sq.parent == p) {
+      children_c = children_c && sq.phase == TreePhase::kC;
+      children_f = children_f && sq.phase == TreePhase::kF;
+    }
+  }
+  // dist_consistent, from the shared intermediates (O(1) parent read; the
+  // reference reads c.state(sp.parent) directly, so mirror that rather than
+  // relying on sp.parent being a neighbor).
+  bool consistent = true;
+  if (p != root_) {
+    consistent = parent_is_neighbor &&
+                 sp.dist == std::min(min_dist + 1, dist_max_) &&
+                 c.state(sp.parent).dist == min_dist;
+  }
+  const bool parent_b =
+      p != root_ && c.state(sp.parent).phase == TreePhase::kB;
+  sim::ActionMask mask = 0;
+  if (p != root_ && !consistent) {
+    mask |= sim::ActionMask{1} << kFixDist;
+  }
+  if (sp.phase == TreePhase::kC && children_c &&
+      (p == root_ || (consistent && parent_b))) {
+    mask |= sim::ActionMask{1} << kWaveB;
+  }
+  if (sp.phase == TreePhase::kB && children_f) {
+    mask |= sim::ActionMask{1} << kWaveF;
+  }
+  if (sp.phase == TreePhase::kF && children_c && (p == root_ || !parent_b)) {
+    mask |= sim::ActionMask{1} << kWaveC;
+  }
+  return mask;
+}
+
 SelfStabState SelfStabPifProtocol::apply(const Config& c, sim::ProcessorId p,
                                          sim::ActionId a) const {
   SelfStabState next = c.state(p);

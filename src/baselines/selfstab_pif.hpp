@@ -72,6 +72,10 @@ class SelfStabPifProtocol {
   [[nodiscard]] std::string_view action_name(sim::ActionId a) const;
   [[nodiscard]] bool enabled(const Config& c, sim::ProcessorId p,
                              sim::ActionId a) const;
+  /// All four guards from one neighborhood walk (min dist + child phases +
+  /// parent-edge check shared across guards).
+  [[nodiscard]] sim::ActionMask enabled_mask(const Config& c,
+                                             sim::ProcessorId p) const;
   [[nodiscard]] State apply(const Config& c, sim::ProcessorId p,
                             sim::ActionId a) const;
   [[nodiscard]] State random_state(sim::ProcessorId p, util::Rng& rng) const;

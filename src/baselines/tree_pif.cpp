@@ -63,6 +63,31 @@ bool TreePifProtocol::enabled(const Config& c, sim::ProcessorId p,
   }
 }
 
+sim::ActionMask TreePifProtocol::enabled_mask(const Config& c,
+                                              sim::ProcessorId p) const {
+  const TreePhase ph = c.state(p).pif;
+  bool children_c = true;
+  bool children_f = true;
+  for (sim::ProcessorId q : children_[p]) {
+    const TreePhase cq = c.state(q).pif;
+    children_c = children_c && cq == TreePhase::kC;
+    children_f = children_f && cq == TreePhase::kF;
+  }
+  const bool parent_b =
+      p != root_ && c.state(parent_[p]).pif == TreePhase::kB;
+  sim::ActionMask mask = 0;
+  if (ph == TreePhase::kC && children_c && (p == root_ || parent_b)) {
+    mask |= sim::ActionMask{1} << kTreeB;
+  }
+  if (ph == TreePhase::kB && children_f) {
+    mask |= sim::ActionMask{1} << kTreeF;
+  }
+  if (ph == TreePhase::kF && children_c && (p == root_ || !parent_b)) {
+    mask |= sim::ActionMask{1} << kTreeC;
+  }
+  return mask;
+}
+
 TreePifState TreePifProtocol::apply(const Config& c, sim::ProcessorId p,
                                     sim::ActionId a) const {
   TreePifState next = c.state(p);

@@ -75,6 +75,9 @@ class TreePifProtocol {
   [[nodiscard]] std::string_view action_name(sim::ActionId a) const;
   [[nodiscard]] bool enabled(const Config& c, sim::ProcessorId p,
                              sim::ActionId a) const;
+  /// All three guards from one pass over p's children.
+  [[nodiscard]] sim::ActionMask enabled_mask(const Config& c,
+                                             sim::ProcessorId p) const;
   [[nodiscard]] State apply(const Config& c, sim::ProcessorId p,
                             sim::ActionId a) const;
   [[nodiscard]] State random_state(sim::ProcessorId p, util::Rng& rng) const;

@@ -6,7 +6,6 @@
 #include <utility>
 
 #include "graph/properties.hpp"
-#include "pif/checker.hpp"
 #include "pif/faults.hpp"
 #include "pif/ghost.hpp"
 #include "pif/instrument.hpp"
@@ -50,7 +49,7 @@ class CampaignEngine {
       const std::uint64_t target = sorted.events[next].round;
       const auto r = sim_->run_until(
           *daemon_,
-          [&](const pif::Config&) { return clock_.rounds() >= target; },
+          [&](const PifSim::Config&) { return clock_.rounds() >= target; },
           sim::RunLimits{.max_steps = remaining_steps(result)});
       result.steps += r.steps;
       if (r.reason != sim::StopReason::kPredicate) {
@@ -89,7 +88,7 @@ class CampaignEngine {
     next_sim->set_score(
         [](const pif::State& s) { return static_cast<std::int64_t>(s.level); });
     if (sim_ != nullptr) {
-      const pif::Config& old = sim_->config();
+      const PifSim::Config& old = sim_->config();
       for (sim::ProcessorId p = 0; p < n_; ++p) {
         pif::State s = old.state(p);
         if (p != opts_.root &&
@@ -200,8 +199,26 @@ class CampaignEngine {
 
   // --- recovery oracle -----------------------------------------------------
 
+  /// Def. 8 (all-Normal) read off the engine's cached action masks instead of
+  /// re-walking every neighborhood: a processor is abnormal iff one of its
+  /// correction guards is enabled.  (Non-root: AbnormalB/AbnormalF are exactly
+  /// ¬Normal ∧ Pif∈{B,F}, and a non-root processor with Pif=C is always
+  /// Normal.  Root: B-correction's guard is ¬Normal itself.)  The equivalence
+  /// against Checker::all_normal is asserted over random configurations in
+  /// tests/sim/test_mask_differential.cpp.
+  [[nodiscard]] bool all_normal_via_masks() const {
+    constexpr sim::ActionMask kCorrections =
+        (sim::ActionMask{1} << pif::kBCorrection) |
+        (sim::ActionMask{1} << pif::kFCorrection);
+    for (sim::ProcessorId p = 0; p < n_; ++p) {
+      if ((sim_->enabled_mask_of(p) & kCorrections) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   void run_oracle(CampaignResult& result) {
-    pif::Checker checker(sim_->protocol());
     const std::uint32_t l_max = sim_->protocol().params().l_max;
     const std::uint64_t budget = opts_.recovery_round_budget != 0
                                      ? opts_.recovery_round_budget
@@ -213,7 +230,7 @@ class CampaignEngine {
     // Milestone 1 (Theorem 1): all-Normal closure.
     const auto r1 = sim_->run_until(
         *daemon_,
-        [&](const pif::Config& c) { return checker.all_normal(c); },
+        [&](const PifSim::Config&) { return all_normal_via_masks(); },
         sim::RunLimits{.max_steps = remaining_steps(result),
                        .max_rounds = budget});
     result.steps += r1.steps;
@@ -230,7 +247,7 @@ class CampaignEngine {
     const std::uint64_t target_idx = cycles_at_quiet + (in_flight ? 1 : 0);
     const auto r2 = sim_->run_until(
         *daemon_,
-        [&](const pif::Config&) {
+        [&](const PifSim::Config&) {
           return tracker_.cycles_completed() > target_idx;
         },
         sim::RunLimits{.max_steps = remaining_steps(result),

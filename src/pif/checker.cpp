@@ -10,7 +10,7 @@ namespace snappif::pif {
 
 bool Checker::all_normal(const Config& c) const {
   for (sim::ProcessorId p = 0; p < c.n(); ++p) {
-    if (!protocol_->normal(c, p)) {
+    if (!GuardEval(*protocol_, c, p).normal) {
       return false;
     }
   }
@@ -20,11 +20,19 @@ bool Checker::all_normal(const Config& c) const {
 std::vector<sim::ProcessorId> Checker::abnormal(const Config& c) const {
   std::vector<sim::ProcessorId> out;
   for (sim::ProcessorId p = 0; p < c.n(); ++p) {
-    if (!protocol_->normal(c, p)) {
+    if (!GuardEval(*protocol_, c, p).normal) {
       out.push_back(p);
     }
   }
   return out;
+}
+
+std::size_t Checker::count_abnormal(const Config& c) const {
+  std::size_t count = 0;
+  for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+    count += GuardEval(*protocol_, c, p).normal ? 0 : 1;
+  }
+  return count;
 }
 
 bool Checker::all_c(const Config& c) const {

@@ -32,10 +32,13 @@ class Checker {
 
   [[nodiscard]] const PifProtocol& protocol() const noexcept { return *protocol_; }
 
-  /// Def. 8: every processor satisfies Normal.
+  /// Def. 8: every processor satisfies Normal.  Evaluated through GuardEval
+  /// (one neighborhood walk per processor).
   [[nodiscard]] bool all_normal(const Config& c) const;
   /// Abnormal processors, ascending.
   [[nodiscard]] std::vector<sim::ProcessorId> abnormal(const Config& c) const;
+  /// |abnormal(c)| without materializing the vector (lookahead hot path).
+  [[nodiscard]] std::size_t count_abnormal(const Config& c) const;
   [[nodiscard]] ConfigClass classify(const Config& c) const;
 
   /// The normal starting configuration: forall p, Pif_p = C.

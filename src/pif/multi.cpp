@@ -8,8 +8,8 @@ MultiPifProtocol::MultiPifProtocol(const graph::Graph& g,
                                    std::vector<sim::ProcessorId> roots)
     : graph_(&g), scratch_(g, {}) {
   SNAPPIF_ASSERT_MSG(!roots.empty(), "need at least one initiator");
-  SNAPPIF_ASSERT_MSG(roots.size() * kNumActions <= 250,
-                     "too many initiators for the 8-bit action id space");
+  SNAPPIF_ASSERT_MSG(roots.size() * kNumActions <= sim::kMaxMaskActions,
+                     "too many initiators for the 64-bit action mask");
   for (sim::ProcessorId root : roots) {
     instances_.emplace_back(g, Params::for_graph(g, root));
   }
@@ -47,6 +47,16 @@ bool MultiPifProtocol::enabled(const Config& c, sim::ProcessorId p,
   const std::size_t i = instance_of(a);
   SNAPPIF_ASSERT(i < instances_.size());
   return instances_[i].enabled(slice(c, i), p, base_action(a));
+}
+
+sim::ActionMask MultiPifProtocol::enabled_mask(const Config& c,
+                                               sim::ProcessorId p) const {
+  sim::ActionMask mask = 0;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    mask |= static_cast<sim::ActionMask>(instances_[i].enabled_mask(slice(c, i), p))
+            << (i * kNumActions);
+  }
+  return mask;
 }
 
 MultiState MultiPifProtocol::apply(const Config& c, sim::ProcessorId p,

@@ -69,6 +69,11 @@ class MultiPifProtocol {
   [[nodiscard]] std::string_view action_name(sim::ActionId a) const;
   [[nodiscard]] bool enabled(const Config& c, sim::ProcessorId p,
                              sim::ActionId a) const;
+  /// Per-instance masks shifted into the composite action-id space: one
+  /// slice + GuardEval per instance (k walks) instead of one slice per
+  /// composite action (7k walks).
+  [[nodiscard]] sim::ActionMask enabled_mask(const Config& c,
+                                             sim::ProcessorId p) const;
   [[nodiscard]] MultiState apply(const Config& c, sim::ProcessorId p,
                                  sim::ActionId a) const;
   [[nodiscard]] MultiState random_state(sim::ProcessorId p, util::Rng& rng) const;

@@ -415,6 +415,96 @@ bool PifProtocol::enabled(const Config& c, sim::ProcessorId p,
   }
 }
 
+sim::ActionMask PifProtocol::enabled_mask(const Config& c,
+                                          sim::ProcessorId p) const {
+  return GuardEval(*this, c, p).mask;
+}
+
+GuardEval::GuardEval(const PifProtocol& proto, const sim::Configuration<State>& c,
+                     sim::ProcessorId p) {
+  const Params& params = proto.params();
+  const State& sp = c.state(p);
+  root = proto.is_root(p);
+
+  // The single neighborhood walk.  Each flag mirrors one reference macro or
+  // predicate clause in the methods above; the differential test asserts the
+  // correspondence field by field.
+  bool children_all_f = true;  // BLeaf's quantifier (meaningful when Pif_p = B)
+  for (sim::ProcessorId q : c.neighbors(p)) {
+    const State& sq = c.state(q);
+    if (sq.pif != Phase::kC) {
+      all_neighbors_c = false;
+      if (sq.parent == p) {
+        leaf = false;
+      }
+    }
+    if (sq.pif == Phase::kB) {
+      b_free = false;
+      // Pre_Potential membership (repair: the printed ¬Fok_q is dropped
+      // unless the literal reading is requested; see pre_potential()).
+      if (sq.parent != p && sq.level < params.l_max &&
+          (!params.literal_prepotential_fok || !sq.fok)) {
+        has_potential = true;
+      }
+      // Sum_Set membership (repair: ¬Fok_q, not the owner's ¬Fok_p, unless
+      // the literal reading is requested; see in_sum_set()).
+      if (sq.parent == p && sq.level == sp.level + 1 &&
+          (params.literal_sumset_fok_owner ? !sp.fok : !sq.fok)) {
+        sum += sq.count;
+      }
+    }
+    if (sq.parent == p && sq.pif != Phase::kF) {
+      children_all_f = false;
+    }
+  }
+  b_leaf = sp.pif != Phase::kB || children_all_f;
+
+  // Predicates from the shared intermediates (plus O(1) parent reads).
+  if (root) {
+    if (sp.pif != Phase::kB) {
+      good_fok = true;
+    } else if (params.literal_root_goodfok) {
+      good_fok = sp.fok == (sum == params.n);
+    } else if (params.ablate_count_wait) {
+      good_fok = true;
+    } else {
+      good_fok = sp.fok == (sp.count == params.n);
+    }
+  } else {
+    const State& spar = c.state(sp.parent);
+    good_fok = !(sp.pif == Phase::kB && sp.fok && sp.fok != spar.fok) &&
+               !(sp.pif == Phase::kF && spar.pif == Phase::kB && !spar.fok);
+    good_pif = sp.pif == Phase::kC || spar.pif == sp.pif || spar.pif == Phase::kB;
+    good_level = sp.pif == Phase::kC || sp.level == spar.level + 1;
+  }
+  good_count = sp.pif != Phase::kB || sp.fok || sp.count <= sum;
+  normal = root ? good_fok && good_count
+                : good_pif && good_level && good_fok && good_count;
+
+  // The seven guards.
+  bool guard[kNumActions] = {};
+  if (root) {
+    guard[kBAction] = sp.pif == Phase::kC && all_neighbors_c;
+    guard[kFAction] = sp.pif == Phase::kB && sp.fok && normal && b_free;
+    guard[kCAction] = sp.pif == Phase::kF && all_neighbors_c;
+    guard[kBCorrection] = !normal;
+  } else {
+    guard[kBAction] = sp.pif == Phase::kC &&
+                      (params.ablate_broadcast_leaf || leaf) && has_potential;
+    guard[kFokAction] = sp.pif == Phase::kB && normal &&
+                        sp.fok != c.state(sp.parent).fok;
+    guard[kFAction] = sp.pif == Phase::kB && sp.fok && normal &&
+                      (params.ablate_feedback_bleaf || b_leaf);
+    guard[kCAction] = sp.pif == Phase::kF && normal && leaf && b_free;
+    guard[kBCorrection] = sp.pif == Phase::kB && !normal;
+    guard[kFCorrection] = sp.pif == Phase::kF && !normal;
+  }
+  guard[kCountAction] = sp.pif == Phase::kB && !sp.fok && normal && sp.count < sum;
+  for (sim::ActionId a = 0; a < kNumActions; ++a) {
+    mask |= static_cast<sim::ActionMask>(guard[a] ? 1 : 0) << a;
+  }
+}
+
 State PifProtocol::apply(const Config& c, sim::ProcessorId p,
                          sim::ActionId a) const {
   State next = c.state(p);
@@ -428,12 +518,33 @@ State PifProtocol::apply(const Config& c, sim::ProcessorId p,
       } else {
         // B-action(p) :: Par := min(Potential); L := L_Par + 1; Count := 1;
         //                Fok := false; Pif := B
-        const auto candidates = potential(c, p);
-        SNAPPIF_ASSERT_MSG(!candidates.empty(),
+        // min over >_p of the (possibly level-restricted) Pre_Potential,
+        // computed in one allocation-free pass: neighbor lists are sorted
+        // ascending = the local order >_p, so the first neighbor holding the
+        // minimal level wins (strict < keeps the earliest).
+        sim::ProcessorId chosen = kNoParent;
+        std::uint32_t chosen_level = 0;
+        for (sim::ProcessorId q : c.neighbors(p)) {
+          const State& sq = c.state(q);
+          if (sq.pif != Phase::kB || sq.parent == p ||
+              sq.level >= params_.l_max ||
+              (params_.literal_prepotential_fok && sq.fok)) {
+            continue;
+          }
+          if (chosen == kNoParent) {
+            chosen = q;
+            chosen_level = sq.level;
+            if (!params_.min_level_potential) {
+              break;  // Pre_Potential's own minimum: the first qualifier
+            }
+          } else if (sq.level < chosen_level) {
+            chosen = q;
+            chosen_level = sq.level;
+          }
+        }
+        SNAPPIF_ASSERT_MSG(chosen != kNoParent,
                            "B-action applied with empty Potential");
-        // Neighbor lists are sorted ascending = the local order >_p, so the
-        // minimum is the first candidate.
-        next.parent = candidates.front();
+        next.parent = chosen;
         next.level = c.state(next.parent).level + 1;
         next.count = 1;
         next.fok = false;

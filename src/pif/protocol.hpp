@@ -66,6 +66,11 @@ class PifProtocol {
   }
   [[nodiscard]] bool enabled(const Config& c, sim::ProcessorId p,
                              sim::ActionId a) const;
+  /// All seven guard bits of p from one neighborhood walk (see GuardEval).
+  /// Agrees bit-for-bit with `enabled()`; the per-guard methods below stay as
+  /// the independent reference implementation for the differential tests.
+  [[nodiscard]] sim::ActionMask enabled_mask(const Config& c,
+                                             sim::ProcessorId p) const;
   [[nodiscard]] State apply(const Config& c, sim::ProcessorId p,
                             sim::ActionId a) const;
   /// Uniform over the variable domains of Section 3 (Pif x Fok x Count x
@@ -115,6 +120,39 @@ class PifProtocol {
 
   const graph::Graph* graph_;
   Params params_;
+};
+
+/// One-pass guard evaluation: walks p's neighborhood exactly once, computes
+/// every Section-3 macro and predicate the guards share (Sum, the emptiness
+/// of Potential, Leaf, BLeaf, BFree, GoodFok/GoodPif/GoodLevel/GoodCount,
+/// Normal), and derives all seven guard bits from those intermediates.  This
+/// is the engine's hot path: the per-guard PifProtocol methods each re-walk
+/// the neighborhood, so a full `enabled()` sweep of one processor costs ~7
+/// scans where GuardEval costs one.  Honors every Params switch (the
+/// literal-reading repairs and the E7/E13 ablations).  Field-by-field
+/// agreement with the reference methods is enforced by
+/// tests/sim/test_mask_differential.cpp.
+struct GuardEval {
+  GuardEval(const PifProtocol& proto, const sim::Configuration<State>& c,
+            sim::ProcessorId p);
+
+  bool root = false;
+  /// Sum_p (the macro; 1 + sum of Count_q over Sum_Set_p).
+  std::uint64_t sum = 1;
+  /// Potential_p != {} — equivalently Pre_Potential_p != {}, since the
+  /// minimum-level restriction only filters a non-empty set.
+  bool has_potential = false;
+  bool leaf = true;
+  bool b_leaf = true;
+  bool b_free = true;
+  bool all_neighbors_c = true;
+  bool good_fok = true;
+  bool good_pif = true;    // vacuously true at the root
+  bool good_level = true;  // vacuously true at the root
+  bool good_count = true;
+  bool normal = true;
+  /// Bit `a` set iff action `a`'s guard holds (Action enum order).
+  sim::ActionMask mask = 0;
 };
 
 }  // namespace snappif::pif

@@ -1,6 +1,7 @@
 #include "sim/daemon.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/assert.hpp"
 
@@ -23,13 +24,21 @@ void CentralRoundRobinDaemon::select(std::span<const ProcessorId> enabled,
                                      const DaemonContext& ctx, util::Rng& /*rng*/,
                                      std::vector<ProcessorId>& out) {
   SNAPPIF_ASSERT(!enabled.empty());
-  // First enabled processor with id >= cursor, wrapping around.
-  auto it = std::lower_bound(enabled.begin(), enabled.end(), cursor_);
-  if (it == enabled.end()) {
-    it = enabled.begin();
+  // Smallest enabled id >= cursor, wrapping to the overall smallest.  The
+  // engine maintains the enabled set incrementally (swap-remove), so the
+  // span arrives in arbitrary order — a linear min-scan, not lower_bound.
+  ProcessorId min_all = enabled[0];
+  ProcessorId best = std::numeric_limits<ProcessorId>::max();
+  for (ProcessorId p : enabled) {
+    min_all = std::min(min_all, p);
+    if (p >= cursor_) {
+      best = std::min(best, p);
+    }
   }
-  out.push_back(*it);
-  cursor_ = (*it + 1) % std::max<ProcessorId>(ctx.n, 1);
+  const ProcessorId pick =
+      best != std::numeric_limits<ProcessorId>::max() ? best : min_all;
+  out.push_back(pick);
+  cursor_ = (pick + 1) % std::max<ProcessorId>(ctx.n, 1);
 }
 
 DistributedRandomDaemon::DistributedRandomDaemon(double probability)
@@ -64,19 +73,30 @@ void AdversarialScoreDaemon::select(std::span<const ProcessorId> enabled,
                                     std::vector<ProcessorId>& out) {
   SNAPPIF_ASSERT(!enabled.empty());
   if (!ctx.score) {
-    // No score available: degrade to picking the lowest ids.
-    const std::size_t take = std::min(width_, enabled.size());
-    out.insert(out.end(), enabled.begin(), enabled.begin() + static_cast<std::ptrdiff_t>(take));
+    // No score available: degrade to picking the lowest ids.  The span is in
+    // arbitrary order (incremental enabled-set), so select them explicitly.
+    std::vector<ProcessorId> lowest(enabled.begin(), enabled.end());
+    const std::size_t take = std::min(width_, lowest.size());
+    std::partial_sort(lowest.begin(),
+                      lowest.begin() + static_cast<std::ptrdiff_t>(take),
+                      lowest.end());
+    out.insert(out.end(), lowest.begin(),
+               lowest.begin() + static_cast<std::ptrdiff_t>(take));
     return;
   }
   std::vector<ProcessorId> sorted(enabled.begin(), enabled.end());
   const bool maximize = goal_ == Goal::kMaxScore;
-  std::stable_sort(sorted.begin(), sorted.end(),
-                   [&](ProcessorId a, ProcessorId b) {
-                     const auto sa = ctx.score(a);
-                     const auto sb = ctx.score(b);
-                     return maximize ? sa > sb : sa < sb;
-                   });
+  // Tie-break on id so the pick is independent of the span's (arbitrary)
+  // order.
+  std::sort(sorted.begin(), sorted.end(),
+            [&](ProcessorId a, ProcessorId b) {
+              const auto sa = ctx.score(a);
+              const auto sb = ctx.score(b);
+              if (sa != sb) {
+                return maximize ? sa > sb : sa < sb;
+              }
+              return a < b;
+            });
   const std::size_t take = std::min(width_, sorted.size());
   out.insert(out.end(), sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(take));
 }

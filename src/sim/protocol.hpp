@@ -19,14 +19,25 @@
 //                           same step against the same snapshot.
 //   * `random_state(p, rng)` — uniform sample of p's state space, for
 //                           arbitrary-initial-configuration experiments.
+//
+// Protocols may additionally provide the batched guard interface
+//   * `enabled_mask(c, p)`  — ActionMask with bit `a` set iff `enabled(c,p,a)`.
+// The free function sim::enabled_mask() dispatches to it when present and
+// otherwise falls back to a per-action `enabled()` loop, so third-party
+// protocols keep working unchanged.  Native implementations (PifProtocol's
+// GuardEval, the baselines) share one neighborhood walk across all guards —
+// the engine's hot path.  The mask/loop agreement is enforced bit-for-bit by
+// tests/sim/test_mask_differential.cpp.
 #pragma once
 
+#include <bit>
 #include <concepts>
 #include <cstdint>
 #include <string_view>
 
 #include "sim/configuration.hpp"
 #include "sim/types.hpp"
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace snappif::sim {
@@ -42,5 +53,56 @@ concept Protocol = requires(const P proto, const Configuration<typename P::State
   { proto.apply(c, p, a) } -> std::convertible_to<typename P::State>;
   { proto.random_state(p, rng) } -> std::convertible_to<typename P::State>;
 };
+
+/// A Protocol that natively evaluates all guards of a processor in one call.
+template <typename P>
+concept MaskProtocol =
+    Protocol<P> &&
+    requires(const P proto, const Configuration<typename P::State>& c, ProcessorId p) {
+      { proto.enabled_mask(c, p) } -> std::convertible_to<ActionMask>;
+    };
+
+/// Reference evaluation: one `enabled()` call per action.  Kept as a separate
+/// entry point so differential tests and benchmarks can pit it against the
+/// native masks even for MaskProtocols.
+template <Protocol P>
+[[nodiscard]] ActionMask enabled_mask_via_loop(const P& proto,
+                                               const Configuration<typename P::State>& c,
+                                               ProcessorId p) {
+  SNAPPIF_ASSERT(proto.num_actions() <= kMaxMaskActions);
+  ActionMask mask = 0;
+  for (ActionId a = 0; a < proto.num_actions(); ++a) {
+    if (proto.enabled(c, p, a)) {
+      mask |= ActionMask{1} << a;
+    }
+  }
+  return mask;
+}
+
+/// Enabled-action mask of processor p: the protocol's native `enabled_mask`
+/// when it has one, the per-action loop otherwise.
+template <Protocol P>
+[[nodiscard]] ActionMask enabled_mask(const P& proto,
+                                      const Configuration<typename P::State>& c,
+                                      ProcessorId p) {
+  if constexpr (MaskProtocol<P>) {
+    return proto.enabled_mask(c, p);
+  } else {
+    return enabled_mask_via_loop(proto, c, p);
+  }
+}
+
+/// Lowest-id action in a non-empty mask.
+[[nodiscard]] inline ActionId first_action(ActionMask mask) noexcept {
+  return static_cast<ActionId>(std::countr_zero(mask));
+}
+
+/// The `index`-th set bit (0-based, ascending) of a mask with > index bits.
+[[nodiscard]] inline ActionId nth_action(ActionMask mask, std::uint32_t index) noexcept {
+  while (index-- > 0) {
+    mask &= mask - 1;  // clear lowest set bit
+  }
+  return static_cast<ActionId>(std::countr_zero(mask));
+}
 
 }  // namespace snappif::sim

@@ -4,27 +4,27 @@
 
 namespace snappif::sim {
 
-void RoundTracker::begin(const std::vector<bool>& enabled_now) {
+void RoundTracker::begin(const std::vector<std::uint8_t>& enabled_now) {
   pending_ = enabled_now;
   pending_count_ = 0;
-  for (bool e : pending_) {
-    pending_count_ += e ? 1 : 0;
+  for (std::uint8_t e : pending_) {
+    pending_count_ += e != 0 ? 1 : 0;
   }
   rounds_ = 0;
 }
 
-bool RoundTracker::on_step(const std::vector<bool>& executed,
-                           const std::vector<bool>& enabled_after) {
+bool RoundTracker::on_step(const std::vector<std::uint8_t>& executed,
+                           const std::vector<std::uint8_t>& enabled_after) {
   SNAPPIF_ASSERT(executed.size() == pending_.size());
   SNAPPIF_ASSERT(enabled_after.size() == pending_.size());
   for (std::size_t p = 0; p < pending_.size(); ++p) {
-    if (!pending_[p]) {
+    if (pending_[p] == 0) {
       continue;
     }
     // Discharged by executing a protocol action, or by the disable action
     // (guard went false without executing).
-    if (executed[p] || !enabled_after[p]) {
-      pending_[p] = false;
+    if (executed[p] != 0 || enabled_after[p] == 0) {
+      pending_[p] = 0;
       --pending_count_;
     }
   }
@@ -34,8 +34,8 @@ bool RoundTracker::on_step(const std::vector<bool>& executed,
   ++rounds_;
   // Next round starts at the configuration just reached.
   pending_ = enabled_after;
-  for (bool e : pending_) {
-    pending_count_ += e ? 1 : 0;
+  for (std::uint8_t e : pending_) {
+    pending_count_ += e != 0 ? 1 : 0;
   }
   return true;
 }

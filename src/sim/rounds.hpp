@@ -21,14 +21,16 @@ namespace snappif::sim {
 class RoundTracker {
  public:
   /// Starts (or restarts) tracking with the enabled set of the current
-  /// configuration.  `enabled_now[p]` is true iff processor p is enabled.
-  void begin(const std::vector<bool>& enabled_now);
+  /// configuration.  `enabled_now[p]` is nonzero iff processor p is enabled.
+  /// (Byte flags, not vector<bool>: the engine reuses flat buffers to keep
+  /// its steady state allocation-free.)
+  void begin(const std::vector<std::uint8_t>& enabled_now);
 
-  /// Records one computation step: `executed[p]` true iff p executed a
+  /// Records one computation step: `executed[p]` nonzero iff p executed a
   /// protocol action in the step; `enabled_after[p]` the new enabled set.
   /// Returns true iff this step completed a round.
-  bool on_step(const std::vector<bool>& executed,
-               const std::vector<bool>& enabled_after);
+  bool on_step(const std::vector<std::uint8_t>& executed,
+               const std::vector<std::uint8_t>& enabled_after);
 
   /// Completed rounds since begin().
   [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
@@ -37,7 +39,7 @@ class RoundTracker {
   [[nodiscard]] std::uint64_t pending_count() const noexcept { return pending_count_; }
 
  private:
-  std::vector<bool> pending_;
+  std::vector<std::uint8_t> pending_;
   std::uint64_t pending_count_ = 0;
   std::uint64_t rounds_ = 0;
 };

@@ -7,12 +7,19 @@
 // statements in one step read the *same* pre-step configuration (composite
 // atomicity), so concurrent moves are well defined.
 //
-// The engine keeps an incrementally maintained enabled-set: an action's guard
-// reads only its processor's and its neighbors' variables, so after a step
-// only the executed processors and their neighbors can change enabledness.
+// The engine caches the full action mask of every processor (see
+// sim::enabled_mask in protocol.hpp): an action's guard reads only its
+// processor's and its neighbors' variables, so after a step only the executed
+// processors and their neighbors can change enabledness.  flush_dirty()
+// re-evaluates exactly those masks and maintains `enabled_list_` incrementally
+// via a position index (swap-remove, O(1) per transition); the list is
+// therefore NOT sorted — daemons receive an arbitrary-order set.  Steady-state
+// stepping performs no heap allocation (asserted by a counting-allocator
+// test); all bookkeeping lives in flat reusable buffers.
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -82,20 +89,23 @@ class Simulator {
     rebuild_enabled();
   }
 
-  /// Copying forks the simulation state (configuration, RNG, round/step
-  /// accounting) — used by lookahead searches.  Attached observers (probes,
-  /// the apply hook, the trace recorder) are bound to an instance and do not
-  /// follow the copy; a copy starts with none, and copy-assignment keeps the
-  /// destination's own attachments.
+  /// Copying forks the simulation state (configuration, cached action masks,
+  /// RNG, round/step accounting) — used by lookahead searches.  Attached
+  /// observers (probes, the apply hook, the trace recorder) are bound to an
+  /// instance and do not follow the copy; a copy starts with none, and
+  /// copy-assignment keeps the destination's own attachments.
   Simulator(const Simulator& other)
       : protocol_(other.protocol_),
         config_(other.config_),
         rng_(other.rng_),
         policy_(other.policy_),
         score_(other.score_),
+        masks_(other.masks_),
         enabled_(other.enabled_),
         enabled_list_(other.enabled_list_),
+        enabled_pos_(other.enabled_pos_),
         dirty_(other.dirty_),
+        executed_(other.executed_),
         rounds_(other.rounds_),
         steps_(other.steps_),
         action_counts_(other.action_counts_) {}
@@ -108,10 +118,13 @@ class Simulator {
     rng_ = other.rng_;
     policy_ = other.policy_;
     score_ = other.score_;
+    masks_ = other.masks_;
     enabled_ = other.enabled_;
     enabled_list_ = other.enabled_list_;
+    enabled_pos_ = other.enabled_pos_;
     dirty_ = other.dirty_;
     dirty_list_.clear();
+    executed_ = other.executed_;
     rounds_ = other.rounds_;
     steps_ = other.steps_;
     action_counts_ = other.action_counts_;
@@ -192,19 +205,24 @@ class Simulator {
   /// Attaches a trace recorder (nullptr detaches).
   void set_trace(Trace* trace) noexcept { trace_ = trace; }
 
-  [[nodiscard]] bool is_enabled(ProcessorId p) const { return enabled_[p]; }
+  [[nodiscard]] bool is_enabled(ProcessorId p) const { return masks_[p] != 0; }
   [[nodiscard]] bool any_enabled() const noexcept { return !enabled_list_.empty(); }
+  /// The enabled set, in unspecified order (incremental swap-remove
+  /// maintenance; daemons must not assume sorted input).
   [[nodiscard]] std::span<const ProcessorId> enabled_processors() const noexcept {
     return enabled_list_;
+  }
+
+  /// Cached action mask of p, always in sync with config() between steps.
+  [[nodiscard]] ActionMask enabled_mask_of(ProcessorId p) const {
+    return masks_[p];
   }
 
   /// Enabled actions of p, in action-id order.
   [[nodiscard]] std::vector<ActionId> enabled_actions(ProcessorId p) const {
     std::vector<ActionId> out;
-    for (ActionId a = 0; a < protocol_.num_actions(); ++a) {
-      if (protocol_.enabled(config_, p, a)) {
-        out.push_back(a);
-      }
+    for (ActionMask m = masks_[p]; m != 0; m &= m - 1) {
+      out.push_back(first_action(m));
     }
     return out;
   }
@@ -230,7 +248,7 @@ class Simulator {
     // configuration.
     staged_.clear();
     for (ProcessorId p : selected_) {
-      SNAPPIF_ASSERT_MSG(enabled_[p], "daemon selected a disabled processor");
+      SNAPPIF_ASSERT_MSG(masks_[p] != 0, "daemon selected a disabled processor");
       const ActionId a = choose_action(p);
       staged_.push_back({p, a, protocol_.apply(config_, p, a)});
     }
@@ -266,10 +284,9 @@ class Simulator {
     }
 
     // Phase 2: commit all writes, then refresh enabledness around writers.
-    executed_.assign(config_.n(), false);
     for (auto& s : staged_) {
       config_.state(s.processor) = std::move(s.next);
-      executed_[s.processor] = true;
+      executed_[s.processor] = 1;
       if (s.action < action_counts_.size()) {
         ++action_counts_[s.action];
       }
@@ -280,6 +297,10 @@ class Simulator {
     flush_dirty();
     ++steps_;
     const bool round_done = rounds_.on_step(executed_, enabled_);
+    // Clear only the set flags — O(|staged|), not O(n).
+    for (const auto& s : staged_) {
+      executed_[s.processor] = 0;
+    }
     if (!probes_.empty()) {
       ev.enabled_after = enabled_list_.size();
       for (Probe* probe : probes_) {
@@ -345,89 +366,94 @@ class Simulator {
     State next;
   };
 
+  static constexpr std::uint32_t kNotInList = 0xffffffff;
+
   [[nodiscard]] ActionId choose_action(ProcessorId p) {
-    ActionId first = kNoAction;
-    std::uint32_t count = 0;
-    ActionId chosen = kNoAction;
-    for (ActionId a = 0; a < protocol_.num_actions(); ++a) {
-      if (!protocol_.enabled(config_, p, a)) {
-        continue;
-      }
-      if (first == kNoAction) {
-        first = a;
-      }
-      ++count;
-      if (policy_ == ActionPolicy::kRandomEnabled) {
-        // Reservoir sampling over enabled actions.
-        if (rng_.below(count) == 0) {
-          chosen = a;
-        }
-      }
+    const ActionMask mask = masks_[p];
+    SNAPPIF_ASSERT_MSG(mask != 0, "selected processor has no enabled action");
+    if (policy_ == ActionPolicy::kFirstEnabled) {
+      return first_action(mask);
     }
-    SNAPPIF_ASSERT_MSG(first != kNoAction, "selected processor has no enabled action");
-    return policy_ == ActionPolicy::kFirstEnabled ? first : chosen;
+    const auto count = static_cast<std::uint32_t>(std::popcount(mask));
+    return nth_action(mask, static_cast<std::uint32_t>(rng_.below(count)));
   }
 
   void rebuild_enabled() {
-    enabled_.assign(config_.n(), false);
+    const ProcessorId n = config_.n();
+    masks_.assign(n, 0);
+    enabled_.assign(n, 0);
+    enabled_pos_.assign(n, kNotInList);
     enabled_list_.clear();
-    for (ProcessorId p = 0; p < config_.n(); ++p) {
-      enabled_[p] = compute_enabled(p);
-      if (enabled_[p]) {
+    for (ProcessorId p = 0; p < n; ++p) {
+      masks_[p] = sim::enabled_mask(protocol_, config_, p);
+      if (masks_[p] != 0) {
+        enabled_[p] = 1;
+        enabled_pos_[p] = static_cast<std::uint32_t>(enabled_list_.size());
         enabled_list_.push_back(p);
       }
     }
-    dirty_.assign(config_.n(), false);
+    dirty_.assign(n, 0);
+    dirty_list_.clear();
+    executed_.assign(n, 0);
+    // Every per-step buffer is bounded by n; reserving the bound up front
+    // makes the steady-state zero-allocation invariant unconditional instead
+    // of dependent on early steps hitting the high-water mark.
+    enabled_list_.reserve(n);
+    dirty_list_.reserve(n);
+    selected_.reserve(n);
+    staged_.reserve(n);
+    choices_.reserve(n);
     rounds_.begin(enabled_);
     if (action_counts_.size() != protocol_.num_actions()) {
       action_counts_.assign(protocol_.num_actions(), 0);
     }
   }
 
-  [[nodiscard]] bool compute_enabled(ProcessorId p) const {
-    for (ActionId a = 0; a < protocol_.num_actions(); ++a) {
-      if (protocol_.enabled(config_, p, a)) {
-        return true;
-      }
-    }
-    return false;
-  }
-
   void mark_dirty_around(ProcessorId p) {
-    if (dirty_.size() != config_.n()) {
-      dirty_.assign(config_.n(), false);
-    }
     if (!dirty_[p]) {
-      dirty_[p] = true;
+      dirty_[p] = 1;
       dirty_list_.push_back(p);
     }
     for (ProcessorId q : config_.neighbors(p)) {
       if (!dirty_[q]) {
-        dirty_[q] = true;
+        dirty_[q] = 1;
         dirty_list_.push_back(q);
       }
     }
   }
 
+  /// Recomputes the masks of dirty processors and updates the enabled list
+  /// in place: O(1) swap-remove/append per enabledness transition, no full
+  /// rebuild.  Invariant outside this call: enabled_list_ holds exactly the
+  /// processors with a nonzero mask, enabled_pos_[p] is p's index in it
+  /// (kNotInList otherwise), and enabled_[p] mirrors masks_[p] != 0.
   void flush_dirty() {
-    bool changed = false;
     for (ProcessorId p : dirty_list_) {
-      const bool now = compute_enabled(p);
-      if (now != enabled_[p]) {
-        enabled_[p] = now;
-        changed = true;
+      dirty_[p] = 0;
+      const ActionMask mask = sim::enabled_mask(protocol_, config_, p);
+      if (mask == masks_[p]) {
+        continue;
       }
-      dirty_[p] = false;
+      const bool was = masks_[p] != 0;
+      const bool now = mask != 0;
+      masks_[p] = mask;
+      if (was == now) {
+        continue;
+      }
+      enabled_[p] = now ? 1 : 0;
+      if (now) {
+        enabled_pos_[p] = static_cast<std::uint32_t>(enabled_list_.size());
+        enabled_list_.push_back(p);
+      } else {
+        const std::uint32_t pos = enabled_pos_[p];
+        const ProcessorId last = enabled_list_.back();
+        enabled_list_[pos] = last;
+        enabled_pos_[last] = pos;
+        enabled_list_.pop_back();
+        enabled_pos_[p] = kNotInList;
+      }
     }
     dirty_list_.clear();
-    if (changed) {
-      enabled_list_.clear();
-      for (ProcessorId p = 0; p < config_.n(); ++p) {
-        if (enabled_[p]) {
-          enabled_list_.push_back(p);
-        }
-      }
-    }
   }
 
   void notify_attach() {
@@ -446,13 +472,15 @@ class Simulator {
   std::function<std::int64_t(const State&)> score_;
   Trace* trace_ = nullptr;
 
-  std::vector<bool> enabled_;
+  std::vector<ActionMask> masks_;
+  std::vector<std::uint8_t> enabled_;  // masks_[p] != 0, for RoundTracker
   std::vector<ProcessorId> enabled_list_;
-  std::vector<bool> dirty_;
+  std::vector<std::uint32_t> enabled_pos_;
+  std::vector<std::uint8_t> dirty_;
   std::vector<ProcessorId> dirty_list_;
   std::vector<ProcessorId> selected_;
   std::vector<Staged> staged_;
-  std::vector<bool> executed_;
+  std::vector<std::uint8_t> executed_;
 
   RoundTracker rounds_;
   std::uint64_t steps_ = 0;

@@ -16,6 +16,14 @@ using ActionId = std::uint8_t;
 /// Marker for "no action" in per-processor selections.
 inline constexpr ActionId kNoAction = 0xff;
 
+/// Bitmask of enabled actions at one processor: bit `a` is set iff the guard
+/// of action `a` holds.  64 bits — wide enough for MultiPifProtocol's product
+/// compositions (k instances x 7 actions), which overflow 32 bits at k = 5.
+using ActionMask = std::uint64_t;
+
+/// Maximum number of actions representable in an ActionMask.
+inline constexpr ActionId kMaxMaskActions = 64;
+
 /// One executed action of one processor within a computation step.
 struct ActionChoice {
   ProcessorId processor;

@@ -1,0 +1,312 @@
+// Differential proof obligations for the one-pass guard-mask core.
+//
+// The engine's hot path is `P::enabled_mask` (a single neighborhood walk per
+// processor); the per-action `P::enabled` methods remain as the independent
+// reference implementation.  These tests pin the two against each other:
+//
+//   1. For every protocol shipping a native mask (PifProtocol under every
+//      Params variant, both baselines, MultiPifProtocol beyond 32 actions),
+//      `enabled_mask` must agree bit-for-bit with `enabled_mask_via_loop`
+//      (the per-action fallback adapter) on randomized configurations across
+//      topology families: path, cycle, star, grid, complete, binary tree,
+//      random connected.
+//   2. pif::GuardEval's intermediate fields (Sum, Potential emptiness, Leaf,
+//      BLeaf, BFree, the Good* predicates, Normal) must agree with the
+//      reference macro/predicate methods field by field.
+//   3. The Simulator's cached masks must stay in sync with a from-scratch
+//      evaluation after steps under multiple daemons and after set_state.
+//   4. A mid-run copied Simulator must step identically to its original
+//      (fork determinism), including from corrupted PIF configurations.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/selfstab_pif.hpp"
+#include "baselines/tree_pif.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "pif/checker.hpp"
+#include "pif/faults.hpp"
+#include "pif/multi.hpp"
+#include "pif/protocol.hpp"
+#include "sim/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace snappif {
+namespace {
+
+using graph::Graph;
+using sim::ProcessorId;
+
+/// The topology families the acceptance criteria call out.  Sizes are kept
+/// small enough that the randomized sweeps stay fast but cover leaves, hubs,
+/// even/odd cycles, grid interiors and dense neighborhoods.
+std::vector<Graph> topology_families() {
+  std::vector<Graph> gs;
+  gs.push_back(graph::make_path(7));
+  gs.push_back(graph::make_cycle(6));
+  gs.push_back(graph::make_star(7));
+  gs.push_back(graph::make_grid(3, 3));
+  gs.push_back(graph::make_complete(5));
+  gs.push_back(graph::make_binary_tree(9));
+  gs.push_back(graph::make_random_connected(10, 7, 42));
+  return gs;
+}
+
+/// Draws `trials` random configurations of `proto` on `g` and checks the
+/// native mask against the per-action loop for every processor.
+template <typename P>
+void expect_mask_matches_loop(const Graph& g, const P& proto,
+                              std::uint64_t seed, int trials = 64) {
+  util::Rng rng(seed);
+  sim::Configuration<typename P::State> c(g, proto.initial_state(0));
+  for (int t = 0; t < trials; ++t) {
+    for (ProcessorId p = 0; p < g.n(); ++p) {
+      c.state(p) = proto.random_state(p, rng);
+    }
+    for (ProcessorId p = 0; p < g.n(); ++p) {
+      EXPECT_EQ(proto.enabled_mask(c, p),
+                sim::enabled_mask_via_loop(proto, c, p))
+          << "trial " << t << " processor " << p;
+    }
+  }
+}
+
+/// Every Params variant the acceptance criteria require: the canonical
+/// algorithm, each literal-reading switch, each ablation, and a non-zero
+/// root.
+std::vector<pif::Params> params_variants(const Graph& g) {
+  std::vector<pif::Params> variants;
+  variants.push_back(pif::Params::for_graph(g));
+  {
+    auto p = pif::Params::for_graph(g);
+    p.literal_sumset_fok_owner = true;
+    variants.push_back(p);
+  }
+  {
+    auto p = pif::Params::for_graph(g);
+    p.literal_prepotential_fok = true;
+    variants.push_back(p);
+  }
+  {
+    auto p = pif::Params::for_graph(g);
+    p.literal_root_goodfok = true;
+    variants.push_back(p);
+  }
+  {
+    auto p = pif::Params::for_graph(g);
+    p.min_level_potential = false;
+    variants.push_back(p);
+  }
+  {
+    auto p = pif::Params::for_graph(g);
+    p.ablate_broadcast_leaf = true;
+    variants.push_back(p);
+  }
+  {
+    auto p = pif::Params::for_graph(g);
+    p.ablate_feedback_bleaf = true;
+    variants.push_back(p);
+  }
+  {
+    auto p = pif::Params::for_graph(g);
+    p.ablate_count_wait = true;
+    variants.push_back(p);
+  }
+  {
+    auto p = pif::Params::for_graph(g, /*root=*/g.n() / 2);
+    variants.push_back(p);
+  }
+  return variants;
+}
+
+TEST(MaskDifferential, PifAllParamsVariantsAllFamilies) {
+  std::uint64_t seed = 1000;
+  for (const Graph& g : topology_families()) {
+    for (const pif::Params& params : params_variants(g)) {
+      pif::PifProtocol proto(g, params);
+      expect_mask_matches_loop(g, proto, seed++);
+    }
+  }
+}
+
+TEST(MaskDifferential, GuardEvalFieldsMatchReferenceMethods) {
+  std::uint64_t seed = 2000;
+  for (const Graph& g : topology_families()) {
+    for (const pif::Params& params : params_variants(g)) {
+      pif::PifProtocol proto(g, params);
+      util::Rng rng(seed++);
+      pif::PifProtocol::Config c(g, proto.initial_state(0));
+      for (int t = 0; t < 32; ++t) {
+        for (ProcessorId p = 0; p < g.n(); ++p) {
+          c.state(p) = proto.random_state(p, rng);
+        }
+        for (ProcessorId p = 0; p < g.n(); ++p) {
+          const pif::GuardEval ev(proto, c, p);
+          EXPECT_EQ(ev.root, proto.is_root(p));
+          EXPECT_EQ(ev.sum, proto.sum(c, p));
+          EXPECT_EQ(ev.has_potential, !proto.potential(c, p).empty());
+          // Potential is empty iff Pre_Potential is: the min-level rule only
+          // filters a non-empty set.
+          EXPECT_EQ(ev.has_potential, !proto.pre_potential(c, p).empty());
+          EXPECT_EQ(ev.leaf, proto.leaf(c, p));
+          EXPECT_EQ(ev.b_leaf, proto.b_leaf(c, p));
+          EXPECT_EQ(ev.b_free, proto.b_free(c, p));
+          EXPECT_EQ(ev.good_fok, proto.good_fok(c, p));
+          if (!proto.is_root(p)) {
+            EXPECT_EQ(ev.good_pif, proto.good_pif(c, p));
+            EXPECT_EQ(ev.good_level, proto.good_level(c, p));
+          }
+          EXPECT_EQ(ev.good_count, proto.good_count(c, p));
+          EXPECT_EQ(ev.normal, proto.normal(c, p));
+        }
+      }
+    }
+  }
+}
+
+TEST(MaskDifferential, TreePifBaseline) {
+  std::uint64_t seed = 3000;
+  for (const Graph& g : topology_families()) {
+    const auto tree = graph::bfs_tree(g, 0);
+    baselines::TreePifProtocol proto(g, 0, tree.parent);
+    expect_mask_matches_loop(g, proto, seed++);
+  }
+}
+
+TEST(MaskDifferential, SelfStabBaseline) {
+  std::uint64_t seed = 4000;
+  for (const Graph& g : topology_families()) {
+    baselines::SelfStabPifProtocol proto(g, 0);
+    expect_mask_matches_loop(g, proto, seed++);
+  }
+}
+
+TEST(MaskDifferential, MultiPifBeyond32Actions) {
+  // Five initiators x seven actions = 35 composite actions: exercises the
+  // mask bits above bit 31 (the reason ActionMask is 64-bit).
+  const auto g = graph::make_path(5);
+  pif::MultiPifProtocol proto(g, {0, 1, 2, 3, 4});
+  ASSERT_EQ(proto.num_actions(), 35u);
+  expect_mask_matches_loop(g, proto, 5000, /*trials=*/48);
+}
+
+TEST(MaskDifferential, MaskBitHelpers) {
+  const sim::ActionMask m = 0b101001;  // actions 0, 3, 5
+  EXPECT_EQ(sim::first_action(m), 0u);
+  EXPECT_EQ(sim::nth_action(m, 0), 0u);
+  EXPECT_EQ(sim::nth_action(m, 1), 3u);
+  EXPECT_EQ(sim::nth_action(m, 2), 5u);
+  EXPECT_EQ(sim::first_action(sim::ActionMask{1} << 34), 34u);
+}
+
+/// From-scratch mask of every processor vs the simulator's cache.
+template <typename P>
+void expect_cache_fresh(const sim::Simulator<P>& sim) {
+  for (ProcessorId p = 0; p < sim.config().n(); ++p) {
+    EXPECT_EQ(sim.enabled_mask_of(p),
+              sim::enabled_mask(sim.protocol(), sim.config(), p))
+        << "processor " << p;
+  }
+}
+
+TEST(MaskDifferential, SimulatorCacheStaysFreshUnderDaemons) {
+  const auto g = graph::make_random_connected(9, 6, 7);
+  pif::PifProtocol proto(g, pif::Params::for_graph(g));
+  const auto run_with = [&](sim::IDaemon& daemon, std::uint64_t seed) {
+    sim::Simulator<pif::PifProtocol> sim(proto, g, seed);
+    util::Rng rng(seed + 1);
+    sim.randomize(rng);
+    sim.set_action_policy(sim::ActionPolicy::kRandomEnabled);
+    expect_cache_fresh(sim);
+    for (int i = 0; i < 200 && sim.step(daemon); ++i) {
+      expect_cache_fresh(sim);
+    }
+  };
+  sim::SynchronousDaemon sync;
+  run_with(sync, 11);
+  sim::CentralRandomDaemon central;
+  run_with(central, 12);
+  sim::DistributedRandomDaemon dist(0.4);
+  run_with(dist, 13);
+}
+
+TEST(MaskDifferential, SimulatorCacheFreshAfterSetState) {
+  const auto g = graph::make_cycle(6);
+  pif::PifProtocol proto(g, pif::Params::for_graph(g));
+  sim::Simulator<pif::PifProtocol> sim(proto, g, 21);
+  util::Rng rng(22);
+  for (int t = 0; t < 50; ++t) {
+    const auto p = static_cast<ProcessorId>(rng.below(g.n()));
+    sim.set_state(p, proto.random_state(p, rng));
+    expect_cache_fresh(sim);
+  }
+}
+
+TEST(MaskDifferential, AbnormalEquivalentToCorrectionGuard) {
+  // The chaos oracle's shortcut: a processor is abnormal (¬Normal) iff one of
+  // its correction guards is enabled.  Non-root: Pif=C is always Normal and
+  // B/F-corrections fire exactly on ¬Normal in phases B/F.  Root: only Pif=B
+  // can be abnormal, where B-correction's guard IS ¬Normal.
+  constexpr sim::ActionMask kCorrections =
+      (sim::ActionMask{1} << pif::kBCorrection) |
+      (sim::ActionMask{1} << pif::kFCorrection);
+  std::uint64_t seed = 6000;
+  for (const Graph& g : topology_families()) {
+    pif::PifProtocol proto(g, pif::Params::for_graph(g));
+    pif::Checker checker(proto);
+    util::Rng rng(seed++);
+    pif::PifProtocol::Config c(g, proto.initial_state(0));
+    for (int t = 0; t < 64; ++t) {
+      for (ProcessorId p = 0; p < g.n(); ++p) {
+        c.state(p) = proto.random_state(p, rng);
+      }
+      std::size_t abnormal = 0;
+      for (ProcessorId p = 0; p < g.n(); ++p) {
+        const bool corr = (proto.enabled_mask(c, p) & kCorrections) != 0;
+        EXPECT_EQ(corr, !proto.normal(c, p)) << "processor " << p;
+        abnormal += corr ? 1u : 0u;
+      }
+      EXPECT_EQ(abnormal, checker.count_abnormal(c));
+      EXPECT_EQ(abnormal == 0, checker.all_normal(c));
+    }
+  }
+}
+
+TEST(MaskDifferential, CopiedSimulatorStepsIdentically) {
+  // Fork a PIF run mid-flight from a corrupted start; original and copy must
+  // produce identical configurations, step/round counters and enabled sets
+  // under the same daemon from then on.
+  const auto g = graph::make_random_connected(8, 5, 3);
+  pif::PifProtocol proto(g, pif::Params::for_graph(g));
+  sim::Simulator<pif::PifProtocol> sim(proto, g, 31);
+  util::Rng fault_rng(32);
+  pif::apply_corruption(sim, pif::CorruptionKind::kUniformRandom, fault_rng);
+  sim.set_action_policy(sim::ActionPolicy::kRandomEnabled);
+
+  sim::CentralRandomDaemon daemon_a;
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(sim.step(daemon_a));
+  }
+
+  sim::Simulator<pif::PifProtocol> fork = sim;  // mid-run value copy
+  expect_cache_fresh(fork);
+  sim::CentralRandomDaemon daemon_b;  // same (stateless) daemon kind
+  for (int i = 0; i < 100; ++i) {
+    const bool more_a = sim.step(daemon_a);
+    const bool more_b = fork.step(daemon_b);
+    ASSERT_EQ(more_a, more_b);
+    if (!more_a) {
+      break;
+    }
+    ASSERT_EQ(sim.config().hash(), fork.config().hash()) << "diverged at " << i;
+    ASSERT_EQ(sim.steps(), fork.steps());
+    ASSERT_EQ(sim.rounds(), fork.rounds());
+    ASSERT_EQ(sim.enabled_processors().size(), fork.enabled_processors().size());
+  }
+}
+
+}  // namespace
+}  // namespace snappif

@@ -216,6 +216,52 @@ TEST(Simulator, RunUntilPredicateAndLimits) {
   EXPECT_EQ(r3.rounds, 3u);
 }
 
+TEST(Simulator, CopyForkStepsIdenticallyMidRun) {
+  const auto g = graph::make_random_connected(12, 10, 23);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 14);
+  util::Rng rng(15);
+  sim.randomize(rng);
+  DistributedRandomDaemon daemon;
+  for (int i = 0; i < 5 && sim.step(daemon); ++i) {
+  }
+
+  Simulator<MaxProtocol> fork = sim;  // mid-run value copy
+  // The copy carries configuration, cached masks, RNG and counters: both
+  // must trace out the exact same suffix.
+  EXPECT_EQ(fork.steps(), sim.steps());
+  EXPECT_EQ(fork.rounds(), sim.rounds());
+  DistributedRandomDaemon daemon_fork(0.5);
+  while (true) {
+    const bool more_a = sim.step(daemon);
+    const bool more_b = fork.step(daemon_fork);
+    ASSERT_EQ(more_a, more_b);
+    if (!more_a) {
+      break;
+    }
+    ASSERT_EQ(sim.config().hash(), fork.config().hash());
+    ASSERT_EQ(sim.steps(), fork.steps());
+    ASSERT_EQ(sim.rounds(), fork.rounds());
+  }
+}
+
+TEST(Simulator, CopyDoesNotInheritObservers) {
+  const auto g = graph::make_path(3);
+  Simulator<MaxProtocol> sim(MaxProtocol{}, g, 16);
+  int hooks = 0;
+  sim.set_apply_hook([&](ProcessorId, ActionId,
+                         const Configuration<IntState>&, const IntState&) {
+    ++hooks;
+  });
+  Simulator<MaxProtocol> fork = sim;
+  SynchronousDaemon daemon;
+  while (fork.step(daemon)) {
+  }
+  EXPECT_EQ(hooks, 0);  // the copy's steps must not fire the original's hook
+  while (sim.step(daemon)) {
+  }
+  EXPECT_GT(hooks, 0);
+}
+
 TEST(Simulator, TraceRecordsChoices) {
   const auto g = graph::make_path(3);
   Simulator<MaxProtocol> sim(MaxProtocol{}, g, 10);

@@ -1,0 +1,94 @@
+// Steady-state allocation audit for the execution engine.
+//
+// Simulator::step is the innermost loop of every experiment; the engine keeps
+// all bookkeeping (masks, enabled list + position index, dirty set, staged
+// writes, executed flags) in flat buffers that are reused across steps, so
+// after a short warm-up — during which vectors grow to their high-water
+// marks — stepping must perform ZERO heap allocations.
+//
+// This test overrides the global allocation functions with counting wrappers
+// (which is why it lives in its own binary) and asserts the counter does not
+// move across a long post-warm-up run.  FairDaemon is excluded: it keeps a
+// per-processor age table it re-derives per call by design.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pif/faults.hpp"
+#include "pif/protocol.hpp"
+#include "sim/daemon.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace snappif::sim {
+namespace {
+
+/// Warm the simulator up (buffers reach their high-water marks), then assert
+/// a long stretch of further steps allocates nothing.
+template <typename P>
+void expect_steady_state_alloc_free(Simulator<P>& sim, IDaemon& daemon) {
+  for (int i = 0; i < 200 && sim.step(daemon); ++i) {
+  }
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  int stepped = 0;
+  for (; stepped < 300 && sim.step(daemon); ++stepped) {
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "after " << stepped << " steps";
+  EXPECT_GT(stepped, 0) << "run went terminal before the audit window";
+}
+
+TEST(SimulatorAlloc, PifStepsAllocateNothingSteadyState) {
+  const auto g = graph::make_random_connected(24, 16, 5);
+  pif::PifProtocol proto(g, pif::Params::for_graph(g));
+  sim::Simulator<pif::PifProtocol> sim(proto, g, 17);
+  util::Rng rng(18);
+  pif::apply_corruption(sim, pif::CorruptionKind::kUniformRandom, rng);
+  SynchronousDaemon daemon;
+  expect_steady_state_alloc_free(sim, daemon);
+}
+
+TEST(SimulatorAlloc, RandomDaemonsAllocateNothingSteadyState) {
+  const auto g = graph::make_grid(5, 5);
+  pif::PifProtocol proto(g, pif::Params::for_graph(g));
+
+  sim::Simulator<pif::PifProtocol> sim_dist(proto, g, 19);
+  sim_dist.set_action_policy(ActionPolicy::kRandomEnabled);
+  DistributedRandomDaemon dist(0.5);
+  expect_steady_state_alloc_free(sim_dist, dist);
+
+  sim::Simulator<pif::PifProtocol> sim_central(proto, g, 20);
+  CentralRandomDaemon central;
+  expect_steady_state_alloc_free(sim_central, central);
+
+  sim::Simulator<pif::PifProtocol> sim_rr(proto, g, 21);
+  CentralRoundRobinDaemon rr;
+  expect_steady_state_alloc_free(sim_rr, rr);
+}
+
+}  // namespace
+}  // namespace snappif::sim
