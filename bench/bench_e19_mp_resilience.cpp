@@ -1,0 +1,189 @@
+// E19 — message-passing resilience: cost and recovery latency of running
+// the paper's protocol over lossy, crashing channels via the resilience
+// layer (mp::LinkProtocol + mp::GuardedEmulation).
+//
+// Two questions: (1) what does the emulation cost in wall-clock terms —
+// emulated rounds per second across sizes, the metric the CI regression
+// gate watches; (2) how fast does the emulated protocol come back after
+// combined channel faults and crash-recover processor faults — rounds from
+// the quiet point to quiescence and from release to the first clean cycle,
+// measured by the chaos emulation campaign's settle-then-release oracle.
+//
+//   * default: table mode — per-topology campaign sweep plus link telemetry;
+//   * --quick [--json=PATH]: fixed-workload throughput + recovery report
+//     that writes BENCH_e19.json for scripts/check_bench_regression.py
+//     (gate prefix: emulation_rounds_per_s).
+#include "bench_common.hpp"
+
+#include <chrono>
+
+#include "chaos/emulation_campaign.hpp"
+#include "chaos/schedule.hpp"
+#include "mp/guarded_emulation.hpp"
+#include "pif/codec.hpp"
+#include "pif/protocol.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace snappif {
+namespace {
+
+using Emulation = mp::GuardedEmulation<pif::PifProtocol, pif::StateCodec>;
+
+/// Emulated rounds per second on a perfect channel: every round pays the
+/// full stack (delivery batch, link timers, guard masks over cached views,
+/// snapshot publishes), so this is the emulation's steady-state unit cost.
+double measure_emulation_rounds_per_sec(const graph::Graph& g,
+                                        std::uint64_t rounds) {
+  const pif::Params params = pif::Params::for_graph(g);
+  const pif::PifProtocol proto(g, params);
+  sim::Configuration<pif::State> initial(g, proto.initial_state(0));
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    initial.state(p) = proto.initial_state(p);
+  }
+  Emulation emu(g, proto, pif::StateCodec(g, params), initial, 1);
+  emu.start();
+  for (std::uint64_t i = 0; i < rounds / 10; ++i) {
+    emu.round();  // warm-up
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    emu.round();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(rounds) / seconds;
+}
+
+struct RecoverySample {
+  util::OnlineStats settle;
+  util::OnlineStats recover;
+  std::uint64_t recovered = 0;
+  std::uint64_t campaigns = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t spurious_acks = 0;
+};
+
+/// Runs `campaigns` random crash-bearing fault campaigns and accumulates
+/// the oracle's latency numbers.
+RecoverySample measure_recovery(const graph::Graph& g, std::uint64_t campaigns,
+                                std::uint64_t seed,
+                                obs::Registry* registry = nullptr) {
+  chaos::CampaignShape shape;
+  shape.events = 6;
+  shape.horizon_rounds = 30;
+  shape.message_passing = true;
+  shape.crash = true;
+  shape.crash_processors = g.n();
+  util::Rng rng(seed);
+  RecoverySample sample;
+  for (std::uint64_t i = 0; i < campaigns; ++i) {
+    const chaos::FaultSchedule schedule = chaos::random_schedule(shape, rng);
+    chaos::EmulationCampaignOptions opts;
+    opts.seed = rng();
+    opts.arbitrary_init = true;
+    opts.registry = registry;
+    const chaos::EmulationCampaignResult r =
+        chaos::run_emulation_campaign(g, schedule, opts);
+    ++sample.campaigns;
+    sample.retransmits += r.link_retransmits;
+    sample.spurious_acks += r.link_spurious_acks;
+    if (r.ok()) {
+      ++sample.recovered;
+      sample.settle.add(static_cast<double>(r.rounds_to_settle));
+      sample.recover.add(static_cast<double>(r.rounds_to_recover));
+    }
+  }
+  return sample;
+}
+
+int run_quick_report(const util::Cli& cli) {
+  const bool quick = cli.get_bool("quick", false);
+  std::string path = cli.get_string("json", "BENCH_e19.json");
+  if (path.empty()) {
+    path = "BENCH_e19.json";  // bare --json
+  }
+  const std::uint64_t rounds = quick ? 2000 : 20000;
+  const std::uint64_t campaigns = quick ? 8 : 32;
+
+  bench::JsonReport report(
+      "E19",
+      "mp resilience: emulation throughput and crash-recovery latency over "
+      "lossy channels");
+  report.set_string("mode", quick ? "quick" : "full");
+  report.set_string("graph", "random_connected(n, 2n extra edges, seed 42)");
+  report.set_string("faults",
+                    "random loss/dup/reorder windows + crash(p,dur,mode), "
+                    "arbitrary initial configuration");
+
+  std::printf("E19 quick report (%s, %llu timed rounds per size)\n",
+              quick ? "quick" : "full",
+              static_cast<unsigned long long>(rounds));
+  std::printf("%8s %18s %12s %14s %14s\n", "n", "emu rounds/s", "recovered",
+              "settle mean", "recover mean");
+  for (const graph::NodeId n : {16, 32, 64}) {
+    const auto g = graph::make_random_connected(n, 2 * n, 42);
+    const double rate = measure_emulation_rounds_per_sec(g, rounds);
+    const RecoverySample sample = measure_recovery(g, campaigns, 19000 + n);
+    report.add_size(n);
+    const std::string suffix = "_n" + std::to_string(n);
+    report.set_metric("emulation_rounds_per_s" + suffix, rate);
+    report.set_metric("recovered" + suffix,
+                      static_cast<double>(sample.recovered));
+    report.set_metric("campaigns" + suffix,
+                      static_cast<double>(sample.campaigns));
+    report.set_metric("settle_rounds_mean" + suffix, sample.settle.mean());
+    report.set_metric("recover_rounds_mean" + suffix, sample.recover.mean());
+    std::printf("%8u %18.0f %9llu/%llu %14.1f %14.1f\n", n, rate,
+                static_cast<unsigned long long>(sample.recovered),
+                static_cast<unsigned long long>(sample.campaigns),
+                sample.settle.mean(), sample.recover.mean());
+  }
+  if (!report.write(path)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+void run() {
+  bench::print_header(
+      "E19  Message-passing resilience",
+      "the paper's protocol, emulated over channels that lose, duplicate, "
+      "and reorder frames on processors that crash and reboot corrupted, "
+      "still completes a verified-clean PIF cycle after the last fault");
+
+  util::Table table({"topology", "N", "campaigns", "recovered", "mean settle",
+                     "mean recover", "retransmits", "spurious acks"});
+  const std::uint64_t kCampaigns = 10;
+  obs::Registry registry;
+  for (const auto& named : graph::standard_suite(16, 19000)) {
+    if (named.name == "complete" || named.name == "lollipop") {
+      continue;  // keep the table compact
+    }
+    const RecoverySample sample =
+        measure_recovery(named.graph, kCampaigns, 19000, &registry);
+    table.add_row({named.name, util::fmt(named.graph.n()),
+                   util::fmt(sample.campaigns), util::fmt(sample.recovered),
+                   util::fmt(sample.settle.mean()),
+                   util::fmt(sample.recover.mean()),
+                   util::fmt(sample.retransmits),
+                   util::fmt(sample.spurious_acks)});
+  }
+  bench::print_table(table);
+  bench::print_registry("resilience telemetry (all campaigns above):",
+                        registry);
+}
+
+}  // namespace
+}  // namespace snappif
+
+int main(int argc, char** argv) {
+  const snappif::util::Cli cli(argc, argv);
+  if (cli.has("quick") || cli.has("json")) {
+    return snappif::run_quick_report(cli);
+  }
+  snappif::bench::init(argc, argv);
+  snappif::run();
+  return 0;
+}

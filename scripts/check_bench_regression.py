@@ -1,21 +1,25 @@
 #!/usr/bin/env python3
-"""Throughput regression gate for the engine bench (E10).
+"""Throughput regression gate for the JSON-reporting benches.
 
-Compares a freshly produced BENCH_e10.json against the checked-in baseline
+Compares a freshly produced BENCH_*.json against the checked-in baseline
 and fails when any compared metric fell by more than the tolerance factor:
 
     current < baseline / factor   ->  regression
 
-Only throughput metrics (default prefix: mask_steps_per_s) are gated — the
-mask-vs-loop speedup ratio is recorded for humans but depends on both paths,
-so it is reported without gating.  The factor defaults to 2.0: generous
-enough to absorb CI-runner hardware variance, tight enough to catch the
-engine falling back to per-action loops or losing its incremental
-enabled-set maintenance.
+Only throughput metrics are gated — ratios and counts are recorded for
+humans but depend on more than one code path, so they are reported without
+gating.  The factor defaults to 2.0: generous enough to absorb CI-runner
+hardware variance, tight enough to catch a structural slowdown (the engine
+falling back to per-action loops, the link layer allocating per frame).
+
+--prefix selects the gated metrics and accepts a comma-separated list:
+
+    E10 (engine):        --prefix mask_steps_per_s          (the default)
+    E19 (mp resilience): --prefix emulation_rounds_per_s
 
 Usage:
     check_bench_regression.py BASELINE CURRENT [--factor 2.0]
-                              [--prefix mask_steps_per_s]
+                              [--prefix mask_steps_per_s[,another_prefix]]
 """
 
 import argparse
@@ -30,7 +34,8 @@ def main() -> int:
     parser.add_argument("--factor", type=float, default=2.0,
                         help="allowed slowdown factor (default: 2.0)")
     parser.add_argument("--prefix", default="mask_steps_per_s",
-                        help="metric-name prefix to gate on")
+                        help="metric-name prefix(es) to gate on, "
+                             "comma-separated")
     args = parser.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
@@ -43,7 +48,8 @@ def main() -> int:
     print(f"baseline commit: {baseline.get('commit', '?')}  "
           f"current commit: {current.get('commit', '?')}")
 
-    gated = [k for k in base_metrics if k.startswith(args.prefix)]
+    prefixes = tuple(p for p in args.prefix.split(",") if p)
+    gated = [k for k in base_metrics if k.startswith(prefixes)]
     if not gated:
         print(f"error: baseline has no metrics with prefix "
               f"'{args.prefix}'", file=sys.stderr)

@@ -191,6 +191,7 @@ class CampaignEngine {
       case EventKind::kMpLoss:
       case EventKind::kMpDuplicate:
       case EventKind::kMpReorder:
+      case EventKind::kCrash:
         ++result.events_skipped;  // mp substrate events; see mp_campaign.hpp
         return;
     }

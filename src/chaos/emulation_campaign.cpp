@@ -1,0 +1,254 @@
+#include "chaos/emulation_campaign.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/properties.hpp"
+#include "mp/guarded_emulation.hpp"
+#include "pif/codec.hpp"
+#include "pif/ghost.hpp"
+#include "pif/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace snappif::chaos {
+
+namespace {
+
+using Emulation = mp::GuardedEmulation<pif::PifProtocol, pif::StateCodec>;
+
+/// An active fault window on the campaign clock: [begin, end).
+struct Window {
+  EventKind kind;
+  std::uint64_t begin;
+  std::uint64_t end;
+  double rate;
+};
+
+struct CrashWindow {
+  std::uint64_t begin;
+  std::uint64_t end;
+  sim::ProcessorId processor;
+  bool corrupt;
+  bool applied = false;
+};
+
+void record_telemetry(obs::Registry* registry, const Emulation& emu,
+                      const EmulationCampaignResult& result) {
+  if (registry == nullptr) {
+    return;
+  }
+  obs::Registry& reg = *registry;
+  reg.counter("chaos.emu.campaigns").inc();
+  if (!result.ok()) {
+    reg.counter("chaos.emu.campaigns_failed").inc();
+  }
+  reg.counter("chaos.emu.crashes").inc(result.crashes_applied);
+  reg.counter("chaos.emu.cycles_completed").inc(result.cycles_completed);
+  reg.counter("chaos.emu.actions_applied").inc(result.actions_applied);
+  reg.counter("chaos.emu.messages_dropped").inc(result.messages_dropped);
+  reg.counter("chaos.emu.messages_dropped_crashed")
+      .inc(result.messages_dropped_crashed);
+  if (result.recovered) {
+    reg.stats("chaos.emu.rounds_to_recover")
+        .add(static_cast<double>(result.rounds_to_recover));
+    obs::Gauge& worst = reg.gauge("chaos.emu.worst_recovery_rounds");
+    worst.set(std::max(worst.value(),
+                       static_cast<double>(result.rounds_to_recover)));
+  }
+  emu.link().record_telemetry(reg);
+}
+
+}  // namespace
+
+EmulationCampaignResult run_emulation_campaign(
+    const graph::Graph& g, const FaultSchedule& schedule,
+    const EmulationCampaignOptions& opts) {
+  SNAPPIF_ASSERT_MSG(graph::is_connected(g),
+                     "emulation campaign graph must be connected");
+  SNAPPIF_ASSERT(opts.root < g.n());
+  EmulationCampaignResult result;
+
+  std::vector<Window> windows;
+  std::vector<CrashWindow> crashes;
+  for (const FaultEvent& ev : schedule.events) {
+    switch (ev.kind) {
+      case EventKind::kMpLoss:
+      case EventKind::kMpDuplicate:
+      case EventKind::kMpReorder:
+        // duration 0 means "at least this round".
+        windows.push_back({ev.kind, ev.round,
+                           ev.round + std::max<std::uint64_t>(ev.duration, 1),
+                           ev.rate});
+        break;
+      case EventKind::kCrash:
+        crashes.push_back({ev.round, ev.round + ev.duration,
+                           ev.magnitude % g.n(), ev.crash_corrupt});
+        break;
+      default:
+        ++result.events_skipped;  // shared-memory kinds; see campaign.hpp
+        break;
+    }
+  }
+  result.windows_applied = windows.size();
+  result.quiet_round = schedule.quiet_round();
+
+  const pif::Params params = pif::Params::for_graph(g, opts.root);
+  const pif::PifProtocol proto(g, params);
+  util::Rng rng(opts.seed ^ 0xc2b2ae3d27d4eb4fULL);
+
+  sim::Configuration<pif::State> initial(g, proto.initial_state(0));
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    initial.state(p) =
+        opts.arbitrary_init ? proto.random_state(p, rng) : proto.initial_state(p);
+  }
+
+  Emulation emu(g, proto, pif::StateCodec(g, params), initial, opts.seed);
+  pif::GhostTracker tracker(g, opts.root);
+  emu.set_apply_hook([&tracker](sim::ProcessorId p, sim::ActionId a,
+                                const pif::State& after) {
+    tracker.on_apply(p, a, after);
+  });
+
+  const auto finish = [&](EmulationCampaignResult& r) {
+    r.rounds_total = emu.rounds();
+    r.actions_applied = emu.actions_applied();
+    r.cycles_completed = tracker.cycles_completed();
+    const mp::Network& net = emu.network();
+    r.messages_dropped = net.messages_dropped();
+    r.messages_duplicated = net.messages_duplicated();
+    r.messages_reordered = net.messages_reordered();
+    r.messages_dropped_crashed = net.messages_dropped_crashed();
+    const mp::LinkStats& link = emu.link().stats();
+    r.link_retransmits = link.retransmits;
+    r.link_timer_fires = link.timer_fires;
+    r.link_spurious_acks = link.spurious_acks;
+    record_telemetry(opts.registry, emu, r);
+    return r;
+  };
+
+  const auto set_rates = [&](std::uint64_t round) {
+    double loss = 0.0;
+    double dup = 0.0;
+    double reorder = 0.0;
+    for (const Window& w : windows) {
+      if (round < w.begin || round >= w.end) {
+        continue;
+      }
+      switch (w.kind) {
+        case EventKind::kMpLoss:
+          loss = std::max(loss, w.rate);
+          break;
+        case EventKind::kMpDuplicate:
+          dup = std::max(dup, w.rate);
+          break;
+        default:
+          reorder = std::max(reorder, w.rate);
+          break;
+      }
+    }
+    emu.network().set_loss_rate(loss);
+    emu.network().set_duplication_rate(dup);
+    emu.network().set_reorder_rate(reorder);
+  };
+
+  emu.start();
+
+  // Fault phase: windows modulate the channel rates; crash windows open and
+  // close around their processor.  The clock is the emulated round counter.
+  std::uint64_t round = 0;
+  while (round < result.quiet_round) {
+    if (round >= opts.max_rounds) {
+      result.failure = "fault phase exceeded max_rounds";
+      return finish(result);
+    }
+    for (CrashWindow& cw : crashes) {
+      if (cw.begin == round) {
+        if (emu.network().crashed(cw.processor)) {
+          ++result.events_skipped;  // overlapping crash of the same processor
+        } else {
+          emu.crash(cw.processor);
+          cw.applied = true;
+          ++result.crashes_applied;
+        }
+      }
+      if (cw.applied && cw.end == round && emu.network().crashed(cw.processor)) {
+        emu.recover(cw.processor,
+                    cw.corrupt ? Emulation::Recovery::kCorrupt
+                               : Emulation::Recovery::kReset,
+                    rng);
+        cw.applied = false;
+      }
+    }
+    set_rates(round);
+    emu.round();
+    ++round;
+  }
+  // Crash windows ending exactly at the quiet point recover here, before
+  // the oracle's clock starts (quiet_round = max over events of
+  // round+duration, so nothing ends later).  A zero-duration crash landing
+  // exactly on the quiet round degenerates to an instant reboot.
+  for (CrashWindow& cw : crashes) {
+    if (!cw.applied && cw.begin >= result.quiet_round &&
+        !emu.network().crashed(cw.processor)) {
+      emu.crash(cw.processor);
+      ++result.crashes_applied;
+      cw.applied = true;
+    }
+    if (cw.applied && emu.network().crashed(cw.processor)) {
+      emu.recover(cw.processor,
+                  cw.corrupt ? Emulation::Recovery::kCorrupt
+                             : Emulation::Recovery::kReset,
+                  rng);
+      cw.applied = false;
+    }
+  }
+  emu.network().set_loss_rate(0.0);
+  emu.network().set_duplication_rate(0.0);
+  emu.network().set_reorder_rate(0.0);
+  result.completed = true;
+
+  // Settle: gate the root's B-action and drain actions, frames, and
+  // retransmissions.  A system that cannot drain is its own failure mode
+  // (livelock of the correction machinery over cached views).
+  emu.set_action_gate(opts.root, sim::ActionMask{1} << pif::kBAction);
+  const std::uint64_t settle_start = emu.rounds();
+  while (!emu.quiescent()) {
+    if (emu.rounds() - settle_start >= opts.settle_round_budget) {
+      result.failure = "did not settle within " +
+                       std::to_string(opts.settle_round_budget) +
+                       " post-quiet rounds";
+      return finish(result);
+    }
+    emu.round();
+  }
+  result.settled = true;
+  result.rounds_to_settle = emu.rounds() - settle_start;
+
+  // Release: the first cycle the root initiates must be clean.
+  emu.set_action_gate(opts.root, 0);
+  const std::uint64_t cycles_at_release = tracker.cycles_completed();
+  const std::uint64_t release_start = emu.rounds();
+  while (tracker.cycles_completed() == cycles_at_release) {
+    if (emu.rounds() - release_start >= opts.recovery_round_budget) {
+      result.failure = "no cycle completed within " +
+                       std::to_string(opts.recovery_round_budget) +
+                       " post-release rounds";
+      return finish(result);
+    }
+    emu.round();
+  }
+  const pif::CycleVerdict& verdict =
+      tracker.verdicts().at(cycles_at_release);
+  if (!verdict.ok()) {
+    result.failure = std::string("first released cycle unclean (pif1=") +
+                     (verdict.pif1 ? "1" : "0") +
+                     " pif2=" + (verdict.pif2 ? "1" : "0") +
+                     " aborted=" + (verdict.aborted ? "1" : "0") + ")";
+    return finish(result);
+  }
+  result.recovered = true;
+  result.rounds_to_recover = emu.rounds() - release_start;
+  return finish(result);
+}
+
+}  // namespace snappif::chaos

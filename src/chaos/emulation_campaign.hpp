@@ -1,0 +1,92 @@
+// Fault campaigns for the PAPER'S algorithm over the message-passing
+// substrate.
+//
+// mp_campaign.hpp drives the ancestors (Segall-style repeated PIF) and
+// measures their known brittleness.  This runner closes the loop the
+// resilience layer exists for: pif::PifProtocol itself — the exact guarded
+// actions proved snap-stabilizing in the shared-memory model — executes via
+// mp::GuardedEmulation over channels that lose, duplicate, and reorder
+// frames, on processors that crash and reboot with reset or corrupted
+// state.
+//
+// Recovery oracle (settle-then-release).  Pure snap-stabilization is
+// impossible in message passing with bounded state (Delaët–Devismes–
+// Nesterenko–Tixeuil): stale frames still in flight at the quiet point are
+// indistinguishable from fresh ones, so "the very next cycle is clean" is
+// too strong verbatim.  The oracle therefore (1) gates the root's B-action
+// at the quiet point, (2) waits for the system to drain — no frame in
+// flight or pending, no ungated guard enabled — which bounded-budget
+// failure makes a reportable violation of its own, then (3) releases the
+// root and requires the FIRST cycle it initiates to be verdict-clean under
+// pif::GhostTracker ([PIF1] and [PIF2], no abort).  That is the paper's
+// Definition-1 shape transported to the mp world: after the faults AND
+// their in-flight residue are gone, the first initiated cycle is correct.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/schedule.hpp"
+#include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "sim/types.hpp"
+
+namespace snappif::chaos {
+
+struct EmulationCampaignOptions {
+  sim::ProcessorId root = 0;
+  std::uint64_t seed = 1;
+  /// Emulated rounds allowed for the whole campaign.
+  std::uint64_t max_rounds = 100'000;
+  /// Rounds allowed from the quiet point (root gated) to full quiescence.
+  std::uint64_t settle_round_budget = 5'000;
+  /// Rounds allowed from release to the judged cycle's close.
+  std::uint64_t recovery_round_budget = 5'000;
+  /// Start from a uniformly random configuration instead of initial states
+  /// (the paper's arbitrary-initialization setting).
+  bool arbitrary_init = false;
+  /// Optional telemetry sink (metrics prefixed "chaos.emu." + "mp.link.*").
+  obs::Registry* registry = nullptr;
+};
+
+struct EmulationCampaignResult {
+  bool completed = false;  // fault phase reached the quiet point in budget
+  bool settled = false;    // drained to quiescence with the root gated
+  bool recovered = false;  // first released cycle judged clean
+
+  std::uint64_t quiet_round = 0;
+  std::uint64_t windows_applied = 0;
+  std::uint64_t crashes_applied = 0;
+  std::uint64_t events_skipped = 0;  // shared-memory kinds, double-crashes
+  std::uint64_t rounds_total = 0;
+  std::uint64_t actions_applied = 0;
+  std::uint64_t cycles_completed = 0;
+  std::uint64_t rounds_to_settle = 0;   // quiet point -> quiescence
+  std::uint64_t rounds_to_recover = 0;  // release -> clean cycle close
+
+  // Substrate and link telemetry for the run.
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_reordered = 0;
+  std::uint64_t messages_dropped_crashed = 0;
+  std::uint64_t link_retransmits = 0;
+  std::uint64_t link_timer_fires = 0;
+  std::uint64_t link_spurious_acks = 0;
+
+  std::string failure;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return completed && settled && recovered;
+  }
+};
+
+/// Runs one emulation campaign on `g`.  Consumes the schedule's mp kinds:
+/// loss/dup/reorder windows plus crash(p,dur,mode) events (p taken modulo
+/// N; crashing an already-crashed processor is counted as skipped).
+/// Shared-memory kinds are counted as skipped.  Deterministic in
+/// (g, schedule, opts).
+[[nodiscard]] EmulationCampaignResult run_emulation_campaign(
+    const graph::Graph& g, const FaultSchedule& schedule,
+    const EmulationCampaignOptions& opts);
+
+}  // namespace snappif::chaos

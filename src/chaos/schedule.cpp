@@ -22,6 +22,7 @@ constexpr KindName kKindNames[] = {
     {EventKind::kMpLoss, "loss"},
     {EventKind::kMpDuplicate, "dup"},
     {EventKind::kMpReorder, "reorder"},
+    {EventKind::kCrash, "crash"},
 };
 
 [[nodiscard]] bool kind_by_name(std::string_view name, EventKind* out) {
@@ -74,11 +75,6 @@ constexpr KindName kKindNames[] = {
   return buf;
 }
 
-[[nodiscard]] bool is_mp_window(EventKind kind) {
-  return kind == EventKind::kMpLoss || kind == EventKind::kMpDuplicate ||
-         kind == EventKind::kMpReorder;
-}
-
 }  // namespace
 
 std::string_view event_kind_name(EventKind kind) {
@@ -117,6 +113,15 @@ std::string FaultEvent::to_string() const {
       out += '/';
       out += std::to_string(duration);
       break;
+    case EventKind::kCrash:
+      out += '(';
+      out += std::to_string(magnitude);
+      out += ',';
+      out += std::to_string(duration);
+      out += ',';
+      out += crash_corrupt ? "corrupt" : "reset";
+      out += ')';
+      break;
   }
   return out;
 }
@@ -132,7 +137,7 @@ std::optional<FaultEvent> FaultEvent::parse(std::string_view text) {
   }
   std::string_view body = text.substr(colon + 1);
 
-  const std::size_t arg = body.find_first_of("*=@");
+  const std::size_t arg = body.find_first_of("*=@(");
   const std::string_view name =
       arg == std::string_view::npos ? body : body.substr(0, arg);
   if (!kind_by_name(name, &ev.kind)) {
@@ -201,6 +206,38 @@ std::optional<FaultEvent> FaultEvent::parse(std::string_view text) {
       }
       return ev;
     }
+    case EventKind::kCrash: {
+      // crash(p,dur,reset|corrupt)
+      if (arg == std::string_view::npos || body[arg] != '(' ||
+          body.back() != ')') {
+        return std::nullopt;
+      }
+      std::string_view inner = body.substr(arg + 1, body.size() - arg - 2);
+      const std::size_t c1 = inner.find(',');
+      if (c1 == std::string_view::npos) {
+        return std::nullopt;
+      }
+      const std::size_t c2 = inner.find(',', c1 + 1);
+      if (c2 == std::string_view::npos) {
+        return std::nullopt;
+      }
+      std::uint64_t processor = 0;
+      if (!parse_u64(inner.substr(0, c1), &processor) ||
+          processor > 0xffffffffULL ||
+          !parse_u64(inner.substr(c1 + 1, c2 - c1 - 1), &ev.duration)) {
+        return std::nullopt;
+      }
+      ev.magnitude = static_cast<std::uint32_t>(processor);
+      const std::string_view mode = inner.substr(c2 + 1);
+      if (mode == "reset") {
+        ev.crash_corrupt = false;
+      } else if (mode == "corrupt") {
+        ev.crash_corrupt = true;
+      } else {
+        return std::nullopt;
+      }
+      return ev;
+    }
   }
   return std::nullopt;
 }
@@ -210,6 +247,15 @@ void FaultSchedule::normalize() {
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.round < b.round;
                    });
+}
+
+bool FaultSchedule::contains(EventKind kind) const {
+  for (const FaultEvent& ev : events) {
+    if (ev.kind == kind) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::uint64_t FaultSchedule::quiet_round() const {
@@ -262,6 +308,9 @@ FaultSchedule random_schedule(const CampaignShape& shape, util::Rng& rng) {
   if (shape.message_passing) {
     menu.insert(menu.end(), {EventKind::kMpLoss, EventKind::kMpDuplicate,
                              EventKind::kMpReorder});
+    if (shape.crash) {
+      menu.push_back(EventKind::kCrash);
+    }
   }
   if (menu.empty() || shape.events == 0) {
     return schedule;
@@ -293,6 +342,12 @@ FaultSchedule random_schedule(const CampaignShape& shape, util::Rng& rng) {
         // Hundredths so to_string/parse replays the exact schedule.
         ev.rate = static_cast<double>(5 + rng.below(46)) / 100.0;
         ev.duration = 1 + rng.below(horizon / 4 + 1);
+        break;
+      case EventKind::kCrash:
+        ev.magnitude = static_cast<std::uint32_t>(
+            rng.below(std::max<std::uint32_t>(1, shape.crash_processors)));
+        ev.duration = 1 + rng.below(horizon / 6 + 1);
+        ev.crash_corrupt = rng.below(2) == 1;
         break;
       case EventKind::kLinkRestore:
         break;  // unreachable: restores are only paired below

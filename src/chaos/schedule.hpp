@@ -17,6 +17,9 @@
 //   loss        mp substrate: message-loss window (rate, duration in rounds)
 //   dup         mp substrate: message-duplication window
 //   reorder     mp substrate: intra-channel reordering window
+//   crash       mp substrate: crash-recover window — processor p goes
+//               silent for `dur` rounds, then reboots with reset or
+//               adversarially corrupted state ("12:crash(3,5,reset)")
 //
 // The shared-memory campaign runner (chaos/campaign.hpp) consumes the first
 // five kinds; the message-passing runner (chaos/mp_campaign.hpp) consumes the
@@ -45,6 +48,8 @@ enum class EventKind {
   kMpLoss,      // rate + duration (rounds)
   kMpDuplicate, // rate + duration
   kMpReorder,   // rate + duration
+  kCrash,       // magnitude = processor, duration = silence window,
+                // crash_corrupt = recovery mode
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind kind);
@@ -54,19 +59,22 @@ enum class EventKind {
 struct FaultEvent {
   std::uint64_t round = 0;
   EventKind kind = EventKind::kBurst;
-  /// Processors (burst) or edges (kill/restore) touched.
+  /// Processors (burst), edges (kill/restore), or the crashed processor
+  /// (crash; runners take it modulo N so schedules stay topology-portable).
   std::uint32_t magnitude = 1;
   /// Probability for the mp window kinds.
   double rate = 0.0;
   /// Window length in delivery rounds for the mp kinds (0 = instantaneous).
   std::uint64_t duration = 0;
+  /// Crash recovery mode: reboot with corrupted state instead of reset.
+  bool crash_corrupt = false;
   pif::CorruptionKind corruption = pif::CorruptionKind::kUniformRandom;
   sim::DaemonKind daemon = sim::DaemonKind::kDistributedRandom;
 
   [[nodiscard]] bool operator==(const FaultEvent&) const = default;
 
   /// Grammar form, e.g. "12:burst*3", "20:corrupt=fake-tree",
-  /// "8:kill*2", "5:loss@0.25/10".
+  /// "8:kill*2", "5:loss@0.25/10", "9:crash(2,6,corrupt)".
   [[nodiscard]] std::string to_string() const;
   [[nodiscard]] static std::optional<FaultEvent> parse(std::string_view text);
 };
@@ -85,6 +93,10 @@ struct FaultSchedule {
   [[nodiscard]] std::uint64_t quiet_round() const;
 
   [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+
+  /// Any event of the given kind present?  (Runners use this to route
+  /// crash-bearing schedules to the emulation campaign.)
+  [[nodiscard]] bool contains(EventKind kind) const;
 
   /// One-line reproducer, events joined with ';' ("" for empty).
   [[nodiscard]] std::string to_string() const;
@@ -107,6 +119,11 @@ struct CampaignShape {
   bool shared_memory = true;
   /// Include mp window kinds (loss/dup/reorder).
   bool message_passing = false;
+  /// Also emit crash-recover windows (mp kinds; needs message_passing).
+  bool crash = false;
+  /// Crash events draw their processor id below this bound (runners reduce
+  /// it modulo the actual N).
+  std::uint32_t crash_processors = 16;
 };
 
 /// Draws a random campaign.  Link kills are paired with a later restore so

@@ -58,9 +58,12 @@ class Shrinker {
   /// Per-event halving of magnitude, rate, and duration while the failure
   /// reproduces.  Each field shrinks toward its smallest meaningful value
   /// (magnitude 1, duration 0; rates halve until they stop mattering).
+  /// Crash events keep their magnitude: it names WHICH processor crashes,
+  /// not how big the fault is — only their silence window halves.
   void halve_fields(FaultSchedule& minimal) {
     for (std::size_t i = 0; i < minimal.events.size(); ++i) {
-      while (minimal.events[i].magnitude > 1) {
+      while (minimal.events[i].kind != EventKind::kCrash &&
+             minimal.events[i].magnitude > 1) {
         FaultSchedule candidate = minimal;
         candidate.events[i].magnitude /= 2;
         if (!fails(candidate)) {
@@ -109,6 +112,18 @@ ShrinkResult shrink_campaign(const graph::Graph& g,
   replay.registry = nullptr;  // replays must not pollute telemetry
   const auto still_fails = [&](const FaultSchedule& candidate) {
     return !run_campaign(g, candidate, replay).ok();
+  };
+  return shrink(schedule, still_fails, options);
+}
+
+ShrinkResult shrink_emulation_campaign(const graph::Graph& g,
+                                       const FaultSchedule& schedule,
+                                       const EmulationCampaignOptions& opts,
+                                       const ShrinkOptions& options) {
+  EmulationCampaignOptions replay = opts;
+  replay.registry = nullptr;  // replays must not pollute telemetry
+  const auto still_fails = [&](const FaultSchedule& candidate) {
+    return !run_emulation_campaign(g, candidate, replay).ok();
   };
   return shrink(schedule, still_fails, options);
 }

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "chaos/campaign.hpp"
+#include "chaos/emulation_campaign.hpp"
 #include "chaos/schedule.hpp"
 #include "graph/graph.hpp"
 
@@ -59,5 +60,11 @@ struct ShrinkResult {
                                            const FaultSchedule& schedule,
                                            const CampaignOptions& opts,
                                            const ShrinkOptions& options = {});
+
+/// Same wrapper for the message-passing emulation campaign (crash windows
+/// shrink through their duration; the crashed processor id is preserved).
+[[nodiscard]] ShrinkResult shrink_emulation_campaign(
+    const graph::Graph& g, const FaultSchedule& schedule,
+    const EmulationCampaignOptions& opts, const ShrinkOptions& options = {});
 
 }  // namespace snappif::chaos

@@ -1,0 +1,230 @@
+// Shared-memory emulation over the message-passing substrate.
+//
+// The paper proves its PIF in the locally-shared-memory model: every guard
+// reads the neighbors' variables directly.  GuardedEmulation runs the SAME
+// protocol object — guards, statements, one-pass mask evaluation, all of it
+// — over lossy, duplicating, reordering, crashing channels, by giving each
+// processor a private cached view of its neighborhood:
+//
+//   * each processor owns one sim::Configuration in which only its own row
+//     is authoritative; neighbor rows are snapshots received over the link;
+//   * after every state change the processor publishes its new state to all
+//     neighbors via LinkProtocol::send_latest (only the latest snapshot is
+//     worth bandwidth — intermediate values are superseded, not queued);
+//   * each emulated round, every live processor evaluates its guard mask
+//     against its cached view and applies at most its first enabled action —
+//     a synchronous daemon over stale-but-per-view-consistent data.
+//
+// Staleness is the point: the E16 experiment shows the snap property needs
+// per-step consistency, not freshness, and the link layer's exactly-once
+// in-order delivery keeps every cached row a value the neighbor really had.
+// The result is the paper's algorithm — not its message-passing ancestors —
+// degrading gracefully where Chang's echo deadlocks.
+//
+// Crash-recover faults: crash(p) silences p at the network layer (inbound
+// channel content dies with it).  recover(p, mode) restarts it with either
+// freshly-initialized state (kReset) or adversarially corrupted state
+// (kCorrupt) — in both modes its cached neighbor views are rebuilt from the
+// same mode, its link endpoint draws new incarnations, and the first frame
+// it sends makes every neighbor's link report on_link_peer_reset, which we
+// answer by re-publishing toward the rebooted processor.  Re-synchronization
+// is therefore a protocol of the resilience layer itself, not of the tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mp/link.hpp"
+#include "mp/network.hpp"
+#include "sim/codec.hpp"
+#include "sim/configuration.hpp"
+#include "sim/protocol.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::mp {
+
+template <sim::Protocol P, sim::StateCodec<typename P::State> C>
+class GuardedEmulation final : public LinkClient {
+ public:
+  using State = typename P::State;
+  /// Observes every applied action (processor, action, new state) — wire a
+  /// pif::GhostTracker here to judge cycles.
+  using ApplyHook =
+      std::function<void(sim::ProcessorId, sim::ActionId, const State&)>;
+
+  enum class Recovery {
+    kReset,    // reboot with initial_state (clean NVRAM-less restart)
+    kCorrupt,  // reboot with random_state (adversarial residue)
+  };
+
+  GuardedEmulation(const graph::Graph& g, const P& proto, C codec,
+                   const sim::Configuration<State>& initial,
+                   std::uint64_t seed, LinkConfig link_cfg = LinkConfig{})
+      : graph_(&g),
+        proto_(&proto),
+        codec_(std::move(codec)),
+        link_(g, *this, link_cfg, seed ^ 0x9e3779b97f4a7c15ULL),
+        net_(g, link_, Delivery::kSynchronous, seed),
+        gates_(g.n(), 0) {
+    SNAPPIF_ASSERT_MSG(link_cfg.data_kind < 64 && link_cfg.ack_kind < 64,
+                       "link kinds must fit the allowed-kinds mask");
+    net_.set_allowed_kinds((1ULL << link_cfg.data_kind) |
+                           (1ULL << link_cfg.ack_kind));
+    views_.reserve(g.n());
+    for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+      views_.emplace_back(g, proto.initial_state(p));
+      // Own row authoritative; neighbor rows seeded from the same global
+      // snapshot — a consistent initial estimate (consistency, not
+      // freshness, is what the snap property needs; see E16).
+      views_[p].state(p) = initial.state(p);
+      for (sim::ProcessorId q : g.neighbors(p)) {
+        views_[p].state(q) = initial.state(q);
+      }
+    }
+  }
+
+  [[nodiscard]] Network& network() noexcept { return net_; }
+  [[nodiscard]] LinkProtocol& link() noexcept { return link_; }
+  [[nodiscard]] const LinkProtocol& link() const noexcept { return link_; }
+
+  void set_apply_hook(ApplyHook hook) { hook_ = std::move(hook); }
+
+  /// Blocks the given action bits at p (guards still evaluate; the actions
+  /// just never fire).  The recovery oracle gates the root's B-action to
+  /// find a settle point before judging the first released cycle.
+  void set_action_gate(sim::ProcessorId p, sim::ActionMask blocked) {
+    gates_.at(p) = blocked;
+  }
+
+  /// Publishes every processor's initial snapshot (via the link start hook).
+  void start() { net_.start(); }
+
+  /// One emulated round: deliver all in-flight frames, run retransmission
+  /// timers, then let every live processor apply at most one enabled action
+  /// against its cached view and publish the result.
+  void round() {
+    net_.step();
+    link_.tick();
+    for (sim::ProcessorId p = 0; p < graph_->n(); ++p) {
+      if (net_.crashed(p)) {
+        continue;
+      }
+      const sim::ActionMask mask =
+          sim::enabled_mask(*proto_, views_[p], p) & ~gates_[p];
+      if (mask == 0) {
+        continue;
+      }
+      const sim::ActionId a = sim::first_action(mask);
+      const State next = proto_->apply(views_[p], p, a);
+      views_[p].state(p) = next;
+      ++actions_applied_;
+      if (hook_) {
+        hook_(p, a, next);
+      }
+      publish(p);
+    }
+    ++rounds_;
+  }
+
+  void crash(sim::ProcessorId p) { net_.crash(p); }
+
+  void recover(sim::ProcessorId p, Recovery mode, util::Rng& rng) {
+    net_.recover(p);
+    link_.reset_endpoint(p);
+    // Volatile memory is gone: rebuild p's own row AND its cached neighbor
+    // views from the recovery mode.  Neighbors re-sync us via the
+    // peer-reset handshake our first outgoing frame triggers.
+    views_[p].state(p) = mode == Recovery::kReset
+                             ? proto_->initial_state(p)
+                             : proto_->random_state(p, rng);
+    for (sim::ProcessorId q : graph_->neighbors(p)) {
+      views_[p].state(q) = mode == Recovery::kReset
+                               ? proto_->initial_state(q)
+                               : proto_->random_state(q, rng);
+    }
+    publish(p);
+  }
+
+  /// Nothing to do anywhere: no frame in flight or pending, and no live
+  /// processor has an ungated enabled action.  The settle point of the
+  /// recovery oracle.
+  [[nodiscard]] bool quiescent() const {
+    if (net_.in_flight() != 0 || !link_.idle()) {
+      return false;
+    }
+    for (sim::ProcessorId p = 0; p < graph_->n(); ++p) {
+      if (net_.crashed(p)) {
+        continue;
+      }
+      if ((sim::enabled_mask(*proto_, views_[p], p) & ~gates_[p]) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// p's authoritative local state.
+  [[nodiscard]] const State& state(sim::ProcessorId p) const {
+    return views_.at(p).state(p);
+  }
+  /// p's full cached view (own row + neighbor snapshots).
+  [[nodiscard]] const sim::Configuration<State>& view(sim::ProcessorId p) const {
+    return views_.at(p);
+  }
+  /// The true global configuration (every processor's own row) — for
+  /// checkers and oracles, not visible to any processor.
+  [[nodiscard]] sim::Configuration<State> global_view() const {
+    sim::Configuration<State> c(*graph_, proto_->initial_state(0));
+    for (sim::ProcessorId p = 0; p < graph_->n(); ++p) {
+      c.state(p) = views_[p].state(p);
+    }
+    return c;
+  }
+
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint64_t actions_applied() const noexcept {
+    return actions_applied_;
+  }
+
+  // LinkClient:
+  void on_link_start(sim::ProcessorId p, LinkProtocol&) override { publish(p); }
+
+  void on_link_deliver(sim::ProcessorId p, sim::ProcessorId from,
+                       std::uint8_t /*kind*/, std::uint64_t payload,
+                       LinkProtocol&) override {
+    views_[p].state(from) = codec_.decode(from, payload);
+  }
+
+  void on_link_peer_reset(sim::ProcessorId p, sim::ProcessorId from,
+                          LinkProtocol& link) override {
+    // `from` rebooted: its cached row for us is default-initialized garbage.
+    link.send_latest(p, from, kSnapshotKind, codec_.encode(views_[p].state(p)));
+  }
+
+ private:
+  static constexpr std::uint8_t kSnapshotKind = 1;
+
+  void publish(sim::ProcessorId p) {
+    const std::uint64_t w = codec_.encode(views_[p].state(p));
+    for (sim::ProcessorId q : graph_->neighbors(p)) {
+      link_.send_latest(p, q, kSnapshotKind, w);
+    }
+  }
+
+  const graph::Graph* graph_;
+  const P* proto_;
+  C codec_;
+  LinkProtocol link_;
+  Network net_;
+  std::vector<sim::Configuration<State>> views_;
+  std::vector<sim::ActionMask> gates_;
+  ApplyHook hook_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t actions_applied_ = 0;
+};
+
+}  // namespace snappif::mp

@@ -1,0 +1,287 @@
+#include "mp/link.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace snappif::mp {
+
+namespace {
+
+// Data header (Message.a): bits [0,16) incarnation, [16,32) sequence,
+// [32,40) user kind, [40,64) must be zero.  Ack header: same minus the user
+// kind.  Anything violating the zero bits is junk (arbitrary initial channel
+// content), counted and dropped rather than asserted — garbage on the wire
+// is the adversary's move, not a programming error.
+constexpr std::uint64_t pack_data(std::uint16_t inc, std::uint16_t seq,
+                                  std::uint8_t kind) {
+  return static_cast<std::uint64_t>(inc) |
+         (static_cast<std::uint64_t>(seq) << 16) |
+         (static_cast<std::uint64_t>(kind) << 32);
+}
+
+constexpr std::uint64_t pack_ack(std::uint16_t inc, std::uint16_t seq) {
+  return static_cast<std::uint64_t>(inc) |
+         (static_cast<std::uint64_t>(seq) << 16);
+}
+
+constexpr std::uint16_t header_inc(std::uint64_t a) {
+  return static_cast<std::uint16_t>(a);
+}
+constexpr std::uint16_t header_seq(std::uint64_t a) {
+  return static_cast<std::uint16_t>(a >> 16);
+}
+constexpr std::uint8_t header_kind(std::uint64_t a) {
+  return static_cast<std::uint8_t>(a >> 32);
+}
+
+/// Serial-number arithmetic: is `a` strictly newer than `b` mod 2^16?
+/// Stop-and-wait keeps live sequence numbers within a tiny window, so any
+/// frame half a period "ahead" is really a stale copy that overtook us.
+constexpr bool newer(std::uint16_t a, std::uint16_t b) {
+  const std::uint16_t d = static_cast<std::uint16_t>(a - b);
+  return d != 0 && d < 0x8000;
+}
+
+}  // namespace
+
+LinkProtocol::LinkProtocol(const graph::Graph& g, LinkClient& client,
+                           LinkConfig cfg, std::uint64_t seed)
+    : graph_(&g), client_(&client), cfg_(cfg), rng_(seed) {
+  SNAPPIF_ASSERT_MSG(cfg_.data_kind != cfg_.ack_kind,
+                     "link data and ack kinds must differ");
+  SNAPPIF_ASSERT(cfg_.rto_initial >= 1 && cfg_.rto_cap >= cfg_.rto_initial);
+  SNAPPIF_ASSERT(cfg_.queue_capacity >= 1);
+  base_.resize(g.n() + 1, 0);
+  for (ProcessorId p = 0; p < g.n(); ++p) {
+    base_[p + 1] = base_[p] + g.degree(p);
+  }
+  const std::size_t edges = base_[g.n()];
+  src_.resize(edges);
+  dst_.resize(edges);
+  for (ProcessorId p = 0; p < g.n(); ++p) {
+    const auto nbrs = g.neighbors(p);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      src_[base_[p] + i] = p;
+      dst_[base_[p] + i] = nbrs[i];
+    }
+  }
+  out_.resize(edges);
+  in_.resize(edges);
+  ring_.resize(edges * cfg_.queue_capacity);
+  for (SenderState& s : out_) {
+    s.inc = static_cast<std::uint16_t>(rng_());
+    s.backoff = cfg_.rto_initial;
+  }
+}
+
+std::size_t LinkProtocol::did(ProcessorId u, ProcessorId v) const {
+  const auto nbrs = graph_->neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  SNAPPIF_ASSERT_MSG(it != nbrs.end() && *it == v, "link use of a non-edge");
+  return base_[u] + static_cast<std::size_t>(it - nbrs.begin());
+}
+
+void LinkProtocol::transmit(std::size_t e, SenderState& s, std::uint8_t kind,
+                            std::uint64_t payload) {
+  s.in_flight = true;
+  s.kind = kind;
+  s.payload = payload;
+  // +1: transmissions triggered mid-round (an ack popping the next pending
+  // datagram) must not have their first tick charged by the SAME round's
+  // tick() — otherwise a pipelined sender retransmits needlessly whenever
+  // the round-trip time equals the initial RTO.
+  s.timer = s.backoff + 1;
+  ++stats_.data_sent;
+  mailer_->send(src_[e], dst_[e],
+                Message{cfg_.data_kind, pack_data(s.inc, s.seq, kind), payload});
+}
+
+void LinkProtocol::pop_and_transmit(std::size_t e, SenderState& s) {
+  const Pending& next = ring_[e * cfg_.queue_capacity + s.head];
+  s.head = (s.head + 1) % cfg_.queue_capacity;
+  --s.count;
+  transmit(e, s, next.kind, next.payload);
+}
+
+void LinkProtocol::send(ProcessorId from, ProcessorId to, std::uint8_t kind,
+                        std::uint64_t payload) {
+  SNAPPIF_ASSERT_MSG(mailer_ != nullptr, "link send before network start");
+  const std::size_t e = did(from, to);
+  SenderState& s = out_[e];
+  if (!s.in_flight && s.count == 0) {
+    transmit(e, s, kind, payload);
+    return;
+  }
+  SNAPPIF_ASSERT_MSG(s.count < cfg_.queue_capacity, "link pending ring full");
+  ring_[e * cfg_.queue_capacity + (s.head + s.count) % cfg_.queue_capacity] =
+      Pending{kind, payload};
+  ++s.count;
+}
+
+void LinkProtocol::send_latest(ProcessorId from, ProcessorId to,
+                               std::uint8_t kind, std::uint64_t payload) {
+  SNAPPIF_ASSERT_MSG(mailer_ != nullptr, "link send before network start");
+  const std::size_t e = did(from, to);
+  SenderState& s = out_[e];
+  if (!s.in_flight && s.count == 0) {
+    transmit(e, s, kind, payload);
+    return;
+  }
+  if (s.count > 0) {
+    // Overwrite the most recent pending datagram: only the latest snapshot
+    // is worth retransmission bandwidth.
+    ring_[e * cfg_.queue_capacity +
+          (s.head + s.count - 1) % cfg_.queue_capacity] = Pending{kind, payload};
+    ++stats_.superseded;
+    return;
+  }
+  ring_[e * cfg_.queue_capacity + s.head] = Pending{kind, payload};
+  s.count = 1;
+}
+
+void LinkProtocol::tick() {
+  SNAPPIF_ASSERT_MSG(mailer_ != nullptr, "link tick before network start");
+  for (std::size_t e = 0; e < out_.size(); ++e) {
+    SenderState& s = out_[e];
+    if (!s.in_flight) {
+      continue;
+    }
+    if (--s.timer > 0) {
+      continue;
+    }
+    ++stats_.timer_fires;
+    ++stats_.retransmits;
+    s.backoff = std::min(s.backoff * 2, cfg_.rto_cap);
+    s.timer = s.backoff;
+    mailer_->send(src_[e], dst_[e],
+                  Message{cfg_.data_kind, pack_data(s.inc, s.seq, s.kind),
+                          s.payload});
+  }
+}
+
+void LinkProtocol::reset_endpoint(ProcessorId p) {
+  SNAPPIF_ASSERT(p < graph_->n());
+  for (std::size_t e = base_[p]; e < base_[p + 1]; ++e) {
+    SenderState& s = out_[e];
+    const std::uint16_t old_inc = s.inc;
+    s = SenderState{};
+    s.backoff = cfg_.rto_initial;
+    do {
+      s.inc = static_cast<std::uint16_t>(rng_());
+    } while (s.inc == old_inc);
+    in_[e].known = false;  // in_[did(p, q)]: p's receiver for q -> p
+  }
+}
+
+bool LinkProtocol::idle() const noexcept {
+  for (const SenderState& s : out_) {
+    if (s.in_flight || s.count > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LinkProtocol::on_start(ProcessorId p, Mailer& mailer) {
+  mailer_ = &mailer;
+  client_->on_link_start(p, *this);
+}
+
+void LinkProtocol::on_message(ProcessorId p, ProcessorId from,
+                              const Message& m, Mailer& mailer) {
+  mailer_ = &mailer;
+  if (m.kind == cfg_.data_kind) {
+    handle_data(p, from, m);
+  } else if (m.kind == cfg_.ack_kind) {
+    handle_ack(p, from, m);
+  } else {
+    ++stats_.junk_discarded;
+  }
+}
+
+void LinkProtocol::handle_data(ProcessorId p, ProcessorId from,
+                               const Message& m) {
+  if ((m.a >> 40) != 0) {
+    ++stats_.junk_discarded;
+    return;
+  }
+  const std::uint16_t inc = header_inc(m.a);
+  const std::uint16_t seq = header_seq(m.a);
+  ReceiverState& r = in_[did(p, from)];
+  bool deliver = false;
+  bool resync = false;
+  if (!r.known || inc != r.inc) {
+    // First contact, or the peer restarted with a fresh incarnation.  Both
+    // surface as on_link_peer_reset: an incarnation we cannot prove
+    // continuity with means the sender may have rebooted and lost its cached
+    // view of us.  (Treating only inc != r.inc as a reset has a deadlock: if
+    // WE reset — clearing r.known — and the peer then reboots, its new
+    // incarnation would slip through this branch silently and the peer's
+    // corrupt view of us would never be corrected.)
+    resync = true;
+    r.known = true;
+    r.inc = inc;
+    r.seq = seq;
+    deliver = true;
+  } else if (seq == r.seq) {
+    // Duplicate of the last accepted frame (channel duplication, or a
+    // retransmission whose ack we lost).  Re-ack so the sender unblocks.
+    ++stats_.duplicates_discarded;
+  } else if (newer(seq, r.seq)) {
+    r.seq = seq;
+    deliver = true;
+  } else {
+    // A stale copy that overtook newer traffic (reordering).  No ack: acking
+    // it could never match anything legitimately in flight anyway.
+    ++stats_.stale_discarded;
+    return;
+  }
+  ++stats_.acks_sent;
+  mailer_->send(p, from, Message{cfg_.ack_kind, pack_ack(inc, seq), 0});
+  if (deliver) {
+    ++stats_.delivered;
+    if (resync) {
+      ++stats_.peer_resets;
+      client_->on_link_peer_reset(p, from, *this);
+    }
+    client_->on_link_deliver(p, from, header_kind(m.a), m.b, *this);
+  }
+}
+
+void LinkProtocol::handle_ack(ProcessorId p, ProcessorId from,
+                              const Message& m) {
+  if ((m.a >> 32) != 0) {
+    ++stats_.junk_discarded;
+    return;
+  }
+  const std::size_t e = did(p, from);
+  SenderState& s = out_[e];
+  if (!s.in_flight || header_inc(m.a) != s.inc || header_seq(m.a) != s.seq) {
+    ++stats_.spurious_acks;
+    return;
+  }
+  s.in_flight = false;
+  s.seq = static_cast<std::uint16_t>(s.seq + 1);
+  s.backoff = cfg_.rto_initial;
+  if (s.count > 0) {
+    pop_and_transmit(e, s);
+  }
+}
+
+void LinkProtocol::record_telemetry(obs::Registry& registry) const {
+  registry.counter("mp.link.data_sent").inc(stats_.data_sent);
+  registry.counter("mp.link.retransmits").inc(stats_.retransmits);
+  registry.counter("mp.link.timer_fires").inc(stats_.timer_fires);
+  registry.counter("mp.link.acks_sent").inc(stats_.acks_sent);
+  registry.counter("mp.link.spurious_acks").inc(stats_.spurious_acks);
+  registry.counter("mp.link.delivered").inc(stats_.delivered);
+  registry.counter("mp.link.duplicates_discarded")
+      .inc(stats_.duplicates_discarded);
+  registry.counter("mp.link.stale_discarded").inc(stats_.stale_discarded);
+  registry.counter("mp.link.junk_discarded").inc(stats_.junk_discarded);
+  registry.counter("mp.link.superseded").inc(stats_.superseded);
+  registry.counter("mp.link.peer_resets").inc(stats_.peer_resets);
+}
+
+}  // namespace snappif::mp

@@ -1,0 +1,186 @@
+// Snap-stabilizing data-link layer: per-directed-edge stop-and-wait ARQ.
+//
+// The gap this closes: Chang's echo (mp/echo.hpp) deadlocks forever after
+// one lost message, and Segall's repeated PIF (mp/repeated_pif.hpp) can be
+// poisoned by one phantom frame.  Delaët–Devismes–Nesterenko–Tixeuil
+// ("Snap-Stabilization in Message-Passing Systems") show that stabilizing
+// anything over unreliable channels needs a link layer that keeps
+// retransmitting, and Cournier–Dubois–Villain ("Two snap-stabilizing
+// point-to-point communication protocols") give the alternating-bit shape.
+// LinkProtocol is that shape, hardened for this substrate's fault menu:
+//
+//   * loss         — retransmission timers with capped exponential backoff;
+//   * duplication  — receivers discard repeats of the last accepted frame
+//                    (and re-ack them, in case the original ack was lost);
+//   * reordering   — sequence numbers compared with serial-number arithmetic,
+//                    so a stale copy overtaking a newer frame is discarded
+//                    instead of re-delivered;
+//   * crash-recover— 16-bit incarnation numbers, re-randomized by
+//                    reset_endpoint(): frames and acks from before a crash
+//                    mismatch the new incarnation and die as spurious, and a
+//                    receiver that accepts an incarnation it cannot prove
+//                    continuity with (a new one, OR first contact after its
+//                    own reset wiped the history) surfaces it as
+//                    on_peer_reset so the layer above can re-synchronize;
+//   * arbitrary initial channel content — a phantom ack never matches the
+//                    (incarnation, seq) actually in flight and is counted and
+//                    dropped; a phantom data frame is delivered at most once
+//                    and then superseded by real traffic (the emulation layer
+//                    above is stabilizing, so one junk snapshot is exactly
+//                    the kind of transient the paper's algorithm absorbs).
+//
+// Delivery guarantee on each directed edge: every payload accepted by the
+// link (and not superseded by send_latest) is handed to the client exactly
+// once, in send order, provided the channel delivers infinitely often.
+//
+// Zero steady-state allocation: all per-edge state — sender, receiver, and
+// the bounded pending rings — is sized at construction; send/on_message/tick
+// never touch the heap (verified by tests/mp/test_link_alloc.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mp/network.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::mp {
+
+class LinkProtocol;
+
+/// Upper layer of the link: receives exactly-once datagrams.
+class LinkClient {
+ public:
+  virtual ~LinkClient() = default;
+  /// Called once per processor when the network starts; kick off traffic here.
+  virtual void on_link_start(ProcessorId p, LinkProtocol& link) = 0;
+  /// Exactly-once, in-order delivery of one datagram on edge (from -> p).
+  virtual void on_link_deliver(ProcessorId p, ProcessorId from,
+                               std::uint8_t kind, std::uint64_t payload,
+                               LinkProtocol& link) = 0;
+  /// The sender behind edge (from -> p) used an incarnation this receiver
+  /// cannot prove continuity with: a fresh one after crash-recovery, a
+  /// phantom from arbitrary initial channel state, or first contact (which
+  /// includes "first frame after OUR OWN reset wiped the receiver history" —
+  /// the peer may have rebooted unnoticed in between, so the conservative
+  /// answer is the only safe one).  Re-push any state `from` needs — its
+  /// cached view of p may be gone or garbage.
+  virtual void on_link_peer_reset(ProcessorId /*p*/, ProcessorId /*from*/,
+                                  LinkProtocol& /*link*/) {}
+};
+
+struct LinkConfig {
+  /// Wire kinds used by the link's own frames.  User kinds travel inside the
+  /// data header and are unconstrained (any uint8_t).
+  std::uint8_t data_kind = 48;
+  std::uint8_t ack_kind = 49;
+  /// First retransmission after this many ticks; doubles per fire up to cap.
+  std::uint32_t rto_initial = 2;
+  std::uint32_t rto_cap = 16;
+  /// Pending datagrams buffered per directed edge while one is in flight.
+  std::size_t queue_capacity = 8;
+};
+
+/// Everything observable about the link, mirrored into obs via
+/// record_telemetry ("mp.link.*").
+struct LinkStats {
+  std::uint64_t data_sent = 0;             // first transmissions
+  std::uint64_t retransmits = 0;           // frames re-handed to the mailer
+  std::uint64_t timer_fires = 0;           // retransmission timer expirations
+  std::uint64_t acks_sent = 0;
+  std::uint64_t spurious_acks = 0;         // acks matching nothing in flight
+  std::uint64_t delivered = 0;             // exactly-once upcalls
+  std::uint64_t duplicates_discarded = 0;  // repeats of the last accepted seq
+  std::uint64_t stale_discarded = 0;       // reordered older frames
+  std::uint64_t junk_discarded = 0;        // unknown kinds / malformed headers
+  std::uint64_t superseded = 0;            // send_latest overwrote a pending
+  std::uint64_t peer_resets = 0;           // unproven incarnations accepted
+                                           // (new inc OR first contact)
+};
+
+class LinkProtocol final : public IMpProtocol {
+ public:
+  LinkProtocol(const graph::Graph& g, LinkClient& client, LinkConfig cfg,
+               std::uint64_t seed);
+
+  /// Reliable in-order send of (kind, payload) on edge (from -> to).
+  /// Bounded buffering: asserts if the edge's pending ring is full.
+  void send(ProcessorId from, ProcessorId to, std::uint8_t kind,
+            std::uint64_t payload);
+
+  /// Reliable send where only the *latest* value matters (state snapshots):
+  /// if a datagram is already pending behind the in-flight frame it is
+  /// overwritten instead of queued, so per-edge memory stays O(1) no matter
+  /// how fast the upper layer publishes.
+  void send_latest(ProcessorId from, ProcessorId to, std::uint8_t kind,
+                   std::uint64_t payload);
+
+  /// One timer tick: fires due retransmissions.  Call once per delivery
+  /// round (synchronous mode) or per scheduler quantum (async mode).
+  void tick();
+
+  /// Crash-recovery hook: drops p's in-flight and pending frames, draws new
+  /// incarnations for every out-edge, and forgets every in-edge history (so
+  /// the first frame from each neighbor is accepted afresh).
+  void reset_endpoint(ProcessorId p);
+
+  /// No frame in flight and nothing pending anywhere.
+  [[nodiscard]] bool idle() const noexcept;
+
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  /// Adds the stats to `registry` as "mp.link.*" counters.
+  void record_telemetry(obs::Registry& registry) const;
+
+  // IMpProtocol:
+  void on_start(ProcessorId p, Mailer& mailer) override;
+  void on_message(ProcessorId p, ProcessorId from, const Message& m,
+                  Mailer& mailer) override;
+
+ private:
+  struct SenderState {
+    std::uint16_t inc = 0;
+    std::uint16_t seq = 0;
+    bool in_flight = false;
+    std::uint8_t kind = 0;        // in-flight frame
+    std::uint64_t payload = 0;
+    std::uint32_t timer = 0;      // ticks until retransmit
+    std::uint32_t backoff = 0;    // current rto (doubles per fire, capped)
+    std::size_t head = 0;         // pending ring
+    std::size_t count = 0;
+  };
+  struct ReceiverState {
+    bool known = false;           // accepted at least one frame
+    std::uint16_t inc = 0;
+    std::uint16_t seq = 0;
+  };
+  struct Pending {
+    std::uint8_t kind = 0;
+    std::uint64_t payload = 0;
+  };
+
+  /// Directed-edge id of (u -> v): CSR offset of v in u's neighbor row.
+  [[nodiscard]] std::size_t did(ProcessorId u, ProcessorId v) const;
+  void transmit(std::size_t e, SenderState& s, std::uint8_t kind,
+                std::uint64_t payload);
+  void pop_and_transmit(std::size_t e, SenderState& s);
+  void handle_data(ProcessorId p, ProcessorId from, const Message& m);
+  void handle_ack(ProcessorId p, ProcessorId from, const Message& m);
+
+  const graph::Graph* graph_;
+  LinkClient* client_;
+  LinkConfig cfg_;
+  util::Rng rng_;
+  Mailer* mailer_ = nullptr;
+
+  std::vector<std::size_t> base_;   // per-processor directed-edge row start
+  std::vector<ProcessorId> src_;    // directed-edge id -> endpoints
+  std::vector<ProcessorId> dst_;
+  std::vector<SenderState> out_;    // out_[did(u,v)]: u's sender for u->v
+  std::vector<ReceiverState> in_;   // in_[did(v,u)]: v's receiver for u->v
+  std::vector<Pending> ring_;       // out_[e]'s ring at ring_[e*capacity ..]
+  LinkStats stats_;
+};
+
+}  // namespace snappif::mp

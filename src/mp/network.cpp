@@ -38,6 +38,7 @@ Network::Network(const graph::Graph& g, IMpProtocol& protocol,
   for (ProcessorId p = 0; p < g.n(); ++p) {
     inbox_[p].resize(g.degree(p));
   }
+  crashed_.assign(g.n(), false);
 }
 
 std::size_t Network::channel_index(ProcessorId from, ProcessorId to) const {
@@ -48,15 +49,39 @@ std::size_t Network::channel_index(ProcessorId from, ProcessorId to) const {
   return static_cast<std::size_t>(it - nbrs.begin());
 }
 
+void Network::crash(ProcessorId p) {
+  SNAPPIF_ASSERT(p < graph_->n());
+  SNAPPIF_ASSERT_MSG(!crashed_[p], "crash() of an already-crashed processor");
+  crashed_[p] = true;
+  // Inbound channel buffers die with the endpoint.
+  for (auto& queue : inbox_[p]) {
+    dropped_crashed_ += queue.size();
+    in_flight_ -= queue.size();
+    queue.clear();
+  }
+}
+
+void Network::recover(ProcessorId p) {
+  SNAPPIF_ASSERT(p < graph_->n());
+  SNAPPIF_ASSERT_MSG(crashed_[p], "recover() of a live processor");
+  crashed_[p] = false;
+}
+
 void Network::enqueue(ProcessorId from, ProcessorId to, const Message& m) {
+  // Every copy draws its loss and reorder chances unconditionally — the RNG
+  // stream consumed per send is independent of WHICH rates are nonzero, so a
+  // seeded repro line stays stable when a schedule edit toggles one fault
+  // window on or off (the draws land on the same stream offsets).
   // Loss is decided per enqueued copy (a duplicated message can lose either
   // copy independently, like a real retransmission race).
-  if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) {
+  const bool lose = rng_.chance(loss_rate_);
+  const bool jump = rng_.chance(reorder_rate_);
+  if (lose) {
     ++dropped_;
     return;
   }
   auto& queue = inbox_[to][channel_index(from, to)];
-  if (reorder_rate_ > 0.0 && !queue.empty() && rng_.chance(reorder_rate_)) {
+  if (jump && !queue.empty()) {
     queue.push_front({from, m});
     ++reordered_;
   } else {
@@ -66,9 +91,20 @@ void Network::enqueue(ProcessorId from, ProcessorId to, const Message& m) {
 }
 
 void Network::send(ProcessorId from, ProcessorId to, const Message& m) {
+  SNAPPIF_ASSERT_MSG(
+      allowed_kinds_ == 0 ||
+          (m.kind < 64 && ((allowed_kinds_ >> m.kind) & 1) != 0),
+      "send of an unknown message kind");
   ++sent_;
+  // A crashed endpoint is silent in both directions; no fault draws are
+  // consumed (the message never reaches the channel).
+  if (crashed_[from] || crashed_[to]) {
+    ++dropped_crashed_;
+    return;
+  }
+  const bool duplicate = rng_.chance(duplication_rate_);
   enqueue(from, to, m);
-  if (duplication_rate_ > 0.0 && rng_.chance(duplication_rate_)) {
+  if (duplicate) {
     ++duplicated_;
     enqueue(from, to, m);
   }
@@ -106,6 +142,11 @@ bool Network::step() {
       }
     }
     for (const Pending& pending : batch) {
+      // A crash mid-round kills the rest of the batch addressed to it.
+      if (crashed_[pending.to]) {
+        ++dropped_crashed_;
+        continue;
+      }
       ++delivered_;
       protocol_->on_message(pending.to, pending.from, pending.message, *this);
     }

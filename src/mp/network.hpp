@@ -11,7 +11,16 @@
 // Fault-tolerance contrast: the substrate also supports dropping messages —
 // classic echo deadlocks permanently after a single loss (no retransmission,
 // no stabilization), which is precisely the failure class self-/snap-
-// stabilization addresses.
+// stabilization addresses.  The resilience layer (mp/link.hpp,
+// mp/guarded_emulation.hpp) closes that gap on top of this substrate.
+//
+// Crash-recover faults: a crashed processor neither sends nor receives —
+// its inbound channels are flushed at crash time (messages in a real
+// network die with the endpoint's buffers) and everything addressed to or
+// from it is silently discarded until recover().  What the processor's
+// *state* looks like after recovery (reset vs adversarially corrupted) is
+// protocol business and is handled by the layer above (the emulation's
+// RecoveryMode); the network only models the silence window.
 #pragma once
 
 #include <cstdint>
@@ -75,6 +84,21 @@ class Network final : public Mailer {
   /// queue (intra-channel reordering; FIFO is otherwise preserved).
   void set_reorder_rate(double rate) noexcept;
 
+  /// Opt-in send-side validation of Message.kind: bit k of `mask` allows
+  /// kind k (kinds must therefore be < 64 to participate).  0 (the default)
+  /// disables validation.  Sending an unlisted kind with validation on is a
+  /// programming error (assert) — a protocol stack declares its vocabulary
+  /// once and any stray/corrupted kind dies loudly instead of being
+  /// mis-dispatched.
+  void set_allowed_kinds(std::uint64_t mask) noexcept { allowed_kinds_ = mask; }
+
+  /// Crash-recover faults.  crash() flushes p's inbound channels and starts
+  /// the silence window; recover() ends it.  Crashing a crashed processor
+  /// (or recovering a live one) is a programming error.
+  void crash(ProcessorId p);
+  void recover(ProcessorId p);
+  [[nodiscard]] bool crashed(ProcessorId p) const { return crashed_.at(p); }
+
   /// Invokes on_start everywhere, then delivers until quiescence or the
   /// delivery budget is exhausted.  Returns true iff the network quiesced.
   bool run(std::uint64_t max_deliveries = 10'000'000);
@@ -100,6 +124,13 @@ class Network final : public Mailer {
   [[nodiscard]] std::uint64_t messages_reordered() const noexcept {
     return reordered_;
   }
+  /// Messages discarded because an endpoint was crashed (sends to/from a
+  /// crashed processor plus inbound queues flushed at crash time).  Counted
+  /// separately from messages_dropped(): channel loss and endpoint death
+  /// are different faults.
+  [[nodiscard]] std::uint64_t messages_dropped_crashed() const noexcept {
+    return dropped_crashed_;
+  }
   [[nodiscard]] std::uint64_t in_flight() const noexcept { return in_flight_; }
   /// Synchronous mode: completed delivery rounds ("hops" of wall time).
   [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
@@ -123,15 +154,17 @@ class Network final : public Mailer {
   double loss_rate_ = 0.0;
   double duplication_rate_ = 0.0;
   double reorder_rate_ = 0.0;
+  std::uint64_t allowed_kinds_ = 0;  // 0 = validation off
 
   // One FIFO per directed edge; channels_[to] groups by receiver.
   std::vector<std::vector<std::deque<InFlight>>> inbox_;  // [to][slot]
-  std::vector<ProcessorId> nonempty_;  // receivers with pending messages
+  std::vector<bool> crashed_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
   std::uint64_t reordered_ = 0;
+  std::uint64_t dropped_crashed_ = 0;
   std::uint64_t in_flight_ = 0;
   std::uint64_t rounds_ = 0;
   bool started_ = false;

@@ -1,0 +1,76 @@
+// Wire codec for pif::State: the whole record in one 64-bit word.
+//
+// Layout (low to high): count 20 bits | level 20 | parent 21 | pif 2 | fok 1.
+// 20 bits bound N' and L_max at 2^20 — far beyond any simulated instance
+// (the constructor asserts).  kNoParent maps to the all-ones 21-bit
+// sentinel.
+//
+// decode() clamps every field back into the Section-3 domains for the owning
+// processor: count into [1, N'], level to 0 at the root and [1, L_max]
+// elsewhere, pif to a valid phase, and parent to a member of Neig_p (the
+// smallest neighbor when the wire value is no neighbor of p).  Clamping
+// turns channel garbage into an arbitrary-but-legal state — exactly the
+// transient faults the algorithm already stabilizes from.
+#pragma once
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+#include "pif/params.hpp"
+#include "pif/state.hpp"
+#include "util/assert.hpp"
+
+namespace snappif::pif {
+
+class StateCodec {
+ public:
+  StateCodec(const graph::Graph& g, const Params& params)
+      : graph_(&g), params_(params) {
+    SNAPPIF_ASSERT_MSG(params.n_upper < (1U << 20) && params.l_max < (1U << 20),
+                       "state codec fields are 20-bit");
+    SNAPPIF_ASSERT(g.n() < kParentSentinel);
+  }
+
+  [[nodiscard]] std::uint64_t encode(const State& s) const {
+    const std::uint64_t parent =
+        s.parent == kNoParent ? kParentSentinel : s.parent;
+    return (static_cast<std::uint64_t>(s.count) & 0xfffff) |
+           ((static_cast<std::uint64_t>(s.level) & 0xfffff) << 20) |
+           (parent << 40) |
+           (static_cast<std::uint64_t>(s.pif) << 61) |
+           (static_cast<std::uint64_t>(s.fok ? 1 : 0) << 63);
+  }
+
+  [[nodiscard]] State decode(sim::ProcessorId p, std::uint64_t w) const {
+    State s;
+    const auto pif_bits = static_cast<std::uint8_t>((w >> 61) & 0x3);
+    s.pif = pif_bits <= 2 ? static_cast<Phase>(pif_bits) : Phase::kC;
+    s.fok = (w >> 63) != 0;
+    s.count = std::clamp<std::uint32_t>(
+        static_cast<std::uint32_t>(w & 0xfffff), 1, params_.n_upper);
+    if (p == params_.root) {
+      s.level = 0;
+      s.parent = kNoParent;
+      return s;
+    }
+    s.level = std::clamp<std::uint32_t>(
+        static_cast<std::uint32_t>((w >> 20) & 0xfffff), 1, params_.l_max);
+    const auto parent = static_cast<sim::ProcessorId>((w >> 40) & 0x1fffff);
+    const auto nbrs = graph_->neighbors(p);
+    if (std::binary_search(nbrs.begin(), nbrs.end(), parent)) {
+      s.parent = parent;
+    } else {
+      SNAPPIF_ASSERT_MSG(!nbrs.empty(), "non-root processor with no neighbor");
+      s.parent = nbrs.front();
+    }
+    return s;
+  }
+
+ private:
+  static constexpr std::uint64_t kParentSentinel = (1ULL << 21) - 1;
+
+  const graph::Graph* graph_;
+  Params params_;
+};
+
+}  // namespace snappif::pif

@@ -1,0 +1,28 @@
+// Snapshot codecs: fixed-width wire encodings of protocol states.
+//
+// The message-passing emulation (mp/guarded_emulation.hpp) ships local
+// states between neighbors as single 64-bit words.  A codec pairs a
+// protocol's State with that wire format.  decode() takes the *owning*
+// processor because domains are per-processor (a root has constant
+// level/parent; a non-root's parent must lie in its neighbor list) and
+// because decode must CLAMP, not trust: a phantom frame from arbitrary
+// initial channel content can carry any 64-bit pattern, and the decoded
+// state must still be inside the domain the guards assume — out-of-domain
+// garbage belongs to the transient-fault model, not to undefined behavior.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace snappif::sim {
+
+template <typename C, typename S>
+concept StateCodec = requires(const C codec, const S& s, ProcessorId p,
+                              std::uint64_t w) {
+  { codec.encode(s) } -> std::convertible_to<std::uint64_t>;
+  { codec.decode(p, w) } -> std::convertible_to<S>;
+};
+
+}  // namespace snappif::sim

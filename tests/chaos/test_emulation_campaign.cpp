@@ -1,0 +1,147 @@
+// Emulation campaigns: the paper's PifProtocol over the mp substrate under
+// combined channel faults and crash-recover processor faults, judged by the
+// settle-then-release recovery oracle.
+#include "chaos/emulation_campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chaos/shrink.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+
+namespace snappif::chaos {
+namespace {
+
+TEST(EmulationCampaign, EmptyScheduleCompletesACleanCycle) {
+  const auto g = graph::make_random_connected(10, 6, 3);
+  const EmulationCampaignResult r =
+      run_emulation_campaign(g, FaultSchedule{}, EmulationCampaignOptions{});
+  EXPECT_TRUE(r.ok()) << r.failure;
+  EXPECT_EQ(r.crashes_applied, 0u);
+  EXPECT_EQ(r.windows_applied, 0u);
+  EXPECT_GT(r.cycles_completed, 0u);
+}
+
+TEST(EmulationCampaign, CombinedChannelAndCrashFaultsRecover) {
+  // The ISSUE's acceptance shape: loss + dup + reorder windows overlapping
+  // two crash-recover faults, one of them rebooting with corrupted state.
+  const auto g = graph::make_random_connected(12, 8, 5);
+  const auto schedule = FaultSchedule::parse(
+      "0:loss@0.4/8;2:dup@0.3/6;3:reorder@0.5/5;"
+      "4:crash(3,4,corrupt);6:crash(7,3,reset)");
+  ASSERT_TRUE(schedule.has_value());
+  EmulationCampaignOptions opts;
+  opts.arbitrary_init = true;
+  const EmulationCampaignResult r =
+      run_emulation_campaign(g, *schedule, opts);
+  EXPECT_TRUE(r.ok()) << r.failure;
+  EXPECT_EQ(r.crashes_applied, 2u);
+  EXPECT_EQ(r.windows_applied, 3u);
+  EXPECT_GT(r.messages_dropped, 0u);
+  EXPECT_GT(r.link_retransmits, 0u);
+  EXPECT_GT(r.rounds_to_settle, 0u);
+  EXPECT_GT(r.rounds_to_recover, 0u);
+}
+
+TEST(EmulationCampaign, DeterministicInSeed) {
+  const auto g = graph::make_random_connected(9, 5, 7);
+  const auto schedule =
+      FaultSchedule::parse("0:loss@0.3/6;2:crash(4,5,corrupt)");
+  ASSERT_TRUE(schedule.has_value());
+  EmulationCampaignOptions opts;
+  opts.seed = 99;
+  const EmulationCampaignResult a = run_emulation_campaign(g, *schedule, opts);
+  const EmulationCampaignResult b = run_emulation_campaign(g, *schedule, opts);
+  EXPECT_TRUE(a.ok()) << a.failure;
+  EXPECT_EQ(a.rounds_total, b.rounds_total);
+  EXPECT_EQ(a.actions_applied, b.actions_applied);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.link_retransmits, b.link_retransmits);
+  EXPECT_EQ(a.rounds_to_recover, b.rounds_to_recover);
+}
+
+TEST(EmulationCampaign, SharedMemoryKindsAreSkipped) {
+  const auto g = graph::make_cycle(8);
+  const auto schedule =
+      FaultSchedule::parse("2:burst*2;4:corrupt=uniform;6:crash(1,2,reset)");
+  ASSERT_TRUE(schedule.has_value());
+  const EmulationCampaignResult r =
+      run_emulation_campaign(g, *schedule, EmulationCampaignOptions{});
+  EXPECT_TRUE(r.ok()) << r.failure;
+  EXPECT_EQ(r.events_skipped, 2u);
+  EXPECT_EQ(r.crashes_applied, 1u);
+}
+
+TEST(EmulationCampaign, OverlappingCrashOfSameProcessorIsSkipped) {
+  const auto g = graph::make_cycle(6);
+  // Second crash of processor 2 lands inside the first silence window.
+  const auto schedule =
+      FaultSchedule::parse("1:crash(2,8,reset);3:crash(2,2,corrupt)");
+  ASSERT_TRUE(schedule.has_value());
+  const EmulationCampaignResult r =
+      run_emulation_campaign(g, *schedule, EmulationCampaignOptions{});
+  EXPECT_TRUE(r.ok()) << r.failure;
+  EXPECT_EQ(r.crashes_applied, 1u);
+  EXPECT_EQ(r.events_skipped, 1u);
+}
+
+TEST(EmulationCampaign, CrashAtTheQuietPointStillRecovers) {
+  // A crash whose window ends exactly at the quiet point: recovery happens
+  // before the oracle's clock starts, and the verdict still holds.
+  const auto g = graph::make_random_connected(8, 4, 9);
+  const auto schedule = FaultSchedule::parse("0:crash(5,0,corrupt)");
+  ASSERT_TRUE(schedule.has_value());
+  const EmulationCampaignResult r =
+      run_emulation_campaign(g, *schedule, EmulationCampaignOptions{});
+  EXPECT_TRUE(r.ok()) << r.failure;
+  EXPECT_EQ(r.crashes_applied, 1u);
+}
+
+TEST(EmulationCampaign, BackToBackNeighborCrashesDoNotDeadlock) {
+  // Regression (found by the E19 bench sweep): processor 10 reboots clean,
+  // wiping its receiver histories; neighbor 9 then reboots with corrupted
+  // state.  9's new incarnation used to slip through 10's first-contact
+  // branch without a peer-reset upcall, so 10 never re-published its state,
+  // 9's garbage view of 10 was never corrected, and the whole line
+  // deadlocked with the link idle — a failure the quiescence check cannot
+  // distinguish from success.  The link now treats every unproven
+  // incarnation as a reset, and this exact campaign must recover.
+  const auto g = graph::make_path(16);
+  const auto schedule = FaultSchedule::parse(
+      "10:reorder@0.42/3;16:dup@0.35/3;16:burst*3;18:crash(10,4,reset);"
+      "23:crash(9,3,corrupt);26:reorder@0.28/8");
+  ASSERT_TRUE(schedule.has_value());
+  EmulationCampaignOptions opts;
+  opts.seed = 4331567181889320634ULL;
+  opts.arbitrary_init = true;
+  const EmulationCampaignResult r = run_emulation_campaign(g, *schedule, opts);
+  EXPECT_TRUE(r.ok()) << r.failure;
+  EXPECT_EQ(r.crashes_applied, 2u);
+}
+
+TEST(EmulationCampaign, TelemetryFlowsThroughTheRegistry) {
+  const auto g = graph::make_cycle(8);
+  const auto schedule = FaultSchedule::parse("1:loss@0.5/4;2:crash(3,3,reset)");
+  ASSERT_TRUE(schedule.has_value());
+  obs::Registry registry;
+  EmulationCampaignOptions opts;
+  opts.registry = &registry;
+  const EmulationCampaignResult r = run_emulation_campaign(g, *schedule, opts);
+  EXPECT_TRUE(r.ok()) << r.failure;
+  EXPECT_EQ(registry.counter("chaos.emu.campaigns").value(), 1u);
+  EXPECT_EQ(registry.counter("chaos.emu.crashes").value(), 1u);
+  EXPECT_GT(registry.counter("mp.link.delivered").value(), 0u);
+}
+
+TEST(EmulationCampaign, ShrinkLeavesPassingSchedulesAlone) {
+  const auto g = graph::make_cycle(6);
+  const auto schedule = FaultSchedule::parse("1:loss@0.3/3;2:crash(1,2,reset)");
+  ASSERT_TRUE(schedule.has_value());
+  const ShrinkResult r =
+      shrink_emulation_campaign(g, *schedule, EmulationCampaignOptions{});
+  EXPECT_FALSE(r.input_failed);
+  EXPECT_EQ(r.minimal, *schedule);
+}
+
+}  // namespace
+}  // namespace snappif::chaos

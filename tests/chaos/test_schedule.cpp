@@ -150,5 +150,82 @@ TEST(Schedule, RandomSchedulesAreWellFormedAndReplayable) {
   }
 }
 
+TEST(Schedule, CrashEventRoundtrips) {
+  FaultEvent crash{.round = 9,
+                   .kind = EventKind::kCrash,
+                   .magnitude = 2,
+                   .duration = 6,
+                   .crash_corrupt = true};
+  EXPECT_EQ(crash.to_string(), "9:crash(2,6,corrupt)");
+
+  for (const char* text : {"9:crash(2,6,corrupt)", "0:crash(0,0,reset)",
+                           "31:crash(15,3,reset)"}) {
+    const auto ev = FaultEvent::parse(text);
+    ASSERT_TRUE(ev.has_value()) << text;
+    EXPECT_EQ(ev->kind, EventKind::kCrash) << text;
+    EXPECT_EQ(ev->to_string(), text) << text;
+    const auto again = FaultEvent::parse(ev->to_string());
+    ASSERT_TRUE(again.has_value()) << text;
+    EXPECT_EQ(*again, *ev) << text;
+  }
+}
+
+TEST(Schedule, MalformedCrashEventsAreRejected) {
+  const char* bad[] = {
+      "9:crash",                    // no argument list
+      "9:crash(2,6)",               // missing recovery mode
+      "9:crash(2,6,corrupt",        // unterminated
+      "9:crash(2,6,zeroed)",        // unknown recovery mode
+      "9:crash(,6,reset)",          // missing processor
+      "9:crash(2,,reset)",          // missing duration
+      "9:crash(x,6,reset)",         // non-numeric processor
+      "9:crash(5000000000,6,reset)" // processor overflows 32 bits
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(FaultEvent::parse(text).has_value()) << text;
+  }
+}
+
+TEST(Schedule, ContainsReportsEventKinds) {
+  const auto schedule = FaultSchedule::parse("3:loss@0.5/4;9:crash(2,6,reset)");
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_TRUE(schedule->contains(EventKind::kMpLoss));
+  EXPECT_TRUE(schedule->contains(EventKind::kCrash));
+  EXPECT_FALSE(schedule->contains(EventKind::kBurst));
+  EXPECT_FALSE(schedule->contains(EventKind::kMpDuplicate));
+}
+
+TEST(Schedule, RandomSchedulesEmitCrashesOnlyWhenAsked) {
+  util::Rng rng(77);
+  CampaignShape shape;
+  shape.events = 10;
+  shape.horizon_rounds = 60;
+  shape.message_passing = true;
+  shape.crash = false;
+  for (int i = 0; i < 20; ++i) {
+    for (const FaultEvent& ev : random_schedule(shape, rng).events) {
+      EXPECT_NE(ev.kind, EventKind::kCrash);
+    }
+  }
+  shape.crash = true;
+  shape.crash_processors = 16;
+  bool saw_crash = false;
+  for (int i = 0; i < 40; ++i) {
+    const FaultSchedule schedule = random_schedule(shape, rng);
+    for (const FaultEvent& ev : schedule.events) {
+      if (ev.kind != EventKind::kCrash) {
+        continue;
+      }
+      saw_crash = true;
+      EXPECT_LT(ev.magnitude, shape.crash_processors);
+      // A replay must mean the same campaign: the roundtrip is exact.
+      const auto again = FaultEvent::parse(ev.to_string());
+      ASSERT_TRUE(again.has_value());
+      EXPECT_EQ(*again, ev);
+    }
+  }
+  EXPECT_TRUE(saw_crash);
+}
+
 }  // namespace
 }  // namespace snappif::chaos

@@ -131,5 +131,28 @@ TEST(Shrink, RealCampaignMinimalReproducerStillFails) {
   EXPECT_EQ(r.minimal, *schedule);
 }
 
+TEST(Shrink, HalvesCrashDurationButNeverTheProcessorId) {
+  // magnitude names WHICH processor crashed -- halving it would change the
+  // campaign, not weaken it.  Only the silence window shrinks.
+  const auto schedule = FaultSchedule::parse("4:crash(7,16,corrupt)");
+  ASSERT_TRUE(schedule.has_value());
+  const auto fails = [](const FaultSchedule& s) {
+    for (const FaultEvent& ev : s.events) {
+      if (ev.kind == EventKind::kCrash && ev.magnitude == 7 &&
+          ev.duration >= 2) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const ShrinkResult r = shrink(*schedule, fails);
+  EXPECT_TRUE(r.input_failed);
+  ASSERT_EQ(r.minimal.events.size(), 1u);
+  EXPECT_EQ(r.minimal.events[0].kind, EventKind::kCrash);
+  EXPECT_EQ(r.minimal.events[0].magnitude, 7u);  // untouched
+  EXPECT_EQ(r.minimal.events[0].duration, 2u);   // halved 16->8->4->2
+  EXPECT_TRUE(r.minimal.events[0].crash_corrupt);
+}
+
 }  // namespace
 }  // namespace snappif::chaos

@@ -1,0 +1,161 @@
+// Steady-state allocation audit for the retransmission layer.
+//
+// LinkProtocol sizes all per-edge state — senders, receivers, pending rings
+// — at construction; send/send_latest/on_message/tick must never touch the
+// heap, no matter how hard the channel misbehaves.  Like the simulator's
+// audit (tests/sim/test_simulator_alloc.cpp) this overrides the global
+// allocation functions with counting wrappers, so it lives in its own
+// binary.  The link is driven through a preallocated loopback mailer rather
+// than mp::Network: the substrate's own batch buffers are out of scope —
+// the ISSUE's invariant is about the retransmission layer.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mp/link.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace snappif::mp {
+namespace {
+
+/// Lossy loopback channel with preallocated storage: messages queue in a
+/// fixed ring and deliver on flush().  reserve() is called before the audit
+/// window so steady-state flushes never grow anything.
+class LoopMailer final : public Mailer {
+ public:
+  struct Entry {
+    ProcessorId from;
+    ProcessorId to;
+    Message message;
+  };
+
+  explicit LoopMailer(std::uint64_t seed) : rng_(seed) {
+    queue_.reserve(1024);
+    batch_.reserve(1024);
+  }
+
+  void set_loss_rate(double rate) { loss_ = rate; }
+
+  void send(ProcessorId from, ProcessorId to, const Message& m) override {
+    if (rng_.chance(loss_)) {
+      return;
+    }
+    queue_.push_back({from, to, m});
+  }
+
+  /// Delivers everything currently queued to `link` (synchronous round).
+  void flush(LinkProtocol& link) {
+    batch_.swap(queue_);
+    queue_.clear();
+    for (const Entry& e : batch_) {
+      link.on_message(e.to, e.from, e.message, *this);
+    }
+    batch_.clear();
+  }
+
+ private:
+  util::Rng rng_;
+  double loss_ = 0.0;
+  std::vector<Entry> queue_;
+  std::vector<Entry> batch_;
+};
+
+class NullClient final : public LinkClient {
+ public:
+  void on_link_start(ProcessorId, LinkProtocol&) override {}
+  void on_link_deliver(ProcessorId, ProcessorId, std::uint8_t, std::uint64_t,
+                       LinkProtocol&) override {
+    ++delivered;
+  }
+  std::uint64_t delivered = 0;
+};
+
+TEST(LinkAlloc, SteadyStateTrafficAllocatesNothing) {
+  const auto g = graph::make_random_connected(16, 12, 3);
+  NullClient client;
+  LinkProtocol link(g, client, LinkConfig{}, 4);
+  LoopMailer mailer(5);
+  mailer.set_loss_rate(0.3);  // keep the retransmission machinery busy
+  for (ProcessorId p = 0; p < g.n(); ++p) {
+    link.on_start(p, mailer);
+  }
+
+  const auto run_rounds = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      for (ProcessorId p = 0; p < g.n(); ++p) {
+        for (ProcessorId q : g.neighbors(p)) {
+          link.send_latest(p, q, /*kind=*/1,
+                           static_cast<std::uint64_t>(r) << 8 | p);
+        }
+      }
+      mailer.flush(link);
+      link.tick();
+    }
+  };
+
+  run_rounds(100);  // warm-up: mailer buffers reach their high-water marks
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  run_rounds(300);
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_GT(client.delivered, 0u);
+  EXPECT_GT(link.stats().retransmits, 0u);
+  EXPECT_GT(link.stats().superseded, 0u);
+}
+
+TEST(LinkAlloc, EndpointResetAllocatesNothing) {
+  // Crash-recovery resets reuse the same flat arrays.
+  const auto g = graph::make_cycle(8);
+  NullClient client;
+  LinkProtocol link(g, client, LinkConfig{}, 6);
+  LoopMailer mailer(7);
+  for (ProcessorId p = 0; p < g.n(); ++p) {
+    link.on_start(p, mailer);
+  }
+  for (int r = 0; r < 50; ++r) {  // warm-up
+    for (ProcessorId p = 0; p < g.n(); ++p) {
+      link.send_latest(p, (p + 1) % g.n(), 1, r);
+    }
+    mailer.flush(link);
+    link.tick();
+  }
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int r = 0; r < 100; ++r) {
+    link.reset_endpoint(static_cast<ProcessorId>(r % g.n()));
+    for (ProcessorId p = 0; p < g.n(); ++p) {
+      link.send_latest(p, (p + 1) % g.n(), 1, 1000 + r);
+    }
+    mailer.flush(link);
+    link.tick();
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_GT(link.stats().peer_resets, 0u);
+}
+
+}  // namespace
+}  // namespace snappif::mp

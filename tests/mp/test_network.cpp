@@ -198,6 +198,124 @@ TEST(MpNetworkDeath, RejectsNonEdgeSend) {
   EXPECT_DEATH(net.send(0, 2, Message{}), "non-edge");
 }
 
+TEST(MpNetwork, CrashFlushesInboundChannelsAndSilencesTheProcessor) {
+  const auto g = graph::make_path(3);
+  Recorder recorder;
+  Network net(g, recorder, Delivery::kRandomChannel, 12);
+  net.start();
+  net.send(0, 1, Message{1, 10, 0});
+  net.send(2, 1, Message{1, 20, 0});
+  EXPECT_EQ(net.in_flight(), 2u);
+  net.crash(1);
+  // Messages in a crashed processor's buffers die with it.
+  EXPECT_EQ(net.in_flight(), 0u);
+  EXPECT_EQ(net.messages_dropped_crashed(), 2u);
+  EXPECT_TRUE(net.crashed(1));
+  // Silence in both directions while crashed; not counted as channel loss.
+  net.send(0, 1, Message{});
+  net.send(1, 0, Message{});
+  EXPECT_EQ(net.messages_dropped_crashed(), 4u);
+  EXPECT_EQ(net.messages_dropped(), 0u);
+  EXPECT_EQ(net.in_flight(), 0u);
+  net.recover(1);
+  EXPECT_FALSE(net.crashed(1));
+  net.send(0, 1, Message{1, 30, 0});
+  ASSERT_TRUE(net.run());
+  ASSERT_EQ(recorder.events.size(), 1u);
+  EXPECT_EQ(recorder.events[0].message.a, 30u);
+}
+
+TEST(MpNetwork, SynchronousBatchDropsForMidRoundCrash) {
+  // In synchronous mode a crash during delivery kills the rest of the round's
+  // batch addressed to the crashed processor.
+  class CrashOnFirst final : public IMpProtocol {
+   public:
+    explicit CrashOnFirst(Network** net) : net_(net) {}
+    void on_start(ProcessorId, Mailer&) override {}
+    void on_message(ProcessorId p, ProcessorId, const Message&,
+                    Mailer&) override {
+      if (p == 0 && !crashed_) {
+        crashed_ = true;
+        (*net_)->crash(1);
+      }
+    }
+
+   private:
+    Network** net_;
+    bool crashed_ = false;
+  };
+  const auto g = graph::make_path(2);
+  Network* net_ptr = nullptr;
+  CrashOnFirst protocol(&net_ptr);
+  Network net(g, protocol, Delivery::kSynchronous, 13);
+  net_ptr = &net;
+  net.start();
+  net.send(1, 0, Message{});  // triggers the crash of 1 mid-round
+  net.send(0, 1, Message{});  // same batch, addressed to 1: must die
+  EXPECT_TRUE(net.step());
+  EXPECT_EQ(net.messages_delivered(), 1u);
+  EXPECT_EQ(net.messages_dropped_crashed(), 1u);
+}
+
+TEST(MpNetwork, FaultDrawsAreIndependentOfOtherRates) {
+  // Determinism satellite: whether a message is lost depends only on the
+  // seed and the send index, not on which OTHER fault rates are active —
+  // every send draws loss and reorder unconditionally, in a fixed order.
+  const auto g = graph::make_path(2);
+  const auto dropped_indices = [&](double reorder_rate) {
+    Recorder recorder;
+    Network net(g, recorder, Delivery::kRandomChannel, 14);
+    net.set_loss_rate(0.3);
+    net.set_reorder_rate(reorder_rate);
+    net.start();
+    std::vector<std::size_t> dropped;
+    for (std::size_t i = 0; i < 200; ++i) {
+      const std::uint64_t before = net.messages_dropped();
+      net.send(0, 1, Message{1, i, 0});
+      if (net.messages_dropped() != before) {
+        dropped.push_back(i);
+      }
+    }
+    return dropped;
+  };
+  const auto base = dropped_indices(0.0);
+  EXPECT_FALSE(base.empty());
+  EXPECT_EQ(base, dropped_indices(0.4));
+  EXPECT_EQ(base, dropped_indices(1.0));
+}
+
+TEST(MpNetwork, AllowedKindsAcceptsListedKinds) {
+  const auto g = graph::make_path(2);
+  Recorder recorder;
+  Network net(g, recorder, Delivery::kRandomChannel, 15);
+  net.set_allowed_kinds((1ULL << 4) | (1ULL << 9));
+  net.start();
+  net.send(0, 1, Message{4, 1, 0});
+  net.send(0, 1, Message{9, 2, 0});
+  ASSERT_TRUE(net.run());
+  EXPECT_EQ(recorder.events.size(), 2u);
+}
+
+TEST(MpNetworkDeath, RejectsUnknownMessageKind) {
+  const auto g = graph::make_path(2);
+  Recorder recorder;
+  Network net(g, recorder, Delivery::kRandomChannel, 16);
+  net.set_allowed_kinds(1ULL << 4);
+  net.start();
+  EXPECT_DEATH(net.send(0, 1, Message{5, 0, 0}), "unknown message kind");
+  EXPECT_DEATH(net.send(0, 1, Message{200, 0, 0}), "unknown message kind");
+}
+
+TEST(MpNetworkDeath, RejectsDoubleCrashAndLiveRecover) {
+  const auto g = graph::make_path(2);
+  Recorder recorder;
+  Network net(g, recorder, Delivery::kRandomChannel, 17);
+  net.start();
+  EXPECT_DEATH(net.recover(0), "live processor");
+  net.crash(0);
+  EXPECT_DEATH(net.crash(0), "already-crashed");
+}
+
 TEST(MpNetwork, RunBudgetExhaustionReportsFalse) {
   // An infinite ping-pong never quiesces; run() must stop at the budget.
   class Forever final : public IMpProtocol {

@@ -3,6 +3,11 @@
 // Soak mode (default): draw --campaigns random fault schedules, run each
 // against the shared-memory campaign engine (and, with --mp, the
 // message-passing runner), and export telemetry through the obs registry.
+// An mp schedule containing crash(...) events — or the --emulate flag —
+// routes the mp run to the GuardedEmulation campaign, where the paper's
+// PifProtocol itself executes over the lossy crashing substrate
+// (chaos/emulation_campaign.hpp); --crash makes the random schedules
+// include crash windows.
 // On the first failing campaign the schedule is shrunk to a minimal
 // reproducer, a copy-pasteable repro command is printed to stderr, and the
 // exit code is nonzero.
@@ -13,7 +18,8 @@
 //   ./snappif_chaos [--topology=random] [--n=16] [--graph-seed=1] [--root=0]
 //                   [--campaigns=20] [--seed=1] [--events=6] [--horizon=60]
 //                   [--max-magnitude=4] [--daemon=distributed-random]
-//                   [--mp] [--schedule='12:burst*3;20:corrupt=fake-tree']
+//                   [--mp] [--emulate] [--crash]
+//                   [--schedule='12:burst*3;20:corrupt=fake-tree']
 //                   [--break=none|broadcast-leaf|feedback-bleaf|count-wait]
 //                   [--budget=0 (auto)] [--no-shrink] [--metrics=out.json]
 //                   [--csv]
@@ -26,6 +32,7 @@
 #include <string>
 
 #include "chaos/campaign.hpp"
+#include "chaos/emulation_campaign.hpp"
 #include "chaos/mp_campaign.hpp"
 #include "chaos/schedule.hpp"
 #include "chaos/shrink.hpp"
@@ -114,6 +121,8 @@ int main(int argc, char** argv) {
   opts.registry = &registry;
 
   const bool run_mp = cli.get_bool("mp", false);
+  const bool emulate = cli.get_bool("emulate", false);
+  const bool crash_windows = cli.get_bool("crash", false);
   const bool shrink_on_failure = cli.get_bool("shrink", true);
   const auto master_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
 
@@ -123,6 +132,8 @@ int main(int argc, char** argv) {
   shape.max_magnitude =
       static_cast<std::uint32_t>(cli.get_int("max-magnitude", 4));
   shape.message_passing = run_mp;
+  shape.crash = run_mp && crash_windows;
+  shape.crash_processors = g->n();
 
   // Assemble the (schedule, seed) work list: one replay or a seeded soak.
   struct Job {
@@ -164,15 +175,32 @@ int main(int argc, char** argv) {
                    r.snap_ok ? "ok" : "FAIL",
                    r.ok() ? "recovered" : r.failure});
 
-    chaos::MpCampaignResult mp_result;
     bool mp_failed = false;
+    bool used_emulation = false;
+    std::string mp_failure;
     if (run_mp) {
-      chaos::MpCampaignOptions mp_opts;
-      mp_opts.root = opts.root;
-      mp_opts.seed = opts.seed;
-      mp_opts.registry = &registry;
-      mp_result = chaos::run_mp_campaign(*g, jobs[i].schedule, mp_opts);
-      mp_failed = !mp_result.ok();
+      // Crash events need processor fault semantics only the emulation
+      // campaign implements; --emulate forces that runner for everything.
+      if (emulate || jobs[i].schedule.contains(chaos::EventKind::kCrash)) {
+        used_emulation = true;
+        chaos::EmulationCampaignOptions emu_opts;
+        emu_opts.root = opts.root;
+        emu_opts.seed = opts.seed;
+        emu_opts.registry = &registry;
+        const chaos::EmulationCampaignResult er =
+            chaos::run_emulation_campaign(*g, jobs[i].schedule, emu_opts);
+        mp_failed = !er.ok();
+        mp_failure = er.failure;
+      } else {
+        chaos::MpCampaignOptions mp_opts;
+        mp_opts.root = opts.root;
+        mp_opts.seed = opts.seed;
+        mp_opts.registry = &registry;
+        const chaos::MpCampaignResult mp_result =
+            chaos::run_mp_campaign(*g, jobs[i].schedule, mp_opts);
+        mp_failed = !mp_result.ok();
+        mp_failure = mp_result.failure;
+      }
     }
 
     if (!r.ok() || mp_failed) {
@@ -182,6 +210,15 @@ int main(int argc, char** argv) {
       if (!r.ok() && shrink_on_failure) {
         shrunk = chaos::shrink_campaign(*g, jobs[i].schedule, opts);
         repro = &shrunk.minimal;
+      } else if (mp_failed && used_emulation && shrink_on_failure) {
+        chaos::EmulationCampaignOptions emu_opts;
+        emu_opts.root = opts.root;
+        emu_opts.seed = opts.seed;
+        shrunk = chaos::shrink_emulation_campaign(*g, jobs[i].schedule,
+                                                  emu_opts);
+        repro = &shrunk.minimal;
+      }
+      if (shrunk.input_failed) {
         std::fprintf(stderr,
                      "shrunk %zu -> %zu events in %llu replays\n",
                      jobs[i].schedule.events.size(),
@@ -189,15 +226,16 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(shrunk.campaigns_run));
       }
       std::fprintf(stderr, "campaign %zu FAILED: %s\n", i,
-                   !r.ok() ? r.failure.c_str() : mp_result.failure.c_str());
+                   !r.ok() ? r.failure.c_str() : mp_failure.c_str());
       std::fprintf(
           stderr,
           "repro: %s --topology=%s --n=%u --graph-seed=%llu --root=%u "
-          "--daemon=%s%s%s --seed=%llu --schedule='%s'\n",
+          "--daemon=%s%s%s%s%s --seed=%llu --schedule='%s'\n",
           cli.program().c_str(), topology.c_str(), g->n(),
           static_cast<unsigned long long>(graph_seed), opts.root,
           daemon_name.c_str(), broken == "none" ? "" : " --break=",
-          broken == "none" ? "" : broken.c_str(),
+          broken == "none" ? "" : broken.c_str(), run_mp ? " --mp" : "",
+          emulate ? " --emulate" : "",
           static_cast<unsigned long long>(opts.seed),
           repro->to_string().c_str());
       break;  // first failure stops the soak; telemetry still exported below
