@@ -7,17 +7,24 @@
 // (a) all-Normal closure and (b) the first clean cycle's close, asserting
 // the snap property on that cycle.  Worst observed recovery sits far below
 // the composed theorem budget (20*Lmax + 50).
+//
+// Campaign i's schedule and seed are pure functions of (suite seed, i), so
+// --jobs=N runs campaigns on a worker pool with bit-identical tables and
+// telemetry (deltas folded in campaign order; see src/par/README.md).
 #include "bench_common.hpp"
+
+#include <memory>
 
 #include "chaos/campaign.hpp"
 #include "chaos/schedule.hpp"
+#include "par/shard.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace snappif {
 namespace {
 
-void run() {
+void run(par::ThreadPool* pool) {
   bench::print_header(
       "E18  Chaos campaign recovery",
       "after the last scheduled fault of a mixed campaign, every processor "
@@ -38,22 +45,38 @@ void run() {
       shape.events = events;
       shape.horizon_rounds = 40;
       shape.max_magnitude = 4;
-      util::Rng rng(18000 + events);
+      const std::uint64_t master_seed = 18000 + events;
+
+      struct ShardOut {
+        chaos::CampaignResult result;
+        obs::Registry metrics;
+      };
+      auto shards = par::run_shards(
+          master_seed, kCampaigns,
+          [&](par::ShardContext& ctx) {
+            ShardOut out;
+            // Schedule then seed from the shard's own stream — campaign i
+            // is the same job no matter which worker runs it.
+            const chaos::FaultSchedule schedule =
+                chaos::random_schedule(shape, ctx.rng);
+            chaos::CampaignOptions opts;
+            opts.seed = ctx.rng();
+            opts.registry = &out.metrics;
+            out.result = chaos::run_campaign(named.graph, schedule, opts);
+            return out;
+          },
+          pool);
 
       util::OnlineStats to_normal;
       util::OnlineStats to_cycle;
       std::uint64_t recovered = 0;
       std::uint64_t snap_ok = 0;
       std::uint64_t worst = 0;
-      std::uint32_t l_max = 1;
-      for (std::uint64_t i = 0; i < kCampaigns; ++i) {
-        const chaos::FaultSchedule schedule = chaos::random_schedule(shape, rng);
-        chaos::CampaignOptions opts;
-        opts.seed = rng();
-        opts.registry = &registry;
-        const chaos::CampaignResult r =
-            chaos::run_campaign(named.graph, schedule, opts);
-        l_max = named.graph.n() > 1 ? named.graph.n() - 1 : 1;
+      const std::uint32_t l_max =
+          named.graph.n() > 1 ? named.graph.n() - 1 : 1;
+      for (const ShardOut& out : shards) {  // campaign order
+        registry.merge(out.metrics);
+        const chaos::CampaignResult& r = out.result;
         if (r.recovered) {
           ++recovered;
           to_normal.add(static_cast<double>(r.rounds_to_normal));
@@ -78,6 +101,12 @@ void run() {
 
 int main(int argc, char** argv) {
   snappif::bench::init(argc, argv);
-  snappif::run();
+  const snappif::util::Cli cli(argc, argv);
+  const auto jobs = static_cast<unsigned>(cli.get_int("jobs", 1));
+  std::unique_ptr<snappif::par::ThreadPool> pool;
+  if (jobs != 1) {
+    pool = std::make_unique<snappif::par::ThreadPool>(jobs);
+  }
+  snappif::run(pool.get());
   return 0;
 }

@@ -16,10 +16,12 @@
 #include "bench_common.hpp"
 
 #include <chrono>
+#include <memory>
 
 #include "chaos/emulation_campaign.hpp"
 #include "chaos/schedule.hpp"
 #include "mp/guarded_emulation.hpp"
+#include "par/shard.hpp"
 #include "pif/codec.hpp"
 #include "pif/protocol.hpp"
 #include "util/rng.hpp"
@@ -65,26 +67,45 @@ struct RecoverySample {
 };
 
 /// Runs `campaigns` random crash-bearing fault campaigns and accumulates
-/// the oracle's latency numbers.
+/// the oracle's latency numbers.  Campaign i's schedule and seed derive
+/// from (seed, i), so a pool changes nothing but wall-clock: results and
+/// telemetry fold in campaign order (see src/par/README.md).
 RecoverySample measure_recovery(const graph::Graph& g, std::uint64_t campaigns,
                                 std::uint64_t seed,
-                                obs::Registry* registry = nullptr) {
+                                obs::Registry* registry = nullptr,
+                                par::ThreadPool* pool = nullptr) {
   chaos::CampaignShape shape;
   shape.events = 6;
   shape.horizon_rounds = 30;
   shape.message_passing = true;
   shape.crash = true;
   shape.crash_processors = g.n();
-  util::Rng rng(seed);
+
+  struct ShardOut {
+    chaos::EmulationCampaignResult result;
+    obs::Registry metrics;
+  };
+  auto shards = par::run_shards(
+      seed, static_cast<std::size_t>(campaigns),
+      [&](par::ShardContext& ctx) {
+        ShardOut out;
+        const chaos::FaultSchedule schedule =
+            chaos::random_schedule(shape, ctx.rng);
+        chaos::EmulationCampaignOptions opts;
+        opts.seed = ctx.rng();
+        opts.arbitrary_init = true;
+        opts.registry = registry != nullptr ? &out.metrics : nullptr;
+        out.result = chaos::run_emulation_campaign(g, schedule, opts);
+        return out;
+      },
+      pool);
+
   RecoverySample sample;
-  for (std::uint64_t i = 0; i < campaigns; ++i) {
-    const chaos::FaultSchedule schedule = chaos::random_schedule(shape, rng);
-    chaos::EmulationCampaignOptions opts;
-    opts.seed = rng();
-    opts.arbitrary_init = true;
-    opts.registry = registry;
-    const chaos::EmulationCampaignResult r =
-        chaos::run_emulation_campaign(g, schedule, opts);
+  for (const ShardOut& out : shards) {  // campaign order
+    if (registry != nullptr) {
+      registry->merge(out.metrics);
+    }
+    const chaos::EmulationCampaignResult& r = out.result;
     ++sample.campaigns;
     sample.retransmits += r.link_retransmits;
     sample.spurious_acks += r.link_spurious_acks;
@@ -97,7 +118,7 @@ RecoverySample measure_recovery(const graph::Graph& g, std::uint64_t campaigns,
   return sample;
 }
 
-int run_quick_report(const util::Cli& cli) {
+int run_quick_report(const util::Cli& cli, par::ThreadPool* pool) {
   const bool quick = cli.get_bool("quick", false);
   std::string path = cli.get_string("json", "BENCH_e19.json");
   if (path.empty()) {
@@ -123,8 +144,11 @@ int run_quick_report(const util::Cli& cli) {
               "settle mean", "recover mean");
   for (const graph::NodeId n : {16, 32, 64}) {
     const auto g = graph::make_random_connected(n, 2 * n, 42);
+    // Throughput timing stays on one thread (it IS the unit-cost metric);
+    // only the recovery campaigns fan out.
     const double rate = measure_emulation_rounds_per_sec(g, rounds);
-    const RecoverySample sample = measure_recovery(g, campaigns, 19000 + n);
+    const RecoverySample sample =
+        measure_recovery(g, campaigns, 19000 + n, nullptr, pool);
     report.add_size(n);
     const std::string suffix = "_n" + std::to_string(n);
     report.set_metric("emulation_rounds_per_s" + suffix, rate);
@@ -146,7 +170,7 @@ int run_quick_report(const util::Cli& cli) {
   return 0;
 }
 
-void run() {
+void run(par::ThreadPool* pool) {
   bench::print_header(
       "E19  Message-passing resilience",
       "the paper's protocol, emulated over channels that lose, duplicate, "
@@ -162,7 +186,7 @@ void run() {
       continue;  // keep the table compact
     }
     const RecoverySample sample =
-        measure_recovery(named.graph, kCampaigns, 19000, &registry);
+        measure_recovery(named.graph, kCampaigns, 19000, &registry, pool);
     table.add_row({named.name, util::fmt(named.graph.n()),
                    util::fmt(sample.campaigns), util::fmt(sample.recovered),
                    util::fmt(sample.settle.mean()),
@@ -180,10 +204,15 @@ void run() {
 
 int main(int argc, char** argv) {
   const snappif::util::Cli cli(argc, argv);
+  const auto jobs = static_cast<unsigned>(cli.get_int("jobs", 1));
+  std::unique_ptr<snappif::par::ThreadPool> pool;
+  if (jobs != 1) {
+    pool = std::make_unique<snappif::par::ThreadPool>(jobs);
+  }
   if (cli.has("quick") || cli.has("json")) {
-    return snappif::run_quick_report(cli);
+    return snappif::run_quick_report(cli, pool.get());
   }
   snappif::bench::init(argc, argv);
-  snappif::run();
+  snappif::run(pool.get());
   return 0;
 }

@@ -1,0 +1,195 @@
+// E20 — parallel harness scaling: throughput and bit-exact determinism of
+// the seeded-sharding layer (src/par) driving the chaos soak engine.
+//
+// Two claims measured here:
+//   (1) scaling — campaigns/second of the identical soak workload at 1, 2,
+//       and hardware_workers() worker threads.  Speedups are reported as
+//       informational metrics (they depend on the host's core count; the
+//       CI runners have several cores, a laptop may have one);
+//   (2) determinism — the runs at every worker count must produce the SAME
+//       verdict list and the SAME merged telemetry snapshot, byte for byte.
+//       A mismatch fails the bench with a nonzero exit code.
+//
+// The regression gate (scripts/check_bench_regression.py) watches only the
+// single-worker throughput (prefix campaigns_per_s_j1) — that is the
+// machine-independent unit cost; speedup_* metrics print as informational.
+//
+//   * default: table mode — worker-count sweep over two topologies;
+//   * --quick [--json=PATH]: fixed workload, writes BENCH_e20.json.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/soak.hpp"
+#include "par/pool.hpp"
+
+namespace snappif {
+namespace {
+
+chaos::SoakOptions workload(std::uint64_t campaigns) {
+  chaos::SoakOptions soak;
+  soak.master_seed = 20000;
+  soak.campaigns = campaigns;
+  soak.shape.events = 6;
+  soak.shape.horizon_rounds = 40;
+  soak.shape.max_magnitude = 4;
+  return soak;
+}
+
+struct TimedRun {
+  double campaigns_per_s = 0.0;
+  std::string fingerprint;  // verdicts + merged telemetry, byte-exact
+  bool ok = true;
+};
+
+TimedRun timed_soak(const graph::Graph& g, const chaos::SoakOptions& soak,
+                    unsigned workers) {
+  std::unique_ptr<par::ThreadPool> pool;
+  if (workers != 1) {
+    pool = std::make_unique<par::ThreadPool>(workers);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const chaos::SoakReport report = chaos::run_soak(g, soak, pool.get());
+  const auto t1 = std::chrono::steady_clock::now();
+
+  TimedRun run;
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  run.campaigns_per_s =
+      seconds > 0.0 ? static_cast<double>(soak.campaigns) / seconds : 0.0;
+  run.ok = report.ok();
+  for (const chaos::SoakOutcome& o : report.outcomes) {
+    run.fingerprint += o.ok() ? '+' : '-';
+    run.fingerprint += std::to_string(o.shared.rounds_to_cycle_close);
+    run.fingerprint += ';';
+  }
+  run.fingerprint += report.metrics.json();
+  return run;
+}
+
+int run_quick_report(const util::Cli& cli) {
+  const bool quick = cli.get_bool("quick", false);
+  std::string path = cli.get_string("json", "BENCH_e20.json");
+  if (path.empty()) {
+    path = "BENCH_e20.json";  // bare --json
+  }
+  const std::uint64_t campaigns = quick ? 16 : 64;
+  const unsigned hw = par::ThreadPool::hardware_workers();
+
+  bench::JsonReport report(
+      "E20",
+      "parallel harness scaling: chaos-soak throughput per worker count, "
+      "with bit-exact cross-worker determinism verified");
+  report.set_string("mode", quick ? "quick" : "full");
+  report.set_string("graph", "random_connected(16, 32 extra edges, seed 42)");
+  report.set_string("workload",
+                    std::to_string(campaigns) + " campaigns, events=6, "
+                    "horizon=40, master seed 20000");
+  report.set_string("hardware_workers", std::to_string(hw));
+
+  const auto g = graph::make_random_connected(16, 32, 42);
+  const chaos::SoakOptions soak = workload(campaigns);
+
+  std::printf("E20 quick report (%s, %llu campaigns per run)\n",
+              quick ? "quick" : "full",
+              static_cast<unsigned long long>(campaigns));
+  std::printf("%8s %16s %10s\n", "workers", "campaigns/s", "speedup");
+
+  const TimedRun base = timed_soak(g, soak, 1);
+  report.add_size(16);
+  report.set_metric("campaigns_per_s_j1", base.campaigns_per_s);
+  std::printf("%8u %16.2f %10.2f\n", 1u, base.campaigns_per_s, 1.0);
+
+  bool deterministic = true;
+  for (const unsigned workers : {2u, hw}) {
+    if (workers <= 1) {
+      continue;  // single-core host: nothing beyond j1 to measure
+    }
+    const TimedRun run = timed_soak(g, soak, workers);
+    const std::string tag =
+        workers == hw ? "hw" : "j" + std::to_string(workers);
+    report.set_metric("campaigns_per_s_" + tag, run.campaigns_per_s);
+    report.set_metric("speedup_" + tag,
+                      base.campaigns_per_s > 0.0
+                          ? run.campaigns_per_s / base.campaigns_per_s
+                          : 0.0);
+    std::printf("%8u %16.2f %10.2f\n", workers, run.campaigns_per_s,
+                base.campaigns_per_s > 0.0
+                    ? run.campaigns_per_s / base.campaigns_per_s
+                    : 0.0);
+    if (run.fingerprint != base.fingerprint) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "DETERMINISM FAILURE: %u-worker run diverged from the "
+                   "single-worker run\n",
+                   workers);
+    }
+    if (workers == hw) {
+      break;  // hw may equal 2; don't measure it twice
+    }
+  }
+  report.set_metric("workers_hw", static_cast<double>(hw));
+  report.set_metric("determinism_ok", deterministic ? 1.0 : 0.0);
+  std::printf("determinism across worker counts: %s\n",
+              deterministic ? "ok (bit-identical)" : "FAILED");
+
+  if (!report.write(path)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return deterministic ? 0 : 1;
+}
+
+void run() {
+  bench::print_header(
+      "E20  Parallel harness scaling",
+      "the seeded-sharding runner turns worker threads into wall-clock "
+      "speedup while every verdict and metric stays bit-identical to the "
+      "sequential run");
+
+  util::Table table({"topology", "N", "campaigns", "workers", "campaigns/s",
+                     "speedup", "deterministic"});
+  const std::uint64_t kCampaigns = 24;
+  const unsigned hw = par::ThreadPool::hardware_workers();
+  for (const char* topology : {"random", "torus"}) {
+    const auto g = graph::make_by_name(topology, 16, 42);
+    if (!g.has_value()) {
+      continue;
+    }
+    const chaos::SoakOptions soak = workload(kCampaigns);
+    std::vector<unsigned> counts = {1, 2, 4};
+    if (hw > 4) {
+      counts.push_back(hw);
+    }
+    TimedRun base;
+    for (const unsigned workers : counts) {
+      const TimedRun run = timed_soak(*g, soak, workers);
+      if (workers == 1) {
+        base = run;
+      }
+      table.add_row(
+          {topology, util::fmt(g->n()), util::fmt(kCampaigns),
+           util::fmt(workers), util::fmt(run.campaigns_per_s),
+           util::fmt(base.campaigns_per_s > 0.0
+                         ? run.campaigns_per_s / base.campaigns_per_s
+                         : 0.0),
+           run.fingerprint == base.fingerprint ? "yes" : "NO"});
+    }
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+}  // namespace snappif
+
+int main(int argc, char** argv) {
+  const snappif::util::Cli cli(argc, argv);
+  if (cli.has("quick") || cli.has("json")) {
+    return snappif::run_quick_report(cli);
+  }
+  snappif::bench::init(argc, argv);
+  snappif::run();
+  return 0;
+}

@@ -26,8 +26,8 @@ using namespace snappif;
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto n = static_cast<graph::NodeId>(cli.get_int("n", 9));
-  const auto barriers = static_cast<std::uint64_t>(cli.get_int("barriers", 6));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
+  const std::uint64_t barriers = cli.get_u64("barriers", 6);
+  const std::uint64_t seed = cli.get_u64("seed", 11);
 
   const graph::Graph g = graph::make_grid(3, std::max<graph::NodeId>(3, n / 3));
   pif::PifProtocol protocol(g, pif::Params::for_graph(g));

@@ -20,9 +20,9 @@ using namespace snappif;
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto n = static_cast<graph::NodeId>(cli.get_int("n", 12));
-  const auto trials = static_cast<std::uint64_t>(cli.get_int("trials", 10));
+  const std::uint64_t trials = cli.get_u64("trials", 10);
   const double loss = cli.get_double("loss", 0.1);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+  const std::uint64_t seed = cli.get_u64("seed", 5);
 
   const graph::Graph g = graph::make_random_connected(n, n, seed);
   std::printf("network: %u processors, %zu links\n\n", g.n(), g.m());

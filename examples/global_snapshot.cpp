@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto n = static_cast<graph::NodeId>(cli.get_int("n", 12));
   const auto waves = static_cast<int>(cli.get_int("rounds", 3));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 21));
+  const std::uint64_t seed = cli.get_u64("seed", 21);
 
   const graph::Graph g = graph::make_random_connected(n, n, seed);
   pif::PifProtocol protocol(g, pif::Params::for_graph(g));

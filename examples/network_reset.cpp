@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto n = static_cast<graph::NodeId>(cli.get_int("n", 12));
   const auto fault_rounds = static_cast<int>(cli.get_int("faults", 3));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const std::uint64_t seed = cli.get_u64("seed", 7);
 
   const graph::Graph g = graph::make_random_connected(n, n, seed);
   pif::PifProtocol protocol(g, pif::Params::for_graph(g));

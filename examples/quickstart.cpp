@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto n = static_cast<graph::NodeId>(cli.get_int("n", 8));
   const std::string topology = cli.get_string("topology", "ring");
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::uint64_t seed = cli.get_u64("seed", 1);
 
   const graph::Graph g = make_topology(topology, n);
   std::printf("network: %s with %u processors, %zu links; root = 0\n\n",

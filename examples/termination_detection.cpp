@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto n = static_cast<graph::NodeId>(cli.get_int("n", 10));
   const auto work = static_cast<std::uint32_t>(cli.get_int("work", 25));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+  const std::uint64_t seed = cli.get_u64("seed", 3);
 
   const graph::Graph g = graph::make_random_connected(n, n / 2, seed);
   Workload workload(g, work, seed * 3 + 1);

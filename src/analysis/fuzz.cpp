@@ -1,0 +1,98 @@
+#include "analysis/fuzz.hpp"
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "par/shard.hpp"
+#include "pif/faults.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::analysis {
+
+FuzzInstance fuzz_instance(const FuzzOptions& opts, std::uint64_t index) {
+  util::Rng rng(par::shard_seed(opts.master_seed, index));
+  const auto daemons = sim::standard_daemon_kinds();
+  const auto corruptions = pif::all_corruption_kinds();
+
+  FuzzInstance inst;
+  inst.n = static_cast<graph::NodeId>(3 + rng.below(opts.max_n - 2));
+  inst.extra_edges = rng.below(2 * inst.n);
+  inst.graph_seed = rng();
+  inst.daemon = daemons[rng.below(daemons.size())];
+  inst.corruption = corruptions[rng.below(corruptions.size())];
+  inst.policy = rng.chance(0.5) ? sim::ActionPolicy::kFirstEnabled
+                                : sim::ActionPolicy::kRandomEnabled;
+  inst.root = static_cast<sim::ProcessorId>(rng.below(inst.n));
+  inst.run_seed = rng();
+  return inst;
+}
+
+std::optional<FuzzFailure> run_fuzz_iteration(const FuzzOptions& opts,
+                                              std::uint64_t index) {
+  const FuzzInstance inst = fuzz_instance(opts, index);
+  const graph::Graph g = graph::make_random_connected(
+      inst.n, inst.extra_edges, inst.graph_seed);
+
+  RunConfig rc;
+  rc.daemon = inst.daemon;
+  rc.corruption = inst.corruption;
+  rc.policy = inst.policy;
+  rc.root = inst.root;
+  rc.seed = inst.run_seed;
+  rc.tweak_params = opts.tweak_params;
+
+  const SnapResult result = check_snap_first_cycle(g, rc);
+  if (result.cycle_completed && result.ok()) {
+    return std::nullopt;
+  }
+  return FuzzFailure{index, inst, result};
+}
+
+FuzzReport run_fuzz(
+    const FuzzOptions& opts, std::uint64_t iterations, par::ThreadPool* pool,
+    const std::function<void(std::uint64_t, const FuzzInstance&)>& progress) {
+  FuzzReport report;
+  std::uint64_t next = 0;
+  while (iterations == 0 || next < iterations) {
+    const std::uint64_t wave_begin = next;
+    std::uint64_t wave_len = kFuzzWaveIterations;
+    if (iterations != 0) {
+      wave_len = std::min(wave_len, iterations - wave_begin);
+    }
+    // Shard boundaries depend only on the wave shape, never on the pool.
+    const std::size_t shards = static_cast<std::size_t>(
+        (wave_len + kFuzzIterationsPerShard - 1) / kFuzzIterationsPerShard);
+    auto shard_failures = par::run_shards(
+        opts.master_seed, shards,
+        [&](par::ShardContext& ctx) {
+          std::vector<FuzzFailure> found;
+          const std::uint64_t lo =
+              wave_begin + ctx.index * kFuzzIterationsPerShard;
+          const std::uint64_t hi = std::min(
+              wave_begin + wave_len, lo + kFuzzIterationsPerShard);
+          for (std::uint64_t i = lo; i < hi; ++i) {
+            if (auto failure = run_fuzz_iteration(opts, i)) {
+              found.push_back(std::move(*failure));
+            }
+          }
+          return found;
+        },
+        pool);
+    next = wave_begin + wave_len;
+    report.iterations_run = next;
+    for (auto& failures : shard_failures) {  // shard order == index order
+      for (auto& f : failures) {
+        report.failures.push_back(std::move(f));
+      }
+    }
+    if (!report.failures.empty()) {
+      return report;  // first failing wave; failures already index-sorted
+    }
+    if (progress) {
+      progress(next, fuzz_instance(opts, next - 1));
+    }
+  }
+  return report;
+}
+
+}  // namespace snappif::analysis

@@ -1,0 +1,92 @@
+// Randomized snap-property fuzzing as a library (the engine behind the
+// snappif_fuzz tool and its determinism tests).
+//
+// The instance for iteration i is a PURE FUNCTION of (master_seed, i): the
+// iteration draws everything from an RNG seeded with
+// par::shard_seed(master_seed, i).  That is what makes the parallel run a
+// refactoring-invariant of the sequential one — shards own disjoint index
+// ranges, every index computes the same instance and verdict everywhere, and
+// "first failure" is simply the lowest failing index.  (The pre-parallel
+// tool threaded one rolling RNG through all iterations, so replaying run k
+// required re-running 1..k-1; the index-seeded scheme replays any iteration
+// in isolation: snappif_fuzz --seed=M --only=I.)
+//
+// run_fuzz processes indices in fixed WAVES (kWaveIterations each, cut into
+// kShardsPerWave shards) regardless of worker count, and stops after the
+// first wave that contains a failure.  Fixed wave boundaries mean the set of
+// reported failures — every failure in that wave, sorted by index — is
+// identical for 1, 2, or 8 workers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "analysis/runners.hpp"
+#include "graph/graph.hpp"
+#include "par/pool.hpp"
+
+namespace snappif::analysis {
+
+struct FuzzOptions {
+  std::uint64_t master_seed = 1;
+  /// Random instances use n in [3, max_n].
+  graph::NodeId max_n = 24;
+  /// Broken-variant hook forwarded to RunConfig::tweak_params (tests use a
+  /// guard ablation to make violations reachable).
+  std::function<void(pif::Params&)> tweak_params;
+};
+
+/// The fully derived random instance of one iteration (everything needed to
+/// print a human-readable reproduction recipe).
+struct FuzzInstance {
+  graph::NodeId n = 0;
+  std::uint64_t extra_edges = 0;
+  std::uint64_t graph_seed = 0;
+  sim::DaemonKind daemon = sim::DaemonKind::kDistributedRandom;
+  pif::CorruptionKind corruption = pif::CorruptionKind::kUniformRandom;
+  sim::ActionPolicy policy = sim::ActionPolicy::kFirstEnabled;
+  sim::ProcessorId root = 0;
+  std::uint64_t run_seed = 0;
+};
+
+struct FuzzFailure {
+  std::uint64_t index = 0;  // iteration index (0-based)
+  FuzzInstance instance;
+  SnapResult result;
+};
+
+/// Derives iteration `index`'s instance without running it.
+[[nodiscard]] FuzzInstance fuzz_instance(const FuzzOptions& opts,
+                                         std::uint64_t index);
+
+/// Runs exactly one iteration; a failure reports the violated snap check.
+[[nodiscard]] std::optional<FuzzFailure> run_fuzz_iteration(
+    const FuzzOptions& opts, std::uint64_t index);
+
+struct FuzzReport {
+  std::uint64_t iterations_run = 0;
+  /// All failures of the first failing wave, sorted by index; empty on a
+  /// clean run.  failures.front() is THE deterministic first failure.
+  std::vector<FuzzFailure> failures;
+};
+
+/// Wave shape: fixed so results cannot depend on worker count.
+inline constexpr std::uint64_t kFuzzIterationsPerShard = 16;
+inline constexpr std::uint64_t kFuzzShardsPerWave = 16;
+inline constexpr std::uint64_t kFuzzWaveIterations =
+    kFuzzIterationsPerShard * kFuzzShardsPerWave;
+
+/// Runs iterations [0, iterations) — 0 means unbounded, which requires a
+/// failure (or an external SIGKILL) to stop, exactly like the tool's soak
+/// mode.  `progress` (optional) is called after each wave with the total
+/// number of iterations completed.  Deterministic in (opts, iterations) for
+/// any `pool`, including none.
+[[nodiscard]] FuzzReport run_fuzz(
+    const FuzzOptions& opts, std::uint64_t iterations,
+    par::ThreadPool* pool = nullptr,
+    const std::function<void(std::uint64_t, const FuzzInstance&)>& progress =
+        {});
+
+}  // namespace snappif::analysis

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <bit>
-#include <deque>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "par/shard.hpp"
 #include "sim/configuration.hpp"
 #include "sim/protocol.hpp"
 #include "util/assert.hpp"
@@ -161,76 +161,141 @@ class Packer {
   unsigned ghost_offset_ = 0;
 };
 
-/// Calls `fn(states)` for every configuration of the full variable domains.
-template <typename Fn>
-void enumerate_configs(const graph::Graph& g, const PifProtocol& protocol,
-                       Fn&& fn) {
-  const auto& params = protocol.params();
-  const ProcessorId n = g.n();
-  std::vector<State> states(n);
-  for (ProcessorId p = 0; p < n; ++p) {
-    states[p] = protocol.initial_state(p);
+/// The full product of the variable domains of Section 3 as a mixed-radix
+/// number, range-enumerable so contiguous index ranges can be handed to
+/// shards.  fields_[0] is the LEAST significant digit; enumeration order is
+/// therefore identical to the pre-parallel odometer, and the configuration
+/// at linear index i is a pure function of i.
+class ConfigSpace {
+ public:
+  ConfigSpace(const graph::Graph& g, const PifProtocol& protocol)
+      : g_(&g), protocol_(&protocol) {
+    const auto& params = protocol.params();
+    for (ProcessorId p = 0; p < g.n(); ++p) {
+      fields_.push_back({p, 0, 3});
+      fields_.push_back({p, 1, 2});
+      fields_.push_back({p, 2, params.n_upper});
+      if (!protocol.is_root(p)) {
+        fields_.push_back({p, 3, params.l_max});
+        fields_.push_back({p, 4, g.degree(p)});
+      }
+    }
+    total_ = 1;
+    for (const auto& f : fields_) {
+      SNAPPIF_ASSERT_MSG(
+          f.radix != 0 && total_ <= ~std::uint64_t{0} / f.radix,
+          "configuration space exceeds 2^64 linear indices");
+      total_ *= f.radix;
+    }
   }
 
-  // Mixed-radix odometer over (pif, fok, count, level, parent) per processor.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Calls `fn(states)` for the configurations with linear indices in
+  /// [lo, hi).  Decodes `lo` into mixed-radix digits, then runs the
+  /// odometer — O(digits) startup, O(1) amortized per configuration.
+  /// Thread-safe: all mutable state is local to the call.
+  template <typename Fn>
+  void enumerate_range(std::uint64_t lo, std::uint64_t hi, Fn&& fn) const {
+    if (lo >= hi) {
+      return;
+    }
+    const ProcessorId n = g_->n();
+    std::vector<State> states(n);
+    for (ProcessorId p = 0; p < n; ++p) {
+      states[p] = protocol_->initial_state(p);
+    }
+    std::vector<std::uint64_t> value(fields_.size(), 0);
+    std::uint64_t rem = lo;
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      value[i] = rem % fields_[i].radix;
+      rem /= fields_[i].radix;
+    }
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      materialize(i, value[i], states);
+    }
+    for (std::uint64_t index = lo; index < hi; ++index) {
+      fn(const_cast<const std::vector<State>&>(states));
+      // Odometer increment.
+      std::size_t i = 0;
+      for (; i < fields_.size(); ++i) {
+        if (++value[i] < fields_[i].radix) {
+          materialize(i, value[i], states);
+          break;
+        }
+        value[i] = 0;
+        materialize(i, 0, states);
+      }
+      if (i == fields_.size()) {
+        return;  // wrapped past the last configuration (hi == total)
+      }
+    }
+  }
+
+  /// Splits [0, total) into up to `want` contiguous ranges of near-equal
+  /// length (a pure function of (total, want) — never of worker count).
+  struct Range {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+  };
+  [[nodiscard]] std::vector<Range> split(std::size_t want) const {
+    const std::uint64_t shards =
+        std::max<std::uint64_t>(1, std::min<std::uint64_t>(want, total_));
+    const std::uint64_t base = total_ / shards;
+    const std::uint64_t rem = total_ % shards;
+    std::vector<Range> out;
+    out.reserve(shards);
+    std::uint64_t lo = 0;
+    for (std::uint64_t i = 0; i < shards; ++i) {
+      const std::uint64_t len = base + (i < rem ? 1 : 0);
+      out.push_back({lo, lo + len});
+      lo += len;
+    }
+    return out;
+  }
+
+ private:
   struct Field {
     ProcessorId p;
     int kind;  // 0=pif 1=fok 2=count 3=level 4=parent
     std::uint64_t radix;
-    std::uint64_t value = 0;
   };
-  std::vector<Field> fields;
-  for (ProcessorId p = 0; p < n; ++p) {
-    fields.push_back({p, 0, 3, 0});
-    fields.push_back({p, 1, 2, 0});
-    fields.push_back({p, 2, params.n_upper, 0});
-    if (!protocol.is_root(p)) {
-      fields.push_back({p, 3, params.l_max, 0});
-      fields.push_back({p, 4, g.degree(p), 0});
-    }
-  }
-  auto materialize = [&](const Field& f) {
+
+  void materialize(std::size_t i, std::uint64_t v,
+                   std::vector<State>& states) const {
+    const Field& f = fields_[i];
     State& s = states[f.p];
     switch (f.kind) {
       case 0:
-        s.pif = static_cast<Phase>(f.value);
+        s.pif = static_cast<Phase>(v);
         break;
       case 1:
-        s.fok = f.value != 0;
+        s.fok = v != 0;
         break;
       case 2:
-        s.count = static_cast<std::uint32_t>(f.value) + 1;
+        s.count = static_cast<std::uint32_t>(v) + 1;
         break;
       case 3:
-        s.level = static_cast<std::uint32_t>(f.value) + 1;
+        s.level = static_cast<std::uint32_t>(v) + 1;
         break;
       case 4:
-        s.parent = g.neighbors(f.p)[f.value];
+        s.parent = g_->neighbors(f.p)[v];
         break;
       default:
         SNAPPIF_ASSERT(false);
     }
-  };
-  for (auto& f : fields) {
-    materialize(f);
   }
-  while (true) {
-    fn(const_cast<const std::vector<State>&>(states));
-    // Odometer increment.
-    std::size_t i = 0;
-    for (; i < fields.size(); ++i) {
-      if (++fields[i].value < fields[i].radix) {
-        materialize(fields[i]);
-        break;
-      }
-      fields[i].value = 0;
-      materialize(fields[i]);
-    }
-    if (i == fields.size()) {
-      return;
-    }
-  }
-}
+
+  const graph::Graph* g_;
+  const PifProtocol* protocol_;
+  std::vector<Field> fields_;
+  std::uint64_t total_ = 1;
+};
+
+/// How many ranges the packed-configuration space is cut into.  Fixed (not
+/// worker-derived) so shard boundaries — and thus per-shard results — are
+/// invariants of the workload.
+constexpr std::size_t kConfigShards = 64;
 
 /// All (processor, enabled-action-list) pairs of a configuration.
 struct EnabledInfo {
@@ -254,103 +319,54 @@ std::vector<EnabledInfo> enabled_info(const Config& c,
   return out;
 }
 
-}  // namespace
+/// Per-chunk counter deltas plus the successors discovered, in generation
+/// order.  Folding deltas in chunk order reconstructs exactly the sequential
+/// totals: every visited state is expanded exactly once and all counters are
+/// order-independent sums over expanded states.
+struct ExpandDelta {
+  std::uint64_t transitions = 0;
+  std::uint64_t cycle_closures = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t deadlocks = 0;
+  std::vector<std::uint64_t> successors;
+};
 
-unsigned packed_state_bits(const graph::Graph& g, const PifProtocol& protocol) {
-  return Packer(g, protocol).total_bits();
-}
+/// Expands packed (config, ghost) states: every non-empty subset of enabled
+/// processors x every enabled-action choice (the full distributed daemon).
+/// One instance per chunk task — all scratch is owned, the protocol and
+/// packer are shared read-only.
+class Expander {
+ public:
+  Expander(const graph::Graph& g, const PifProtocol& protocol,
+           const Packer& packer)
+      : protocol_(&protocol),
+        packer_(&packer),
+        n_(g.n()),
+        root_(protocol.root()),
+        all_non_root_mask_(
+            g.n() >= 2 ? (std::uint32_t{1} << (g.n() - 1)) - 1 : 0),
+        c_(g, protocol.initial_state(0)) {}
 
-DeadlockReport check_no_deadlock(const graph::Graph& g,
-                                 const PifProtocol& protocol) {
-  DeadlockReport report;
-  Packer packer(g, protocol);
-  Config scratch(g, protocol.initial_state(0));
-  enumerate_configs(g, protocol, [&](const std::vector<State>& states) {
-    ++report.configurations;
-    for (ProcessorId p = 0; p < g.n(); ++p) {
-      scratch.state(p) = states[p];
-    }
-    bool any = false;
-    for (ProcessorId p = 0; p < g.n() && !any; ++p) {
-      any = protocol.enabled_mask(scratch, p) != 0;
-    }
-    if (!any) {
-      if (report.deadlocks == 0) {
-        report.witness = packer.pack(states, {});
-      }
-      ++report.deadlocks;
-    }
-  });
-  return report;
-}
-
-SnapCheckReport exhaustive_snap_check(const graph::Graph& g,
-                                      const PifProtocol& protocol,
-                                      std::uint64_t max_states,
-                                      bool normal_starts_only) {
-  SnapCheckReport report;
-  Packer packer(g, protocol);
-  SNAPPIF_ASSERT_MSG(packer.total_bits() <= 64,
-                     "instance too large for 64-bit lossless packing");
-  const ProcessorId n = g.n();
-  const ProcessorId root = protocol.root();
-  const std::uint32_t all_non_root_mask =
-      n >= 2 ? (std::uint32_t{1} << (n - 1)) - 1 : 0;
-
-  std::unordered_set<std::uint64_t> visited;
-  std::deque<std::uint64_t> queue;
-  visited.reserve(1 << 20);
-
-  // Seed with every configuration (or every all-Normal one), ghost inactive.
-  {
-    Config seed_config(g, protocol.initial_state(0));
-    enumerate_configs(g, protocol, [&](const std::vector<State>& states) {
-      if (normal_starts_only) {
-        for (ProcessorId p = 0; p < n; ++p) {
-          seed_config.state(p) = states[p];
-        }
-        for (ProcessorId p = 0; p < n; ++p) {
-          if (!pif::GuardEval(protocol, seed_config, p).normal) {
-            return;
-          }
-        }
-      }
-      const std::uint64_t packed = packer.pack(states, {});
-      if (visited.insert(packed).second) {
-        queue.push_back(packed);
-      }
-    });
-  }
-
-  Config c(g, protocol.initial_state(0));
-  std::vector<State> states;
-  Packer::Ghost ghost;
-
-  while (!queue.empty()) {
-    if (visited.size() > max_states) {
-      report.states = visited.size();
-      report.complete = false;
-      return report;
-    }
-    const std::uint64_t packed = queue.front();
-    queue.pop_front();
-    packer.unpack(packed, states, ghost);
-    for (ProcessorId p = 0; p < n; ++p) {
-      c.state(p) = states[p];
+  void expand(std::uint64_t packed, ExpandDelta& delta) {
+    packer_->unpack(packed, states_, ghost_);
+    for (ProcessorId p = 0; p < n_; ++p) {
+      c_.state(p) = states_[p];
     }
 
-    const auto enabled = enabled_info(c, protocol);
+    const auto enabled = enabled_info(c_, *protocol_);
     if (enabled.empty()) {
-      ++report.deadlocks;
-      continue;
+      ++delta.deadlocks;
+      return;
     }
 
     // Every non-empty subset of enabled processors...
     const std::size_t k = enabled.size();
     SNAPPIF_ASSERT_MSG(k <= 20, "too many enabled processors for subset loop");
-    for (std::uint32_t subset = 1; subset < (std::uint32_t{1} << k); ++subset) {
+    for (std::uint32_t subset = 1; subset < (std::uint32_t{1} << k);
+         ++subset) {
       // ... and every combination of enabled-action choices.
-      std::vector<std::size_t> idx;       // positions of set bits
+      std::vector<std::size_t> idx;  // positions of set bits
       for (std::size_t i = 0; i < k; ++i) {
         if (subset & (std::uint32_t{1} << i)) {
           idx.push_back(i);
@@ -359,66 +375,71 @@ SnapCheckReport exhaustive_snap_check(const graph::Graph& g,
       std::vector<std::size_t> choice(idx.size(), 0);
       while (true) {
         // Apply this step.
-        std::vector<State> next = states;
-        Packer::Ghost next_ghost = ghost;
+        std::vector<State> next = states_;
+        Packer::Ghost next_ghost = ghost_;
         bool closed_cycle = false;
         bool closed_ok = true;
         for (std::size_t j = 0; j < idx.size(); ++j) {
           const EnabledInfo& info = enabled[idx[j]];
           const ActionId a = info.actions[choice[j]];
-          next[info.p] = protocol.apply(c, info.p, a);
+          next[info.p] = protocol_->apply(c_, info.p, a);
           // Ghost transition (mirrors pif::GhostTracker with a "holds
           // current message" abstraction instead of unbounded ids).
-          if (info.p == root) {
+          if (info.p == root_) {
             if (a == pif::kBAction) {
               next_ghost.active = true;
               next_ghost.received = 0;
               next_ghost.holds = 0;
               next_ghost.acked = 0;
-            } else if (a == pif::kFAction && ghost.active) {
+            } else if (a == pif::kFAction && ghost_.active) {
               closed_cycle = true;
-              closed_ok = ghost.received == all_non_root_mask &&
-                          ghost.acked == all_non_root_mask;
+              closed_ok = ghost_.received == all_non_root_mask_ &&
+                          ghost_.acked == all_non_root_mask_;
               next_ghost = Packer::Ghost{};
-            } else if (a == pif::kBCorrection && ghost.active) {
-              ++report.aborts;
+            } else if (a == pif::kBCorrection && ghost_.active) {
+              ++delta.aborts;
               next_ghost = Packer::Ghost{};
             }
           } else {
             const std::uint32_t bit = std::uint32_t{1}
-                                      << packer.non_root_index(info.p);
+                                      << packer_->non_root_index(info.p);
             if (a == pif::kBAction) {
               // Reads the parent's pre-step ghost (order-independent; the
               // chosen parent cannot execute B-action in the same step).
               const ProcessorId parent = next[info.p].parent;
               const bool parent_holds =
-                  parent == root
-                      ? ghost.active
-                      : (ghost.holds &
-                         (std::uint32_t{1} << packer.non_root_index(parent))) != 0;
-              if (parent_holds && ghost.active) {
+                  parent == root_
+                      ? ghost_.active
+                      : (ghost_.holds &
+                         (std::uint32_t{1}
+                          << packer_->non_root_index(parent))) != 0;
+              if (parent_holds && ghost_.active) {
                 next_ghost.holds |= bit;
                 next_ghost.received |= bit;
               } else {
                 next_ghost.holds &= ~bit;
               }
-            } else if (a == pif::kFAction && ghost.active) {
-              if ((ghost.holds & bit) != 0) {
+            } else if (a == pif::kFAction && ghost_.active) {
+              if ((ghost_.holds & bit) != 0) {
                 next_ghost.acked |= bit;
               }
             }
           }
         }
         if (closed_cycle) {
-          ++report.cycle_closures;
+          ++delta.cycle_closures;
           if (!closed_ok) {
-            ++report.violations;
+            ++delta.violations;
           }
         }
-        ++report.transitions;
-        const std::uint64_t next_packed = packer.pack(next, next_ghost);
-        if (visited.insert(next_packed).second) {
-          queue.push_back(next_packed);
+        ++delta.transitions;
+        const std::uint64_t next_packed = packer_->pack(next, next_ghost);
+        // Chunk-local dedup (memory bound); the global visited set at the
+        // join is still authoritative.  First-occurrence order within a
+        // chunk is fixed by the chunk content, so this preserves the
+        // worker-count invariance of the fold.
+        if (seen_.insert(next_packed).second) {
+          delta.successors.push_back(next_packed);
         }
 
         // Odometer over action choices.
@@ -435,6 +456,171 @@ SnapCheckReport exhaustive_snap_check(const graph::Graph& g,
       }
     }
   }
+
+ private:
+  const PifProtocol* protocol_;
+  const Packer* packer_;
+  ProcessorId n_;
+  ProcessorId root_;
+  std::uint32_t all_non_root_mask_;
+  Config c_;
+  std::vector<State> states_;
+  Packer::Ghost ghost_;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace
+
+unsigned packed_state_bits(const graph::Graph& g, const PifProtocol& protocol) {
+  return Packer(g, protocol).total_bits();
+}
+
+DeadlockReport check_no_deadlock(const graph::Graph& g,
+                                 const PifProtocol& protocol,
+                                 par::ThreadPool* pool) {
+  const ConfigSpace space(g, protocol);
+  const Packer packer(g, protocol);
+  const auto ranges = space.split(kConfigShards);
+
+  struct ShardResult {
+    std::uint64_t configurations = 0;
+    std::uint64_t deadlocks = 0;
+    std::uint64_t witness = 0;
+  };
+  auto results = par::run_shards(
+      /*master_seed=*/0, ranges.size(),
+      [&](par::ShardContext& ctx) {
+        ShardResult r;
+        Config scratch(g, protocol.initial_state(0));
+        space.enumerate_range(
+            ranges[ctx.index].lo, ranges[ctx.index].hi,
+            [&](const std::vector<State>& states) {
+              ++r.configurations;
+              for (ProcessorId p = 0; p < g.n(); ++p) {
+                scratch.state(p) = states[p];
+              }
+              bool any = false;
+              for (ProcessorId p = 0; p < g.n() && !any; ++p) {
+                any = protocol.enabled_mask(scratch, p) != 0;
+              }
+              if (!any) {
+                if (r.deadlocks == 0) {
+                  r.witness = packer.pack(states, {});
+                }
+                ++r.deadlocks;
+              }
+            });
+        return r;
+      },
+      pool);
+
+  // Shard order == enumeration order, so the first deadlock of the lowest
+  // deadlocked shard IS the sequential first deadlock.
+  DeadlockReport report;
+  for (const auto& r : results) {
+    if (report.deadlocks == 0 && r.deadlocks != 0) {
+      report.witness = r.witness;
+    }
+    report.configurations += r.configurations;
+    report.deadlocks += r.deadlocks;
+  }
+  return report;
+}
+
+SnapCheckReport exhaustive_snap_check(const graph::Graph& g,
+                                      const PifProtocol& protocol,
+                                      std::uint64_t max_states,
+                                      bool normal_starts_only,
+                                      par::ThreadPool* pool) {
+  SnapCheckReport report;
+  Packer packer(g, protocol);
+  SNAPPIF_ASSERT_MSG(packer.total_bits() <= 64,
+                     "instance too large for 64-bit lossless packing");
+  const ConfigSpace space(g, protocol);
+  const ProcessorId n = g.n();
+
+  std::unordered_set<std::uint64_t> visited;
+  visited.reserve(1 << 20);
+  std::vector<std::uint64_t> frontier;
+
+  // Seed with every configuration (or every all-Normal one), ghost inactive.
+  // Shards enumerate disjoint index ranges; packing is injective, so the
+  // per-shard lists are globally duplicate-free and the fold in shard order
+  // reproduces the sequential seeding order exactly.
+  {
+    const auto ranges = space.split(kConfigShards);
+    auto seed_lists = par::run_shards(
+        /*master_seed=*/0, ranges.size(),
+        [&](par::ShardContext& ctx) {
+          std::vector<std::uint64_t> seeds;
+          Config seed_config(g, protocol.initial_state(0));
+          space.enumerate_range(
+              ranges[ctx.index].lo, ranges[ctx.index].hi,
+              [&](const std::vector<State>& states) {
+                if (normal_starts_only) {
+                  for (ProcessorId p = 0; p < n; ++p) {
+                    seed_config.state(p) = states[p];
+                  }
+                  for (ProcessorId p = 0; p < n; ++p) {
+                    if (!pif::GuardEval(protocol, seed_config, p).normal) {
+                      return;
+                    }
+                  }
+                }
+                seeds.push_back(packer.pack(states, {}));
+              });
+          return seeds;
+        },
+        pool);
+    for (const auto& seeds : seed_lists) {
+      for (const std::uint64_t packed : seeds) {
+        if (visited.insert(packed).second) {
+          frontier.push_back(packed);
+        }
+      }
+    }
+  }
+
+  // Level-synchronous BFS.  Each frontier is cut into fixed-size chunks
+  // (a function of the frontier alone, never of worker count); chunk deltas
+  // and successor lists are folded in chunk order, so visited content,
+  // frontier order, and every counter are bit-identical for any pool.
+  constexpr std::size_t kChunk = 512;
+  while (!frontier.empty()) {
+    if (visited.size() > max_states) {
+      report.states = visited.size();
+      report.complete = false;
+      return report;
+    }
+    const std::size_t chunks = (frontier.size() + kChunk - 1) / kChunk;
+    auto deltas = par::run_shards(
+        /*master_seed=*/0, chunks,
+        [&](par::ShardContext& ctx) {
+          ExpandDelta delta;
+          Expander expander(g, protocol, packer);
+          const std::size_t lo = ctx.index * kChunk;
+          const std::size_t hi = std::min(frontier.size(), lo + kChunk);
+          for (std::size_t i = lo; i < hi; ++i) {
+            expander.expand(frontier[i], delta);
+          }
+          return delta;
+        },
+        pool);
+    std::vector<std::uint64_t> next_frontier;
+    for (auto& delta : deltas) {
+      report.transitions += delta.transitions;
+      report.cycle_closures += delta.cycle_closures;
+      report.violations += delta.violations;
+      report.aborts += delta.aborts;
+      report.deadlocks += delta.deadlocks;
+      for (const std::uint64_t packed : delta.successors) {
+        if (visited.insert(packed).second) {
+          next_frontier.push_back(packed);
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
   report.states = visited.size();
   report.complete = true;
   return report;
@@ -447,11 +633,9 @@ LivenessReport synchronous_liveness_check(const graph::Graph& g,
   Packer packer(g, protocol);
   SNAPPIF_ASSERT_MSG(packer.total_bits() <= 64,
                      "instance too large for 64-bit lossless packing");
+  const ConfigSpace space(g, protocol);
   const ProcessorId n = g.n();
   const ProcessorId root = protocol.root();
-  const std::uint32_t all_non_root_mask =
-      n >= 2 ? (std::uint32_t{1} << (n - 1)) - 1 : 0;
-  (void)all_non_root_mask;
 
   Config c(g, protocol.initial_state(0));
   std::vector<State> states;
@@ -464,7 +648,9 @@ LivenessReport synchronous_liveness_check(const graph::Graph& g,
   memo.reserve(1 << 18);
 
   // Deterministic synchronous successor; sets `closed` if the transition
-  // completes a tracked cycle.
+  // completes a tracked cycle.  The memoized chain walk is inherently
+  // sequential (each start reuses distances discovered by earlier starts),
+  // so this check stays single-threaded.
   auto successor = [&](std::uint64_t packed, bool& closed,
                        bool& terminal) -> std::uint64_t {
     packer.unpack(packed, states, ghost);
@@ -522,7 +708,7 @@ LivenessReport synchronous_liveness_check(const graph::Graph& g,
   };
 
   report.complete = true;
-  enumerate_configs(g, protocol, [&](const std::vector<State>& start) {
+  space.enumerate_range(0, space.total(), [&](const std::vector<State>& start) {
     ++report.start_configs;
     const std::uint64_t start_packed = packer.pack(start, {});
     if (memo.count(start_packed) != 0) {

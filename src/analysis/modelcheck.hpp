@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "graph/graph.hpp"
+#include "par/pool.hpp"
 #include "pif/protocol.hpp"
 
 namespace snappif::analysis {
@@ -38,8 +39,14 @@ struct DeadlockReport {
 /// Enumerates every configuration of `protocol` on its graph and counts
 /// configurations with no enabled processor.  Feasible up to ~40M
 /// configurations (n = 4 with canonical parameters).
+///
+/// With a pool, the packed-configuration space is partitioned into
+/// contiguous index ranges checked concurrently; counts are sums and the
+/// witness is the first deadlock in enumeration order (lowest range wins),
+/// so the report is bit-identical for any worker count, including none.
 [[nodiscard]] DeadlockReport check_no_deadlock(const graph::Graph& g,
-                                               const pif::PifProtocol& protocol);
+                                               const pif::PifProtocol& protocol,
+                                               par::ThreadPool* pool = nullptr);
 
 struct SnapCheckReport {
   bool complete = false;          // false if the state cap was hit
@@ -59,9 +66,18 @@ struct SnapCheckReport {
 /// within 3·Lmax+3 rounds) that stays tractable one network size further
 /// (n = 4: the full space has ~36M configurations; the normal slice is
 /// small enough to explore).
+/// The exploration is level-synchronous: each BFS frontier is cut into
+/// fixed-size chunks expanded concurrently (when a pool is given), and the
+/// per-chunk counter deltas and successor lists are folded in chunk order.
+/// Every visited state is expanded exactly once and all report fields are
+/// order-independent sums, so the report is bit-identical for any worker
+/// count.  The `max_states` cap is checked between levels (a capped report
+/// may overshoot by up to one frontier's insertions, as report.states
+/// always told callers how far it got).
 [[nodiscard]] SnapCheckReport exhaustive_snap_check(
     const graph::Graph& g, const pif::PifProtocol& protocol,
-    std::uint64_t max_states = 200'000'000, bool normal_starts_only = false);
+    std::uint64_t max_states = 200'000'000, bool normal_starts_only = false,
+    par::ThreadPool* pool = nullptr);
 
 /// Number of bits needed to pack one full (config, ghost) state; the checks
 /// above require this to be <= 64.

@@ -44,6 +44,9 @@ pif::Params params_for(const graph::Graph& g, const RunConfig& rc) {
     params.l_max = rc.l_max_override;
   }
   params.min_level_potential = rc.min_level_potential;
+  if (rc.tweak_params) {
+    rc.tweak_params(params);
+  }
   return params;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,6 +33,10 @@ struct RunConfig {
   /// Overrides for the protocol parameters; 0 = canonical (for_graph).
   std::uint32_t l_max_override = 0;
   bool min_level_potential = true;  // E7 ablation switch
+  /// Hook for deliberately broken protocol variants (guard ablations);
+  /// applied by params_for after the overrides above.  Used by the fuzz
+  /// harness and its determinism tests to make violations findable.
+  std::function<void(pif::Params&)> tweak_params;
 };
 
 /// Milestones of error correction / tree formation (Theorems 1 and 3).

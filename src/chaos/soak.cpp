@@ -1,0 +1,88 @@
+#include "chaos/soak.hpp"
+
+#include "chaos/emulation_campaign.hpp"
+#include "chaos/mp_campaign.hpp"
+#include "par/shard.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::chaos {
+
+SoakJob soak_job(const SoakOptions& opts, std::uint64_t index) {
+  // Schedule first, then run seed, from one index-derived stream (the same
+  // draw order the rolling-RNG tool used per campaign).
+  util::Rng rng(par::shard_seed(opts.master_seed, index));
+  SoakJob job;
+  job.schedule = random_schedule(opts.shape, rng);
+  job.seed = rng();
+  return job;
+}
+
+SoakOutcome run_soak_campaign(const graph::Graph& g, const SoakOptions& opts,
+                              const SoakJob& job, std::uint64_t index,
+                              obs::Registry* registry) {
+  SoakOutcome outcome;
+  outcome.index = index;
+  outcome.schedule = job.schedule;
+  outcome.seed = job.seed;
+
+  CampaignOptions copts = opts.campaign;
+  copts.seed = job.seed;
+  copts.registry = registry;
+  outcome.shared = run_campaign(g, job.schedule, copts);
+
+  if (opts.run_mp) {
+    outcome.mp_run = true;
+    // Crash events need processor fault semantics only the emulation
+    // campaign implements; --emulate forces that runner for everything.
+    if (opts.emulate || job.schedule.contains(EventKind::kCrash)) {
+      outcome.used_emulation = true;
+      EmulationCampaignOptions emu_opts;
+      emu_opts.root = copts.root;
+      emu_opts.seed = job.seed;
+      emu_opts.registry = registry;
+      const EmulationCampaignResult er =
+          run_emulation_campaign(g, job.schedule, emu_opts);
+      outcome.mp_ok = er.ok();
+      outcome.mp_failure = er.failure;
+    } else {
+      MpCampaignOptions mp_opts;
+      mp_opts.root = copts.root;
+      mp_opts.seed = job.seed;
+      mp_opts.registry = registry;
+      const MpCampaignResult mr = run_mp_campaign(g, job.schedule, mp_opts);
+      outcome.mp_ok = mr.ok();
+      outcome.mp_failure = mr.failure;
+    }
+  }
+  return outcome;
+}
+
+SoakReport run_soak(const graph::Graph& g, const SoakOptions& opts,
+                    par::ThreadPool* pool) {
+  struct ShardOut {
+    SoakOutcome outcome;
+    obs::Registry metrics;
+  };
+  auto shards = par::run_shards(
+      opts.master_seed, static_cast<std::size_t>(opts.campaigns),
+      [&](par::ShardContext& ctx) {
+        ShardOut out;
+        out.outcome = run_soak_campaign(g, opts, soak_job(opts, ctx.index),
+                                        ctx.index, &out.metrics);
+        return out;
+      },
+      pool);
+
+  SoakReport report;
+  report.outcomes.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (!report.first_failure.has_value() && !shards[i].outcome.ok()) {
+      report.first_failure = i;
+    }
+    report.metrics.merge(shards[i].metrics);
+    report.outcomes.push_back(std::move(shards[i].outcome));
+  }
+  return report;
+}
+
+}  // namespace snappif::chaos

@@ -1,0 +1,97 @@
+// Deterministic chaos soak driver: the engine behind snappif_chaos soak
+// mode and the E18/E19 campaign benches, parallelizable over campaigns.
+//
+// Campaign `index`'s job (fault schedule + run seed) is a PURE FUNCTION of
+// (master_seed, index): both are drawn from an RNG seeded with
+// par::shard_seed(master_seed, index).  Each campaign runs as one shard with
+// its own obs::Registry; at the join, outcomes are collected in index order
+// and the registries are folded with Registry::merge in index order.  Both
+// the outcome list and every merged metric are therefore bit-identical for
+// any worker count, including a sequential run.  (The pre-parallel tool
+// threaded one rolling RNG through the soak and stopped at the first
+// failure; run_soak always runs every campaign — the verdict is the same,
+// and first_failure is simply the lowest failing index.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+#include "chaos/schedule.hpp"
+#include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "par/pool.hpp"
+
+namespace snappif::chaos {
+
+struct SoakOptions {
+  std::uint64_t master_seed = 1;
+  std::uint64_t campaigns = 20;
+  /// Shape of the random schedules (events, horizon, magnitudes, mp/crash).
+  CampaignShape shape;
+  /// Shared-memory campaign settings.  `seed` and `registry` are overwritten
+  /// per campaign; everything else (root, daemon, budget, tweak_params) is
+  /// forwarded as-is.
+  CampaignOptions campaign;
+  /// Also run each schedule against the message-passing runner.
+  bool run_mp = false;
+  /// Force the GuardedEmulation runner for the mp leg (schedules containing
+  /// crash events route there regardless).
+  bool emulate = false;
+};
+
+/// The fully derived job of one campaign.
+struct SoakJob {
+  FaultSchedule schedule;
+  std::uint64_t seed = 0;
+};
+
+/// Derives campaign `index`'s job without running it (repro printing,
+/// replay).  Pure in (opts.master_seed, opts.shape, index).
+[[nodiscard]] SoakJob soak_job(const SoakOptions& opts, std::uint64_t index);
+
+struct SoakOutcome {
+  std::uint64_t index = 0;
+  FaultSchedule schedule;
+  std::uint64_t seed = 0;
+  /// Shared-memory campaign verdict (always run).
+  CampaignResult shared;
+  // --- message-passing leg (when opts.run_mp) ---
+  bool mp_run = false;
+  bool used_emulation = false;
+  bool mp_ok = true;
+  std::string mp_failure;
+
+  [[nodiscard]] bool ok() const noexcept { return shared.ok() && mp_ok; }
+};
+
+/// Runs one (schedule, seed) job — the shared-memory campaign plus the
+/// optional mp leg — recording telemetry into `registry` (nullable).  The
+/// soak shards call this; the tool's --schedule replay mode reuses it so
+/// replays route exactly like the soak run they reproduce.
+[[nodiscard]] SoakOutcome run_soak_campaign(const graph::Graph& g,
+                                            const SoakOptions& opts,
+                                            const SoakJob& job,
+                                            std::uint64_t index,
+                                            obs::Registry* registry);
+
+struct SoakReport {
+  /// One outcome per campaign, in index order.
+  std::vector<SoakOutcome> outcomes;
+  /// Per-campaign registries merged in index order.
+  obs::Registry metrics;
+  /// Lowest failing campaign index — THE deterministic first failure.
+  std::optional<std::size_t> first_failure;
+
+  [[nodiscard]] bool ok() const noexcept { return !first_failure.has_value(); }
+};
+
+/// Runs opts.campaigns campaigns against the PIF on `g`.  Deterministic in
+/// (g, opts) for any `pool`, including none.
+[[nodiscard]] SoakReport run_soak(const graph::Graph& g,
+                                  const SoakOptions& opts,
+                                  par::ThreadPool* pool = nullptr);
+
+}  // namespace snappif::chaos

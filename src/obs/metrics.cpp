@@ -40,6 +40,21 @@ util::Histogram& Registry::histogram(std::string_view name,
       .first->second;
 }
 
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).inc(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name).set(g.value());
+  }
+  for (const auto& [name, s] : other.stats_) {
+    stats(name).merge(s);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.bucket_count(), h.bucket_width()).merge(h);
+  }
+}
+
 util::Table Registry::summary_table() const {
   util::Table table({"metric", "kind", "count", "value/mean", "min", "max"});
   for (const auto& [name, c] : counters_) {

@@ -56,6 +56,13 @@ class Registry {
                                            std::size_t bucket_count = 32,
                                            double bucket_width = 1.0);
 
+  /// Folds another registry into this one: counters and histogram buckets
+  /// add, stats merge (parallel Welford), gauges take `other`'s value
+  /// (last-write-wins in merge order).  The parallel harness gives every
+  /// worker its own registry and merges them at join in shard-index order,
+  /// so merged totals are identical for any worker count (src/par/README.md).
+  void merge(const Registry& other);
+
   [[nodiscard]] bool empty() const noexcept {
     return counters_.empty() && gauges_.empty() && stats_.empty() &&
            histograms_.empty();

@@ -1,0 +1,143 @@
+#include "par/pool.hpp"
+
+#include "util/assert.hpp"
+
+namespace snappif::par {
+
+unsigned ThreadPool::hardware_workers() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned workers) {
+  const unsigned count = workers == 0 ? hardware_workers() : workers;
+  deques_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  threads_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+bool ThreadPool::try_take(std::size_t self, std::size_t* out) {
+  const std::size_t w = deques_.size();
+  if (self < w) {
+    WorkerDeque& own = *deques_[self];
+    const std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      *out = own.tasks.back();  // own work: LIFO bottom
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t k = 0; k < w; ++k) {
+    const std::size_t victim = self < w ? (self + 1 + k) % w : k;
+    if (victim == self) {
+      continue;
+    }
+    WorkerDeque& d = *deques_[victim];
+    const std::lock_guard<std::mutex> lock(d.mutex);
+    if (!d.tasks.empty()) {
+      *out = d.tasks.front();  // stolen work: FIFO top
+      d.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::run_task(std::size_t index) {
+  try {
+    batch_[index]();
+  } catch (...) {
+    errors_[index] = std::current_exception();
+  }
+  if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_main(std::size_t self) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+    }
+    std::size_t index = 0;
+    while (try_take(self, &index)) {
+      run_task(index);
+    }
+  }
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) {
+    return;
+  }
+  const std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+  batch_ = std::move(tasks);
+  errors_.assign(batch_.size(), nullptr);
+  unfinished_.store(batch_.size(), std::memory_order_relaxed);
+
+  // Batch state is published before any index becomes visible in a deque:
+  // a worker (or the caller) only learns an index under the deque mutex the
+  // distributor pushed it under, which carries the happens-before edge.
+  const std::size_t w = deques_.size();
+  SNAPPIF_ASSERT(w > 0);
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
+    WorkerDeque& d = *deques_[i % w];
+    const std::lock_guard<std::mutex> lock(d.mutex);
+    d.tasks.push_back(i);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  // The caller participates as a pure thief (it owns no deque).
+  std::size_t index = 0;
+  while (try_take(w, &index)) {
+    run_task(index);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return unfinished_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  std::exception_ptr first;
+  for (const std::exception_ptr& e : errors_) {
+    if (e) {
+      first = e;
+      break;
+    }
+  }
+  batch_.clear();
+  errors_.clear();
+  if (first) {
+    std::rethrow_exception(first);
+  }
+}
+
+}  // namespace snappif::par

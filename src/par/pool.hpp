@@ -1,0 +1,84 @@
+// Small work-stealing thread pool for the embarrassingly-parallel harness
+// paths: fuzz iteration shards, chaos campaign soaks, and model-check
+// configuration-space partitions.
+//
+// Design:
+//   * per-worker deques — a worker pushes/pops the *bottom* of its own deque
+//     and steals from the *top* of a victim's when its own runs dry, so
+//     coarse shards stay where they were placed and only imbalance migrates;
+//   * batch execution — run_all() submits a closed set of tasks, participates
+//     with the calling thread, and returns when every task finished.  A task
+//     that throws has its exception captured; after the batch completes the
+//     exception of the LOWEST-indexed failing task is rethrown (deterministic
+//     regardless of scheduling);
+//   * the pool is scheduling-nondeterministic by nature.  Determinism of
+//     *results* is the sharding layer's contract (par/shard.hpp): work is cut
+//     into shards whose outputs depend only on (master_seed, shard_index),
+//     and joins fold results in shard-index order.
+//
+// Tasks must not call run_all() on the same pool (no nested batches); the
+// simulator stack never needs it and the constraint keeps shutdown trivial.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snappif::par {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Runs every task to completion (the calling thread participates) and
+  /// returns when all are done.  If any task threw, rethrows the exception
+  /// of the lowest-indexed failing task.  One batch at a time; tasks must
+  /// not recursively call run_all on this pool.
+  void run_all(std::vector<std::function<void()>> tasks);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to report 0).
+  [[nodiscard]] static unsigned hardware_workers() noexcept;
+
+ private:
+  struct WorkerDeque {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;  // indices into batch_
+  };
+
+  void worker_main(std::size_t self);
+  /// Own deque bottom first, then steal the top of each victim in turn.
+  bool try_take(std::size_t self, std::size_t* out);
+  void run_task(std::size_t index);
+
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+
+  std::mutex mutex_;                 // guards generation_/stop_ waits
+  std::condition_variable wake_cv_;  // workers: new batch or shutdown
+  std::condition_variable done_cv_;  // caller: batch drained
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  std::mutex batch_mutex_;  // serializes run_all callers
+  std::vector<std::function<void()>> batch_;
+  std::vector<std::exception_ptr> errors_;
+  std::atomic<std::size_t> unfinished_{0};
+};
+
+}  // namespace snappif::par

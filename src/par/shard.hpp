@@ -1,0 +1,87 @@
+// Deterministic seeded sharding: the contract that makes the parallel
+// fuzz/chaos/model-check runs bit-identical to sequential ones.
+//
+//   * shard_seed(master, i) derives shard i's seed by a SplitMix64 jump:
+//     it equals the (i+1)-th output of the SplitMix64 stream seeded with
+//     `master`, computed in O(1).  A shard's RNG stream therefore depends
+//     only on (master_seed, shard_index) — never on worker count, scheduling
+//     order, or which thread ran it.
+//
+//   * run_shards(master_seed, n_shards, fn, pool) evaluates `fn` once per
+//     shard — on the pool when one is given, inline in index order otherwise
+//     — and returns the results indexed by shard.  Reductions applied to
+//     that vector in index order are deterministic, and "first failure" is
+//     well-defined as the lowest failing shard index, no matter how the
+//     shards interleaved.
+//
+// Shared-state audit (what makes `fn` safe to run concurrently): every
+// worker owns its Simulator/Network fork — both are copyable value types
+// since PR 1 with no global state — and pif::PifProtocol is const-stateless
+// (no mutable members), so sharing one across shards is read-only.  The one
+// process-global the harness owns, util::log, emits line-atomic writes
+// (util/log.hpp).  Telemetry goes to per-shard obs::Registry instances
+// folded with Registry::merge at join, in shard order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "par/pool.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::par {
+
+/// Everything a shard body may depend on.  Draw randomness ONLY from `rng`
+/// (or generators seeded from `seed`) to keep the determinism contract.
+struct ShardContext {
+  std::size_t index = 0;
+  std::size_t shard_count = 1;
+  std::uint64_t seed = 0;  // splitmix-derived; see shard_seed()
+  util::Rng rng;           // pre-seeded with `seed`
+};
+
+/// Shard i's seed: the (i+1)-th output of the SplitMix64 stream seeded with
+/// `master_seed` (the additive constant is SplitMix64's own odd gamma, so
+/// the O(1) jump lands exactly on the sequential stream).
+[[nodiscard]] constexpr std::uint64_t shard_seed(
+    std::uint64_t master_seed, std::uint64_t shard_index) noexcept {
+  std::uint64_t state = master_seed + shard_index * 0x9e3779b97f4a7c15ULL;
+  return util::splitmix64(state);
+}
+
+/// Runs `fn(ShardContext&) -> Result` for every shard and returns results
+/// in shard-index order.  With a pool, shards run concurrently; without one
+/// (or with a single shard) they run inline — the outputs are identical by
+/// construction.  Exceptions propagate from the lowest-throwing shard after
+/// every shard has finished (ThreadPool::run_all).
+template <typename Fn>
+[[nodiscard]] auto run_shards(std::uint64_t master_seed, std::size_t n_shards,
+                              Fn&& fn, ThreadPool* pool = nullptr) {
+  using Result = std::invoke_result_t<Fn&, ShardContext&>;
+  static_assert(!std::is_void_v<Result>,
+                "shard bodies must return a result (merged at join)");
+  std::vector<Result> results(n_shards);
+  auto run_one = [&](std::size_t i) {
+    ShardContext ctx{i, n_shards, shard_seed(master_seed, i),
+                     util::Rng(shard_seed(master_seed, i))};
+    results[i] = fn(ctx);
+  };
+  if (pool == nullptr || n_shards <= 1) {
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      run_one(i);
+    }
+    return results;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    tasks.emplace_back([&run_one, i] { run_one(i); });
+  }
+  pool->run_all(std::move(tasks));
+  return results;
+}
+
+}  // namespace snappif::par

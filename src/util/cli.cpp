@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
 namespace snappif::util {
@@ -68,6 +69,25 @@ std::int64_t Cli::get_int(std::string_view name, std::int64_t default_value) con
     char* end = nullptr;
     const long long parsed = std::strtoll(v->c_str(), &end, 10);
     if (end != nullptr && *end == '\0' && !v->empty()) {
+      return parsed;
+    }
+  }
+  return default_value;
+}
+
+std::uint64_t Cli::get_u64(std::string_view name,
+                           std::uint64_t default_value) const {
+  if (auto v = get(name)) {
+    // strtoull silently wraps negative input ("-1" -> UINT64_MAX) and a
+    // plain range check misses it, so any sign character is rejected up
+    // front; ERANGE catches values past UINT64_MAX.
+    if (v->empty() || (*v)[0] == '-' || (*v)[0] == '+') {
+      return default_value;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
+    if (errno == 0 && end != nullptr && *end == '\0') {
       return parsed;
     }
   }

@@ -25,6 +25,13 @@ class Cli {
                                        std::string default_value) const;
   [[nodiscard]] std::int64_t get_int(std::string_view name,
                                      std::int64_t default_value) const;
+  /// Full-range unsigned accessor for 64-bit quantities (seeds, iteration
+  /// counts).  get_int cannot represent values >= 2^63, so seeds printed by
+  /// the fuzz/chaos tools (`%llu` of a raw rng draw) would fail to round-trip
+  /// through it.  Rejects (returns the default for) empty strings, any sign
+  /// character, non-digit trailers, and values that overflow uint64.
+  [[nodiscard]] std::uint64_t get_u64(std::string_view name,
+                                      std::uint64_t default_value) const;
   [[nodiscard]] double get_double(std::string_view name, double default_value) const;
   [[nodiscard]] bool get_bool(std::string_view name, bool default_value) const;
 

@@ -1,17 +1,25 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <ctime>
+#include <mutex>
 
 namespace snappif::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
-bool g_env_checked = false;
-bool g_timestamps = true;
+// The fast path (logging disabled) must stay lock-free: one relaxed load of
+// the level, compare, return.  The mutex only guards the env-application
+// slow path; the emit itself is a single fwrite of a fully formatted line,
+// which stdio already serializes against concurrent writers.
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<bool> g_env_checked{false};
+std::atomic<bool> g_timestamps{true};
+std::mutex g_env_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -30,16 +38,25 @@ const char* level_tag(LogLevel level) {
 }
 
 void ensure_env_applied() {
-  if (g_env_checked) {
+  if (g_env_checked.load(std::memory_order_acquire)) {
     return;
   }
-  g_env_checked = true;
-  if (const char* env = std::getenv("SNAPPIF_LOG_LEVEL")) {
-    g_level = parse_log_level(env, g_level);
+  const std::lock_guard<std::mutex> lock(g_env_mutex);
+  if (g_env_checked.load(std::memory_order_relaxed)) {
+    return;
   }
+  if (const char* env = std::getenv("SNAPPIF_LOG_LEVEL")) {
+    g_level.store(
+        static_cast<int>(parse_log_level(
+            env, static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)))),
+        std::memory_order_relaxed);
+  }
+  g_env_checked.store(true, std::memory_order_release);
 }
 
-void print_timestamp(std::FILE* out) {
+/// Writes "[HH:MM:SS.mmm] " into `buf` (at least 16 bytes); returns the
+/// number of characters written.
+std::size_t format_timestamp(char* buf, std::size_t size) {
   const auto now = std::chrono::system_clock::now();
   const std::time_t secs = std::chrono::system_clock::to_time_t(now);
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -48,20 +65,22 @@ void print_timestamp(std::FILE* out) {
                   1000;
   std::tm tm_buf{};
   localtime_r(&secs, &tm_buf);
-  std::fprintf(out, "[%02d:%02d:%02d.%03d] ", tm_buf.tm_hour, tm_buf.tm_min,
-               tm_buf.tm_sec, static_cast<int>(ms));
+  const int written =
+      std::snprintf(buf, size, "[%02d:%02d:%02d.%03d] ", tm_buf.tm_hour,
+                    tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(ms));
+  return written > 0 ? static_cast<std::size_t>(written) : 0;
 }
 
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept {
-  g_env_checked = true;  // explicit choice beats the environment
-  g_level = level;
+  g_env_checked.store(true, std::memory_order_release);  // beats the env
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel log_level() noexcept {
   ensure_env_applied();
-  return g_level;
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
 LogLevel parse_log_level(std::string_view name, LogLevel fallback) noexcept {
@@ -89,26 +108,45 @@ LogLevel parse_log_level(std::string_view name, LogLevel fallback) noexcept {
 }
 
 void reload_log_level_from_env() noexcept {
-  g_env_checked = false;
+  g_env_checked.store(false, std::memory_order_release);
   ensure_env_applied();
 }
 
-void set_log_timestamps(bool enabled) noexcept { g_timestamps = enabled; }
+void set_log_timestamps(bool enabled) noexcept {
+  g_timestamps.store(enabled, std::memory_order_relaxed);
+}
 
 void logf(LogLevel level, const char* fmt, ...) {
   ensure_env_applied();
-  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  if (g_timestamps) {
-    print_timestamp(stderr);
+  // The whole line — timestamp, tag, message, newline — is assembled in one
+  // buffer and handed to stderr in a single fwrite, so lines from concurrent
+  // workers never interleave.  Over-long messages are truncated with a
+  // marker rather than split across writes.
+  char line[2048];
+  std::size_t pos = 0;
+  if (g_timestamps.load(std::memory_order_relaxed)) {
+    pos += format_timestamp(line, sizeof(line));
   }
-  std::fprintf(stderr, "[%s] ", level_tag(level));
+  const int tag = std::snprintf(line + pos, sizeof(line) - pos, "[%s] ",
+                                level_tag(level));
+  pos += tag > 0 ? static_cast<std::size_t>(tag) : 0;
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  const int body = std::vsnprintf(line + pos, sizeof(line) - pos, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body > 0) {
+    pos += static_cast<std::size_t>(body);
+  }
+  if (pos >= sizeof(line) - 1) {  // truncated: keep room for the newline
+    pos = sizeof(line) - 5;
+    std::memcpy(line + pos, "...", 3);
+    pos += 3;
+  }
+  line[pos++] = '\n';
+  std::fwrite(line, 1, pos, stderr);
 }
 
 }  // namespace snappif::util

@@ -35,8 +35,13 @@ void reload_log_level_from_env() noexcept;
 /// Toggles the "[HH:MM:SS.mmm]" line prefix (on by default).
 void set_log_timestamps(bool enabled) noexcept;
 
-/// printf-style logging.  Thread-compatible (callers serialize externally;
-/// the simulator is single-threaded by design).
+/// printf-style logging.  Thread-safe: each line is formatted into one
+/// buffer (timestamp, tag, message, newline) and emitted as a single write,
+/// so concurrent callers — parallel fuzz/chaos/model-check workers
+/// (src/par/) — never interleave mid-line.  The no-logging fast path is one
+/// relaxed atomic load, no lock.  Level/timestamp setters are atomic too,
+/// though tests that toggle them around concurrent logging should still
+/// expect either value to apply to in-flight lines.
 void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 
 }  // namespace snappif::util

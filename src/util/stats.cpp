@@ -108,6 +108,15 @@ void Histogram::add(double x) noexcept {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& other) noexcept {
+  SNAPPIF_ASSERT(counts_.size() == other.counts_.size());
+  SNAPPIF_ASSERT(width_ == other.width_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
 std::string Histogram::render(std::size_t max_bar_width) const {
   std::uint64_t peak = 0;
   for (std::uint64_t c : counts_) {

@@ -85,6 +85,12 @@ class Histogram {
   /// Renders a compact ASCII bar chart, one line per non-empty bucket.
   [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
 
+  /// Merges another histogram of the *same shape* (bucket count and width)
+  /// bucket-wise; asserts on shape mismatch.  Used to fold per-worker
+  /// telemetry registries into one at shard join (obs::Registry::merge).
+  void merge(const Histogram& other) noexcept;
+  [[nodiscard]] double bucket_width() const noexcept { return width_; }
+
  private:
   std::vector<std::uint64_t> counts_;
   double width_;

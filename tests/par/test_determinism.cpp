@@ -1,0 +1,174 @@
+// The determinism suite: the same master seed must produce bit-identical
+// results with 1, 2, and 8 workers — fuzz failure lists, chaos campaign
+// verdicts and merged telemetry, and model-check reports.  This is the
+// contract src/par/shard.hpp promises; these tests are the enforcement.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/fuzz.hpp"
+#include "analysis/modelcheck.hpp"
+#include "chaos/soak.hpp"
+#include "graph/generators.hpp"
+#include "par/pool.hpp"
+#include "pif/params.hpp"
+#include "pif/protocol.hpp"
+
+namespace snappif {
+namespace {
+
+void expect_same_fuzz_report(const analysis::FuzzReport& a,
+                             const analysis::FuzzReport& b,
+                             const char* label) {
+  EXPECT_EQ(a.iterations_run, b.iterations_run) << label;
+  ASSERT_EQ(a.failures.size(), b.failures.size()) << label;
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    const analysis::FuzzFailure& fa = a.failures[i];
+    const analysis::FuzzFailure& fb = b.failures[i];
+    EXPECT_EQ(fa.index, fb.index) << label;
+    EXPECT_EQ(fa.instance.n, fb.instance.n) << label;
+    EXPECT_EQ(fa.instance.extra_edges, fb.instance.extra_edges) << label;
+    EXPECT_EQ(fa.instance.graph_seed, fb.instance.graph_seed) << label;
+    EXPECT_EQ(fa.instance.daemon, fb.instance.daemon) << label;
+    EXPECT_EQ(fa.instance.corruption, fb.instance.corruption) << label;
+    EXPECT_EQ(fa.instance.policy, fb.instance.policy) << label;
+    EXPECT_EQ(fa.instance.root, fb.instance.root) << label;
+    EXPECT_EQ(fa.instance.run_seed, fb.instance.run_seed) << label;
+    EXPECT_EQ(fa.result.cycle_completed, fb.result.cycle_completed) << label;
+    EXPECT_EQ(fa.result.pif1, fb.result.pif1) << label;
+    EXPECT_EQ(fa.result.pif2, fb.result.pif2) << label;
+    EXPECT_EQ(fa.result.aborted, fb.result.aborted) << label;
+    EXPECT_EQ(fa.result.steps, fb.result.steps) << label;
+  }
+}
+
+TEST(Determinism, FuzzFailureListsMatchAcrossWorkerCounts) {
+  // The count-wait ablation breaks the snap linchpin, so violations are
+  // reachable; every worker count must report the same failing wave.
+  analysis::FuzzOptions opts;
+  opts.master_seed = 2026;
+  opts.max_n = 8;
+  opts.tweak_params = [](pif::Params& p) { p.ablate_count_wait = true; };
+
+  const analysis::FuzzReport base = analysis::run_fuzz(opts, 512);
+  EXPECT_FALSE(base.failures.empty())
+      << "ablated protocol produced no violations in 512 runs; the "
+         "failure-list comparison below is vacuous";
+  par::ThreadPool two(2);
+  par::ThreadPool eight(8);
+  expect_same_fuzz_report(base, analysis::run_fuzz(opts, 512, &two),
+                          "2 workers");
+  expect_same_fuzz_report(base, analysis::run_fuzz(opts, 512, &eight),
+                          "8 workers");
+}
+
+TEST(Determinism, CleanFuzzRunMatchesAcrossWorkerCounts) {
+  analysis::FuzzOptions opts;
+  opts.master_seed = 7;
+  opts.max_n = 8;
+  const analysis::FuzzReport base = analysis::run_fuzz(opts, 64);
+  EXPECT_TRUE(base.failures.empty());
+  par::ThreadPool eight(8);
+  expect_same_fuzz_report(base, analysis::run_fuzz(opts, 64, &eight),
+                          "8 workers");
+}
+
+TEST(Determinism, SoakVerdictsAndMergedMetricsMatchAcrossWorkerCounts) {
+  const auto g = graph::make_random_connected(10, 8, 3);
+  chaos::SoakOptions soak;
+  soak.master_seed = 11;
+  soak.campaigns = 6;
+  soak.shape.events = 4;
+  soak.shape.horizon_rounds = 30;
+  soak.shape.max_magnitude = 3;
+
+  const chaos::SoakReport base = chaos::run_soak(g, soak);
+  ASSERT_EQ(base.outcomes.size(), 6u);
+  par::ThreadPool two(2);
+  par::ThreadPool eight(8);
+  for (auto* pool : {&two, &eight}) {
+    const chaos::SoakReport run = chaos::run_soak(g, soak, pool);
+    ASSERT_EQ(run.outcomes.size(), base.outcomes.size());
+    EXPECT_EQ(run.first_failure, base.first_failure);
+    for (std::size_t i = 0; i < base.outcomes.size(); ++i) {
+      const chaos::SoakOutcome& a = base.outcomes[i];
+      const chaos::SoakOutcome& b = run.outcomes[i];
+      EXPECT_EQ(a.index, b.index);
+      EXPECT_EQ(a.seed, b.seed);
+      EXPECT_EQ(a.schedule.to_string(), b.schedule.to_string());
+      EXPECT_EQ(a.ok(), b.ok());
+      EXPECT_EQ(a.shared.quiet_round, b.shared.quiet_round);
+      EXPECT_EQ(a.shared.rounds_to_normal, b.shared.rounds_to_normal);
+      EXPECT_EQ(a.shared.rounds_to_cycle_close,
+                b.shared.rounds_to_cycle_close);
+      EXPECT_EQ(a.shared.steps, b.shared.steps);
+    }
+    // Merged chaos.* totals must be BIT-identical (same Welford merge tree
+    // at the join, whatever the interleaving was).
+    EXPECT_EQ(run.metrics.json(), base.metrics.json());
+  }
+}
+
+TEST(Determinism, SoakJobIsAPureFunctionOfSeedAndIndex) {
+  chaos::SoakOptions soak;
+  soak.master_seed = 5;
+  soak.shape.events = 5;
+  const chaos::SoakJob a = chaos::soak_job(soak, 3);
+  const chaos::SoakJob b = chaos::soak_job(soak, 3);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.schedule.to_string(), b.schedule.to_string());
+  const chaos::SoakJob c = chaos::soak_job(soak, 4);
+  EXPECT_NE(a.seed, c.seed);
+}
+
+TEST(Determinism, DeadlockCensusMatchesSequentialIncludingWitness) {
+  const auto g = graph::make_path(3);
+  // The literal pre-potential variant is known to deadlock, so the witness
+  // comparison is non-vacuous.
+  pif::Params params = pif::Params::for_graph(g);
+  params.literal_prepotential_fok = true;
+  const pif::PifProtocol protocol(g, params);
+
+  const analysis::DeadlockReport seq = analysis::check_no_deadlock(g, protocol);
+  EXPECT_GT(seq.deadlocks, 0u);
+  par::ThreadPool pool(8);
+  const analysis::DeadlockReport par_r =
+      analysis::check_no_deadlock(g, protocol, &pool);
+  EXPECT_EQ(par_r.configurations, seq.configurations);
+  EXPECT_EQ(par_r.deadlocks, seq.deadlocks);
+  EXPECT_EQ(par_r.witness, seq.witness);
+}
+
+TEST(Determinism, ExhaustiveSnapCheckMatchesSequential) {
+  const auto g = graph::make_path(2);
+  const pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const analysis::SnapCheckReport seq =
+      analysis::exhaustive_snap_check(g, protocol);
+  ASSERT_TRUE(seq.complete);
+  par::ThreadPool pool(8);
+  const analysis::SnapCheckReport par_r =
+      analysis::exhaustive_snap_check(g, protocol, 200'000'000, false, &pool);
+  EXPECT_EQ(par_r.complete, seq.complete);
+  EXPECT_EQ(par_r.states, seq.states);
+  EXPECT_EQ(par_r.transitions, seq.transitions);
+  EXPECT_EQ(par_r.cycle_closures, seq.cycle_closures);
+  EXPECT_EQ(par_r.violations, seq.violations);
+  EXPECT_EQ(par_r.aborts, seq.aborts);
+  EXPECT_EQ(par_r.deadlocks, seq.deadlocks);
+}
+
+TEST(Determinism, CappedSnapCheckMatchesSequential) {
+  const auto g = graph::make_path(3);
+  const pif::PifProtocol protocol(g, pif::Params::for_graph(g));
+  const analysis::SnapCheckReport seq =
+      analysis::exhaustive_snap_check(g, protocol, /*max_states=*/100);
+  EXPECT_FALSE(seq.complete);
+  par::ThreadPool pool(4);
+  const analysis::SnapCheckReport par_r =
+      analysis::exhaustive_snap_check(g, protocol, 100, false, &pool);
+  EXPECT_EQ(par_r.complete, seq.complete);
+  EXPECT_EQ(par_r.states, seq.states);
+}
+
+}  // namespace
+}  // namespace snappif

@@ -1,0 +1,140 @@
+// Torture tests for the work-stealing pool and the seeded-sharding layer:
+// every task runs exactly once, batches are reusable, exceptions propagate
+// from the lowest-index task without poisoning the pool, and shard seeds
+// match the sequential SplitMix64 stream.  Run under TSan/ASan in CI.
+#include "par/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "par/shard.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::par {
+namespace {
+
+TEST(ThreadPool, RunsEveryTinyTaskExactlyOnce) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.worker_count(), 8u);
+  constexpr std::size_t kTasks = 20'000;
+  std::atomic<std::uint64_t> sum{0};
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    tasks.emplace_back([&, i] {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  pool.run_all(std::move(tasks));
+  EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 100; ++i) {
+      tasks.emplace_back([&] { count.fetch_add(1); });
+    }
+    pool.run_all(std::move(tasks));
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, EmptyBatchReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.run_all({});
+  std::atomic<int> count{0};
+  pool.run_all({[&] { count.fetch_add(1); }});
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins) {
+  ThreadPool pool(4);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.emplace_back([i] {
+      if (i == 7 || i == 41) {
+        throw std::runtime_error(std::to_string(i));
+      }
+    });
+  }
+  try {
+    pool.run_all(std::move(tasks));
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "7");
+  }
+}
+
+TEST(ThreadPool, ExceptionDoesNotPoisonThePool) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_all({[] { throw std::runtime_error("boom"); }}),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 200; ++i) {
+    tasks.emplace_back([&] { count.fetch_add(1); });
+  }
+  pool.run_all(std::move(tasks));
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, ZeroWorkersMeansHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.worker_count(), 1u);
+  EXPECT_EQ(pool.worker_count(), ThreadPool::hardware_workers());
+}
+
+TEST(Shard, SeedIsTheSequentialSplitmixStream) {
+  const std::uint64_t master = 0xfeedfacecafebeefULL;
+  std::uint64_t state = master;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(shard_seed(master, i), util::splitmix64(state)) << "shard " << i;
+  }
+}
+
+TEST(Shard, SeedsAreDistinctAcrossIndicesAndMasters) {
+  EXPECT_NE(shard_seed(1, 0), shard_seed(1, 1));
+  EXPECT_NE(shard_seed(1, 0), shard_seed(2, 0));
+  EXPECT_EQ(shard_seed(42, 7), shard_seed(42, 7));
+}
+
+TEST(Shard, RunShardsPoolMatchesInline) {
+  auto body = [](ShardContext& ctx) {
+    // A result that depends on index, count, and the shard RNG stream.
+    return ctx.rng() ^ (ctx.index * 1000 + ctx.shard_count);
+  };
+  const auto inline_results = run_shards(99, 37, body, nullptr);
+  ThreadPool pool(5);
+  const auto pool_results = run_shards(99, 37, body, &pool);
+  EXPECT_EQ(inline_results, pool_results);
+}
+
+TEST(Shard, ExceptionsSurfaceFromLowestShard) {
+  ThreadPool pool(4);
+  EXPECT_THROW((void)run_shards(
+                   1, 16,
+                   [](ShardContext& ctx) -> int {
+                     if (ctx.index >= 10) {
+                       throw std::runtime_error("shard " +
+                                                std::to_string(ctx.index));
+                     }
+                     return static_cast<int>(ctx.index);
+                   },
+                   &pool),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace snappif::par

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
+
 namespace snappif::util {
 namespace {
 
@@ -69,6 +72,41 @@ TEST(Cli, HasDetectsPresence) {
 TEST(Cli, DoubleParsing) {
   const Cli cli = parse({"--rate=0.25"});
   EXPECT_DOUBLE_EQ(cli.get_double("rate", 0), 0.25);
+}
+
+TEST(Cli, U64ParsesFullRange) {
+  // get_int would mangle these: 2^63 and UINT64_MAX overflow long long.
+  const Cli cli = parse({"--zero=0", "--big=9223372036854775808",
+                         "--max=18446744073709551615"});
+  EXPECT_EQ(cli.get_u64("zero", 7), 0u);
+  EXPECT_EQ(cli.get_u64("big", 7), 9223372036854775808ull);
+  EXPECT_EQ(cli.get_u64("max", 7), UINT64_MAX);
+}
+
+TEST(Cli, U64RejectsMalformedAndOverflow) {
+  const Cli cli = parse({"--neg=-1", "--plus=+3", "--junk=12x",
+                         "--huge=18446744073709551616", "--empty="});
+  // strtoull would silently wrap "-1" to UINT64_MAX; get_u64 must not.
+  EXPECT_EQ(cli.get_u64("neg", 9), 9u);
+  EXPECT_EQ(cli.get_u64("plus", 9), 9u);
+  EXPECT_EQ(cli.get_u64("junk", 9), 9u);
+  EXPECT_EQ(cli.get_u64("huge", 9), 9u);
+  EXPECT_EQ(cli.get_u64("empty", 9), 9u);
+  EXPECT_EQ(cli.get_u64("absent", 9), 9u);
+}
+
+TEST(Cli, U64SeedRoundTripsThroughPrintedRepro) {
+  // The fuzz/chaos tools print "--seed=%llu" repro lines; feeding such a
+  // line back must reproduce the seed exactly for every representable value.
+  const std::uint64_t seeds[] = {0ull, 1ull, 0x9e3779b97f4a7c15ull,
+                                 1ull << 63, UINT64_MAX};
+  for (const std::uint64_t seed : seeds) {
+    char flag[32];
+    std::snprintf(flag, sizeof(flag), "--seed=%llu",
+                  static_cast<unsigned long long>(seed));
+    const Cli cli = parse({flag});
+    EXPECT_EQ(cli.get_u64("seed", seed + 1), seed);
+  }
 }
 
 }  // namespace

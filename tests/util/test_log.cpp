@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
 
 namespace snappif::util {
 namespace {
@@ -117,6 +121,53 @@ TEST(Log, TimestampPrefixPresentAndToggleable) {
   const std::string without_ts = ::testing::internal::GetCapturedStderr();
   set_log_timestamps(true);
   EXPECT_EQ(without_ts, "[INFO ] bare\n");
+}
+
+TEST(Log, ConcurrentWritesKeepLinesAtomic) {
+  // Each log line is built in one buffer and written with a single fwrite,
+  // so concurrent writers must never interleave mid-line.
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  set_log_timestamps(false);
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  ::testing::internal::CaptureStderr();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t] {
+        for (int i = 0; i < kLines; ++i) {
+          SNAPPIF_LOG_INFO("thread=%d line=%d tail", t, i);
+        }
+      });
+    }
+    for (std::thread& th : threads) {
+      th.join();
+    }
+  }
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  set_log_timestamps(true);
+
+  int lines = 0;
+  std::size_t pos = 0;
+  while (pos < err.size()) {
+    const std::size_t eol = err.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "unterminated final line";
+    const std::string line = err.substr(pos, eol - pos);
+    int t = -1;
+    int i = -1;
+    ASSERT_EQ(std::sscanf(line.c_str(), "[INFO ] thread=%d line=%d", &t, &i),
+              2)
+        << "garbled line: \"" << line << "\"";
+    char expected[64];
+    std::snprintf(expected, sizeof(expected), "[INFO ] thread=%d line=%d tail",
+                  t, i);
+    ASSERT_EQ(line, expected) << "interleaved line: \"" << line << "\"";
+    ++lines;
+    pos = eol + 1;
+  }
+  EXPECT_EQ(lines, kThreads * kLines);
 }
 
 }  // namespace

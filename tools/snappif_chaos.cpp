@@ -1,23 +1,25 @@
 // snappif_chaos — seeded chaos soak runs against the recovery oracle.
 //
-// Soak mode (default): draw --campaigns random fault schedules, run each
-// against the shared-memory campaign engine (and, with --mp, the
-// message-passing runner), and export telemetry through the obs registry.
-// An mp schedule containing crash(...) events — or the --emulate flag —
-// routes the mp run to the GuardedEmulation campaign, where the paper's
-// PifProtocol itself executes over the lossy crashing substrate
-// (chaos/emulation_campaign.hpp); --crash makes the random schedules
-// include crash windows.
-// On the first failing campaign the schedule is shrunk to a minimal
-// reproducer, a copy-pasteable repro command is printed to stderr, and the
-// exit code is nonzero.
+// Soak mode (default): run --campaigns random fault schedules through the
+// deterministic soak driver (chaos/soak.hpp) — campaign i's schedule and
+// seed are pure functions of (--seed, i), so --jobs parallelizes the soak
+// without changing a single verdict or metric.  Every campaign runs (the
+// table shows them all); if any failed, the LOWEST failing index is shrunk
+// to a minimal reproducer, a copy-pasteable repro command is printed to
+// stderr, and the exit code is nonzero.  With --mp each schedule also runs
+// against the message-passing runner; schedules containing crash(...)
+// events — or the --emulate flag — route the mp run to the GuardedEmulation
+// campaign, where the paper's PifProtocol itself executes over the lossy
+// crashing substrate; --crash makes the random schedules include crash
+// windows.
 //
 // Replay mode (--schedule='...'): run exactly one campaign from a grammar
 // one-liner — the other end of the repro loop.
 //
 //   ./snappif_chaos [--topology=random] [--n=16] [--graph-seed=1] [--root=0]
-//                   [--campaigns=20] [--seed=1] [--events=6] [--horizon=60]
-//                   [--max-magnitude=4] [--daemon=distributed-random]
+//                   [--campaigns=20] [--seed=1] [--jobs=1 (0 = hardware)]
+//                   [--events=6] [--horizon=60] [--max-magnitude=4]
+//                   [--daemon=distributed-random]
 //                   [--mp] [--emulate] [--crash]
 //                   [--schedule='12:burst*3;20:corrupt=fake-tree']
 //                   [--break=none|broadcast-leaf|feedback-bleaf|count-wait]
@@ -31,16 +33,14 @@
 #include <memory>
 #include <string>
 
-#include "chaos/campaign.hpp"
 #include "chaos/emulation_campaign.hpp"
-#include "chaos/mp_campaign.hpp"
-#include "chaos/schedule.hpp"
 #include "chaos/shrink.hpp"
+#include "chaos/soak.hpp"
 #include "graph/generators.hpp"
 #include "obs/metrics.hpp"
+#include "par/pool.hpp"
 #include "sim/daemon.hpp"
 #include "util/cli.hpp"
-#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace snappif;
@@ -89,8 +89,7 @@ int main(int argc, char** argv) {
 
   const std::string topology = cli.get_string("topology", "random");
   const auto n = static_cast<graph::NodeId>(cli.get_int("n", 16));
-  const auto graph_seed =
-      static_cast<std::uint64_t>(cli.get_int("graph-seed", 1));
+  const std::uint64_t graph_seed = cli.get_u64("graph-seed", 1);
   const auto g = graph::make_by_name(topology, n, graph_seed);
   if (!g.has_value()) {
     std::fprintf(stderr, "unknown --topology=%s (expected one of: %s)\n",
@@ -98,162 +97,132 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  chaos::CampaignOptions opts;
-  opts.root = static_cast<sim::ProcessorId>(cli.get_int("root", 0));
+  chaos::SoakOptions soak;
+  soak.master_seed = cli.get_u64("seed", 1);
+  soak.campaigns = cli.get_u64("campaigns", 20);
+  soak.run_mp = cli.get_bool("mp", false);
+  soak.emulate = cli.get_bool("emulate", false);
+  soak.campaign.root = static_cast<sim::ProcessorId>(cli.get_int("root", 0));
   const std::string daemon_name =
       cli.get_string("daemon", "distributed-random");
-  if (!daemon_by_name(daemon_name, &opts.daemon)) {
+  if (!daemon_by_name(daemon_name, &soak.campaign.daemon)) {
     std::fprintf(stderr, "unknown --daemon=%s\n", daemon_name.c_str());
     return 2;
   }
   const std::string broken = cli.get_string("break", "none");
-  if (!break_by_name(broken, &opts.tweak_params)) {
+  if (!break_by_name(broken, &soak.campaign.tweak_params)) {
     std::fprintf(stderr,
                  "unknown --break=%s (none|broadcast-leaf|feedback-bleaf|"
                  "count-wait)\n",
                  broken.c_str());
     return 2;
   }
-  opts.recovery_round_budget =
-      static_cast<std::uint64_t>(cli.get_int("budget", 0));
+  soak.campaign.recovery_round_budget = cli.get_u64("budget", 0);
 
-  obs::Registry registry;
-  opts.registry = &registry;
-
-  const bool run_mp = cli.get_bool("mp", false);
-  const bool emulate = cli.get_bool("emulate", false);
   const bool crash_windows = cli.get_bool("crash", false);
   const bool shrink_on_failure = cli.get_bool("shrink", true);
-  const auto master_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto jobs = static_cast<unsigned>(cli.get_int("jobs", 1));
 
-  chaos::CampaignShape shape;
-  shape.events = static_cast<std::uint32_t>(cli.get_int("events", 6));
-  shape.horizon_rounds = static_cast<std::uint64_t>(cli.get_int("horizon", 60));
-  shape.max_magnitude =
+  soak.shape.events = static_cast<std::uint32_t>(cli.get_int("events", 6));
+  soak.shape.horizon_rounds = cli.get_u64("horizon", 60);
+  soak.shape.max_magnitude =
       static_cast<std::uint32_t>(cli.get_int("max-magnitude", 4));
-  shape.message_passing = run_mp;
-  shape.crash = run_mp && crash_windows;
-  shape.crash_processors = g->n();
+  soak.shape.message_passing = soak.run_mp;
+  soak.shape.crash = soak.run_mp && crash_windows;
+  soak.shape.crash_processors = g->n();
 
-  // Assemble the (schedule, seed) work list: one replay or a seeded soak.
-  struct Job {
-    chaos::FaultSchedule schedule;
-    std::uint64_t seed;
-  };
-  std::vector<Job> jobs;
+  // Run: one replayed campaign, or the seeded soak.
+  chaos::SoakReport report;
   if (const auto text = cli.get("schedule"); text.has_value()) {
     const auto parsed = chaos::FaultSchedule::parse(*text);
     if (!parsed.has_value()) {
       std::fprintf(stderr, "malformed --schedule='%s'\n", text->c_str());
       return 2;
     }
-    jobs.push_back({*parsed, master_seed});
-  } else {
-    util::Rng master(master_seed);
-    const auto campaigns =
-        static_cast<std::uint64_t>(cli.get_int("campaigns", 20));
-    for (std::uint64_t i = 0; i < campaigns; ++i) {
-      jobs.push_back({chaos::random_schedule(shape, master), master()});
+    const chaos::SoakJob job{*parsed, soak.master_seed};
+    report.outcomes.push_back(
+        chaos::run_soak_campaign(*g, soak, job, 0, &report.metrics));
+    if (!report.outcomes.front().ok()) {
+      report.first_failure = 0;
     }
+  } else {
+    std::unique_ptr<par::ThreadPool> pool;
+    if (jobs != 1) {
+      pool = std::make_unique<par::ThreadPool>(jobs);
+    }
+    report = chaos::run_soak(*g, soak, pool.get());
   }
 
   util::Table table({"campaign", "schedule", "seed", "quiet", "to-normal",
                      "to-cycle", "snap", "status"});
-  int exit_code = 0;
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    opts.seed = jobs[i].seed;
-    const chaos::CampaignResult r = chaos::run_campaign(*g, jobs[i].schedule, opts);
-    std::string schedule_text = jobs[i].schedule.to_string();
+  for (const chaos::SoakOutcome& o : report.outcomes) {
+    std::string schedule_text = o.schedule.to_string();
     if (schedule_text.size() > 40) {
       schedule_text.resize(37);
       schedule_text += "...";
     }
-    table.add_row({util::fmt(static_cast<std::uint64_t>(i)), schedule_text,
-                   util::fmt(opts.seed), util::fmt(r.quiet_round),
+    const chaos::CampaignResult& r = o.shared;
+    table.add_row({util::fmt(o.index), schedule_text, util::fmt(o.seed),
+                   util::fmt(r.quiet_round),
                    r.recovered ? util::fmt(r.rounds_to_normal) : "-",
                    r.recovered ? util::fmt(r.rounds_to_cycle_close) : "-",
                    r.snap_ok ? "ok" : "FAIL",
-                   r.ok() ? "recovered" : r.failure});
+                   o.ok() ? "recovered"
+                          : (!r.ok() ? r.failure : o.mp_failure)});
+  }
 
-    bool mp_failed = false;
-    bool used_emulation = false;
-    std::string mp_failure;
-    if (run_mp) {
-      // Crash events need processor fault semantics only the emulation
-      // campaign implements; --emulate forces that runner for everything.
-      if (emulate || jobs[i].schedule.contains(chaos::EventKind::kCrash)) {
-        used_emulation = true;
-        chaos::EmulationCampaignOptions emu_opts;
-        emu_opts.root = opts.root;
-        emu_opts.seed = opts.seed;
-        emu_opts.registry = &registry;
-        const chaos::EmulationCampaignResult er =
-            chaos::run_emulation_campaign(*g, jobs[i].schedule, emu_opts);
-        mp_failed = !er.ok();
-        mp_failure = er.failure;
-      } else {
-        chaos::MpCampaignOptions mp_opts;
-        mp_opts.root = opts.root;
-        mp_opts.seed = opts.seed;
-        mp_opts.registry = &registry;
-        const chaos::MpCampaignResult mp_result =
-            chaos::run_mp_campaign(*g, jobs[i].schedule, mp_opts);
-        mp_failed = !mp_result.ok();
-        mp_failure = mp_result.failure;
-      }
+  int exit_code = 0;
+  if (report.first_failure.has_value()) {
+    exit_code = 1;
+    const chaos::SoakOutcome& o = report.outcomes[*report.first_failure];
+    const chaos::FaultSchedule* repro = &o.schedule;
+    chaos::ShrinkResult shrunk;
+    chaos::CampaignOptions shrink_opts = soak.campaign;
+    shrink_opts.seed = o.seed;
+    shrink_opts.registry = nullptr;
+    if (!o.shared.ok() && shrink_on_failure) {
+      shrunk = chaos::shrink_campaign(*g, o.schedule, shrink_opts);
+      repro = &shrunk.minimal;
+    } else if (!o.mp_ok && o.used_emulation && shrink_on_failure) {
+      chaos::EmulationCampaignOptions emu_opts;
+      emu_opts.root = soak.campaign.root;
+      emu_opts.seed = o.seed;
+      shrunk = chaos::shrink_emulation_campaign(*g, o.schedule, emu_opts);
+      repro = &shrunk.minimal;
     }
-
-    if (!r.ok() || mp_failed) {
-      exit_code = 1;
-      const chaos::FaultSchedule* repro = &jobs[i].schedule;
-      chaos::ShrinkResult shrunk;
-      if (!r.ok() && shrink_on_failure) {
-        shrunk = chaos::shrink_campaign(*g, jobs[i].schedule, opts);
-        repro = &shrunk.minimal;
-      } else if (mp_failed && used_emulation && shrink_on_failure) {
-        chaos::EmulationCampaignOptions emu_opts;
-        emu_opts.root = opts.root;
-        emu_opts.seed = opts.seed;
-        shrunk = chaos::shrink_emulation_campaign(*g, jobs[i].schedule,
-                                                  emu_opts);
-        repro = &shrunk.minimal;
-      }
-      if (shrunk.input_failed) {
-        std::fprintf(stderr,
-                     "shrunk %zu -> %zu events in %llu replays\n",
-                     jobs[i].schedule.events.size(),
-                     shrunk.minimal.events.size(),
-                     static_cast<unsigned long long>(shrunk.campaigns_run));
-      }
-      std::fprintf(stderr, "campaign %zu FAILED: %s\n", i,
-                   !r.ok() ? r.failure.c_str() : mp_failure.c_str());
-      std::fprintf(
-          stderr,
-          "repro: %s --topology=%s --n=%u --graph-seed=%llu --root=%u "
-          "--daemon=%s%s%s%s%s --seed=%llu --schedule='%s'\n",
-          cli.program().c_str(), topology.c_str(), g->n(),
-          static_cast<unsigned long long>(graph_seed), opts.root,
-          daemon_name.c_str(), broken == "none" ? "" : " --break=",
-          broken == "none" ? "" : broken.c_str(), run_mp ? " --mp" : "",
-          emulate ? " --emulate" : "",
-          static_cast<unsigned long long>(opts.seed),
-          repro->to_string().c_str());
-      break;  // first failure stops the soak; telemetry still exported below
+    if (shrunk.input_failed) {
+      std::fprintf(stderr, "shrunk %zu -> %zu events in %llu replays\n",
+                   o.schedule.events.size(), shrunk.minimal.events.size(),
+                   static_cast<unsigned long long>(shrunk.campaigns_run));
     }
+    std::fprintf(stderr, "campaign %llu FAILED: %s\n",
+                 static_cast<unsigned long long>(o.index),
+                 !o.shared.ok() ? o.shared.failure.c_str()
+                                : o.mp_failure.c_str());
+    std::fprintf(
+        stderr,
+        "repro: %s --topology=%s --n=%u --graph-seed=%llu --root=%u "
+        "--daemon=%s%s%s%s%s --seed=%llu --schedule='%s'\n",
+        cli.program().c_str(), topology.c_str(), g->n(),
+        static_cast<unsigned long long>(graph_seed), soak.campaign.root,
+        daemon_name.c_str(), broken == "none" ? "" : " --break=",
+        broken == "none" ? "" : broken.c_str(), soak.run_mp ? " --mp" : "",
+        soak.emulate ? " --emulate" : "",
+        static_cast<unsigned long long>(o.seed), repro->to_string().c_str());
   }
 
   const bool csv = cli.get_bool("csv", false);
   std::fputs((csv ? table.render_csv() : table.render()).c_str(), stdout);
   std::printf("\n");
-  std::fputs((csv ? registry.summary_table().render_csv()
-                  : registry.summary_table().render())
+  std::fputs((csv ? report.metrics.summary_table().render_csv()
+                  : report.metrics.summary_table().render())
                  .c_str(),
              stdout);
 
   if (const auto path = cli.get("metrics"); path.has_value()) {
     std::FILE* f = std::fopen(path->c_str(), "w");
     if (f != nullptr) {
-      const std::string json = registry.json();
+      const std::string json = report.metrics.json();
       const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
       if (std::fclose(f) != 0 || !ok) {
         std::fprintf(stderr, "error: cannot write %s\n", path->c_str());

@@ -1,88 +1,104 @@
 // snappif_fuzz — endless randomized snap-property fuzzing.
 //
-// Runs check_snap_first_cycle forever over random graphs x corruptions x
-// daemons x action policies, printing a progress line periodically and
-// stopping (with a full reproduction recipe) on the first violation.
+// Runs check_snap_first_cycle over random graphs x corruptions x daemons x
+// action policies, printing a progress line per wave and stopping (with a
+// full reproduction recipe) on the first violation.  Iteration i's instance
+// is a pure function of (--seed, i) — see src/analysis/fuzz.hpp — so any
+// single iteration replays in isolation with --only, and --jobs parallelizes
+// the search without changing which violation is found first.
 //
 //   ./snappif_fuzz [--seed=1] [--max-n=24] [--iterations=0 (unbounded)]
-//                  [--report-every=500]
+//                  [--jobs=1 (worker threads; 0 = hardware)] [--only=INDEX]
 #include <cstdio>
+#include <memory>
+#include <string>
 
-#include "analysis/runners.hpp"
-#include "graph/generators.hpp"
-#include "graph/properties.hpp"
+#include "analysis/fuzz.hpp"
+#include "par/pool.hpp"
 #include "pif/faults.hpp"
+#include "sim/daemon.hpp"
 #include "util/cli.hpp"
 
 using namespace snappif;
 
+namespace {
+
+void print_failure(const util::Cli& cli, const analysis::FuzzOptions& opts,
+                   const analysis::FuzzFailure& f) {
+  const analysis::FuzzInstance& inst = f.instance;
+  std::printf(
+      "VIOLATION at iteration %llu!\n"
+      "  graph: make_random_connected(%u, %llu, %llu)\n"
+      "  root=%u daemon=%s corruption=%s policy=%s seed=%llu\n"
+      "  completed=%d pif1=%d pif2=%d aborted=%d\n",
+      static_cast<unsigned long long>(f.index), inst.n,
+      static_cast<unsigned long long>(inst.extra_edges),
+      static_cast<unsigned long long>(inst.graph_seed), inst.root,
+      std::string(sim::daemon_kind_name(inst.daemon)).c_str(),
+      std::string(pif::corruption_name(inst.corruption)).c_str(),
+      inst.policy == sim::ActionPolicy::kFirstEnabled ? "first" : "random",
+      static_cast<unsigned long long>(inst.run_seed), f.result.cycle_completed,
+      f.result.pif1, f.result.pif2, f.result.aborted);
+  // The machine-readable half goes to stderr: a command that replays
+  // exactly this iteration, independent of every other one.
+  std::fprintf(stderr,
+               "snappif_fuzz: violation at iteration %llu "
+               "(run seed %llu, graph seed %llu)\n"
+               "repro: %s --seed=%llu --max-n=%u --only=%llu\n",
+               static_cast<unsigned long long>(f.index),
+               static_cast<unsigned long long>(inst.run_seed),
+               static_cast<unsigned long long>(inst.graph_seed),
+               cli.program().c_str(),
+               static_cast<unsigned long long>(opts.master_seed), opts.max_n,
+               static_cast<unsigned long long>(f.index));
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto master_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  util::Rng rng(master_seed);
-  const auto max_n = static_cast<graph::NodeId>(cli.get_int("max-n", 24));
-  const auto iterations = static_cast<std::uint64_t>(cli.get_int("iterations", 0));
-  const auto report_every =
-      static_cast<std::uint64_t>(cli.get_int("report-every", 500));
+  for (const std::string& err : cli.errors()) {
+    std::fprintf(stderr, "argument error: %s\n", err.c_str());
+  }
 
-  const auto daemons = sim::standard_daemon_kinds();
-  const auto corruptions = pif::all_corruption_kinds();
+  analysis::FuzzOptions opts;
+  opts.master_seed = cli.get_u64("seed", 1);
+  opts.max_n = static_cast<graph::NodeId>(cli.get_int("max-n", 24));
+  const std::uint64_t iterations = cli.get_u64("iterations", 0);
+  const auto jobs = static_cast<unsigned>(cli.get_int("jobs", 1));
 
-  std::uint64_t runs = 0;
-  while (iterations == 0 || runs < iterations) {
-    ++runs;
-    // Random instance.
-    const auto n = static_cast<graph::NodeId>(3 + rng.below(max_n - 2));
-    const auto extra = rng.below(2 * n);
-    const auto graph_seed = rng();
-    const graph::Graph g = graph::make_random_connected(n, extra, graph_seed);
-
-    analysis::RunConfig rc;
-    rc.daemon = daemons[rng.below(daemons.size())];
-    rc.corruption = corruptions[rng.below(corruptions.size())];
-    rc.policy = rng.chance(0.5) ? sim::ActionPolicy::kFirstEnabled
-                                : sim::ActionPolicy::kRandomEnabled;
-    rc.root = static_cast<sim::ProcessorId>(rng.below(n));
-    rc.seed = rng();
-
-    const auto result = analysis::check_snap_first_cycle(g, rc);
-    if (!result.cycle_completed || !result.ok()) {
-      std::printf(
-          "VIOLATION after %llu runs!\n"
-          "  graph: make_random_connected(%u, %llu, %llu)\n"
-          "  root=%u daemon=%s corruption=%s policy=%s seed=%llu\n"
-          "  completed=%d pif1=%d pif2=%d aborted=%d\n",
-          static_cast<unsigned long long>(runs), n,
-          static_cast<unsigned long long>(extra),
-          static_cast<unsigned long long>(graph_seed), rc.root,
-          std::string(sim::daemon_kind_name(rc.daemon)).c_str(),
-          std::string(pif::corruption_name(rc.corruption)).c_str(),
-          rc.policy == sim::ActionPolicy::kFirstEnabled ? "first" : "random",
-          static_cast<unsigned long long>(rc.seed), result.cycle_completed,
-          result.pif1, result.pif2, result.aborted);
-      // The machine-readable half goes to stderr: the exact failing seeds
-      // and a command that deterministically replays run #`runs`.
-      std::fprintf(stderr,
-                   "snappif_fuzz: violation at run %llu "
-                   "(instance seed %llu, graph seed %llu)\n"
-                   "repro: %s --seed=%llu --max-n=%u --iterations=%llu\n",
-                   static_cast<unsigned long long>(runs),
-                   static_cast<unsigned long long>(rc.seed),
-                   static_cast<unsigned long long>(graph_seed),
-                   cli.program().c_str(),
-                   static_cast<unsigned long long>(master_seed), max_n,
-                   static_cast<unsigned long long>(runs));
+  // Replay mode: run exactly one iteration, in isolation.
+  if (const auto only = cli.get("only"); only.has_value()) {
+    const std::uint64_t index = cli.get_u64("only", 0);
+    if (auto failure = analysis::run_fuzz_iteration(opts, index)) {
+      print_failure(cli, opts, *failure);
       return 1;
     }
-    if (runs % report_every == 0) {
-      std::printf("%llu runs, 0 violations (last: n=%u %s/%s)\n",
-                  static_cast<unsigned long long>(runs), n,
-                  std::string(sim::daemon_kind_name(rc.daemon)).c_str(),
-                  std::string(pif::corruption_name(rc.corruption)).c_str());
-      std::fflush(stdout);
-    }
+    std::printf("iteration %llu: ok\n",
+                static_cast<unsigned long long>(index));
+    return 0;
+  }
+
+  std::unique_ptr<par::ThreadPool> pool;
+  if (jobs != 1) {
+    pool = std::make_unique<par::ThreadPool>(jobs);
+  }
+
+  const analysis::FuzzReport report = analysis::run_fuzz(
+      opts, iterations, pool.get(),
+      [](std::uint64_t done, const analysis::FuzzInstance& last) {
+        std::printf("%llu runs, 0 violations (last: n=%u %s/%s)\n",
+                    static_cast<unsigned long long>(done), last.n,
+                    std::string(sim::daemon_kind_name(last.daemon)).c_str(),
+                    std::string(pif::corruption_name(last.corruption)).c_str());
+        std::fflush(stdout);
+      });
+
+  if (!report.failures.empty()) {
+    print_failure(cli, opts, report.failures.front());
+    return 1;
   }
   std::printf("done: %llu runs, 0 violations\n",
-              static_cast<unsigned long long>(runs));
+              static_cast<unsigned long long>(report.iterations_run));
   return 0;
 }

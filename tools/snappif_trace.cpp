@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
 
   const std::string topology = cli.get_string("topology", "random");
   const auto n = static_cast<graph::NodeId>(cli.get_int("n", 16));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::uint64_t seed = cli.get_u64("seed", 1);
   const auto g = graph::make_by_name(topology, n, seed);
   if (!g.has_value()) {
     std::fprintf(stderr, "unknown --topology=%s (expected one of: %s)\n",
@@ -86,9 +86,8 @@ int main(int argc, char** argv) {
   }
 
   const auto root = static_cast<sim::ProcessorId>(cli.get_int("root", 0));
-  const auto cycles = static_cast<std::uint64_t>(cli.get_int("cycles", 3));
-  const auto max_steps = static_cast<std::uint64_t>(
-      cli.get_int("max-steps", 1'000'000));
+  const std::uint64_t cycles = cli.get_u64("cycles", 3);
+  const std::uint64_t max_steps = cli.get_u64("max-steps", 1'000'000);
 
   pif::PifProtocol protocol(*g, pif::Params::for_graph(*g, root));
   sim::Simulator<pif::PifProtocol> sim(protocol, *g, seed);
