@@ -19,10 +19,12 @@
 #include "bench_common.hpp"
 #include "graph/generators.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pif/checker.hpp"
 #include "pif/faults.hpp"
 #include "pif/instrument.hpp"
 #include "pif/protocol.hpp"
+#include "pif/wave_trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/cli.hpp"
 
@@ -92,6 +94,35 @@ double measure_steps_per_sec(const P& proto, const graph::Graph& g,
   return static_cast<double>(steps) / seconds;
 }
 
+/// Same workload with the full causal tracer attached: a WaveTraceProbe
+/// streaming wave/phase/correction spans into a bounded ring.  The ratio
+/// against the bare run is the observability tax when tracing is ON; the
+/// bare mask_steps_per_s numbers remain the tracing-OFF gate (one
+/// probes_.empty() check per step).
+double measure_traced_steps_per_sec(const pif::PifProtocol& proto,
+                                    const graph::Graph& g,
+                                    std::uint64_t steps) {
+  sim::Simulator<pif::PifProtocol> sim(proto, g, /*seed=*/1);
+  util::Rng rng(7);
+  sim.randomize(rng);
+  obs::SpanCollector spans(1 << 14);
+  pif::WaveTraceProbe wave(0, spans);
+  sim.add_probe(&wave);
+  sim::SynchronousDaemon daemon;
+  for (int i = 0; i < 50; ++i) {
+    (void)sim.step(daemon);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    if (!sim.step(daemon)) {
+      sim.randomize(rng);  // PIF never terminates; defensive only
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(steps) / seconds;
+}
+
 int run_quick_report(const util::Cli& cli) {
   const bool quick = cli.get_bool("quick", false);
   std::string path = cli.get_string("json", "BENCH_e10.json");
@@ -112,21 +143,25 @@ int run_quick_report(const util::Cli& cli) {
   std::printf("E10 quick report (%s, %llu timed steps per size)\n",
               quick ? "quick" : "full",
               static_cast<unsigned long long>(steps));
-  std::printf("%8s %16s %16s %10s\n", "n", "mask steps/s", "loop steps/s",
-              "speedup");
+  std::printf("%8s %16s %16s %10s %16s %10s\n", "n", "mask steps/s",
+              "loop steps/s", "speedup", "traced steps/s", "trace tax");
   for (const graph::NodeId n : {64, 256, 1024}) {
     const auto g = graph::make_random_connected(n, 2 * n, 42);
     pif::PifProtocol proto(g, pif::Params::for_graph(g));
     const double mask_rate = measure_steps_per_sec(proto, g, steps);
     const double loop_rate =
         measure_steps_per_sec(LoopOnly<pif::PifProtocol>(proto), g, steps);
+    const double traced_rate = measure_traced_steps_per_sec(proto, g, steps);
     report.add_size(n);
     const std::string suffix = "_n" + std::to_string(n);
     report.set_metric("mask_steps_per_s" + suffix, mask_rate);
     report.set_metric("loop_steps_per_s" + suffix, loop_rate);
     report.set_metric("speedup" + suffix, mask_rate / loop_rate);
-    std::printf("%8u %16.0f %16.0f %9.2fx\n", n, mask_rate, loop_rate,
-                mask_rate / loop_rate);
+    report.set_metric("traced_steps_per_s" + suffix, traced_rate);
+    report.set_metric("tracing_overhead" + suffix, mask_rate / traced_rate);
+    std::printf("%8u %16.0f %16.0f %9.2fx %16.0f %9.2fx\n", n, mask_rate,
+                loop_rate, mask_rate / loop_rate, traced_rate,
+                mask_rate / traced_rate);
   }
   if (!report.write(path)) {
     return 1;

@@ -1,10 +1,16 @@
 #include "analysis/fuzz.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "graph/generators.hpp"
 #include "par/shard.hpp"
+#include "pif/codec.hpp"
 #include "pif/faults.hpp"
+#include "pif/ghost.hpp"
+#include "pif/instrument.hpp"
+#include "pif/wave_trace.hpp"
 #include "util/rng.hpp"
 
 namespace snappif::analysis {
@@ -27,12 +33,9 @@ FuzzInstance fuzz_instance(const FuzzOptions& opts, std::uint64_t index) {
   return inst;
 }
 
-std::optional<FuzzFailure> run_fuzz_iteration(const FuzzOptions& opts,
-                                              std::uint64_t index) {
-  const FuzzInstance inst = fuzz_instance(opts, index);
-  const graph::Graph g = graph::make_random_connected(
-      inst.n, inst.extra_edges, inst.graph_seed);
+namespace {
 
+RunConfig run_config_of(const FuzzOptions& opts, const FuzzInstance& inst) {
   RunConfig rc;
   rc.daemon = inst.daemon;
   rc.corruption = inst.corruption;
@@ -40,12 +43,120 @@ std::optional<FuzzFailure> run_fuzz_iteration(const FuzzOptions& opts,
   rc.root = inst.root;
   rc.seed = inst.run_seed;
   rc.tweak_params = opts.tweak_params;
+  return rc;
+}
 
+}  // namespace
+
+std::optional<FuzzFailure> run_fuzz_iteration(const FuzzOptions& opts,
+                                              std::uint64_t index) {
+  return run_fuzz_iteration(opts, index, nullptr);
+}
+
+std::optional<FuzzFailure> run_fuzz_iteration(const FuzzOptions& opts,
+                                              std::uint64_t index,
+                                              obs::Registry* registry) {
+  const FuzzInstance inst = fuzz_instance(opts, index);
+  const graph::Graph g = graph::make_random_connected(
+      inst.n, inst.extra_edges, inst.graph_seed);
+  const RunConfig rc = run_config_of(opts, inst);
   const SnapResult result = check_snap_first_cycle(g, rc);
+
+  if (registry != nullptr) {
+    registry->counter("fuzz.iterations").inc();
+    registry->histogram("fuzz.instance.n", 32, 1.0)
+        .add(static_cast<double>(inst.n));
+    if (result.cycle_completed) {
+      registry->stats("fuzz.rounds_to_start")
+          .add(static_cast<double>(result.rounds_to_start));
+      registry->stats("fuzz.rounds_to_close")
+          .add(static_cast<double>(result.rounds_to_close));
+    }
+    registry->stats("fuzz.steps").add(static_cast<double>(result.steps));
+  }
   if (result.cycle_completed && result.ok()) {
     return std::nullopt;
   }
+  if (registry != nullptr) {
+    registry->counter("fuzz.violations").inc();
+  }
   return FuzzFailure{index, inst, result};
+}
+
+std::string snap_failure_text(const SnapResult& result) {
+  if (!result.cycle_completed) {
+    return "first cycle did not complete within the step budget";
+  }
+  std::string text = "first cycle violated";
+  if (!result.pif1) {
+    text += " [PIF1]";
+  }
+  if (!result.pif2) {
+    text += " [PIF2]";
+  }
+  if (result.aborted) {
+    text += " (aborted by a root B-correction)";
+  }
+  return text;
+}
+
+void record_fuzz_flight(const FuzzOptions& opts, const FuzzFailure& failure,
+                        obs::FlightRecorder& flight) {
+  const FuzzInstance& inst = failure.instance;
+  const graph::Graph g = graph::make_random_connected(
+      inst.n, inst.extra_edges, inst.graph_seed);
+  const RunConfig rc = run_config_of(opts, inst);
+
+  // Inline replica of check_snap_first_cycle's Bench: seed draw order must
+  // match exactly (sim seed is the FIRST rng() draw, corruption uses the
+  // same stream afterwards) so the traced trajectory is the failing one.
+  util::Rng rng(rc.seed);
+  pif::PifProtocol protocol(g, params_for(g, rc));
+  sim::Simulator<pif::PifProtocol> sim(std::move(protocol), g, rng());
+  sim.set_action_policy(rc.policy);
+  sim.set_score(
+      [](const pif::State& s) { return static_cast<std::int64_t>(s.level); });
+  auto daemon = sim::make_daemon(rc.daemon);
+  pif::apply_corruption(sim, rc.corruption, rng);
+
+  // Tracing attaches AFTER corruption: probes are pure observers, and
+  // skipping the per-set_state on_attach churn keeps the ring to real spans.
+  pif::GhostTracker tracker(g, sim.protocol().root());
+  pif::attach(sim, tracker);
+  pif::WaveTraceProbe wave(rc.root, flight.spans());
+  sim.add_probe(&wave);
+
+  sim::RunLimits limits;
+  limits.max_steps = rc.max_steps;
+  auto ra = sim.run_until(
+      *daemon,
+      [&](const pif::Config&) {
+        return tracker.cycle_active() || tracker.cycles_completed() > 0;
+      },
+      limits);
+  if (ra.reason == sim::StopReason::kPredicate) {
+    (void)sim.run_until(
+        *daemon,
+        [&](const pif::Config&) { return tracker.cycles_completed() > 0; },
+        limits);
+  }
+  wave.finish();
+  sim.remove_probe(&wave);
+
+  obs::FlightContext& ctx = flight.context();
+  ctx.scenario = "analysis.fuzz";
+  ctx.seed = opts.master_seed;
+  ctx.shard = failure.index;
+  if (ctx.failure.empty()) {
+    ctx.failure = snap_failure_text(failure.result);
+  }
+  const pif::StateCodec codec(g, sim.protocol().params());
+  std::vector<std::uint64_t> words;
+  words.reserve(g.n());
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    words.push_back(codec.encode(sim.config().state(p)));
+  }
+  flight.set_snapshot("pif.codec.v1", std::move(words));
 }
 
 FuzzReport run_fuzz(
@@ -62,26 +173,31 @@ FuzzReport run_fuzz(
     // Shard boundaries depend only on the wave shape, never on the pool.
     const std::size_t shards = static_cast<std::size_t>(
         (wave_len + kFuzzIterationsPerShard - 1) / kFuzzIterationsPerShard);
-    auto shard_failures = par::run_shards(
+    struct ShardOut {
+      std::vector<FuzzFailure> failures;
+      obs::Registry metrics;
+    };
+    auto shard_out = par::run_shards(
         opts.master_seed, shards,
         [&](par::ShardContext& ctx) {
-          std::vector<FuzzFailure> found;
+          ShardOut out;
           const std::uint64_t lo =
               wave_begin + ctx.index * kFuzzIterationsPerShard;
           const std::uint64_t hi = std::min(
               wave_begin + wave_len, lo + kFuzzIterationsPerShard);
           for (std::uint64_t i = lo; i < hi; ++i) {
-            if (auto failure = run_fuzz_iteration(opts, i)) {
-              found.push_back(std::move(*failure));
+            if (auto failure = run_fuzz_iteration(opts, i, &out.metrics)) {
+              out.failures.push_back(std::move(*failure));
             }
           }
-          return found;
+          return out;
         },
         pool);
     next = wave_begin + wave_len;
     report.iterations_run = next;
-    for (auto& failures : shard_failures) {  // shard order == index order
-      for (auto& f : failures) {
+    for (auto& out : shard_out) {  // shard order == index order
+      report.metrics.merge(out.metrics);
+      for (auto& f : out.failures) {
         report.failures.push_back(std::move(f));
       }
     }

@@ -21,10 +21,13 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "analysis/runners.hpp"
 #include "graph/graph.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 #include "par/pool.hpp"
 
 namespace snappif::analysis {
@@ -65,11 +68,36 @@ struct FuzzFailure {
 [[nodiscard]] std::optional<FuzzFailure> run_fuzz_iteration(
     const FuzzOptions& opts, std::uint64_t index);
 
+/// Same, recording telemetry into `registry` (nullable): counters
+/// fuzz.iterations / fuzz.violations, the fuzz.instance.n histogram, and
+/// fuzz.rounds_to_start / fuzz.rounds_to_close / fuzz.steps statistics.
+/// Only registry-order-invariant content is recorded, so merged fuzz metrics
+/// fingerprint identically for any worker count.
+[[nodiscard]] std::optional<FuzzFailure> run_fuzz_iteration(
+    const FuzzOptions& opts, std::uint64_t index, obs::Registry* registry);
+
+/// Replays `failure`'s iteration with a pif::WaveTraceProbe streaming into
+/// `flight` and stamps the flight context (scenario "analysis.fuzz", the
+/// master seed, shard = failing index, the violated-check diagnosis) plus a
+/// packed pif.codec.v1 snapshot of the final configuration.  The tracing
+/// probes attach AFTER corruption — identical trajectory to the plain run,
+/// verified by the determinism tests.  The caller stamps tool/replay.
+void record_fuzz_flight(const FuzzOptions& opts, const FuzzFailure& failure,
+                        obs::FlightRecorder& flight);
+
+/// Human-readable diagnosis of a failed SnapResult ("first cycle violated
+/// [PIF1]" etc.); used for flight contexts and tool output.
+[[nodiscard]] std::string snap_failure_text(const SnapResult& result);
+
 struct FuzzReport {
   std::uint64_t iterations_run = 0;
   /// All failures of the first failing wave, sorted by index; empty on a
   /// clean run.  failures.front() is THE deterministic first failure.
   std::vector<FuzzFailure> failures;
+  /// Per-shard registries merged in shard (= index) order: bit-identical for
+  /// any worker count, so obs::fingerprint(metrics) is a regression-stable
+  /// run digest (the --metrics-out payload).
+  obs::Registry metrics;
 };
 
 /// Wave shape: fixed so results cannot depend on worker count.

@@ -6,9 +6,11 @@
 #include <utility>
 
 #include "graph/properties.hpp"
+#include "pif/codec.hpp"
 #include "pif/faults.hpp"
 #include "pif/ghost.hpp"
 #include "pif/instrument.hpp"
+#include "pif/wave_trace.hpp"
 #include "sim/daemon.hpp"
 #include "sim/faults.hpp"
 #include "util/assert.hpp"
@@ -27,6 +29,10 @@ class CampaignEngine {
     SNAPPIF_ASSERT(opts.root < g.n());
     present_ = g.edges();
     daemon_ = sim::make_daemon(opts.daemon);
+    if (opts_.flight != nullptr) {
+      wave_ = std::make_unique<pif::WaveTraceProbe>(
+          opts_.root, opts_.flight->spans(), opts_.registry);
+    }
     rebuild(nullptr);
   }
 
@@ -57,6 +63,7 @@ class CampaignEngine {
                          std::to_string(target) + " (" + stop_name(r.reason) +
                          ")";
         record_telemetry(result);
+        record_flight(result);
         return result;
       }
     }
@@ -65,6 +72,7 @@ class CampaignEngine {
 
     run_oracle(result);
     record_telemetry(result);
+    record_flight(result);
     return result;
   }
 
@@ -104,6 +112,9 @@ class CampaignEngine {
     sim_ = std::move(next_sim);    // old simulator (and its graph refs) die first
     graph_ = std::move(next_graph);
     sim_->add_probe(&clock_);
+    if (wave_ != nullptr) {
+      sim_->add_probe(wave_.get());  // survives rebuilds: monotone span clock
+    }
     pif::attach(*sim_, tracker_);
   }
 
@@ -321,6 +332,30 @@ class CampaignEngine {
     }
   }
 
+  /// Closes open spans and, on failure, stamps the diagnosis + packed final
+  /// configuration into the flight recorder (the artifact snappif_chaos
+  /// dumps and `snappif_trace --flight` renders).
+  void record_flight(const CampaignResult& result) {
+    if (opts_.flight == nullptr) {
+      return;
+    }
+    wave_->finish();
+    if (result.ok()) {
+      return;
+    }
+    obs::FlightContext& ctx = opts_.flight->context();
+    if (ctx.failure.empty()) {
+      ctx.failure = result.failure.empty() ? "campaign failed" : result.failure;
+    }
+    const pif::StateCodec codec(*graph_, sim_->protocol().params());
+    std::vector<std::uint64_t> words;
+    words.reserve(n_);
+    for (sim::ProcessorId p = 0; p < n_; ++p) {
+      words.push_back(codec.encode(sim_->config().state(p)));
+    }
+    opts_.flight->set_snapshot("pif.codec.v1", std::move(words));
+  }
+
   CampaignOptions opts_;
   util::Rng rng_;
   graph::NodeId n_;
@@ -331,6 +366,7 @@ class CampaignEngine {
   std::unique_ptr<sim::IDaemon> daemon_;
   RoundClock clock_;
   pif::GhostTracker tracker_;
+  std::unique_ptr<pif::WaveTraceProbe> wave_;
 };
 
 }  // namespace

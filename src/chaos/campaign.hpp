@@ -39,6 +39,7 @@
 
 #include "chaos/schedule.hpp"
 #include "graph/graph.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "pif/params.hpp"
 #include "pif/protocol.hpp"
@@ -80,6 +81,13 @@ struct CampaignOptions {
   std::function<void(pif::Params&)> tweak_params;
   /// Optional telemetry sink; see src/chaos/README.md for the metric names.
   obs::Registry* registry = nullptr;
+  /// Optional always-on flight recorder.  While set, a pif::WaveTraceProbe
+  /// streams wave/phase/correction spans into its bounded ring (re-attached
+  /// across the simulator rebuilds link churn causes, so span timestamps
+  /// stay monotone on the campaign clock); on any campaign failure the
+  /// engine stamps the oracle diagnosis and a packed pif::StateCodec
+  /// snapshot of the final configuration into it.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 struct CampaignResult {

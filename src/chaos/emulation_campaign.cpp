@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <vector>
 
+#include <memory>
+
 #include "graph/properties.hpp"
 #include "mp/guarded_emulation.hpp"
+#include "obs/trace.hpp"
 #include "pif/codec.hpp"
 #include "pif/ghost.hpp"
 #include "pif/protocol.hpp"
@@ -30,6 +33,100 @@ struct CrashWindow {
   sim::ProcessorId processor;
   bool corrupt;
   bool applied = false;
+};
+
+/// Wave/phase/link span tracer for the emulation path: the message-passing
+/// sibling of pif::WaveTraceProbe, fed by the emulation apply hook and the
+/// link's frame observer instead of engine probes.  Timestamps are emulated
+/// rounds, so flight-recorder spans line up with every round count the
+/// result reports.
+class EmuTracer final : public mp::ILinkObserver {
+ public:
+  EmuTracer(obs::SpanCollector& spans, sim::ProcessorId root,
+            const sim::Configuration<pif::State>& initial)
+      : spans_(&spans), root_(root) {
+    const std::size_t n = initial.states().size();
+    last_phase_.reserve(n);
+    phase_span_.reserve(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      last_phase_.push_back(initial.states()[p].pif);
+      phase_span_.push_back(
+          open_phase(static_cast<sim::ProcessorId>(p), last_phase_.back()));
+    }
+  }
+
+  void set_tick(std::uint64_t tick) noexcept { tick_ = tick; }
+
+  void on_apply(sim::ProcessorId p, sim::ActionId a, const pif::State& after) {
+    // Root actions first, so the B-action's own transition nests inside the
+    // wave it opens (same ordering as pif::WaveTraceProbe).
+    if (p == root_ && a == pif::kBAction) {
+      if (wave_span_ != 0) {
+        spans_->close(wave_span_, tick_);  // aborted wave: close where it died
+      }
+      wave_span_ = spans_->open(obs::SpanKind::kWave, tick_, root_);
+    }
+    if (a == pif::kBCorrection || a == pif::kFCorrection) {
+      spans_->instant(obs::SpanKind::kCorrectionBurst, tick_, p, wave_span_,
+                      wave_span_, std::string(pif::action_label(a)));
+    }
+    if (p < last_phase_.size() && after.pif != last_phase_[p]) {
+      spans_->close(phase_span_[p], tick_);
+      last_phase_[p] = after.pif;
+      phase_span_[p] = open_phase(p, after.pif);
+    }
+    if (p == root_ && a == pif::kFAction && wave_span_ != 0) {
+      spans_->close(wave_span_, tick_);
+      wave_span_ = 0;
+    }
+  }
+
+  /// Free-form instant annotation (crash/recover events).
+  void mark(sim::ProcessorId p, std::string detail) {
+    spans_->instant(obs::SpanKind::kMark, tick_, p, 0, wave_span_,
+                    std::move(detail));
+  }
+
+  void finish() {
+    for (const obs::SpanId id : phase_span_) {
+      spans_->close(id, tick_);
+    }
+    if (wave_span_ != 0) {
+      spans_->close(wave_span_, tick_);
+      wave_span_ = 0;
+    }
+  }
+
+  // mp::ILinkObserver: frame life-cycle spans, attributed to the wave in
+  // flight at observation time.
+  void on_link_transmit(mp::ProcessorId from, mp::ProcessorId to,
+                        bool retransmit) override {
+    spans_->instant(retransmit ? obs::SpanKind::kLinkRetransmit
+                               : obs::SpanKind::kLinkSend,
+                    tick_, from, 0, wave_span_, {}, to);
+  }
+  void on_link_delivered(mp::ProcessorId to, mp::ProcessorId from) override {
+    spans_->instant(obs::SpanKind::kLinkDeliver, tick_, to, 0, wave_span_, {},
+                    from);
+  }
+  void on_link_peer_reset(mp::ProcessorId to, mp::ProcessorId from) override {
+    spans_->instant(obs::SpanKind::kLinkPeerReset, tick_, to, 0, wave_span_,
+                    {}, from);
+  }
+
+ private:
+  obs::SpanId open_phase(sim::ProcessorId p, pif::Phase ph) {
+    const char label[2] = {pif::phase_char(ph), '\0'};
+    return spans_->open(obs::SpanKind::kPhase, tick_, p, wave_span_,
+                        wave_span_, label);
+  }
+
+  obs::SpanCollector* spans_;
+  sim::ProcessorId root_;
+  std::vector<pif::Phase> last_phase_;
+  std::vector<obs::SpanId> phase_span_;
+  obs::SpanId wave_span_ = 0;
+  std::uint64_t tick_ = 0;
 };
 
 void record_telemetry(obs::Registry* registry, const Emulation& emu,
@@ -104,12 +201,40 @@ EmulationCampaignResult run_emulation_campaign(
 
   Emulation emu(g, proto, pif::StateCodec(g, params), initial, opts.seed);
   pif::GhostTracker tracker(g, opts.root);
-  emu.set_apply_hook([&tracker](sim::ProcessorId p, sim::ActionId a,
-                                const pif::State& after) {
+  std::unique_ptr<EmuTracer> tracer;
+  if (opts.flight != nullptr) {
+    tracer = std::make_unique<EmuTracer>(opts.flight->spans(), opts.root,
+                                         initial);
+    emu.link().set_observer(tracer.get());
+  }
+  emu.set_apply_hook([&tracker, &tracer](sim::ProcessorId p, sim::ActionId a,
+                                         const pif::State& after) {
+    if (tracer != nullptr) {
+      tracer->on_apply(p, a, after);
+    }
     tracker.on_apply(p, a, after);
   });
 
   const auto finish = [&](EmulationCampaignResult& r) {
+    if (tracer != nullptr) {
+      tracer->set_tick(emu.rounds());
+      tracer->finish();
+      if (!r.ok()) {
+        obs::FlightContext& ctx = opts.flight->context();
+        if (ctx.failure.empty()) {
+          ctx.failure =
+              r.failure.empty() ? "emulation campaign failed" : r.failure;
+        }
+        const sim::Configuration<pif::State> view = emu.global_view();
+        const pif::StateCodec codec(g, params);
+        std::vector<std::uint64_t> words;
+        words.reserve(g.n());
+        for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+          words.push_back(codec.encode(view.state(p)));
+        }
+        opts.flight->set_snapshot("pif.codec.v1", std::move(words));
+      }
+    }
     r.rounds_total = emu.rounds();
     r.actions_applied = emu.actions_applied();
     r.cycles_completed = tracker.cycles_completed();
@@ -161,6 +286,9 @@ EmulationCampaignResult run_emulation_campaign(
       result.failure = "fault phase exceeded max_rounds";
       return finish(result);
     }
+    if (tracer != nullptr) {
+      tracer->set_tick(emu.rounds());
+    }
     for (CrashWindow& cw : crashes) {
       if (cw.begin == round) {
         if (emu.network().crashed(cw.processor)) {
@@ -169,6 +297,9 @@ EmulationCampaignResult run_emulation_campaign(
           emu.crash(cw.processor);
           cw.applied = true;
           ++result.crashes_applied;
+          if (tracer != nullptr) {
+            tracer->mark(cw.processor, cw.corrupt ? "crash.corrupt" : "crash");
+          }
         }
       }
       if (cw.applied && cw.end == round && emu.network().crashed(cw.processor)) {
@@ -177,6 +308,9 @@ EmulationCampaignResult run_emulation_campaign(
                                : Emulation::Recovery::kReset,
                     rng);
         cw.applied = false;
+        if (tracer != nullptr) {
+          tracer->mark(cw.processor, "recover");
+        }
       }
     }
     set_rates(round);
@@ -187,12 +321,18 @@ EmulationCampaignResult run_emulation_campaign(
   // the oracle's clock starts (quiet_round = max over events of
   // round+duration, so nothing ends later).  A zero-duration crash landing
   // exactly on the quiet round degenerates to an instant reboot.
+  if (tracer != nullptr) {
+    tracer->set_tick(emu.rounds());
+  }
   for (CrashWindow& cw : crashes) {
     if (!cw.applied && cw.begin >= result.quiet_round &&
         !emu.network().crashed(cw.processor)) {
       emu.crash(cw.processor);
       ++result.crashes_applied;
       cw.applied = true;
+      if (tracer != nullptr) {
+        tracer->mark(cw.processor, cw.corrupt ? "crash.corrupt" : "crash");
+      }
     }
     if (cw.applied && emu.network().crashed(cw.processor)) {
       emu.recover(cw.processor,
@@ -200,6 +340,9 @@ EmulationCampaignResult run_emulation_campaign(
                              : Emulation::Recovery::kReset,
                   rng);
       cw.applied = false;
+      if (tracer != nullptr) {
+        tracer->mark(cw.processor, "recover");
+      }
     }
   }
   emu.network().set_loss_rate(0.0);
@@ -213,6 +356,9 @@ EmulationCampaignResult run_emulation_campaign(
   emu.set_action_gate(opts.root, sim::ActionMask{1} << pif::kBAction);
   const std::uint64_t settle_start = emu.rounds();
   while (!emu.quiescent()) {
+    if (tracer != nullptr) {
+      tracer->set_tick(emu.rounds());
+    }
     if (emu.rounds() - settle_start >= opts.settle_round_budget) {
       result.failure = "did not settle within " +
                        std::to_string(opts.settle_round_budget) +
@@ -229,6 +375,9 @@ EmulationCampaignResult run_emulation_campaign(
   const std::uint64_t cycles_at_release = tracker.cycles_completed();
   const std::uint64_t release_start = emu.rounds();
   while (tracker.cycles_completed() == cycles_at_release) {
+    if (tracer != nullptr) {
+      tracer->set_tick(emu.rounds());
+    }
     if (emu.rounds() - release_start >= opts.recovery_round_budget) {
       result.failure = "no cycle completed within " +
                        std::to_string(opts.recovery_round_budget) +

@@ -28,6 +28,7 @@
 
 #include "chaos/schedule.hpp"
 #include "graph/graph.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "sim/types.hpp"
 
@@ -47,6 +48,12 @@ struct EmulationCampaignOptions {
   bool arbitrary_init = false;
   /// Optional telemetry sink (metrics prefixed "chaos.emu." + "mp.link.*").
   obs::Registry* registry = nullptr;
+  /// Optional always-on flight recorder: wave/phase/correction spans from
+  /// the emulated protocol plus link frame spans (send/retransmit/deliver/
+  /// peer-reset via mp::ILinkObserver) and crash/recover marks, timestamped
+  /// in emulated rounds.  On failure the runner stamps the diagnosis and the
+  /// packed global view.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 struct EmulationCampaignResult {

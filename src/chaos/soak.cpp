@@ -1,5 +1,8 @@
 #include "chaos/soak.hpp"
 
+#include <memory>
+#include <utility>
+
 #include "chaos/emulation_campaign.hpp"
 #include "chaos/mp_campaign.hpp"
 #include "par/shard.hpp"
@@ -25,9 +28,18 @@ SoakOutcome run_soak_campaign(const graph::Graph& g, const SoakOptions& opts,
   outcome.schedule = job.schedule;
   outcome.seed = job.seed;
 
+  // Always-on flight recording: every campaign streams spans into a bounded
+  // ring while it runs; the recorder is kept on the outcome only when the
+  // campaign failed (successes drop it below to keep soak memory flat).
+  auto flight = std::make_shared<obs::FlightRecorder>();
+  flight->context().scenario = "chaos.soak";
+  flight->context().seed = job.seed;
+  flight->context().shard = index;
+
   CampaignOptions copts = opts.campaign;
   copts.seed = job.seed;
   copts.registry = registry;
+  copts.flight = flight.get();
   outcome.shared = run_campaign(g, job.schedule, copts);
 
   if (opts.run_mp) {
@@ -40,6 +52,7 @@ SoakOutcome run_soak_campaign(const graph::Graph& g, const SoakOptions& opts,
       emu_opts.root = copts.root;
       emu_opts.seed = job.seed;
       emu_opts.registry = registry;
+      emu_opts.flight = flight.get();
       const EmulationCampaignResult er =
           run_emulation_campaign(g, job.schedule, emu_opts);
       outcome.mp_ok = er.ok();
@@ -53,6 +66,16 @@ SoakOutcome run_soak_campaign(const graph::Graph& g, const SoakOptions& opts,
       outcome.mp_ok = mr.ok();
       outcome.mp_failure = mr.failure;
     }
+    if (!outcome.mp_ok && !flight->failed()) {
+      // mp runner without its own flight hookup (repeated-PIF leg): stamp
+      // the diagnosis so the dump still names the failing oracle.
+      flight->context().failure =
+          outcome.mp_failure.empty() ? "mp campaign failed"
+                                     : outcome.mp_failure;
+    }
+  }
+  if (!outcome.ok()) {
+    outcome.flight = std::move(flight);
   }
   return outcome;
 }
@@ -80,6 +103,11 @@ SoakReport run_soak(const graph::Graph& g, const SoakOptions& opts,
       report.first_failure = i;
     }
     report.metrics.merge(shards[i].metrics);
+    if (shards[i].outcome.flight != nullptr) {
+      // Index-order merge: span ids re-base deterministically and the
+      // LOWEST failing campaign's context/snapshot win.
+      report.flight.merge(*shards[i].outcome.flight);
+    }
     report.outcomes.push_back(std::move(shards[i].outcome));
   }
   return report;

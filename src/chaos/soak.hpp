@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "chaos/campaign.hpp"
 #include "chaos/schedule.hpp"
 #include "graph/graph.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "par/pool.hpp"
 
@@ -63,6 +65,12 @@ struct SoakOutcome {
   bool used_emulation = false;
   bool mp_ok = true;
   std::string mp_failure;
+  /// Flight recording of the campaign, retained only when it FAILED (the
+  /// recorder streams during every run, but successful campaigns drop theirs
+  /// at the join to keep soak memory flat).  Context carries scenario
+  /// ("chaos.soak"), the campaign seed, and shard = index; the tool stamps
+  /// its own name and the exact replay command before dumping.
+  std::shared_ptr<obs::FlightRecorder> flight;
 
   [[nodiscard]] bool ok() const noexcept { return shared.ok() && mp_ok; }
 };
@@ -82,6 +90,11 @@ struct SoakReport {
   std::vector<SoakOutcome> outcomes;
   /// Per-campaign registries merged in index order.
   obs::Registry metrics;
+  /// Failing campaigns' flight recorders merged in index order: the span
+  /// stream is byte-identical for any worker count, and the context /
+  /// snapshot are the LOWEST failing campaign's (FlightRecorder::merge keeps
+  /// the first failure it sees).  Empty-context recorder when ok().
+  obs::FlightRecorder flight;
   /// Lowest failing campaign index — THE deterministic first failure.
   std::optional<std::size_t> first_failure;
 

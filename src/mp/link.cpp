@@ -93,6 +93,9 @@ void LinkProtocol::transmit(std::size_t e, SenderState& s, std::uint8_t kind,
   // the round-trip time equals the initial RTO.
   s.timer = s.backoff + 1;
   ++stats_.data_sent;
+  if (observer_ != nullptr) {
+    observer_->on_link_transmit(src_[e], dst_[e], /*retransmit=*/false);
+  }
   mailer_->send(src_[e], dst_[e],
                 Message{cfg_.data_kind, pack_data(s.inc, s.seq, kind), payload});
 }
@@ -154,6 +157,9 @@ void LinkProtocol::tick() {
     ++stats_.retransmits;
     s.backoff = std::min(s.backoff * 2, cfg_.rto_cap);
     s.timer = s.backoff;
+    if (observer_ != nullptr) {
+      observer_->on_link_transmit(src_[e], dst_[e], /*retransmit=*/true);
+    }
     mailer_->send(src_[e], dst_[e],
                   Message{cfg_.data_kind, pack_data(s.inc, s.seq, s.kind),
                           s.payload});
@@ -243,7 +249,13 @@ void LinkProtocol::handle_data(ProcessorId p, ProcessorId from,
     ++stats_.delivered;
     if (resync) {
       ++stats_.peer_resets;
+      if (observer_ != nullptr) {
+        observer_->on_link_peer_reset(p, from);
+      }
       client_->on_link_peer_reset(p, from, *this);
+    }
+    if (observer_ != nullptr) {
+      observer_->on_link_delivered(p, from);
     }
     client_->on_link_deliver(p, from, header_kind(m.a), m.b, *this);
   }

@@ -50,6 +50,23 @@ namespace snappif::mp {
 
 class LinkProtocol;
 
+/// Passive frame-lifecycle observer (wave tracing, flight recorders).
+/// Unlike LinkClient this is pure telemetry: observers must not call back
+/// into the link.  Every notification site is one `!= nullptr` branch, so
+/// an unobserved link pays a single predictable-not-taken compare per event.
+class ILinkObserver {
+ public:
+  virtual ~ILinkObserver() = default;
+  /// A data frame hit the mailer on edge (from -> to); `retransmit`
+  /// distinguishes ARQ timer re-sends from first transmissions.
+  virtual void on_link_transmit(ProcessorId /*from*/, ProcessorId /*to*/,
+                                bool /*retransmit*/) {}
+  /// Exactly-once delivery upcall on edge (from -> to) is about to happen.
+  virtual void on_link_delivered(ProcessorId /*to*/, ProcessorId /*from*/) {}
+  /// Receiver `to` accepted an unproven incarnation from `from`.
+  virtual void on_link_peer_reset(ProcessorId /*to*/, ProcessorId /*from*/) {}
+};
+
 /// Upper layer of the link: receives exactly-once datagrams.
 class LinkClient {
  public:
@@ -133,6 +150,10 @@ class LinkProtocol final : public IMpProtocol {
   /// Adds the stats to `registry` as "mp.link.*" counters.
   void record_telemetry(obs::Registry& registry) const;
 
+  /// Installs (or clears, with nullptr) the frame-lifecycle observer.  The
+  /// observer must outlive the link or be cleared first.
+  void set_observer(ILinkObserver* observer) noexcept { observer_ = observer; }
+
   // IMpProtocol:
   void on_start(ProcessorId p, Mailer& mailer) override;
   void on_message(ProcessorId p, ProcessorId from, const Message& m,
@@ -170,6 +191,7 @@ class LinkProtocol final : public IMpProtocol {
 
   const graph::Graph* graph_;
   LinkClient* client_;
+  ILinkObserver* observer_ = nullptr;
   LinkConfig cfg_;
   util::Rng rng_;
   Mailer* mailer_ = nullptr;

@@ -94,8 +94,7 @@ std::string EventLog::render_chrome_trace() const {
   return out;
 }
 
-namespace {
-bool write_file(const std::string& path, const std::string& content) {
+bool write_text_file(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     SNAPPIF_LOG_ERROR("cannot open %s for writing", path.c_str());
@@ -109,14 +108,13 @@ bool write_file(const std::string& path, const std::string& content) {
   }
   return ok;
 }
-}  // namespace
 
 bool EventLog::write_jsonl(const std::string& path) const {
-  return write_file(path, render_jsonl());
+  return write_text_file(path, render_jsonl());
 }
 
 bool EventLog::write_chrome_trace(const std::string& path) const {
-  return write_file(path, render_chrome_trace());
+  return write_text_file(path, render_chrome_trace());
 }
 
 }  // namespace snappif::obs

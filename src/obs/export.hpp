@@ -74,4 +74,10 @@ class EventLog {
 /// Serializes one event as a JSON object (shared by both renderers).
 [[nodiscard]] std::string event_json(const TraceEvent& event);
 
+/// Writes `content` to `path` in one shot; false (with a log line) on I/O
+/// failure.  Shared by every exporter that lands JSON on disk (event logs,
+/// registry snapshots, flight-recorder dumps, tool --metrics-out flags).
+[[nodiscard]] bool write_text_file(const std::string& path,
+                                   const std::string& content);
+
 }  // namespace snappif::obs

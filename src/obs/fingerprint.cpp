@@ -1,0 +1,70 @@
+#include "obs/fingerprint.hpp"
+
+#include <cstdio>
+
+namespace snappif::obs {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+class Fnv {
+ public:
+  void byte(std::uint8_t b) noexcept {
+    h_ = (h_ ^ b) * kFnvPrime;
+  }
+  void u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {  // little-endian, platform-independent
+      byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void str(std::string_view s) noexcept {
+    for (const char c : s) {
+      byte(static_cast<std::uint8_t>(c));
+    }
+    byte(0);  // terminator keeps ("ab","c") distinct from ("a","bc")
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnvOffset;
+};
+
+}  // namespace
+
+std::uint64_t fingerprint(const Registry& r) {
+  Fnv h;
+  // Maps iterate in sorted name order, so the stream is canonical.  Each
+  // section is tagged so a counter named X can never collide with a
+  // histogram named X.
+  for (const auto& [name, counter] : r.counters()) {
+    h.byte('c');
+    h.str(name);
+    h.u64(counter.value());
+  }
+  for (const auto& [name, hist] : r.histograms()) {
+    h.byte('h');
+    h.str(name);
+    h.u64(hist.total());
+    h.u64(hist.bucket_count());
+    for (std::size_t i = 0; i < hist.bucket_count(); ++i) {
+      h.u64(hist.bucket(i));
+    }
+  }
+  for (const auto& [name, stats] : r.all_stats()) {
+    h.byte('s');
+    h.str(name);
+    h.u64(stats.count());
+  }
+  return h.value();
+}
+
+std::string fingerprint_hex(const Registry& r) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint(r)));
+  return buf;
+}
+
+}  // namespace snappif::obs

@@ -1,0 +1,39 @@
+// Stable registry fingerprint: the coverage signal for coverage-guided
+// chaos (ROADMAP item 5).
+//
+// fingerprint(r) hashes a canonical byte stream of the registry's *integer*
+// content — counter values, histogram totals and buckets, stats sample
+// counts — in sorted name order.  Two registries with the same integer
+// content hash identically, on any platform, in any build.
+//
+// What is deliberately EXCLUDED, and why:
+//   * gauges — Registry::merge is last-write-wins for gauges, so their
+//     merged value depends on merge order; including them would break the
+//     invariance below;
+//   * floating-point stats moments (mean/m2/min/max) — parallel Welford
+//     merges are associative in exact arithmetic but not in doubles, so the
+//     bits can differ across merge shapes.  The sample *count* is exact and
+//     is included.
+//
+// Invariance guarantee (pinned by tests/obs/test_fingerprint.cpp): for
+// registries a, b:  fp(merge(a, b)) == fp(merge(b, a)) — counters and
+// histogram buckets add commutatively and stats counts add commutatively.
+// This is what lets a chaos campaign's fingerprint act as a deterministic
+// coverage key regardless of --jobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace snappif::obs {
+
+/// 64-bit FNV-1a over the canonical integer content of `r`.
+[[nodiscard]] std::uint64_t fingerprint(const Registry& r);
+
+/// The same fingerprint as a fixed-width lowercase hex string
+/// ("0123456789abcdef"), the form tools print and dumps embed.
+[[nodiscard]] std::string fingerprint_hex(const Registry& r);
+
+}  // namespace snappif::obs

@@ -1,0 +1,174 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace snappif::obs {
+
+namespace {
+
+constexpr std::uint64_t kDumpVersion = 1;
+
+std::string hex_word(std::uint64_t w) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(w));
+  return buf;
+}
+
+/// Parses "0x<hex>" exactly; false on anything else (including overflow).
+bool parse_hex_word(std::string_view s, std::uint64_t* out) {
+  if (s.size() < 3 || s.size() > 18 || s[0] != '0' || s[1] != 'x') {
+    return false;
+  }
+  std::uint64_t v = 0;
+  for (const char c : s.substr(2)) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t span_capacity)
+    : spans_(span_capacity) {}
+
+void FlightRecorder::set_snapshot(std::string format,
+                                  std::vector<std::uint64_t> words) {
+  snapshot_format_ = std::move(format);
+  snapshot_words_ = std::move(words);
+}
+
+void FlightRecorder::merge(const FlightRecorder& other) {
+  spans_.merge(other.spans_);
+  if (!failed() && other.failed()) {
+    context_ = other.context_;
+    snapshot_format_ = other.snapshot_format_;
+    snapshot_words_ = other.snapshot_words_;
+  }
+}
+
+std::string FlightRecorder::dump_json() const {
+  std::string out = "{\"flight\":";
+  out += json_number(static_cast<double>(kDumpVersion));
+  out += ",\"tool\":\"";
+  out += json_escape(context_.tool);
+  out += "\",\"scenario\":\"";
+  out += json_escape(context_.scenario);
+  // Seeds are full 64-bit RNG outputs; JSON numbers round-trip through
+  // doubles and corrupt anything above 2^53, so the seed travels as a hex
+  // string like the snapshot words.
+  out += "\",\"seed\":\"";
+  out += hex_word(context_.seed);
+  out += "\",\"shard\":";
+  out += json_number(static_cast<double>(context_.shard));
+  out += ",\"failure\":\"";
+  out += json_escape(context_.failure);
+  out += "\",\"replay\":\"";
+  out += json_escape(context_.replay);
+  out += "\",\"snapshot\":{\"format\":\"";
+  out += json_escape(snapshot_format_);
+  out += "\",\"words\":[";
+  bool first = true;
+  for (const std::uint64_t w : snapshot_words_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += hex_word(w);
+    out += '"';
+  }
+  out += "]},\"spans_dropped\":";
+  out += json_number(static_cast<double>(spans_.dropped()));
+  out += ",\"spans\":[";
+  first = true;
+  for (const Span& s : spans_.spans()) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += span_json(s);
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool FlightRecorder::write(const std::string& path) const {
+  return write_text_file(path, dump_json());
+}
+
+std::optional<FlightDump> parse_flight_dump(std::string_view json) {
+  const auto doc = json_parse(json);
+  if (!doc.has_value() || !doc->is_object() ||
+      doc->get_u64("flight") != kDumpVersion) {
+    return std::nullopt;
+  }
+  FlightDump dump;
+  dump.context.tool = doc->get_string("tool");
+  dump.context.scenario = doc->get_string("scenario");
+  if (const JsonValue* seed = doc->get("seed");
+      seed != nullptr && seed->is_string()) {
+    if (!parse_hex_word(seed->string, &dump.context.seed)) {
+      return std::nullopt;
+    }
+  } else {
+    dump.context.seed = doc->get_u64("seed");
+  }
+  dump.context.shard = doc->get_u64("shard");
+  dump.context.failure = doc->get_string("failure");
+  dump.context.replay = doc->get_string("replay");
+  dump.spans_dropped = doc->get_u64("spans_dropped");
+
+  if (const JsonValue* snap = doc->get("snapshot");
+      snap != nullptr && snap->is_object()) {
+    dump.snapshot_format = snap->get_string("format");
+    const JsonValue* words = snap->get("words");
+    if (words == nullptr || !words->is_array()) {
+      return std::nullopt;
+    }
+    dump.snapshot_words.reserve(words->array.size());
+    for (const JsonValue& w : words->array) {
+      std::uint64_t v = 0;
+      if (!w.is_string() || !parse_hex_word(w.string, &v)) {
+        return std::nullopt;
+      }
+      dump.snapshot_words.push_back(v);
+    }
+  }
+
+  const JsonValue* spans = doc->get("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    return std::nullopt;
+  }
+  dump.spans.reserve(spans->array.size());
+  for (const JsonValue& row : spans->array) {
+    if (!row.is_object()) {
+      return std::nullopt;
+    }
+    Span s;
+    s.id = row.get_u64("id");
+    s.parent = row.get_u64("parent");
+    s.wave = row.get_u64("wave");
+    if (!span_kind_from_name(row.get_string("kind"), &s.kind)) {
+      return std::nullopt;
+    }
+    s.begin = row.get_u64("begin");
+    s.end = row.get_u64("end");
+    s.tid = static_cast<std::uint32_t>(row.get_u64("tid"));
+    s.peer = static_cast<std::uint32_t>(row.get_u64("peer"));
+    s.detail = row.get_string("detail");
+    dump.spans.push_back(std::move(s));
+  }
+  return dump;
+}
+
+}  // namespace snappif::obs

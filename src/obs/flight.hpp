@@ -1,0 +1,103 @@
+// Always-on bounded flight recorder.
+//
+// A FlightRecorder rides along every chaos campaign, emulation run, and fuzz
+// wave: a small drop-oldest SpanCollector (recent causal history), the run's
+// identifying context, and — filled in at the moment of failure — the oracle
+// diagnosis, an exact replay command line, and a packed snapshot of the
+// final configuration (pif::StateCodec words, one per processor).  Because
+// the ring is bounded and span production is branch-guarded, "always on"
+// costs a few KB per shard and nothing on the simulator hot path.
+//
+// On failure the recorder serializes to a single JSON artifact
+// (dump_json/write) that CI uploads and `snappif_trace --flight <dump>`
+// renders.  Packed snapshot words are full 64-bit values, which JSON doubles
+// cannot represent above 2^53 — they are emitted as "0x..." hex strings and
+// parsed back exactly.
+//
+// Determinism: per-shard recorders merged in shard-index order (the
+// par::run_shards contract) produce byte-identical dumps for any --jobs, by
+// the SpanCollector::merge id-remap guarantee.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace snappif::obs {
+
+/// Identifying context of the recorded run, embedded in every dump.
+struct FlightContext {
+  std::string tool;      // producing binary ("snappif_chaos", ...)
+  std::string scenario;  // human-readable instance ("ring n=10 ...")
+  std::uint64_t seed = 0;
+  std::uint64_t shard = 0;   // campaign / iteration index
+  std::string failure;       // oracle diagnosis; empty until a failure
+  std::string replay;        // exact command reproducing the failure
+};
+
+class FlightRecorder {
+ public:
+  /// Default ring size: enough for several waves of spans on the instance
+  /// sizes the soaks run, small enough to keep per-shard cost trivial.
+  explicit FlightRecorder(std::size_t span_capacity = 4096);
+
+  [[nodiscard]] SpanCollector& spans() noexcept { return spans_; }
+  [[nodiscard]] const SpanCollector& spans() const noexcept { return spans_; }
+  [[nodiscard]] FlightContext& context() noexcept { return context_; }
+  [[nodiscard]] const FlightContext& context() const noexcept {
+    return context_;
+  }
+
+  /// Records the packed final configuration: `format` names the codec
+  /// ("pif.codec.v1"), `words` is one encoded word per processor.
+  void set_snapshot(std::string format, std::vector<std::uint64_t> words);
+  [[nodiscard]] const std::string& snapshot_format() const noexcept {
+    return snapshot_format_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& snapshot_words()
+      const noexcept {
+    return snapshot_words_;
+  }
+
+  /// True once a failure has been recorded (context().failure non-empty).
+  [[nodiscard]] bool failed() const noexcept {
+    return !context_.failure.empty();
+  }
+
+  /// Folds another recorder in: spans merge deterministically (id remap);
+  /// context and snapshot are taken from `other` when this recorder has no
+  /// recorded failure yet — so merging failing recorders in shard-index
+  /// order keeps the LOWEST failing shard's context, matching every other
+  /// "first failure" in the codebase.
+  void merge(const FlightRecorder& other);
+
+  /// The whole artifact as one JSON object (always json_valid).
+  [[nodiscard]] std::string dump_json() const;
+  /// Writes dump_json() to `path`; false (with a log line) on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+ private:
+  SpanCollector spans_;
+  FlightContext context_;
+  std::string snapshot_format_;
+  std::vector<std::uint64_t> snapshot_words_;
+};
+
+/// Parsed form of a dump file (the viewer's input).
+struct FlightDump {
+  FlightContext context;
+  std::string snapshot_format;
+  std::vector<std::uint64_t> snapshot_words;
+  std::vector<Span> spans;
+  std::uint64_t spans_dropped = 0;
+};
+
+/// Parses a dump produced by FlightRecorder::dump_json; std::nullopt on
+/// malformed input (wrong version, bad hex words, non-JSON).
+[[nodiscard]] std::optional<FlightDump> parse_flight_dump(
+    std::string_view json);
+
+}  // namespace snappif::obs

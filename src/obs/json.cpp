@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace snappif::obs {
@@ -259,8 +260,338 @@ class Validator {
   std::size_t pos_ = 0;
 };
 
+/// Recursive-descent parser building a JsonValue tree.  Mirrors the
+/// Validator's grammar exactly (one source of truth would be nicer, but the
+/// Validator's hot use is "no allocation on the happy path" in tests over
+/// megabyte traces — keeping it allocation-free is worth the duplication).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  [[nodiscard]] bool run(JsonValue* out) {
+    skip_ws();
+    if (!value(0, out)) {
+      return false;
+    }
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+  char take() { return s_[pos_++]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) {
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  [[nodiscard]] bool value(int depth, JsonValue* out) {
+    if (eof() || depth > kMaxDepth) {
+      return false;
+    }
+    switch (peek()) {
+      case '{':
+        return object(depth + 1, out);
+      case '[':
+        return array(depth + 1, out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return string(&out->string);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return literal("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default:
+        out->kind = JsonValue::Kind::kNumber;
+        return number(&out->number);
+    }
+  }
+
+  [[nodiscard]] bool object(int depth, JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    take();  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      take();
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (eof() || peek() != '"' || !string(&key)) {
+        return false;
+      }
+      skip_ws();
+      if (eof() || take() != ':') {
+        return false;
+      }
+      skip_ws();
+      JsonValue member;
+      if (!value(depth, &member)) {
+        return false;
+      }
+      out->object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (eof()) {
+        return false;
+      }
+      const char c = take();
+      if (c == '}') {
+        return true;
+      }
+      if (c != ',') {
+        return false;
+      }
+    }
+  }
+
+  [[nodiscard]] bool array(int depth, JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    take();  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      take();
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue element;
+      if (!value(depth, &element)) {
+        return false;
+      }
+      out->array.push_back(std::move(element));
+      skip_ws();
+      if (eof()) {
+        return false;
+      }
+      const char c = take();
+      if (c == ']') {
+        return true;
+      }
+      if (c != ',') {
+        return false;
+      }
+    }
+  }
+
+  [[nodiscard]] bool hex4(std::uint32_t* out) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) {
+        return false;
+      }
+      const char c = take();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    *out = v;
+    return true;
+  }
+
+  static void append_utf8(std::string* out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  [[nodiscard]] bool string(std::string* out) {
+    take();  // '"'
+    while (!eof()) {
+      const char c = take();
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (eof()) {
+        return false;
+      }
+      const char e = take();
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          *out += e;
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!hex4(&cp)) {
+            return false;
+          }
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need the pair
+            std::uint32_t lo = 0;
+            if (eof() || take() != '\\' || eof() || take() != 'u' ||
+                !hex4(&lo) || lo < 0xDC00 || lo > 0xDFFF) {
+              return false;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return false;  // lone low surrogate
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  [[nodiscard]] bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return false;
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool number(double* out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') {
+      ++pos_;
+    }
+    if (eof()) {
+      return false;
+    }
+    if (peek() == '0') {
+      ++pos_;  // leading zero must stand alone
+    } else if (!digits()) {
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digits()) {
+        return false;
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) {
+        ++pos_;
+      }
+      if (!digits()) {
+        return false;
+      }
+    }
+    // The grammar above guarantees a strtod-parsable token.
+    const std::string token(s_.substr(start, pos_ - start));
+    *out = std::strtod(token.c_str(), nullptr);
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace
 
 bool json_valid(std::string_view text) { return Validator(text).run(); }
+
+const JsonValue* JsonValue::get(std::string_view key) const noexcept {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) {
+      found = &v;
+    }
+  }
+  return found;
+}
+
+std::uint64_t JsonValue::get_u64(std::string_view key,
+                                 std::uint64_t fallback) const {
+  const JsonValue* v = get(key);
+  if (v == nullptr || v->kind != Kind::kNumber || v->number < 0) {
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(v->number);
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  std::string_view fallback) const {
+  const JsonValue* v = get(key);
+  if (v == nullptr || v->kind != Kind::kString) {
+    return std::string(fallback);
+  }
+  return v->string;
+}
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  JsonValue out;
+  if (!Parser(text).run(&out)) {
+    return std::nullopt;
+  }
+  return out;
+}
 
 }  // namespace snappif::obs

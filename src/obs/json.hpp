@@ -6,8 +6,12 @@
 // validator used by the format tests (RFC 8259 grammar, no extensions).
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace snappif::obs {
 
@@ -23,5 +27,50 @@ namespace snappif::obs {
 /// value (with optional surrounding whitespace).  Used by unit tests to
 /// validate the JSONL and Chrome trace output.
 [[nodiscard]] bool json_valid(std::string_view text);
+
+/// Parsed JSON document node.  This exists for the *readers* (the flight-dump
+/// viewer in snappif_trace, round-trip tests); writers keep building strings
+/// directly.  Same grammar as json_valid — RFC 8259, no extensions — with
+/// object keys kept in document order (duplicate keys: last one wins on
+/// lookup, all retained).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind == Kind::kString;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == Kind::kNumber;
+  }
+
+  /// Object member lookup (last duplicate wins); nullptr when absent or not
+  /// an object.
+  [[nodiscard]] const JsonValue* get(std::string_view key) const noexcept;
+
+  /// Numeric member as u64 (truncating); `fallback` when absent/not numeric.
+  [[nodiscard]] std::uint64_t get_u64(std::string_view key,
+                                      std::uint64_t fallback = 0) const;
+  /// String member; `fallback` when absent or not a string.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback = {}) const;
+};
+
+/// Parses exactly one JSON value (optional surrounding whitespace);
+/// std::nullopt on any syntax error.  \uXXXX escapes are decoded to UTF-8,
+/// including surrogate pairs; lone surrogates are rejected.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text);
 
 }  // namespace snappif::obs

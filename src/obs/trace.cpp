@@ -1,0 +1,198 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+#include "util/assert.hpp"
+
+namespace snappif::obs {
+
+const char* span_kind_name(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kWave:
+      return "wave";
+    case SpanKind::kPhase:
+      return "phase";
+    case SpanKind::kCorrectionBurst:
+      return "correction";
+    case SpanKind::kLinkSend:
+      return "link.send";
+    case SpanKind::kLinkRetransmit:
+      return "link.retransmit";
+    case SpanKind::kLinkDeliver:
+      return "link.deliver";
+    case SpanKind::kLinkPeerReset:
+      return "link.peer_reset";
+    case SpanKind::kMark:
+      return "mark";
+  }
+  return "?";
+}
+
+bool span_kind_from_name(std::string_view name, SpanKind* out) noexcept {
+  for (const SpanKind kind :
+       {SpanKind::kWave, SpanKind::kPhase, SpanKind::kCorrectionBurst,
+        SpanKind::kLinkSend, SpanKind::kLinkRetransmit, SpanKind::kLinkDeliver,
+        SpanKind::kLinkPeerReset, SpanKind::kMark}) {
+    if (name == span_kind_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string span_json(const Span& span) {
+  std::string out = "{\"id\":";
+  out += json_number(static_cast<double>(span.id));
+  out += ",\"parent\":";
+  out += json_number(static_cast<double>(span.parent));
+  out += ",\"wave\":";
+  out += json_number(static_cast<double>(span.wave));
+  out += ",\"kind\":\"";
+  out += span_kind_name(span.kind);
+  out += "\",\"begin\":";
+  out += json_number(static_cast<double>(span.begin));
+  out += ",\"end\":";
+  out += json_number(static_cast<double>(span.end));
+  out += ",\"tid\":";
+  out += json_number(static_cast<double>(span.tid));
+  if (span.peer != 0 || span.kind == SpanKind::kLinkSend ||
+      span.kind == SpanKind::kLinkRetransmit ||
+      span.kind == SpanKind::kLinkDeliver ||
+      span.kind == SpanKind::kLinkPeerReset) {
+    out += ",\"peer\":";
+    out += json_number(static_cast<double>(span.peer));
+  }
+  if (!span.detail.empty()) {
+    out += ",\"detail\":\"";
+    out += json_escape(span.detail);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+SpanCollector::SpanCollector(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SpanCollector::push(Span span) {
+  if (spans_.size() >= capacity_) {
+    spans_.pop_front();
+    ++dropped_;
+  }
+  spans_.push_back(std::move(span));
+}
+
+SpanId SpanCollector::open(SpanKind kind, std::uint64_t begin,
+                           std::uint32_t tid, SpanId parent, SpanId wave,
+                           std::string detail, std::uint32_t peer) {
+  Span s;
+  s.id = next_id_++;
+  s.parent = parent;
+  s.wave = kind == SpanKind::kWave ? s.id : wave;
+  s.kind = kind;
+  s.begin = begin;
+  s.end = begin;
+  s.tid = tid;
+  s.peer = peer;
+  s.detail = std::move(detail);
+  const SpanId id = s.id;
+  push(std::move(s));
+  return id;
+}
+
+void SpanCollector::close(SpanId id, std::uint64_t end) {
+  if (id == 0 || spans_.empty()) {
+    return;
+  }
+  // Ids are minted (and merged) sequentially and evicted from the front, so
+  // the retained range is contiguous: direct index, no search.
+  const SpanId first = spans_.front().id;
+  if (id < first || id >= next_id_) {
+    return;
+  }
+  Span& s = spans_[static_cast<std::size_t>(id - first)];
+  SNAPPIF_ASSERT(s.id == id);
+  if (end > s.begin) {
+    s.end = end;
+  }
+}
+
+SpanId SpanCollector::instant(SpanKind kind, std::uint64_t ts,
+                              std::uint32_t tid, SpanId parent, SpanId wave,
+                              std::string detail, std::uint32_t peer) {
+  return open(kind, ts, tid, parent, wave, std::move(detail), peer);
+}
+
+const Span* SpanCollector::find(SpanId id) const noexcept {
+  if (id == 0 || spans_.empty()) {
+    return nullptr;
+  }
+  const SpanId first = spans_.front().id;
+  if (id < first || id >= next_id_) {
+    return nullptr;
+  }
+  return &spans_[static_cast<std::size_t>(id - first)];
+}
+
+void SpanCollector::clear() {
+  spans_.clear();
+  next_id_ = 1;
+  dropped_ = 0;
+}
+
+void SpanCollector::merge(const SpanCollector& other) {
+  // Offset-remap keeps every causal link (parent/wave) intact and keeps the
+  // merged id sequence contiguous, so close()/find() indexing still works.
+  const SpanId offset = next_id_ - 1;
+  for (const Span& s : other.spans_) {
+    Span copy = s;
+    copy.id += offset;
+    if (copy.parent != 0) {
+      copy.parent += offset;
+    }
+    if (copy.wave != 0) {
+      copy.wave += offset;
+    }
+    push(std::move(copy));
+  }
+  next_id_ += other.next_id_ - 1;
+  dropped_ += other.dropped_;
+}
+
+TraceEvent span_to_event(const Span& s) {
+  TraceEvent e;
+  e.name = span_kind_name(s.kind);
+  e.cat = "trace";
+  e.ts = s.begin;
+  e.tid = s.tid;
+  if (s.end > s.begin) {
+    e.ph = 'X';
+    e.dur = s.end - s.begin;
+  } else {
+    e.ph = 'i';
+  }
+  e.args.emplace_back("id", json_number(static_cast<double>(s.id)));
+  if (s.parent != 0) {
+    e.args.emplace_back("parent", json_number(static_cast<double>(s.parent)));
+  }
+  if (s.wave != 0) {
+    e.args.emplace_back("wave", json_number(static_cast<double>(s.wave)));
+  }
+  if (s.peer != 0 || s.kind == SpanKind::kLinkSend ||
+      s.kind == SpanKind::kLinkRetransmit || s.kind == SpanKind::kLinkDeliver ||
+      s.kind == SpanKind::kLinkPeerReset) {
+    e.args.emplace_back("peer", json_number(static_cast<double>(s.peer)));
+  }
+  if (!s.detail.empty()) {
+    e.args.emplace_back("detail", '"' + json_escape(s.detail) + '"');
+  }
+  return e;
+}
+
+void SpanCollector::to_events(EventLog& log) const {
+  for (const Span& s : spans_) {
+    log.emit(span_to_event(s));
+  }
+}
+
+}  // namespace snappif::obs

@@ -1,0 +1,137 @@
+// Causal span model for wave-level tracing.
+//
+// The paper's central claim is per-wave — every PIF cycle initiated after
+// the first action satisfies [PIF1]/[PIF2] — so the unit of causal tracing
+// here is the *wave*: the interval from a root B-action to the root F-action
+// that closes it.  A Span is one node of the causal tree:
+//
+//   wave  (root tid)
+//   ├── phase       per-processor Pif-phase residency (B / F / C tracks)
+//   ├── correction  global burst of B-/F-corrections (abnormal-tree digestion)
+//   └── link.*      mp frame life-cycle: send / retransmit / deliver /
+//                   peer-reset on a directed edge
+//
+// Every span carries three links: `id` (its own identity), `parent` (the
+// span it is causally nested under), and `wave` (the enclosing wave span, 0
+// when no wave is in flight — e.g. corrections during stabilization).  Wave
+// spans point at themselves, so `wave` alone reconstructs per-wave slices.
+//
+// SpanCollector is the bounded sink: a drop-oldest ring (flight-recorder
+// semantics — the *recent* history is the interesting part after a failure)
+// with sequential id minting and a deterministic merge.  merge() remaps the
+// other collector's ids by a fixed offset, so folding per-shard collectors
+// in shard-index order (par::run_shards contract) yields byte-identical
+// span streams for any worker count.
+//
+// Timestamps are logical ticks supplied by the producer (simulator steps,
+// emulated rounds); the exporters map one tick to one microsecond, matching
+// obs/export.hpp.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace snappif::obs {
+
+using SpanId = std::uint64_t;  // 0 = "no span"
+
+enum class SpanKind : std::uint8_t {
+  kWave = 0,         // root B-action -> root F-action
+  kPhase,            // one processor's residency in one Pif phase
+  kCorrectionBurst,  // maximal run of rounds containing corrections
+  kLinkSend,         // first transmission of a frame on a directed edge
+  kLinkRetransmit,   // ARQ timer re-handed the frame to the mailer
+  kLinkDeliver,      // exactly-once upcall to the link client
+  kLinkPeerReset,    // receiver accepted an unproven incarnation
+  kMark,             // free-form instant annotation
+};
+
+/// Stable export name ("wave", "phase", "correction", "link.send", ...).
+[[nodiscard]] const char* span_kind_name(SpanKind kind) noexcept;
+
+/// Inverse of span_kind_name; false for unknown names (`*out` untouched).
+[[nodiscard]] bool span_kind_from_name(std::string_view name,
+                                       SpanKind* out) noexcept;
+
+struct Span;
+
+/// One span as a Chrome trace_event ('X' complete, 'i' instant) with
+/// id/parent/wave/peer/detail args — the shared converter behind
+/// SpanCollector::to_events and the flight-dump viewer.
+[[nodiscard]] TraceEvent span_to_event(const Span& s);
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 = top-level
+  SpanId wave = 0;    // enclosing wave span (self for kWave; 0 = none)
+  SpanKind kind = SpanKind::kMark;
+  std::uint64_t begin = 0;  // logical ticks
+  std::uint64_t end = 0;    // == begin for instant spans; >= begin otherwise
+  std::uint32_t tid = 0;    // processor id (track in the trace viewer)
+  std::uint32_t peer = 0;   // link spans: the other endpoint; else unused
+  std::string detail;       // small label ("B", "F->C", "deliver", ...)
+};
+
+/// One span as a JSON object (flight-recorder dump rows).
+[[nodiscard]] std::string span_json(const Span& span);
+
+/// Bounded drop-oldest span ring with sequential id minting.
+class SpanCollector {
+ public:
+  explicit SpanCollector(std::size_t capacity = 1 << 16);
+
+  /// Mints the next id and records an open span (end = begin until close()).
+  /// kWave spans get `wave = id` automatically.
+  SpanId open(SpanKind kind, std::uint64_t begin, std::uint32_t tid,
+              SpanId parent = 0, SpanId wave = 0, std::string detail = {},
+              std::uint32_t peer = 0);
+  /// Sets the end timestamp of `id`.  Ignored when the span has already been
+  /// evicted from the ring (the flight recorder forgot it) or id == 0.
+  void close(SpanId id, std::uint64_t end);
+  /// Zero-duration span (begin == end).
+  SpanId instant(SpanKind kind, std::uint64_t ts, std::uint32_t tid,
+                 SpanId parent = 0, SpanId wave = 0, std::string detail = {},
+                 std::uint32_t peer = 0);
+
+  /// Retained spans, oldest first (ids strictly increasing).
+  [[nodiscard]] const std::deque<Span>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return spans_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Spans evicted by the ring bound (never silently: exported in dumps).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Total spans ever opened (== next id - 1).
+  [[nodiscard]] std::uint64_t total_opened() const noexcept {
+    return next_id_ - 1;
+  }
+  /// Looks up a retained span by id; nullptr when evicted or never minted.
+  [[nodiscard]] const Span* find(SpanId id) const noexcept;
+
+  void clear();
+
+  /// Appends `other`'s spans with ids (id/parent/wave) remapped past this
+  /// collector's minted range.  Folding per-shard collectors in shard-index
+  /// order therefore produces the same stream as a sequential run — the
+  /// determinism contract the golden exporter tests pin down.
+  void merge(const SpanCollector& other);
+
+  /// Appends every span to `log` as Chrome trace events: 'X' (complete) for
+  /// durations, 'i' (instant) for zero-length spans, with id/parent/wave
+  /// args carrying the causal links.
+  void to_events(EventLog& log) const;
+
+ private:
+  void push(Span span);
+
+  std::size_t capacity_;
+  std::deque<Span> spans_;
+  SpanId next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace snappif::obs

@@ -20,7 +20,13 @@
 // (no mutable members), so sharing one across shards is read-only.  The one
 // process-global the harness owns, util::log, emits line-atomic writes
 // (util/log.hpp).  Telemetry goes to per-shard obs::Registry instances
-// folded with Registry::merge at join, in shard order.
+// folded with Registry::merge at join, in shard order.  Trace spans follow
+// the same discipline: each shard streams into its own obs::SpanCollector /
+// obs::FlightRecorder and the join folds them with merge() in shard-index
+// order, which re-bases span ids by a per-shard offset — so the merged span
+// stream, the Chrome trace rendered from it, and any flight dump are
+// byte-identical for every worker count (tests/obs/test_export_golden.cpp
+// holds this line).
 #pragma once
 
 #include <cstddef>

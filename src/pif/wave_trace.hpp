@@ -1,0 +1,213 @@
+// Causal wave tracing for Simulator<PifProtocol> runs.
+//
+// WaveTraceProbe turns a run into the span tree of src/obs/trace.hpp:
+//
+//   * a WAVE span per PIF cycle — minted at the root's B-action (the paper's
+//     cycle start, Definition 2) and closed at the root's F-action;
+//   * a PHASE span per processor per Pif-phase residency ("B"/"F"/"C"
+//     tracks, tid = processor), parented to the wave in flight;
+//   * a CORRECTION burst span — a maximal run of rounds containing B-/F-
+//     correction executions (the abnormal-tree digestion of Theorems 1-3),
+//     closed at the first correction-free round boundary.
+//
+// Timekeeping: the probe keeps its OWN monotone tick (one per step) and
+// round counters.  The engine's step/round counters restart on fault
+// injection (set_state re-attach) and simulator rebuilds (link churn), but a
+// single probe instance survives both — re-attached by the campaign engine —
+// so span timestamps stay monotone across the whole campaign.
+//
+// Per-wave aggregates land in the optional Registry:
+//   pif.wave.count                waves closed
+//   pif.wave.latency_rounds       histogram, rounds from B-action to F-action
+//   pif.wave.corrections          histogram, correction executions per wave
+// (the SLO substrate of ROADMAP item 2: waves/s and p99 cycle latency).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pif/protocol.hpp"
+#include "sim/probe.hpp"
+
+namespace snappif::pif {
+
+class WaveTraceProbe final : public sim::IProbe<PifProtocol> {
+ public:
+  using Config = sim::Configuration<State>;
+
+  /// One wave as seen by the tracer (the `--waves` table rows).
+  struct WaveSample {
+    std::uint64_t index = 0;  // 1-based wave number
+    obs::SpanId span = 0;
+    std::uint64_t begin_round = 0;  // probe clock (monotone across faults)
+    std::uint64_t end_round = 0;
+    std::uint64_t corrections = 0;  // correction executions while in flight
+    bool closed = false;
+  };
+
+  /// `root` is fixed for the lifetime of the probe (campaigns rebuild the
+  /// simulator but never move the root).  `registry` may be null.
+  WaveTraceProbe(sim::ProcessorId root, obs::SpanCollector& spans,
+                 obs::Registry* registry = nullptr)
+      : root_(root), spans_(&spans), reg_(registry) {
+    if (reg_ != nullptr) {
+      wave_count_ = &reg_->counter("pif.wave.count");
+      latency_hist_ = &reg_->histogram("pif.wave.latency_rounds", 64, 4.0);
+      corrections_hist_ = &reg_->histogram("pif.wave.corrections", 64, 1.0);
+    }
+  }
+
+  [[nodiscard]] const std::vector<WaveSample>& waves() const noexcept {
+    return waves_;
+  }
+  /// Wave span currently in flight (0 between waves) — link tracers use it
+  /// to attribute frame spans.
+  [[nodiscard]] obs::SpanId current_wave() const noexcept {
+    return wave_span_;
+  }
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+
+  void on_attach(const Config& config) override {
+    // Re-attach happens after fault injection / simulator rebuild: the
+    // configuration may have been rewritten wholesale, so close every open
+    // phase span and restart the residency tracks from the new states.
+    close_phase_spans();
+    const std::size_t n = config.states().size();
+    last_phase_.assign(n, Phase::kC);
+    phase_span_.assign(n, 0);
+    for (std::size_t p = 0; p < n; ++p) {
+      last_phase_[p] = config.states()[p].pif;
+      open_phase_span(static_cast<sim::ProcessorId>(p), last_phase_[p]);
+    }
+  }
+
+  void on_step_begin(const sim::StepEvent& /*ev*/,
+                     const Config& /*config*/) override {
+    ++ticks_;
+  }
+
+  void on_apply(sim::ProcessorId p, sim::ActionId a, const Config& /*before*/,
+                const State& after) override {
+    // Root actions first, so the B-action's own C->B transition nests inside
+    // the wave it just opened.
+    if (p == root_ && a == kBAction) {
+      open_wave();
+    }
+    if (a == kBCorrection || a == kFCorrection) {
+      on_correction();
+    }
+    if (p < last_phase_.size() && after.pif != last_phase_[p]) {
+      spans_->close(phase_span_[p], ticks_);
+      last_phase_[p] = after.pif;
+      open_phase_span(p, after.pif);
+    }
+    if (p == root_ && a == kFAction && wave_span_ != 0) {
+      close_wave();
+    }
+  }
+
+  void on_round_complete(std::uint64_t /*rounds*/, const sim::StepEvent& /*ev*/,
+                         const Config& /*config*/) override {
+    ++rounds_;
+    // A burst span ends at the first correction-free round boundary.
+    if (burst_span_ != 0 && !round_had_correction_) {
+      spans_->close(burst_span_, ticks_);
+      burst_span_ = 0;
+    }
+    round_had_correction_ = false;
+  }
+
+  /// Closes every open span at the current tick.  Call once when the run
+  /// ends (before exporting); a wave still in flight stays marked unclosed
+  /// in its WaveSample.
+  void finish() {
+    close_phase_spans();
+    if (burst_span_ != 0) {
+      spans_->close(burst_span_, ticks_);
+      burst_span_ = 0;
+    }
+    if (wave_span_ != 0) {
+      spans_->close(wave_span_, ticks_);
+      if (!waves_.empty()) {
+        waves_.back().end_round = rounds_;
+      }
+      wave_span_ = 0;
+    }
+  }
+
+ private:
+  void open_wave() {
+    if (wave_span_ != 0) {
+      // A second root B-action without a closing F-action means the previous
+      // wave was aborted by a correction: close its span where it died.
+      spans_->close(wave_span_, ticks_);
+      if (!waves_.empty()) {
+        waves_.back().end_round = rounds_;
+      }
+    }
+    wave_span_ = spans_->open(obs::SpanKind::kWave, ticks_, root_);
+    WaveSample w;
+    w.index = waves_.size() + 1;
+    w.span = wave_span_;
+    w.begin_round = rounds_;
+    waves_.push_back(w);
+  }
+
+  void close_wave() {
+    spans_->close(wave_span_, ticks_);
+    wave_span_ = 0;
+    WaveSample& w = waves_.back();
+    w.end_round = rounds_;
+    w.closed = true;
+    if (reg_ != nullptr) {
+      wave_count_->inc();
+      latency_hist_->add(static_cast<double>(w.end_round - w.begin_round));
+      corrections_hist_->add(static_cast<double>(w.corrections));
+    }
+  }
+
+  void on_correction() {
+    round_had_correction_ = true;
+    if (!waves_.empty() && wave_span_ != 0) {
+      ++waves_.back().corrections;
+    }
+    if (burst_span_ == 0) {
+      burst_span_ = spans_->open(obs::SpanKind::kCorrectionBurst, ticks_,
+                                 /*tid=*/0, wave_span_, wave_span_, "burst");
+    }
+  }
+
+  void open_phase_span(sim::ProcessorId p, Phase ph) {
+    const char label[2] = {phase_char(ph), '\0'};
+    phase_span_[p] = spans_->open(obs::SpanKind::kPhase, ticks_, p, wave_span_,
+                                  wave_span_, label);
+  }
+
+  void close_phase_spans() {
+    for (const obs::SpanId id : phase_span_) {
+      spans_->close(id, ticks_);
+    }
+    phase_span_.assign(phase_span_.size(), 0);
+  }
+
+  sim::ProcessorId root_;
+  obs::SpanCollector* spans_;
+  obs::Registry* reg_;
+  obs::Counter* wave_count_ = nullptr;
+  util::Histogram* latency_hist_ = nullptr;
+  util::Histogram* corrections_hist_ = nullptr;
+
+  std::vector<Phase> last_phase_;
+  std::vector<obs::SpanId> phase_span_;
+  std::vector<WaveSample> waves_;
+  obs::SpanId wave_span_ = 0;
+  obs::SpanId burst_span_ = 0;
+  bool round_had_correction_ = false;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace snappif::pif

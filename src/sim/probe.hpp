@@ -15,6 +15,13 @@
 //   on_step_end     post-step configuration; cumulative action counts
 //   on_round_complete   only on steps that finish a round (Dolev-Israeli-
 //                       Moran accounting; see sim/rounds.hpp)
+//
+// Step/round counters in StepEvent are per-Simulator and restart from zero
+// when the harness rebuilds the engine (link churn in the chaos campaigns).
+// A probe that needs a clock spanning rebuilds — e.g. the causal tracer
+// pif::WaveTraceProbe feeding obs::SpanCollector — must keep its own
+// monotone counters and treat the event fields as deltas; detach with
+// remove_probe() before destroying the probe, re-attach with add_probe().
 #pragma once
 
 #include <cstdint>

@@ -20,6 +20,7 @@ std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::atomic<bool> g_env_checked{false};
 std::atomic<bool> g_timestamps{true};
 std::mutex g_env_mutex;
+bool g_env_warned = false;  // guarded by g_env_mutex
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -46,10 +47,21 @@ void ensure_env_applied() {
     return;
   }
   if (const char* env = std::getenv("SNAPPIF_LOG_LEVEL")) {
-    g_level.store(
-        static_cast<int>(parse_log_level(
-            env, static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)))),
-        std::memory_order_relaxed);
+    LogLevel level = LogLevel::kInfo;
+    if (!parse_log_level_strict(env, &level)) {
+      // Junk value: warn once, straight to stderr (logf would recurse into
+      // this very function), and fall back to info — the operator was asking
+      // for SOME verbosity change, and info both shows their runs and keeps
+      // warnings visible.
+      if (!g_env_warned) {
+        g_env_warned = true;
+        std::fprintf(stderr,
+                     "[WARN ] SNAPPIF_LOG_LEVEL=\"%s\" is not a log level "
+                     "(debug|info|warn|error|off); falling back to info\n",
+                     env);
+      }
+    }
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
   }
   g_env_checked.store(true, std::memory_order_release);
 }
@@ -84,30 +96,49 @@ LogLevel log_level() noexcept {
 }
 
 LogLevel parse_log_level(std::string_view name, LogLevel fallback) noexcept {
+  LogLevel level = fallback;
+  (void)parse_log_level_strict(name, &level);
+  return level;
+}
+
+bool parse_log_level_strict(std::string_view name, LogLevel* out) noexcept {
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  while (!name.empty() && is_space(name.front())) {
+    name.remove_prefix(1);
+  }
+  while (!name.empty() && is_space(name.back())) {
+    name.remove_suffix(1);
+  }
   std::string lower;
   lower.reserve(name.size());
   for (const char c : name) {
     lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   }
   if (lower == "debug") {
-    return LogLevel::kDebug;
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else if (lower == "off" || lower == "none") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
   }
-  if (lower == "info") {
-    return LogLevel::kInfo;
-  }
-  if (lower == "warn" || lower == "warning") {
-    return LogLevel::kWarn;
-  }
-  if (lower == "error") {
-    return LogLevel::kError;
-  }
-  if (lower == "off" || lower == "none") {
-    return LogLevel::kOff;
-  }
-  return fallback;
+  return true;
 }
 
 void reload_log_level_from_env() noexcept {
+  {
+    // An explicit reload is a fresh look at the environment, so the one-shot
+    // junk warning re-arms: each reload of a bad value warns exactly once.
+    const std::lock_guard<std::mutex> lock(g_env_mutex);
+    g_env_warned = false;
+  }
   g_env_checked.store(false, std::memory_order_release);
   ensure_env_applied();
 }

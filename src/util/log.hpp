@@ -3,8 +3,11 @@
 //
 // Runtime control without code changes: the first log call (or log_level()
 // query) reads the SNAPPIF_LOG_LEVEL environment variable — one of
-// debug | info | warn | error | off (case-insensitive).  set_log_level()
-// always wins over the environment.  Each line is prefixed with a
+// debug | info | warn | error | off (case-insensitive, surrounding
+// whitespace ignored).  Junk is rejected, not silently absorbed: an
+// unrecognized name warns ONCE on stderr and falls back to `info`, so the
+// operator both sees the typo and still gets the verbosity they were
+// reaching for.  set_log_level() always wins over the environment.  Each line is prefixed with a
 // wall-clock timestamp ("[HH:MM:SS.mmm]"); disable with
 // set_log_timestamps(false) when diffing output.
 #pragma once
@@ -22,10 +25,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Parses a level name ("debug", "INFO", "Warn", ...); `fallback` on
+/// Parses a level name ("debug", "INFO", " Warn ", ...); `fallback` on
 /// unrecognized input.
 [[nodiscard]] LogLevel parse_log_level(std::string_view name,
                                        LogLevel fallback) noexcept;
+
+/// Strict variant: writes the parsed level to `*out` and returns true, or
+/// returns false (leaving `*out` untouched) on unrecognized input.  This is
+/// the junk detector behind the SNAPPIF_LOG_LEVEL warning.
+[[nodiscard]] bool parse_log_level_strict(std::string_view name,
+                                          LogLevel* out) noexcept;
 
 /// Re-applies SNAPPIF_LOG_LEVEL from the environment (tools call this after
 /// flag parsing so the variable beats the built-in default but not explicit

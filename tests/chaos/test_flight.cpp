@@ -1,0 +1,142 @@
+// Flight recording through the chaos stack: a failing campaign must leave a
+// parseable dump with diagnosis + decodable snapshot, the emulation leg must
+// contribute link frame spans, and soak dumps must be byte-identical for any
+// worker count.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "chaos/campaign.hpp"
+#include "chaos/emulation_campaign.hpp"
+#include "chaos/soak.hpp"
+#include "graph/generators.hpp"
+#include "obs/flight.hpp"
+#include "par/pool.hpp"
+#include "pif/codec.hpp"
+#include "pif/params.hpp"
+
+namespace snappif::chaos {
+namespace {
+
+/// The deliberately broken variant the oracle reliably catches (the same
+/// ablation the tool's --break=feedback-bleaf exercises).
+void break_feedback(pif::Params& p) { p.ablate_feedback_bleaf = true; }
+
+TEST(FlightRecorder, FailingCampaignStampsDiagnosisAndSnapshot) {
+  const auto g = graph::make_random_connected(12, 10, 1);
+  // The ablation fails on most seeds; scan a handful so the test doesn't
+  // hinge on one magic value.
+  obs::FlightRecorder flight;
+  CampaignResult r;
+  bool failed = false;
+  for (std::uint64_t seed = 1; seed <= 32 && !failed; ++seed) {
+    flight = obs::FlightRecorder{};
+    CampaignOptions opts;
+    opts.seed = seed;
+    opts.tweak_params = break_feedback;
+    opts.flight = &flight;
+    r = run_campaign(g, FaultSchedule{}, opts);
+    failed = !r.ok();
+  }
+  ASSERT_TRUE(failed) << "ablation never tripped the oracle";
+
+  EXPECT_TRUE(flight.failed());
+  EXPECT_EQ(flight.context().failure, r.failure);
+  EXPECT_FALSE(flight.spans().spans().empty());
+  EXPECT_EQ(flight.snapshot_format(), "pif.codec.v1");
+  ASSERT_EQ(flight.snapshot_words().size(), g.n());
+  // Snapshot words decode back into in-domain states.
+  const pif::StateCodec codec(g, pif::Params::for_graph(g, 0));
+  for (sim::ProcessorId p = 0; p < g.n(); ++p) {
+    (void)codec.decode(p, flight.snapshot_words()[p]);
+  }
+  // The dump round-trips.
+  const auto dump = obs::parse_flight_dump(flight.dump_json());
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_EQ(dump->context.failure, r.failure);
+  EXPECT_EQ(dump->snapshot_words.size(), g.n());
+}
+
+TEST(FlightRecorder, PassingCampaignLeavesSpansButNoFailure) {
+  const auto g = graph::make_cycle(8);
+  obs::FlightRecorder flight;
+  CampaignOptions opts;
+  opts.seed = 5;
+  opts.flight = &flight;
+  const auto schedule = FaultSchedule::parse("3:burst*2");
+  ASSERT_TRUE(schedule.has_value());
+  const CampaignResult r = run_campaign(g, *schedule, opts);
+  ASSERT_TRUE(r.ok()) << r.failure;
+  EXPECT_FALSE(flight.failed());
+  EXPECT_FALSE(flight.spans().spans().empty());  // always-on recording
+  EXPECT_TRUE(flight.snapshot_words().empty());  // snapshot only on failure
+}
+
+TEST(FlightRecorder, EmulationCampaignRecordsLinkFrameSpans) {
+  const auto g = graph::make_cycle(6);
+  const auto schedule = FaultSchedule::parse("0:loss@0.2/6;4:crash(2,4,reset)");
+  ASSERT_TRUE(schedule.has_value());
+  obs::FlightRecorder flight(1 << 16);
+  EmulationCampaignOptions opts;
+  opts.seed = 7;
+  opts.flight = &flight;
+  const EmulationCampaignResult r = run_emulation_campaign(g, *schedule, opts);
+  ASSERT_TRUE(r.ok()) << r.failure;
+
+  std::size_t sends = 0;
+  std::size_t delivers = 0;
+  std::size_t marks = 0;
+  std::size_t waves = 0;
+  for (const obs::Span& s : flight.spans().spans()) {
+    sends += s.kind == obs::SpanKind::kLinkSend ? 1 : 0;
+    delivers += s.kind == obs::SpanKind::kLinkDeliver ? 1 : 0;
+    marks += s.kind == obs::SpanKind::kMark ? 1 : 0;
+    waves += s.kind == obs::SpanKind::kWave ? 1 : 0;
+  }
+  EXPECT_GT(sends, 0u);
+  EXPECT_GT(delivers, 0u);
+  EXPECT_GE(marks, 2u);  // crash + recover of processor 2
+  EXPECT_GT(waves, 0u);
+}
+
+TEST(FlightRecorder, SoakDumpByteIdenticalAcrossWorkerCounts) {
+  const auto g = graph::make_random_connected(10, 8, 3);
+  SoakOptions soak;
+  soak.master_seed = 17;
+  soak.campaigns = 6;
+  soak.campaign.tweak_params = break_feedback;
+
+  const SoakReport sequential = run_soak(g, soak, nullptr);
+  ASSERT_FALSE(sequential.ok());  // the ablation must fail somewhere
+
+  par::ThreadPool two(2);
+  par::ThreadPool eight(8);
+  const SoakReport with2 = run_soak(g, soak, &two);
+  const SoakReport with8 = run_soak(g, soak, &eight);
+
+  EXPECT_EQ(sequential.first_failure, with2.first_failure);
+  EXPECT_EQ(sequential.first_failure, with8.first_failure);
+  EXPECT_EQ(sequential.flight.dump_json(), with2.flight.dump_json());
+  EXPECT_EQ(sequential.flight.dump_json(), with8.flight.dump_json());
+  // The merged dump carries the LOWEST failing campaign's context.
+  EXPECT_EQ(sequential.flight.context().shard, *sequential.first_failure);
+  EXPECT_TRUE(sequential.flight.failed());
+}
+
+TEST(FlightRecorder, SuccessfulSoakRetainsNoPerCampaignRecorders) {
+  const auto g = graph::make_cycle(8);
+  SoakOptions soak;
+  soak.master_seed = 1;
+  soak.campaigns = 4;
+  const SoakReport report = run_soak(g, soak, nullptr);
+  ASSERT_TRUE(report.ok());
+  for (const SoakOutcome& o : report.outcomes) {
+    EXPECT_EQ(o.flight, nullptr);  // successes drop their recorders
+  }
+  EXPECT_FALSE(report.flight.failed());
+  EXPECT_TRUE(report.flight.spans().spans().empty());
+}
+
+}  // namespace
+}  // namespace snappif::chaos

@@ -1,0 +1,137 @@
+// Exporter golden tests: the rendered artifacts of a fixed scenario must be
+// byte-stable across worker counts.  Per-shard span collectors and metric
+// registries are folded in shard-index order, so the Chrome trace text, the
+// flight dump, and the registry fingerprint from 1, 2, and 8 workers must be
+// identical — any divergence means a join stopped being deterministic.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/fingerprint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "par/pool.hpp"
+#include "par/shard.hpp"
+#include "pif/ghost.hpp"
+#include "pif/instrument.hpp"
+#include "pif/protocol.hpp"
+#include "pif/wave_trace.hpp"
+#include "sim/daemon.hpp"
+#include "sim/simulator.hpp"
+
+namespace snappif {
+namespace {
+
+struct ShardOut {
+  obs::SpanCollector spans;
+  obs::Registry metrics;
+};
+
+/// One shard = one fixed two-wave run on a small ring, traced end to end.
+/// Everything derives from the shard index, nothing from the worker.
+ShardOut run_traced_shard(std::size_t index) {
+  ShardOut out;
+  const auto g = graph::make_cycle(6);
+  pif::PifProtocol protocol(g, pif::Params::for_graph(g, 0));
+  sim::Simulator<pif::PifProtocol> sim(protocol, g, 1000 + index);
+  pif::WaveTraceProbe wave(0, out.spans, &out.metrics);
+  sim.add_probe(&wave);
+  pif::GhostTracker tracker(g, 0);
+  pif::attach(sim, tracker);
+  auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+  (void)sim.run_until(
+      *daemon,
+      [&](const sim::Configuration<pif::State>&) {
+        return tracker.cycles_completed() >= 2;  // the fixed two-wave run
+      },
+      sim::RunLimits{.max_steps = 200'000});
+  wave.finish();
+  return out;
+}
+
+/// Renders the merged artifacts of a 4-shard traced run under `pool`.
+struct Rendered {
+  std::string chrome_trace;
+  std::string fingerprint;
+};
+
+Rendered render_with_pool(par::ThreadPool* pool) {
+  auto shards = par::run_shards(
+      /*master_seed=*/7, /*count=*/4,
+      [](par::ShardContext& ctx) { return run_traced_shard(ctx.index); },
+      pool);
+
+  obs::SpanCollector merged_spans;
+  obs::Registry merged_metrics;
+  for (const ShardOut& s : shards) {  // shard-index order: the contract
+    merged_spans.merge(s.spans);
+    merged_metrics.merge(s.metrics);
+  }
+  obs::EventLog log;
+  merged_spans.to_events(log);
+  return Rendered{log.render_chrome_trace(),
+                  obs::fingerprint_hex(merged_metrics)};
+}
+
+TEST(ExporterGolden, ChromeTraceByteStableAcrossWorkerCounts) {
+  const Rendered sequential = render_with_pool(nullptr);
+  ASSERT_FALSE(sequential.chrome_trace.empty());
+
+  par::ThreadPool two(2);
+  par::ThreadPool eight(8);
+  const Rendered with2 = render_with_pool(&two);
+  const Rendered with8 = render_with_pool(&eight);
+
+  EXPECT_EQ(sequential.chrome_trace, with2.chrome_trace);
+  EXPECT_EQ(sequential.chrome_trace, with8.chrome_trace);
+  EXPECT_EQ(sequential.fingerprint, with2.fingerprint);
+  EXPECT_EQ(sequential.fingerprint, with8.fingerprint);
+}
+
+TEST(ExporterGolden, FingerprintInvariantUnderRegistryMergeOrder) {
+  // Same shards, folded forwards and backwards: the span STREAM differs
+  // (ids re-base in fold order) but the metrics fingerprint must not.
+  std::vector<ShardOut> shards;
+  shards.reserve(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    shards.push_back(run_traced_shard(i));
+  }
+  obs::Registry forward;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    forward.merge(shards[i].metrics);
+  }
+  obs::Registry backward;
+  for (std::size_t i = shards.size(); i-- > 0;) {
+    backward.merge(shards[i].metrics);
+  }
+  EXPECT_EQ(obs::fingerprint(forward), obs::fingerprint(backward));
+  EXPECT_EQ(obs::fingerprint_hex(forward), obs::fingerprint_hex(backward));
+}
+
+TEST(ExporterGolden, TracedWavesCarryCausalLinks) {
+  ShardOut out = run_traced_shard(0);
+  std::size_t waves = 0;
+  std::size_t linked_phases = 0;
+  for (const obs::Span& s : out.spans.spans()) {
+    if (s.kind == obs::SpanKind::kWave) {
+      ++waves;
+      EXPECT_EQ(s.wave, s.id);
+      EXPECT_GT(s.end, s.begin);
+    }
+    if (s.kind == obs::SpanKind::kPhase && s.wave != 0) {
+      ++linked_phases;
+      EXPECT_EQ(s.parent, s.wave);
+    }
+  }
+  EXPECT_EQ(waves, 2u);
+  EXPECT_GT(linked_phases, 0u);
+  // The aggregate side of the same run.
+  EXPECT_EQ(out.metrics.counter("pif.wave.count").value(), 2u);
+}
+
+}  // namespace
+}  // namespace snappif

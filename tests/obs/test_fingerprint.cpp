@@ -1,0 +1,91 @@
+// Registry fingerprint: merge-order invariance (the property the parallel
+// joins rely on), sensitivity to real content, and the deliberate exclusion
+// of order-sensitive material (gauges, floating-point moments).
+#include "obs/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace snappif::obs {
+namespace {
+
+Registry make_registry(std::uint64_t scale) {
+  Registry r;
+  r.counter("runs").inc(3 * scale);
+  r.counter("violations").inc(scale);
+  r.stats("latency").add(1.0 * static_cast<double>(scale));
+  r.stats("latency").add(2.0 * static_cast<double>(scale));
+  auto& h = r.histogram("rounds", 8, 2.0);
+  h.add(1.0);
+  h.add(3.0 * static_cast<double>(scale));
+  return r;
+}
+
+TEST(Fingerprint, StableForEqualContent) {
+  EXPECT_EQ(fingerprint(make_registry(2)), fingerprint(make_registry(2)));
+  EXPECT_EQ(fingerprint_hex(make_registry(2)),
+            fingerprint_hex(make_registry(2)));
+}
+
+TEST(Fingerprint, MergeOrderInvariant) {
+  const Registry a = make_registry(1);
+  const Registry b = make_registry(7);
+  Registry ab;
+  ab.merge(a);
+  ab.merge(b);
+  Registry ba;
+  ba.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(fingerprint(ab), fingerprint(ba));
+  EXPECT_NE(fingerprint(ab), fingerprint(a));
+}
+
+TEST(Fingerprint, SensitiveToEveryIncludedSection) {
+  const std::uint64_t base = fingerprint(make_registry(1));
+
+  Registry counter_diff = make_registry(1);
+  counter_diff.counter("runs").inc();
+  EXPECT_NE(fingerprint(counter_diff), base);
+
+  Registry hist_diff = make_registry(1);
+  hist_diff.histogram("rounds", 8, 2.0).add(5.0);
+  EXPECT_NE(fingerprint(hist_diff), base);
+
+  Registry stat_diff = make_registry(1);
+  stat_diff.stats("latency").add(9.0);  // count changes
+  EXPECT_NE(fingerprint(stat_diff), base);
+
+  Registry name_diff = make_registry(1);
+  name_diff.counter("extra").inc();
+  EXPECT_NE(fingerprint(name_diff), base);
+}
+
+TEST(Fingerprint, GaugesExcluded) {
+  // Gauges are last-write-wins, so two merge orders can legitimately end
+  // with different gauge values — they must not affect the digest.
+  Registry a = make_registry(1);
+  a.gauge("temperature").set(10);
+  Registry b = make_registry(1);
+  b.gauge("temperature").set(99);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, HexIsSixteenLowercaseDigits) {
+  const std::string hex = fingerprint_hex(make_registry(3));
+  ASSERT_EQ(hex.size(), 16u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+TEST(Fingerprint, EmptyRegistryHasAFingerprintToo) {
+  const Registry empty;
+  EXPECT_EQ(fingerprint(empty), fingerprint(Registry{}));
+  EXPECT_NE(fingerprint(empty), fingerprint(make_registry(1)));
+}
+
+}  // namespace
+}  // namespace snappif::obs

@@ -1,0 +1,120 @@
+// Flight recorder: exact dump/parse round-trips (including u64 seeds and
+// snapshot words above 2^53, which must survive JSON), lowest-failure-wins
+// merge, and rejection of malformed dumps.
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace snappif::obs {
+namespace {
+
+FlightRecorder make_recorder(const std::string& failure, std::uint64_t base) {
+  FlightRecorder r;
+  r.context().tool = "test";
+  r.context().scenario = "unit";
+  r.context().seed = base;
+  r.context().shard = base & 0xff;
+  r.context().failure = failure;
+  r.context().replay = "./tool --seed=" + std::to_string(base);
+  const SpanId w = r.spans().open(SpanKind::kWave, base, 0);
+  (void)r.spans().open(SpanKind::kPhase, base + 1, 1, w, w, "B");
+  r.spans().close(w, base + 9);
+  r.set_snapshot("pif.codec.v1", {base, base + 1});
+  return r;
+}
+
+TEST(FlightRecorder, DumpRoundTripsExactly) {
+  // Deliberately above 2^53: doubles cannot represent these, so the dump
+  // format must carry them some other way.
+  const std::uint64_t big = 0xdeadbeefcafebabeULL;
+  FlightRecorder r = make_recorder("oracle says \"no\"\n", big);
+  const std::string json = r.dump_json();
+  EXPECT_TRUE(json_valid(json));
+
+  const auto dump = parse_flight_dump(json);
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_EQ(dump->context.tool, "test");
+  EXPECT_EQ(dump->context.scenario, "unit");
+  EXPECT_EQ(dump->context.seed, big);
+  EXPECT_EQ(dump->context.failure, "oracle says \"no\"\n");
+  EXPECT_EQ(dump->context.replay, r.context().replay);
+  EXPECT_EQ(dump->snapshot_format, "pif.codec.v1");
+  ASSERT_EQ(dump->snapshot_words.size(), 2u);
+  EXPECT_EQ(dump->snapshot_words[0], big);
+  EXPECT_EQ(dump->snapshot_words[1], big + 1);
+  ASSERT_EQ(dump->spans.size(), 2u);
+  EXPECT_EQ(dump->spans[0].kind, SpanKind::kWave);
+  EXPECT_EQ(dump->spans[0].wave, dump->spans[0].id);
+  EXPECT_EQ(dump->spans[1].parent, dump->spans[0].id);
+  EXPECT_EQ(dump->spans[1].detail, "B");
+  EXPECT_EQ(dump->spans_dropped, 0u);
+}
+
+TEST(FlightRecorder, FailedTracksDiagnosis) {
+  FlightRecorder r;
+  EXPECT_FALSE(r.failed());
+  r.context().failure = "snap violated";
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(FlightRecorder, MergeKeepsLowestFailingContext) {
+  FlightRecorder merged;
+  merged.merge(make_recorder("", 10));        // shard 10: passed
+  merged.merge(make_recorder("first", 20));   // shard 20: FIRST failure
+  merged.merge(make_recorder("second", 30));  // shard 30: later failure
+  EXPECT_TRUE(merged.failed());
+  EXPECT_EQ(merged.context().failure, "first");
+  EXPECT_EQ(merged.context().seed, 20u);
+  ASSERT_EQ(merged.snapshot_words().size(), 2u);
+  EXPECT_EQ(merged.snapshot_words()[0], 20u);
+  // Spans from ALL shards are retained (ids contiguous across the fold).
+  EXPECT_EQ(merged.spans().size(), 6u);
+  EXPECT_EQ(merged.spans().total_opened(), 6u);
+}
+
+TEST(FlightRecorder, MergeOfPassingRecordersStaysClean) {
+  FlightRecorder merged;
+  merged.merge(make_recorder("", 1));
+  merged.merge(make_recorder("", 2));
+  EXPECT_FALSE(merged.failed());
+  EXPECT_TRUE(merged.snapshot_words().empty());
+}
+
+TEST(FlightRecorder, RejectsMalformedDumps) {
+  EXPECT_FALSE(parse_flight_dump("not json").has_value());
+  EXPECT_FALSE(parse_flight_dump("[]").has_value());
+  EXPECT_FALSE(parse_flight_dump(R"({"flight":99,"spans":[]})").has_value());
+  // Junk snapshot words.
+  EXPECT_FALSE(parse_flight_dump(
+                   R"({"flight":1,"snapshot":{"format":"x","words":["12"]},)"
+                   R"("spans":[]})")
+                   .has_value());
+  EXPECT_FALSE(parse_flight_dump(
+                   R"({"flight":1,"snapshot":{"format":"x","words":["0xZZ"]},)"
+                   R"("spans":[]})")
+                   .has_value());
+  // Unknown span kind.
+  EXPECT_FALSE(
+      parse_flight_dump(
+          R"({"flight":1,"spans":[{"id":1,"kind":"mystery","begin":0}]})")
+          .has_value());
+  // Missing spans array entirely.
+  EXPECT_FALSE(parse_flight_dump(R"({"flight":1})").has_value());
+}
+
+TEST(FlightRecorder, EmptyRecorderStillDumpsValidJson) {
+  const FlightRecorder r;
+  const auto dump = parse_flight_dump(r.dump_json());
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_TRUE(dump->spans.empty());
+  EXPECT_TRUE(dump->context.failure.empty());
+}
+
+}  // namespace
+}  // namespace snappif::obs

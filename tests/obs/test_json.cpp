@@ -1,0 +1,92 @@
+// JSON decoder (the flight-dump reader): value construction, string
+// unescaping including surrogate pairs, numeric fidelity, accessors, and
+// rejection of the malformed shapes the validator also rejects.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace snappif::obs {
+namespace {
+
+TEST(JsonParse, ParsesScalarsAndContainers) {
+  const auto doc = json_parse(
+      R"({"b":true,"n":null,"x":-2.5e1,"s":"hi","a":[1,2,3],"o":{"k":"v"}})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->get("b")->kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(doc->get("b")->boolean);
+  EXPECT_TRUE(doc->get("n")->is_null());
+  EXPECT_DOUBLE_EQ(doc->get("x")->number, -25.0);
+  EXPECT_EQ(doc->get("s")->string, "hi");
+  ASSERT_TRUE(doc->get("a")->is_array());
+  EXPECT_EQ(doc->get("a")->array.size(), 3u);
+  ASSERT_TRUE(doc->get("o")->is_object());
+  EXPECT_EQ(doc->get("o")->get_string("k"), "v");
+  EXPECT_EQ(doc->get("missing"), nullptr);
+}
+
+TEST(JsonParse, UnescapesStringsIncludingSurrogatePairs) {
+  const auto doc = json_parse(
+      R"({"esc":"a\"b\\c\/d\b\f\n\r\t","uni":"é€","pair":"😀"})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_string("esc"), "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(doc->get_string("uni"), "\xc3\xa9\xe2\x82\xac");      // é€
+  EXPECT_EQ(doc->get_string("pair"), "\xf0\x9f\x98\x80");        // emoji
+}
+
+TEST(JsonParse, RejectsLoneSurrogatesAndMalformedInput) {
+  EXPECT_FALSE(json_parse(R"({"s":"\ud83d"})").has_value());
+  EXPECT_FALSE(json_parse(R"({"s":"\ude00"})").has_value());
+  EXPECT_FALSE(json_parse("{").has_value());
+  EXPECT_FALSE(json_parse(R"({"a":1,})").has_value());
+  EXPECT_FALSE(json_parse(R"([1 2])").has_value());
+  EXPECT_FALSE(json_parse("01").has_value());
+  EXPECT_FALSE(json_parse("").has_value());
+  EXPECT_FALSE(json_parse("true false").has_value());
+}
+
+TEST(JsonParse, DepthBounded) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) {
+    deep += '[';
+  }
+  for (int i = 0; i < 200; ++i) {
+    deep += ']';
+  }
+  EXPECT_FALSE(json_parse(deep).has_value());
+  EXPECT_TRUE(json_parse("[[[[[[1]]]]]]").has_value());
+}
+
+TEST(JsonParse, GetU64TruncatesAndRejectsNegatives) {
+  const auto doc = json_parse(R"({"i":42,"f":41.9,"neg":-3,"s":"7"})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_u64("i"), 42u);
+  EXPECT_EQ(doc->get_u64("f"), 41u);
+  EXPECT_EQ(doc->get_u64("neg", 5), 5u);   // negative -> fallback
+  EXPECT_EQ(doc->get_u64("s", 5), 5u);     // wrong type -> fallback
+  EXPECT_EQ(doc->get_u64("missing", 9), 9u);
+}
+
+TEST(JsonParse, DuplicateKeysLastWins) {
+  const auto doc = json_parse(R"({"k":1,"k":2})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_u64("k"), 2u);
+}
+
+TEST(JsonParse, RoundTripsValidatorAcceptedOutput) {
+  // Everything the emit side produces must parse: build with the writer
+  // helpers and read back.
+  const std::string payload = std::string("{\"name\":\"") +
+                              json_escape("tab\t \"q\" \xf0\x9f\x98\x80") +
+                              "\",\"v\":" + json_number(1.5) + "}";
+  ASSERT_TRUE(json_valid(payload));
+  const auto doc = json_parse(payload);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_string("name"), "tab\t \"q\" \xf0\x9f\x98\x80");
+  EXPECT_DOUBLE_EQ(doc->get("v")->number, 1.5);
+}
+
+}  // namespace
+}  // namespace snappif::obs

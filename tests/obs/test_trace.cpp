@@ -1,0 +1,171 @@
+// Causal span model: id minting, causal links, drop-oldest flight-recorder
+// semantics, and the deterministic merge that makes per-shard collectors
+// fold into worker-count-invariant streams.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace snappif::obs {
+namespace {
+
+TEST(Span, IdsMintSequentiallyFromOne) {
+  SpanCollector c;
+  EXPECT_EQ(c.open(SpanKind::kPhase, 0, 0), 1u);
+  EXPECT_EQ(c.open(SpanKind::kPhase, 1, 1), 2u);
+  EXPECT_EQ(c.instant(SpanKind::kMark, 2, 0), 3u);
+  EXPECT_EQ(c.total_opened(), 3u);
+}
+
+TEST(Span, WaveSpansPointAtThemselves) {
+  SpanCollector c;
+  const SpanId w = c.open(SpanKind::kWave, 5, 0);
+  const Span* s = c.find(w);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->wave, w);
+  EXPECT_EQ(s->parent, 0u);
+}
+
+TEST(Span, CausalLinksAndDetailSurvive) {
+  SpanCollector c;
+  const SpanId w = c.open(SpanKind::kWave, 0, 0);
+  const SpanId p = c.open(SpanKind::kPhase, 1, 3, w, w, "B");
+  c.close(p, 7);
+  const Span* s = c.find(p);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->parent, w);
+  EXPECT_EQ(s->wave, w);
+  EXPECT_EQ(s->tid, 3u);
+  EXPECT_EQ(s->begin, 1u);
+  EXPECT_EQ(s->end, 7u);
+  EXPECT_EQ(s->detail, "B");
+}
+
+TEST(Span, InstantKeepsZeroDuration) {
+  SpanCollector c;
+  const SpanId i = c.instant(SpanKind::kLinkSend, 9, 2, 0, 0, {}, 4);
+  const Span* s = c.find(i);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->begin, 9u);
+  EXPECT_EQ(s->end, 9u);
+  EXPECT_EQ(s->peer, 4u);
+}
+
+TEST(Span, DropOldestKeepsContiguousIdRange) {
+  SpanCollector c(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    (void)c.open(SpanKind::kMark, i, 0);
+  }
+  EXPECT_EQ(c.spans().size(), 4u);
+  EXPECT_EQ(c.dropped(), 6u);
+  EXPECT_EQ(c.total_opened(), 10u);
+  EXPECT_EQ(c.spans().front().id, 7u);
+  EXPECT_EQ(c.spans().back().id, 10u);
+  // Closing an evicted span is a harmless no-op; a retained one still works.
+  c.close(2, 99);
+  EXPECT_EQ(c.find(2), nullptr);
+  c.close(8, 42);
+  EXPECT_EQ(c.find(8)->end, 42u);
+}
+
+TEST(Span, CloseOfSpanZeroIsNoOp) {
+  SpanCollector c;
+  c.close(0, 5);  // "no span" handle must always be safe
+  EXPECT_TRUE(c.spans().empty());
+}
+
+TEST(Span, MergeRemapsIdsParentAndWaveByOffset) {
+  SpanCollector a;
+  (void)a.open(SpanKind::kWave, 0, 0);  // id 1
+  (void)a.open(SpanKind::kPhase, 1, 1, 1, 1);  // id 2
+
+  SpanCollector b;
+  const SpanId bw = b.open(SpanKind::kWave, 10, 0);          // id 1
+  (void)b.open(SpanKind::kPhase, 11, 2, bw, bw);             // id 2
+  (void)b.open(SpanKind::kCorrectionBurst, 12, 0, 0, 0);     // id 3: no wave
+
+  a.merge(b);
+  ASSERT_EQ(a.spans().size(), 5u);
+  const Span& mw = a.spans()[2];
+  const Span& mp = a.spans()[3];
+  const Span& mc = a.spans()[4];
+  EXPECT_EQ(mw.id, 3u);       // 1 + offset 2
+  EXPECT_EQ(mw.wave, 3u);     // self-link remapped
+  EXPECT_EQ(mp.parent, 3u);
+  EXPECT_EQ(mp.wave, 3u);
+  EXPECT_EQ(mc.parent, 0u);   // zero links stay "none", never remapped
+  EXPECT_EQ(mc.wave, 0u);
+  // Next mint continues after the merged range.
+  EXPECT_EQ(a.open(SpanKind::kMark, 0, 0), 6u);
+}
+
+TEST(Span, FoldInIndexOrderIsGroupingInvariant) {
+  // Three "shards" folded left-to-right vs. pre-merged pairs: identical
+  // streams, the property the par::run_shards join relies on.
+  const auto make = [](std::uint64_t base) {
+    SpanCollector c;
+    const SpanId w = c.open(SpanKind::kWave, base, 0);
+    (void)c.open(SpanKind::kPhase, base + 1, 1, w, w, "B");
+    c.close(w, base + 5);
+    return c;
+  };
+  SpanCollector flat;
+  flat.merge(make(0));
+  flat.merge(make(10));
+  flat.merge(make(20));
+
+  SpanCollector left;
+  left.merge(make(0));
+  left.merge(make(10));
+  SpanCollector grouped;
+  grouped.merge(left);
+  grouped.merge(make(20));
+
+  ASSERT_EQ(flat.spans().size(), grouped.spans().size());
+  for (std::size_t i = 0; i < flat.spans().size(); ++i) {
+    EXPECT_EQ(span_json(flat.spans()[i]), span_json(grouped.spans()[i]));
+  }
+}
+
+TEST(Span, KindNamesRoundTrip) {
+  const SpanKind kinds[] = {
+      SpanKind::kWave,          SpanKind::kPhase,
+      SpanKind::kCorrectionBurst, SpanKind::kLinkSend,
+      SpanKind::kLinkRetransmit,  SpanKind::kLinkDeliver,
+      SpanKind::kLinkPeerReset,   SpanKind::kMark,
+  };
+  for (const SpanKind k : kinds) {
+    SpanKind out = SpanKind::kWave;
+    ASSERT_TRUE(span_kind_from_name(span_kind_name(k), &out))
+        << span_kind_name(k);
+    EXPECT_EQ(out, k);
+  }
+  SpanKind out = SpanKind::kWave;
+  EXPECT_FALSE(span_kind_from_name("bogus", &out));
+}
+
+TEST(Span, SpanJsonIsValidAndToEventsCarriesLinks) {
+  SpanCollector c;
+  const SpanId w = c.open(SpanKind::kWave, 0, 0);
+  (void)c.open(SpanKind::kPhase, 1, 2, w, w, "quote\"and\\slash");
+  c.close(w, 4);
+  for (const Span& s : c.spans()) {
+    EXPECT_TRUE(json_valid(span_json(s))) << span_json(s);
+  }
+  EventLog log;
+  c.to_events(log);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.events()[0].ph, 'X');
+  bool saw_parent = false;
+  for (const auto& [key, value] : log.events()[1].args) {
+    saw_parent = saw_parent || key == "parent";
+  }
+  EXPECT_TRUE(saw_parent);
+}
+
+}  // namespace
+}  // namespace snappif::obs

@@ -1,0 +1,184 @@
+// WaveTraceProbe: wave minting at the root's B-action, per-processor phase
+// residency spans, correction bursts, the per-wave aggregates, and the
+// probe-owned monotone clock that survives re-attachment.
+#include "pif/wave_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pif/faults.hpp"
+#include "pif/ghost.hpp"
+#include "pif/instrument.hpp"
+#include "pif/protocol.hpp"
+#include "sim/daemon.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::pif {
+namespace {
+
+using PifSim = sim::Simulator<PifProtocol>;
+
+std::unique_ptr<PifSim> make_sim(const graph::Graph& g, std::uint64_t seed) {
+  PifProtocol protocol(g, Params::for_graph(g, 0));
+  auto sim = std::make_unique<PifSim>(protocol, g, seed);
+  return sim;
+}
+
+void run_cycles(PifSim& sim, GhostTracker& tracker, std::uint64_t cycles) {
+  auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+  const auto r = sim.run_until(
+      *daemon,
+      [&](const sim::Configuration<State>&) {
+        return tracker.cycles_completed() >= cycles;
+      },
+      sim::RunLimits{.max_steps = 500'000});
+  ASSERT_EQ(r.reason, sim::StopReason::kPredicate);
+}
+
+TEST(WaveTrace, CleanRunMintsOneWavePerCycle) {
+  const auto g = graph::make_cycle(8);
+  auto sim = make_sim(g, 11);
+  obs::SpanCollector spans;
+  obs::Registry registry;
+  WaveTraceProbe wave(0, spans, &registry);
+  sim->add_probe(&wave);
+  GhostTracker tracker(g, 0);
+  attach(*sim, tracker);
+
+  run_cycles(*sim, tracker, 3);
+  wave.finish();
+
+  ASSERT_EQ(wave.waves().size(), 3u);
+  std::uint64_t prev_end = 0;
+  for (const WaveTraceProbe::WaveSample& w : wave.waves()) {
+    EXPECT_TRUE(w.closed);
+    EXPECT_GT(w.end_round, w.begin_round);
+    EXPECT_GE(w.begin_round, prev_end);  // waves don't overlap
+    prev_end = w.end_round;
+    EXPECT_EQ(w.corrections, 0u);  // clean start: nothing to digest
+    const obs::Span* s = spans.find(w.span);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, obs::SpanKind::kWave);
+    EXPECT_EQ(s->wave, w.span);
+  }
+  EXPECT_EQ(registry.counter("pif.wave.count").value(), 3u);
+  EXPECT_EQ(registry.histogram("pif.wave.latency_rounds", 64, 4.0).total(),
+            3u);
+}
+
+TEST(WaveTrace, PhaseSpansTrackEveryProcessor) {
+  const auto g = graph::make_complete(5);
+  auto sim = make_sim(g, 3);
+  obs::SpanCollector spans;
+  WaveTraceProbe wave(0, spans);
+  sim->add_probe(&wave);
+  GhostTracker tracker(g, 0);
+  attach(*sim, tracker);
+  run_cycles(*sim, tracker, 1);
+  wave.finish();
+
+  // Every processor passed through B and F during the cycle, so each tid
+  // must own at least three phase spans (C, B, F residencies).
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    std::size_t count = 0;
+    for (const obs::Span& s : spans.spans()) {
+      if (s.kind == obs::SpanKind::kPhase && s.tid == p) {
+        ++count;
+        EXPECT_GE(s.end, s.begin);
+      }
+    }
+    EXPECT_GE(count, 3u) << "processor " << p;
+  }
+}
+
+TEST(WaveTrace, CorruptedStartRecordsCorrectionBursts) {
+  const auto g = graph::make_random_connected(10, 8, 5);
+  auto sim = make_sim(g, 21);
+  util::Rng rng(99);
+  apply_corruption(*sim, CorruptionKind::kFakeTree, rng);
+
+  obs::SpanCollector spans;
+  obs::Registry registry;
+  WaveTraceProbe wave(0, spans, &registry);
+  sim->add_probe(&wave);
+  GhostTracker tracker(g, 0);
+  attach(*sim, tracker);
+  run_cycles(*sim, tracker, 1);
+  wave.finish();
+
+  std::size_t bursts = 0;
+  for (const obs::Span& s : spans.spans()) {
+    bursts += s.kind == obs::SpanKind::kCorrectionBurst ? 1 : 0;
+  }
+  EXPECT_GT(bursts, 0u) << "fake-tree corruption must trigger corrections";
+  EXPECT_GE(wave.ticks(), wave.rounds());
+}
+
+TEST(WaveTrace, ClockSurvivesReattachAcrossSimulators) {
+  // The campaign engine re-attaches one probe instance to a rebuilt
+  // simulator after link churn; its clock must keep counting forward.
+  const auto g = graph::make_cycle(6);
+  obs::SpanCollector spans;
+  WaveTraceProbe wave(0, spans);
+
+  auto sim1 = make_sim(g, 1);
+  sim1->add_probe(&wave);
+  GhostTracker t1(g, 0);
+  attach(*sim1, t1);
+  run_cycles(*sim1, t1, 1);
+  const std::uint64_t ticks_after_first = wave.ticks();
+  const std::uint64_t rounds_after_first = wave.rounds();
+  EXPECT_GT(ticks_after_first, 0u);
+  sim1->remove_probe(&wave);
+
+  auto sim2 = make_sim(g, 2);
+  sim2->add_probe(&wave);  // fresh engine counters, same probe clock
+  GhostTracker t2(g, 0);
+  attach(*sim2, t2);
+  run_cycles(*sim2, t2, 1);
+  wave.finish();
+
+  EXPECT_GT(wave.ticks(), ticks_after_first);
+  EXPECT_GT(wave.rounds(), rounds_after_first);
+  // Span timestamps stay monotone: no span begins before a prior one ends
+  // by more than the ring retains, and ids strictly increase.
+  std::uint64_t last_begin = 0;
+  for (const obs::Span& s : spans.spans()) {
+    EXPECT_GE(s.begin, last_begin);
+    last_begin = s.begin;
+  }
+}
+
+TEST(WaveTrace, AbortedWaveStaysMarkedUnclosed) {
+  // Cut a run off mid-wave: finish() closes the span but the sample keeps
+  // closed == false, which is what the --waves table reports as ABORTED.
+  const auto g = graph::make_cycle(6);
+  auto sim = make_sim(g, 4);
+  obs::SpanCollector spans;
+  WaveTraceProbe wave(0, spans);
+  sim->add_probe(&wave);
+  GhostTracker tracker(g, 0);
+  attach(*sim, tracker);
+
+  auto daemon = sim::make_daemon(sim::DaemonKind::kDistributedRandom);
+  (void)sim->run_until(
+      *daemon,
+      [&](const sim::Configuration<State>&) {
+        return tracker.cycle_active();  // stop as soon as a wave opens
+      },
+      sim::RunLimits{.max_steps = 500'000});
+  wave.finish();
+
+  ASSERT_EQ(wave.waves().size(), 1u);
+  EXPECT_FALSE(wave.waves().front().closed);
+  const obs::Span* s = spans.find(wave.waves().front().span);
+  ASSERT_NE(s, nullptr);
+}
+
+}  // namespace
+}  // namespace snappif::pif

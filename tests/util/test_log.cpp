@@ -83,12 +83,49 @@ TEST(Log, EnvVariableControlsLevel) {
   reload_log_level_from_env();
   EXPECT_EQ(log_level(), LogLevel::kDebug);
 
-  // Unrecognized values keep the previously effective level.
-  ASSERT_EQ(setenv("SNAPPIF_LOG_LEVEL", "garbage", 1), 0);
-  reload_log_level_from_env();
-  EXPECT_EQ(log_level(), LogLevel::kDebug);
-
   ASSERT_EQ(unsetenv("SNAPPIF_LOG_LEVEL"), 0);
+}
+
+TEST(Log, EnvJunkWarnsOnceAndFallsBackToInfo) {
+  LogLevelGuard guard;
+  ASSERT_EQ(setenv("SNAPPIF_LOG_LEVEL", "verbose", 1), 0);
+  ::testing::internal::CaptureStderr();
+  reload_log_level_from_env();
+  SNAPPIF_LOG_DEBUG("below the fallback");  // must be suppressed at info
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(log_level(), LogLevel::kInfo);  // junk -> info, not silence
+  EXPECT_NE(err.find("SNAPPIF_LOG_LEVEL=\"verbose\" is not a log level"),
+            std::string::npos)
+      << err;
+  EXPECT_EQ(err.find("below the fallback"), std::string::npos);
+  // Exactly one warning per reload: a second bad reload warns again (it is
+  // a fresh look at the environment), but within one reload the message
+  // appears once.
+  EXPECT_EQ(err.find("is not a log level"), err.rfind("is not a log level"));
+  ASSERT_EQ(unsetenv("SNAPPIF_LOG_LEVEL"), 0);
+}
+
+TEST(Log, EnvWhitespaceAndAliasesAccepted) {
+  LogLevelGuard guard;
+  ASSERT_EQ(setenv("SNAPPIF_LOG_LEVEL", "  WARNING\t", 1), 0);
+  ::testing::internal::CaptureStderr();
+  reload_log_level_from_env();
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  EXPECT_TRUE(err.empty()) << err;  // valid names never warn
+  ASSERT_EQ(unsetenv("SNAPPIF_LOG_LEVEL"), 0);
+}
+
+TEST(Log, ParseStrictLeavesOutputUntouchedOnJunk) {
+  LogLevel out = LogLevel::kError;
+  EXPECT_FALSE(parse_log_level_strict("chatty", &out));
+  EXPECT_EQ(out, LogLevel::kError);
+  EXPECT_FALSE(parse_log_level_strict("", &out));
+  EXPECT_EQ(out, LogLevel::kError);
+  EXPECT_TRUE(parse_log_level_strict(" none ", &out));
+  EXPECT_EQ(out, LogLevel::kOff);
+  EXPECT_TRUE(parse_log_level_strict("Debug", &out));
+  EXPECT_EQ(out, LogLevel::kDebug);
 }
 
 TEST(Log, ExplicitSetterBeatsEnvironment) {

@@ -24,11 +24,18 @@
 //                   [--schedule='12:burst*3;20:corrupt=fake-tree']
 //                   [--break=none|broadcast-leaf|feedback-bleaf|count-wait]
 //                   [--budget=0 (auto)] [--no-shrink] [--metrics=out.json]
-//                   [--csv]
+//                   [--flight-out=chaos_flight.json] [--csv]
 //
 // --break ablates one protocol guard (the deliberately broken variants from
 // the ablation benches) so the oracle and shrinker can be demonstrated on a
 // protocol that is NOT snap-stabilizing.
+//
+// Flight recorder: every campaign streams wave/phase/correction (and, with
+// --mp, link frame) spans into a bounded ring.  On any failure the lowest
+// failing campaign's recording — context, diagnosis, the exact repro
+// command, a packed snapshot of the final configuration, and the recent
+// span history — is written to --flight-out as a single JSON artifact
+// (inspect with `snappif_trace --flight FILE`; --flight-out=none disables).
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -37,6 +44,7 @@
 #include "chaos/shrink.hpp"
 #include "chaos/soak.hpp"
 #include "graph/generators.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "par/pool.hpp"
 #include "sim/daemon.hpp"
@@ -144,6 +152,9 @@ int main(int argc, char** argv) {
         chaos::run_soak_campaign(*g, soak, job, 0, &report.metrics));
     if (!report.outcomes.front().ok()) {
       report.first_failure = 0;
+      if (report.outcomes.front().flight != nullptr) {
+        report.flight.merge(*report.outcomes.front().flight);
+      }
     }
   } else {
     std::unique_ptr<par::ThreadPool> pool;
@@ -199,16 +210,33 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(o.index),
                  !o.shared.ok() ? o.shared.failure.c_str()
                                 : o.mp_failure.c_str());
-    std::fprintf(
-        stderr,
-        "repro: %s --topology=%s --n=%u --graph-seed=%llu --root=%u "
-        "--daemon=%s%s%s%s%s --seed=%llu --schedule='%s'\n",
+    char repro_cmd[1024];
+    std::snprintf(
+        repro_cmd, sizeof(repro_cmd),
+        "%s --topology=%s --n=%u --graph-seed=%llu --root=%u "
+        "--daemon=%s%s%s%s%s --seed=%llu --schedule='%s'",
         cli.program().c_str(), topology.c_str(), g->n(),
         static_cast<unsigned long long>(graph_seed), soak.campaign.root,
         daemon_name.c_str(), broken == "none" ? "" : " --break=",
         broken == "none" ? "" : broken.c_str(), soak.run_mp ? " --mp" : "",
         soak.emulate ? " --emulate" : "",
         static_cast<unsigned long long>(o.seed), repro->to_string().c_str());
+    std::fprintf(stderr, "repro: %s\n", repro_cmd);
+
+    // Auto-dump the flight recording: the artifact embeds the repro line,
+    // so a CI failure is replayable from the dump alone.
+    const std::string flight_path =
+        cli.get_string("flight-out", "chaos_flight.json");
+    if (flight_path != "none") {
+      report.flight.context().tool = "snappif_chaos";
+      report.flight.context().replay = repro_cmd;
+      if (report.flight.write(flight_path)) {
+        std::fprintf(stderr, "flight dump: %s\n", flight_path.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write flight dump %s\n",
+                     flight_path.c_str());
+      }
+    }
   }
 
   const bool csv = cli.get_bool("csv", false);

@@ -5,17 +5,22 @@
 //                     [--ablate-leaf|--ablate-bleaf|--ablate-countwait]
 //                     [--liveness] [--normal-starts] [--max-states=200000000]
 //                     [--jobs=1 (worker threads; 0 = hardware)]
+//                     [--metrics-out=FILE (machine-readable run summary)]
 //
 // Prints the deadlock census, the exhaustive snap verdict and (optionally)
 // the synchronous liveness distances for the chosen instance and variant.
 // --jobs parallelizes the deadlock census and the BFS (deterministically —
 // identical reports for any worker count); liveness stays single-threaded.
+// --metrics-out writes the same numbers as an obs::Registry JSON document
+// (counters explore.*) for dashboards and regression diffing.
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "analysis/modelcheck.hpp"
 #include "graph/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "par/pool.hpp"
 #include "util/cli.hpp"
 
@@ -94,5 +99,24 @@ int main(int argc, char** argv) {
   const bool clean = deadlock.deadlocks == 0 && snap.complete &&
                      snap.violations == 0 && snap.aborts == 0;
   std::printf("verdict: %s\n", clean ? "CLEAN" : "PROBLEMS FOUND");
+
+  if (const auto metrics_out = cli.get("metrics-out"); metrics_out.has_value()) {
+    obs::Registry reg;
+    reg.counter("explore.configurations").inc(deadlock.configurations);
+    reg.counter("explore.deadlocks").inc(deadlock.deadlocks);
+    reg.counter("explore.states").inc(snap.states);
+    reg.counter("explore.transitions").inc(snap.transitions);
+    reg.counter("explore.cycle_closures").inc(snap.cycle_closures);
+    reg.counter("explore.violations").inc(snap.violations);
+    reg.counter("explore.aborts").inc(snap.aborts);
+    reg.counter("explore.complete").inc(snap.complete ? 1 : 0);
+    reg.counter("explore.clean").inc(clean ? 1 : 0);
+    if (!obs::write_text_file(*metrics_out, reg.json())) {
+      std::fprintf(stderr, "could not write --metrics-out=%s\n",
+                   metrics_out->c_str());
+      return 2;
+    }
+    std::printf("metrics: %s\n", metrics_out->c_str());
+  }
   return clean ? 0 : 1;
 }

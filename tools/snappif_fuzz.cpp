@@ -9,11 +9,22 @@
 //
 //   ./snappif_fuzz [--seed=1] [--max-n=24] [--iterations=0 (unbounded)]
 //                  [--jobs=1 (worker threads; 0 = hardware)] [--only=INDEX]
+//                  [--break=none|broadcast-leaf|feedback-bleaf|count-wait]
+//                  [--metrics-out=FILE] [--flight-out=fuzz_flight.json]
+//
+// --metrics-out writes the merged run telemetry (shard-order Registry merge,
+// so the JSON — and its obs::fingerprint — is identical for any --jobs) as
+// one JSON object.  On a violation the failing iteration is re-run with the
+// causal tracer attached and dumped to --flight-out, replay line included
+// (--flight-out=none disables).  --break ablates one protocol guard so the
+// fuzzer has something to find.
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "analysis/fuzz.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "par/pool.hpp"
 #include "pif/faults.hpp"
 #include "sim/daemon.hpp"
@@ -23,8 +34,66 @@ using namespace snappif;
 
 namespace {
 
+/// Maps --break to a Params tweak; returns false for unknown names.
+bool break_by_name(const std::string& name,
+                   std::function<void(pif::Params&)>* out) {
+  if (name == "none") {
+    *out = nullptr;
+    return true;
+  }
+  if (name == "broadcast-leaf") {
+    *out = [](pif::Params& p) { p.ablate_broadcast_leaf = true; };
+    return true;
+  }
+  if (name == "feedback-bleaf") {
+    *out = [](pif::Params& p) { p.ablate_feedback_bleaf = true; };
+    return true;
+  }
+  if (name == "count-wait") {
+    *out = [](pif::Params& p) { p.ablate_count_wait = true; };
+    return true;
+  }
+  return false;
+}
+
+/// Builds the replay command for iteration `f.index` (mirrors the stderr
+/// repro line) — embedded in the flight dump.
+std::string replay_command(const util::Cli& cli,
+                           const analysis::FuzzOptions& opts,
+                           const std::string& broken,
+                           const analysis::FuzzFailure& f) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "%s --seed=%llu --max-n=%u%s%s --only=%llu",
+                cli.program().c_str(),
+                static_cast<unsigned long long>(opts.master_seed), opts.max_n,
+                broken == "none" ? "" : " --break=",
+                broken == "none" ? "" : broken.c_str(),
+                static_cast<unsigned long long>(f.index));
+  return buf;
+}
+
+/// Re-runs the failing iteration with tracing and writes the dump.
+void dump_failure_flight(const util::Cli& cli,
+                         const analysis::FuzzOptions& opts,
+                         const std::string& broken,
+                         const analysis::FuzzFailure& f) {
+  const std::string path = cli.get_string("flight-out", "fuzz_flight.json");
+  if (path == "none") {
+    return;
+  }
+  obs::FlightRecorder flight;
+  analysis::record_fuzz_flight(opts, f, flight);
+  flight.context().tool = "snappif_fuzz";
+  flight.context().replay = replay_command(cli, opts, broken, f);
+  if (flight.write(path)) {
+    std::fprintf(stderr, "flight dump: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write flight dump %s\n", path.c_str());
+  }
+}
+
 void print_failure(const util::Cli& cli, const analysis::FuzzOptions& opts,
-                   const analysis::FuzzFailure& f) {
+                   const std::string& broken, const analysis::FuzzFailure& f) {
   const analysis::FuzzInstance& inst = f.instance;
   std::printf(
       "VIOLATION at iteration %llu!\n"
@@ -43,14 +112,11 @@ void print_failure(const util::Cli& cli, const analysis::FuzzOptions& opts,
   // exactly this iteration, independent of every other one.
   std::fprintf(stderr,
                "snappif_fuzz: violation at iteration %llu "
-               "(run seed %llu, graph seed %llu)\n"
-               "repro: %s --seed=%llu --max-n=%u --only=%llu\n",
+               "(run seed %llu, graph seed %llu)\nrepro: %s\n",
                static_cast<unsigned long long>(f.index),
                static_cast<unsigned long long>(inst.run_seed),
                static_cast<unsigned long long>(inst.graph_seed),
-               cli.program().c_str(),
-               static_cast<unsigned long long>(opts.master_seed), opts.max_n,
-               static_cast<unsigned long long>(f.index));
+               replay_command(cli, opts, broken, f).c_str());
 }
 
 }  // namespace
@@ -66,12 +132,21 @@ int main(int argc, char** argv) {
   opts.max_n = static_cast<graph::NodeId>(cli.get_int("max-n", 24));
   const std::uint64_t iterations = cli.get_u64("iterations", 0);
   const auto jobs = static_cast<unsigned>(cli.get_int("jobs", 1));
+  const std::string broken = cli.get_string("break", "none");
+  if (!break_by_name(broken, &opts.tweak_params)) {
+    std::fprintf(stderr,
+                 "unknown --break=%s (none|broadcast-leaf|feedback-bleaf|"
+                 "count-wait)\n",
+                 broken.c_str());
+    return 2;
+  }
 
   // Replay mode: run exactly one iteration, in isolation.
   if (const auto only = cli.get("only"); only.has_value()) {
     const std::uint64_t index = cli.get_u64("only", 0);
     if (auto failure = analysis::run_fuzz_iteration(opts, index)) {
-      print_failure(cli, opts, *failure);
+      print_failure(cli, opts, broken, *failure);
+      dump_failure_flight(cli, opts, broken, *failure);
       return 1;
     }
     std::printf("iteration %llu: ok\n",
@@ -94,11 +169,24 @@ int main(int argc, char** argv) {
         std::fflush(stdout);
       });
 
+  int exit_code = 0;
   if (!report.failures.empty()) {
-    print_failure(cli, opts, report.failures.front());
-    return 1;
+    print_failure(cli, opts, broken, report.failures.front());
+    dump_failure_flight(cli, opts, broken, report.failures.front());
+    exit_code = 1;
+  } else {
+    std::printf("done: %llu runs, 0 violations\n",
+                static_cast<unsigned long long>(report.iterations_run));
   }
-  std::printf("done: %llu runs, 0 violations\n",
-              static_cast<unsigned long long>(report.iterations_run));
-  return 0;
+
+  // Merged telemetry of the whole run (worker-count invariant).
+  if (const auto path = cli.get("metrics-out"); path.has_value()) {
+    if (obs::write_text_file(*path, report.metrics.json())) {
+      std::printf("wrote metrics to %s\n", path->c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", path->c_str());
+      exit_code = exit_code == 0 ? 1 : exit_code;
+    }
+  }
+  return exit_code;
 }

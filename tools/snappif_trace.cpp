@@ -9,21 +9,40 @@
 //                   [--root=0] [--cycles=3] [--max-steps=1000000]
 //                   [--jsonl=out.jsonl] [--trace=out.trace.json]
 //                   [--metrics=out.metrics.json] [--csv]
+//                   [--waves] [--fingerprint]
+//   ./snappif_trace --flight=dump.json [--waves] [--trace=out.trace.json]
 //
 // Prints a run summary and the metrics-registry table on stdout; optionally
 // writes the JSONL event stream, a Chrome trace_event file (load in
 // about:tracing / Perfetto), and a JSON registry snapshot.
+//
+// Causal tracing: every run carries a pif::WaveTraceProbe, so --trace files
+// include the wave/phase/correction span tree alongside the per-action
+// events; --waves prints the per-wave latency/correction table; and
+// --fingerprint prints the order-invariant obs::fingerprint of the metrics
+// registry (the digest the golden tests pin).
+//
+// Flight-dump viewer (--flight=FILE): renders an obs::FlightRecorder dump —
+// context, diagnosis, embedded replay command, packed snapshot size, span
+// census — and with --trace converts the recorded spans to a Chrome
+// trace_event file.  --waves lists the dump's wave spans.
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "graph/generators.hpp"
 #include "obs/export.hpp"
+#include "obs/fingerprint.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pif/faults.hpp"
 #include "pif/ghost.hpp"
 #include "pif/instrument.hpp"
 #include "pif/protocol.hpp"
+#include "pif/wave_trace.hpp"
 #include "sim/daemon.hpp"
 #include "sim/simulator.hpp"
 #include "util/cli.hpp"
@@ -52,12 +71,92 @@ bool corruption_by_name(const std::string& name, pif::CorruptionKind* out) {
   return false;
 }
 
+/// Renders a flight-recorder dump; returns the process exit code.
+int view_flight(const util::Cli& cli, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto dump = obs::parse_flight_dump(buf.str());
+  if (!dump.has_value()) {
+    std::fprintf(stderr, "%s is not a flight-recorder dump\n", path.c_str());
+    return 2;
+  }
+
+  const bool csv = cli.get_bool("csv", false);
+  util::Table ctx({"tool", "scenario", "seed", "shard", "snapshot", "spans",
+                   "dropped"});
+  ctx.add_row({dump->context.tool, dump->context.scenario,
+               util::fmt(dump->context.seed), util::fmt(dump->context.shard),
+               dump->snapshot_words.empty()
+                   ? "-"
+                   : dump->snapshot_format + " x" +
+                         util::fmt(dump->snapshot_words.size()),
+               util::fmt(dump->spans.size()), util::fmt(dump->spans_dropped)});
+  std::fputs((csv ? ctx.render_csv() : ctx.render()).c_str(), stdout);
+  if (!dump->context.failure.empty()) {
+    std::printf("\nfailure: %s\n", dump->context.failure.c_str());
+  }
+  if (!dump->context.replay.empty()) {
+    std::printf("replay:  %s\n", dump->context.replay.c_str());
+  }
+
+  // Span census by kind.
+  util::Table census({"kind", "count"});
+  std::size_t counts[16] = {};
+  for (const obs::Span& sp : dump->spans) {
+    ++counts[static_cast<std::size_t>(sp.kind) & 15U];
+  }
+  for (std::size_t k = 0; k < 16; ++k) {
+    if (counts[k] != 0) {
+      census.add_row({obs::span_kind_name(static_cast<obs::SpanKind>(k)),
+                      util::fmt(counts[k])});
+    }
+  }
+  std::printf("\n");
+  std::fputs((csv ? census.render_csv() : census.render()).c_str(), stdout);
+
+  if (cli.get_bool("waves", false)) {
+    util::Table waves({"wave-span", "begin", "end", "ticks", "root"});
+    for (const obs::Span& sp : dump->spans) {
+      if (sp.kind == obs::SpanKind::kWave) {
+        waves.add_row({util::fmt(sp.id), util::fmt(sp.begin),
+                       util::fmt(sp.end), util::fmt(sp.end - sp.begin),
+                       util::fmt(sp.tid)});
+      }
+    }
+    std::printf("\n");
+    std::fputs((csv ? waves.render_csv() : waves.render()).c_str(), stdout);
+  }
+
+  if (const auto out = cli.get("trace"); out.has_value()) {
+    obs::EventLog events;
+    for (const obs::Span& sp : dump->spans) {
+      events.emit(obs::span_to_event(sp));
+    }
+    if (!events.write_chrome_trace(*out)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out->c_str());
+      return 1;
+    }
+    std::printf("\nwrote Chrome trace to %s (load in about:tracing)\n",
+                out->c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   for (const std::string& err : cli.errors()) {
     std::fprintf(stderr, "argument error: %s\n", err.c_str());
+  }
+
+  if (const auto flight = cli.get("flight"); flight.has_value()) {
+    return view_flight(cli, *flight);
   }
 
   const std::string topology = cli.get_string("topology", "random");
@@ -96,6 +195,9 @@ int main(int argc, char** argv) {
   obs::EventLog events;
   pif::PifMetricsProbe probe(protocol, registry, &events);
   sim.add_probe(&probe);
+  obs::SpanCollector spans(1 << 16);
+  pif::WaveTraceProbe wave_probe(root, spans, &registry);
+  sim.add_probe(&wave_probe);
   pif::GhostTracker tracker(*g, root);
   pif::attach(sim, tracker);
 
@@ -110,6 +212,8 @@ int main(int argc, char** argv) {
         return tracker.cycles_completed() >= cycles;
       },
       sim::RunLimits{.max_steps = max_steps});
+
+  wave_probe.finish();
 
   const char* reason = "predicate";
   switch (result.reason) {
@@ -140,6 +244,22 @@ int main(int argc, char** argv) {
                  .c_str(),
              stdout);
 
+  if (cli.get_bool("waves", false)) {
+    util::Table waves({"wave", "begin-round", "end-round", "latency",
+                       "corrections", "closed"});
+    for (const pif::WaveTraceProbe::WaveSample& w : wave_probe.waves()) {
+      waves.add_row({util::fmt(w.index), util::fmt(w.begin_round),
+                     util::fmt(w.end_round),
+                     util::fmt(w.end_round - w.begin_round),
+                     util::fmt(w.corrections), w.closed ? "yes" : "ABORTED"});
+    }
+    std::printf("\n");
+    std::fputs((csv ? waves.render_csv() : waves.render()).c_str(), stdout);
+  }
+  if (cli.get_bool("fingerprint", false)) {
+    std::printf("\nfingerprint: %s\n", obs::fingerprint_hex(registry).c_str());
+  }
+
   bool io_ok = true;
   if (const auto path = cli.get("jsonl"); path.has_value()) {
     if (events.write_jsonl(*path)) {
@@ -150,6 +270,9 @@ int main(int argc, char** argv) {
     }
   }
   if (const auto path = cli.get("trace"); path.has_value()) {
+    // Append the causal span tree so the exported trace carries both the
+    // per-action events and the wave/phase/correction structure.
+    spans.to_events(events);
     if (events.write_chrome_trace(*path)) {
       std::printf("\nwrote Chrome trace to %s (load in about:tracing)",
                   path->c_str());
