@@ -1,0 +1,249 @@
+// E21 — guided coverage: unique registry fingerprints per campaign budget,
+// coverage-guided fuzzing (chaos/guided.hpp) vs. the random soak baseline.
+//
+// The claim measured here: at an EQUAL campaign budget, keying outcomes by
+// obs::fingerprint and mutating schedules that produced never-seen
+// fingerprints reaches strictly more unique recovery behaviors than i.i.d.
+// random schedule draws.  The workload runs in a deliberately tight regime
+// (small graphs, few events, short horizons) where random draws collide on
+// behavior — with a huge behavior space both approaches trivially score
+// budget-many uniques and the comparison is vacuous.
+//
+// Also verified, as everywhere in the harness: the guided run is
+// bit-identical across worker counts — corpus file bytes, unique-coverage
+// count, and first-failure index at 1, 2, and hardware workers.  A guided
+// loss to random on any topology, or any determinism divergence, fails the
+// bench with a nonzero exit code.
+//
+// The regression gate (scripts/check_bench_regression.py) watches the
+// unique_fp_guided_* metrics.
+//
+//   * default: table mode — guided vs random across topology families;
+//   * --quick [--json=PATH]: fixed workload, writes BENCH_e21.json.
+#include "bench_common.hpp"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/guided.hpp"
+#include "chaos/soak.hpp"
+#include "obs/fingerprint.hpp"
+#include "par/pool.hpp"
+
+namespace snappif {
+namespace {
+
+/// The tight schedule envelope both searches draw from.
+chaos::CampaignShape tight_shape() {
+  chaos::CampaignShape shape;
+  shape.events = 1;
+  shape.horizon_rounds = 6;
+  shape.max_magnitude = 1;
+  return shape;
+}
+
+/// Random baseline: `budget` i.i.d. soak campaigns, each fingerprinted on
+/// its own registry — exactly the coverage key the guided engine uses.
+std::size_t random_unique_fingerprints(const graph::Graph& g,
+                                       std::uint64_t master_seed,
+                                       std::uint64_t budget) {
+  chaos::SoakOptions soak;
+  soak.master_seed = master_seed;
+  soak.shape = tight_shape();
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < budget; ++i) {
+    obs::Registry registry;
+    const chaos::SoakOutcome outcome = chaos::run_soak_campaign(
+        g, soak, chaos::soak_job(soak, i), i, &registry);
+    (void)outcome;
+    seen.insert(obs::fingerprint(registry));
+  }
+  return seen.size();
+}
+
+chaos::GuidedOptions guided_options(std::uint64_t master_seed,
+                                    std::uint64_t generations,
+                                    std::uint32_t population) {
+  chaos::GuidedOptions opts;
+  opts.master_seed = master_seed;
+  opts.generations = generations;
+  opts.population = population;
+  opts.shape = tight_shape();
+  return opts;
+}
+
+struct GuidedRun {
+  std::size_t unique = 0;
+  std::uint64_t campaigns = 0;
+  std::string corpus_text;
+  std::string first_failure;  // "gen/slot" or "-"
+};
+
+GuidedRun guided_run(const graph::Graph& g, const chaos::GuidedOptions& opts,
+                     unsigned workers) {
+  std::unique_ptr<par::ThreadPool> pool;
+  if (workers != 1) {
+    pool = std::make_unique<par::ThreadPool>(workers);
+  }
+  const chaos::GuidedReport report = chaos::run_guided(g, opts, pool.get());
+  GuidedRun run;
+  run.unique = report.unique_fingerprints;
+  run.campaigns = report.campaigns_run;
+  run.corpus_text = chaos::corpus_to_text(report.corpus);
+  run.first_failure =
+      report.first_failure.has_value()
+          ? std::to_string(report.first_failure->generation) + "/" +
+                std::to_string(report.first_failure->slot)
+          : "-";
+  return run;
+}
+
+struct Comparison {
+  std::size_t guided_unique = 0;
+  std::size_t random_unique = 0;
+  std::uint64_t budget = 0;
+  bool deterministic = true;
+};
+
+Comparison compare_on(const graph::Graph& g, std::uint64_t master_seed,
+                      std::uint64_t generations, std::uint32_t population) {
+  const chaos::GuidedOptions opts =
+      guided_options(master_seed, generations, population);
+  const GuidedRun base = guided_run(g, opts, 1);
+
+  Comparison cmp;
+  cmp.guided_unique = base.unique;
+  cmp.budget = base.campaigns;  // equal budget for the random baseline
+  cmp.random_unique = random_unique_fingerprints(g, master_seed, cmp.budget);
+
+  const unsigned hw = par::ThreadPool::hardware_workers();
+  for (const unsigned workers : {2u, hw}) {
+    if (workers <= 1) {
+      continue;
+    }
+    const GuidedRun run = guided_run(g, opts, workers);
+    if (run.corpus_text != base.corpus_text || run.unique != base.unique ||
+        run.first_failure != base.first_failure) {
+      cmp.deterministic = false;
+      std::fprintf(stderr,
+                   "DETERMINISM FAILURE: %u-worker guided run diverged from "
+                   "the single-worker run\n",
+                   workers);
+    }
+    if (workers == hw) {
+      break;  // hw may equal 2; don't measure it twice
+    }
+  }
+  return cmp;
+}
+
+int run_quick_report(const util::Cli& cli) {
+  const bool quick = cli.get_bool("quick", false);
+  std::string path = cli.get_string("json", "BENCH_e21.json");
+  if (path.empty()) {
+    path = "BENCH_e21.json";  // bare --json
+  }
+  const std::uint64_t generations = quick ? 8 : 16;
+  const std::uint32_t population = 8;
+
+  bench::JsonReport report(
+      "E21",
+      "guided coverage: unique registry fingerprints per campaign budget, "
+      "coverage-guided fuzzing vs random soak, bit-identical across worker "
+      "counts");
+  report.set_string("mode", quick ? "quick" : "full");
+  report.set_string("workload",
+                    "events=1, horizon=6, max_magnitude=1, population=8, " +
+                        std::to_string(generations) +
+                        " generations, master seed 21000");
+
+  std::printf("E21 quick report (%s)\n", quick ? "quick" : "full");
+  std::printf("%10s %8s %8s %8s %14s\n", "topology", "budget", "guided",
+              "random", "deterministic");
+
+  bool all_ok = true;
+  struct Family {
+    const char* name;
+    graph::Graph g;
+  };
+  const Family families[] = {
+      {"path", graph::make_path(5)},
+      {"torus", graph::make_torus(3, 3)},
+  };
+  for (const Family& family : families) {
+    const Comparison cmp = compare_on(family.g, 21000, generations,
+                                      population);
+    report.add_size(family.g.n());
+    report.set_metric("unique_fp_guided_" + std::string(family.name),
+                      static_cast<double>(cmp.guided_unique));
+    report.set_metric("unique_fp_random_" + std::string(family.name),
+                      static_cast<double>(cmp.random_unique));
+    std::printf("%10s %8llu %8zu %8zu %14s\n", family.name,
+                static_cast<unsigned long long>(cmp.budget),
+                cmp.guided_unique, cmp.random_unique,
+                cmp.deterministic ? "ok" : "FAILED");
+    if (cmp.guided_unique <= cmp.random_unique) {
+      all_ok = false;
+      std::fprintf(stderr,
+                   "COVERAGE FAILURE: guided (%zu) did not beat random "
+                   "(%zu) on %s at budget %llu\n",
+                   cmp.guided_unique, cmp.random_unique, family.name,
+                   static_cast<unsigned long long>(cmp.budget));
+    }
+    if (!cmp.deterministic) {
+      all_ok = false;
+    }
+  }
+  report.set_metric("determinism_ok", all_ok ? 1.0 : 0.0);
+
+  if (!report.write(path)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return all_ok ? 0 : 1;
+}
+
+void run() {
+  bench::print_header(
+      "E21  Guided coverage vs random soak",
+      "mutating fault schedules toward never-seen registry fingerprints "
+      "reaches more unique recovery behaviors than random draws at the same "
+      "campaign budget");
+
+  util::Table table({"topology", "N", "budget", "guided unique",
+                     "random unique", "advantage", "deterministic"});
+  struct Family {
+    const char* name;
+    graph::Graph g;
+  };
+  const Family families[] = {
+      {"path", graph::make_path(5)},
+      {"torus", graph::make_torus(3, 3)},
+      {"random", graph::make_random_connected(9, 4, 7)},
+  };
+  for (const Family& family : families) {
+    const Comparison cmp = compare_on(family.g, 21000, 16, 8);
+    table.add_row(
+        {family.name, util::fmt(family.g.n()), util::fmt(cmp.budget),
+         util::fmt(cmp.guided_unique), util::fmt(cmp.random_unique),
+         util::fmt(static_cast<double>(cmp.guided_unique) -
+                   static_cast<double>(cmp.random_unique)),
+         cmp.deterministic ? "yes" : "NO"});
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+}  // namespace snappif
+
+int main(int argc, char** argv) {
+  const snappif::util::Cli cli(argc, argv);
+  if (cli.has("quick") || cli.has("json")) {
+    return snappif::run_quick_report(cli);
+  }
+  snappif::bench::init(argc, argv);
+  snappif::run();
+  return 0;
+}

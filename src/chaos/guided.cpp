@@ -1,0 +1,198 @@
+#include "chaos/guided.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+#include <utility>
+
+#include "chaos/mutate.hpp"
+#include "obs/fingerprint.hpp"
+#include "par/shard.hpp"
+#include "util/assert.hpp"
+
+namespace snappif::chaos {
+
+namespace {
+
+struct SlotOut {
+  SoakOutcome outcome;
+  obs::Registry metrics;
+  std::uint64_t fingerprint = 0;
+};
+
+}  // namespace
+
+GuidedReport run_guided(const graph::Graph& g, const GuidedOptions& opts,
+                        par::ThreadPool* pool) {
+  SNAPPIF_ASSERT_MSG(opts.population > 0, "guided population must be >= 1");
+  SNAPPIF_ASSERT_MSG(opts.max_corpus > 0, "guided max_corpus must be >= 1");
+  const auto objection = validate(opts.shape);
+  SNAPPIF_ASSERT_MSG(!objection.has_value(),
+                     ("degenerate campaign shape: " +
+                      objection.value_or(std::string{}))
+                         .c_str());
+
+  // The per-campaign execution settings; master_seed/campaigns are unused by
+  // run_soak_campaign, which only reads shape/campaign/run_mp/emulate.
+  SoakOptions soak;
+  soak.shape = opts.shape;
+  soak.campaign = opts.campaign;
+  soak.run_mp = opts.run_mp;
+  soak.emulate = opts.emulate;
+
+  // Working corpus: frozen during a generation's fan-out, appended at the
+  // fold.  The trivial corpus is one empty schedule — mutate() bootstraps
+  // it into fresh random draws.
+  std::vector<FaultSchedule> corpus = opts.corpus_in;
+  if (corpus.empty()) {
+    corpus.emplace_back();
+  }
+
+  GuidedReport report;
+  std::unordered_set<std::uint64_t> seen;
+
+  // Runs one generation: `count` campaigns, schedules taken verbatim from
+  // the corpus when `seed_pass` (generation 0) or mutated from it
+  // otherwise.  Folds in slot order; returns after recording stats.
+  const auto run_generation = [&](std::uint64_t gen, std::size_t count,
+                                  bool seed_pass) {
+    const std::uint64_t gen_master = par::shard_seed(opts.master_seed, gen);
+    auto slots = par::run_shards(
+        gen_master, count,
+        [&](par::ShardContext& ctx) {
+          SlotOut out;
+          SoakJob job;
+          if (seed_pass) {
+            job.schedule = corpus[ctx.index];
+          } else {
+            // Frontier bias: half the draws pick a parent from the newest
+            // corpus entries — the behaviors discovered most recently are
+            // the edge of explored space, and mutating there finds novelty
+            // faster than resampling the long-exhausted early corpus.
+            const auto pick = [&]() -> const FaultSchedule& {
+              if (corpus.size() > 1 && ctx.rng.below(2) == 0) {
+                const std::size_t window =
+                    std::min<std::size_t>(corpus.size(), 8);
+                return corpus[corpus.size() - 1 - ctx.rng.below(window)];
+              }
+              return corpus[ctx.rng.below(corpus.size())];
+            };
+            const FaultSchedule& parent = pick();
+            const FaultSchedule& mate = pick();
+            job.schedule = mutate(parent, mate, opts.shape, ctx.rng);
+          }
+          job.seed = ctx.rng();
+          out.outcome =
+              run_soak_campaign(g, soak, job, ctx.index, &out.metrics);
+          out.fingerprint = obs::fingerprint(out.metrics);
+          return out;
+        },
+        pool);
+
+    GenerationStats stats;
+    stats.generation = gen;
+    stats.campaigns = slots.size();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      SlotOut& slot = slots[i];
+      report.metrics.merge(slot.metrics);
+      ++report.campaigns_run;
+      if (seen.insert(slot.fingerprint).second) {
+        ++stats.novel;
+        if (report.corpus.size() < opts.max_corpus) {
+          CorpusEntry entry;
+          entry.schedule = slot.outcome.schedule;
+          entry.fingerprint = slot.fingerprint;
+          entry.generation = gen;
+          entry.slot = i;
+          corpus.push_back(entry.schedule);
+          report.corpus.push_back(std::move(entry));
+        } else {
+          ++report.corpus_overflow;
+        }
+      }
+      if (!slot.outcome.ok()) {
+        ++stats.failures;
+        if (slot.outcome.flight != nullptr) {
+          // (generation, slot)-order merge: lowest failure's context wins.
+          report.flight.merge(*slot.outcome.flight);
+        }
+        if (!report.first_failure.has_value()) {
+          GuidedFailure failure;
+          failure.generation = gen;
+          failure.slot = i;
+          failure.outcome = std::move(slot.outcome);
+          report.first_failure = std::move(failure);
+        }
+      }
+    }
+    report.generations.push_back(stats);
+  };
+
+  run_generation(0, corpus.size(), /*seed_pass=*/true);
+  for (std::uint64_t gen = 1;
+       gen <= opts.generations && !report.first_failure.has_value(); ++gen) {
+    run_generation(gen, opts.population, /*seed_pass=*/false);
+  }
+  report.unique_fingerprints = seen.size();
+  return report;
+}
+
+std::string corpus_to_text(const std::vector<CorpusEntry>& corpus) {
+  std::string out =
+      "# snappif guided corpus: one fault-schedule grammar line per entry,\n"
+      "# '-' = empty schedule, '#' comments ignored.\n";
+  for (const CorpusEntry& entry : corpus) {
+    char meta[96];
+    std::snprintf(meta, sizeof(meta), "# fp=%016llx gen=%llu slot=%llu\n",
+                  static_cast<unsigned long long>(entry.fingerprint),
+                  static_cast<unsigned long long>(entry.generation),
+                  static_cast<unsigned long long>(entry.slot));
+    out += meta;
+    out += entry.schedule.empty() ? std::string("-")
+                                  : entry.schedule.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<std::vector<FaultSchedule>> corpus_from_text(
+    std::string_view text, std::string* error) {
+  std::vector<FaultSchedule> corpus;
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    text = eol == std::string_view::npos ? std::string_view{}
+                                         : text.substr(eol + 1);
+    // Trim ASCII whitespace.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t' ||
+                             line.front() == '\r')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    if (line == "-") {
+      corpus.emplace_back();
+      continue;
+    }
+    ParseError perr;
+    auto schedule = FaultSchedule::parse(line, &perr);
+    if (!schedule.has_value()) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + perr.to_string();
+      }
+      return std::nullopt;
+    }
+    corpus.push_back(*std::move(schedule));
+  }
+  return corpus;
+}
+
+}  // namespace snappif::chaos

@@ -1,0 +1,131 @@
+// Coverage-guided chaos fuzzing: the consumer obs::fingerprint was built
+// for (ROADMAP item 5(a)).
+//
+// Random soaks sample the adversary space thinly.  The guided engine runs
+// *generations* of campaigns instead: each generation mutates schedules
+// drawn from a corpus (chaos/mutate.hpp), runs every mutant through the
+// same runners the soak uses (run_soak_campaign — shared-memory campaign
+// plus the optional mp / emulation leg), and keys each outcome by
+// obs::fingerprint of the campaign's own registry.  That fingerprint
+// digests exactly the recovery signals the ROADMAP names — phase-occupancy
+// and recovery-round histograms, correction counts, link kill/restore
+// counters — so two campaigns share a key iff the protocol *behaved* the
+// same way, not iff the schedules look alike.  A mutant whose fingerprint
+// was never seen before joins the corpus; the search therefore climbs
+// toward schedules that provoke novel recovery behavior, which is where
+// the E19-style failures live.
+//
+// Determinism contract (mirrors chaos/soak.hpp): generation g's master
+// seed is par::shard_seed(master_seed, g); population slot i derives its
+// parent/mate picks, its mutation draws, and its campaign seed from an Rng
+// seeded with par::shard_seed(gen_master, i); the generation fans out over
+// par::run_shards and folds in index order.  The discovered corpus, the
+// coverage map, every merged metric, and the first failing (generation,
+// slot) pair are bit-identical for any worker count.
+//
+// Corpus file format (corpus_to_text / corpus_from_text): plain text, one
+// fault-schedule grammar line per entry, '-' for the empty schedule, '#'
+// comments and blank lines ignored — so corpora replay with --schedule,
+// accumulate across runs, and diff cleanly in review.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/soak.hpp"
+#include "graph/graph.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "par/pool.hpp"
+
+namespace snappif::chaos {
+
+struct GuidedOptions {
+  std::uint64_t master_seed = 1;
+  /// Mutation generations run after the seed-corpus evaluation pass.
+  std::uint64_t generations = 8;
+  /// Mutants per generation.
+  std::uint32_t population = 16;
+  /// Envelope mutants must stay inside (must validate()).
+  CampaignShape shape;
+  /// Shared-memory campaign settings, forwarded like SoakOptions::campaign.
+  CampaignOptions campaign;
+  /// Also run each schedule against the message-passing runner.
+  bool run_mp = false;
+  /// Force the GuardedEmulation runner for the mp leg.
+  bool emulate = false;
+  /// Seed corpus.  Empty means the trivial corpus: one empty schedule,
+  /// which the first generation mutates into fresh random draws.
+  std::vector<FaultSchedule> corpus_in;
+  /// Hard cap on corpus growth; novel-fingerprint schedules beyond it are
+  /// counted in GuidedReport::corpus_overflow instead of kept.
+  std::size_t max_corpus = 512;
+};
+
+/// A schedule retained because its campaign produced a never-seen
+/// registry fingerprint.
+struct CorpusEntry {
+  FaultSchedule schedule;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t generation = 0;  // generation that discovered it (0 = seed)
+  std::uint64_t slot = 0;        // population slot within that generation
+};
+
+struct GenerationStats {
+  std::uint64_t generation = 0;
+  std::uint64_t campaigns = 0;
+  std::uint64_t novel = 0;     // never-seen fingerprints this generation
+  std::uint64_t failures = 0;  // campaigns whose oracle failed
+};
+
+/// THE deterministic first failure: lowest (generation, slot).
+struct GuidedFailure {
+  std::uint64_t generation = 0;
+  std::uint64_t slot = 0;
+  /// Full outcome, including the failing schedule, its campaign seed, the
+  /// oracle diagnosis, and the retained flight recorder.
+  SoakOutcome outcome;
+};
+
+struct GuidedReport {
+  /// Discovery order = fold order: deterministic for any worker count.
+  std::vector<CorpusEntry> corpus;
+  std::vector<GenerationStats> generations;
+  /// Per-campaign registries merged in (generation, slot) order.
+  obs::Registry metrics;
+  /// Failing campaigns' flight recorders merged in (generation, slot)
+  /// order (lowest failure's context/snapshot win, as in SoakReport).
+  obs::FlightRecorder flight;
+  std::optional<GuidedFailure> first_failure;
+  std::uint64_t campaigns_run = 0;
+  /// Distinct registry fingerprints observed — the coverage count the E21
+  /// bench compares against a random soak at equal campaign budget.
+  std::uint64_t unique_fingerprints = 0;
+  /// Novel schedules dropped because the corpus hit max_corpus.
+  std::uint64_t corpus_overflow = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return !first_failure.has_value(); }
+};
+
+/// Runs the guided search on `g`.  Evaluates the seed corpus as generation
+/// 0, then opts.generations mutation generations; stops after the
+/// generation containing the first failure.  Deterministic in (g, opts)
+/// for any `pool`, including none.
+[[nodiscard]] GuidedReport run_guided(const graph::Graph& g,
+                                      const GuidedOptions& opts,
+                                      par::ThreadPool* pool = nullptr);
+
+/// Serializes corpus entries as grammar lines (with '#' provenance
+/// comments); inverse of corpus_from_text modulo comments.
+[[nodiscard]] std::string corpus_to_text(const std::vector<CorpusEntry>& corpus);
+
+/// Parses a corpus file: one grammar line per schedule, '-' for the empty
+/// schedule, '#' comments and blank lines skipped.  nullopt on the first
+/// malformed line; `error` (when non-null) then reads
+/// "line 7: offset 3: unknown event kind 'boom'".
+[[nodiscard]] std::optional<std::vector<FaultSchedule>> corpus_from_text(
+    std::string_view text, std::string* error = nullptr);
+
+}  // namespace snappif::chaos

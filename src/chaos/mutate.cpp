@@ -1,0 +1,325 @@
+#include "chaos/mutate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace snappif::chaos {
+
+namespace {
+
+[[nodiscard]] bool has_window(EventKind kind) {
+  switch (kind) {
+    case EventKind::kMpLoss:
+    case EventKind::kMpDuplicate:
+    case EventKind::kMpReorder:
+    case EventKind::kCrash:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] bool has_rate(EventKind kind) {
+  return kind == EventKind::kMpLoss || kind == EventKind::kMpDuplicate ||
+         kind == EventKind::kMpReorder;
+}
+
+[[nodiscard]] bool has_magnitude(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBurst:
+    case EventKind::kLinkKill:
+    case EventKind::kLinkRestore:
+    case EventKind::kCrash:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The same kind menu random_schedule draws from.
+[[nodiscard]] std::vector<EventKind> shape_menu(const CampaignShape& shape) {
+  std::vector<EventKind> menu;
+  if (shape.shared_memory) {
+    menu.insert(menu.end(), {EventKind::kBurst, EventKind::kCorrupt,
+                             EventKind::kDaemonSwap, EventKind::kLinkKill});
+  }
+  if (shape.message_passing) {
+    menu.insert(menu.end(), {EventKind::kMpLoss, EventKind::kMpDuplicate,
+                             EventKind::kMpReorder});
+    if (shape.crash) {
+      menu.push_back(EventKind::kCrash);
+    }
+  }
+  return menu;
+}
+
+/// Picks a uniformly random event index whose kind satisfies `pred`;
+/// nullopt when none does.
+template <typename Pred>
+[[nodiscard]] std::optional<std::size_t> pick_where(const FaultSchedule& s,
+                                                    util::Rng& rng,
+                                                    Pred pred) {
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    if (pred(s.events[i])) {
+      eligible.push_back(i);
+    }
+  }
+  if (eligible.empty()) {
+    return std::nullopt;
+  }
+  return eligible[rng.below(eligible.size())];
+}
+
+[[nodiscard]] std::uint64_t rate_hundredths(double rate) {
+  return static_cast<std::uint64_t>(
+      std::clamp(std::lround(rate * 100.0), 0l, 100l));
+}
+
+/// Re-draws the kind-specific arguments of `ev` the way random_schedule
+/// draws fresh ones (rates in hundredths, durations bounded by the horizon).
+void redraw_arguments(FaultEvent& ev, const CampaignShape& shape,
+                      util::Rng& rng) {
+  const std::uint64_t horizon = shape.horizon_rounds;
+  switch (ev.kind) {
+    case EventKind::kBurst:
+    case EventKind::kLinkKill:
+    case EventKind::kLinkRestore:
+      ev.magnitude =
+          1 + static_cast<std::uint32_t>(rng.below(shape.max_magnitude));
+      ev.rate = 0.0;
+      ev.duration = 0;
+      break;
+    case EventKind::kCorrupt: {
+      const auto kinds = pif::all_corruption_kinds();
+      ev.corruption = kinds[rng.below(kinds.size())];
+      ev.rate = 0.0;
+      ev.duration = 0;
+      break;
+    }
+    case EventKind::kDaemonSwap: {
+      const auto kinds = sim::standard_daemon_kinds();
+      ev.daemon = kinds[rng.below(kinds.size())];
+      ev.rate = 0.0;
+      ev.duration = 0;
+      break;
+    }
+    case EventKind::kMpLoss:
+    case EventKind::kMpDuplicate:
+    case EventKind::kMpReorder: {
+      const std::uint64_t lo = rate_hundredths(shape.mp_rate_min);
+      const std::uint64_t hi = rate_hundredths(shape.mp_rate_max);
+      ev.rate = static_cast<double>(lo + rng.below(hi - lo + 1)) / 100.0;
+      ev.duration = 1 + rng.below(horizon / 4 + 1);
+      break;
+    }
+    case EventKind::kCrash:
+      ev.magnitude = static_cast<std::uint32_t>(
+          rng.below(std::max<std::uint32_t>(1, shape.crash_processors)));
+      ev.duration = 1 + rng.below(horizon / 6 + 1);
+      ev.crash_corrupt = rng.below(2) == 1;
+      ev.rate = 0.0;
+      break;
+  }
+}
+
+}  // namespace
+
+std::string_view mutation_op_name(MutationOp op) {
+  switch (op) {
+    case MutationOp::kShiftEvent:
+      return "shift-event";
+    case MutationOp::kDuplicateEvent:
+      return "duplicate-event";
+    case MutationOp::kDropEvent:
+      return "drop-event";
+    case MutationOp::kWidenWindow:
+      return "widen-window";
+    case MutationOp::kNarrowWindow:
+      return "narrow-window";
+    case MutationOp::kBumpMagnitude:
+      return "bump-magnitude";
+    case MutationOp::kBumpRate:
+      return "bump-rate";
+    case MutationOp::kRetargetKind:
+      return "retarget-kind";
+    case MutationOp::kSplice:
+      return "splice";
+  }
+  return "?";
+}
+
+std::optional<FaultSchedule> apply_mutation(const FaultSchedule& base,
+                                            const FaultSchedule& mate,
+                                            MutationOp op,
+                                            const CampaignShape& shape,
+                                            util::Rng& rng) {
+  const auto objection = validate(shape);
+  SNAPPIF_ASSERT_MSG(!objection.has_value(),
+                     ("degenerate campaign shape: " +
+                      objection.value_or(std::string{}))
+                         .c_str());
+  const std::uint64_t horizon = shape.horizon_rounds;
+  const std::size_t cap = max_events(shape);
+  FaultSchedule out = base;
+
+  switch (op) {
+    case MutationOp::kShiftEvent: {
+      if (out.events.empty()) {
+        return std::nullopt;
+      }
+      FaultEvent& ev = out.events[rng.below(out.events.size())];
+      ev.round = rng.below(horizon);
+      break;
+    }
+    case MutationOp::kDuplicateEvent: {
+      if (out.events.empty() || out.events.size() >= cap) {
+        return std::nullopt;
+      }
+      FaultEvent copy = out.events[rng.below(out.events.size())];
+      copy.round = rng.below(horizon);
+      out.events.push_back(copy);
+      break;
+    }
+    case MutationOp::kDropEvent: {
+      if (out.events.size() < 2) {
+        return std::nullopt;  // never produce the empty schedule
+      }
+      const std::size_t idx = rng.below(out.events.size());
+      out.events.erase(out.events.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
+      break;
+    }
+    case MutationOp::kWidenWindow: {
+      const auto idx = pick_where(
+          out, rng, [](const FaultEvent& ev) { return has_window(ev.kind); });
+      if (!idx.has_value()) {
+        return std::nullopt;
+      }
+      FaultEvent& ev = out.events[*idx];
+      ev.duration =
+          std::min<std::uint64_t>(horizon, ev.duration + 1 + rng.below(horizon / 4 + 1));
+      break;
+    }
+    case MutationOp::kNarrowWindow: {
+      const auto idx = pick_where(out, rng, [](const FaultEvent& ev) {
+        return has_window(ev.kind) && ev.duration > 0;
+      });
+      if (!idx.has_value()) {
+        return std::nullopt;
+      }
+      out.events[*idx].duration /= 2;
+      break;
+    }
+    case MutationOp::kBumpMagnitude: {
+      const auto idx = pick_where(
+          out, rng, [](const FaultEvent& ev) { return has_magnitude(ev.kind); });
+      if (!idx.has_value()) {
+        return std::nullopt;
+      }
+      FaultEvent& ev = out.events[*idx];
+      if (ev.kind == EventKind::kCrash) {
+        ev.magnitude = static_cast<std::uint32_t>(
+            rng.below(std::max<std::uint32_t>(1, shape.crash_processors)));
+      } else {
+        ev.magnitude =
+            1 + static_cast<std::uint32_t>(rng.below(shape.max_magnitude));
+      }
+      break;
+    }
+    case MutationOp::kBumpRate: {
+      const auto idx = pick_where(
+          out, rng, [](const FaultEvent& ev) { return has_rate(ev.kind); });
+      if (!idx.has_value()) {
+        return std::nullopt;
+      }
+      // ±10 hundredths around the current rate, clamped into the shape's
+      // band — a local nudge, snapped so the grammar round-trips it.
+      FaultEvent& ev = out.events[*idx];
+      const auto lo = static_cast<std::int64_t>(rate_hundredths(shape.mp_rate_min));
+      const auto hi = static_cast<std::int64_t>(rate_hundredths(shape.mp_rate_max));
+      const auto cur = static_cast<std::int64_t>(rate_hundredths(ev.rate));
+      const std::int64_t delta = static_cast<std::int64_t>(rng.below(21)) - 10;
+      ev.rate = static_cast<double>(std::clamp(cur + delta, lo, hi)) / 100.0;
+      break;
+    }
+    case MutationOp::kRetargetKind: {
+      if (out.events.empty()) {
+        return std::nullopt;
+      }
+      const std::vector<EventKind> menu = shape_menu(shape);
+      const std::size_t idx = rng.below(out.events.size());
+      FaultEvent& ev = out.events[idx];
+      // Start from a fresh event (keeping only the round) so latent fields
+      // of the old kind — a former corrupt's recipe, a former window's rate
+      // — don't survive into a kind whose grammar never serializes them,
+      // which would break the parse(to_string()) == mutant round-trip.
+      FaultEvent fresh;
+      fresh.round = ev.round;
+      fresh.kind = menu[rng.below(menu.size())];
+      redraw_arguments(fresh, shape, rng);
+      ev = fresh;
+      // Mirror random_schedule: a kill gets a paired restore so mutants do
+      // not erode the graph monotonically over a long campaign.
+      if (ev.kind == EventKind::kLinkKill && out.events.size() < cap) {
+        FaultEvent heal = ev;
+        heal.kind = EventKind::kLinkRestore;
+        heal.round = ev.round + 1 + rng.below(horizon / 2 + 1);
+        out.events.push_back(heal);
+      }
+      break;
+    }
+    case MutationOp::kSplice: {
+      const std::uint64_t cut = rng.below(horizon);
+      FaultSchedule spliced;
+      for (const FaultEvent& ev : base.events) {
+        if (ev.round <= cut) {
+          spliced.events.push_back(ev);
+        }
+      }
+      for (const FaultEvent& ev : mate.events) {
+        if (ev.round > cut) {
+          spliced.events.push_back(ev);
+        }
+      }
+      if (spliced.events.empty() || spliced.events.size() > cap) {
+        return std::nullopt;
+      }
+      out = std::move(spliced);
+      break;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+FaultSchedule mutate(const FaultSchedule& base, const FaultSchedule& mate,
+                     const CampaignShape& shape, util::Rng& rng) {
+  if (base.empty()) {
+    // The trivial corpus: nothing to vary yet, bootstrap with a fresh draw.
+    return random_schedule(shape, rng);
+  }
+  // Stack 1..3 edits: single-op mutants hug their parent's behavior too
+  // closely in tight shapes, so coverage search stalls on near-duplicates.
+  const auto ops = all_mutation_ops();
+  const std::size_t edits = 1 + rng.below(3);
+  FaultSchedule current = base;
+  std::size_t applied = 0;
+  for (int attempt = 0; attempt < 16 && applied < edits; ++attempt) {
+    const MutationOp op = ops[rng.below(ops.size())];
+    auto mutant = apply_mutation(current, mate, op, shape, rng);
+    if (mutant.has_value()) {
+      current = *std::move(mutant);
+      ++applied;
+    }
+  }
+  if (applied == 0) {
+    return random_schedule(shape, rng);
+  }
+  return current;
+}
+
+}  // namespace snappif::chaos

@@ -1,0 +1,79 @@
+// Seeded FaultSchedule mutation operators: the variation half of the
+// coverage-guided fuzzer (chaos/guided.hpp).
+//
+// Random schedules sample the adversary space thinly — the E19 deadlock
+// lived in a narrow corner (back-to-back neighbor crashes) that uniform
+// draws rarely hit.  Mutation searches *around* schedules that already
+// produced interesting behavior: small, local edits that keep a schedule
+// recognizable while nudging it toward neighboring corners.
+//
+// Every operator guarantees two invariants the rest of the pipeline leans
+// on:
+//   * shape-validity — mutants stay inside the CampaignShape envelope
+//     (rounds < horizon, magnitudes in [1, max_magnitude], rates snapped to
+//     hundredths inside [mp_rate_min, mp_rate_max], durations bounded by
+//     the horizon, never empty, length-capped at max_events());
+//   * grammar round-trip — FaultSchedule::parse(m.to_string()) == m, so
+//     every corpus entry serializes to a one-line reproducer and replays
+//     bit-exactly (guided corpora are plain text files of these lines).
+//
+// Operators are pure in (base, mate, shape, rng): the guided engine derives
+// one Rng per population slot from the master seed, which keeps the whole
+// generation deterministic for any worker count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "chaos/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::chaos {
+
+enum class MutationOp : std::uint8_t {
+  kShiftEvent,      // move one event to a fresh round in [0, horizon)
+  kDuplicateEvent,  // clone one event onto a fresh round
+  kDropEvent,       // remove one event (refused when it would empty the schedule)
+  kWidenWindow,     // grow a duration-bearing event's window (capped at horizon)
+  kNarrowWindow,    // halve a duration-bearing event's window
+  kBumpMagnitude,   // re-draw a magnitude / crash processor inside the shape
+  kBumpRate,        // nudge a window rate by up to ±0.10, snapped to hundredths
+  kRetargetKind,    // re-draw an event's kind (and arguments) from the menu
+  kSplice,          // events of `base` up to a cut round + events of `mate` after it
+};
+
+[[nodiscard]] constexpr std::array<MutationOp, 9> all_mutation_ops() {
+  return {MutationOp::kShiftEvent,    MutationOp::kDuplicateEvent,
+          MutationOp::kDropEvent,     MutationOp::kWidenWindow,
+          MutationOp::kNarrowWindow,  MutationOp::kBumpMagnitude,
+          MutationOp::kBumpRate,      MutationOp::kRetargetKind,
+          MutationOp::kSplice};
+}
+
+[[nodiscard]] std::string_view mutation_op_name(MutationOp op);
+
+/// Hard ceiling on mutant length for `shape` (duplicate/splice grow
+/// schedules; unbounded growth would turn campaigns into unbounded work).
+[[nodiscard]] constexpr std::size_t max_events(const CampaignShape& shape) {
+  return static_cast<std::size_t>(shape.events) * 4 + 8;
+}
+
+/// Applies one operator to `base` (`mate` is consulted only by kSplice).
+/// Returns nullopt when the operator does not apply (no eligible event, the
+/// result would be empty or over the length cap).  The shape must validate.
+[[nodiscard]] std::optional<FaultSchedule> apply_mutation(
+    const FaultSchedule& base, const FaultSchedule& mate, MutationOp op,
+    const CampaignShape& shape, util::Rng& rng);
+
+/// Stacks 1..3 applicable operators onto `base` (bounded retries) and
+/// returns the mutant — single edits hug the parent's behavior too closely
+/// for coverage search.  An empty `base` — the trivial corpus — and the
+/// rare case where no operator applies both fall back to a fresh
+/// random_schedule, so mutate never returns an empty or invalid schedule.
+[[nodiscard]] FaultSchedule mutate(const FaultSchedule& base,
+                                   const FaultSchedule& mate,
+                                   const CampaignShape& shape, util::Rng& rng);
+
+}  // namespace snappif::chaos

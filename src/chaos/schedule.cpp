@@ -1,8 +1,11 @@
 #include "chaos/schedule.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+
+#include "util/assert.hpp"
 
 namespace snappif::chaos {
 
@@ -75,7 +78,27 @@ constexpr KindName kKindNames[] = {
   return buf;
 }
 
+/// Fills `error` (when requested) and reads as `return fail(...)` at the
+/// parse failure sites.
+[[nodiscard]] std::nullopt_t fail(ParseError* error, std::size_t position,
+                                  std::string_view token, std::string message) {
+  if (error != nullptr) {
+    error->position = position;
+    error->token = std::string(token);
+    error->message = std::move(message);
+  }
+  return std::nullopt;
+}
+
 }  // namespace
+
+std::string ParseError::to_string() const {
+  std::string out = "offset " + std::to_string(position) + ": " + message;
+  if (!token.empty()) {
+    out += " '" + token + "'";
+  }
+  return out;
+}
 
 std::string_view event_kind_name(EventKind kind) {
   for (const KindName& entry : kKindNames) {
@@ -126,22 +149,27 @@ std::string FaultEvent::to_string() const {
   return out;
 }
 
-std::optional<FaultEvent> FaultEvent::parse(std::string_view text) {
+std::optional<FaultEvent> FaultEvent::parse(std::string_view text,
+                                            ParseError* error) {
+  if (text.empty()) {
+    return fail(error, 0, "", "empty event");
+  }
   const std::size_t colon = text.find(':');
   if (colon == std::string_view::npos) {
-    return std::nullopt;
+    return fail(error, 0, text, "missing ':' after round in");
   }
   FaultEvent ev;
   if (!parse_u64(text.substr(0, colon), &ev.round)) {
-    return std::nullopt;
+    return fail(error, 0, text.substr(0, colon), "bad round");
   }
   std::string_view body = text.substr(colon + 1);
+  const std::size_t body_at = colon + 1;  // offset of `body` within `text`
 
   const std::size_t arg = body.find_first_of("*=@(");
   const std::string_view name =
       arg == std::string_view::npos ? body : body.substr(0, arg);
   if (!kind_by_name(name, &ev.kind)) {
-    return std::nullopt;
+    return fail(error, body_at, name, "unknown event kind");
   }
 
   switch (ev.kind) {
@@ -153,19 +181,22 @@ std::optional<FaultEvent> FaultEvent::parse(std::string_view text) {
         return ev;
       }
       if (body[arg] != '*') {
-        return std::nullopt;
+        return fail(error, body_at + arg, body.substr(arg, 1),
+                    "expected '*' before magnitude, got");
       }
       std::uint64_t magnitude = 0;
       if (!parse_u64(body.substr(arg + 1), &magnitude) || magnitude == 0 ||
           magnitude > 0xffffffffULL) {
-        return std::nullopt;
+        return fail(error, body_at + arg + 1, body.substr(arg + 1),
+                    "bad magnitude (want 1..2^32-1)");
       }
       ev.magnitude = static_cast<std::uint32_t>(magnitude);
       return ev;
     }
     case EventKind::kCorrupt: {
       if (arg == std::string_view::npos || body[arg] != '=') {
-        return std::nullopt;
+        return fail(error, body_at + name.size(), "",
+                    "corrupt needs '=recipe'");
       }
       const std::string_view which = body.substr(arg + 1);
       for (pif::CorruptionKind kind : pif::all_corruption_kinds()) {
@@ -174,11 +205,11 @@ std::optional<FaultEvent> FaultEvent::parse(std::string_view text) {
           return ev;
         }
       }
-      return std::nullopt;
+      return fail(error, body_at + arg + 1, which, "unknown corruption recipe");
     }
     case EventKind::kDaemonSwap: {
       if (arg == std::string_view::npos || body[arg] != '=') {
-        return std::nullopt;
+        return fail(error, body_at + name.size(), "", "daemon needs '=kind'");
       }
       const std::string_view which = body.substr(arg + 1);
       for (sim::DaemonKind kind : sim::standard_daemon_kinds()) {
@@ -187,22 +218,28 @@ std::optional<FaultEvent> FaultEvent::parse(std::string_view text) {
           return ev;
         }
       }
-      return std::nullopt;
+      return fail(error, body_at + arg + 1, which, "unknown daemon kind");
     }
     case EventKind::kMpLoss:
     case EventKind::kMpDuplicate:
     case EventKind::kMpReorder: {
       if (arg == std::string_view::npos || body[arg] != '@') {
-        return std::nullopt;
+        return fail(error, body_at + name.size(), "",
+                    "window needs '@rate/duration'");
       }
       const std::string_view tail = body.substr(arg + 1);
       const std::size_t slash = tail.find('/');
       if (slash == std::string_view::npos) {
-        return std::nullopt;
+        return fail(error, body_at + arg + 1, tail,
+                    "window needs '/duration' after rate in");
       }
-      if (!parse_rate(tail.substr(0, slash), &ev.rate) ||
-          !parse_u64(tail.substr(slash + 1), &ev.duration)) {
-        return std::nullopt;
+      if (!parse_rate(tail.substr(0, slash), &ev.rate)) {
+        return fail(error, body_at + arg + 1, tail.substr(0, slash),
+                    "bad rate (want a number in [0,1])");
+      }
+      if (!parse_u64(tail.substr(slash + 1), &ev.duration)) {
+        return fail(error, body_at + arg + 1 + slash + 1,
+                    tail.substr(slash + 1), "bad window duration");
       }
       return ev;
     }
@@ -210,22 +247,27 @@ std::optional<FaultEvent> FaultEvent::parse(std::string_view text) {
       // crash(p,dur,reset|corrupt)
       if (arg == std::string_view::npos || body[arg] != '(' ||
           body.back() != ')') {
-        return std::nullopt;
+        return fail(error, body_at + name.size(), body.substr(name.size()),
+                    "crash needs '(processor,duration,reset|corrupt)', got");
       }
       std::string_view inner = body.substr(arg + 1, body.size() - arg - 2);
+      const std::size_t inner_at = body_at + arg + 1;
       const std::size_t c1 = inner.find(',');
-      if (c1 == std::string_view::npos) {
-        return std::nullopt;
-      }
-      const std::size_t c2 = inner.find(',', c1 + 1);
-      if (c2 == std::string_view::npos) {
-        return std::nullopt;
+      const std::size_t c2 =
+          c1 == std::string_view::npos ? c1 : inner.find(',', c1 + 1);
+      if (c1 == std::string_view::npos || c2 == std::string_view::npos) {
+        return fail(error, inner_at, inner,
+                    "crash needs three ','-separated arguments, got");
       }
       std::uint64_t processor = 0;
       if (!parse_u64(inner.substr(0, c1), &processor) ||
-          processor > 0xffffffffULL ||
-          !parse_u64(inner.substr(c1 + 1, c2 - c1 - 1), &ev.duration)) {
-        return std::nullopt;
+          processor > 0xffffffffULL) {
+        return fail(error, inner_at, inner.substr(0, c1),
+                    "bad crash processor (want 0..2^32-1)");
+      }
+      if (!parse_u64(inner.substr(c1 + 1, c2 - c1 - 1), &ev.duration)) {
+        return fail(error, inner_at + c1 + 1, inner.substr(c1 + 1, c2 - c1 - 1),
+                    "bad crash duration");
       }
       ev.magnitude = static_cast<std::uint32_t>(processor);
       const std::string_view mode = inner.substr(c2 + 1);
@@ -234,12 +276,13 @@ std::optional<FaultEvent> FaultEvent::parse(std::string_view text) {
       } else if (mode == "corrupt") {
         ev.crash_corrupt = true;
       } else {
-        return std::nullopt;
+        return fail(error, inner_at + c2 + 1, mode,
+                    "crash recovery mode must be reset|corrupt, got");
       }
       return ev;
     }
   }
-  return std::nullopt;
+  return fail(error, 0, text, "unparseable event");
 }
 
 void FaultSchedule::normalize() {
@@ -277,19 +320,26 @@ std::string FaultSchedule::to_string() const {
   return out;
 }
 
-std::optional<FaultSchedule> FaultSchedule::parse(std::string_view text) {
+std::optional<FaultSchedule> FaultSchedule::parse(std::string_view text,
+                                                  ParseError* error) {
   FaultSchedule schedule;
-  while (!text.empty()) {
-    const std::size_t semi = text.find(';');
+  std::size_t consumed = 0;
+  while (consumed < text.size()) {
+    const std::size_t semi = text.find(';', consumed);
     const std::string_view piece =
-        semi == std::string_view::npos ? text : text.substr(0, semi);
-    text = semi == std::string_view::npos ? std::string_view{}
-                                          : text.substr(semi + 1);
+        text.substr(consumed, semi == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : semi - consumed);
+    const std::size_t piece_at = consumed;
+    consumed = semi == std::string_view::npos ? text.size() : semi + 1;
     if (piece.empty()) {
       continue;  // tolerate trailing/double separators
     }
-    const auto ev = FaultEvent::parse(piece);
+    const auto ev = FaultEvent::parse(piece, error);
     if (!ev.has_value()) {
+      if (error != nullptr) {
+        error->position += piece_at;  // re-base onto the full line
+      }
       return std::nullopt;
     }
     schedule.events.push_back(*ev);
@@ -298,7 +348,52 @@ std::optional<FaultSchedule> FaultSchedule::parse(std::string_view text) {
   return schedule;
 }
 
+std::optional<std::string> validate(const CampaignShape& shape) {
+  if (shape.events == 0) {
+    return "shape draws zero events (events must be >= 1)";
+  }
+  if (shape.horizon_rounds == 0) {
+    return "shape has a zero-round horizon (horizon_rounds must be >= 1)";
+  }
+  if (shape.max_magnitude == 0) {
+    return "shape caps magnitudes at zero (max_magnitude must be >= 1)";
+  }
+  if (!shape.shared_memory && !shape.message_passing) {
+    return "shape enables no event kinds (need shared_memory and/or "
+           "message_passing)";
+  }
+  // The comparisons are written to also reject NaN bounds (any comparison
+  // with NaN is false).
+  if (!(shape.mp_rate_min >= 0.0 && shape.mp_rate_min <= 1.0)) {
+    return "mp_rate_min is NaN or outside [0,1]";
+  }
+  if (!(shape.mp_rate_max >= shape.mp_rate_min && shape.mp_rate_max <= 1.0)) {
+    return "mp_rate_max is NaN, below mp_rate_min, or above 1";
+  }
+  if (shape.crash && shape.crash_processors == 0) {
+    return "crash windows enabled with zero crash_processors";
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Window rates snapped to hundredths inside the shape's bounds, so
+/// to_string/parse replays the exact schedule.
+[[nodiscard]] double draw_rate(const CampaignShape& shape, util::Rng& rng) {
+  const auto lo = static_cast<std::uint64_t>(std::lround(shape.mp_rate_min * 100.0));
+  const auto hi = static_cast<std::uint64_t>(std::lround(shape.mp_rate_max * 100.0));
+  return static_cast<double>(lo + rng.below(hi - lo + 1)) / 100.0;
+}
+
+}  // namespace
+
 FaultSchedule random_schedule(const CampaignShape& shape, util::Rng& rng) {
+  const auto objection = validate(shape);
+  SNAPPIF_ASSERT_MSG(!objection.has_value(),
+                     ("degenerate campaign shape: " +
+                      objection.value_or(std::string{}))
+                         .c_str());
   FaultSchedule schedule;
   std::vector<EventKind> menu;
   if (shape.shared_memory) {
@@ -312,10 +407,7 @@ FaultSchedule random_schedule(const CampaignShape& shape, util::Rng& rng) {
       menu.push_back(EventKind::kCrash);
     }
   }
-  if (menu.empty() || shape.events == 0) {
-    return schedule;
-  }
-  const std::uint64_t horizon = std::max<std::uint64_t>(1, shape.horizon_rounds);
+  const std::uint64_t horizon = shape.horizon_rounds;
   for (std::uint32_t i = 0; i < shape.events; ++i) {
     FaultEvent ev;
     ev.round = rng.below(horizon);
@@ -323,8 +415,8 @@ FaultSchedule random_schedule(const CampaignShape& shape, util::Rng& rng) {
     switch (ev.kind) {
       case EventKind::kBurst:
       case EventKind::kLinkKill:
-        ev.magnitude = 1 + static_cast<std::uint32_t>(
-                               rng.below(std::max<std::uint32_t>(1, shape.max_magnitude)));
+        ev.magnitude =
+            1 + static_cast<std::uint32_t>(rng.below(shape.max_magnitude));
         break;
       case EventKind::kCorrupt: {
         const auto kinds = pif::all_corruption_kinds();
@@ -339,8 +431,7 @@ FaultSchedule random_schedule(const CampaignShape& shape, util::Rng& rng) {
       case EventKind::kMpLoss:
       case EventKind::kMpDuplicate:
       case EventKind::kMpReorder:
-        // Hundredths so to_string/parse replays the exact schedule.
-        ev.rate = static_cast<double>(5 + rng.below(46)) / 100.0;
+        ev.rate = draw_rate(shape, rng);
         ev.duration = 1 + rng.below(horizon / 4 + 1);
         break;
       case EventKind::kCrash:

@@ -56,6 +56,18 @@ enum class EventKind {
 
 /// One timeline entry.  `round` is a *global* round index (rounds survive the
 /// round-tracker resets that fault injection causes; see campaign.hpp).
+/// Where and why a grammar line failed to parse.  `position` is the byte
+/// offset of the offending token inside the parsed text, so a bad event in
+/// the middle of a 30-event corpus line is localizable at a glance.
+struct ParseError {
+  std::size_t position = 0;
+  std::string token;    // the offending characters ("" for "missing X")
+  std::string message;  // what was expected instead
+
+  /// "offset 14: unknown event kind 'boom'".
+  [[nodiscard]] std::string to_string() const;
+};
+
 struct FaultEvent {
   std::uint64_t round = 0;
   EventKind kind = EventKind::kBurst;
@@ -76,7 +88,10 @@ struct FaultEvent {
   /// Grammar form, e.g. "12:burst*3", "20:corrupt=fake-tree",
   /// "8:kill*2", "5:loss@0.25/10", "9:crash(2,6,corrupt)".
   [[nodiscard]] std::string to_string() const;
-  [[nodiscard]] static std::optional<FaultEvent> parse(std::string_view text);
+  /// nullopt on malformed input; when `error` is non-null it is filled with
+  /// the offending token and its offset within `text`.
+  [[nodiscard]] static std::optional<FaultEvent> parse(
+      std::string_view text, ParseError* error = nullptr);
 };
 
 /// A campaign: fault events sorted by round.  The quiet point — the round
@@ -101,13 +116,17 @@ struct FaultSchedule {
   /// One-line reproducer, events joined with ';' ("" for empty).
   [[nodiscard]] std::string to_string() const;
   /// Inverse of to_string; also accepts unsorted input (normalizes).
-  /// Returns nullopt on any malformed event.
-  [[nodiscard]] static std::optional<FaultSchedule> parse(std::string_view text);
+  /// Returns nullopt on any malformed event; `error` (when non-null) then
+  /// names the offending token and its offset within the full line.
+  [[nodiscard]] static std::optional<FaultSchedule> parse(
+      std::string_view text, ParseError* error = nullptr);
 
   [[nodiscard]] bool operator==(const FaultSchedule&) const = default;
 };
 
-/// Knobs for random campaign generation (the soak runner's default mode).
+/// Knobs for random campaign generation (the soak runner's default mode) and
+/// for the mutation operators (chaos/mutate.hpp), which treat the shape as
+/// the envelope mutants must stay inside.
 struct CampaignShape {
   /// Number of events to draw.
   std::uint32_t events = 6;
@@ -124,10 +143,22 @@ struct CampaignShape {
   /// Crash events draw their processor id below this bound (runners reduce
   /// it modulo the actual N).
   std::uint32_t crash_processors = 16;
+  /// mp window rates are drawn uniformly in [mp_rate_min, mp_rate_max],
+  /// snapped to hundredths so the grammar round-trips them exactly.
+  double mp_rate_min = 0.05;
+  double mp_rate_max = 0.5;
 };
 
+/// Human-readable objection to a degenerate shape (zero events, zero
+/// horizon, NaN / out-of-range rates, empty event menu); nullopt when the
+/// shape can generate meaningful schedules.  random_schedule and the
+/// mutators assert this — a silently empty or degenerate campaign would
+/// report "recovered" without ever exercising the adversary.
+[[nodiscard]] std::optional<std::string> validate(const CampaignShape& shape);
+
 /// Draws a random campaign.  Link kills are paired with a later restore so
-/// sustained campaigns do not thin the graph monotonically.
+/// sustained campaigns do not thin the graph monotonically.  The shape must
+/// validate (SNAPPIF_ASSERT otherwise).
 [[nodiscard]] FaultSchedule random_schedule(const CampaignShape& shape,
                                             util::Rng& rng);
 

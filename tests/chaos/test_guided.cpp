@@ -1,0 +1,185 @@
+// Coverage-guided engine: corpus growth keyed by registry fingerprints,
+// byte-identical corpus / coverage / first-failure across worker counts,
+// corpus text round-trips, and failure replayability.
+#include "chaos/guided.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/generators.hpp"
+#include "par/pool.hpp"
+#include "pif/params.hpp"
+
+namespace snappif::chaos {
+namespace {
+
+[[nodiscard]] GuidedOptions small_options() {
+  GuidedOptions opts;
+  opts.master_seed = 2026;
+  opts.generations = 3;
+  opts.population = 6;
+  opts.shape.events = 4;
+  opts.shape.horizon_rounds = 30;
+  opts.shape.max_magnitude = 3;
+  return opts;
+}
+
+TEST(Guided, TrivialCorpusBootstrapsAndGrowsByNovelFingerprints) {
+  const auto g = graph::make_random_connected(10, 8, 3);
+  const GuidedOptions opts = small_options();
+  const GuidedReport report = run_guided(g, opts);
+
+  // Generation 0 evaluates the trivial corpus: one empty schedule.
+  ASSERT_FALSE(report.generations.empty());
+  EXPECT_EQ(report.generations[0].campaigns, 1u);
+  EXPECT_EQ(report.campaigns_run,
+            1u + opts.generations * opts.population);
+  // Coverage accounting: every fingerprint was seen at least once, the
+  // corpus holds exactly the novel ones, discovery order is recorded.
+  EXPECT_LE(report.unique_fingerprints, report.campaigns_run);
+  EXPECT_EQ(report.corpus.size() + report.corpus_overflow,
+            report.unique_fingerprints);
+  ASSERT_FALSE(report.corpus.empty());
+  EXPECT_EQ(report.corpus[0].generation, 0u);
+  EXPECT_TRUE(report.corpus[0].schedule.empty());
+  std::uint64_t novel_total = 0;
+  for (const GenerationStats& gen : report.generations) {
+    novel_total += gen.novel;
+  }
+  EXPECT_EQ(novel_total, report.unique_fingerprints);
+  // Mutation actually explores: later generations find novel behavior.
+  EXPECT_GT(report.unique_fingerprints, 1u);
+}
+
+TEST(Guided, SeedCorpusIsEvaluatedVerbatimInGenerationZero) {
+  const auto g = graph::make_random_connected(10, 8, 3);
+  GuidedOptions opts = small_options();
+  const auto seed_schedule = FaultSchedule::parse("3:burst*2;9:kill*1");
+  ASSERT_TRUE(seed_schedule.has_value());
+  opts.corpus_in = {*seed_schedule};
+  const GuidedReport report = run_guided(g, opts);
+  ASSERT_FALSE(report.corpus.empty());
+  EXPECT_EQ(report.corpus[0].generation, 0u);
+  EXPECT_EQ(report.corpus[0].schedule, *seed_schedule);
+}
+
+TEST(Guided, CorpusCoverageAndFirstFailureMatchAcrossWorkerCounts) {
+  const auto g = graph::make_random_connected(10, 8, 3);
+  // The count-wait ablation breaks the snap linchpin, so failures are
+  // reachable and the first-failure comparison below is non-vacuous.
+  GuidedOptions opts = small_options();
+  opts.generations = 6;
+  opts.population = 8;
+  opts.campaign.tweak_params = [](pif::Params& p) {
+    p.ablate_count_wait = true;
+  };
+
+  const GuidedReport base = run_guided(g, opts);
+  EXPECT_TRUE(base.first_failure.has_value())
+      << "ablated protocol produced no guided failure in the budget; the "
+         "first-failure comparison below is vacuous";
+
+  par::ThreadPool two(2);
+  par::ThreadPool eight(8);
+  for (auto* pool : {&two, &eight}) {
+    const GuidedReport run = run_guided(g, opts, pool);
+    // Byte-identical corpus file, coverage map, and merged telemetry.
+    EXPECT_EQ(corpus_to_text(run.corpus), corpus_to_text(base.corpus));
+    EXPECT_EQ(run.unique_fingerprints, base.unique_fingerprints);
+    EXPECT_EQ(run.campaigns_run, base.campaigns_run);
+    EXPECT_EQ(run.metrics.json(), base.metrics.json());
+    ASSERT_EQ(run.first_failure.has_value(), base.first_failure.has_value());
+    if (base.first_failure.has_value()) {
+      EXPECT_EQ(run.first_failure->generation,
+                base.first_failure->generation);
+      EXPECT_EQ(run.first_failure->slot, base.first_failure->slot);
+      EXPECT_EQ(run.first_failure->outcome.seed,
+                base.first_failure->outcome.seed);
+      EXPECT_EQ(run.first_failure->outcome.schedule.to_string(),
+                base.first_failure->outcome.schedule.to_string());
+    }
+    ASSERT_EQ(run.generations.size(), base.generations.size());
+    for (std::size_t i = 0; i < base.generations.size(); ++i) {
+      EXPECT_EQ(run.generations[i].novel, base.generations[i].novel);
+      EXPECT_EQ(run.generations[i].failures, base.generations[i].failures);
+    }
+  }
+}
+
+TEST(Guided, StopsAfterTheGenerationContainingTheFirstFailure) {
+  const auto g = graph::make_random_connected(10, 8, 3);
+  GuidedOptions opts = small_options();
+  opts.generations = 50;  // far more than needed once failures are reachable
+  opts.population = 8;
+  opts.campaign.tweak_params = [](pif::Params& p) {
+    p.ablate_count_wait = true;
+  };
+  const GuidedReport report = run_guided(g, opts);
+  ASSERT_TRUE(report.first_failure.has_value());
+  // The failing generation is the last one run.
+  EXPECT_EQ(report.generations.back().generation,
+            report.first_failure->generation);
+  EXPECT_GT(report.generations.back().failures, 0u);
+  // The failure carries its retained flight recorder and the failing
+  // (schedule, seed) replays to the same verdict.
+  EXPECT_NE(report.first_failure->outcome.flight, nullptr);
+  EXPECT_TRUE(report.flight.failed());
+  SoakOptions soak;
+  soak.shape = opts.shape;
+  soak.campaign = opts.campaign;
+  SoakJob job;
+  job.schedule = report.first_failure->outcome.schedule;
+  job.seed = report.first_failure->outcome.seed;
+  const SoakOutcome replay = run_soak_campaign(
+      g, soak, job, report.first_failure->slot, /*registry=*/nullptr);
+  EXPECT_FALSE(replay.ok());
+}
+
+TEST(GuidedCorpus, TextRoundTripsSchedulesCommentsAndEmptyMarker) {
+  std::vector<CorpusEntry> corpus(3);
+  corpus[0].schedule = FaultSchedule{};  // serializes as '-'
+  corpus[1].schedule = *FaultSchedule::parse("3:burst*2;9:kill*1");
+  corpus[1].fingerprint = 0xdeadbeefULL;
+  corpus[1].generation = 2;
+  corpus[1].slot = 5;
+  corpus[2].schedule = *FaultSchedule::parse("5:loss@0.25/10");
+
+  const std::string text = corpus_to_text(corpus);
+  EXPECT_NE(text.find("# fp=00000000deadbeef gen=2 slot=5"),
+            std::string::npos);
+  const auto parsed = corpus_from_text(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_TRUE((*parsed)[0].empty());
+  EXPECT_EQ((*parsed)[1], corpus[1].schedule);
+  EXPECT_EQ((*parsed)[2], corpus[2].schedule);
+}
+
+TEST(GuidedCorpus, FromTextSkipsBlanksAndTrimsWhitespace) {
+  const auto parsed = corpus_from_text(
+      "# header comment\n"
+      "\n"
+      "  3:burst*2  \r\n"
+      "  -\n"
+      "\t5:kill*1\n");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[0].to_string(), "3:burst*2");
+  EXPECT_TRUE((*parsed)[1].empty());
+  EXPECT_EQ((*parsed)[2].to_string(), "5:kill*1");
+}
+
+TEST(GuidedCorpus, FromTextNamesTheLineAndTokenOfAMalformedEntry) {
+  std::string error;
+  const auto parsed = corpus_from_text(
+      "# ok\n"
+      "3:burst*2\n"
+      "12:boom*3\n",
+      &error);
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_EQ(error, "line 3: offset 3: unknown event kind 'boom'");
+}
+
+}  // namespace
+}  // namespace snappif::chaos

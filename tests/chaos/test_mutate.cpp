@@ -1,0 +1,219 @@
+// Mutation operators: shape-validity and grammar round-trip invariants,
+// per-operator semantics, determinism in (base, mate, shape, rng), and the
+// empty-base bootstrap.
+#include "chaos/mutate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace snappif::chaos {
+namespace {
+
+[[nodiscard]] CampaignShape mixed_shape() {
+  CampaignShape shape;
+  shape.events = 6;
+  shape.horizon_rounds = 40;
+  shape.max_magnitude = 3;
+  shape.message_passing = true;
+  shape.crash = true;
+  shape.crash_processors = 12;
+  return shape;
+}
+
+TEST(Mutate, OperatorNamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (MutationOp op : all_mutation_ops()) {
+    names.insert(mutation_op_name(op));
+  }
+  EXPECT_EQ(names.size(), all_mutation_ops().size());
+  EXPECT_EQ(names.count("?"), 0u);
+}
+
+TEST(Mutate, MutantsStayShapeValidAndRoundTripTheGrammar) {
+  const CampaignShape shape = mixed_shape();
+  util::Rng rng(2024);
+  FaultSchedule base = random_schedule(shape, rng);
+  FaultSchedule mate = random_schedule(shape, rng);
+  for (int i = 0; i < 200; ++i) {
+    const FaultSchedule mutant = mutate(base, mate, shape, rng);
+    ASSERT_FALSE(mutant.empty());
+    ASSERT_LE(mutant.events.size(), max_events(shape));
+    for (const FaultEvent& ev : mutant.events) {
+      switch (ev.kind) {
+        case EventKind::kBurst:
+        case EventKind::kLinkKill:
+        case EventKind::kLinkRestore:
+          EXPECT_GE(ev.magnitude, 1u);
+          EXPECT_LE(ev.magnitude, shape.max_magnitude);
+          break;
+        case EventKind::kCrash:
+          EXPECT_LT(ev.magnitude, shape.crash_processors);
+          break;
+        case EventKind::kMpLoss:
+        case EventKind::kMpDuplicate:
+        case EventKind::kMpReorder: {
+          // Rates stay snapped to hundredths so %g/strtod replays exactly.
+          const double hundredths = ev.rate * 100.0;
+          EXPECT_NEAR(hundredths, std::round(hundredths), 1e-9);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    // The one-line form replays to the identical schedule.
+    const auto replay = FaultSchedule::parse(mutant.to_string());
+    ASSERT_TRUE(replay.has_value()) << mutant.to_string();
+    EXPECT_EQ(*replay, mutant);
+    // Evolve: mutants feed the next iteration, as the corpus would.
+    mate = base;
+    base = mutant;
+  }
+}
+
+TEST(Mutate, IsAPureFunctionOfInputsAndSeed) {
+  const CampaignShape shape = mixed_shape();
+  util::Rng setup(7);
+  const FaultSchedule base = random_schedule(shape, setup);
+  const FaultSchedule mate = random_schedule(shape, setup);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::Rng a(seed);
+    util::Rng b(seed);
+    EXPECT_EQ(mutate(base, mate, shape, a), mutate(base, mate, shape, b));
+  }
+  for (MutationOp op : all_mutation_ops()) {
+    util::Rng a(99);
+    util::Rng b(99);
+    EXPECT_EQ(apply_mutation(base, mate, op, shape, a),
+              apply_mutation(base, mate, op, shape, b))
+        << mutation_op_name(op);
+  }
+}
+
+TEST(Mutate, DropRefusesToEmptyTheSchedule) {
+  const CampaignShape shape = mixed_shape();
+  const auto single = FaultSchedule::parse("5:burst*2");
+  ASSERT_TRUE(single.has_value());
+  util::Rng rng(1);
+  EXPECT_FALSE(apply_mutation(*single, {}, MutationOp::kDropEvent, shape, rng)
+                   .has_value());
+  const auto pair = FaultSchedule::parse("5:burst*2;9:kill*1");
+  ASSERT_TRUE(pair.has_value());
+  const auto dropped =
+      apply_mutation(*pair, {}, MutationOp::kDropEvent, shape, rng);
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_EQ(dropped->events.size(), 1u);
+}
+
+TEST(Mutate, DuplicateRefusesOverTheLengthCap) {
+  const CampaignShape shape = mixed_shape();
+  FaultSchedule fat;
+  for (std::size_t i = 0; i < max_events(shape); ++i) {
+    fat.events.push_back({.round = i % shape.horizon_rounds,
+                          .kind = EventKind::kBurst,
+                          .magnitude = 1});
+  }
+  util::Rng rng(3);
+  EXPECT_FALSE(apply_mutation(fat, {}, MutationOp::kDuplicateEvent, shape, rng)
+                   .has_value());
+}
+
+TEST(Mutate, WindowOpsApplyOnlyToWindowedEvents) {
+  const CampaignShape shape = mixed_shape();
+  util::Rng rng(4);
+  const auto windowless = FaultSchedule::parse("5:burst*2;9:kill*1");
+  ASSERT_TRUE(windowless.has_value());
+  EXPECT_FALSE(
+      apply_mutation(*windowless, {}, MutationOp::kWidenWindow, shape, rng)
+          .has_value());
+  EXPECT_FALSE(
+      apply_mutation(*windowless, {}, MutationOp::kNarrowWindow, shape, rng)
+          .has_value());
+  EXPECT_FALSE(apply_mutation(*windowless, {}, MutationOp::kBumpRate, shape,
+                              rng)
+                   .has_value());
+
+  const auto windowed = FaultSchedule::parse("5:loss@0.25/8");
+  ASSERT_TRUE(windowed.has_value());
+  const auto narrowed =
+      apply_mutation(*windowed, {}, MutationOp::kNarrowWindow, shape, rng);
+  ASSERT_TRUE(narrowed.has_value());
+  EXPECT_EQ(narrowed->events[0].duration, 4u);
+  for (int i = 0; i < 50; ++i) {
+    const auto widened =
+        apply_mutation(*windowed, {}, MutationOp::kWidenWindow, shape, rng);
+    ASSERT_TRUE(widened.has_value());
+    EXPECT_GT(widened->events[0].duration, 8u);
+    EXPECT_LE(widened->events[0].duration, shape.horizon_rounds);
+  }
+}
+
+TEST(Mutate, BumpRateStaysInsideTheShapeBandSnappedToHundredths) {
+  CampaignShape shape = mixed_shape();
+  shape.mp_rate_min = 0.05;
+  shape.mp_rate_max = 0.5;
+  const auto base = FaultSchedule::parse("5:loss@0.33/8");
+  ASSERT_TRUE(base.has_value());
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto bumped =
+        apply_mutation(*base, {}, MutationOp::kBumpRate, shape, rng);
+    ASSERT_TRUE(bumped.has_value());
+    const double rate = bumped->events[0].rate;
+    EXPECT_GE(rate, shape.mp_rate_min - 1e-9);
+    EXPECT_LE(rate, shape.mp_rate_max + 1e-9);
+    EXPECT_NEAR(rate * 100.0, std::round(rate * 100.0), 1e-9);
+  }
+}
+
+TEST(Mutate, SpliceTakesBasePrefixAndMateSuffix) {
+  const CampaignShape shape = mixed_shape();
+  const auto base = FaultSchedule::parse("2:burst*1;30:kill*1");
+  const auto mate = FaultSchedule::parse("3:corrupt=uniform;35:restore*1");
+  ASSERT_TRUE(base.has_value());
+  ASSERT_TRUE(mate.has_value());
+  util::Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const auto spliced =
+        apply_mutation(*base, *mate, MutationOp::kSplice, shape, rng);
+    if (!spliced.has_value()) {
+      continue;  // cut round left the result empty — legal refusal
+    }
+    for (const FaultEvent& ev : spliced->events) {
+      const bool from_base =
+          std::find(base->events.begin(), base->events.end(), ev) !=
+          base->events.end();
+      const bool from_mate =
+          std::find(mate->events.begin(), mate->events.end(), ev) !=
+          mate->events.end();
+      EXPECT_TRUE(from_base || from_mate) << ev.to_string();
+    }
+  }
+}
+
+TEST(Mutate, EmptyBaseBootstrapsToARandomSchedule) {
+  const CampaignShape shape = mixed_shape();
+  util::Rng rng(8);
+  const FaultSchedule mutant = mutate({}, {}, shape, rng);
+  EXPECT_FALSE(mutant.empty());
+  const auto replay = FaultSchedule::parse(mutant.to_string());
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(*replay, mutant);
+}
+
+TEST(MutateDeathTest, RejectsDegenerateShapes) {
+  CampaignShape shape;
+  shape.events = 0;
+  util::Rng rng(1);
+  const auto base = FaultSchedule::parse("5:burst*2");
+  ASSERT_TRUE(base.has_value());
+  EXPECT_DEATH(
+      (void)apply_mutation(*base, {}, MutationOp::kShiftEvent, shape, rng),
+      "zero events");
+}
+
+}  // namespace
+}  // namespace snappif::chaos

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace snappif::chaos {
 namespace {
 
@@ -225,6 +227,138 @@ TEST(Schedule, RandomSchedulesEmitCrashesOnlyWhenAsked) {
     }
   }
   EXPECT_TRUE(saw_crash);
+}
+
+TEST(ScheduleParseError, ReportsTokenAndPositionPerMalformedClass) {
+  struct Case {
+    const char* text;
+    std::size_t position;   // byte offset of the offending token
+    const char* token;      // "" for "missing X" diagnoses
+    const char* message;    // substring of the diagnosis
+  };
+  const Case cases[] = {
+      {"", 0, "", "empty event"},
+      {"burst*3", 0, "burst*3", "missing ':'"},
+      {"x:burst*3", 0, "x", "bad round"},
+      {"12:boom*3", 3, "boom", "unknown event kind"},
+      {"12:burst*0", 9, "0", "bad magnitude"},
+      {"12:burst*-1", 9, "-1", "bad magnitude"},
+      {"12:corrupt", 10, "", "corrupt needs '=recipe'"},
+      {"12:corrupt=nonsense", 11, "nonsense", "unknown corruption recipe"},
+      {"12:daemon=nonsense", 10, "nonsense", "unknown daemon kind"},
+      {"12:loss*3", 7, "", "window needs '@rate/duration'"},
+      {"12:loss@0.25", 8, "0.25", "window needs '/duration'"},
+      {"12:loss@1.5/3", 8, "1.5", "bad rate"},
+      {"12:loss@nan/3", 8, "nan", "bad rate"},
+      {"12:loss@0.25/x", 13, "x", "bad window duration"},
+      {"9:crash", 7, "", "crash needs '(processor,duration,"},
+      {"9:crash(2,6)", 8, "2,6", "three ','-separated arguments"},
+      {"9:crash(x,6,reset)", 8, "x", "bad crash processor"},
+      {"9:crash(2,y,reset)", 10, "y", "bad crash duration"},
+      {"9:crash(2,6,zeroed)", 12, "zeroed", "reset|corrupt"},
+  };
+  for (const Case& c : cases) {
+    ParseError error;
+    EXPECT_FALSE(FaultEvent::parse(c.text, &error).has_value()) << c.text;
+    EXPECT_EQ(error.position, c.position) << c.text;
+    EXPECT_EQ(error.token, c.token) << c.text;
+    EXPECT_NE(error.message.find(c.message), std::string::npos)
+        << c.text << " -> " << error.message;
+  }
+}
+
+TEST(ScheduleParseError, SchedulePositionIsRebasedOntoTheFullLine) {
+  // The bad token sits after two good events; the reported offset must
+  // localize it within the whole line, not within its piece.
+  const std::string_view line = "3:burst*2;9:kill*1;12:boom*3";
+  ParseError error;
+  EXPECT_FALSE(FaultSchedule::parse(line, &error).has_value());
+  EXPECT_EQ(error.token, "boom");
+  EXPECT_EQ(error.position, line.find("boom"));
+  EXPECT_EQ(error.to_string(),
+            "offset " + std::to_string(line.find("boom")) +
+                ": unknown event kind 'boom'");
+}
+
+TEST(ScheduleParseError, ToStringOmitsQuotesForMissingTokens) {
+  ParseError error;
+  EXPECT_FALSE(FaultEvent::parse("12:corrupt", &error).has_value());
+  EXPECT_EQ(error.to_string(), "offset 10: corrupt needs '=recipe'");
+}
+
+TEST(ShapeValidation, AcceptsTheDefaultAndCommonShapes) {
+  EXPECT_FALSE(validate(CampaignShape{}).has_value());
+  CampaignShape mp;
+  mp.message_passing = true;
+  mp.crash = true;
+  EXPECT_FALSE(validate(mp).has_value());
+}
+
+TEST(ShapeValidation, NamesTheDegenerateKnob) {
+  struct Case {
+    const char* expect;  // substring of the objection
+    void (*tweak)(CampaignShape&);
+  };
+  const Case cases[] = {
+      {"zero events", [](CampaignShape& s) { s.events = 0; }},
+      {"zero-round horizon", [](CampaignShape& s) { s.horizon_rounds = 0; }},
+      {"magnitudes at zero", [](CampaignShape& s) { s.max_magnitude = 0; }},
+      {"no event kinds",
+       [](CampaignShape& s) {
+         s.shared_memory = false;
+         s.message_passing = false;
+       }},
+      {"mp_rate_min",
+       [](CampaignShape& s) {
+         s.mp_rate_min = std::numeric_limits<double>::quiet_NaN();
+       }},
+      {"mp_rate_min", [](CampaignShape& s) { s.mp_rate_min = -0.5; }},
+      {"mp_rate_max",
+       [](CampaignShape& s) {
+         s.mp_rate_max = std::numeric_limits<double>::quiet_NaN();
+       }},
+      {"mp_rate_max",
+       [](CampaignShape& s) {
+         s.mp_rate_min = 0.6;
+         s.mp_rate_max = 0.2;
+       }},
+      {"mp_rate_max", [](CampaignShape& s) { s.mp_rate_max = 1.5; }},
+      {"zero crash_processors",
+       [](CampaignShape& s) {
+         s.message_passing = true;
+         s.crash = true;
+         s.crash_processors = 0;
+       }},
+  };
+  for (const Case& c : cases) {
+    CampaignShape shape;
+    c.tweak(shape);
+    const auto objection = validate(shape);
+    ASSERT_TRUE(objection.has_value()) << c.expect;
+    EXPECT_NE(objection->find(c.expect), std::string::npos)
+        << c.expect << " -> " << *objection;
+  }
+}
+
+TEST(ShapeValidationDeathTest, RandomScheduleRejectsDegenerateShapes) {
+  util::Rng rng(1);
+  CampaignShape zero_events;
+  zero_events.events = 0;
+  EXPECT_DEATH((void)random_schedule(zero_events, rng), "zero events");
+
+  CampaignShape zero_horizon;
+  zero_horizon.horizon_rounds = 0;
+  EXPECT_DEATH((void)random_schedule(zero_horizon, rng), "zero-round horizon");
+
+  CampaignShape no_menu;
+  no_menu.shared_memory = false;
+  no_menu.message_passing = false;
+  EXPECT_DEATH((void)random_schedule(no_menu, rng), "no event kinds");
+
+  CampaignShape nan_rate;
+  nan_rate.message_passing = true;
+  nan_rate.mp_rate_min = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH((void)random_schedule(nan_rate, rng), "mp_rate_min");
 }
 
 }  // namespace

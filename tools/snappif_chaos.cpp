@@ -16,12 +16,25 @@
 // Replay mode (--schedule='...'): run exactly one campaign from a grammar
 // one-liner — the other end of the repro loop.
 //
+// Guided mode (--guided): coverage-guided fuzzing (chaos/guided.hpp).
+// Generations of mutated schedules run through the same runners; outcomes
+// are keyed by obs::fingerprint of their campaign registry, schedules with
+// never-seen fingerprints join the corpus, and the search stops at the
+// first oracle failure (shrunk + flight-dumped exactly like a soak
+// failure).  --corpus-in seeds the search from a corpus file (one grammar
+// line per schedule, '-' = empty, '#' comments); --corpus-out writes the
+// discovered corpus back for accumulation across runs.  Deterministic in
+// --seed for any --jobs.
+//
 //   ./snappif_chaos [--topology=random] [--n=16] [--graph-seed=1] [--root=0]
 //                   [--campaigns=20] [--seed=1] [--jobs=1 (0 = hardware)]
 //                   [--events=6] [--horizon=60] [--max-magnitude=4]
 //                   [--daemon=distributed-random]
 //                   [--mp] [--emulate] [--crash]
 //                   [--schedule='12:burst*3;20:corrupt=fake-tree']
+//                   [--guided] [--generations=8] [--population=16]
+//                   [--corpus-in=seed.corpus] [--corpus-out=found.corpus]
+//                   [--max-corpus=512]
 //                   [--break=none|broadcast-leaf|feedback-bleaf|count-wait]
 //                   [--budget=0 (auto)] [--no-shrink] [--metrics=out.json]
 //                   [--flight-out=chaos_flight.json] [--csv]
@@ -36,11 +49,13 @@
 // command, a packed snapshot of the final configuration, and the recent
 // span history — is written to --flight-out as a single JSON artifact
 // (inspect with `snappif_trace --flight FILE`; --flight-out=none disables).
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "chaos/emulation_campaign.hpp"
+#include "chaos/guided.hpp"
 #include "chaos/shrink.hpp"
 #include "chaos/soak.hpp"
 #include "graph/generators.hpp"
@@ -85,6 +100,31 @@ bool break_by_name(const std::string& name,
     return true;
   }
   return false;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, got);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace
@@ -138,13 +178,32 @@ int main(int argc, char** argv) {
   soak.shape.message_passing = soak.run_mp;
   soak.shape.crash = soak.run_mp && crash_windows;
   soak.shape.crash_processors = g->n();
+  // Friendly rejection before the generators' SNAPPIF_ASSERT would fire
+  // (e.g. --events=0 or --horizon=0 on the command line).
+  if (const auto objection = chaos::validate(soak.shape);
+      objection.has_value()) {
+    std::fprintf(stderr, "invalid campaign shape: %s\n", objection->c_str());
+    return 2;
+  }
 
-  // Run: one replayed campaign, or the seeded soak.
+  const bool guided = cli.get_bool("guided", false);
+  std::unique_ptr<par::ThreadPool> pool;
+  if (jobs != 1) {
+    pool = std::make_unique<par::ThreadPool>(jobs);
+  }
+
+  // Run: one replayed campaign, the guided search, or the seeded soak.
+  // All three fold into a SoakReport so the failure tail below (shrink,
+  // repro line, flight dump, metrics) is shared.
   chaos::SoakReport report;
+  util::Table guided_table(
+      {"generation", "campaigns", "novel", "corpus", "failures"});
   if (const auto text = cli.get("schedule"); text.has_value()) {
-    const auto parsed = chaos::FaultSchedule::parse(*text);
+    chaos::ParseError perr;
+    const auto parsed = chaos::FaultSchedule::parse(*text, &perr);
     if (!parsed.has_value()) {
-      std::fprintf(stderr, "malformed --schedule='%s'\n", text->c_str());
+      std::fprintf(stderr, "malformed --schedule: %s\n",
+                   perr.to_string().c_str());
       return 2;
     }
     const chaos::SoakJob job{*parsed, soak.master_seed};
@@ -156,11 +215,71 @@ int main(int argc, char** argv) {
         report.flight.merge(*report.outcomes.front().flight);
       }
     }
-  } else {
-    std::unique_ptr<par::ThreadPool> pool;
-    if (jobs != 1) {
-      pool = std::make_unique<par::ThreadPool>(jobs);
+  } else if (guided) {
+    chaos::GuidedOptions gopts;
+    gopts.master_seed = soak.master_seed;
+    gopts.generations = cli.get_u64("generations", 8);
+    gopts.population =
+        static_cast<std::uint32_t>(cli.get_int("population", 16));
+    gopts.shape = soak.shape;
+    gopts.campaign = soak.campaign;
+    gopts.run_mp = soak.run_mp;
+    gopts.emulate = soak.emulate;
+    gopts.max_corpus = cli.get_u64("max-corpus", 512);
+    if (const auto path = cli.get("corpus-in"); path.has_value()) {
+      std::string text_in;
+      if (!read_file(*path, &text_in)) {
+        std::fprintf(stderr, "error: cannot read --corpus-in=%s\n",
+                     path->c_str());
+        return 2;
+      }
+      std::string corpus_error;
+      auto corpus = chaos::corpus_from_text(text_in, &corpus_error);
+      if (!corpus.has_value()) {
+        std::fprintf(stderr, "malformed corpus %s: %s\n", path->c_str(),
+                     corpus_error.c_str());
+        return 2;
+      }
+      gopts.corpus_in = *std::move(corpus);
     }
+
+    chaos::GuidedReport found = chaos::run_guided(*g, gopts, pool.get());
+
+    std::size_t corpus_seen = 0;
+    for (const chaos::GenerationStats& gen : found.generations) {
+      corpus_seen = std::min<std::size_t>(corpus_seen + gen.novel,
+                                          found.corpus.size());
+      guided_table.add_row({util::fmt(gen.generation),
+                            util::fmt(gen.campaigns), util::fmt(gen.novel),
+                            util::fmt(corpus_seen), util::fmt(gen.failures)});
+    }
+    std::printf(
+        "guided: %llu campaigns, %llu unique fingerprints, corpus %zu%s\n",
+        static_cast<unsigned long long>(found.campaigns_run),
+        static_cast<unsigned long long>(found.unique_fingerprints),
+        found.corpus.size(),
+        found.corpus_overflow > 0 ? " (corpus cap hit)" : "");
+    if (const auto path = cli.get("corpus-out"); path.has_value()) {
+      if (write_file(*path, chaos::corpus_to_text(found.corpus))) {
+        std::printf("wrote corpus to %s\n", path->c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write --corpus-out=%s\n",
+                     path->c_str());
+        return 2;
+      }
+    }
+
+    report.metrics.merge(found.metrics);
+    if (found.first_failure.has_value()) {
+      report.first_failure = 0;
+      report.flight.merge(found.flight);
+      std::fprintf(
+          stderr, "guided: first failure at generation %llu slot %llu\n",
+          static_cast<unsigned long long>(found.first_failure->generation),
+          static_cast<unsigned long long>(found.first_failure->slot));
+      report.outcomes.push_back(std::move(found.first_failure->outcome));
+    }
+  } else {
     report = chaos::run_soak(*g, soak, pool.get());
   }
 
@@ -240,7 +359,14 @@ int main(int argc, char** argv) {
   }
 
   const bool csv = cli.get_bool("csv", false);
-  std::fputs((csv ? table.render_csv() : table.render()).c_str(), stdout);
+  if (guided) {
+    std::fputs((csv ? guided_table.render_csv() : guided_table.render())
+                   .c_str(),
+               stdout);
+  }
+  if (!guided || !report.outcomes.empty()) {
+    std::fputs((csv ? table.render_csv() : table.render()).c_str(), stdout);
+  }
   std::printf("\n");
   std::fputs((csv ? report.metrics.summary_table().render_csv()
                   : report.metrics.summary_table().render())
