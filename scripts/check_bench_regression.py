@@ -16,10 +16,19 @@ falling back to per-action loops, the link layer allocating per frame).
 
     E10 (engine):        --prefix mask_steps_per_s          (the default)
     E19 (mp resilience): --prefix emulation_rounds_per_s
+    E22 (SoA engine):    --prefix soa_steps_per_s,mask_steps_per_s
+
+Gated names are the UNION of the matching baseline and current keys, so a
+metric that disappears from either side fails loudly instead of silently
+dropping out of the comparison (renaming a metric requires regenerating the
+checked-in baseline in the same change).  --require names specific metrics
+that must be present in both reports whatever the prefixes match — use it to
+pin the metrics an experiment's acceptance floors are stated over.
 
 Usage:
     check_bench_regression.py BASELINE CURRENT [--factor 2.0]
                               [--prefix mask_steps_per_s[,another_prefix]]
+                              [--require metric_a,metric_b]
 """
 
 import argparse
@@ -36,6 +45,9 @@ def main() -> int:
     parser.add_argument("--prefix", default="mask_steps_per_s",
                         help="metric-name prefix(es) to gate on, "
                              "comma-separated")
+    parser.add_argument("--require", default="",
+                        help="comma-separated metric names that must exist "
+                             "in both reports")
     args = parser.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
@@ -49,16 +61,29 @@ def main() -> int:
           f"current commit: {current.get('commit', '?')}")
 
     prefixes = tuple(p for p in args.prefix.split(",") if p)
-    gated = [k for k in base_metrics if k.startswith(prefixes)]
+    gated = sorted(k for k in set(base_metrics) | set(cur_metrics)
+                   if k.startswith(prefixes))
     if not gated:
-        print(f"error: baseline has no metrics with prefix "
+        print(f"error: neither report has metrics with prefix "
               f"'{args.prefix}'", file=sys.stderr)
         return 2
 
     failures = []
-    for key in sorted(gated):
-        base = base_metrics[key]
+    required = [name for name in args.require.split(",") if name]
+    for name in required:
+        for side, metrics in (("baseline", base_metrics),
+                              ("current", cur_metrics)):
+            if name not in metrics:
+                failures.append(f"{name}: required metric missing from "
+                                f"{side} report")
+
+    for key in gated:
+        base = base_metrics.get(key)
         cur = cur_metrics.get(key)
+        if base is None:
+            failures.append(f"{key}: missing from baseline report "
+                            f"(regenerate the checked-in baseline)")
+            continue
         if cur is None:
             failures.append(f"{key}: missing from current report")
             continue

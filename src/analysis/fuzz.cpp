@@ -10,6 +10,7 @@
 #include "pif/faults.hpp"
 #include "pif/ghost.hpp"
 #include "pif/instrument.hpp"
+#include "pif/soa_engine.hpp"
 #include "pif/wave_trace.hpp"
 #include "util/rng.hpp"
 
@@ -37,6 +38,7 @@ namespace {
 
 RunConfig run_config_of(const FuzzOptions& opts, const FuzzInstance& inst) {
   RunConfig rc;
+  rc.engine = opts.engine;
   rc.daemon = inst.daemon;
   rc.corruption = inst.corruption;
   rc.policy = inst.policy;
@@ -111,8 +113,8 @@ void record_fuzz_flight(const FuzzOptions& opts, const FuzzFailure& failure,
   // match exactly (sim seed is the FIRST rng() draw, corruption uses the
   // same stream afterwards) so the traced trajectory is the failing one.
   util::Rng rng(rc.seed);
-  pif::PifProtocol protocol(g, params_for(g, rc));
-  sim::Simulator<pif::PifProtocol> sim(std::move(protocol), g, rng());
+  auto engine = pif::make_engine(rc.engine, g, params_for(g, rc), rng());
+  sim::IEngine<pif::PifProtocol>& sim = *engine;
   sim.set_action_policy(rc.policy);
   sim.set_score(
       [](const pif::State& s) { return static_cast<std::int64_t>(s.level); });

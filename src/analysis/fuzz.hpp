@@ -36,6 +36,11 @@ struct FuzzOptions {
   std::uint64_t master_seed = 1;
   /// Random instances use n in [3, max_n].
   graph::NodeId max_n = 24;
+  /// Execution engine for every iteration.  Not drawn from the instance RNG
+  /// (and default mask) so existing (master_seed, index) -> verdict mappings
+  /// and metric fingerprints are unchanged; the engines are trajectory-
+  /// equivalent, so either engine finds the same violations.
+  sim::EngineKind engine = sim::EngineKind::kMask;
   /// Broken-variant hook forwarded to RunConfig::tweak_params (tests use a
   /// guard ablation to make violations reachable).
   std::function<void(pif::Params&)> tweak_params;

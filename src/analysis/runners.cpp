@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "baselines/selfstab_pif.hpp"
+#include "pif/soa_engine.hpp"
 #include "baselines/tree_pif.hpp"
 #include "graph/properties.hpp"
 #include "pif/instrument.hpp"
@@ -12,18 +13,19 @@ namespace snappif::analysis {
 
 namespace {
 
-using PifSim = sim::Simulator<pif::PifProtocol>;
+using PifEngine = sim::IEngine<pif::PifProtocol>;
 
-/// Builds a corrupted, ready-to-run PIF simulator per the RunConfig.
+/// Builds a corrupted, ready-to-run PIF engine per the RunConfig.  This is
+/// the single choke point where RunConfig::engine picks the implementation:
+/// every runner drives the type-erased IEngine from here on.
 struct Bench {
-  std::unique_ptr<PifSim> sim;
+  std::unique_ptr<PifEngine> sim;
   std::unique_ptr<sim::IDaemon> daemon;
   util::Rng rng;
 
   Bench(const graph::Graph& g, const RunConfig& rc, bool corrupt)
       : rng(rc.seed) {
-    pif::PifProtocol protocol(g, params_for(g, rc));
-    sim = std::make_unique<PifSim>(std::move(protocol), g, rng());
+    sim = pif::make_engine(rc.engine, g, params_for(g, rc), rng());
     sim->set_action_policy(rc.policy);
     sim->set_score([](const pif::State& s) {
       return static_cast<std::int64_t>(s.level);
@@ -86,7 +88,7 @@ StabilizationResult measure_stabilization(const graph::Graph& g,
 
 namespace {
 
-CycleResult run_one_cycle(PifSim& sim, sim::IDaemon& daemon,
+CycleResult run_one_cycle(PifEngine& sim, sim::IDaemon& daemon,
                           pif::GhostTracker& tracker, pif::Checker& checker,
                           std::uint64_t max_steps) {
   CycleResult result;

@@ -17,12 +17,17 @@
 #include "pif/ghost.hpp"
 #include "pif/protocol.hpp"
 #include "sim/daemon.hpp"
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace snappif::analysis {
 
 /// Common experiment knobs.
 struct RunConfig {
+  /// Which execution engine to drive (mask oracle or the SoA engine).  The
+  /// engines are bit-for-bit equivalent, so this changes throughput only;
+  /// every runner below honors it through one build choke point.
+  sim::EngineKind engine = sim::EngineKind::kMask;
   sim::DaemonKind daemon = sim::DaemonKind::kDistributedRandom;
   pif::CorruptionKind corruption = pif::CorruptionKind::kUniformRandom;
   std::uint64_t seed = 1;

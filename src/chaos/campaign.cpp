@@ -10,6 +10,7 @@
 #include "pif/faults.hpp"
 #include "pif/ghost.hpp"
 #include "pif/instrument.hpp"
+#include "pif/soa_engine.hpp"
 #include "pif/wave_trace.hpp"
 #include "sim/daemon.hpp"
 #include "sim/faults.hpp"
@@ -20,6 +21,7 @@ namespace snappif::chaos {
 namespace {
 
 using PifSim = sim::Simulator<pif::PifProtocol>;
+using PifEngine = sim::IEngine<pif::PifProtocol>;
 
 class CampaignEngine {
  public:
@@ -90,8 +92,7 @@ class CampaignEngine {
     if (opts_.tweak_params) {
       opts_.tweak_params(params);
     }
-    auto next_sim = std::make_unique<PifSim>(
-        pif::PifProtocol(*next_graph, params), *next_graph, rng_());
+    auto next_sim = pif::make_engine(opts_.engine, *next_graph, params, rng_());
     next_sim->set_action_policy(opts_.policy);
     next_sim->set_score(
         [](const pif::State& s) { return static_cast<std::int64_t>(s.level); });
@@ -362,7 +363,7 @@ class CampaignEngine {
   std::vector<graph::Edge> present_;
   std::vector<graph::Edge> removed_;
   std::unique_ptr<graph::Graph> graph_;
-  std::unique_ptr<PifSim> sim_;
+  std::unique_ptr<PifEngine> sim_;
   std::unique_ptr<sim::IDaemon> daemon_;
   RoundClock clock_;
   pif::GhostTracker tracker_;

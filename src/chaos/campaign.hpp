@@ -43,6 +43,7 @@
 #include "obs/metrics.hpp"
 #include "pif/params.hpp"
 #include "pif/protocol.hpp"
+#include "sim/engine.hpp"
 #include "sim/probe.hpp"
 #include "sim/simulator.hpp"
 
@@ -64,6 +65,10 @@ class RoundClock final : public sim::IProbe<pif::PifProtocol> {
 };
 
 struct CampaignOptions {
+  /// Execution engine, applied at every (re)build point — including the
+  /// simulator rebuilds link churn causes.  Engines are trajectory-
+  /// equivalent, so campaigns find the same failures on either.
+  sim::EngineKind engine = sim::EngineKind::kMask;
   sim::ProcessorId root = 0;
   sim::DaemonKind daemon = sim::DaemonKind::kDistributedRandom;
   sim::ActionPolicy policy = sim::ActionPolicy::kFirstEnabled;

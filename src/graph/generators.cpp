@@ -1,7 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
-#include <set>
+#include <bit>
 
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -10,6 +10,76 @@ namespace snappif::graph {
 
 namespace {
 using util::Rng;
+
+/// Open-addressing set of undirected edges keyed by (min << 32) | max.
+/// Replaces the std::set<Edge> the random generators used to dedupe with:
+/// one up-front allocation sized for the target edge count instead of a
+/// red-black node per edge, and O(1) membership instead of O(log m) — the
+/// difference between minutes and milliseconds at n = 10^6.  Membership
+/// answers are exactly set semantics, so the generators' draw/accept
+/// sequences (and therefore their outputs) are unchanged.
+class FlatEdgeSet {
+ public:
+  explicit FlatEdgeSet(std::size_t expected_edges) {
+    std::size_t cap = std::bit_ceil(std::max<std::size_t>(16, 2 * expected_edges));
+    slots_.assign(cap, kEmpty);
+    mask_ = cap - 1;
+  }
+
+  /// True iff the edge was newly inserted.
+  bool insert(NodeId u, NodeId v) {
+    if (u > v) {
+      std::swap(u, v);
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+    if (size_ * 4 >= slots_.size() * 3) {
+      grow();
+    }
+    std::size_t i = probe_start(key);
+    while (slots_[i] != kEmpty) {
+      if (slots_[i] == key) {
+        return false;
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  // A key never equals the sentinel: it would need u = v = 0xffffffff, and
+  // inserted endpoints are distinct vertex ids.
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  [[nodiscard]] std::size_t probe_start(std::uint64_t key) const noexcept {
+    std::uint64_t h = key;
+    return static_cast<std::size_t>(util::splitmix64(h)) & mask_;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kEmpty);
+    mask_ = slots_.size() - 1;
+    for (std::uint64_t key : old) {
+      if (key == kEmpty) {
+        continue;
+      }
+      std::size_t i = probe_start(key);
+      while (slots_[i] != kEmpty) {
+        i = (i + 1) & mask_;
+      }
+      slots_[i] = key;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
 }  // namespace
 
 Graph make_path(NodeId n) {
@@ -186,24 +256,42 @@ Graph make_random_tree(NodeId n, std::uint64_t seed) {
   }
   std::vector<Edge> edges;
   edges.reserve(n - 1);
-  // Min-leaf decoding via an ordered set of current leaves.
-  std::set<NodeId> leaves;
+  // Min-leaf decoding with the O(n) pointer scan: the smallest current leaf
+  // is either a vertex the scan pointer already passed that just turned into
+  // a leaf (in which case it is the *only* leaf below the pointer, and is
+  // consumed in the very next step) or the first degree-1 vertex at or after
+  // the pointer.  The pointer only ever advances, so the whole decode is
+  // O(n) with zero per-step allocation — yet it pops leaves in exactly the
+  // ascending order the old std::set decode did, so every seed keeps
+  // producing the same tree (pinned by golden hashes in the tests).
+  NodeId ptr = 0;
+  while (degree[ptr] != 1) {
+    ++ptr;
+  }
+  NodeId leaf = ptr;
+  for (NodeId x : prufer) {
+    edges.emplace_back(leaf, x);
+    --degree[leaf];
+    if (--degree[x] == 1 && x < ptr) {
+      leaf = x;
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) {
+        ++ptr;
+      }
+      leaf = ptr;
+    }
+  }
+  // Exactly two leaves remain; join them (ascending, as the set decode did).
+  constexpr NodeId kNone = ~NodeId{0};
+  NodeId a = kNone;
+  NodeId b = kNone;
   for (NodeId v = 0; v < n; ++v) {
     if (degree[v] == 1) {
-      leaves.insert(v);
+      (a == kNone ? a : b) = v;
     }
   }
-  for (NodeId x : prufer) {
-    const NodeId leaf = *leaves.begin();
-    leaves.erase(leaves.begin());
-    edges.emplace_back(leaf, x);
-    if (--degree[x] == 1) {
-      leaves.insert(x);
-    }
-  }
-  SNAPPIF_ASSERT(leaves.size() == 2);
-  const NodeId a = *leaves.begin();
-  const NodeId b = *std::next(leaves.begin());
+  SNAPPIF_ASSERT(a != kNone && b != kNone);
   edges.emplace_back(a, b);
   return Graph::from_edges(n, edges);
 }
@@ -213,23 +301,30 @@ Graph make_random_connected(NodeId n, std::size_t extra_edges, std::uint64_t see
   Rng rng(seed);
   const Graph tree = make_random_tree(n, rng());
   std::vector<Edge> edges = tree.edges();
-  std::set<Edge> present(edges.begin(), edges.end());
+  const std::size_t tree_edges = edges.size();
   const std::size_t max_extra =
-      static_cast<std::size_t>(n) * (n - 1) / 2 - edges.size();
+      static_cast<std::size_t>(n) * (n - 1) / 2 - tree_edges;
   const std::size_t want = std::min(extra_edges, max_extra);
-  while (present.size() < edges.size() + want) {
+  // Rejection-sample distinct non-tree chords.  The flat set preserves the
+  // old std::set draw/accept sequence exactly (membership is membership),
+  // so every seed keeps its graph; Graph::from_edges sorts, so collecting
+  // accepted edges in draw order instead of set order changes nothing.
+  FlatEdgeSet present(tree_edges + want);
+  for (const Edge& e : edges) {
+    present.insert(e.first, e.second);
+  }
+  edges.reserve(tree_edges + want);
+  while (present.size() < tree_edges + want) {
     const auto u = static_cast<NodeId>(rng.below(n));
     const auto v = static_cast<NodeId>(rng.below(n));
     if (u == v) {
       continue;
     }
-    const Edge e{std::min(u, v), std::max(u, v)};
-    if (present.insert(e).second) {
-      // inserted; collected below
+    if (present.insert(u, v)) {
+      edges.emplace_back(std::min(u, v), std::max(u, v));
     }
   }
-  std::vector<Edge> all(present.begin(), present.end());
-  return Graph::from_edges(n, all);
+  return Graph::from_edges(n, edges);
 }
 
 std::vector<NamedGraph> standard_suite(NodeId n, std::uint64_t seed) {

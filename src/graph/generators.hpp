@@ -45,9 +45,14 @@ namespace snappif::graph {
 [[nodiscard]] Graph make_caterpillar(NodeId spine, NodeId legs);
 /// Random connected graph: uniform random spanning tree (via random Prüfer
 /// sequence) plus `extra_edges` additional distinct random edges.
+/// O(n + m) expected — flat-hash dedup, no ordered containers — so n = 10^6
+/// builds in seconds; output per seed is unchanged from the O(m log m)
+/// implementation (golden-hash pinned in tests/graph/test_generators.cpp).
 [[nodiscard]] Graph make_random_connected(NodeId n, std::size_t extra_edges,
                                           std::uint64_t seed);
-/// Random tree via Prüfer sequence.  Requires n >= 1.
+/// Random tree via Prüfer sequence, decoded with the O(n) min-leaf pointer
+/// scan.  Requires n >= 1.  Output per seed matches the previous ordered-set
+/// decode exactly.
 [[nodiscard]] Graph make_random_tree(NodeId n, std::uint64_t seed);
 
 /// A named topology instance, the unit of the benchmark sweeps.

@@ -1,0 +1,174 @@
+#include "pif/batched.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace snappif::pif {
+
+sim::ActionMask BatchedGuards::mask_of_columns(const PifSoa& soa,
+                                               sim::ProcessorId p) const {
+  // The exact reduction: five column loads per neighbor, no packing, no
+  // domain limit.  Same 0/1-word arithmetic as the packed path — only the
+  // loads differ — and the same shared tail, so the two paths cannot drift.
+  const std::uint8_t* __restrict c_pif = soa.pif.data();
+  const std::uint8_t* __restrict c_fok = soa.fok.data();
+  const std::uint32_t* __restrict c_count = soa.count.data();
+  const std::uint32_t* __restrict c_level = soa.level.data();
+  const sim::ProcessorId* __restrict c_parent = soa.parent.data();
+  const sim::ProcessorId* __restrict adj = csr_->adjacency().data();
+  const std::uint32_t* __restrict offsets = csr_->offsets().data();
+
+  const std::uint32_t lp1 = c_level[p] + 1;
+  const std::uint32_t l_max = params_.l_max;
+  const std::uint32_t owner_term =
+      lit_sumset_owner_ & (static_cast<std::uint32_t>(c_fok[p]) ^ 1u);
+  const std::uint32_t member_mode = lit_sumset_owner_ ^ 1u;
+  const std::uint32_t prepot_pass = lit_prepot_fok_ ^ 1u;
+
+  std::uint32_t all_c = 1;
+  std::uint32_t leaf = 1;
+  std::uint32_t b_free = 1;
+  std::uint32_t has_pot = 0;
+  std::uint32_t child_all_f = 1;
+  std::uint64_t sum = 1;
+
+  const std::uint32_t row_end = offsets[p + 1];
+  for (std::uint32_t i = offsets[p]; i < row_end; ++i) {
+    const sim::ProcessorId q = adj[i];
+    const std::uint32_t qp = c_pif[q];
+    const std::uint32_t qf = c_fok[q];
+    const std::uint32_t ql = c_level[q];
+    const std::uint32_t is_b = qp == static_cast<std::uint32_t>(Phase::kB);
+    const std::uint32_t is_f = qp == static_cast<std::uint32_t>(Phase::kF);
+    const std::uint32_t is_c = qp == static_cast<std::uint32_t>(Phase::kC);
+    const std::uint32_t par_is_p = c_parent[q] == p;
+
+    all_c &= is_c;
+    leaf &= is_c | (par_is_p ^ 1u);
+    b_free &= is_b ^ 1u;
+    child_all_f &= (par_is_p ^ 1u) | is_f;
+    has_pot |= is_b & (par_is_p ^ 1u) & static_cast<std::uint32_t>(ql < l_max) &
+               (prepot_pass | (qf ^ 1u));
+    const std::uint32_t in_sum =
+        is_b & par_is_p & static_cast<std::uint32_t>(ql == lp1) &
+        (owner_term | (member_mode & (qf ^ 1u)));
+    sum += static_cast<std::uint64_t>(c_count[q]) &
+           (0ULL - static_cast<std::uint64_t>(in_sum));
+  }
+  return mask_tail(soa, p, all_c, leaf, b_free, has_pot, child_all_f, sum);
+}
+
+void BatchedGuards::masks_for(const PifSoa& soa,
+                              std::span<const sim::ProcessorId> list,
+                              std::span<sim::ActionMask> out) const {
+  SNAPPIF_ASSERT(out.size() >= list.size());
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    out[i] = mask_of(soa, list[i]);
+  }
+}
+
+void BatchedGuards::masks_all(const PifSoa& soa,
+                              std::span<sim::ActionMask> out) const {
+  const sim::ProcessorId n = soa.n();
+  SNAPPIF_ASSERT(out.size() >= n);
+  // mask_of is inline: its n-gate hoists out of the loop, leaving a straight
+  // ascending sweep over the CSR — rows and adjacency stream sequentially.
+  for (sim::ProcessorId p = 0; p < n; ++p) {
+    out[p] = mask_of(soa, p);
+  }
+}
+
+std::uint64_t BatchedGuards::sum_of(const PifSoa& soa, sim::ProcessorId p) const {
+  const std::uint32_t sp_fok = soa.fok[p];
+  const std::uint32_t lp1 = soa.level[p] + 1;
+  std::uint64_t sum = 1;
+  for (sim::ProcessorId q : csr_->row(p)) {
+    if (soa.pif[q] != static_cast<std::uint8_t>(Phase::kB) ||
+        soa.parent[q] != p || soa.level[q] != lp1) {
+      continue;
+    }
+    const bool fok_filter =
+        lit_sumset_owner_ != 0 ? sp_fok == 0 : soa.fok[q] == 0;
+    if (fok_filter) {
+      sum += soa.count[q];
+    }
+  }
+  return sum;
+}
+
+State BatchedGuards::apply(const PifSoa& soa, sim::ProcessorId p,
+                           sim::ActionId a) const {
+  State next = soa.get(p);
+  const bool root = p == root_;
+  switch (a) {
+    case kBAction: {
+      if (root) {
+        next.pif = Phase::kB;
+        next.count = 1;
+        next.fok = (params_.n == 1);
+        break;
+      }
+      // min over >_p of the (possibly level-restricted) Pre_Potential: CSR
+      // rows are sorted ascending = the local order >_p, so the first
+      // neighbor holding the minimal level wins (strict < keeps the
+      // earliest) — the same scan as PifProtocol::apply, over SoA columns.
+      sim::ProcessorId chosen = kNoParent;
+      std::uint32_t chosen_level = 0;
+      for (sim::ProcessorId q : csr_->row(p)) {
+        if (soa.pif[q] != static_cast<std::uint8_t>(Phase::kB) ||
+            soa.parent[q] == p || soa.level[q] >= params_.l_max ||
+            (lit_prepot_fok_ != 0 && soa.fok[q] != 0)) {
+          continue;
+        }
+        if (chosen == kNoParent) {
+          chosen = q;
+          chosen_level = soa.level[q];
+          if (!params_.min_level_potential) {
+            break;
+          }
+        } else if (soa.level[q] < chosen_level) {
+          chosen = q;
+          chosen_level = soa.level[q];
+        }
+      }
+      SNAPPIF_ASSERT_MSG(chosen != kNoParent,
+                         "B-action applied with empty Potential");
+      next.parent = chosen;
+      next.level = chosen_level + 1;
+      next.count = 1;
+      next.fok = false;
+      next.pif = Phase::kB;
+      break;
+    }
+    case kFokAction:
+      next.fok = true;
+      break;
+    case kFAction:
+      next.pif = Phase::kF;
+      break;
+    case kCAction:
+      next.pif = Phase::kC;
+      break;
+    case kCountAction: {
+      const std::uint64_t s = sum_of(soa, p);
+      next.count =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(s, params_.n_upper));
+      if (root) {
+        next.fok = params_.ablate_count_wait || (s == params_.n);
+      }
+      break;
+    }
+    case kBCorrection:
+      next.pif = root ? Phase::kC : Phase::kF;
+      break;
+    case kFCorrection:
+      next.pif = Phase::kC;
+      break;
+    default:
+      SNAPPIF_ASSERT_MSG(false, "unknown action id");
+  }
+  return next;
+}
+
+}  // namespace snappif::pif

@@ -1,0 +1,318 @@
+// Batched, branch-free guard evaluation over CSR rows.
+//
+// pif::GuardEval walks one neighborhood with data-dependent branches on every
+// neighbor (phase tests, parent tests, Sum_Set membership).  On random
+// initial configurations those branches are unpredictable, and at n = 10^5+
+// the mispredicts dominate the walk.  BatchedGuards computes the same seven
+// guard bits with straight-line mask arithmetic: every per-neighbor predicate
+// becomes a 0/1 word, conjunctions become `&`, the Sum accumulation becomes
+// an AND with an all-ones/all-zeros mask — no branch in the inner loop, so
+// the compiler if-converts it.  The per-row tail that derives the guard bits
+// from the reduced intermediates is branch-light and builds the action mask
+// with shifts directly (no bool array round-trip through the store buffer).
+//
+// The inner loop reads ONE 64-bit word per neighbor — PifSoa's derived
+// `packed` column — instead of five scattered column loads.  Packing is a
+// lossy 20-bit compression of level/count, so exactness is preserved by a
+// per-row fallback: any touched word with the overflow bit (or n >= 2^20,
+// where the packed parent field cannot represent every id) reroutes that row
+// through `mask_of_columns`, the original exact column walk.  In-domain
+// configurations (level <= L_max <= n, count <= N' <= n, n <= 10^6) never
+// overflow, so the fallback exists for adversarial set_state values only.
+//
+// Bit-for-bit contract: for every configuration, every processor, and every
+// Params variant, `mask_of` equals GuardEval::mask and `apply` equals
+// PifProtocol::apply — the SoA engine's trajectories are then identical to
+// the mask engine's by induction.  Enforced across protocols, topologies and
+// daemons by tests/sim/test_soa_differential.cpp.
+//
+// TRACEABILITY.md maps each intermediate below to its Section-3 macro or
+// predicate; the per-clause comments in GuardEval (protocol.cpp) remain the
+// readable reference.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pif/protocol.hpp"
+#include "pif/soa.hpp"
+#include "sim/csr.hpp"
+#include "sim/types.hpp"
+
+namespace snappif::pif {
+
+class BatchedGuards {
+ public:
+  /// Captures the Params switches as 0/1 words so the kernel never branches
+  /// on them.  `csr` must outlive the kernel and describe the same graph the
+  /// protocol was built on.
+  BatchedGuards(const PifProtocol& proto, const sim::Csr& csr)
+      : csr_(&csr),
+        params_(proto.params()),
+        root_(proto.root()),
+        lit_sumset_owner_(params_.literal_sumset_fok_owner ? 1 : 0),
+        lit_prepot_fok_(params_.literal_prepotential_fok ? 1 : 0) {}
+
+  /// All seven guard bits of p.  Agrees with GuardEval(proto, config, p).mask.
+  /// One packed load per neighbor; exact-column fallback on overflow.
+  [[nodiscard]] sim::ActionMask mask_of(const PifSoa& soa,
+                                        sim::ProcessorId p) const {
+    if (soa.n() > PifSoa::kPackedFieldMax) {
+      return mask_of_columns(soa, p);  // packed parent field too narrow
+    }
+    // Raw pointers: the row loop must stay free of bounds-check calls.
+    const std::uint64_t* __restrict packed = soa.packed.data();
+    const sim::ProcessorId* __restrict adj = csr_->adjacency().data();
+    const std::uint32_t* __restrict offsets = csr_->offsets().data();
+
+    // p's own fields from its packed word (one load instead of five column
+    // reads; a set self-overflow bit joins the same fallback as neighbors).
+    const std::uint64_t selfw = packed[p];
+    const std::uint32_t sp_pif = selfw & 3;
+    const std::uint32_t sp_fok = (selfw >> 2) & 1;
+    const std::uint32_t sp_level =
+        (selfw >> 4) & PifSoa::kPackedFieldMax;
+    const std::uint32_t sp_count =
+        (selfw >> 24) & PifSoa::kPackedFieldMax;
+    const std::uint32_t lp1 = sp_level + 1;
+    const std::uint32_t l_max = params_.l_max;
+    // Sum_Set's ¬Fok conjunct: the member's ¬Fok_q, or the owner's ¬Fok_p in
+    // the literal-typo reading.  Both operands are loop-invariant 0/1 words.
+    const std::uint32_t owner_term = lit_sumset_owner_ & (sp_fok ^ 1u);
+    const std::uint32_t member_mode = lit_sumset_owner_ ^ 1u;
+    // Pre_Potential's printed ¬Fok_q conjunct is a repair-dropped no-op
+    // unless the literal reading is on: (¬lit) | ¬Fok_q.
+    const std::uint32_t prepot_pass = lit_prepot_fok_ ^ 1u;
+
+    std::uint32_t all_c = 1;        // forall q :: Pif_q = C
+    std::uint32_t leaf = 1;         // Leaf(p)'s quantifier
+    std::uint32_t b_free = 1;       // BFree(p)
+    std::uint32_t has_pot = 0;      // Pre_Potential_p != {}
+    std::uint32_t child_all_f = 1;  // BLeaf(p)'s quantifier
+    std::uint64_t sum = 1;          // Sum_p
+    std::uint64_t ovf = selfw & 8;  // self/neighbor outside the packed domain
+
+    const std::uint32_t row_end = offsets[p + 1];
+    for (std::uint32_t i = offsets[p]; i < row_end; ++i) {
+      const std::uint64_t qw = packed[adj[i]];
+      const std::uint32_t qp = qw & 3;
+      const std::uint32_t qf = (qw >> 2) & 1;
+      const std::uint32_t ql = (qw >> 4) & PifSoa::kPackedFieldMax;
+      const std::uint32_t qc = (qw >> 24) & PifSoa::kPackedFieldMax;
+      const std::uint32_t qpar = static_cast<std::uint32_t>(qw >> 44);
+      ovf |= qw & 8;
+      const std::uint32_t is_b = qp == static_cast<std::uint32_t>(Phase::kB);
+      const std::uint32_t is_f = qp == static_cast<std::uint32_t>(Phase::kF);
+      const std::uint32_t is_c = qp == static_cast<std::uint32_t>(Phase::kC);
+      const std::uint32_t par_is_p = qpar == p;
+
+      all_c &= is_c;
+      leaf &= is_c | (par_is_p ^ 1u);
+      b_free &= is_b ^ 1u;
+      child_all_f &= (par_is_p ^ 1u) | is_f;
+      has_pot |= is_b & (par_is_p ^ 1u) &
+                 static_cast<std::uint32_t>(ql < l_max) &
+                 (prepot_pass | (qf ^ 1u));
+      const std::uint32_t in_sum =
+          is_b & par_is_p & static_cast<std::uint32_t>(ql == lp1) &
+          (owner_term | (member_mode & (qf ^ 1u)));
+      sum += static_cast<std::uint64_t>(qc) &
+             (0ULL - static_cast<std::uint64_t>(in_sum));
+    }
+    if (ovf != 0) {
+      return mask_of_columns(soa, p);  // a 20-bit field clipped; redo exactly
+    }
+
+    // The tail, against the packed self/parent words.  Mirrors mask_tail
+    // clause for clause (the differential suite holds the two in lockstep);
+    // duplicated so the hot path touches only the packed column.
+    const std::uint32_t is_b_p =
+        sp_pif == static_cast<std::uint32_t>(Phase::kB);
+    const std::uint32_t is_f_p =
+        sp_pif == static_cast<std::uint32_t>(Phase::kF);
+    const std::uint32_t is_c_p =
+        sp_pif == static_cast<std::uint32_t>(Phase::kC);
+    const std::uint32_t good_count =
+        (is_b_p ^ 1u) | sp_fok | static_cast<std::uint32_t>(sp_count <= sum);
+
+    std::uint32_t mask;
+    if (p == root_) {
+      std::uint32_t good_fok = 1;
+      if (is_b_p != 0) {
+        if (params_.literal_root_goodfok) {
+          good_fok = sp_fok == static_cast<std::uint32_t>(sum == params_.n);
+        } else if (!params_.ablate_count_wait) {
+          good_fok =
+              sp_fok == static_cast<std::uint32_t>(sp_count == params_.n);
+        }
+      }
+      const std::uint32_t normal = good_fok & good_count;
+      mask = ((is_c_p & all_c) << kBAction) |
+             ((is_b_p & sp_fok & normal & b_free) << kFAction) |
+             ((is_f_p & all_c) << kCAction) |
+             ((is_b_p & (sp_fok ^ 1u) & normal &
+               static_cast<std::uint32_t>(sp_count < sum))
+              << kCountAction) |
+             ((normal ^ 1u) << kBCorrection);
+    } else {
+      // In-domain non-root parents are genuine neighbor ids (< n), so the
+      // packed parent field is exact here; its level matters for GoodLevel,
+      // so a clipped parent word takes the same exact fallback.
+      const auto par = static_cast<sim::ProcessorId>(selfw >> 44);
+      const std::uint64_t parw = packed[par];
+      if ((parw & 8) != 0) {
+        return mask_of_columns(soa, p);
+      }
+      const std::uint32_t parp = parw & 3;
+      const std::uint32_t parf = (parw >> 2) & 1;
+      const std::uint32_t par_level =
+          (parw >> 4) & PifSoa::kPackedFieldMax;
+      const std::uint32_t good_fok =
+          static_cast<std::uint32_t>(
+              !((is_b_p & sp_fok) != 0 && sp_fok != parf)) &
+          static_cast<std::uint32_t>(
+              !(is_f_p != 0 &&
+                parp == static_cast<std::uint32_t>(Phase::kB) && parf == 0));
+      const std::uint32_t good_pif =
+          is_c_p | static_cast<std::uint32_t>(parp == sp_pif) |
+          static_cast<std::uint32_t>(parp ==
+                                     static_cast<std::uint32_t>(Phase::kB));
+      const std::uint32_t good_level =
+          is_c_p | static_cast<std::uint32_t>(sp_level == par_level + 1);
+      const std::uint32_t normal =
+          good_pif & good_level & good_fok & good_count;
+      mask = ((is_c_p &
+               (static_cast<std::uint32_t>(params_.ablate_broadcast_leaf) |
+                leaf) &
+               has_pot)
+              << kBAction) |
+             ((is_b_p & normal & (sp_fok ^ parf)) << kFokAction) |
+             ((is_b_p & sp_fok & normal &
+               (static_cast<std::uint32_t>(params_.ablate_feedback_bleaf) |
+                child_all_f))
+              << kFAction) |
+             ((is_f_p & normal & leaf & b_free) << kCAction) |
+             ((is_b_p & (sp_fok ^ 1u) & normal &
+               static_cast<std::uint32_t>(sp_count < sum))
+              << kCountAction) |
+             ((is_b_p & (normal ^ 1u)) << kBCorrection) |
+             ((is_f_p & (normal ^ 1u)) << kFCorrection);
+    }
+    return mask;
+  }
+
+  /// The exact column walk (the original kernel): five column loads per
+  /// neighbor, no packing.  The fallback target of mask_of, and the whole
+  /// story when n does not fit the packed parent field.
+  [[nodiscard]] sim::ActionMask mask_of_columns(const PifSoa& soa,
+                                                sim::ProcessorId p) const;
+
+  /// Batched refresh: out[i] = mask_of(list[i]).  One tight loop over CSR
+  /// rows — the engine's dirty-flush feeds its worklist through here.
+  void masks_for(const PifSoa& soa, std::span<const sim::ProcessorId> list,
+                 std::span<sim::ActionMask> out) const;
+
+  /// Dense refresh: out[p] = mask_of(p) for every processor, streaming the
+  /// CSR in row order.  When a step dirties most of the network (synchronous
+  /// rounds on corrupted configurations), the sequential sweep beats the
+  /// scattered per-row walk on memory behavior alone.
+  void masks_all(const PifSoa& soa, std::span<sim::ActionMask> out) const;
+
+  /// The statement of action `a` at p against the current SoA snapshot.
+  /// Agrees with PifProtocol::apply on the equivalent configuration.
+  [[nodiscard]] State apply(const PifSoa& soa, sim::ProcessorId p,
+                            sim::ActionId a) const;
+
+  /// Sum_p from the SoA arrays (the Count-action's macro).
+  [[nodiscard]] std::uint64_t sum_of(const PifSoa& soa, sim::ProcessorId p) const;
+
+ private:
+  /// Folds the reduced neighborhood intermediates and p's own (exact-column)
+  /// fields into the seven-bit action mask.  Shared by the packed fast path
+  /// and the exact column walk — the tail never reads compressed data, so
+  /// both paths land here with identical inputs and produce identical masks.
+  [[nodiscard]] sim::ActionMask mask_tail(const PifSoa& soa, sim::ProcessorId p,
+                                          std::uint32_t all_c,
+                                          std::uint32_t leaf,
+                                          std::uint32_t b_free,
+                                          std::uint32_t has_pot,
+                                          std::uint32_t child_all_f,
+                                          std::uint64_t sum) const {
+    const std::uint32_t sp_pif = soa.pif[p];
+    const std::uint32_t sp_fok = soa.fok[p];
+    const std::uint32_t sp_count = soa.count[p];
+    const std::uint32_t sp_level = soa.level[p];
+    const std::uint32_t is_b_p =
+        sp_pif == static_cast<std::uint32_t>(Phase::kB);
+    const std::uint32_t is_f_p =
+        sp_pif == static_cast<std::uint32_t>(Phase::kF);
+    const std::uint32_t is_c_p =
+        sp_pif == static_cast<std::uint32_t>(Phase::kC);
+    const std::uint32_t good_count =
+        (is_b_p ^ 1u) | sp_fok | static_cast<std::uint32_t>(sp_count <= sum);
+
+    std::uint32_t mask;
+    if (p == root_) {
+      std::uint32_t good_fok = 1;
+      if (is_b_p != 0) {
+        if (params_.literal_root_goodfok) {
+          good_fok = sp_fok == static_cast<std::uint32_t>(sum == params_.n);
+        } else if (!params_.ablate_count_wait) {
+          good_fok =
+              sp_fok == static_cast<std::uint32_t>(sp_count == params_.n);
+        }
+      }
+      const std::uint32_t normal = good_fok & good_count;
+      mask = ((is_c_p & all_c) << kBAction) |
+             ((is_b_p & sp_fok & normal & b_free) << kFAction) |
+             ((is_f_p & all_c) << kCAction) |
+             ((is_b_p & (sp_fok ^ 1u) & normal &
+               static_cast<std::uint32_t>(sp_count < sum))
+              << kCountAction) |
+             ((normal ^ 1u) << kBCorrection);
+    } else {
+      const sim::ProcessorId par = soa.parent[p];
+      const std::uint32_t parp = soa.pif[par];
+      const std::uint32_t parf = soa.fok[par];
+      const std::uint32_t good_fok =
+          static_cast<std::uint32_t>(
+              !((is_b_p & sp_fok) != 0 && sp_fok != parf)) &
+          static_cast<std::uint32_t>(
+              !(is_f_p != 0 &&
+                parp == static_cast<std::uint32_t>(Phase::kB) && parf == 0));
+      const std::uint32_t good_pif =
+          is_c_p | static_cast<std::uint32_t>(parp == sp_pif) |
+          static_cast<std::uint32_t>(parp ==
+                                     static_cast<std::uint32_t>(Phase::kB));
+      const std::uint32_t good_level =
+          is_c_p | static_cast<std::uint32_t>(sp_level == soa.level[par] + 1);
+      const std::uint32_t normal =
+          good_pif & good_level & good_fok & good_count;
+      mask = ((is_c_p &
+               (static_cast<std::uint32_t>(params_.ablate_broadcast_leaf) |
+                leaf) &
+               has_pot)
+              << kBAction) |
+             ((is_b_p & normal & (sp_fok ^ parf)) << kFokAction) |
+             ((is_b_p & sp_fok & normal &
+               (static_cast<std::uint32_t>(params_.ablate_feedback_bleaf) |
+                child_all_f))
+              << kFAction) |
+             ((is_f_p & normal & leaf & b_free) << kCAction) |
+             ((is_b_p & (sp_fok ^ 1u) & normal &
+               static_cast<std::uint32_t>(sp_count < sum))
+              << kCountAction) |
+             ((is_b_p & (normal ^ 1u)) << kBCorrection) |
+             ((is_f_p & (normal ^ 1u)) << kFCorrection);
+    }
+    return mask;
+  }
+
+  const sim::Csr* csr_;
+  Params params_;
+  sim::ProcessorId root_;
+  std::uint32_t lit_sumset_owner_;
+  std::uint32_t lit_prepot_fok_;
+};
+
+}  // namespace snappif::pif

@@ -7,8 +7,14 @@
 #include "util/assert.hpp"
 
 namespace snappif::pif {
+namespace {
 
-void plant_fake_tree(PifSimulator& sim, util::Rng& rng) {
+// The corruption recipes only touch the engine-neutral surface — topology,
+// protocol, config read, set_state, randomize, reset — so one template body
+// serves both the mask Simulator and any sim::IEngine implementation.
+
+template <typename Sim>
+void plant_fake_tree_t(Sim& sim, util::Rng& rng) {
   const graph::Graph& g = sim.topology();
   const Params& params = sim.protocol().params();
   const sim::ProcessorId n = g.n();
@@ -84,7 +90,8 @@ void plant_fake_tree(PifSimulator& sim, util::Rng& rng) {
   }
 }
 
-void plant_stray_feedback(PifSimulator& sim, util::Rng& rng, double fraction) {
+template <typename Sim>
+void plant_stray_feedback_t(Sim& sim, util::Rng& rng, double fraction) {
   const graph::Graph& g = sim.topology();
   const Params& params = sim.protocol().params();
   for (sim::ProcessorId v = 0; v < g.n(); ++v) {
@@ -99,7 +106,8 @@ void plant_stray_feedback(PifSimulator& sim, util::Rng& rng, double fraction) {
   }
 }
 
-void plant_stray_fok(PifSimulator& sim, util::Rng& rng, double fraction) {
+template <typename Sim>
+void plant_stray_fok_t(Sim& sim, util::Rng& rng, double fraction) {
   for (sim::ProcessorId v = 0; v < sim.topology().n(); ++v) {
     if (!rng.chance(fraction)) {
       continue;
@@ -112,7 +120,8 @@ void plant_stray_fok(PifSimulator& sim, util::Rng& rng, double fraction) {
   }
 }
 
-void inflate_counts(PifSimulator& sim, util::Rng& rng, double fraction) {
+template <typename Sim>
+void inflate_counts_t(Sim& sim, util::Rng& rng, double fraction) {
   const Params& params = sim.protocol().params();
   for (sim::ProcessorId v = 0; v < sim.topology().n(); ++v) {
     if (!rng.chance(fraction)) {
@@ -124,14 +133,15 @@ void inflate_counts(PifSimulator& sim, util::Rng& rng, double fraction) {
   }
 }
 
-void adversarial_corruption(PifSimulator& sim, util::Rng& rng) {
+template <typename Sim>
+void adversarial_corruption_t(Sim& sim, util::Rng& rng) {
   const auto trees = 1 + rng.below(3);
   for (std::uint64_t i = 0; i < trees; ++i) {
-    plant_fake_tree(sim, rng);
+    plant_fake_tree_t(sim, rng);
   }
-  plant_stray_feedback(sim, rng, 0.15);
-  plant_stray_fok(sim, rng, 0.25);
-  inflate_counts(sim, rng, 0.10);
+  plant_stray_feedback_t(sim, rng, 0.15);
+  plant_stray_fok_t(sim, rng, 0.25);
+  inflate_counts_t(sim, rng, 0.10);
   // Occasionally corrupt the root too: the snap property must survive the
   // root waking up mid-"cycle" of a phantom broadcast.
   if (rng.chance(0.5)) {
@@ -142,6 +152,61 @@ void adversarial_corruption(PifSimulator& sim, util::Rng& rng) {
                       rng.below(sim.protocol().params().n_upper));
     sim.set_state(sim.protocol().root(), s);
   }
+}
+
+template <typename Sim>
+void apply_corruption_t(Sim& sim, CorruptionKind kind, util::Rng& rng) {
+  switch (kind) {
+    case CorruptionKind::kUniformRandom:
+      sim.randomize(rng);
+      return;
+    case CorruptionKind::kFakeTree:
+      sim.reset_to_initial();
+      plant_fake_tree_t(sim, rng);
+      return;
+    case CorruptionKind::kStrayFeedback:
+      sim.reset_to_initial();
+      plant_fake_tree_t(sim, rng);
+      plant_stray_feedback_t(sim, rng, 0.3);
+      return;
+    case CorruptionKind::kStrayFok:
+      sim.reset_to_initial();
+      plant_fake_tree_t(sim, rng);
+      plant_stray_fok_t(sim, rng, 0.5);
+      return;
+    case CorruptionKind::kInflatedCounts:
+      sim.reset_to_initial();
+      plant_fake_tree_t(sim, rng);
+      inflate_counts_t(sim, rng, 0.3);
+      return;
+    case CorruptionKind::kAdversarialMix:
+      sim.reset_to_initial();
+      adversarial_corruption_t(sim, rng);
+      return;
+  }
+  SNAPPIF_ASSERT_MSG(false, "unknown corruption kind");
+}
+
+}  // namespace
+
+void plant_fake_tree(PifSimulator& sim, util::Rng& rng) {
+  plant_fake_tree_t(sim, rng);
+}
+
+void plant_stray_feedback(PifSimulator& sim, util::Rng& rng, double fraction) {
+  plant_stray_feedback_t(sim, rng, fraction);
+}
+
+void plant_stray_fok(PifSimulator& sim, util::Rng& rng, double fraction) {
+  plant_stray_fok_t(sim, rng, fraction);
+}
+
+void inflate_counts(PifSimulator& sim, util::Rng& rng, double fraction) {
+  inflate_counts_t(sim, rng, fraction);
+}
+
+void adversarial_corruption(PifSimulator& sim, util::Rng& rng) {
+  adversarial_corruption_t(sim, rng);
 }
 
 std::string_view corruption_name(CorruptionKind kind) {
@@ -163,35 +228,12 @@ std::string_view corruption_name(CorruptionKind kind) {
 }
 
 void apply_corruption(PifSimulator& sim, CorruptionKind kind, util::Rng& rng) {
-  switch (kind) {
-    case CorruptionKind::kUniformRandom:
-      sim.randomize(rng);
-      return;
-    case CorruptionKind::kFakeTree:
-      sim.reset_to_initial();
-      plant_fake_tree(sim, rng);
-      return;
-    case CorruptionKind::kStrayFeedback:
-      sim.reset_to_initial();
-      plant_fake_tree(sim, rng);
-      plant_stray_feedback(sim, rng, 0.3);
-      return;
-    case CorruptionKind::kStrayFok:
-      sim.reset_to_initial();
-      plant_fake_tree(sim, rng);
-      plant_stray_fok(sim, rng, 0.5);
-      return;
-    case CorruptionKind::kInflatedCounts:
-      sim.reset_to_initial();
-      plant_fake_tree(sim, rng);
-      inflate_counts(sim, rng, 0.3);
-      return;
-    case CorruptionKind::kAdversarialMix:
-      sim.reset_to_initial();
-      adversarial_corruption(sim, rng);
-      return;
-  }
-  SNAPPIF_ASSERT_MSG(false, "unknown corruption kind");
+  apply_corruption_t(sim, kind, rng);
+}
+
+void apply_corruption(sim::IEngine<PifProtocol>& engine, CorruptionKind kind,
+                      util::Rng& rng) {
+  apply_corruption_t(engine, kind, rng);
 }
 
 std::span<const CorruptionKind> all_corruption_kinds() {

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "pif/protocol.hpp"
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -53,6 +54,11 @@ enum class CorruptionKind {
 
 [[nodiscard]] std::string_view corruption_name(CorruptionKind kind);
 void apply_corruption(PifSimulator& sim, CorruptionKind kind, util::Rng& rng);
+/// Engine-agnostic overload: identical recipes (same rng draw sequence)
+/// against any IEngine implementation, so SoA-engine runs corrupt
+/// identically to mask-engine runs.
+void apply_corruption(sim::IEngine<PifProtocol>& engine, CorruptionKind kind,
+                      util::Rng& rng);
 [[nodiscard]] std::span<const CorruptionKind> all_corruption_kinds();
 
 }  // namespace snappif::pif

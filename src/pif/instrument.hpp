@@ -28,6 +28,7 @@
 #include "obs/metrics.hpp"
 #include "pif/ghost.hpp"
 #include "pif/protocol.hpp"
+#include "sim/engine.hpp"
 #include "sim/probe.hpp"
 #include "sim/simulator.hpp"
 
@@ -41,6 +42,18 @@ inline void attach(sim::Simulator<PifProtocol>& sim, GhostTracker& tracker) {
                                       const sim::Configuration<State>& /*before*/,
                                       const State& after) {
     tracker.note_step(sim.steps());
+    tracker.on_apply(p, a, after);
+  });
+}
+
+/// Engine-agnostic overload: same hook against any IEngine implementation
+/// (mask or SoA), so the experiment runners can instrument either.
+inline void attach(sim::IEngine<PifProtocol>& engine, GhostTracker& tracker) {
+  engine.set_apply_hook([&engine, &tracker](
+                            sim::ProcessorId p, sim::ActionId a,
+                            const sim::Configuration<State>& /*before*/,
+                            const State& after) {
+    tracker.note_step(engine.steps());
     tracker.on_apply(p, a, after);
   });
 }

@@ -1,0 +1,143 @@
+// Struct-of-arrays layout of the PIF configuration.
+//
+// The mask engine stores one 16-byte pif::State per processor; guard
+// evaluation touches at most three of its five fields per neighbor, so half
+// of every cache line it pulls is dead weight.  PifSoa transposes the
+// configuration into five parallel contiguous vectors — `Pif`/`Fok` as bytes,
+// `Count`/`L`/`Par` as 32-bit words — so the batched kernel
+// (pif/batched.hpp) streams exactly the fields a guard reads and the
+// compiler can vectorize the per-neighbor arithmetic.
+//
+// A sixth, *derived* column rides along: `packed[p]` folds every field a
+// guard reads about a NEIGHBOR into one 64-bit word
+//
+//     bits  0-1   Pif  (Phase byte)
+//     bit   2     Fok
+//     bit   3     overflow — level or count exceeds 20 bits; readers must
+//                 fall back to the exact columns for this processor
+//     bits  4-23  level  (low 20 bits)
+//     bits 24-43  count  (low 20 bits)
+//     bits 44-63  parent (exact when < n; any out-of-range parent — including
+//                 the root's kNoParent — stores the all-ones pattern, which
+//                 compares unequal to every valid id as long as n < 2^20)
+//
+// so the per-neighbor inner loop of the batched kernel issues ONE load per
+// neighbor instead of five.  set() keeps the word in lockstep with the
+// columns; the kernel only trusts it when n < 2^20 and no touched word has
+// the overflow bit (tests drive out-of-domain states through set_state, so
+// exactness is preserved by falling back, never by clamping silently).
+//
+// The arrays are the engine-internal representation only; everything at the
+// edges (probes, goal predicates, serialization, the wire codec) keeps
+// speaking pif::State.  get/set and load/store convert losslessly in both
+// directions, and encode/set_encoded bridge through the packed 64-bit
+// StateCodec word so SoA state can cross the same boundaries (snapshots,
+// message payloads) the AoS state already does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pif/codec.hpp"
+#include "pif/state.hpp"
+#include "sim/configuration.hpp"
+#include "sim/types.hpp"
+#include "util/assert.hpp"
+
+namespace snappif::pif {
+
+struct PifSoa {
+  /// Width of the packed level/count/parent fields.
+  static constexpr std::uint32_t kPackedFieldBits = 20;
+  static constexpr std::uint32_t kPackedFieldMax = (1u << kPackedFieldBits) - 1;
+
+  std::vector<std::uint8_t> pif;       // Phase as its underlying byte
+  std::vector<std::uint8_t> fok;       // 0 / 1
+  std::vector<std::uint32_t> count;    // [1, N']
+  std::vector<std::uint32_t> level;    // 0 at the root, [1, L_max] otherwise
+  std::vector<sim::ProcessorId> parent;  // kNoParent at the root
+  std::vector<std::uint64_t> packed;   // derived neighbor-guard word (above)
+
+  [[nodiscard]] sim::ProcessorId n() const noexcept {
+    return static_cast<sim::ProcessorId>(pif.size());
+  }
+
+  void resize(sim::ProcessorId n) {
+    pif.assign(n, static_cast<std::uint8_t>(Phase::kC));
+    fok.assign(n, 0);
+    count.assign(n, 1);
+    level.assign(n, 0);
+    parent.assign(n, kNoParent);
+    packed.assign(n, 0);
+    for (sim::ProcessorId p = 0; p < n; ++p) {
+      repack(p);
+    }
+  }
+
+  [[nodiscard]] State get(sim::ProcessorId p) const {
+    SNAPPIF_ASSERT(p < n());
+    State s;
+    s.pif = static_cast<Phase>(pif[p]);
+    s.fok = fok[p] != 0;
+    s.count = count[p];
+    s.level = level[p];
+    s.parent = parent[p];
+    return s;
+  }
+
+  void set(sim::ProcessorId p, const State& s) {
+    SNAPPIF_ASSERT(p < n());
+    pif[p] = static_cast<std::uint8_t>(s.pif);
+    fok[p] = s.fok ? 1 : 0;
+    count[p] = s.count;
+    level[p] = s.level;
+    parent[p] = s.parent;
+    repack(p);
+  }
+
+  /// Rebuilds the derived packed word of p from the exact columns.
+  void repack(sim::ProcessorId p) {
+    const std::uint32_t lvl = level[p];
+    const std::uint32_t cnt = count[p];
+    const std::uint32_t par = parent[p];
+    const std::uint64_t ovf = (lvl > kPackedFieldMax) | (cnt > kPackedFieldMax);
+    const std::uint64_t spar = par < n() ? par : kPackedFieldMax;
+    packed[p] = static_cast<std::uint64_t>(pif[p] & 3) |
+                (static_cast<std::uint64_t>(fok[p] & 1) << 2) | (ovf << 3) |
+                (static_cast<std::uint64_t>(lvl & kPackedFieldMax) << 4) |
+                (static_cast<std::uint64_t>(cnt & kPackedFieldMax) << 24) |
+                (spar << 44);
+  }
+
+  /// Transposes a whole AoS configuration in (resizing to match).
+  void load(const sim::Configuration<State>& c) {
+    resize(c.n());
+    for (sim::ProcessorId p = 0; p < c.n(); ++p) {
+      set(p, c.state(p));
+    }
+  }
+
+  /// Writes every processor's state back into an AoS configuration.
+  void store(sim::Configuration<State>& c) const {
+    SNAPPIF_ASSERT(c.n() == n());
+    for (sim::ProcessorId p = 0; p < n(); ++p) {
+      c.state(p) = get(p);
+    }
+  }
+
+  // --- packed-codec bridge -------------------------------------------------
+
+  /// p's state as the codec's 64-bit wire word.
+  [[nodiscard]] std::uint64_t encode(sim::ProcessorId p,
+                                     const StateCodec& codec) const {
+    return codec.encode(get(p));
+  }
+
+  /// Installs a wire word at p, with the codec's domain clamping.
+  void set_encoded(sim::ProcessorId p, std::uint64_t word,
+                   const StateCodec& codec) {
+    set(p, codec.decode(p, word));
+  }
+};
+
+}  // namespace snappif::pif

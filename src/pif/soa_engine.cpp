@@ -1,0 +1,483 @@
+#include "pif/soa_engine.hpp"
+
+#include <algorithm>
+#include <typeinfo>
+#include <bit>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace snappif::pif {
+
+SoaEngine::SoaEngine(PifProtocol protocol, const graph::Graph& g,
+                     std::uint64_t seed)
+    : protocol_(std::move(protocol)),
+      config_(g, protocol_.initial_state(0)),
+      csr_(g),
+      kernel_(protocol_, csr_),
+      rng_(seed) {
+  for (sim::ProcessorId p = 0; p < config_.n(); ++p) {
+    config_.state(p) = protocol_.initial_state(p);
+  }
+  soa_.load(config_);
+  rebuild_enabled();
+}
+
+// (other.sync_mirror(), other.config_): the source's mirror must be
+// materialized before it is copied — the comma expression sequences that
+// before the copy-construction of config_.
+SoaEngine::SoaEngine(const SoaEngine& other)
+    : protocol_(other.protocol_),
+      config_((other.sync_mirror(), other.config_)),
+      csr_(other.csr_),
+      kernel_(protocol_, csr_),
+      soa_(other.soa_),
+      rng_(other.rng_),
+      policy_(other.policy_),
+      score_(other.score_),
+      masks_(other.masks_),
+      enabled_list_(other.enabled_list_),
+      enabled_pos_(other.enabled_pos_),
+      dirty_(other.dirty_),
+      pending_(other.pending_),
+      pending_count_(other.pending_count_),
+      rounds_count_(other.rounds_count_),
+      steps_(other.steps_),
+      action_counts_(other.action_counts_) {
+  // Preserve the buffer invariants a fresh rebuild would establish.
+  const sim::ProcessorId n = config_.n();
+  mirror_stale_.assign(n, 0);
+  dirty_list_.resize(static_cast<std::size_t>(n) + 1);
+  dense_masks_.resize(n);
+  enabled_list_.reserve(n);
+  mirror_list_.reserve(n);
+  selected_.reserve(n);
+  staged_.reserve(n);
+  choices_.reserve(n);
+}
+
+SoaEngine& SoaEngine::operator=(const SoaEngine& other) {
+  if (this == &other) {
+    return *this;
+  }
+  other.sync_mirror();
+  protocol_ = other.protocol_;
+  config_ = other.config_;
+  csr_ = other.csr_;
+  kernel_ = BatchedGuards(protocol_, csr_);
+  soa_ = other.soa_;
+  rng_ = other.rng_;
+  policy_ = other.policy_;
+  score_ = other.score_;
+  masks_ = other.masks_;
+  enabled_list_ = other.enabled_list_;
+  enabled_pos_ = other.enabled_pos_;
+  dirty_ = other.dirty_;
+  pending_ = other.pending_;
+  pending_count_ = other.pending_count_;
+  rounds_count_ = other.rounds_count_;
+  steps_ = other.steps_;
+  action_counts_ = other.action_counts_;
+  const sim::ProcessorId n = config_.n();
+  mirror_stale_.assign(n, 0);
+  mirror_list_.clear();
+  dirty_list_.resize(static_cast<std::size_t>(n) + 1);
+  dirty_len_ = 0;
+  dense_masks_.resize(n);
+  return *this;
+}
+
+void SoaEngine::set_state(sim::ProcessorId p, const State& s) {
+  config_.state(p) = s;
+  soa_.set(p, s);
+  mark_dirty_around(p);
+  flush_dirty();
+  reset_rounds();
+  notify_attach();
+}
+
+void SoaEngine::reset_to_initial() {
+  for (sim::ProcessorId p = 0; p < config_.n(); ++p) {
+    config_.state(p) = protocol_.initial_state(p);
+  }
+  soa_.load(config_);
+  rebuild_enabled();
+  steps_ = 0;
+  action_counts_.assign(protocol_.num_actions(), 0);
+  notify_attach();
+}
+
+void SoaEngine::randomize(util::Rng& rng) {
+  for (sim::ProcessorId p = 0; p < config_.n(); ++p) {
+    config_.state(p) = protocol_.random_state(p, rng);
+  }
+  soa_.load(config_);
+  rebuild_enabled();
+  notify_attach();
+}
+
+void SoaEngine::add_probe(Probe* probe) {
+  SNAPPIF_ASSERT(probe != nullptr);
+  probes_.push_back(probe);
+  sync_mirror();
+  probe->on_attach(config_);
+}
+
+void SoaEngine::remove_probe(Probe* probe) {
+  std::erase(probes_, probe);
+}
+
+void SoaEngine::set_apply_hook(ApplyHook hook) {
+  if (hook_probe_ != nullptr) {
+    remove_probe(hook_probe_.get());
+    hook_probe_.reset();
+  }
+  if (hook) {
+    hook_probe_ =
+        std::make_unique<sim::FunctionProbe<PifProtocol>>(std::move(hook));
+    add_probe(hook_probe_.get());
+  }
+}
+
+sim::ActionId SoaEngine::choose_action(sim::ProcessorId p) {
+  const sim::ActionMask mask = masks_[p];
+  SNAPPIF_ASSERT_MSG(mask != 0, "selected processor has no enabled action");
+  if (policy_ == sim::ActionPolicy::kFirstEnabled) {
+    return sim::first_action(mask);
+  }
+  const auto count = static_cast<std::uint32_t>(std::popcount(mask));
+  return sim::nth_action(mask, static_cast<std::uint32_t>(rng_.below(count)));
+}
+
+bool SoaEngine::step(sim::IDaemon& daemon) {
+  if (enabled_list_.empty()) {
+    return false;
+  }
+  // Synchronous fast path: the daemon would select the whole enabled list in
+  // order and draw no randomness, so skip the virtual select and the copy
+  // and batch the round directly (behavior-preserving; see the header).
+  // Exact-type match on purpose (and ~5x cheaper than a dynamic_cast on the
+  // per-step miss path): a class derived from SynchronousDaemon may override
+  // select and must go through the generic path.
+  if (policy_ == sim::ActionPolicy::kFirstEnabled && probes_.empty() &&
+      trace_ == nullptr && typeid(daemon) == typeid(sim::SynchronousDaemon)) {
+    return synchronous_step();
+  }
+
+  sim::DaemonContext ctx;
+  ctx.n = config_.n();
+  ctx.step = steps_;
+  if (score_) {
+    sync_mirror();  // the score callback reads AoS rows during select
+    ctx.score = [this](sim::ProcessorId p) { return score_(config_.state(p)); };
+  }
+  selected_.clear();
+  daemon.select(enabled_list_, ctx, rng_, selected_);
+  SNAPPIF_ASSERT_MSG(!selected_.empty(), "daemon must select a non-empty subset");
+
+  // Phase 1: choose actions and compute new states against the pre-step
+  // SoA snapshot (composite atomicity).
+  staged_.clear();
+  for (sim::ProcessorId p : selected_) {
+    SNAPPIF_ASSERT_MSG(masks_[p] != 0, "daemon selected a disabled processor");
+    const sim::ActionId a = choose_action(p);
+    staged_.push_back({p, a, kernel_.apply(soa_, p, a)});
+  }
+  if (trace_ != nullptr) {
+    sim::StepRecord rec;
+    rec.step = steps_;
+    rec.rounds_before = rounds_count_;
+    for (const auto& s : staged_) {
+      rec.choices.push_back({s.processor, s.action});
+    }
+    trace_->record(std::move(rec));
+  }
+  sim::StepEvent ev;
+  if (!probes_.empty()) {
+    sync_mirror();  // probes read the pre-step AoS configuration
+    choices_.clear();
+    for (const auto& s : staged_) {
+      choices_.push_back({s.processor, s.action});
+    }
+    ev.step = steps_;
+    ev.rounds_before = rounds_count_;
+    ev.selected = selected_;
+    ev.choices = choices_;
+    ev.enabled_before = enabled_list_.size();
+    ev.action_counts = action_counts_;
+    for (Probe* probe : probes_) {
+      probe->on_step_begin(ev, config_);
+    }
+    for (const auto& s : staged_) {
+      for (Probe* probe : probes_) {
+        probe->on_apply(s.processor, s.action, config_, s.next);
+      }
+    }
+  }
+
+  const bool round_done = commit_and_refresh();
+  if (!probes_.empty()) {
+    sync_mirror();  // ... and the post-step configuration
+    ev.enabled_after = enabled_list_.size();
+    for (Probe* probe : probes_) {
+      probe->on_step_end(ev, config_);
+    }
+    if (round_done) {
+      for (Probe* probe : probes_) {
+        probe->on_round_complete(rounds_count_, ev, config_);
+      }
+    }
+  }
+  return true;
+}
+
+bool SoaEngine::synchronous_step() {
+  // The whole enabled list executes; stage every apply against the pre-step
+  // columns, then commit in one sweep.
+  staged_.clear();
+  for (sim::ProcessorId p : enabled_list_) {
+    const sim::ActionId a = sim::first_action(masks_[p]);
+    staged_.push_back({p, a, kernel_.apply(soa_, p, a)});
+  }
+  commit_and_refresh();
+  return true;
+}
+
+// Phase 2 of a step, shared by both paths: commit all staged writes to the
+// SoA columns, refresh enabledness around the writers with the batched
+// kernel, and settle the round accounting.  Returns true iff the step
+// completed a round.
+bool SoaEngine::commit_and_refresh() {
+  if (staged_.size() == 1) {
+    // Single-writer fast path (every central-daemon step): the graph has no
+    // self-loops, so {p} ∪ row(p) is duplicate-free and already in the
+    // contract's insertion order — refresh straight off the CSR row and skip
+    // the dirty-flag dedup machinery entirely.
+    const Staged& s = staged_.front();
+    const sim::ProcessorId p = s.processor;
+    soa_.set(p, s.next);
+    mark_mirror_stale(p);
+    pending_count_ -= pending_[p];
+    pending_[p] = 0;
+    if (s.action < action_counts_.size()) {
+      ++action_counts_[s.action];
+    }
+    refresh_processor(p, kernel_.mask_of(soa_, p));
+    for (sim::ProcessorId q : csr_.row(p)) {
+      refresh_processor(q, kernel_.mask_of(soa_, q));
+    }
+    ++steps_;
+    if (pending_count_ != 0) {
+      return false;
+    }
+    ++rounds_count_;
+    for (sim::ProcessorId q : enabled_list_) {
+      pending_[q] = 1;
+    }
+    pending_count_ = enabled_list_.size();
+    return true;
+  }
+  for (auto& s : staged_) {
+    const sim::ProcessorId p = s.processor;
+    soa_.set(p, s.next);
+    mark_mirror_stale(p);
+    // Executing discharges the round obligation (RoundTracker's first
+    // discharge condition), whatever enabledness becomes.
+    pending_count_ -= pending_[p];
+    pending_[p] = 0;
+    if (s.action < action_counts_.size()) {
+      ++action_counts_[s.action];
+    }
+  }
+  for (const auto& s : staged_) {
+    mark_dirty_around(s.processor);
+  }
+  flush_dirty();
+  ++steps_;
+  if (pending_count_ != 0) {
+    return false;
+  }
+  // Round complete: the next round's obligations are the processors enabled
+  // in the configuration just reached (pending_ is all-zero here — every
+  // entry was discharged individually).
+  ++rounds_count_;
+  for (sim::ProcessorId q : enabled_list_) {
+    pending_[q] = 1;
+  }
+  pending_count_ = enabled_list_.size();
+  return true;
+}
+
+void SoaEngine::rebuild_enabled() {
+  const sim::ProcessorId n = config_.n();
+  masks_.assign(n, 0);
+  enabled_pos_.assign(n, kNotInList);
+  enabled_list_.clear();
+  for (sim::ProcessorId p = 0; p < n; ++p) {
+    masks_[p] = kernel_.mask_of(soa_, p);
+    if (masks_[p] != 0) {
+      enabled_pos_[p] = static_cast<std::uint32_t>(enabled_list_.size());
+      enabled_list_.push_back(p);
+    }
+  }
+  dirty_.assign(n, 0);
+  dirty_list_.resize(static_cast<std::size_t>(n) + 1);
+  dirty_len_ = 0;
+  dense_masks_.resize(n);
+  mirror_stale_.assign(n, 0);
+  mirror_list_.clear();
+  enabled_list_.reserve(n);
+  mirror_list_.reserve(n);
+  selected_.reserve(n);
+  staged_.reserve(n);
+  choices_.reserve(n);
+  pending_.assign(n, 0);
+  reset_rounds();
+  if (action_counts_.size() != protocol_.num_actions()) {
+    action_counts_.assign(protocol_.num_actions(), 0);
+  }
+}
+
+void SoaEngine::reset_rounds() {
+  std::fill(pending_.begin(), pending_.end(), 0);
+  for (sim::ProcessorId q : enabled_list_) {
+    pending_[q] = 1;
+  }
+  pending_count_ = enabled_list_.size();
+  rounds_count_ = 0;
+}
+
+void SoaEngine::mark_dirty_around(sim::ProcessorId p) {
+  // Branch-free dedup: speculatively append, then bump the length only when
+  // the flag was clear.  Duplicates overwrite the slot one past the live
+  // prefix (dirty_list_ holds n+1 slots), so first-visit insertion order —
+  // part of the equivalence contract — is preserved exactly.
+  sim::ProcessorId* __restrict out = dirty_list_.data();
+  std::uint8_t* __restrict flag = dirty_.data();
+  std::uint32_t len = dirty_len_;
+  out[len] = p;
+  len += 1u - flag[p];
+  flag[p] = 1;
+  for (sim::ProcessorId q : csr_.row(p)) {
+    out[len] = q;
+    len += 1u - flag[q];
+    flag[q] = 1;
+  }
+  dirty_len_ = len;
+}
+
+void SoaEngine::mark_mirror_stale(sim::ProcessorId p) {
+  if (!mirror_stale_[p]) {
+    mirror_stale_[p] = 1;
+    mirror_list_.push_back(p);
+  }
+}
+
+void SoaEngine::sync_mirror() const {
+  for (sim::ProcessorId p : mirror_list_) {
+    config_.state(p) = soa_.get(p);
+    mirror_stale_[p] = 0;
+  }
+  mirror_list_.clear();
+}
+
+void SoaEngine::flush_dirty() {
+  // Batched refresh, then the same swap-remove list maintenance as the mask
+  // engine, in insertion order — the list order (and hence RNG lockstep)
+  // must match bit for bit.  The mask source is either a scattered sweep
+  // over the dirty rows or, when most of the network is dirty, one dense
+  // kernel pass in CSR row order (same masks, better memory behavior; the
+  // maintenance order below is unaffected).
+  const std::span<const sim::ProcessorId> work(dirty_list_.data(), dirty_len_);
+  const bool dense = dirty_len_ > soa_.n() / 2;
+  if (dense) {
+    kernel_.masks_all(soa_, dense_masks_);
+  }
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const sim::ProcessorId p = work[i];
+    dirty_[p] = 0;
+    // Scattered mode evaluates in place (the SoA is fixed for the whole
+    // flush, so fused eval+maintenance computes the same masks the separate
+    // sweep would); dense mode reads the full-network sweep done above.
+    refresh_processor(p, dense ? dense_masks_[p] : kernel_.mask_of(soa_, p));
+  }
+  dirty_len_ = 0;
+}
+
+// Enabled-list maintenance for one refreshed mask: the same swap-remove the
+// mask engine performs, shared by the dirty flush and the single-writer fast
+// path so the list-order contract has exactly one implementation.
+void SoaEngine::refresh_processor(sim::ProcessorId p, sim::ActionMask mask) {
+  if (mask == masks_[p]) {
+    return;
+  }
+  const bool was = masks_[p] != 0;
+  const bool now = mask != 0;
+  masks_[p] = mask;
+  if (was == now) {
+    return;
+  }
+  if (now) {
+    enabled_pos_[p] = static_cast<std::uint32_t>(enabled_list_.size());
+    enabled_list_.push_back(p);
+  } else {
+    const std::uint32_t pos = enabled_pos_[p];
+    const sim::ProcessorId last = enabled_list_.back();
+    enabled_list_[pos] = last;
+    enabled_pos_[last] = pos;
+    enabled_list_.pop_back();
+    enabled_pos_[p] = kNotInList;
+    // Disabled without executing: RoundTracker's second discharge
+    // condition (the "disable action").  pending ⊆ enabled, so only a
+    // 1→0 transition can carry an obligation.
+    pending_count_ -= pending_[p];
+    pending_[p] = 0;
+  }
+}
+
+void SoaEngine::notify_attach() {
+  sync_mirror();
+  for (Probe* probe : probes_) {
+    probe->on_attach(config_);
+  }
+}
+
+sim::RunResult SoaEngine::run_until(
+    sim::IDaemon& daemon, const std::function<bool(const Config&)>& goal,
+    sim::RunLimits limits) {
+  sim::RunResult result;
+  const std::uint64_t rounds_at_start = rounds_count_;
+  while (true) {
+    result.rounds = rounds_count_ - rounds_at_start;
+    if (goal(config())) {
+      result.reason = sim::StopReason::kPredicate;
+      return result;
+    }
+    if (result.steps >= limits.max_steps) {
+      result.reason = sim::StopReason::kStepLimit;
+      return result;
+    }
+    if (result.rounds >= limits.max_rounds) {
+      result.reason = sim::StopReason::kRoundLimit;
+      return result;
+    }
+    if (!step(daemon)) {
+      result.reason = sim::StopReason::kTerminal;
+      return result;
+    }
+    ++result.steps;
+  }
+}
+
+std::unique_ptr<sim::IEngine<PifProtocol>> make_engine(sim::EngineKind kind,
+                                                       const graph::Graph& g,
+                                                       const Params& params,
+                                                       std::uint64_t seed) {
+  if (kind == sim::EngineKind::kSoa) {
+    return std::make_unique<SoaEngine>(PifProtocol(g, params), g, seed);
+  }
+  return std::make_unique<sim::SimulatorEngine<PifProtocol>>(
+      PifProtocol(g, params), g, seed);
+}
+
+}  // namespace snappif::pif

@@ -1,0 +1,218 @@
+// The data-oriented PIF engine: CSR adjacency + SoA state + batched guards.
+//
+// SoaEngine executes the same computation-step semantics as sim::Simulator —
+// daemon selects a subset of the enabled processors, all statements read the
+// pre-step configuration, enabledness refreshes incrementally around the
+// writers — but stores the configuration as PifSoa column vectors and
+// evaluates guards with the branch-free BatchedGuards kernel over Csr rows.
+//
+// Equivalence contract (the whole point): seeded identically and driven by
+// the same daemon, SoaEngine and Simulator<PifProtocol> produce bit-for-bit
+// identical trajectories — states, enabled masks, enabled-list order, RNG
+// consumption, step/round/action counts.  That requires replicating the mask
+// engine's bookkeeping *order*, not just its results:
+//
+//   * dirty marking visits each writer then its ascending neighbors, in
+//     selection order (CSR rows are sorted, so the order matches);
+//   * the dirty flush walks insertion order and maintains the enabled list
+//     with the same swap-remove, so daemons see the same arbitrary-but-
+//     deterministic list order and random daemons consume the same draws;
+//   * action choice under kRandomEnabled draws rng.below(popcount) exactly
+//     like Simulator::choose_action.
+//
+// Where the mask engine pays O(n) bookkeeping per step, this engine pays
+// O(|selected| + |dirty|):
+//
+//   * Rounds are tracked incrementally instead of via sim::RoundTracker's
+//     per-step scan.  The tracker's invariant — pending ⊆ enabled between
+//     steps — lets the two discharge conditions ride existing loops: an
+//     executed processor discharges at commit, a disabled one discharges on
+//     the 1→0 transition inside the flush, and the completion check runs
+//     once per step.  The sequence of (rounds, pending) values is identical
+//     to RoundTracker's by construction.
+//   * The AoS Configuration mirror is maintained lazily: commits mark
+//     processors mirror-stale, and config() (or any probe/score/goal path
+//     that reads AoS state) re-materializes exactly the stale rows.  Pure
+//     stepping loops never touch the mirror at all.
+//   * Dirty marking is branch-free (speculative append, flag-masked length
+//     bump), and when a step dirties more than half the network the flush
+//     switches from the scattered per-row walk to one dense kernel sweep in
+//     CSR row order.  The enabled-list maintenance still walks the dirty
+//     list in insertion order, so list order — and the equivalence contract
+//     — is unchanged.
+//
+// Steady-state stepping performs no heap allocation (audited in
+// tests/sim/test_simulator_alloc.cpp).
+//
+// A synchronous fast path batches whole rounds: when the daemon is the
+// SynchronousDaemon, the policy is kFirstEnabled, and no observers are
+// attached, step() skips the daemon virtual call and the selection copy and
+// feeds the dense enabled list straight through the batched kernel.  The
+// fast path is behavior-preserving (SynchronousDaemon selects the whole list
+// in order and consumes no randomness), so it stays inside the equivalence
+// contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "pif/batched.hpp"
+#include "pif/protocol.hpp"
+#include "pif/soa.hpp"
+#include "sim/csr.hpp"
+#include "sim/engine.hpp"
+
+namespace snappif::pif {
+
+class SoaEngine final : public sim::IEngine<PifProtocol> {
+ public:
+  using State = pif::State;
+  using Config = sim::Configuration<State>;
+  using Probe = sim::IProbe<PifProtocol>;
+  using ApplyHook = sim::IEngine<PifProtocol>::ApplyHook;
+
+  SoaEngine(PifProtocol protocol, const graph::Graph& g, std::uint64_t seed = 1);
+
+  /// Copying forks the simulation state (SoA columns, mirror, cached masks,
+  /// RNG, accounting) with the same semantics as Simulator: attached
+  /// observers do not follow the copy.
+  SoaEngine(const SoaEngine& other);
+  SoaEngine& operator=(const SoaEngine& other);
+  // No moves: kernel_ points at this engine's csr_; a default move would
+  // leave it aimed at the moved-from instance.  Forking copies instead.
+
+  [[nodiscard]] const PifProtocol& protocol() const noexcept override {
+    return protocol_;
+  }
+  /// The AoS view.  Materializes any rows the hot path left stale — cost is
+  /// O(|writes since the last read|), zero for repeat reads.
+  [[nodiscard]] const Config& config() const override {
+    sync_mirror();
+    return config_;
+  }
+  [[nodiscard]] const graph::Graph& topology() const noexcept override {
+    return config_.topology();
+  }
+  [[nodiscard]] util::Rng& rng() noexcept override { return rng_; }
+  [[nodiscard]] std::string_view engine_name() const noexcept override {
+    return "soa";
+  }
+
+  /// The SoA columns (read-only; tests and benches peek at the layout).
+  [[nodiscard]] const PifSoa& soa() const noexcept { return soa_; }
+  [[nodiscard]] const sim::Csr& csr() const noexcept { return csr_; }
+
+  void set_state(sim::ProcessorId p, const State& s) override;
+  void reset_to_initial() override;
+  void randomize(util::Rng& rng) override;
+  void set_action_policy(sim::ActionPolicy policy) override {
+    policy_ = policy;
+  }
+
+  void add_probe(Probe* probe) override;
+  void remove_probe(Probe* probe) override;
+  void set_apply_hook(ApplyHook hook) override;
+  void set_score(std::function<std::int64_t(const State&)> score) override {
+    score_ = std::move(score);
+  }
+  void set_trace(sim::Trace* trace) override { trace_ = trace; }
+
+  [[nodiscard]] bool is_enabled(sim::ProcessorId p) const override {
+    return masks_[p] != 0;
+  }
+  [[nodiscard]] bool any_enabled() const override {
+    return !enabled_list_.empty();
+  }
+  [[nodiscard]] sim::ActionMask enabled_mask_of(sim::ProcessorId p) const override {
+    return masks_[p];
+  }
+  [[nodiscard]] std::span<const sim::ProcessorId> enabled_processors()
+      const override {
+    return enabled_list_;
+  }
+
+  bool step(sim::IDaemon& daemon) override;
+  [[nodiscard]] sim::RunResult run_until(
+      sim::IDaemon& daemon, const std::function<bool(const Config&)>& goal,
+      sim::RunLimits limits) override;
+  using sim::IEngine<PifProtocol>::run_until;
+
+  [[nodiscard]] std::uint64_t steps() const noexcept override { return steps_; }
+  [[nodiscard]] std::uint64_t rounds() const noexcept override {
+    return rounds_count_;
+  }
+  [[nodiscard]] std::uint64_t action_count(sim::ActionId a) const override {
+    return action_counts_.at(a);
+  }
+
+ private:
+  struct Staged {
+    sim::ProcessorId processor;
+    sim::ActionId action;
+    State next;
+  };
+
+  static constexpr std::uint32_t kNotInList = 0xffffffff;
+
+  [[nodiscard]] sim::ActionId choose_action(sim::ProcessorId p);
+  [[nodiscard]] bool synchronous_step();
+  bool commit_and_refresh();  // true iff the step completed a round
+  void refresh_processor(sim::ProcessorId p, sim::ActionMask mask);
+  void rebuild_enabled();
+  void reset_rounds();
+  void mark_dirty_around(sim::ProcessorId p);
+  void mark_mirror_stale(sim::ProcessorId p);
+  void sync_mirror() const;
+  void flush_dirty();
+  void notify_attach();
+
+  PifProtocol protocol_;
+  // AoS mirror.  Lazily synced: mirror_stale_ flags the rows whose SoA state
+  // is newer; sync_mirror() re-materializes exactly those.  mutable because
+  // config() is a const read that may materialize.
+  mutable Config config_;
+  sim::Csr csr_;
+  BatchedGuards kernel_;
+  PifSoa soa_;
+  util::Rng rng_;
+  sim::ActionPolicy policy_ = sim::ActionPolicy::kFirstEnabled;
+  std::vector<Probe*> probes_;
+  std::unique_ptr<sim::FunctionProbe<PifProtocol>> hook_probe_;
+  std::vector<sim::ActionChoice> choices_;
+  std::function<std::int64_t(const State&)> score_;
+  sim::Trace* trace_ = nullptr;
+
+  std::vector<sim::ActionMask> masks_;
+  std::vector<sim::ProcessorId> enabled_list_;
+  std::vector<std::uint32_t> enabled_pos_;
+  std::vector<std::uint8_t> dirty_;
+  // Fixed-capacity worklist (size n+1: the branch-free mark writes one slot
+  // past the last unique entry on duplicates); dirty_len_ is the live prefix.
+  std::vector<sim::ProcessorId> dirty_list_;
+  std::uint32_t dirty_len_ = 0;
+  std::vector<sim::ActionMask> dense_masks_;  // dense-flush scratch (size n)
+  std::vector<sim::ProcessorId> selected_;
+  std::vector<Staged> staged_;
+  mutable std::vector<std::uint8_t> mirror_stale_;
+  mutable std::vector<sim::ProcessorId> mirror_list_;
+
+  // Incremental round accounting (see the header comment): processors still
+  // owed an action this round.  Invariant between steps: pending ⊆ enabled.
+  std::vector<std::uint8_t> pending_;
+  std::uint64_t pending_count_ = 0;
+  std::uint64_t rounds_count_ = 0;
+
+  std::uint64_t steps_ = 0;
+  std::vector<std::uint64_t> action_counts_;
+};
+
+/// Builds the requested engine for a PIF instance.  Both engines produce
+/// identical trajectories for identical seeds; kind trades construction cost
+/// + per-step throughput only.
+[[nodiscard]] std::unique_ptr<sim::IEngine<PifProtocol>> make_engine(
+    sim::EngineKind kind, const graph::Graph& g, const Params& params,
+    std::uint64_t seed = 1);
+
+}  // namespace snappif::pif

@@ -1,0 +1,83 @@
+// Compact CSR adjacency for the data-oriented engine.
+//
+// graph::Graph already stores its topology in compressed-sparse-row form, but
+// with std::size_t offsets — 8 bytes per vertex of pure index overhead.  The
+// flat engine walks adjacency rows on every mask refresh, so Csr re-packs the
+// same rows with 32-bit offsets: half the offset traffic, and both arrays are
+// plain contiguous std::uint32_t, which is what the batched guard kernel
+// wants to stream.  Neighbor order is preserved exactly (sorted ascending,
+// the paper's local order ≻_p), so anything derived from iteration order —
+// B-action's min(Potential) tie-break, the incremental enabled-list
+// maintenance — agrees bit-for-bit with the pointer-walking engine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+#include "util/assert.hpp"
+
+namespace snappif::sim {
+
+/// Immutable 32-bit CSR snapshot of a graph::Graph.  Rows alias nothing in
+/// the source graph; the engine owns its adjacency outright.
+class Csr {
+ public:
+  Csr() : offsets_(1, 0) {}
+
+  explicit Csr(const graph::Graph& g) {
+    const ProcessorId n = g.n();
+    SNAPPIF_ASSERT_MSG(2 * g.m() < 0xffffffffULL,
+                       "directed adjacency must fit 32-bit offsets");
+    offsets_.resize(static_cast<std::size_t>(n) + 1);
+    adjacency_.resize(2 * g.m());
+    std::uint32_t at = 0;
+    for (ProcessorId v = 0; v < n; ++v) {
+      offsets_[v] = at;
+      for (ProcessorId w : g.neighbors(v)) {
+        adjacency_[at++] = w;
+      }
+    }
+    offsets_[n] = at;
+  }
+
+  [[nodiscard]] ProcessorId n() const noexcept {
+    return static_cast<ProcessorId>(offsets_.size() - 1);
+  }
+  /// Directed adjacency entries (2m for an undirected graph).
+  [[nodiscard]] std::size_t entries() const noexcept { return adjacency_.size(); }
+
+  [[nodiscard]] std::uint32_t row_begin(ProcessorId v) const {
+    SNAPPIF_ASSERT(v < n());
+    return offsets_[v];
+  }
+  [[nodiscard]] std::uint32_t row_end(ProcessorId v) const {
+    SNAPPIF_ASSERT(v < n());
+    return offsets_[v + 1];
+  }
+  [[nodiscard]] std::span<const ProcessorId> row(ProcessorId v) const {
+    SNAPPIF_ASSERT(v < n());
+    return {adjacency_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+  [[nodiscard]] std::size_t degree(ProcessorId v) const {
+    SNAPPIF_ASSERT(v < n());
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// The raw arrays, for kernels that stream whole row ranges.
+  [[nodiscard]] std::span<const std::uint32_t> offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] std::span<const ProcessorId> adjacency() const noexcept {
+    return adjacency_;
+  }
+
+ private:
+  std::vector<std::uint32_t> offsets_;   // n + 1
+  std::vector<ProcessorId> adjacency_;   // row v = [offsets_[v], offsets_[v+1])
+};
+
+}  // namespace snappif::sim

@@ -1,0 +1,184 @@
+// Type-erased engine interface: one stepping contract, two engines.
+//
+// The harness grew two execution engines for the same protocol semantics:
+//
+//   * sim::Simulator<P>   — the mask engine: per-processor object walk with
+//                           incrementally maintained enabled sets (PR 3);
+//   * pif::SoaEngine      — the data-oriented engine: CSR adjacency +
+//                           struct-of-arrays state with a batched branch-free
+//                           guard kernel (this PR).
+//
+// Analysis runners, the fuzzer, and the chaos campaigns only need the narrow
+// surface below — build, corrupt, observe, step, measure — so they drive an
+// IEngine<P> and a factory picks the implementation.  SimulatorEngine<P>
+// adapts the mask engine; the SoA engine implements the interface natively,
+// keeping an AoS Configuration mirror in lockstep at commit time so probes
+// and goal predicates keep their types.  Both engines are bit-for-bit equivalent
+// in trajectory for identical seeds (tests/sim/test_soa_differential.cpp),
+// so an EngineKind swap changes throughput, never results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "sim/daemon.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace snappif::sim {
+
+/// Which execution engine a runner should build.
+enum class EngineKind {
+  kMask,  // sim::Simulator: per-processor walk, incremental enabled sets
+  kSoa,   // pif::SoaEngine: CSR + SoA state, batched branch-free guards
+};
+
+[[nodiscard]] constexpr std::string_view engine_kind_name(EngineKind kind) noexcept {
+  return kind == EngineKind::kSoa ? "soa" : "mask";
+}
+
+/// Parses "mask" / "soa" (CLI flags); nullopt on anything else.
+[[nodiscard]] inline std::optional<EngineKind> parse_engine_kind(
+    std::string_view name) noexcept {
+  if (name == "mask") {
+    return EngineKind::kMask;
+  }
+  if (name == "soa") {
+    return EngineKind::kSoa;
+  }
+  return std::nullopt;
+}
+
+/// The engine contract the experiment drivers program against.  Mirrors the
+/// Simulator<P> surface they were written for; run_until's goal is type-
+/// erased to std::function (called at most once per step — never on the
+/// per-neighbor hot path).
+template <Protocol P>
+class IEngine {
+ public:
+  using State = typename P::State;
+  using Config = Configuration<State>;
+  using ApplyHook =
+      std::function<void(ProcessorId, ActionId, const Config&, const State&)>;
+
+  virtual ~IEngine() = default;
+
+  [[nodiscard]] virtual const P& protocol() const noexcept = 0;
+  /// The current configuration; the returned reference stays valid and
+  /// current between steps on both engines.
+  [[nodiscard]] virtual const Config& config() const = 0;
+  [[nodiscard]] virtual const graph::Graph& topology() const noexcept = 0;
+  [[nodiscard]] virtual util::Rng& rng() noexcept = 0;
+  [[nodiscard]] virtual std::string_view engine_name() const noexcept = 0;
+
+  virtual void set_state(ProcessorId p, const State& s) = 0;
+  virtual void reset_to_initial() = 0;
+  virtual void randomize(util::Rng& rng) = 0;
+  virtual void set_action_policy(ActionPolicy policy) = 0;
+
+  virtual void add_probe(IProbe<P>* probe) = 0;
+  virtual void remove_probe(IProbe<P>* probe) = 0;
+  virtual void set_apply_hook(ApplyHook hook) = 0;
+  virtual void set_score(std::function<std::int64_t(const State&)> score) = 0;
+  virtual void set_trace(Trace* trace) = 0;
+
+  [[nodiscard]] virtual bool is_enabled(ProcessorId p) const = 0;
+  [[nodiscard]] virtual bool any_enabled() const = 0;
+  [[nodiscard]] virtual ActionMask enabled_mask_of(ProcessorId p) const = 0;
+  [[nodiscard]] virtual std::span<const ProcessorId> enabled_processors() const = 0;
+
+  virtual bool step(IDaemon& daemon) = 0;
+  [[nodiscard]] virtual RunResult run_until(
+      IDaemon& daemon, const std::function<bool(const Config&)>& goal,
+      RunLimits limits) = 0;
+  [[nodiscard]] RunResult run_until(
+      IDaemon& daemon, const std::function<bool(const Config&)>& goal) {
+    return run_until(daemon, goal, RunLimits{});
+  }
+
+  [[nodiscard]] virtual std::uint64_t steps() const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t rounds() const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t action_count(ActionId a) const = 0;
+};
+
+/// IEngine adapter over the mask engine: plain forwarding, zero semantic
+/// drift — the wrapped Simulator<P> is the reference implementation.
+template <Protocol P>
+class SimulatorEngine final : public IEngine<P> {
+ public:
+  using State = typename P::State;
+  using Config = Configuration<State>;
+  using typename IEngine<P>::ApplyHook;
+
+  SimulatorEngine(P protocol, const graph::Graph& g, std::uint64_t seed)
+      : sim_(std::move(protocol), g, seed) {}
+
+  [[nodiscard]] const P& protocol() const noexcept override {
+    return sim_.protocol();
+  }
+  [[nodiscard]] const Config& config() const override { return sim_.config(); }
+  [[nodiscard]] const graph::Graph& topology() const noexcept override {
+    return sim_.topology();
+  }
+  [[nodiscard]] util::Rng& rng() noexcept override { return sim_.rng(); }
+  [[nodiscard]] std::string_view engine_name() const noexcept override {
+    return "mask";
+  }
+
+  void set_state(ProcessorId p, const State& s) override { sim_.set_state(p, s); }
+  void reset_to_initial() override { sim_.reset_to_initial(); }
+  void randomize(util::Rng& rng) override { sim_.randomize(rng); }
+  void set_action_policy(ActionPolicy policy) override {
+    sim_.set_action_policy(policy);
+  }
+
+  void add_probe(IProbe<P>* probe) override { sim_.add_probe(probe); }
+  void remove_probe(IProbe<P>* probe) override { sim_.remove_probe(probe); }
+  void set_apply_hook(ApplyHook hook) override {
+    sim_.set_apply_hook(std::move(hook));
+  }
+  void set_score(std::function<std::int64_t(const State&)> score) override {
+    sim_.set_score(std::move(score));
+  }
+  void set_trace(Trace* trace) override { sim_.set_trace(trace); }
+
+  [[nodiscard]] bool is_enabled(ProcessorId p) const override {
+    return sim_.is_enabled(p);
+  }
+  [[nodiscard]] bool any_enabled() const override { return sim_.any_enabled(); }
+  [[nodiscard]] ActionMask enabled_mask_of(ProcessorId p) const override {
+    return sim_.enabled_mask_of(p);
+  }
+  [[nodiscard]] std::span<const ProcessorId> enabled_processors() const override {
+    return sim_.enabled_processors();
+  }
+
+  bool step(IDaemon& daemon) override { return sim_.step(daemon); }
+  [[nodiscard]] RunResult run_until(
+      IDaemon& daemon, const std::function<bool(const Config&)>& goal,
+      RunLimits limits) override {
+    return sim_.run_until(daemon, goal, limits);
+  }
+
+  [[nodiscard]] std::uint64_t steps() const noexcept override {
+    return sim_.steps();
+  }
+  [[nodiscard]] std::uint64_t rounds() const noexcept override {
+    return sim_.rounds();
+  }
+  [[nodiscard]] std::uint64_t action_count(ActionId a) const override {
+    return sim_.action_count(a);
+  }
+
+  /// The wrapped engine, for callers that need the full Simulator surface.
+  [[nodiscard]] Simulator<P>& simulator() noexcept { return sim_; }
+
+ private:
+  Simulator<P> sim_;
+};
+
+}  // namespace snappif::sim

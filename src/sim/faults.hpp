@@ -15,9 +15,10 @@
 namespace snappif::sim {
 
 /// Corrupts exactly `count` distinct random processors with uniformly random
-/// states (count is clamped to n).
-template <Protocol P>
-void inject_burst(Simulator<P>& sim, std::uint32_t count, util::Rng& rng) {
+/// states (count is clamped to n).  Works against any engine exposing the
+/// config/protocol/set_state surface (Simulator<P>, IEngine<P>).
+template <typename Engine>
+void inject_burst(Engine& sim, std::uint32_t count, util::Rng& rng) {
   const ProcessorId n = sim.config().n();
   if (count > n) {
     count = n;

@@ -101,5 +101,47 @@ TEST(Runners, ParamsForAppliesOverrides) {
   EXPECT_EQ(params.n_upper, 6u);
 }
 
+TEST(Runners, EngineKnobPreservesEveryMilestone) {
+  // RunConfig::engine must change throughput only: the SoA engine's runs are
+  // bit-for-bit the mask engine's runs (the engines share the RNG draw
+  // sequence end to end, including corruption).
+  const auto g = graph::make_random_connected(12, 9, 6);
+  for (const auto corruption : pif::all_corruption_kinds()) {
+    RunConfig mask_rc;
+    mask_rc.corruption = corruption;
+    mask_rc.seed = 77;
+    RunConfig soa_rc = mask_rc;
+    soa_rc.engine = sim::EngineKind::kSoa;
+
+    const auto sm = measure_stabilization(g, mask_rc);
+    const auto ss = measure_stabilization(g, soa_rc);
+    EXPECT_EQ(sm.ok, ss.ok) << corruption_name(corruption);
+    EXPECT_EQ(sm.rounds_to_all_normal, ss.rounds_to_all_normal);
+    EXPECT_EQ(sm.rounds_to_sbn, ss.rounds_to_sbn);
+    EXPECT_EQ(sm.steps, ss.steps);
+
+    const auto nm = check_snap_first_cycle(g, mask_rc);
+    const auto ns = check_snap_first_cycle(g, soa_rc);
+    EXPECT_EQ(nm.ok(), ns.ok()) << corruption_name(corruption);
+    EXPECT_EQ(nm.rounds_to_start, ns.rounds_to_start);
+    EXPECT_EQ(nm.rounds_to_close, ns.rounds_to_close);
+    EXPECT_EQ(nm.steps, ns.steps);
+  }
+
+  RunConfig mask_rc;
+  mask_rc.seed = 78;
+  RunConfig soa_rc = mask_rc;
+  soa_rc.engine = sim::EngineKind::kSoa;
+  const auto cm = run_cycles_from_sbn(g, mask_rc, 3);
+  const auto cs = run_cycles_from_sbn(g, soa_rc, 3);
+  ASSERT_EQ(cm.size(), cs.size());
+  for (std::size_t i = 0; i < cm.size(); ++i) {
+    EXPECT_EQ(cm[i].ok, cs[i].ok);
+    EXPECT_EQ(cm[i].rounds, cs[i].rounds);
+    EXPECT_EQ(cm[i].steps, cs[i].steps);
+    EXPECT_EQ(cm[i].height, cs[i].height);
+  }
+}
+
 }  // namespace
 }  // namespace snappif::analysis

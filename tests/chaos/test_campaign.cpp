@@ -226,5 +226,37 @@ TEST(MpCampaign, SharedMemoryKindsAreSkippedByTheMpRunner) {
   EXPECT_TRUE(r.ok()) << r.failure;
 }
 
+TEST(Campaign, EngineKnobPreservesCampaignOutcome) {
+  // CampaignOptions::engine is applied at every build/rebuild point
+  // (including link-churn rebuilds); the SoA engine must reproduce the mask
+  // campaign's entire outcome, counters included.
+  const auto g = graph::make_random_connected(14, 12, 77);
+  const auto schedule = FaultSchedule::parse(
+      "4:burst*3;8:corrupt=fake-tree;12:kill*2;16:corrupt=adversarial;"
+      "20:restore*2;24:burst*2");
+  ASSERT_TRUE(schedule.has_value());
+
+  CampaignOptions mask_opts;
+  mask_opts.seed = 2024;
+  CampaignOptions soa_opts = mask_opts;
+  soa_opts.engine = sim::EngineKind::kSoa;
+  const CampaignResult a = run_campaign(g, *schedule, mask_opts);
+  const CampaignResult b = run_campaign(g, *schedule, soa_opts);
+
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.events_applied, b.events_applied);
+  EXPECT_EQ(a.events_skipped, b.events_skipped);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.links_killed, b.links_killed);
+  EXPECT_EQ(a.links_restored, b.links_restored);
+  EXPECT_EQ(a.quiet_round, b.quiet_round);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.rounds_to_normal, b.rounds_to_normal);
+  EXPECT_EQ(a.rounds_to_cycle_close, b.rounds_to_cycle_close);
+  EXPECT_EQ(a.snap_ok, b.snap_ok);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.failure, b.failure);
+}
+
 }  // namespace
 }  // namespace snappif::chaos

@@ -1,8 +1,11 @@
 #include "graph/generators.hpp"
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "graph/properties.hpp"
+#include "util/rng.hpp"
 
 namespace snappif::graph {
 namespace {
@@ -158,6 +161,55 @@ TEST(Generators, TinySuiteAllConnectedAndTiny) {
   for (const auto& named : tiny_suite()) {
     EXPECT_TRUE(is_connected(named.graph)) << named.name;
     EXPECT_LE(named.graph.n(), 5u) << named.name;
+  }
+}
+
+/// Order-sensitive fingerprint of the full adjacency structure.
+std::uint64_t adjacency_hash(const Graph& g) {
+  std::uint64_t h = g.n();
+  for (NodeId v = 0; v < g.n(); ++v) {
+    for (NodeId w : g.neighbors(v)) {
+      h = util::hash_combine(h, (static_cast<std::uint64_t>(v) << 32) | w);
+    }
+  }
+  return h;
+}
+
+TEST(Generators, RandomFamiliesMatchGoldenHashes) {
+  // Golden adjacency hashes captured from the O(m log m) ordered-set
+  // implementation before the O(n + m) rewrite (flat-hash chord dedup +
+  // pointer-scan Prüfer decode).  The rewrite promises identical output for
+  // every seed; these pins make an accidental distribution change loud.
+  struct Golden {
+    NodeId n;
+    std::uint64_t seed;
+    std::uint64_t tree_hash;
+    std::uint64_t conn_hash;  // make_random_connected(n, 2 * n, seed)
+  };
+  const Golden goldens[] = {
+      {5, 1, 1511513012558869286ull, 7057738114702617149ull},
+      {16, 1, 16582706737572949206ull, 9809543175317231717ull},
+      {64, 1, 5208704988072141020ull, 6745130629181379661ull},
+      {257, 1, 9360586492341252756ull, 18087762022826354753ull},
+      {16, 42, 13545331114345829523ull, 5573041938266741275ull},
+      {64, 42, 9431582549123585189ull, 11101510089111207919ull},
+      {16, 7, 13059427726677070657ull, 6714126604506512128ull},
+      {64, 7, 13546409060340363331ull, 16908003202219809177ull},
+      {257, 7, 8585872681013342305ull, 2265921665152746707ull},
+      {16, 123, 13730497344401236632ull, 4024623083367217378ull},
+      {64, 123, 15072367571801937280ull, 3438826119073391489ull},
+      {257, 123, 2797645853309638926ull, 2538824256178441935ull},
+      {16, 4331567181889320634ull, 6647397180229461216ull, 5789638404508500728ull},
+      {64, 4331567181889320634ull, 10420287356940464298ull, 13536432313320527866ull},
+      {257, 4331567181889320634ull, 4813879539588600728ull, 5730982102031211329ull},
+  };
+  for (const Golden& gold : goldens) {
+    EXPECT_EQ(adjacency_hash(make_random_tree(gold.n, gold.seed)),
+              gold.tree_hash)
+        << "tree n=" << gold.n << " seed=" << gold.seed;
+    EXPECT_EQ(adjacency_hash(make_random_connected(gold.n, 2 * gold.n, gold.seed)),
+              gold.conn_hash)
+        << "connected n=" << gold.n << " seed=" << gold.seed;
   }
 }
 

@@ -1,0 +1,64 @@
+// Large-graph generation smoke: the million-node benchmark sweeps (E22) only
+// work if topology construction itself is O(n + m).  The previous
+// implementation built random graphs through ordered std::set dedup and a
+// min-leaf std::set Prüfer decode — O(m log m), minutes at n = 10^6 under
+// sanitizers.  The rewrite (flat-hash chord dedup + pointer-scan decode)
+// builds each million-node instance in well under a second on the CI box;
+// the budget below is ~30x slack so the test only fires on a complexity
+// regression, not on machine noise.
+//
+// Own suite (GeneratorsLarge) so the sanitizer jobs — where everything runs
+// ~10-50x slower and a million-node graph costs real memory — can exclude it
+// by name while the plain job keeps it as a gate.
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace snappif::graph {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+TEST(GeneratorsLarge, MillionNodeRandomConnectedWithinBudget) {
+  constexpr NodeId kN = 1'000'000;
+  const auto start = Clock::now();
+  const Graph g = make_random_connected(kN, kN, 7);
+  const double elapsed = seconds_since(start);
+  EXPECT_EQ(g.n(), kN);
+  EXPECT_EQ(g.m(), (kN - 1) + kN);
+  EXPECT_LT(elapsed, 30.0) << "generation took " << elapsed
+                           << "s — complexity regression?";
+}
+
+TEST(GeneratorsLarge, MillionNodeTorusWithinBudget) {
+  const auto start = Clock::now();
+  const Graph g = make_torus(1000, 1000);
+  const double elapsed = seconds_since(start);
+  EXPECT_EQ(g.n(), 1'000'000u);
+  EXPECT_EQ(g.m(), 2'000'000u);
+  EXPECT_LT(elapsed, 30.0) << "generation took " << elapsed
+                           << "s — complexity regression?";
+}
+
+TEST(GeneratorsLarge, MillionNodeRandomTreeConnected) {
+  constexpr NodeId kN = 1'000'000;
+  const auto start = Clock::now();
+  const Graph g = make_random_tree(kN, 11);
+  const double elapsed = seconds_since(start);
+  EXPECT_EQ(g.n(), kN);
+  EXPECT_EQ(g.m(), kN - 1);
+  EXPECT_LT(elapsed, 30.0);
+  // Connectivity check is O(n + m) (BFS) — cheap enough to keep as the
+  // correctness half of the smoke.
+  EXPECT_TRUE(is_connected(g));
+}
+
+}  // namespace
+}  // namespace snappif::graph

@@ -62,6 +62,21 @@ TEST(Determinism, FuzzFailureListsMatchAcrossWorkerCounts) {
                           "8 workers");
 }
 
+TEST(Determinism, FuzzFailureListsMatchAcrossEngines) {
+  // FuzzOptions::engine must be invisible in the verdicts: the SoA engine's
+  // trajectories are bit-for-bit the mask engine's, so the failing wave —
+  // indices, instances, and per-failure step counts — is identical.
+  analysis::FuzzOptions opts;
+  opts.master_seed = 2026;
+  opts.max_n = 8;
+  opts.tweak_params = [](pif::Params& p) { p.ablate_count_wait = true; };
+
+  const analysis::FuzzReport mask = analysis::run_fuzz(opts, 512);
+  EXPECT_FALSE(mask.failures.empty());
+  opts.engine = sim::EngineKind::kSoa;
+  expect_same_fuzz_report(mask, analysis::run_fuzz(opts, 512), "soa engine");
+}
+
 TEST(Determinism, CleanFuzzRunMatchesAcrossWorkerCounts) {
   analysis::FuzzOptions opts;
   opts.master_seed = 7;

@@ -19,6 +19,7 @@
 #include "graph/generators.hpp"
 #include "pif/faults.hpp"
 #include "pif/protocol.hpp"
+#include "pif/soa_engine.hpp"
 #include "sim/daemon.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -47,10 +48,11 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 namespace snappif::sim {
 namespace {
 
-/// Warm the simulator up (buffers reach their high-water marks), then assert
-/// a long stretch of further steps allocates nothing.
-template <typename P>
-void expect_steady_state_alloc_free(Simulator<P>& sim, IDaemon& daemon) {
+/// Warm the engine up (buffers reach their high-water marks), then assert a
+/// long stretch of further steps allocates nothing.  Works for any engine
+/// with the Simulator stepping surface (mask Simulator<P>, pif::SoaEngine).
+template <typename Engine>
+void expect_steady_state_alloc_free(Engine& sim, IDaemon& daemon) {
   for (int i = 0; i < 200 && sim.step(daemon); ++i) {
   }
   const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
@@ -88,6 +90,55 @@ TEST(SimulatorAlloc, RandomDaemonsAllocateNothingSteadyState) {
   sim::Simulator<pif::PifProtocol> sim_rr(proto, g, 21);
   CentralRoundRobinDaemon rr;
   expect_steady_state_alloc_free(sim_rr, rr);
+}
+
+// --- SoA engine (pif::SoaEngine) -------------------------------------------
+//
+// The data-oriented engine makes the same promise: after warm-up (batched
+// scratch buffers are reserved to n up front in the constructor), both the
+// synchronous fast path and the generic step path allocate nothing.
+
+TEST(SoaEngineAlloc, SynchronousFastPathAllocatesNothingSteadyState) {
+  const auto g = graph::make_random_connected(24, 16, 5);
+  pif::PifProtocol proto(g, pif::Params::for_graph(g));
+  pif::SoaEngine eng(proto, g, 17);
+  util::Rng rng(18);
+  eng.randomize(rng);
+  SynchronousDaemon daemon;
+  expect_steady_state_alloc_free(eng, daemon);
+}
+
+TEST(SoaEngineAlloc, GenericStepPathAllocatesNothingSteadyState) {
+  const auto g = graph::make_grid(5, 5);
+  pif::PifProtocol proto(g, pif::Params::for_graph(g));
+
+  pif::SoaEngine eng_dist(proto, g, 19);
+  eng_dist.set_action_policy(ActionPolicy::kRandomEnabled);
+  DistributedRandomDaemon dist(0.5);
+  expect_steady_state_alloc_free(eng_dist, dist);
+
+  pif::SoaEngine eng_central(proto, g, 20);
+  CentralRandomDaemon central;
+  expect_steady_state_alloc_free(eng_central, central);
+
+  pif::SoaEngine eng_rr(proto, g, 21);
+  CentralRoundRobinDaemon rr;
+  expect_steady_state_alloc_free(eng_rr, rr);
+}
+
+TEST(SoaEngineAlloc, ProbedSynchronousStepAllocatesNothingSteadyState) {
+  // A probe disables the batched fast path; the generic path under the
+  // synchronous daemon (largest selections) must still be allocation-free.
+  class NoopProbe final : public IProbe<pif::PifProtocol> {};
+  const auto g = graph::make_random_connected(24, 16, 5);
+  pif::PifProtocol proto(g, pif::Params::for_graph(g));
+  pif::SoaEngine eng(proto, g, 23);
+  util::Rng rng(24);
+  eng.randomize(rng);
+  NoopProbe probe;
+  eng.add_probe(&probe);
+  SynchronousDaemon daemon;
+  expect_steady_state_alloc_free(eng, daemon);
 }
 
 }  // namespace

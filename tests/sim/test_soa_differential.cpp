@@ -1,0 +1,484 @@
+// Differential proof obligations for the data-oriented (SoA) engine.
+//
+// The SoA engine re-implements the execution core — CSR adjacency, column
+// state, branch-free batched guard evaluation, incremental enabled-set
+// maintenance, a synchronous fast path — and every piece must be
+// *bit-for-bit* equivalent to the mask engine, which stays as the oracle
+// (just as the per-guard loop stayed as the oracle for the mask engine):
+//
+//   1. BatchedGuards::mask_of == GuardEval::mask and BatchedGuards::apply ==
+//      PifProtocol::apply on randomized configurations, across every Params
+//      variant and topology family.
+//   2. SoaEngine and Simulator<PifProtocol>, seeded identically, produce
+//      identical trajectories under all three daemon classes (synchronous,
+//      central-random, distributed-random) and both action policies:
+//      states, enabled masks, enabled-list order (RNG lockstep), step/round
+//      counters, per-action counts.
+//   3. The synchronous fast path is indistinguishable from the generic step
+//      path (a probe forces the generic path on an otherwise identical run).
+//   4. A mid-run copy-forked SoaEngine steps identically to its original and
+//      to a forked mask engine.
+//   5. Probes observe identical event streams on both engines; the
+//      type-erased IEngine factory drives both to identical results.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pif/batched.hpp"
+#include "pif/codec.hpp"
+#include "pif/protocol.hpp"
+#include "pif/soa.hpp"
+#include "pif/soa_engine.hpp"
+#include "sim/csr.hpp"
+#include "sim/engine.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace snappif {
+namespace {
+
+using graph::Graph;
+using sim::ProcessorId;
+using PifSim = sim::Simulator<pif::PifProtocol>;
+
+/// Same topology families as the mask-differential suite.
+std::vector<Graph> topology_families() {
+  std::vector<Graph> gs;
+  gs.push_back(graph::make_path(7));
+  gs.push_back(graph::make_cycle(6));
+  gs.push_back(graph::make_star(7));
+  gs.push_back(graph::make_grid(3, 3));
+  gs.push_back(graph::make_complete(5));
+  gs.push_back(graph::make_binary_tree(9));
+  gs.push_back(graph::make_random_connected(10, 7, 42));
+  return gs;
+}
+
+/// Every Params variant: canonical, each literal switch, each ablation, and
+/// a non-zero root.
+std::vector<pif::Params> params_variants(const Graph& g) {
+  std::vector<pif::Params> variants;
+  variants.push_back(pif::Params::for_graph(g));
+  for (int which = 0; which < 7; ++which) {
+    auto p = pif::Params::for_graph(g);
+    switch (which) {
+      case 0: p.literal_sumset_fok_owner = true; break;
+      case 1: p.literal_prepotential_fok = true; break;
+      case 2: p.literal_root_goodfok = true; break;
+      case 3: p.min_level_potential = false; break;
+      case 4: p.ablate_broadcast_leaf = true; break;
+      case 5: p.ablate_feedback_bleaf = true; break;
+      default: p.ablate_count_wait = true; break;
+    }
+    variants.push_back(p);
+  }
+  variants.push_back(pif::Params::for_graph(g, /*root=*/g.n() / 2));
+  return variants;
+}
+
+TEST(Csr, RowsMatchGraphNeighborhoods) {
+  for (const Graph& g : topology_families()) {
+    const sim::Csr csr(g);
+    ASSERT_EQ(csr.n(), g.n());
+    ASSERT_EQ(csr.entries(), 2 * g.m());
+    for (ProcessorId v = 0; v < g.n(); ++v) {
+      const auto row = csr.row(v);
+      const auto nbrs = g.neighbors(v);
+      ASSERT_EQ(row.size(), nbrs.size());
+      ASSERT_EQ(csr.degree(v), g.degree(v));
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        EXPECT_EQ(row[i], nbrs[i]) << "vertex " << v << " slot " << i;
+      }
+    }
+  }
+}
+
+TEST(Csr, EmptyAndSingleton) {
+  const sim::Csr empty;
+  EXPECT_EQ(empty.n(), 0u);
+  EXPECT_EQ(empty.entries(), 0u);
+  const sim::Csr one((Graph(1)));
+  EXPECT_EQ(one.n(), 1u);
+  EXPECT_EQ(one.degree(0), 0u);
+}
+
+TEST(PifSoa, RoundTripsStatesAndCodecWords) {
+  const auto g = graph::make_random_connected(9, 5, 11);
+  pif::PifProtocol proto(g, pif::Params::for_graph(g));
+  const pif::StateCodec codec(g, proto.params());
+  util::Rng rng(77);
+  pif::PifProtocol::Config c(g, proto.initial_state(0));
+  for (ProcessorId p = 0; p < g.n(); ++p) {
+    c.state(p) = proto.random_state(p, rng);
+  }
+  pif::PifSoa soa;
+  soa.load(c);
+  ASSERT_EQ(soa.n(), g.n());
+  pif::PifProtocol::Config back(g, proto.initial_state(0));
+  soa.store(back);
+  for (ProcessorId p = 0; p < g.n(); ++p) {
+    EXPECT_EQ(soa.get(p), c.state(p)) << "processor " << p;
+    EXPECT_EQ(back.state(p), c.state(p)) << "processor " << p;
+    // Packed-codec bridge: SoA encode == AoS encode, and installing a wire
+    // word lands the codec-decoded (clamped) state.
+    EXPECT_EQ(soa.encode(p, codec), codec.encode(c.state(p)));
+    const std::uint64_t garbage = rng();
+    soa.set_encoded(p, garbage, codec);
+    EXPECT_EQ(soa.get(p), codec.decode(p, garbage));
+    soa.set(p, c.state(p));
+  }
+}
+
+TEST(SoaDifferential, KernelMaskAndApplyMatchReference) {
+  std::uint64_t seed = 9000;
+  for (const Graph& g : topology_families()) {
+    const sim::Csr csr(g);
+    for (const pif::Params& params : params_variants(g)) {
+      pif::PifProtocol proto(g, params);
+      const pif::BatchedGuards kernel(proto, csr);
+      util::Rng rng(seed++);
+      pif::PifProtocol::Config c(g, proto.initial_state(0));
+      pif::PifSoa soa;
+      for (int t = 0; t < 48; ++t) {
+        for (ProcessorId p = 0; p < g.n(); ++p) {
+          c.state(p) = proto.random_state(p, rng);
+        }
+        soa.load(c);
+        for (ProcessorId p = 0; p < g.n(); ++p) {
+          const sim::ActionMask expected = proto.enabled_mask(c, p);
+          ASSERT_EQ(kernel.mask_of(soa, p), expected)
+              << "trial " << t << " processor " << p;
+          for (sim::ActionMask m = expected; m != 0; m &= m - 1) {
+            const sim::ActionId a = sim::first_action(m);
+            ASSERT_EQ(kernel.apply(soa, p, a), proto.apply(c, p, a))
+                << "trial " << t << " processor " << p << " action "
+                << proto.action_name(a);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SoaDifferential, PackedOverflowFallsBackToExactColumns) {
+  // Domains wider than the packed word's 20-bit level/count fields: repack
+  // sets the ovf bit and mask_of must detour to the exact column path —
+  // still bit-for-bit against the reference evaluator.  The draw ranges
+  // straddle kPackedFieldMax, so the same sweep also covers in-range words
+  // mixed with overflowed neighbors.
+  const Graph g = graph::make_random_connected(12, 10, 5);
+  pif::Params params = pif::Params::for_graph(g);
+  params.l_max = pif::PifSoa::kPackedFieldMax * 4;
+  params.n_upper = pif::PifSoa::kPackedFieldMax * 4;
+  pif::PifProtocol proto(g, params);
+  const sim::Csr csr(g);
+  const pif::BatchedGuards kernel(proto, csr);
+  util::Rng rng(123);
+  pif::PifProtocol::Config c(g, proto.initial_state(0));
+  pif::PifSoa soa;
+  bool saw_overflow = false;
+  bool saw_in_range = false;
+  for (int t = 0; t < 64; ++t) {
+    for (ProcessorId p = 0; p < g.n(); ++p) {
+      c.state(p) = proto.random_state(p, rng);
+    }
+    soa.load(c);
+    for (ProcessorId p = 0; p < g.n(); ++p) {
+      const bool ovf = (soa.packed[p] & (1u << 3)) != 0;
+      saw_overflow |= ovf;
+      saw_in_range |= !ovf;
+      const sim::ActionMask expected = proto.enabled_mask(c, p);
+      ASSERT_EQ(kernel.mask_of(soa, p), expected)
+          << "trial " << t << " processor " << p << " ovf " << ovf;
+      for (sim::ActionMask m = expected; m != 0; m &= m - 1) {
+        const sim::ActionId a = sim::first_action(m);
+        ASSERT_EQ(kernel.apply(soa, p, a), proto.apply(c, p, a))
+            << "trial " << t << " processor " << p;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_overflow);
+  EXPECT_TRUE(saw_in_range);
+}
+
+/// Full structural comparison: states, cached masks, enabled-list *order*
+/// (random daemons index into it, so order is part of the contract),
+/// step/round counters.
+void expect_lockstep(const PifSim& oracle, const pif::SoaEngine& soa) {
+  ASSERT_EQ(oracle.config().n(), soa.config().n());
+  for (ProcessorId p = 0; p < oracle.config().n(); ++p) {
+    ASSERT_EQ(oracle.config().state(p), soa.config().state(p)) << "state " << p;
+    ASSERT_EQ(oracle.config().state(p), soa.soa().get(p)) << "soa state " << p;
+    ASSERT_EQ(oracle.enabled_mask_of(p), soa.enabled_mask_of(p)) << "mask " << p;
+  }
+  const auto list_a = oracle.enabled_processors();
+  const auto list_b = soa.enabled_processors();
+  ASSERT_EQ(list_a.size(), list_b.size());
+  for (std::size_t i = 0; i < list_a.size(); ++i) {
+    ASSERT_EQ(list_a[i], list_b[i]) << "enabled-list slot " << i;
+  }
+  ASSERT_EQ(oracle.steps(), soa.steps());
+  ASSERT_EQ(oracle.rounds(), soa.rounds());
+  for (sim::ActionId a = 0; a < pif::kNumActions; ++a) {
+    ASSERT_EQ(oracle.action_count(a), soa.action_count(a)) << "action " << int(a);
+  }
+}
+
+void run_lockstep(const Graph& g, const pif::Params& params,
+                  sim::DaemonKind kind, sim::ActionPolicy policy,
+                  std::uint64_t seed, int steps) {
+  pif::PifProtocol proto(g, params);
+  PifSim oracle(proto, g, seed);
+  pif::SoaEngine soa(proto, g, seed);
+  // Identical arbitrary initial configurations.
+  util::Rng init_a(seed ^ 0xabcdef);
+  util::Rng init_b(seed ^ 0xabcdef);
+  oracle.randomize(init_a);
+  soa.randomize(init_b);
+  oracle.set_action_policy(policy);
+  soa.set_action_policy(policy);
+  auto daemon_a = sim::make_daemon(kind);
+  auto daemon_b = sim::make_daemon(kind);
+  expect_lockstep(oracle, soa);
+  for (int i = 0; i < steps; ++i) {
+    const bool more_a = oracle.step(*daemon_a);
+    const bool more_b = soa.step(*daemon_b);
+    ASSERT_EQ(more_a, more_b) << "terminality diverged at step " << i;
+    expect_lockstep(oracle, soa);
+    if (!more_a) {
+      break;
+    }
+  }
+}
+
+TEST(SoaDifferential, LockstepAllDaemonsAllParamsAllFamilies) {
+  const sim::DaemonKind kinds[] = {sim::DaemonKind::kSynchronous,
+                                   sim::DaemonKind::kCentralRandom,
+                                   sim::DaemonKind::kDistributedRandom};
+  std::uint64_t seed = 10'000;
+  for (const Graph& g : topology_families()) {
+    for (const pif::Params& params : params_variants(g)) {
+      for (sim::DaemonKind kind : kinds) {
+        run_lockstep(g, params, kind, sim::ActionPolicy::kFirstEnabled,
+                     seed++, /*steps=*/60);
+      }
+    }
+  }
+}
+
+TEST(SoaDifferential, LockstepRandomPolicyConsumesIdenticalRandomness) {
+  // kRandomEnabled draws from the engine RNG per selected processor; any
+  // divergence in enabled-list order or draw count desynchronizes the
+  // trajectories instantly, so surviving 80 steps is a strong lockstep
+  // witness.
+  std::uint64_t seed = 20'000;
+  for (const Graph& g : topology_families()) {
+    run_lockstep(g, pif::Params::for_graph(g),
+                 sim::DaemonKind::kCentralRandom,
+                 sim::ActionPolicy::kRandomEnabled, seed++, /*steps=*/80);
+    run_lockstep(g, pif::Params::for_graph(g),
+                 sim::DaemonKind::kDistributedRandom,
+                 sim::ActionPolicy::kRandomEnabled, seed++, /*steps=*/80);
+  }
+}
+
+TEST(SoaDifferential, SynchronousFastPathMatchesGenericPath) {
+  // A no-op probe forces the generic step path; the probe-free twin takes
+  // the batched fast path.  Both must match the oracle exactly.
+  class NoopProbe final : public sim::IProbe<pif::PifProtocol> {};
+  std::uint64_t seed = 30'000;
+  for (const Graph& g : topology_families()) {
+    pif::PifProtocol proto(g, pif::Params::for_graph(g));
+    PifSim oracle(proto, g, seed);
+    pif::SoaEngine fast(proto, g, seed);
+    pif::SoaEngine generic(proto, g, seed);
+    util::Rng r1(seed), r2(seed), r3(seed);
+    oracle.randomize(r1);
+    fast.randomize(r2);
+    generic.randomize(r3);
+    NoopProbe probe;
+    generic.add_probe(&probe);
+    sim::SynchronousDaemon d1, d2, d3;
+    for (int i = 0; i < 100; ++i) {
+      const bool more = oracle.step(d1);
+      ASSERT_EQ(fast.step(d2), more);
+      ASSERT_EQ(generic.step(d3), more);
+      expect_lockstep(oracle, fast);
+      for (ProcessorId p = 0; p < g.n(); ++p) {
+        ASSERT_EQ(generic.config().state(p), fast.config().state(p));
+      }
+      ASSERT_EQ(generic.rounds(), fast.rounds());
+      if (!more) {
+        break;
+      }
+    }
+    ++seed;
+  }
+}
+
+TEST(SoaDifferential, MidRunCopyForkStepsIdentically) {
+  const auto g = graph::make_random_connected(8, 5, 3);
+  pif::PifProtocol proto(g, pif::Params::for_graph(g));
+  PifSim oracle(proto, g, 31);
+  pif::SoaEngine soa(proto, g, 31);
+  util::Rng i1(32), i2(32);
+  oracle.randomize(i1);
+  soa.randomize(i2);
+  oracle.set_action_policy(sim::ActionPolicy::kRandomEnabled);
+  soa.set_action_policy(sim::ActionPolicy::kRandomEnabled);
+
+  sim::CentralRandomDaemon da, db;
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(oracle.step(da));
+    ASSERT_TRUE(soa.step(db));
+  }
+  expect_lockstep(oracle, soa);
+
+  PifSim oracle_fork = oracle;       // mid-run value copies
+  pif::SoaEngine soa_fork = soa;
+  sim::CentralRandomDaemon dc, dd;
+  for (int i = 0; i < 100; ++i) {
+    const bool more = oracle.step(da);
+    ASSERT_EQ(soa.step(db), more);
+    ASSERT_EQ(oracle_fork.step(dc), more);
+    ASSERT_EQ(soa_fork.step(dd), more);
+    expect_lockstep(oracle, soa);
+    expect_lockstep(oracle_fork, soa_fork);
+    ASSERT_EQ(oracle.config().hash(), oracle_fork.config().hash());
+    if (!more) {
+      break;
+    }
+  }
+}
+
+TEST(SoaDifferential, SetStateParityAndRebuild) {
+  const auto g = graph::make_cycle(6);
+  pif::PifProtocol proto(g, pif::Params::for_graph(g));
+  PifSim oracle(proto, g, 21);
+  pif::SoaEngine soa(proto, g, 21);
+  util::Rng rng(22);
+  for (int t = 0; t < 50; ++t) {
+    const auto p = static_cast<ProcessorId>(rng.below(g.n()));
+    const auto s = proto.random_state(p, rng);
+    oracle.set_state(p, s);
+    soa.set_state(p, s);
+    expect_lockstep(oracle, soa);
+  }
+  oracle.reset_to_initial();
+  soa.reset_to_initial();
+  expect_lockstep(oracle, soa);
+}
+
+/// Records the full observable event stream of a run.
+class RecordingProbe final : public sim::IProbe<pif::PifProtocol> {
+ public:
+  struct Apply {
+    ProcessorId p;
+    sim::ActionId a;
+    std::uint64_t before_hash;
+    pif::State after;
+    bool operator==(const Apply&) const = default;
+  };
+  struct Step {
+    std::uint64_t step;
+    std::uint64_t rounds_before;
+    std::vector<ProcessorId> selected;
+    std::vector<sim::ActionChoice> choices;
+    std::size_t enabled_before;
+    std::size_t enabled_after;
+    bool round_completed;
+    bool operator==(const Step&) const = default;
+  };
+
+  void on_attach(const Config& c) override { ++attaches_; last_hash_ = c.hash(); }
+  void on_step_begin(const sim::StepEvent& ev, const Config& c) override {
+    cur_ = Step{ev.step,
+                ev.rounds_before,
+                {ev.selected.begin(), ev.selected.end()},
+                {ev.choices.begin(), ev.choices.end()},
+                ev.enabled_before,
+                0,
+                false};
+    last_hash_ = c.hash();
+  }
+  void on_apply(ProcessorId p, sim::ActionId a, const Config& before,
+                const pif::State& after) override {
+    applies_.push_back({p, a, before.hash(), after});
+  }
+  void on_step_end(const sim::StepEvent& ev, const Config&) override {
+    cur_.enabled_after = ev.enabled_after;
+    steps_.push_back(cur_);
+  }
+  void on_round_complete(std::uint64_t, const sim::StepEvent&,
+                         const Config&) override {
+    steps_.back().round_completed = true;
+  }
+
+  Step cur_;
+  std::vector<Step> steps_;
+  std::vector<Apply> applies_;
+  int attaches_ = 0;
+  std::uint64_t last_hash_ = 0;
+};
+
+TEST(SoaDifferential, ProbesObserveIdenticalEventStreams) {
+  const auto g = graph::make_grid(3, 3);
+  pif::PifProtocol proto(g, pif::Params::for_graph(g));
+  PifSim oracle(proto, g, 51);
+  pif::SoaEngine soa(proto, g, 51);
+  util::Rng i1(52), i2(52);
+  oracle.randomize(i1);
+  soa.randomize(i2);
+  RecordingProbe pa, pb;
+  oracle.add_probe(&pa);
+  soa.add_probe(&pb);
+  sim::DistributedRandomDaemon da(0.5), db(0.5);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_EQ(oracle.step(da), soa.step(db));
+  }
+  ASSERT_EQ(pa.steps_.size(), pb.steps_.size());
+  EXPECT_EQ(pa.steps_, pb.steps_);
+  ASSERT_EQ(pa.applies_.size(), pb.applies_.size());
+  EXPECT_EQ(pa.applies_, pb.applies_);
+  EXPECT_EQ(pa.attaches_, pb.attaches_);
+}
+
+TEST(SoaDifferential, EngineFactoryDrivesBothToIdenticalResults) {
+  EXPECT_EQ(sim::engine_kind_name(sim::EngineKind::kMask), "mask");
+  EXPECT_EQ(sim::engine_kind_name(sim::EngineKind::kSoa), "soa");
+  EXPECT_EQ(sim::parse_engine_kind("mask"), sim::EngineKind::kMask);
+  EXPECT_EQ(sim::parse_engine_kind("soa"), sim::EngineKind::kSoa);
+  EXPECT_FALSE(sim::parse_engine_kind("simd").has_value());
+
+  const auto g = graph::make_random_connected(12, 8, 9);
+  const auto params = pif::Params::for_graph(g);
+  std::array<std::unique_ptr<sim::IEngine<pif::PifProtocol>>, 2> engines = {
+      pif::make_engine(sim::EngineKind::kMask, g, params, 61),
+      pif::make_engine(sim::EngineKind::kSoa, g, params, 61),
+  };
+  EXPECT_EQ(engines[0]->engine_name(), "mask");
+  EXPECT_EQ(engines[1]->engine_name(), "soa");
+  std::array<sim::RunResult, 2> results;
+  for (int i = 0; i < 2; ++i) {
+    auto& eng = *engines[i];
+    util::Rng init(62);
+    eng.randomize(init);
+    auto daemon = sim::make_daemon(sim::DaemonKind::kCentralRoundRobin);
+    results[i] = eng.run_until(
+        *daemon,
+        [&](const pif::PifProtocol::Config& c) {
+          return c.state(eng.protocol().root()).pif == pif::Phase::kB;
+        },
+        sim::RunLimits{.max_steps = 5000});
+  }
+  EXPECT_EQ(results[0].reason, results[1].reason);
+  EXPECT_EQ(results[0].steps, results[1].steps);
+  EXPECT_EQ(results[0].rounds, results[1].rounds);
+  EXPECT_EQ(engines[0]->config().hash(), engines[1]->config().hash());
+}
+
+}  // namespace
+}  // namespace snappif
