@@ -1,0 +1,230 @@
+// E23 — transport resilience: what PIF waves cost over a real transport,
+// and what socket-level impairment does to that cost.
+//
+// The wave workload is mp::WaveService (serialized Chang-echo cycles over
+// the snap-stabilizing link, with exactly-once in-order delivery asserted
+// on every frame — see src/mp/serve.hpp), driven over four transport
+// configurations:
+//
+//   * loopback        — deterministic in-process backend, clean wire;
+//   * loopback+impair — same backend under the ImpairmentShim at 20% loss
+//                       plus duplication/reordering (the simulated-fault
+//                       unit cost: how much the shim + recovery machinery
+//                       charges per wave);
+//   * udp             — real non-blocking UDP sockets on localhost, clean;
+//   * udp+impair      — real sockets with 20% injected datagram loss (the
+//                       headline resilience configuration of Issue 9 and
+//                       tools/snappif_serve.cpp).
+//
+// Two metrics per configuration: waves per second (throughput, the CI
+// regression gate's target — prefix waves_per_s) and p99 wave-completion
+// latency in microseconds (tail cost of loss-recovery: retransmission
+// timers turn a lost frame into a multi-RTO stall for that wave).  The
+// adaptive RTO estimator is on for all configurations, matching how the
+// serve tool runs.
+//
+//   * default: table mode — the four configurations side by side, with
+//     link/wire counters showing WHY impaired waves cost more;
+//   * --quick [--json=PATH]: fixed-workload report that writes
+//     BENCH_e23.json for scripts/check_bench_regression.py.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "mp/impairment.hpp"
+#include "mp/link.hpp"
+#include "mp/network.hpp"
+#include "mp/serve.hpp"
+#include "mp/udp_transport.hpp"
+#include "util/stats.hpp"
+
+namespace snappif {
+namespace {
+
+struct Impair {
+  double loss = 0.0;
+  double dup = 0.0;
+  double reorder = 0.0;
+};
+
+struct WaveRun {
+  double waves_per_s = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t steps = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t rtt_samples = 0;
+  std::uint64_t wire_dropped = 0;
+  bool completed = false;
+};
+
+/// Runs `waves` serialized PIF waves over the chosen backend and times each
+/// wave completion.  The step budget bounds a (hypothetical) deadlock so a
+/// bench run can't hang; `completed` reports whether every wave finished.
+WaveRun measure_waves(const graph::Graph& g, bool use_udp,
+                      const Impair& impair, std::uint32_t waves,
+                      std::uint64_t seed) {
+  mp::ServeConfig serve_cfg;
+  serve_cfg.waves = waves;
+  mp::WaveService service(g, serve_cfg);
+
+  mp::LinkConfig link_cfg;
+  link_cfg.rto_mode = mp::RtoMode::kAdaptive;
+  mp::LinkProtocol link(g, service, link_cfg, seed ^ 0x9e3779b97f4a7c15ULL);
+
+  mp::ImpairmentShim shim(link, g.n(), seed ^ 0xd1b54a32d192ed03ULL);
+  shim.set_loss_rate(impair.loss);
+  shim.set_duplication_rate(impair.dup);
+  shim.set_reorder_rate(impair.reorder);
+
+  std::unique_ptr<mp::Network> net;
+  std::unique_ptr<mp::UdpTransport> udp;
+  if (use_udp) {
+    udp = std::make_unique<mp::UdpTransport>(g, shim, mp::UdpConfig{});
+    shim.bind(*udp);
+  } else {
+    net = std::make_unique<mp::Network>(g, shim, mp::Delivery::kSynchronous,
+                                        seed);
+    shim.bind(*net);
+  }
+
+  // Step budget: generous per-wave allowance so even the impaired UDP runs
+  // (whose step count is dominated by empty retransmission-timer polls)
+  // always finish, while a regression to deadlock still terminates.
+  const std::uint64_t max_steps =
+      static_cast<std::uint64_t>(waves) * 4000 + 100000;
+
+  WaveRun run;
+  util::Samples wave_us;
+  shim.start();
+  std::uint64_t completed = 0;
+  auto wave_t0 = std::chrono::steady_clock::now();
+  const auto t0 = wave_t0;
+  while (!service.done() && run.steps < max_steps) {
+    shim.step();
+    link.tick();
+    ++run.steps;
+    if (service.stats().waves_completed > completed) {
+      completed = service.stats().waves_completed;
+      const auto now = std::chrono::steady_clock::now();
+      wave_us.add(
+          std::chrono::duration<double, std::micro>(now - wave_t0).count());
+      wave_t0 = now;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  run.completed = service.done();
+  run.waves_per_s = static_cast<double>(completed) / seconds;
+  if (!wave_us.empty()) {
+    run.p50_us = wave_us.quantile(0.5);
+    run.p99_us = wave_us.quantile(0.99);
+  }
+  run.retransmits = link.stats().retransmits;
+  run.rtt_samples = link.stats().rtt_samples;
+  run.wire_dropped = shim.transport_stats().dropped;
+  return run;
+}
+
+struct Config {
+  const char* name;
+  const char* key;  // metric suffix
+  bool udp;
+  Impair impair;
+};
+
+constexpr Impair kClean{};
+constexpr Impair kImpaired{0.2, 0.05, 0.05};
+
+const Config kConfigs[] = {
+    {"loopback", "loopback", false, kClean},
+    {"loopback+impair", "loopback_impaired", false, kImpaired},
+    {"udp", "udp", true, kClean},
+    {"udp+impair", "udp_impaired", true, kImpaired},
+};
+
+int run_quick_report(const util::Cli& cli) {
+  const bool quick = cli.get_bool("quick", false);
+  std::string path = cli.get_string("json", "BENCH_e23.json");
+  if (path.empty()) {
+    path = "BENCH_e23.json";  // bare --json
+  }
+  const std::uint32_t waves = quick ? 200 : 1000;
+  const graph::NodeId n = 16;
+  const auto g = graph::make_random_connected(n, 2 * n, 42);
+
+  bench::JsonReport report(
+      "E23",
+      "transport resilience: PIF waves/s and p99 wave latency over loopback "
+      "vs real UDP, clean vs 20% loss + dup/reorder impairment");
+  report.set_string("mode", quick ? "quick" : "full");
+  report.set_string("graph", "random_connected(16, 32 extra edges, seed 42)");
+  report.set_string("impairment", "loss=0.2 dup=0.05 reorder=0.05");
+  report.add_size(n);
+
+  std::printf("E23 quick report (%s, %u waves per configuration, n=%u)\n",
+              quick ? "quick" : "full", waves, n);
+  std::printf("%18s %12s %12s %12s %12s\n", "transport", "waves/s", "p99 us",
+              "retransmits", "dropped");
+  for (const Config& c : kConfigs) {
+    const WaveRun run = measure_waves(g, c.udp, c.impair, waves, 23000);
+    if (!run.completed) {
+      std::fprintf(stderr, "FAIL: %s did not complete %u waves in %llu steps\n",
+                   c.name, waves,
+                   static_cast<unsigned long long>(run.steps));
+      return 1;
+    }
+    const std::string suffix = std::string("_") + c.key;
+    report.set_metric("waves_per_s" + suffix, run.waves_per_s);
+    report.set_metric("p50_wave_us" + suffix, run.p50_us);
+    report.set_metric("p99_wave_us" + suffix, run.p99_us);
+    report.set_metric("retransmits" + suffix,
+                      static_cast<double>(run.retransmits));
+    std::printf("%18s %12.0f %12.1f %12llu %12llu\n", c.name, run.waves_per_s,
+                run.p99_us, static_cast<unsigned long long>(run.retransmits),
+                static_cast<unsigned long long>(run.wire_dropped));
+  }
+  if (!report.write(path)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+void run() {
+  bench::print_header(
+      "E23  Transport resilience",
+      "PIF waves over a real UDP transport at 20% datagram loss still "
+      "deliver exactly once, in order — and the adaptive-RTO link keeps the "
+      "tail latency of loss recovery bounded");
+
+  util::Table table({"transport", "N", "waves", "waves/s", "p50 us", "p99 us",
+                     "retransmits", "rtt samples", "wire dropped"});
+  const std::uint32_t kWaves = 300;
+  for (const graph::NodeId n : {8, 16}) {
+    const auto g = graph::make_random_connected(n, 2 * n, 42);
+    for (const Config& c : kConfigs) {
+      const WaveRun run = measure_waves(g, c.udp, c.impair, kWaves, 23000);
+      table.add_row({c.name, util::fmt(n), util::fmt(kWaves),
+                     util::fmt(run.waves_per_s), util::fmt(run.p50_us),
+                     util::fmt(run.p99_us), util::fmt(run.retransmits),
+                     util::fmt(run.rtt_samples), util::fmt(run.wire_dropped)});
+    }
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+}  // namespace snappif
+
+int main(int argc, char** argv) {
+  const snappif::util::Cli cli(argc, argv);
+  if (cli.has("quick") || cli.has("json")) {
+    return snappif::run_quick_report(cli);
+  }
+  snappif::bench::init(argc, argv);
+  snappif::run();
+  return 0;
+}

@@ -204,6 +204,11 @@ class CampaignEngine {
       case EventKind::kMpDuplicate:
       case EventKind::kMpReorder:
       case EventKind::kCrash:
+      case EventKind::kTransportLoss:
+      case EventKind::kTransportDuplicate:
+      case EventKind::kTransportReorder:
+      case EventKind::kTransportDelay:
+      case EventKind::kTransportPartition:
         ++result.events_skipped;  // mp substrate events; see mp_campaign.hpp
         return;
     }

@@ -25,6 +25,15 @@ struct Window {
   std::uint64_t begin;
   std::uint64_t end;
   double rate;
+  std::uint32_t magnitude = 0;  // tdelay: per-frame hold in rounds
+};
+
+/// A transport partition window: processor isolated below the link.
+struct PartWindow {
+  std::uint64_t begin;
+  std::uint64_t end;
+  sim::ProcessorId processor;
+  bool applied = false;
 };
 
 struct CrashWindow {
@@ -153,6 +162,7 @@ void record_telemetry(obs::Registry* registry, const Emulation& emu,
                        static_cast<double>(result.rounds_to_recover)));
   }
   emu.link().record_telemetry(reg);
+  emu.impairment().record_telemetry(reg);
 }
 
 }  // namespace
@@ -167,15 +177,24 @@ EmulationCampaignResult run_emulation_campaign(
 
   std::vector<Window> windows;
   std::vector<CrashWindow> crashes;
+  std::vector<PartWindow> partitions;
   for (const FaultEvent& ev : schedule.events) {
     switch (ev.kind) {
       case EventKind::kMpLoss:
       case EventKind::kMpDuplicate:
       case EventKind::kMpReorder:
+      case EventKind::kTransportLoss:
+      case EventKind::kTransportDuplicate:
+      case EventKind::kTransportReorder:
+      case EventKind::kTransportDelay:
         // duration 0 means "at least this round".
         windows.push_back({ev.kind, ev.round,
                            ev.round + std::max<std::uint64_t>(ev.duration, 1),
-                           ev.rate});
+                           ev.rate, ev.magnitude});
+        break;
+      case EventKind::kTransportPartition:
+        partitions.push_back({ev.round, ev.round + ev.duration,
+                              ev.magnitude % g.n()});
         break;
       case EventKind::kCrash:
         crashes.push_back({ev.round, ev.round + ev.duration,
@@ -186,6 +205,9 @@ EmulationCampaignResult run_emulation_campaign(
         break;
     }
   }
+  // The shim stays a zero-RNG pass-through unless a transport event exists:
+  // schedules without them replay bit-identically to the pre-shim stack.
+  const bool use_shim = schedule.contains_transport();
   result.windows_applied = windows.size();
   result.quiet_round = schedule.quiet_round();
 
@@ -255,6 +277,11 @@ EmulationCampaignResult run_emulation_campaign(
     double loss = 0.0;
     double dup = 0.0;
     double reorder = 0.0;
+    double tloss = 0.0;
+    double tdup = 0.0;
+    double treorder = 0.0;
+    double tdelay = 0.0;
+    std::uint32_t tdelay_steps = 0;
     for (const Window& w : windows) {
       if (round < w.begin || round >= w.end) {
         continue;
@@ -266,6 +293,21 @@ EmulationCampaignResult run_emulation_campaign(
         case EventKind::kMpDuplicate:
           dup = std::max(dup, w.rate);
           break;
+        case EventKind::kTransportLoss:
+          tloss = std::max(tloss, w.rate);
+          break;
+        case EventKind::kTransportDuplicate:
+          tdup = std::max(tdup, w.rate);
+          break;
+        case EventKind::kTransportReorder:
+          treorder = std::max(treorder, w.rate);
+          break;
+        case EventKind::kTransportDelay:
+          if (w.rate > tdelay) {
+            tdelay = w.rate;
+            tdelay_steps = w.magnitude;
+          }
+          break;
         default:
           reorder = std::max(reorder, w.rate);
           break;
@@ -274,6 +316,12 @@ EmulationCampaignResult run_emulation_campaign(
     emu.network().set_loss_rate(loss);
     emu.network().set_duplication_rate(dup);
     emu.network().set_reorder_rate(reorder);
+    if (use_shim) {
+      emu.impairment().set_loss_rate(tloss);
+      emu.impairment().set_duplication_rate(tdup);
+      emu.impairment().set_reorder_rate(treorder);
+      emu.impairment().set_delay(tdelay, tdelay_steps);
+    }
   };
 
   emu.start();
@@ -313,6 +361,22 @@ EmulationCampaignResult run_emulation_campaign(
         }
       }
     }
+    for (PartWindow& pw : partitions) {
+      if (pw.begin == round && !emu.impairment().partitioned(pw.processor)) {
+        emu.impairment().partition(pw.processor);
+        pw.applied = true;
+        if (tracer != nullptr) {
+          tracer->mark(pw.processor, "partition");
+        }
+      }
+      if (pw.applied && pw.end == round) {
+        emu.impairment().heal(pw.processor);
+        pw.applied = false;
+        if (tracer != nullptr) {
+          tracer->mark(pw.processor, "heal");
+        }
+      }
+    }
     set_rates(round);
     emu.round();
     ++round;
@@ -348,6 +412,23 @@ EmulationCampaignResult run_emulation_campaign(
   emu.network().set_loss_rate(0.0);
   emu.network().set_duplication_rate(0.0);
   emu.network().set_reorder_rate(0.0);
+  if (use_shim) {
+    // Disarm the shim entirely: partitions ending exactly at the quiet
+    // point heal here, and delayed frames still held drain during settle.
+    emu.impairment().set_loss_rate(0.0);
+    emu.impairment().set_duplication_rate(0.0);
+    emu.impairment().set_reorder_rate(0.0);
+    emu.impairment().set_delay(0.0, 0);
+    for (PartWindow& pw : partitions) {
+      if (pw.applied) {
+        emu.impairment().heal(pw.processor);
+        pw.applied = false;
+        if (tracer != nullptr) {
+          tracer->mark(pw.processor, "heal");
+        }
+      }
+    }
+  }
   result.completed = true;
 
   // Settle: gate the root's B-action and drain actions, frames, and

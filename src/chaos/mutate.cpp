@@ -16,6 +16,11 @@ namespace {
     case EventKind::kMpDuplicate:
     case EventKind::kMpReorder:
     case EventKind::kCrash:
+    case EventKind::kTransportLoss:
+    case EventKind::kTransportDuplicate:
+    case EventKind::kTransportReorder:
+    case EventKind::kTransportDelay:
+    case EventKind::kTransportPartition:
       return true;
     default:
       return false;
@@ -23,8 +28,18 @@ namespace {
 }
 
 [[nodiscard]] bool has_rate(EventKind kind) {
-  return kind == EventKind::kMpLoss || kind == EventKind::kMpDuplicate ||
-         kind == EventKind::kMpReorder;
+  switch (kind) {
+    case EventKind::kMpLoss:
+    case EventKind::kMpDuplicate:
+    case EventKind::kMpReorder:
+    case EventKind::kTransportLoss:
+    case EventKind::kTransportDuplicate:
+    case EventKind::kTransportReorder:
+    case EventKind::kTransportDelay:
+      return true;
+    default:
+      return false;
+  }
 }
 
 [[nodiscard]] bool has_magnitude(EventKind kind) {
@@ -33,6 +48,8 @@ namespace {
     case EventKind::kLinkKill:
     case EventKind::kLinkRestore:
     case EventKind::kCrash:
+    case EventKind::kTransportDelay:
+    case EventKind::kTransportPartition:
       return true;
     default:
       return false;
@@ -51,6 +68,12 @@ namespace {
                              EventKind::kMpReorder});
     if (shape.crash) {
       menu.push_back(EventKind::kCrash);
+    }
+    if (shape.transport) {
+      menu.insert(menu.end(),
+                  {EventKind::kTransportLoss, EventKind::kTransportDuplicate,
+                   EventKind::kTransportReorder, EventKind::kTransportDelay,
+                   EventKind::kTransportPartition});
     }
   }
   return menu;
@@ -109,13 +132,32 @@ void redraw_arguments(FaultEvent& ev, const CampaignShape& shape,
     }
     case EventKind::kMpLoss:
     case EventKind::kMpDuplicate:
-    case EventKind::kMpReorder: {
+    case EventKind::kMpReorder:
+    case EventKind::kTransportLoss:
+    case EventKind::kTransportDuplicate:
+    case EventKind::kTransportReorder: {
       const std::uint64_t lo = rate_hundredths(shape.mp_rate_min);
       const std::uint64_t hi = rate_hundredths(shape.mp_rate_max);
       ev.rate = static_cast<double>(lo + rng.below(hi - lo + 1)) / 100.0;
       ev.duration = 1 + rng.below(horizon / 4 + 1);
       break;
     }
+    case EventKind::kTransportDelay: {
+      const std::uint64_t lo = rate_hundredths(shape.mp_rate_min);
+      const std::uint64_t hi = rate_hundredths(shape.mp_rate_max);
+      ev.rate = static_cast<double>(lo + rng.below(hi - lo + 1)) / 100.0;
+      ev.duration = 1 + rng.below(horizon / 4 + 1);
+      ev.magnitude = 1 + static_cast<std::uint32_t>(
+                             rng.below(std::max<std::uint32_t>(
+                                 1, shape.max_delay_steps)));
+      break;
+    }
+    case EventKind::kTransportPartition:
+      ev.magnitude = static_cast<std::uint32_t>(
+          rng.below(std::max<std::uint32_t>(1, shape.crash_processors)));
+      ev.duration = 1 + rng.below(horizon / 6 + 1);
+      ev.rate = 0.0;
+      break;
     case EventKind::kCrash:
       ev.magnitude = static_cast<std::uint32_t>(
           rng.below(std::max<std::uint32_t>(1, shape.crash_processors)));

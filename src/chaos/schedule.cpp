@@ -26,6 +26,11 @@ constexpr KindName kKindNames[] = {
     {EventKind::kMpDuplicate, "dup"},
     {EventKind::kMpReorder, "reorder"},
     {EventKind::kCrash, "crash"},
+    {EventKind::kTransportLoss, "tloss"},
+    {EventKind::kTransportDuplicate, "tdup"},
+    {EventKind::kTransportReorder, "treorder"},
+    {EventKind::kTransportDelay, "tdelay"},
+    {EventKind::kTransportPartition, "tpart"},
 };
 
 [[nodiscard]] bool kind_by_name(std::string_view name, EventKind* out) {
@@ -131,10 +136,28 @@ std::string FaultEvent::to_string() const {
     case EventKind::kMpLoss:
     case EventKind::kMpDuplicate:
     case EventKind::kMpReorder:
+    case EventKind::kTransportLoss:
+    case EventKind::kTransportDuplicate:
+    case EventKind::kTransportReorder:
       out += '@';
       out += format_rate(rate);
       out += '/';
       out += std::to_string(duration);
+      break;
+    case EventKind::kTransportDelay:
+      out += '@';
+      out += format_rate(rate);
+      out += '/';
+      out += std::to_string(duration);
+      out += '*';
+      out += std::to_string(magnitude);
+      break;
+    case EventKind::kTransportPartition:
+      out += '(';
+      out += std::to_string(magnitude);
+      out += ',';
+      out += std::to_string(duration);
+      out += ')';
       break;
     case EventKind::kCrash:
       out += '(';
@@ -222,24 +245,78 @@ std::optional<FaultEvent> FaultEvent::parse(std::string_view text,
     }
     case EventKind::kMpLoss:
     case EventKind::kMpDuplicate:
-    case EventKind::kMpReorder: {
+    case EventKind::kMpReorder:
+    case EventKind::kTransportLoss:
+    case EventKind::kTransportDuplicate:
+    case EventKind::kTransportReorder:
+    case EventKind::kTransportDelay: {
       if (arg == std::string_view::npos || body[arg] != '@') {
         return fail(error, body_at + name.size(), "",
-                    "window needs '@rate/duration'");
+                    ev.kind == EventKind::kTransportDelay
+                        ? "window needs '@rate/duration*steps'"
+                        : "window needs '@rate/duration'");
       }
-      const std::string_view tail = body.substr(arg + 1);
+      std::string_view tail = body.substr(arg + 1);
+      const std::size_t tail_at = body_at + arg + 1;
+      // tdelay carries a third argument: the per-frame hold in steps.
+      if (ev.kind == EventKind::kTransportDelay) {
+        const std::size_t star = tail.rfind('*');
+        if (star == std::string_view::npos) {
+          return fail(error, tail_at, tail,
+                      "tdelay needs '*steps' after the window in");
+        }
+        const std::string_view steps_text = tail.substr(star + 1);
+        std::uint64_t steps = 0;
+        // parse_u64 rejects any sign, so "-2" (and "nan") land here with
+        // the offset of the steps token.
+        if (!parse_u64(steps_text, &steps) || steps == 0 ||
+            steps > 0xffffffffULL) {
+          return fail(error, tail_at + star + 1, steps_text,
+                      "bad delay steps (want an integer in 1..2^32-1)");
+        }
+        ev.magnitude = static_cast<std::uint32_t>(steps);
+        tail = tail.substr(0, star);
+      }
       const std::size_t slash = tail.find('/');
       if (slash == std::string_view::npos) {
-        return fail(error, body_at + arg + 1, tail,
+        return fail(error, tail_at, tail,
                     "window needs '/duration' after rate in");
       }
       if (!parse_rate(tail.substr(0, slash), &ev.rate)) {
-        return fail(error, body_at + arg + 1, tail.substr(0, slash),
+        return fail(error, tail_at, tail.substr(0, slash),
                     "bad rate (want a number in [0,1])");
       }
       if (!parse_u64(tail.substr(slash + 1), &ev.duration)) {
-        return fail(error, body_at + arg + 1 + slash + 1,
+        return fail(error, tail_at + slash + 1,
                     tail.substr(slash + 1), "bad window duration");
+      }
+      return ev;
+    }
+    case EventKind::kTransportPartition: {
+      // tpart(p,dur)
+      if (arg == std::string_view::npos || body[arg] != '(' ||
+          body.back() != ')') {
+        return fail(error, body_at + name.size(), body.substr(name.size()),
+                    "tpart needs '(processor,duration)', got");
+      }
+      const std::string_view inner =
+          body.substr(arg + 1, body.size() - arg - 2);
+      const std::size_t inner_at = body_at + arg + 1;
+      const std::size_t comma = inner.find(',');
+      if (comma == std::string_view::npos) {
+        return fail(error, inner_at, inner,
+                    "tpart needs two ','-separated arguments, got");
+      }
+      std::uint64_t processor = 0;
+      if (!parse_u64(inner.substr(0, comma), &processor) ||
+          processor > 0xffffffffULL) {
+        return fail(error, inner_at, inner.substr(0, comma),
+                    "bad partition processor (want 0..2^32-1)");
+      }
+      ev.magnitude = static_cast<std::uint32_t>(processor);
+      if (!parse_u64(inner.substr(comma + 1), &ev.duration)) {
+        return fail(error, inner_at + comma + 1, inner.substr(comma + 1),
+                    "bad partition duration");
       }
       return ev;
     }
@@ -296,6 +373,22 @@ bool FaultSchedule::contains(EventKind kind) const {
   for (const FaultEvent& ev : events) {
     if (ev.kind == kind) {
       return true;
+    }
+  }
+  return false;
+}
+
+bool FaultSchedule::contains_transport() const {
+  for (const FaultEvent& ev : events) {
+    switch (ev.kind) {
+      case EventKind::kTransportLoss:
+      case EventKind::kTransportDuplicate:
+      case EventKind::kTransportReorder:
+      case EventKind::kTransportDelay:
+      case EventKind::kTransportPartition:
+        return true;
+      default:
+        break;
     }
   }
   return false;
@@ -373,6 +466,16 @@ std::optional<std::string> validate(const CampaignShape& shape) {
   if (shape.crash && shape.crash_processors == 0) {
     return "crash windows enabled with zero crash_processors";
   }
+  if (shape.transport && !shape.message_passing) {
+    return "transport impairments need message_passing (the shim lives "
+           "under the mp link)";
+  }
+  if (shape.transport && shape.max_delay_steps == 0) {
+    return "transport delay enabled with zero max_delay_steps";
+  }
+  if (shape.transport && shape.crash_processors == 0) {
+    return "transport partitions enabled with zero crash_processors";
+  }
   return std::nullopt;
 }
 
@@ -406,6 +509,14 @@ FaultSchedule random_schedule(const CampaignShape& shape, util::Rng& rng) {
     if (shape.crash) {
       menu.push_back(EventKind::kCrash);
     }
+    // Appended AFTER the crash entry: a transport-less shape keeps its
+    // exact menu layout, so existing seeds replay unchanged.
+    if (shape.transport) {
+      menu.insert(menu.end(),
+                  {EventKind::kTransportLoss, EventKind::kTransportDuplicate,
+                   EventKind::kTransportReorder, EventKind::kTransportDelay,
+                   EventKind::kTransportPartition});
+    }
   }
   const std::uint64_t horizon = shape.horizon_rounds;
   for (std::uint32_t i = 0; i < shape.events; ++i) {
@@ -431,8 +542,22 @@ FaultSchedule random_schedule(const CampaignShape& shape, util::Rng& rng) {
       case EventKind::kMpLoss:
       case EventKind::kMpDuplicate:
       case EventKind::kMpReorder:
+      case EventKind::kTransportLoss:
+      case EventKind::kTransportDuplicate:
+      case EventKind::kTransportReorder:
         ev.rate = draw_rate(shape, rng);
         ev.duration = 1 + rng.below(horizon / 4 + 1);
+        break;
+      case EventKind::kTransportDelay:
+        ev.rate = draw_rate(shape, rng);
+        ev.duration = 1 + rng.below(horizon / 4 + 1);
+        ev.magnitude =
+            1 + static_cast<std::uint32_t>(rng.below(shape.max_delay_steps));
+        break;
+      case EventKind::kTransportPartition:
+        ev.magnitude = static_cast<std::uint32_t>(
+            rng.below(std::max<std::uint32_t>(1, shape.crash_processors)));
+        ev.duration = 1 + rng.below(horizon / 6 + 1);
         break;
       case EventKind::kCrash:
         ev.magnitude = static_cast<std::uint32_t>(

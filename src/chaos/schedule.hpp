@@ -20,11 +20,22 @@
 //   crash       mp substrate: crash-recover window — processor p goes
 //               silent for `dur` rounds, then reboots with reset or
 //               adversarially corrupted state ("12:crash(3,5,reset)")
+//   tloss       transport shim: socket-level loss window BELOW the link
+//               layer ("5:tloss@0.2/10") — unlike `loss` this hits the
+//               ImpairmentShim, exercising the ARQ against the transport
+//   tdup        transport shim: duplication window
+//   treorder    transport shim: reordering window (frames deferred behind
+//               later traffic)
+//   tdelay      transport shim: delay window — affected frames are held for
+//               k steps ("5:tdelay@0.3/10*2"; k must be a positive integer)
+//   tpart       transport shim: partition window — processor p is
+//               bidirectionally isolated for `dur` rounds ("8:tpart(3,6)")
 //
 // The shared-memory campaign runner (chaos/campaign.hpp) consumes the first
 // five kinds; the message-passing runner (chaos/mp_campaign.hpp) consumes the
-// window kinds.  A schedule may mix both; each runner skips the kinds outside
-// its model and reports them as skipped.
+// window kinds; the emulation runner additionally consumes the crash and
+// transport kinds.  A schedule may mix them; each runner skips the kinds
+// outside its model and reports them as skipped.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +61,11 @@ enum class EventKind {
   kMpReorder,   // rate + duration
   kCrash,       // magnitude = processor, duration = silence window,
                 // crash_corrupt = recovery mode
+  kTransportLoss,       // rate + duration: shim loss window (below the link)
+  kTransportDuplicate,  // rate + duration: shim duplication window
+  kTransportReorder,    // rate + duration: shim reordering window
+  kTransportDelay,      // rate + duration + magnitude = delay steps (>= 1)
+  kTransportPartition,  // magnitude = processor, duration = isolation window
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind kind);
@@ -113,6 +129,11 @@ struct FaultSchedule {
   /// crash-bearing schedules to the emulation campaign.)
   [[nodiscard]] bool contains(EventKind kind) const;
 
+  /// Any transport-shim kind present (tloss/tdup/treorder/tdelay/tpart)?
+  /// Such schedules route to the emulation runner, the only one with an
+  /// ImpairmentShim under its link.
+  [[nodiscard]] bool contains_transport() const;
+
   /// One-line reproducer, events joined with ';' ("" for empty).
   [[nodiscard]] std::string to_string() const;
   /// Inverse of to_string; also accepts unsorted input (normalizes).
@@ -140,6 +161,12 @@ struct CampaignShape {
   bool message_passing = false;
   /// Also emit crash-recover windows (mp kinds; needs message_passing).
   bool crash = false;
+  /// Also emit transport-shim windows (tloss/tdup/treorder/tdelay/tpart;
+  /// needs message_passing).  Off by default so pre-existing shapes keep
+  /// their exact RNG draw sequences.
+  bool transport = false;
+  /// Largest per-frame delay (in steps) a tdelay window may draw.
+  std::uint32_t max_delay_steps = 4;
   /// Crash events draw their processor id below this bound (runners reduce
   /// it modulo the actual N).
   std::uint32_t crash_processors = 16;

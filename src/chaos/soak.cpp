@@ -44,9 +44,11 @@ SoakOutcome run_soak_campaign(const graph::Graph& g, const SoakOptions& opts,
 
   if (opts.run_mp) {
     outcome.mp_run = true;
-    // Crash events need processor fault semantics only the emulation
-    // campaign implements; --emulate forces that runner for everything.
-    if (opts.emulate || job.schedule.contains(EventKind::kCrash)) {
+    // Crash events need processor fault semantics, and transport events an
+    // ImpairmentShim under the link — both exist only in the emulation
+    // campaign; --emulate forces that runner for everything.
+    if (opts.emulate || job.schedule.contains(EventKind::kCrash) ||
+        job.schedule.contains_transport()) {
       outcome.used_emulation = true;
       EmulationCampaignOptions emu_opts;
       emu_opts.root = copts.root;

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "mp/impairment.hpp"
 #include "mp/link.hpp"
 #include "mp/network.hpp"
 #include "sim/codec.hpp"
@@ -68,12 +69,17 @@ class GuardedEmulation final : public LinkClient {
         proto_(&proto),
         codec_(std::move(codec)),
         link_(g, *this, link_cfg, seed ^ 0x9e3779b97f4a7c15ULL),
-        net_(g, link_, Delivery::kSynchronous, seed),
+        shim_(link_, g.n(), seed ^ 0xd1b54a32d192ed03ULL),
+        net_(g, shim_, Delivery::kSynchronous, seed),
         gates_(g.n(), 0) {
     SNAPPIF_ASSERT_MSG(link_cfg.data_kind < 64 && link_cfg.ack_kind < 64,
                        "link kinds must fit the allowed-kinds mask");
     net_.set_allowed_kinds((1ULL << link_cfg.data_kind) |
                            (1ULL << link_cfg.ack_kind));
+    // The shim interposes on both planes but stays a zero-RNG pass-through
+    // until an impairment is armed — every pre-existing suite over this
+    // emulation is bit-identical to the shimless stack.
+    shim_.bind(net_);
     views_.reserve(g.n());
     for (sim::ProcessorId p = 0; p < g.n(); ++p) {
       views_.emplace_back(g, proto.initial_state(p));
@@ -90,6 +96,13 @@ class GuardedEmulation final : public LinkClient {
   [[nodiscard]] Network& network() noexcept { return net_; }
   [[nodiscard]] LinkProtocol& link() noexcept { return link_; }
   [[nodiscard]] const LinkProtocol& link() const noexcept { return link_; }
+  /// Socket-level impairment layer between the link and the network —
+  /// loss/dup/reorder/delay/partition injection below the ARQ, plus
+  /// bounded-mailbox shedding.  Disarmed (pass-through) by default.
+  [[nodiscard]] ImpairmentShim& impairment() noexcept { return shim_; }
+  [[nodiscard]] const ImpairmentShim& impairment() const noexcept {
+    return shim_;
+  }
 
   void set_apply_hook(ApplyHook hook) { hook_ = std::move(hook); }
 
@@ -101,13 +114,14 @@ class GuardedEmulation final : public LinkClient {
   }
 
   /// Publishes every processor's initial snapshot (via the link start hook).
-  void start() { net_.start(); }
+  void start() { shim_.start(); }
 
-  /// One emulated round: deliver all in-flight frames, run retransmission
-  /// timers, then let every live processor apply at most one enabled action
-  /// against its cached view and publish the result.
+  /// One emulated round: release due impaired frames and deliver all
+  /// in-flight ones, run retransmission timers, then let every live
+  /// processor apply at most one enabled action against its cached view and
+  /// publish the result.
   void round() {
-    net_.step();
+    shim_.step();
     link_.tick();
     for (sim::ProcessorId p = 0; p < graph_->n(); ++p) {
       if (net_.crashed(p)) {
@@ -153,7 +167,7 @@ class GuardedEmulation final : public LinkClient {
   /// processor has an ungated enabled action.  The settle point of the
   /// recovery oracle.
   [[nodiscard]] bool quiescent() const {
-    if (net_.in_flight() != 0 || !link_.idle()) {
+    if (net_.in_flight() != 0 || !shim_.idle() || !link_.idle()) {
       return false;
     }
     for (sim::ProcessorId p = 0; p < graph_->n(); ++p) {
@@ -219,6 +233,7 @@ class GuardedEmulation final : public LinkClient {
   const P* proto_;
   C codec_;
   LinkProtocol link_;
+  ImpairmentShim shim_;
   Network net_;
   std::vector<sim::Configuration<State>> views_;
   std::vector<sim::ActionMask> gates_;

@@ -1,0 +1,183 @@
+#include "mp/impairment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace snappif::mp {
+
+namespace {
+
+double clamp_rate(double rate) noexcept {
+  SNAPPIF_ASSERT_MSG(!std::isnan(rate), "impairment rate is NaN");
+  return std::clamp(rate, 0.0, 1.0);
+}
+
+}  // namespace
+
+ImpairmentShim::ImpairmentShim(IMpProtocol& upper, std::size_t n,
+                               std::uint64_t seed)
+    : upper_(&upper),
+      rng_(seed),
+      partitioned_(n, false),
+      inbound_used_(n, 0) {}
+
+void ImpairmentShim::bind(ITransport& inner) {
+  SNAPPIF_ASSERT_MSG(inner_ == nullptr, "impairment shim already bound");
+  inner_ = &inner;
+}
+
+void ImpairmentShim::rearm() noexcept {
+  any_partition_ =
+      std::find(partitioned_.begin(), partitioned_.end(), true) !=
+      partitioned_.end();
+  armed_ = loss_rate_ > 0.0 || duplication_rate_ > 0.0 ||
+           reorder_rate_ > 0.0 || (delay_rate_ > 0.0 && delay_steps_ > 0) ||
+           delivery_budget_ > 0 || any_partition_;
+}
+
+void ImpairmentShim::set_loss_rate(double rate) noexcept {
+  loss_rate_ = clamp_rate(rate);
+  rearm();
+}
+
+void ImpairmentShim::set_duplication_rate(double rate) noexcept {
+  duplication_rate_ = clamp_rate(rate);
+  rearm();
+}
+
+void ImpairmentShim::set_reorder_rate(double rate) noexcept {
+  reorder_rate_ = clamp_rate(rate);
+  rearm();
+}
+
+void ImpairmentShim::set_delay(double rate, std::uint32_t steps) noexcept {
+  delay_rate_ = clamp_rate(rate);
+  delay_steps_ = steps;
+  rearm();
+}
+
+void ImpairmentShim::partition(ProcessorId p) {
+  SNAPPIF_ASSERT(p < partitioned_.size());
+  partitioned_[p] = true;
+  rearm();
+}
+
+void ImpairmentShim::heal(ProcessorId p) {
+  SNAPPIF_ASSERT(p < partitioned_.size());
+  partitioned_[p] = false;
+  rearm();
+}
+
+void ImpairmentShim::set_delivery_budget(std::uint32_t budget) noexcept {
+  delivery_budget_ = budget;
+  rearm();
+}
+
+void ImpairmentShim::start() {
+  SNAPPIF_ASSERT_MSG(inner_ != nullptr, "impairment shim used before bind");
+  inner_->start();
+}
+
+void ImpairmentShim::release_due() {
+  // Held frames re-enter the inner transport in insertion order once due.
+  // swap-free compaction keeps this allocation-light on the hot path.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < held_.size(); ++i) {
+    Held& h = held_[i];
+    if (h.due_step <= step_) {
+      inner_->send(h.from, h.to, h.message);
+    } else {
+      held_[kept++] = h;
+    }
+  }
+  held_.resize(kept);
+}
+
+bool ImpairmentShim::step() {
+  SNAPPIF_ASSERT_MSG(inner_ != nullptr, "impairment shim used before bind");
+  ++step_;
+  if (armed_) {
+    std::fill(inbound_used_.begin(), inbound_used_.end(), 0u);
+  }
+  // Held frames drain even after the shim is disarmed mid-run (a chaos
+  // campaign clearing its windows must not strand delayed traffic).
+  if (!held_.empty()) {
+    release_due();
+  }
+  return inner_->step();
+}
+
+bool ImpairmentShim::idle() const {
+  return held_.empty() && inner_ != nullptr && inner_->idle();
+}
+
+void ImpairmentShim::send(ProcessorId from, ProcessorId to, const Message& m) {
+  SNAPPIF_ASSERT_MSG(inner_ != nullptr, "impairment shim used before bind");
+  ++stats_.sent;
+  if (!armed_) {
+    inner_->send(from, to, m);  // pass-through: zero RNG draws
+    return;
+  }
+  if (partitioned_[from] || partitioned_[to]) {
+    ++stats_.partitioned;
+    return;
+  }
+  // One draw per fault class per frame, unconditionally — toggling one rate
+  // never shifts another fault's draw stream (mirrors mp::Network).
+  const bool dup = rng_.chance(duplication_rate_);
+  const std::uint64_t copies = dup ? 2 : 1;
+  if (dup) {
+    ++stats_.duplicated;
+  }
+  for (std::uint64_t c = 0; c < copies; ++c) {
+    const bool lost = rng_.chance(loss_rate_);
+    const bool reorder = rng_.chance(reorder_rate_);
+    const bool delay = rng_.chance(delay_rate_);
+    if (lost) {
+      ++stats_.dropped;
+      continue;
+    }
+    if (delay && delay_steps_ > 0) {
+      ++stats_.delayed;
+      held_.push_back(Held{step_ + delay_steps_, from, to, m});
+      continue;
+    }
+    if (reorder) {
+      // Hold until the next step: the frame re-enters the inner transport
+      // AFTER anything sent later this step, landing behind newer traffic.
+      ++stats_.reordered;
+      held_.push_back(Held{step_ + 1, from, to, m});
+      continue;
+    }
+    inner_->send(from, to, m);
+  }
+}
+
+void ImpairmentShim::on_start(ProcessorId p, Mailer& /*mailer*/) {
+  // The upper protocol must send through the shim, not the inner backend.
+  upper_->on_start(p, *this);
+}
+
+void ImpairmentShim::on_message(ProcessorId p, ProcessorId from,
+                                const Message& m, Mailer& /*mailer*/) {
+  if (armed_) {
+    if (partitioned_[p] || partitioned_[from]) {
+      // Frames already in flight when the partition rose die here.
+      ++stats_.partitioned;
+      return;
+    }
+    if (delivery_budget_ > 0) {
+      if (inbound_used_[p] >= delivery_budget_) {
+        ++stats_.shed;
+        return;
+      }
+      ++inbound_used_[p];
+    }
+  }
+  ++stats_.delivered;
+  upper_->on_message(p, from, m, *this);
+}
+
+}  // namespace snappif::mp

@@ -1,0 +1,126 @@
+// Socket-level fault injection as a transport decorator.
+//
+// ImpairmentShim sits *below* the link layer and *above* any ITransport
+// backend, interposing on both planes:
+//
+//   upper protocol (LinkProtocol, ...)          IMpProtocol
+//        |  sends via Mailer = shim                  ^ deliveries
+//        v                                           |
+//   ImpairmentShim  -- ITransport + IMpProtocol -- shim
+//        |  sends via inner                          ^ deliveries
+//        v                                           |
+//   inner ITransport (Network loopback or UdpTransport)
+//
+// Wiring (the inner backend is constructed WITH the shim as its protocol,
+// then bound):
+//
+//     LinkProtocol link(g, client, cfg, seed);
+//     ImpairmentShim shim(link, g.n(), seed2);
+//     Network net(g, shim, Delivery::kSynchronous, seed3);
+//     shim.bind(net);
+//     shim.start();  while (...) shim.step();
+//
+// Faults injected on the send plane: loss, duplication, reordering (the
+// frame is held and released at the NEXT step, landing behind later
+// traffic), fixed-delay windows, and bidirectional per-processor
+// partitions.  On the deliver plane: partitions again (frames already in
+// flight when the partition rose must also die) and bounded-mailbox
+// overload shedding — at most `delivery_budget` frames reach each receiver
+// per step; the excess is counted as shed and dropped, and the link
+// layer's retransmission recovers (degraded, never deadlocked).
+//
+// Determinism contract: a DISARMED shim (all rates zero, no delay, no
+// partition, no budget) is a pure pass-through that consumes ZERO RNG
+// draws — stacking it under an existing suite is bit-invisible (pinned by
+// tests/mp/test_transport.cpp).  While armed, one chance() draw per fault
+// class per frame is consumed UNCONDITIONALLY, so toggling one rate never
+// shifts another fault's draw stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/transport.hpp"
+#include "util/rng.hpp"
+
+namespace snappif::mp {
+
+class ImpairmentShim final : public ITransport, public IMpProtocol {
+ public:
+  /// `upper` is the protocol stack above the shim; `n` the processor count
+  /// (sizes the partition set and per-receiver shedding counters).
+  ImpairmentShim(IMpProtocol& upper, std::size_t n, std::uint64_t seed);
+
+  /// Binds the inner backend.  Must be called exactly once, before
+  /// start()/step()/send().
+  void bind(ITransport& inner);
+
+  // --- impairment knobs (all default off) -------------------------------
+  /// All rate setters clamp to [0,1]; NaN is a programming error (assert).
+  void set_loss_rate(double rate) noexcept;
+  void set_duplication_rate(double rate) noexcept;
+  void set_reorder_rate(double rate) noexcept;
+  /// Affected frames are held for `steps` shim steps before entering the
+  /// inner transport.  steps == 0 disables regardless of rate.
+  void set_delay(double rate, std::uint32_t steps) noexcept;
+  /// Isolates `p` bidirectionally: every frame to or from it is eaten.
+  void partition(ProcessorId p);
+  void heal(ProcessorId p);
+  [[nodiscard]] bool partitioned(ProcessorId p) const {
+    return partitioned_.at(p);
+  }
+  /// Bounded mailbox: at most `budget` deliveries per receiver per step
+  /// (0 = unlimited).  The overflow is shed, not queued — backpressure is
+  /// the link layer's retransmission, not unbounded buffering.
+  void set_delivery_budget(std::uint32_t budget) noexcept;
+
+  /// True iff any impairment is active (the pass-through fast path is off).
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+  // ITransport:
+  void start() override;
+  bool step() override;
+  [[nodiscard]] bool idle() const override;
+  [[nodiscard]] const TransportStats& transport_stats() const override {
+    return stats_;
+  }
+
+  // Mailer (send plane, called by the upper protocol):
+  void send(ProcessorId from, ProcessorId to, const Message& m) override;
+
+  // IMpProtocol (deliver plane, called by the inner backend):
+  void on_start(ProcessorId p, Mailer& mailer) override;
+  void on_message(ProcessorId p, ProcessorId from, const Message& m,
+                  Mailer& mailer) override;
+
+ private:
+  struct Held {
+    std::uint64_t due_step;
+    ProcessorId from;
+    ProcessorId to;
+    Message message;
+  };
+
+  void rearm() noexcept;
+  void release_due();
+
+  IMpProtocol* upper_;
+  ITransport* inner_ = nullptr;
+  util::Rng rng_;
+  double loss_rate_ = 0.0;
+  double duplication_rate_ = 0.0;
+  double reorder_rate_ = 0.0;
+  double delay_rate_ = 0.0;
+  std::uint32_t delay_steps_ = 0;
+  std::uint32_t delivery_budget_ = 0;  // 0 = unlimited
+  bool armed_ = false;
+  bool any_partition_ = false;
+
+  std::uint64_t step_ = 0;
+  std::vector<Held> held_;                  // released in insertion order
+  std::vector<bool> partitioned_;           // [processor]
+  std::vector<std::uint32_t> inbound_used_; // [receiver], reset per step
+  TransportStats stats_;
+};
+
+}  // namespace snappif::mp

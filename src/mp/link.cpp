@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mp/serial.hpp"
 #include "util/assert.hpp"
 
 namespace snappif::mp {
@@ -35,23 +36,34 @@ constexpr std::uint8_t header_kind(std::uint64_t a) {
   return static_cast<std::uint8_t>(a >> 32);
 }
 
-/// Serial-number arithmetic: is `a` strictly newer than `b` mod 2^16?
-/// Stop-and-wait keeps live sequence numbers within a tiny window, so any
-/// frame half a period "ahead" is really a stale copy that overtook us.
-constexpr bool newer(std::uint16_t a, std::uint16_t b) {
-  const std::uint16_t d = static_cast<std::uint16_t>(a - b);
-  return d != 0 && d < 0x8000;
-}
-
 }  // namespace
+
+std::optional<std::string> validate(const LinkConfig& cfg) {
+  if (cfg.data_kind == cfg.ack_kind) {
+    return "link data and ack kinds must differ";
+  }
+  if (cfg.rto_initial < 1) {
+    return "rto_initial must be >= 1";
+  }
+  if (cfg.rto_cap < cfg.rto_initial) {
+    return "rto_cap must be >= rto_initial";
+  }
+  if (cfg.rto_min < 1 || cfg.rto_min > cfg.rto_initial) {
+    return "rto_min must be in [1, rto_initial]";
+  }
+  if (cfg.queue_capacity < 1) {
+    return "queue_capacity must be >= 1";
+  }
+  return std::nullopt;
+}
 
 LinkProtocol::LinkProtocol(const graph::Graph& g, LinkClient& client,
                            LinkConfig cfg, std::uint64_t seed)
     : graph_(&g), client_(&client), cfg_(cfg), rng_(seed) {
-  SNAPPIF_ASSERT_MSG(cfg_.data_kind != cfg_.ack_kind,
-                     "link data and ack kinds must differ");
-  SNAPPIF_ASSERT(cfg_.rto_initial >= 1 && cfg_.rto_cap >= cfg_.rto_initial);
-  SNAPPIF_ASSERT(cfg_.queue_capacity >= 1);
+  const std::optional<std::string> objection = validate(cfg_);
+  SNAPPIF_ASSERT_MSG(!objection.has_value(),
+                     objection.has_value() ? objection->c_str()
+                                           : "link config valid");
   base_.resize(g.n() + 1, 0);
   for (ProcessorId p = 0; p < g.n(); ++p) {
     base_[p + 1] = base_[p] + g.degree(p);
@@ -87,6 +99,8 @@ void LinkProtocol::transmit(std::size_t e, SenderState& s, std::uint8_t kind,
   s.in_flight = true;
   s.kind = kind;
   s.payload = payload;
+  s.sent_tick = ticks_;
+  s.retransmitted = false;
   // +1: transmissions triggered mid-round (an ack popping the next pending
   // datagram) must not have their first tick charged by the SAME round's
   // tick() — otherwise a pipelined sender retransmits needlessly whenever
@@ -145,6 +159,7 @@ void LinkProtocol::send_latest(ProcessorId from, ProcessorId to,
 
 void LinkProtocol::tick() {
   SNAPPIF_ASSERT_MSG(mailer_ != nullptr, "link tick before network start");
+  ++ticks_;
   for (std::size_t e = 0; e < out_.size(); ++e) {
     SenderState& s = out_[e];
     if (!s.in_flight) {
@@ -155,6 +170,7 @@ void LinkProtocol::tick() {
     }
     ++stats_.timer_fires;
     ++stats_.retransmits;
+    s.retransmitted = true;  // Karn: the next ack for this frame is ambiguous
     s.backoff = std::min(s.backoff * 2, cfg_.rto_cap);
     s.timer = s.backoff;
     if (observer_ != nullptr) {
@@ -234,7 +250,7 @@ void LinkProtocol::handle_data(ProcessorId p, ProcessorId from,
     // Duplicate of the last accepted frame (channel duplication, or a
     // retransmission whose ack we lost).  Re-ack so the sender unblocks.
     ++stats_.duplicates_discarded;
-  } else if (newer(seq, r.seq)) {
+  } else if (serial_newer(seq, r.seq)) {
     r.seq = seq;
     deliver = true;
   } else {
@@ -275,7 +291,44 @@ void LinkProtocol::handle_ack(ProcessorId p, ProcessorId from,
   }
   s.in_flight = false;
   s.seq = static_cast<std::uint16_t>(s.seq + 1);
-  s.backoff = cfg_.rto_initial;
+  if (cfg_.rto_mode == RtoMode::kAdaptive) {
+    if (!s.retransmitted) {
+      // RFC 6298 scaled-integer update.  The sample is in tick() units; a
+      // same-tick round trip (synchronous loopback) counts as 1.
+      const std::int64_t sample = static_cast<std::int64_t>(
+          std::max<std::uint64_t>(1, ticks_ - s.sent_tick));
+      if (s.srtt8 == 0) {
+        s.srtt8 = static_cast<std::uint32_t>(sample << 3);   // SRTT = R
+        s.rttvar4 = static_cast<std::uint32_t>(sample << 1); // RTTVAR = R/2
+      } else {
+        std::int64_t err = sample - (static_cast<std::int64_t>(s.srtt8) >> 3);
+        const std::int64_t srtt8 =
+            std::max<std::int64_t>(8, static_cast<std::int64_t>(s.srtt8) + err);
+        if (err < 0) {
+          err = -err;
+        }
+        const std::int64_t rttvar4 = std::max<std::int64_t>(
+            0, static_cast<std::int64_t>(s.rttvar4) + err -
+                   (static_cast<std::int64_t>(s.rttvar4) >> 2));
+        s.srtt8 = static_cast<std::uint32_t>(srtt8);
+        s.rttvar4 = static_cast<std::uint32_t>(rttvar4);
+      }
+      ++stats_.rtt_samples;
+    } else {
+      // Karn's rule: an ack of a retransmitted frame is ambiguous (it may
+      // acknowledge any copy), so it must not feed the estimator.
+      ++stats_.karn_suppressed;
+    }
+    if (s.srtt8 == 0) {
+      s.backoff = cfg_.rto_initial;  // no sample yet (Karn-suppressed so far)
+    } else {
+      const std::uint32_t rto =
+          (s.srtt8 >> 3) + std::max<std::uint32_t>(1, s.rttvar4);
+      s.backoff = std::clamp(rto, cfg_.rto_min, cfg_.rto_cap);
+    }
+  } else {
+    s.backoff = cfg_.rto_initial;
+  }
   if (s.count > 0) {
     pop_and_transmit(e, s);
   }
@@ -294,6 +347,8 @@ void LinkProtocol::record_telemetry(obs::Registry& registry) const {
   registry.counter("mp.link.junk_discarded").inc(stats_.junk_discarded);
   registry.counter("mp.link.superseded").inc(stats_.superseded);
   registry.counter("mp.link.peer_resets").inc(stats_.peer_resets);
+  registry.counter("mp.link.rtt_samples").inc(stats_.rtt_samples);
+  registry.counter("mp.link.karn_suppressed").inc(stats_.karn_suppressed);
 }
 
 }  // namespace snappif::mp

@@ -39,6 +39,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -88,17 +90,45 @@ class LinkClient {
                                   LinkProtocol& /*link*/) {}
 };
 
+/// How the per-edge retransmission timeout is managed.
+enum class RtoMode : std::uint8_t {
+  /// Every fresh frame starts at rto_initial; each timer fire doubles the
+  /// timeout up to rto_cap.  The historical policy — bit-exact replay of
+  /// every recorded chaos/fuzz corpus depends on it, so it stays the
+  /// default for the simulated substrate.
+  kFixedBackoff,
+  /// Jacobson/Karn estimation (RFC 6298 integer arithmetic): SRTT and
+  /// RTTVAR are learned per directed edge from acks of frames that were
+  /// never retransmitted (Karn's ambiguity rule), RTO = SRTT + 4*RTTVAR
+  /// clamped to [rto_min, rto_cap].  Timer fires still back off
+  /// exponentially (Karn's other half).  Deterministic under the loopback
+  /// clock; the right mode for real transports whose RTT the config author
+  /// cannot know.
+  kAdaptive,
+};
+
 struct LinkConfig {
   /// Wire kinds used by the link's own frames.  User kinds travel inside the
   /// data header and are unconstrained (any uint8_t).
   std::uint8_t data_kind = 48;
   std::uint8_t ack_kind = 49;
   /// First retransmission after this many ticks; doubles per fire up to cap.
+  /// Under kAdaptive this is also the RTO used before the first RTT sample.
   std::uint32_t rto_initial = 2;
   std::uint32_t rto_cap = 16;
+  /// Lower clamp for the adaptive RTO (ignored under kFixedBackoff).
+  std::uint32_t rto_min = 1;
   /// Pending datagrams buffered per directed edge while one is in flight.
   std::size_t queue_capacity = 8;
+  RtoMode rto_mode = RtoMode::kFixedBackoff;
 };
+
+/// Human-readable objection to a malformed config (zero or inverted RTO
+/// bounds, zero pending ring, colliding wire kinds); nullopt when usable.
+/// LinkProtocol's constructor asserts this, so a bad config dies loudly at
+/// construction instead of silently misbehaving (a zero rto_initial would
+/// underflow the timer; an inverted cap would clamp backoff upward).
+[[nodiscard]] std::optional<std::string> validate(const LinkConfig& cfg);
 
 /// Everything observable about the link, mirrored into obs via
 /// record_telemetry ("mp.link.*").
@@ -115,6 +145,9 @@ struct LinkStats {
   std::uint64_t superseded = 0;            // send_latest overwrote a pending
   std::uint64_t peer_resets = 0;           // unproven incarnations accepted
                                            // (new inc OR first contact)
+  std::uint64_t rtt_samples = 0;           // acks that updated SRTT/RTTVAR
+  std::uint64_t karn_suppressed = 0;       // acks of retransmitted frames,
+                                           // excluded by Karn's rule
 };
 
 class LinkProtocol final : public IMpProtocol {
@@ -170,6 +203,13 @@ class LinkProtocol final : public IMpProtocol {
     std::uint32_t backoff = 0;    // current rto (doubles per fire, capped)
     std::size_t head = 0;         // pending ring
     std::size_t count = 0;
+    // Adaptive RTO (RtoMode::kAdaptive only; dormant otherwise).
+    // RFC 6298 scaled-integer estimators: srtt8 = SRTT<<3, rttvar4 =
+    // RTTVAR<<2; zero srtt8 means "no sample yet".
+    std::uint32_t srtt8 = 0;
+    std::uint32_t rttvar4 = 0;
+    std::uint64_t sent_tick = 0;  // tick count when the in-flight frame left
+    bool retransmitted = false;   // Karn: the in-flight frame was re-sent
   };
   struct ReceiverState {
     bool known = false;           // accepted at least one frame
@@ -202,6 +242,7 @@ class LinkProtocol final : public IMpProtocol {
   std::vector<SenderState> out_;    // out_[did(u,v)]: u's sender for u->v
   std::vector<ReceiverState> in_;   // in_[did(v,u)]: v's receiver for u->v
   std::vector<Pending> ring_;       // out_[e]'s ring at ring_[e*capacity ..]
+  std::uint64_t ticks_ = 0;         // tick() count — the adaptive RTO clock
   LinkStats stats_;
 };
 

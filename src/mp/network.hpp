@@ -28,38 +28,11 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "mp/transport.hpp"
 #include "sim/types.hpp"
 #include "util/rng.hpp"
 
 namespace snappif::mp {
-
-using sim::ProcessorId;
-
-/// A small fixed-shape message (kind + two payload words) — enough for the
-/// wave algorithms here without type erasure.
-struct Message {
-  std::uint8_t kind = 0;
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-};
-
-/// Send-side API handed to protocol callbacks.
-class Mailer {
- public:
-  virtual ~Mailer() = default;
-  virtual void send(ProcessorId from, ProcessorId to, const Message& m) = 0;
-};
-
-/// A message-passing protocol: event handlers, no direct state access by the
-/// network (protocols own their per-processor state).
-class IMpProtocol {
- public:
-  virtual ~IMpProtocol() = default;
-  /// Called once per processor before any delivery.
-  virtual void on_start(ProcessorId p, Mailer& mailer) = 0;
-  virtual void on_message(ProcessorId p, ProcessorId from, const Message& m,
-                          Mailer& mailer) = 0;
-};
 
 /// How the adversary schedules deliveries.
 enum class Delivery {
@@ -68,7 +41,9 @@ enum class Delivery {
   kSynchronous,     // lock-step: all in-flight messages deliver each round
 };
 
-class Network final : public Mailer {
+/// The deterministic in-process loopback backend of mp::ITransport — the
+/// reference transport every replayable suite runs over.
+class Network final : public ITransport {
  public:
   Network(const graph::Graph& g, IMpProtocol& protocol, Delivery delivery,
           std::uint64_t seed);
@@ -103,11 +78,22 @@ class Network final : public Mailer {
   /// delivery budget is exhausted.  Returns true iff the network quiesced.
   bool run(std::uint64_t max_deliveries = 10'000'000);
 
-  /// Delivers at most one message (kRandomChannel) or one synchronous round
-  /// (kSynchronous).  Returns false when no message is in flight.
-  bool step();
-
-  void start();
+  // ITransport: step() delivers at most one message (kRandomChannel) or one
+  // synchronous round (kSynchronous) and returns false when no message is
+  // in flight; idle() is "no message in flight".
+  bool step() override;
+  void start() override;
+  [[nodiscard]] bool idle() const override { return in_flight_ == 0; }
+  /// The delivery counters below are the source of truth; this view refreshes
+  /// the shared TransportStats shape from them on demand.
+  [[nodiscard]] const TransportStats& transport_stats() const override {
+    tstats_.sent = sent_;
+    tstats_.delivered = delivered_;
+    tstats_.dropped = dropped_ + dropped_crashed_;
+    tstats_.duplicated = duplicated_;
+    tstats_.reordered = reordered_;
+    return tstats_;
+  }
 
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
@@ -168,6 +154,7 @@ class Network final : public Mailer {
   std::uint64_t in_flight_ = 0;
   std::uint64_t rounds_ = 0;
   bool started_ = false;
+  mutable TransportStats tstats_;
 };
 
 }  // namespace snappif::mp

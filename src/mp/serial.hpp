@@ -1,0 +1,32 @@
+// Serial-number arithmetic (RFC 1982 shape) for the link layer's 16-bit
+// incarnation and sequence counters.
+//
+// Stop-and-wait keeps live sequence numbers within a tiny window, so the
+// comparison only needs to be correct locally: `a` counts as newer than `b`
+// when it is ahead by less than half the period.  Anything half a period
+// or more "ahead" is really a stale copy that overtook newer traffic (or
+// wire garbage) and must compare as NOT newer, so the receiver discards it
+// instead of re-delivering.  The subtraction is performed in uint16_t, so
+// the comparison is exact across the 2^16 wrap — pinned by the wraparound
+// suite in tests/mp/test_serial.cpp.
+#pragma once
+
+#include <cstdint>
+
+namespace snappif::mp {
+
+/// Is `a` strictly newer than `b` mod 2^16?
+[[nodiscard]] constexpr bool serial_newer(std::uint16_t a,
+                                          std::uint16_t b) noexcept {
+  const std::uint16_t d = static_cast<std::uint16_t>(a - b);
+  return d != 0 && d < 0x8000;
+}
+
+/// Forward distance from `b` to `a` mod 2^16 (how many increments take `b`
+/// to `a`); 0 iff equal.
+[[nodiscard]] constexpr std::uint16_t serial_distance(std::uint16_t a,
+                                                      std::uint16_t b) noexcept {
+  return static_cast<std::uint16_t>(a - b);
+}
+
+}  // namespace snappif::mp

@@ -1,0 +1,193 @@
+#include "mp/serve.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace snappif::mp {
+
+namespace {
+
+// User kinds carried inside link data frames.
+constexpr std::uint8_t kToken = 2;   // payload = wave number
+constexpr std::uint8_t kEcho = 3;    // payload = wave number
+constexpr std::uint8_t kStream = 4;  // payload = per-edge counter
+
+}  // namespace
+
+WaveService::WaveService(const graph::Graph& g, ServeConfig cfg)
+    : graph_(&g), cfg_(cfg) {
+  SNAPPIF_ASSERT(cfg_.root < g.n());
+  SNAPPIF_ASSERT_MSG(g.degree(cfg_.root) > 0,
+                     "serve root must have at least one neighbor");
+  const std::size_t n = g.n();
+  joined_.resize(n, 0);
+  parent_.resize(n, 0);
+  awaiting_.resize(n, 0);
+  base_.resize(n + 1, 0);
+  for (ProcessorId p = 0; p < n; ++p) {
+    base_[p + 1] = base_[p] + g.degree(p);
+  }
+  const std::size_t edges = base_[n];
+  stream_next_tx_.resize(edges, 0);
+  stream_next_rx_.resize(edges, 0);
+  last_token_wave_.resize(edges, 0);
+}
+
+void WaveService::record_telemetry(obs::Registry& registry) const {
+  registry.counter("mp.serve.waves_completed").inc(stats_.waves_completed);
+  registry.counter("mp.serve.joins").inc(stats_.joins);
+  registry.counter("mp.serve.echoes").inc(stats_.echoes);
+  registry.counter("mp.serve.stream_checks").inc(stats_.stream_checks);
+  registry.counter("mp.serve.stale_tokens").inc(stats_.stale_tokens);
+  registry.counter("mp.serve.peer_resyncs").inc(stats_.peer_resyncs);
+}
+
+void WaveService::on_link_start(ProcessorId p, LinkProtocol& link) {
+  if (p != cfg_.root || cfg_.waves == 0) {
+    return;
+  }
+  wave_ = 1;
+  if (spans_ != nullptr) {
+    wave_span_ = spans_->open(obs::SpanKind::kWave, tick_,
+                              static_cast<std::uint32_t>(cfg_.root));
+  }
+  join(cfg_.root, cfg_.root, wave_, link);
+}
+
+void WaveService::join(ProcessorId p, ProcessorId parent, std::uint64_t wave,
+                       LinkProtocol& link) {
+  joined_[p] = wave;
+  parent_[p] = parent;
+  ++stats_.joins;
+  const bool is_root = p == cfg_.root && parent == p;
+  const auto nbrs = graph_->neighbors(p);
+  std::uint32_t awaiting = 0;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const ProcessorId q = nbrs[i];
+    const std::size_t e = base_[p] + i;
+    // The in-order exactly-once probe rides along with every wave: one
+    // counter per directed edge, which the receiver asserts is gapless.
+    link.send(p, q, kStream, stream_next_tx_[e]++);
+    if (!is_root && q == parent) {
+      continue;
+    }
+    link.send(p, q, kToken, wave);
+    ++awaiting;
+  }
+  awaiting_[p] = awaiting;
+  if (awaiting == 0) {
+    // Leaf with only its parent as neighbor: echo immediately.
+    ++stats_.echoes;
+    link.send(p, parent, kEcho, wave);
+  }
+}
+
+void WaveService::on_echo(ProcessorId p, std::uint64_t wave,
+                          LinkProtocol& link) {
+  SNAPPIF_ASSERT_MSG(wave == joined_[p] && awaiting_[p] > 0,
+                     "echo for a wave this processor is not collecting");
+  ++stats_.echoes;
+  if (--awaiting_[p] > 0) {
+    return;
+  }
+  if (p == cfg_.root) {
+    complete_wave(link);
+  } else {
+    link.send(p, parent_[p], kEcho, wave);
+  }
+}
+
+void WaveService::complete_wave(LinkProtocol& link) {
+  // [PIF1]/[PIF2] in message-passing clothing: the root's feedback phase
+  // may only close once the broadcast reached every processor.
+  for (ProcessorId p = 0; p < graph_->n(); ++p) {
+    SNAPPIF_ASSERT_MSG(joined_[p] == wave_,
+                       "wave completed before every processor joined");
+  }
+  ++stats_.waves_completed;
+  if (spans_ != nullptr && wave_span_ != 0) {
+    spans_->close(wave_span_, tick_);
+    wave_span_ = 0;
+  }
+  if (done()) {
+    wave_ = 0;
+    return;
+  }
+  ++wave_;
+  if (spans_ != nullptr) {
+    wave_span_ = spans_->open(obs::SpanKind::kWave, tick_,
+                              static_cast<std::uint32_t>(cfg_.root));
+  }
+  join(cfg_.root, cfg_.root, wave_, link);
+}
+
+void WaveService::on_link_deliver(ProcessorId p, ProcessorId from,
+                                  std::uint8_t kind, std::uint64_t payload,
+                                  LinkProtocol& link) {
+  // Receiver-side edge index of (from -> p): p's row, from's slot.
+  const auto nbrs = graph_->neighbors(p);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), from);
+  SNAPPIF_ASSERT_MSG(it != nbrs.end() && *it == from,
+                     "serve delivery from a non-neighbor");
+  const std::size_t e = base_[p] + static_cast<std::size_t>(it - nbrs.begin());
+  switch (kind) {
+    case kStream:
+      // The link's exactly-once in-order contract, checked directly: any
+      // duplicate, hole, or reordering trips this assert on first violation.
+      SNAPPIF_ASSERT_MSG(payload == stream_next_rx_[e],
+                         "stream counter out of order: link delivery "
+                         "contract violated");
+      ++stream_next_rx_[e];
+      ++stats_.stream_checks;
+      return;
+    case kToken:
+      SNAPPIF_ASSERT_MSG(payload > last_token_wave_[e],
+                         "wave token not monotonically increasing on edge");
+      last_token_wave_[e] = payload;
+      if (payload > joined_[p]) {
+        join(p, from, payload, link);
+      } else if (payload == joined_[p]) {
+        // Already joined via another parent: the token still owes its
+        // sender an echo so the sender's count closes.
+        ++stats_.echoes;
+        link.send(p, from, kEcho, payload);
+      } else {
+        ++stats_.stale_tokens;
+      }
+      return;
+    case kEcho:
+      on_echo(p, payload, link);
+      return;
+    default:
+      SNAPPIF_ASSERT_MSG(false, "serve received an unknown user kind");
+  }
+}
+
+void WaveService::on_link_peer_reset(ProcessorId /*p*/, ProcessorId /*from*/,
+                                     LinkProtocol& /*link*/) {
+  // First contact on each edge surfaces here (and crash-recovery would, if
+  // the tool ever injects it); the service has no cached per-peer state to
+  // re-push — the stream counters deliberately survive, since the link
+  // contract under test is exactly-once in-order on an uncrashed edge.
+  ++stats_.peer_resyncs;
+}
+
+void ServeObserver::on_link_transmit(ProcessorId from, ProcessorId to,
+                                     bool retransmit) {
+  spans_->instant(retransmit ? obs::SpanKind::kLinkRetransmit
+                             : obs::SpanKind::kLinkSend,
+                  tick_, from, 0, service_->wave_span(), {}, to);
+}
+
+void ServeObserver::on_link_delivered(ProcessorId to, ProcessorId from) {
+  spans_->instant(obs::SpanKind::kLinkDeliver, tick_, to, 0,
+                  service_->wave_span(), {}, from);
+}
+
+void ServeObserver::on_link_peer_reset(ProcessorId to, ProcessorId from) {
+  spans_->instant(obs::SpanKind::kLinkPeerReset, tick_, to, 0,
+                  service_->wave_span(), {}, from);
+}
+
+}  // namespace snappif::mp

@@ -1,0 +1,130 @@
+// PIF-as-a-service wave driver over the reliable link: the verification
+// workload behind tools/snappif_serve.cpp and the E23 transport bench.
+//
+// WaveService runs Chang-echo PIF cycles end to end over LinkProtocol — on
+// ANY ITransport backend (deterministic loopback, impaired loopback, real
+// UDP) — and *asserts the link's delivery contract while doing it*:
+//
+//   * per-directed-edge stream counters: alongside each wave every
+//     processor sends a monotonically increasing counter to each neighbor;
+//     the receiver asserts it sees exactly 0,1,2,... — a direct
+//     exactly-once in-order check that fails loudly on the first violated
+//     delivery, duplicated frame, or hole;
+//   * per-edge token monotonicity: wave tokens arriving on one edge must
+//     carry strictly increasing wave numbers;
+//   * all-joined completion: when the root's echo closes wave w, every
+//     processor must have joined wave w (the PIF broadcast actually reached
+//     everyone before the feedback phase closed — [PIF1]/[PIF2] in
+//     message-passing clothing).
+//
+// Waves are serialized: the root initiates wave w+1 only after wave w
+// completes, so per-edge link buffering stays O(1) and completion latency
+// is a clean per-wave measurement.
+//
+// ServeObserver is the flight-recorder hook: an ILinkObserver recording
+// frame life-cycle instants (send/retransmit/deliver/peer-reset) into an
+// obs::SpanCollector, with wave spans opened/closed by the service — the
+// message-passing sibling of the emulation campaign's EmuTracer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mp/link.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace snappif::mp {
+
+struct ServeConfig {
+  ProcessorId root = 0;
+  /// Total PIF waves to run; the service is done() when the root has seen
+  /// this many complete.
+  std::uint32_t waves = 100;
+};
+
+struct ServeStats {
+  std::uint64_t waves_completed = 0;
+  std::uint64_t joins = 0;            // processor-joins across all waves
+  std::uint64_t echoes = 0;           // echo upcalls (explicit + token-as-echo)
+  std::uint64_t stream_checks = 0;    // in-order counter deliveries verified
+  std::uint64_t stale_tokens = 0;     // tokens for already-finished waves
+  std::uint64_t peer_resyncs = 0;     // on_link_peer_reset upcalls observed
+};
+
+class WaveService final : public LinkClient {
+ public:
+  WaveService(const graph::Graph& g, ServeConfig cfg);
+
+  /// Optional wave-span tracing: spans are stamped with `tick` (drive loop
+  /// sets it each step).  Pass nullptr to disable.
+  void set_spans(obs::SpanCollector* spans) noexcept { spans_ = spans; }
+  void set_tick(std::uint64_t tick) noexcept { tick_ = tick; }
+
+  [[nodiscard]] bool done() const noexcept {
+    return stats_.waves_completed >= cfg_.waves;
+  }
+  [[nodiscard]] const ServeStats& stats() const noexcept { return stats_; }
+  /// Every processor joined the most recently completed wave (checked and
+  /// asserted at each completion; exposed for end-of-run reporting).
+  [[nodiscard]] std::uint64_t current_wave() const noexcept { return wave_; }
+  /// Span id of the wave in flight (0 = none); ServeObserver attributes
+  /// frame events to it.
+  [[nodiscard]] obs::SpanId wave_span() const noexcept { return wave_span_; }
+  /// Adds the stats to `registry` as "mp.serve.*" counters.
+  void record_telemetry(obs::Registry& registry) const;
+
+  // LinkClient:
+  void on_link_start(ProcessorId p, LinkProtocol& link) override;
+  void on_link_deliver(ProcessorId p, ProcessorId from, std::uint8_t kind,
+                       std::uint64_t payload, LinkProtocol& link) override;
+  void on_link_peer_reset(ProcessorId p, ProcessorId from,
+                          LinkProtocol& link) override;
+
+ private:
+  void join(ProcessorId p, ProcessorId parent, std::uint64_t wave,
+            LinkProtocol& link);
+  void on_echo(ProcessorId p, std::uint64_t wave, LinkProtocol& link);
+  void complete_wave(LinkProtocol& link);
+
+  const graph::Graph* graph_;
+  ServeConfig cfg_;
+  obs::SpanCollector* spans_ = nullptr;
+  std::uint64_t tick_ = 0;
+  obs::SpanId wave_span_ = 0;
+
+  std::uint64_t wave_ = 0;               // wave currently in flight (0 = none)
+  std::vector<std::uint64_t> joined_;    // [p] last wave p joined
+  std::vector<ProcessorId> parent_;      // [p] parent in the current wave
+  std::vector<std::uint32_t> awaiting_;  // [p] echoes still owed this wave
+  // Per-directed-edge verification state, indexed by CSR offset (same
+  // layout as the link's sender/receiver tables).
+  std::vector<std::size_t> base_;
+  std::vector<std::uint64_t> stream_next_tx_;   // [did(u,v)] next counter out
+  std::vector<std::uint64_t> stream_next_rx_;   // [did(v,u)] next expected in
+  std::vector<std::uint64_t> last_token_wave_;  // [did(v,u)] monotonicity
+  ServeStats stats_;
+};
+
+/// Frame life-cycle flight recording for serve runs: every link event
+/// becomes an instant span attributed to the wave in flight.
+class ServeObserver final : public ILinkObserver {
+ public:
+  explicit ServeObserver(obs::SpanCollector& spans, const WaveService& service)
+      : spans_(&spans), service_(&service) {}
+
+  void set_tick(std::uint64_t tick) noexcept { tick_ = tick; }
+
+  void on_link_transmit(ProcessorId from, ProcessorId to,
+                        bool retransmit) override;
+  void on_link_delivered(ProcessorId to, ProcessorId from) override;
+  void on_link_peer_reset(ProcessorId to, ProcessorId from) override;
+
+ private:
+  obs::SpanCollector* spans_;
+  const WaveService* service_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace snappif::mp

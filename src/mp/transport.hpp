@@ -1,0 +1,126 @@
+// Message types and the pluggable transport abstraction under the
+// message-passing stack.
+//
+// Everything above this interface — LinkProtocol's ARQ, GuardedEmulation's
+// cached views, RepeatedPifProtocol, WaveService — speaks IMpProtocol and
+// Mailer only.  ITransport is the seam that decides what actually carries
+// the frames:
+//
+//   * mp::Network (network.hpp)       — the deterministic in-process
+//     loopback: per-directed-edge FIFO channels with seeded fault
+//     injection.  Every differential, chaos, and fuzz suite runs over this
+//     backend, so its semantics are the repository's reference semantics.
+//   * mp::UdpTransport (udp_transport.hpp) — real non-blocking UDP
+//     datagrams on localhost, one socket per processor, drained through an
+//     epoll event loop.  The frames on the wire carry the link layer's
+//     incarnation+sequence headers verbatim; the OS scheduler, socket
+//     buffers, and genuine datagram loss replace the simulator's adversary.
+//   * mp::ImpairmentShim (impairment.hpp) — a decorator over either
+//     backend that injects loss/duplication/reordering/delay/partition
+//     *below* the link layer and enforces bounded-mailbox overload
+//     shedding.
+//
+// The contract mirrors the simulated network so the same drive loop works
+// everywhere: construct the backend with the protocol stack, start() it
+// (which invokes IMpProtocol::on_start on every processor), then step()
+// until done.  A transport is a Mailer, so protocol callbacks can send
+// through the transport handed to them — which for a decorated stack is the
+// decorator, keeping impairment in the path of every frame.
+//
+// Determinism: Network and ImpairmentShim-over-Network are bit-exact
+// functions of their seeds.  UdpTransport is not (the kernel schedules
+// delivery); it is the measurement backend, not the replay backend.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "sim/types.hpp"
+
+namespace snappif::mp {
+
+using sim::ProcessorId;
+
+/// A small fixed-shape message (kind + two payload words) — enough for the
+/// wave algorithms here without type erasure.
+struct Message {
+  std::uint8_t kind = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Send-side API handed to protocol callbacks.
+class Mailer {
+ public:
+  virtual ~Mailer() = default;
+  virtual void send(ProcessorId from, ProcessorId to, const Message& m) = 0;
+};
+
+/// A message-passing protocol: event handlers, no direct state access by the
+/// network (protocols own their per-processor state).
+class IMpProtocol {
+ public:
+  virtual ~IMpProtocol() = default;
+  /// Called once per processor before any delivery.
+  virtual void on_start(ProcessorId p, Mailer& mailer) = 0;
+  virtual void on_message(ProcessorId p, ProcessorId from, const Message& m,
+                          Mailer& mailer) = 0;
+};
+
+/// Frame accounting every transport keeps, mirrored into obs as
+/// "mp.transport.*" by record_telemetry.  Backends leave fields that cannot
+/// happen to them at zero (the loopback never sees rx_errors; a clean UDP
+/// run never sheds).
+struct TransportStats {
+  std::uint64_t sent = 0;         // frames accepted from the layer above
+  std::uint64_t delivered = 0;    // frames dispatched into the protocol
+  std::uint64_t dropped = 0;      // injected loss + failed socket sends
+  std::uint64_t duplicated = 0;   // extra copies injected
+  std::uint64_t reordered = 0;    // frames deferred behind later traffic
+  std::uint64_t delayed = 0;      // frames held back by a delay window
+  std::uint64_t partitioned = 0;  // frames eaten by an active partition
+  std::uint64_t shed = 0;         // inbound frames dropped by the bounded
+                                  // mailbox (overload shedding)
+  std::uint64_t rx_errors = 0;    // malformed/undersized datagrams off the
+                                  // wire (UDP), counted and dropped
+};
+
+/// A transport: owns delivery of Message frames between processors and
+/// drives the bound IMpProtocol.  See the backend matrix above.
+class ITransport : public Mailer {
+ public:
+  /// Invokes IMpProtocol::on_start on every processor, exactly once.
+  virtual void start() = 0;
+
+  /// Advances the transport by one quantum: the loopback delivers one
+  /// message (async) or one synchronous round; the UDP backend polls and
+  /// drains readable sockets; the shim additionally releases due delayed
+  /// frames first.  Returns true if any frame was delivered.
+  virtual bool step() = 0;
+
+  /// Nothing buffered in THIS layer.  For the loopback that is "no message
+  /// in flight"; for the shim, "no delayed frame held AND the inner
+  /// transport is idle"; for UDP, "the most recent step drained nothing"
+  /// (the kernel may still hold datagrams — callers poll until idle holds
+  /// across consecutive steps).
+  [[nodiscard]] virtual bool idle() const = 0;
+
+  /// Frame accounting; see TransportStats.
+  [[nodiscard]] virtual const TransportStats& transport_stats() const = 0;
+
+  /// Adds the stats to `registry` as "mp.transport.*" counters.
+  void record_telemetry(obs::Registry& registry) const {
+    const TransportStats& s = transport_stats();
+    registry.counter("mp.transport.sent").inc(s.sent);
+    registry.counter("mp.transport.delivered").inc(s.delivered);
+    registry.counter("mp.transport.dropped").inc(s.dropped);
+    registry.counter("mp.transport.duplicated").inc(s.duplicated);
+    registry.counter("mp.transport.reordered").inc(s.reordered);
+    registry.counter("mp.transport.delayed").inc(s.delayed);
+    registry.counter("mp.transport.partitioned").inc(s.partitioned);
+    registry.counter("mp.transport.shed").inc(s.shed);
+    registry.counter("mp.transport.rx_errors").inc(s.rx_errors);
+  }
+};
+
+}  // namespace snappif::mp

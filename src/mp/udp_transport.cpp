@@ -1,0 +1,171 @@
+#include "mp/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace snappif::mp {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46495053;  // "SPIF"
+constexpr std::size_t kFrameSize = 32;
+
+struct WireFrame {
+  std::uint32_t magic;
+  std::uint32_t from;
+  std::uint32_t to;
+  std::uint8_t kind;
+  std::uint8_t pad[3];
+  std::uint64_t a;
+  std::uint64_t b;
+};
+static_assert(sizeof(WireFrame) == kFrameSize);
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(const graph::Graph& g, IMpProtocol& protocol,
+                           UdpConfig cfg)
+    : graph_(&g), protocol_(&protocol), cfg_(cfg) {
+  epoll_fd_ = epoll_create1(0);
+  SNAPPIF_ASSERT_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+  sockets_.resize(g.n(), -1);
+  ports_.resize(g.n(), 0);
+  for (ProcessorId p = 0; p < g.n(); ++p) {
+    const int fd = socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+    SNAPPIF_ASSERT_MSG(fd >= 0, "udp socket() failed");
+    const std::uint16_t want =
+        cfg_.base_port == 0
+            ? std::uint16_t{0}
+            : static_cast<std::uint16_t>(cfg_.base_port + p);
+    sockaddr_in addr = loopback_addr(want);
+    SNAPPIF_ASSERT_MSG(
+        bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0,
+        "udp bind() failed");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    SNAPPIF_ASSERT(getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
+                   0);
+    ports_[p] = ntohs(bound.sin_port);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u32 = static_cast<std::uint32_t>(p);
+    SNAPPIF_ASSERT_MSG(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+                       "epoll_ctl ADD failed");
+    sockets_[p] = fd;
+  }
+}
+
+UdpTransport::~UdpTransport() {
+  for (const int fd : sockets_) {
+    if (fd >= 0) {
+      close(fd);
+    }
+  }
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+  }
+}
+
+std::uint16_t UdpTransport::port(ProcessorId p) const {
+  SNAPPIF_ASSERT(p < ports_.size());
+  return ports_[p];
+}
+
+bool UdpTransport::neighbors(ProcessorId u, ProcessorId v) const {
+  const auto nbrs = graph_->neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void UdpTransport::start() {
+  SNAPPIF_ASSERT_MSG(!started_, "transport started twice");
+  started_ = true;
+  for (ProcessorId p = 0; p < graph_->n(); ++p) {
+    protocol_->on_start(p, *this);
+  }
+}
+
+void UdpTransport::send(ProcessorId from, ProcessorId to, const Message& m) {
+  SNAPPIF_ASSERT(from < graph_->n() && to < graph_->n());
+  SNAPPIF_ASSERT_MSG(neighbors(from, to), "udp send on a non-edge");
+  ++stats_.sent;
+  WireFrame frame{};
+  frame.magic = kMagic;
+  frame.from = static_cast<std::uint32_t>(from);
+  frame.to = static_cast<std::uint32_t>(to);
+  frame.kind = m.kind;
+  frame.a = m.a;
+  frame.b = m.b;
+  const sockaddr_in dest = loopback_addr(ports_[to]);
+  const ssize_t sent =
+      sendto(sockets_[from], &frame, sizeof(frame), 0,
+             reinterpret_cast<const sockaddr*>(&dest), sizeof(dest));
+  if (sent != static_cast<ssize_t>(sizeof(frame))) {
+    // Full socket buffer or transient kernel refusal: a real datagram loss.
+    // The link layer's retransmission owns recovery.
+    ++stats_.dropped;
+  }
+}
+
+bool UdpTransport::step() {
+  SNAPPIF_ASSERT_MSG(started_, "transport step before start");
+  epoll_event events[64];
+  std::uint32_t drained = 0;
+  bool more = true;
+  bool first_wait = true;
+  while (more && drained < cfg_.max_datagrams_per_step) {
+    // Only the first wait of a step may block (poll_timeout_ms); once we are
+    // draining, go non-blocking so a step stays bounded.
+    const int timeout = first_wait ? cfg_.poll_timeout_ms : 0;
+    first_wait = false;
+    const int ready = epoll_wait(epoll_fd_, events, 64, timeout);
+    if (ready <= 0) {
+      break;
+    }
+    more = false;
+    for (int i = 0; i < ready && drained < cfg_.max_datagrams_per_step; ++i) {
+      const ProcessorId p = static_cast<ProcessorId>(events[i].data.u32);
+      // Drain this socket until empty or the step budget runs out.
+      while (drained < cfg_.max_datagrams_per_step) {
+        WireFrame frame{};
+        const ssize_t n =
+            recv(sockets_[p], &frame, sizeof(frame), 0);
+        if (n < 0) {
+          break;  // EAGAIN: socket drained
+        }
+        more = true;  // something was readable; poll again after this batch
+        if (n != static_cast<ssize_t>(kFrameSize) || frame.magic != kMagic ||
+            frame.to != static_cast<std::uint32_t>(p) ||
+            frame.from >= graph_->n() ||
+            !neighbors(static_cast<ProcessorId>(frame.from), p)) {
+          ++stats_.rx_errors;
+          continue;
+        }
+        ++drained;
+        ++stats_.delivered;
+        protocol_->on_message(p, static_cast<ProcessorId>(frame.from),
+                              Message{frame.kind, frame.a, frame.b}, *this);
+      }
+    }
+  }
+  last_step_empty_ = drained == 0;
+  return drained > 0;
+}
+
+}  // namespace snappif::mp

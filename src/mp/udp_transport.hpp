@@ -1,0 +1,89 @@
+// Real-datagram ITransport backend: non-blocking UDP sockets on localhost,
+// one per processor, drained through an epoll event loop.
+//
+// This is the measurement backend — the point where the repository's link
+// layer stops being simulated and faces an actual kernel: real socket
+// buffers, real scheduling jitter, and (under load or an ImpairmentShim)
+// real loss.  The 32-byte wire frame carries mp::Message verbatim — the
+// link layer's incarnation+sequence headers travel inside Message.a exactly
+// as they do over the loopback, so the ARQ/stop-and-wait machinery is
+// byte-for-byte the code every deterministic suite already pins.
+//
+// Wire frame (little-endian, 32 bytes):
+//   u32 magic      "SPIF" (0x46495053) — anything else is rx_errors
+//   u32 from       sending processor id
+//   u32 to         receiving processor id (must own the socket it lands on)
+//   u8  kind, u8[3] zero padding
+//   u64 a, u64 b   Message payload words
+//
+// Malformed datagrams (wrong size, bad magic, out-of-range ids, frames on
+// the wrong socket, non-edges) are counted as rx_errors and dropped — wire
+// garbage is the adversary's move, not a crash.  Failed sends (full socket
+// buffer, EWOULDBLOCK) count as dropped; the link retransmits.
+//
+// NOT deterministic: the kernel schedules delivery.  Replayable suites run
+// over mp::Network; this backend exists for snappif_serve, the E23 bench,
+// and the UDP soak.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mp/transport.hpp"
+
+namespace snappif::mp {
+
+struct UdpConfig {
+  /// 0 (default): bind each socket to an OS-assigned ephemeral port
+  /// (collision-proof for tests); otherwise processor p binds base_port+p.
+  std::uint16_t base_port = 0;
+  /// Per-step drain bound across all sockets — keeps one chatty neighbor
+  /// from starving the rest of the step loop.
+  std::uint32_t max_datagrams_per_step = 1024;
+  /// epoll_wait timeout per step.  0 = non-blocking poll; small positive
+  /// values trade latency for idle CPU in soak loops.
+  int poll_timeout_ms = 0;
+};
+
+class UdpTransport final : public ITransport {
+ public:
+  /// Binds one socket per processor eagerly; asserts on socket/bind/epoll
+  /// failure (an unusable substrate is fatal, not a fault to inject).
+  UdpTransport(const graph::Graph& g, IMpProtocol& protocol, UdpConfig cfg);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// The UDP port processor p actually bound (resolves ephemeral binds).
+  [[nodiscard]] std::uint16_t port(ProcessorId p) const;
+
+  // ITransport:
+  void start() override;
+  bool step() override;
+  /// "The most recent step drained nothing."  The kernel may still hold
+  /// datagrams in flight — callers poll until idle holds across steps.
+  [[nodiscard]] bool idle() const override { return last_step_empty_; }
+  [[nodiscard]] const TransportStats& transport_stats() const override {
+    return stats_;
+  }
+
+  // Mailer:
+  void send(ProcessorId from, ProcessorId to, const Message& m) override;
+
+ private:
+  [[nodiscard]] bool neighbors(ProcessorId u, ProcessorId v) const;
+
+  const graph::Graph* graph_;
+  IMpProtocol* protocol_;
+  UdpConfig cfg_;
+  int epoll_fd_ = -1;
+  std::vector<int> sockets_;            // [processor]
+  std::vector<std::uint16_t> ports_;    // [processor], resolved
+  bool started_ = false;
+  bool last_step_empty_ = true;
+  TransportStats stats_;
+};
+
+}  // namespace snappif::mp

@@ -340,6 +340,182 @@ TEST(ShapeValidation, NamesTheDegenerateKnob) {
   }
 }
 
+TEST(Schedule, TransportEventToStringForms) {
+  FaultEvent tloss{.round = 5,
+                   .kind = EventKind::kTransportLoss,
+                   .rate = 0.25,
+                   .duration = 10};
+  EXPECT_EQ(tloss.to_string(), "5:tloss@0.25/10");
+
+  FaultEvent tdelay{.round = 5,
+                    .kind = EventKind::kTransportDelay,
+                    .magnitude = 2,
+                    .rate = 0.3,
+                    .duration = 10};
+  EXPECT_EQ(tdelay.to_string(), "5:tdelay@0.3/10*2");
+
+  FaultEvent tpart{.round = 8,
+                   .kind = EventKind::kTransportPartition,
+                   .magnitude = 3,
+                   .duration = 6};
+  EXPECT_EQ(tpart.to_string(), "8:tpart(3,6)");
+}
+
+TEST(Schedule, TransportEventsRoundtrip) {
+  const char* samples[] = {
+      "5:tloss@0.25/10", "5:tdup@0.5/1",    "5:treorder@1/3",
+      "5:tdelay@0.3/10*2", "5:tdelay@0/1*1", "8:tpart(3,6)",
+      "0:tpart(0,1)",
+  };
+  for (const char* text : samples) {
+    const auto ev = FaultEvent::parse(text);
+    ASSERT_TRUE(ev.has_value()) << text;
+    EXPECT_EQ(ev->to_string(), text) << text;
+    const auto again = FaultEvent::parse(ev->to_string());
+    ASSERT_TRUE(again.has_value()) << text;
+    EXPECT_EQ(*again, *ev) << text;
+  }
+}
+
+TEST(Schedule, MalformedTransportEventsAreRejected) {
+  const char* bad[] = {
+      "5:tloss*3",          // wrong separator for a window kind
+      "5:tloss@0.25",       // window needs a duration
+      "5:tloss@1.5/3",      // rate out of range
+      "5:tloss@nan/3",      // NaN rate
+      "5:tdelay@0.3/10",    // tdelay needs '*steps'
+      "5:tdelay@0.3/10*0",  // zero hold is no delay
+      "5:tdelay@0.3/10*-2", // negative hold
+      "5:tdelay@0.3/10*x",  // non-numeric hold
+      "5:tdelay@nan/3*2",   // NaN rate with valid steps
+      "8:tpart",            // no argument list
+      "8:tpart(3)",         // missing duration
+      "8:tpart(3,6",        // unterminated
+      "8:tpart(x,6)",       // non-numeric processor
+      "8:tpart(3,y)",       // non-numeric duration
+      "8:tpart(5000000000,6)",  // processor overflows 32 bits
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(FaultEvent::parse(text).has_value()) << text;
+  }
+}
+
+TEST(ScheduleParseError, TransportDiagnosesArePositional) {
+  struct Case {
+    const char* text;
+    std::size_t position;
+    const char* token;
+    const char* message;
+  };
+  const Case cases[] = {
+      {"5:tloss*3", 7, "", "window needs '@rate/duration'"},
+      {"5:tdelay*3", 8, "", "window needs '@rate/duration*steps'"},
+      {"5:tdelay@0.3/10", 9, "0.3/10", "tdelay needs '*steps'"},
+      {"5:tdelay@0.3/10*-2", 16, "-2", "bad delay steps"},
+      {"5:tdelay@0.3/10*0", 16, "0", "bad delay steps"},
+      {"5:tdelay@nan/3*2", 9, "nan", "bad rate"},
+      {"8:tpart(3)", 8, "3", "two ','-separated arguments"},
+      {"8:tpart(x,6)", 8, "x", "bad partition processor"},
+      {"8:tpart(3,y)", 10, "y", "bad partition duration"},
+  };
+  for (const Case& c : cases) {
+    ParseError error;
+    EXPECT_FALSE(FaultEvent::parse(c.text, &error).has_value()) << c.text;
+    EXPECT_EQ(error.position, c.position) << c.text;
+    EXPECT_EQ(error.token, c.token) << c.text;
+    EXPECT_NE(error.message.find(c.message), std::string::npos)
+        << c.text << " -> " << error.message;
+  }
+}
+
+TEST(Schedule, ContainsTransportSpotsEveryImpairmentKind) {
+  const char* transport[] = {"5:tloss@0.25/10", "5:tdup@0.5/1",
+                             "5:treorder@1/3", "5:tdelay@0.3/10*2",
+                             "8:tpart(3,6)"};
+  for (const char* text : transport) {
+    const auto schedule = FaultSchedule::parse(text);
+    ASSERT_TRUE(schedule.has_value()) << text;
+    EXPECT_TRUE(schedule->contains_transport()) << text;
+  }
+  // mp-level channel faults are NOT transport impairments: they live in the
+  // simulated network, not under the link.
+  const auto mp_only = FaultSchedule::parse("3:loss@0.5/4;9:crash(2,6,reset)");
+  ASSERT_TRUE(mp_only.has_value());
+  EXPECT_FALSE(mp_only->contains_transport());
+}
+
+TEST(Schedule, RandomSchedulesEmitTransportEventsOnlyWhenAsked) {
+  util::Rng rng(88);
+  CampaignShape shape;
+  shape.events = 10;
+  shape.horizon_rounds = 60;
+  shape.message_passing = true;
+  shape.crash = true;
+  shape.crash_processors = 16;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(random_schedule(shape, rng).contains_transport());
+  }
+  shape.transport = true;
+  shape.max_delay_steps = 4;
+  bool saw_delay = false;
+  bool saw_partition = false;
+  for (int i = 0; i < 60; ++i) {
+    const FaultSchedule schedule = random_schedule(shape, rng);
+    for (const FaultEvent& ev : schedule.events) {
+      if (ev.kind == EventKind::kTransportDelay) {
+        saw_delay = true;
+        EXPECT_GE(ev.magnitude, 1u);
+        EXPECT_LE(ev.magnitude, shape.max_delay_steps);
+      }
+      if (ev.kind == EventKind::kTransportPartition) {
+        saw_partition = true;
+        EXPECT_LT(ev.magnitude, shape.crash_processors);
+      }
+    }
+    // The one-line form replays to the identical schedule.
+    const auto replay = FaultSchedule::parse(schedule.to_string());
+    ASSERT_TRUE(replay.has_value());
+    EXPECT_EQ(*replay, schedule);
+  }
+  EXPECT_TRUE(saw_delay);
+  EXPECT_TRUE(saw_partition);
+}
+
+TEST(ShapeValidation, NamesTheDegenerateTransportKnob) {
+  struct Case {
+    const char* expect;
+    void (*tweak)(CampaignShape&);
+  };
+  const Case cases[] = {
+      {"need message_passing",
+       [](CampaignShape& s) {
+         s.transport = true;
+         s.message_passing = false;
+       }},
+      {"zero max_delay_steps",
+       [](CampaignShape& s) {
+         s.message_passing = true;
+         s.transport = true;
+         s.crash_processors = 8;
+         s.max_delay_steps = 0;
+       }},
+      {"zero crash_processors",
+       [](CampaignShape& s) {
+         s.message_passing = true;
+         s.transport = true;
+         s.crash_processors = 0;
+       }},
+  };
+  for (const Case& c : cases) {
+    CampaignShape shape;
+    c.tweak(shape);
+    const auto objection = validate(shape);
+    ASSERT_TRUE(objection.has_value()) << c.expect;
+    EXPECT_NE(objection->find(c.expect), std::string::npos)
+        << c.expect << " -> " << *objection;
+  }
+}
+
 TEST(ShapeValidationDeathTest, RandomScheduleRejectsDegenerateShapes) {
   util::Rng rng(1);
   CampaignShape zero_events;

@@ -1,0 +1,318 @@
+// The ITransport seam and the ImpairmentShim decorator: polymorphic
+// driving, the disarmed-shim bit-invisibility contract, per-fault-class
+// accounting, partitions, bounded-mailbox shedding, and the NaN/bind
+// programming-error asserts.
+#include "mp/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mp/impairment.hpp"
+#include "mp/link.hpp"
+#include "mp/network.hpp"
+#include "obs/metrics.hpp"
+
+namespace snappif::mp {
+namespace {
+
+/// Records every exactly-once upcall from the link layer.
+class Recorder final : public LinkClient {
+ public:
+  void on_link_start(ProcessorId, LinkProtocol&) override {}
+  void on_link_deliver(ProcessorId p, ProcessorId from, std::uint8_t,
+                       std::uint64_t payload, LinkProtocol&) override {
+    delivered.push_back({p, from, payload});
+  }
+  void on_link_peer_reset(ProcessorId, ProcessorId, LinkProtocol&) override {}
+
+  struct Entry {
+    ProcessorId to;
+    ProcessorId from;
+    std::uint64_t payload;
+  };
+  std::vector<Entry> delivered;
+};
+
+/// Bare protocol that counts deliveries (no reliability layer) — lets the
+/// shim's own semantics be observed without retransmission masking them.
+class RawSink final : public IMpProtocol {
+ public:
+  void on_start(ProcessorId, Mailer&) override {}
+  void on_message(ProcessorId, ProcessorId, const Message& m,
+                  Mailer&) override {
+    payloads.push_back(m.a);
+  }
+  std::vector<std::uint64_t> payloads;
+};
+
+[[nodiscard]] bool drain(ITransport& t, LinkProtocol& link, int budget = 10000) {
+  for (int i = 0; i < budget; ++i) {
+    if (t.idle() && link.idle()) {
+      return true;
+    }
+    t.step();
+    link.tick();
+  }
+  return false;
+}
+
+TEST(Transport, NetworkIsDrivableThroughTheInterface) {
+  const auto g = graph::make_path(2);
+  Recorder client;
+  LinkProtocol link(g, client, LinkConfig{}, 1);
+  Network net(g, link, Delivery::kSynchronous, 2);
+  ITransport& transport = net;  // the loopback IS an ITransport
+  transport.start();
+  link.send(0, 1, 3, 42);
+  ASSERT_TRUE(drain(transport, link));
+  ASSERT_EQ(client.delivered.size(), 1u);
+  EXPECT_EQ(client.delivered[0].payload, 42u);
+  const TransportStats& s = transport.transport_stats();
+  EXPECT_GT(s.sent, 0u);
+  EXPECT_GT(s.delivered, 0u);
+  EXPECT_EQ(s.dropped, 0u);
+  EXPECT_EQ(s.rx_errors, 0u);
+}
+
+TEST(Transport, DisarmedShimIsBitInvisible) {
+  // The same lossy link workload, with and without a disarmed shim in the
+  // stack, must produce IDENTICAL results — not just equivalent ones.  The
+  // disarmed shim consumes zero RNG draws, so the loopback's fault stream
+  // (and therefore every retransmission, duplicate, and delivery) is
+  // bit-exact.  This is the contract that lets the shim sit permanently
+  // inside GuardedEmulation without invalidating any seeded suite.
+  const auto g = graph::make_random_connected(8, 16, 42);
+  auto run = [&](bool with_shim) {
+    Recorder client;
+    LinkProtocol link(g, client, LinkConfig{}, 7);
+    std::vector<Recorder::Entry> out;
+    LinkStats stats;
+    if (with_shim) {
+      ImpairmentShim shim(link, g.n(), 99);  // armed_ stays false: seed unused
+      Network net(g, shim, Delivery::kSynchronous, 8);
+      shim.bind(net);
+      net.set_loss_rate(0.3);
+      net.set_duplication_rate(0.2);
+      net.set_reorder_rate(0.2);
+      shim.start();
+      for (ProcessorId p = 0; p < g.n(); ++p) {
+        for (const auto v : g.neighbors(p)) {
+          link.send(p, v, 1, p * 100 + v);
+        }
+      }
+      EXPECT_TRUE(drain(shim, link));
+      out = client.delivered;
+      stats = link.stats();
+    } else {
+      Network net(g, link, Delivery::kSynchronous, 8);
+      net.set_loss_rate(0.3);
+      net.set_duplication_rate(0.2);
+      net.set_reorder_rate(0.2);
+      net.start();
+      for (ProcessorId p = 0; p < g.n(); ++p) {
+        for (const auto v : g.neighbors(p)) {
+          link.send(p, v, 1, p * 100 + v);
+        }
+      }
+      EXPECT_TRUE(drain(net, link));
+      out = client.delivered;
+      stats = link.stats();
+    }
+    return std::make_pair(out, stats);
+  };
+  const auto [bare, bare_stats] = run(false);
+  const auto [shimmed, shim_stats] = run(true);
+  ASSERT_EQ(bare.size(), shimmed.size());
+  for (std::size_t i = 0; i < bare.size(); ++i) {
+    EXPECT_EQ(bare[i].to, shimmed[i].to) << i;
+    EXPECT_EQ(bare[i].from, shimmed[i].from) << i;
+    EXPECT_EQ(bare[i].payload, shimmed[i].payload) << i;
+  }
+  // Identical fault streams leave identical fingerprints on the link.
+  EXPECT_EQ(bare_stats.retransmits, shim_stats.retransmits);
+  EXPECT_EQ(bare_stats.duplicates_discarded, shim_stats.duplicates_discarded);
+  EXPECT_EQ(bare_stats.stale_discarded, shim_stats.stale_discarded);
+  EXPECT_EQ(bare_stats.timer_fires, shim_stats.timer_fires);
+}
+
+TEST(Transport, ShimLossDropsEveryFrame) {
+  const auto g = graph::make_path(2);
+  RawSink sink;
+  ImpairmentShim shim(sink, g.n(), 5);
+  Network net(g, shim, Delivery::kSynchronous, 6);
+  shim.bind(net);
+  shim.set_loss_rate(1.0);
+  EXPECT_TRUE(shim.armed());
+  shim.start();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    shim.send(0, 1, Message{1, i, 0});
+  }
+  for (int s = 0; s < 5; ++s) {
+    shim.step();
+  }
+  EXPECT_TRUE(sink.payloads.empty());
+  EXPECT_EQ(shim.transport_stats().sent, 10u);
+  EXPECT_EQ(shim.transport_stats().dropped, 10u);
+  EXPECT_EQ(shim.transport_stats().delivered, 0u);
+}
+
+TEST(Transport, ShimDuplicationInjectsExtraCopies) {
+  const auto g = graph::make_path(2);
+  RawSink sink;
+  ImpairmentShim shim(sink, g.n(), 5);
+  Network net(g, shim, Delivery::kSynchronous, 6);
+  shim.bind(net);
+  shim.set_duplication_rate(1.0);
+  shim.start();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    shim.send(0, 1, Message{1, i, 0});
+  }
+  while (!shim.idle()) {
+    shim.step();
+  }
+  EXPECT_EQ(shim.transport_stats().duplicated, 8u);
+  EXPECT_EQ(sink.payloads.size(), 16u);  // every frame arrives twice
+}
+
+TEST(Transport, ShimDelayHoldsFramesForConfiguredSteps) {
+  const auto g = graph::make_path(2);
+  RawSink sink;
+  ImpairmentShim shim(sink, g.n(), 5);
+  Network net(g, shim, Delivery::kSynchronous, 6);
+  shim.bind(net);
+  shim.set_delay(1.0, 3);
+  shim.start();
+  shim.send(0, 1, Message{1, 7, 0});
+  EXPECT_FALSE(shim.idle());  // held, not lost
+  shim.step();
+  shim.step();
+  EXPECT_TRUE(sink.payloads.empty());  // still inside the hold window
+  for (int s = 0; s < 4 && sink.payloads.empty(); ++s) {
+    shim.step();
+  }
+  ASSERT_EQ(sink.payloads.size(), 1u);
+  EXPECT_EQ(sink.payloads[0], 7u);
+  EXPECT_EQ(shim.transport_stats().delayed, 1u);
+  EXPECT_TRUE(shim.idle());
+}
+
+TEST(Transport, HeldFramesDrainAfterDisarm) {
+  // A chaos campaign zeroes every rate at its quiet point; frames still in
+  // the delay buffer must drain anyway or quiescence would never arrive.
+  const auto g = graph::make_path(2);
+  RawSink sink;
+  ImpairmentShim shim(sink, g.n(), 5);
+  Network net(g, shim, Delivery::kSynchronous, 6);
+  shim.bind(net);
+  shim.set_delay(1.0, 5);
+  shim.start();
+  shim.send(0, 1, Message{1, 9, 0});
+  shim.set_delay(0.0, 0);  // disarm with the frame still held
+  EXPECT_FALSE(shim.armed());
+  EXPECT_FALSE(shim.idle());
+  for (int s = 0; s < 10 && !shim.idle(); ++s) {
+    shim.step();
+  }
+  ASSERT_EQ(sink.payloads.size(), 1u);
+  EXPECT_EQ(sink.payloads[0], 9u);
+}
+
+TEST(Transport, PartitionEatsBothDirectionsUntilHealed) {
+  const auto g = graph::make_path(2);
+  Recorder client;
+  LinkProtocol link(g, client, LinkConfig{}, 11);
+  ImpairmentShim shim(link, g.n(), 12);
+  Network net(g, shim, Delivery::kSynchronous, 13);
+  shim.bind(net);
+  shim.start();
+
+  shim.partition(1);
+  EXPECT_TRUE(shim.partitioned(1));
+  link.send(0, 1, 1, 10);
+  link.send(1, 0, 1, 20);
+  for (int s = 0; s < 30; ++s) {
+    shim.step();
+    link.tick();
+  }
+  EXPECT_TRUE(client.delivered.empty());
+  EXPECT_GT(shim.transport_stats().partitioned, 0u);
+
+  // Heal: the link's retransmission timer re-offers both frames and
+  // delivery completes without any new send() from the client.
+  shim.heal(1);
+  EXPECT_FALSE(shim.partitioned(1));
+  ASSERT_TRUE(drain(shim, link));
+  ASSERT_EQ(client.delivered.size(), 2u);
+  EXPECT_GT(link.stats().retransmits, 0u);
+}
+
+TEST(Transport, DeliveryBudgetShedsOverloadAndLinkRecovers) {
+  // Two senders converge on processor 1 with a one-frame-per-step mailbox:
+  // the overflow is shed (counted), and the link layer's retransmission
+  // still completes every delivery — degraded, never deadlocked.
+  const auto g = graph::make_path(3);
+  Recorder client;
+  LinkProtocol link(g, client, LinkConfig{}, 21);
+  ImpairmentShim shim(link, g.n(), 22);
+  Network net(g, shim, Delivery::kSynchronous, 23);
+  shim.bind(net);
+  shim.set_delivery_budget(1);
+  shim.start();
+  link.send(0, 1, 1, 100);
+  link.send(2, 1, 1, 200);
+  ASSERT_TRUE(drain(shim, link));
+  ASSERT_EQ(client.delivered.size(), 2u);
+  EXPECT_GT(shim.transport_stats().shed, 0u);
+}
+
+TEST(Transport, RecordTelemetryExportsEveryCounter) {
+  const auto g = graph::make_path(2);
+  RawSink sink;
+  ImpairmentShim shim(sink, g.n(), 5);
+  Network net(g, shim, Delivery::kSynchronous, 6);
+  shim.bind(net);
+  shim.set_loss_rate(1.0);
+  shim.start();
+  shim.send(0, 1, Message{1, 1, 0});
+  obs::Registry registry;
+  shim.record_telemetry(registry);
+  EXPECT_EQ(registry.counter("mp.transport.sent").value(), 1u);
+  EXPECT_EQ(registry.counter("mp.transport.dropped").value(), 1u);
+  EXPECT_EQ(registry.counter("mp.transport.delivered").value(), 0u);
+  EXPECT_EQ(registry.counter("mp.transport.shed").value(), 0u);
+  EXPECT_EQ(registry.counter("mp.transport.rx_errors").value(), 0u);
+}
+
+TEST(TransportDeath, NanRateIsAProgrammingError) {
+  const auto g = graph::make_path(2);
+  RawSink sink;
+  ImpairmentShim shim(sink, g.n(), 5);
+  EXPECT_DEATH(shim.set_loss_rate(std::numeric_limits<double>::quiet_NaN()),
+               "NaN");
+  EXPECT_DEATH(
+      shim.set_delay(std::numeric_limits<double>::quiet_NaN(), 2), "NaN");
+}
+
+TEST(TransportDeath, ShimBindsExactlyOnce) {
+  const auto g = graph::make_path(2);
+  RawSink sink;
+  ImpairmentShim shim(sink, g.n(), 5);
+  Network net(g, shim, Delivery::kSynchronous, 6);
+  shim.bind(net);
+  EXPECT_DEATH(shim.bind(net), "already bound");
+}
+
+TEST(TransportDeath, ShimUseBeforeBindIsAProgrammingError) {
+  const auto g = graph::make_path(2);
+  RawSink sink;
+  ImpairmentShim shim(sink, g.n(), 5);
+  EXPECT_DEATH(shim.start(), "before bind");
+  EXPECT_DEATH(shim.send(0, 1, Message{1, 0, 0}), "before bind");
+}
+
+}  // namespace
+}  // namespace snappif::mp
