@@ -1,0 +1,258 @@
+// E24 — pipelined waves: what the sliding-window link and concurrent wave
+// streams buy over E23's stop-and-wait serialized baseline.
+//
+// E23 measured one wave at a time over a window-1 link: every frame waits a
+// full RTT for its ack, and an impaired UDP wire turns each lost frame into
+// a multi-RTO stall for the whole wave.  This experiment sweeps the two
+// pipelining axes the Issue 10 link added:
+//
+//   * window  — LinkConfig::window in {1, 8}: how many frames a directed
+//     edge keeps in flight before blocking on the cumulative ack (with
+//     per-flush coalescing on, so a burst rides one datagram);
+//   * streams — ServeConfig::streams in {1, 4}: how many independent PIF
+//     waves, rooted at distinct processors, propagate concurrently over the
+//     same links (stream-tagged tokens; exactly-once, in-order, and
+//     all-joined asserted live per stream).
+//
+// over the four transport configurations of E23 (loopback / UDP, clean /
+// 20% loss + dup/reorder).  window=1 × streams=1 IS the E23 configuration —
+// the bit-exactness contract means its numbers carry over as the baseline —
+// and window=8 × streams=4 is the headline: the CI gate requires it to hold
+// a 2x waves/s advantage on impaired UDP, where pipelining pays the most
+// (loss recovery overlaps useful traffic instead of serializing behind it).
+//
+//   * default: table mode — the {window} x {streams} grid per backend;
+//   * --quick [--json=PATH]: fixed-workload report that writes
+//     BENCH_e24.json for scripts/check_bench_regression.py.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "mp/impairment.hpp"
+#include "mp/link.hpp"
+#include "mp/network.hpp"
+#include "mp/serve.hpp"
+#include "mp/udp_transport.hpp"
+#include "util/stats.hpp"
+
+namespace snappif {
+namespace {
+
+struct Impair {
+  double loss = 0.0;
+  double dup = 0.0;
+  double reorder = 0.0;
+};
+
+struct WaveRun {
+  double waves_per_s = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t steps = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t coalesced_frames = 0;
+  std::uint64_t wire_dropped = 0;
+  bool completed = false;
+};
+
+/// Runs `waves` PIF waves PER STREAM over the chosen backend with the given
+/// window depth and stream count, timing each wave completion (any stream).
+/// The step budget bounds a (hypothetical) deadlock so a bench run can't
+/// hang; `completed` reports whether every stream finished its quota.
+WaveRun measure_waves(const graph::Graph& g, bool use_udp,
+                      const Impair& impair, std::uint32_t waves,
+                      std::size_t window, std::uint32_t streams,
+                      std::uint64_t seed) {
+  mp::ServeConfig serve_cfg;
+  serve_cfg.waves = waves;
+  serve_cfg.streams = streams;
+  mp::WaveService service(g, serve_cfg);
+
+  mp::LinkConfig link_cfg;
+  link_cfg.rto_mode = mp::RtoMode::kAdaptive;
+  link_cfg.window = window;
+  link_cfg.queue_capacity = window < 8 ? std::size_t{8} : 2 * window;
+  link_cfg.coalesce = window > 1;
+  // Tight RTO for the bench topology: steps are sub-millisecond here, so a
+  // lost frame parked behind a 16-step cap stalls its whole stream while the
+  // wire sits idle.  cap=4/min=1 cuts total steps ~3x under 20% loss and lets
+  // concurrent streams keep per-edge batches full.
+  link_cfg.rto_cap = 4;
+  link_cfg.rto_min = 1;
+  mp::LinkProtocol link(g, service, link_cfg, seed ^ 0x9e3779b97f4a7c15ULL);
+
+  mp::ImpairmentShim shim(link, g.n(), seed ^ 0xd1b54a32d192ed03ULL);
+  shim.set_loss_rate(impair.loss);
+  shim.set_duplication_rate(impair.dup);
+  shim.set_reorder_rate(impair.reorder);
+
+  std::unique_ptr<mp::Network> net;
+  std::unique_ptr<mp::UdpTransport> udp;
+  if (use_udp) {
+    udp = std::make_unique<mp::UdpTransport>(g, shim, mp::UdpConfig{});
+    shim.bind(*udp);
+  } else {
+    net = std::make_unique<mp::Network>(g, shim, mp::Delivery::kSynchronous,
+                                        seed);
+    shim.bind(*net);
+  }
+
+  const std::uint64_t total_waves =
+      static_cast<std::uint64_t>(waves) * streams;
+  const std::uint64_t max_steps = total_waves * 4000 + 100000;
+
+  WaveRun run;
+  util::Samples wave_us;
+  shim.start();
+  std::uint64_t completed = 0;
+  auto wave_t0 = std::chrono::steady_clock::now();
+  const auto t0 = wave_t0;
+  while (!service.done() && run.steps < max_steps) {
+    shim.step();
+    link.tick();
+    service.pump(link);
+    link.flush();
+    ++run.steps;
+    while (service.stats().waves_completed > completed) {
+      ++completed;
+      const auto now = std::chrono::steady_clock::now();
+      wave_us.add(
+          std::chrono::duration<double, std::micro>(now - wave_t0).count());
+      wave_t0 = now;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  run.completed = service.done();
+  run.waves_per_s = static_cast<double>(completed) / seconds;
+  if (!wave_us.empty()) {
+    run.p50_us = wave_us.quantile(0.5);
+    run.p99_us = wave_us.quantile(0.99);
+  }
+  run.retransmits = link.stats().retransmits;
+  run.coalesced_frames = link.stats().coalesced_frames;
+  run.wire_dropped = shim.transport_stats().dropped;
+  return run;
+}
+
+struct Backend {
+  const char* name;
+  const char* key;  // metric suffix
+  bool udp;
+  Impair impair;
+};
+
+constexpr Impair kClean{};
+constexpr Impair kImpaired{0.2, 0.05, 0.05};
+
+const Backend kBackends[] = {
+    {"loopback", "loopback", false, kClean},
+    {"loopback+impair", "loopback_impaired", false, kImpaired},
+    {"udp", "udp", true, kClean},
+    {"udp+impair", "udp_impaired", true, kImpaired},
+};
+
+struct Shape {
+  std::size_t window;
+  std::uint32_t streams;
+};
+
+const Shape kShapes[] = {{1, 1}, {8, 1}, {1, 4}, {8, 4}, {8, 16}};
+
+int run_quick_report(const util::Cli& cli) {
+  const bool quick = cli.get_bool("quick", false);
+  std::string path = cli.get_string("json", "BENCH_e24.json");
+  if (path.empty()) {
+    path = "BENCH_e24.json";  // bare --json
+  }
+  // Per-stream quota: the w1/s1 corner then runs the same total workload as
+  // E23 quick mode, so waves_per_s_w1_s1_* is directly comparable to E23's
+  // waves_per_s_*.
+  const std::uint32_t waves = quick ? 200 : 1000;
+  const graph::NodeId n = 16;
+  const auto g = graph::make_random_connected(n, 2 * n, 42);
+
+  bench::JsonReport report(
+      "E24",
+      "pipelined waves: waves/s and p99 wave latency for window {1,8} x "
+      "streams {1,4} over loopback vs real UDP, clean vs 20% loss + "
+      "dup/reorder impairment");
+  report.set_string("mode", quick ? "quick" : "full");
+  report.set_string("graph", "random_connected(16, 32 extra edges, seed 42)");
+  report.set_string("impairment", "loss=0.2 dup=0.05 reorder=0.05");
+  report.add_size(n);
+
+  std::printf("E24 quick report (%s, %u waves/stream, n=%u)\n",
+              quick ? "quick" : "full", waves, n);
+  std::printf("%18s %10s %12s %12s %12s\n", "transport", "shape", "waves/s",
+              "p99 us", "retransmits");
+  for (const Backend& b : kBackends) {
+    for (const Shape& s : kShapes) {
+      const WaveRun run =
+          measure_waves(g, b.udp, b.impair, waves, s.window, s.streams, 24000);
+      if (!run.completed) {
+        std::fprintf(stderr,
+                     "FAIL: %s w%zu s%u did not complete %u waves/stream "
+                     "in %llu steps\n",
+                     b.name, s.window, s.streams, waves,
+                     static_cast<unsigned long long>(run.steps));
+        return 1;
+      }
+      char shape[32];
+      std::snprintf(shape, sizeof shape, "w%zu s%u", s.window, s.streams);
+      char suffix[48];
+      std::snprintf(suffix, sizeof suffix, "_w%zu_s%u_%s", s.window,
+                    s.streams, b.key);
+      report.set_metric(std::string("waves_per_s") + suffix, run.waves_per_s);
+      report.set_metric(std::string("p99_wave_us") + suffix, run.p99_us);
+      std::printf("%18s %10s %12.0f %12.1f %12llu\n", b.name, shape,
+                  run.waves_per_s, run.p99_us,
+                  static_cast<unsigned long long>(run.retransmits));
+    }
+  }
+  if (!report.write(path)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+void run() {
+  bench::print_header(
+      "E24  Pipelined waves",
+      "a sliding-window link plus concurrent stream-tagged waves overlaps "
+      "loss recovery with useful traffic — impaired UDP throughput scales "
+      "with window x streams while exactly-once per stream stays asserted");
+
+  util::Table table({"transport", "window", "streams", "waves/s", "p50 us",
+                     "p99 us", "retransmits", "coalesced", "wire dropped"});
+  const std::uint32_t kWaves = 150;
+  const auto g = graph::make_random_connected(16, 32, 42);
+  for (const Backend& b : kBackends) {
+    for (const Shape& s : kShapes) {
+      const WaveRun run =
+          measure_waves(g, b.udp, b.impair, kWaves, s.window, s.streams, 24000);
+      table.add_row({b.name, util::fmt(s.window), util::fmt(s.streams),
+                     util::fmt(run.waves_per_s), util::fmt(run.p50_us),
+                     util::fmt(run.p99_us), util::fmt(run.retransmits),
+                     util::fmt(run.coalesced_frames),
+                     util::fmt(run.wire_dropped)});
+    }
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+}  // namespace snappif
+
+int main(int argc, char** argv) {
+  const snappif::util::Cli cli(argc, argv);
+  if (cli.has("quick") || cli.has("json")) {
+    return snappif::run_quick_report(cli);
+  }
+  snappif::bench::init(argc, argv);
+  snappif::run();
+  return 0;
+}

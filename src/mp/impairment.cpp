@@ -155,6 +155,60 @@ void ImpairmentShim::send(ProcessorId from, ProcessorId to, const Message& m) {
   }
 }
 
+void ImpairmentShim::send_batch(ProcessorId from, ProcessorId to,
+                                const Message* frames, std::size_t count) {
+  SNAPPIF_ASSERT_MSG(inner_ != nullptr, "impairment shim used before bind");
+  if (!armed_) {
+    stats_.sent += count;
+    inner_->send_batch(from, to, frames, count);  // pass-through: zero draws
+    return;
+  }
+  // Armed: each frame faces the full fault menu with its own draws (one per
+  // fault class, unconditionally, in batch order — same stream as
+  // dissolving into send() calls).  Copies that come through untouched are
+  // staged and forwarded as ONE inner batch: dropped and held copies never
+  // reach the wire this step, so the surviving batch is in wire order and
+  // the only difference from frame-by-frame dissolution is fewer inner
+  // sends (one datagram instead of many, on a real transport).
+  survivors_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const Message& m = frames[i];
+    ++stats_.sent;
+    if (partitioned_[from] || partitioned_[to]) {
+      ++stats_.partitioned;
+      continue;
+    }
+    const bool dup = rng_.chance(duplication_rate_);
+    const std::uint64_t copies = dup ? 2 : 1;
+    if (dup) {
+      ++stats_.duplicated;
+    }
+    for (std::uint64_t c = 0; c < copies; ++c) {
+      const bool lost = rng_.chance(loss_rate_);
+      const bool reorder = rng_.chance(reorder_rate_);
+      const bool delay = rng_.chance(delay_rate_);
+      if (lost) {
+        ++stats_.dropped;
+        continue;
+      }
+      if (delay && delay_steps_ > 0) {
+        ++stats_.delayed;
+        held_.push_back(Held{step_ + delay_steps_, from, to, m});
+        continue;
+      }
+      if (reorder) {
+        ++stats_.reordered;
+        held_.push_back(Held{step_ + 1, from, to, m});
+        continue;
+      }
+      survivors_.push_back(m);
+    }
+  }
+  if (!survivors_.empty()) {
+    inner_->send_batch(from, to, survivors_.data(), survivors_.size());
+  }
+}
+
 void ImpairmentShim::on_start(ProcessorId p, Mailer& /*mailer*/) {
   // The upper protocol must send through the shim, not the inner backend.
   upper_->on_start(p, *this);

@@ -87,6 +87,15 @@ class ImpairmentShim final : public ITransport, public IMpProtocol {
 
   // Mailer (send plane, called by the upper protocol):
   void send(ProcessorId from, ProcessorId to, const Message& m) override;
+  /// Disarmed: the batch is forwarded wholesale (zero RNG draws — still
+  /// bit-invisible).  Armed: every frame gets its one-draw-per-fault-class
+  /// treatment in batch order — coalescing cannot hide frames from the
+  /// adversary — but copies that survive untouched are re-coalesced and
+  /// forwarded as one inner batch.  Dropped/held frames never reach the
+  /// wire this step, so the surviving batch preserves wire order and the
+  /// draw stream is identical to dissolving frame by frame.
+  void send_batch(ProcessorId from, ProcessorId to, const Message* frames,
+                  std::size_t count) override;
 
   // IMpProtocol (deliver plane, called by the inner backend):
   void on_start(ProcessorId p, Mailer& mailer) override;
@@ -117,6 +126,7 @@ class ImpairmentShim final : public ITransport, public IMpProtocol {
   bool any_partition_ = false;
 
   std::uint64_t step_ = 0;
+  std::vector<Message> survivors_;          // armed send_batch staging
   std::vector<Held> held_;                  // released in insertion order
   std::vector<bool> partitioned_;           // [processor]
   std::vector<std::uint32_t> inbound_used_; // [receiver], reset per step

@@ -11,9 +11,11 @@ namespace {
 
 // Data header (Message.a): bits [0,16) incarnation, [16,32) sequence,
 // [32,40) user kind, [40,64) must be zero.  Ack header: same minus the user
-// kind.  Anything violating the zero bits is junk (arbitrary initial channel
-// content), counted and dropped rather than asserted — garbage on the wire
-// is the adversary's move, not a programming error.
+// kind; with window > 1 the ack sequence is CUMULATIVE (everything up to and
+// including it is acknowledged).  Anything violating the zero bits is junk
+// (arbitrary initial channel content), counted and dropped rather than
+// asserted — garbage on the wire is the adversary's move, not a programming
+// error.
 constexpr std::uint64_t pack_data(std::uint16_t inc, std::uint16_t seq,
                                   std::uint8_t kind) {
   return static_cast<std::uint64_t>(inc) |
@@ -48,11 +50,32 @@ std::optional<std::string> validate(const LinkConfig& cfg) {
   if (cfg.rto_cap < cfg.rto_initial) {
     return "rto_cap must be >= rto_initial";
   }
-  if (cfg.rto_min < 1 || cfg.rto_min > cfg.rto_initial) {
+  if (cfg.rto_min < 1) {
+    return "rto_min must be >= 1";
+  }
+  if (cfg.rto_mode == RtoMode::kAdaptive) {
+    // The adaptive clamp is [rto_min, rto_cap]; an inverted pair would make
+    // std::clamp's behavior undefined and the intent meaningless.
+    if (cfg.rto_min > cfg.rto_cap) {
+      return "rto_min must be <= rto_cap under kAdaptive";
+    }
+  } else if (cfg.rto_min > cfg.rto_initial) {
     return "rto_min must be in [1, rto_initial]";
   }
   if (cfg.queue_capacity < 1) {
     return "queue_capacity must be >= 1";
+  }
+  if (cfg.window < 1) {
+    return "window must be >= 1";
+  }
+  if (cfg.window > cfg.queue_capacity) {
+    return "window must be <= queue_capacity (the pending ring refills the "
+           "window)";
+  }
+  if (cfg.window > 16384) {
+    // Sender window + receiver reorder buffer must fit well inside half the
+    // 16-bit sequence space or serial_newer comparisons become ambiguous.
+    return "window must be <= 16384 (serial-number arithmetic headroom)";
   }
   return std::nullopt;
 }
@@ -80,10 +103,22 @@ LinkProtocol::LinkProtocol(const graph::Graph& g, LinkClient& client,
   }
   out_.resize(edges);
   in_.resize(edges);
+  wslot_.resize(edges * cfg_.window);
+  rslot_.resize(edges * cfg_.window);
   ring_.resize(edges * cfg_.queue_capacity);
+  if (cfg_.coalesce) {
+    // Worst case an edge emits in one step: a full window refill plus an ack
+    // per delivered frame; anything beyond the stage triggers an early
+    // batch, never an allocation.
+    stage_cap_ = 2 * cfg_.window + 4;
+    stage_.resize(edges * stage_cap_);
+    stage_count_.resize(edges, 0);
+    stage_flag_.resize(edges, 0);
+    staged_edges_.reserve(edges);
+  }
   for (SenderState& s : out_) {
     s.inc = static_cast<std::uint16_t>(rng_());
-    s.backoff = cfg_.rto_initial;
+    s.base_rto = cfg_.rto_initial;
   }
 }
 
@@ -94,24 +129,66 @@ std::size_t LinkProtocol::did(ProcessorId u, ProcessorId v) const {
   return base_[u] + static_cast<std::size_t>(it - nbrs.begin());
 }
 
+void LinkProtocol::emit(std::size_t e, const Message& m) {
+  if (!cfg_.coalesce) {
+    mailer_->send(src_[e], dst_[e], m);
+    return;
+  }
+  std::size_t& n = stage_count_[e];
+  if (n == stage_cap_) {
+    // Stage overflow: ship this edge's batch early rather than grow.
+    ++stats_.coalesced_batches;
+    stats_.coalesced_frames += n;
+    mailer_->send_batch(src_[e], dst_[e], &stage_[e * stage_cap_], n);
+    n = 0;
+  }
+  if (stage_flag_[e] == 0) {
+    stage_flag_[e] = 1;
+    staged_edges_.push_back(e);
+  }
+  stage_[e * stage_cap_ + n] = m;
+  ++n;
+}
+
+void LinkProtocol::flush() {
+  if (!cfg_.coalesce || mailer_ == nullptr) {
+    return;
+  }
+  for (const std::size_t e : staged_edges_) {
+    stage_flag_[e] = 0;
+    std::size_t& n = stage_count_[e];
+    if (n == 0) {
+      continue;  // reset_endpoint dropped this edge's staged frames
+    }
+    ++stats_.coalesced_batches;
+    stats_.coalesced_frames += n;
+    mailer_->send_batch(src_[e], dst_[e], &stage_[e * stage_cap_], n);
+    n = 0;
+  }
+  staged_edges_.clear();
+}
+
 void LinkProtocol::transmit(std::size_t e, SenderState& s, std::uint8_t kind,
                             std::uint64_t payload) {
-  s.in_flight = true;
-  s.kind = kind;
-  s.payload = payload;
-  s.sent_tick = ticks_;
-  s.retransmitted = false;
+  const std::uint16_t seq = s.next;
+  s.next = static_cast<std::uint16_t>(s.next + 1);
+  ++s.inflight;
+  WindowSlot& slot = wslot(e, seq);
+  slot.kind = kind;
+  slot.payload = payload;
+  slot.sent_tick = ticks_;
+  slot.retransmitted = false;
+  slot.backoff = s.base_rto;
   // +1: transmissions triggered mid-round (an ack popping the next pending
   // datagram) must not have their first tick charged by the SAME round's
   // tick() — otherwise a pipelined sender retransmits needlessly whenever
   // the round-trip time equals the initial RTO.
-  s.timer = s.backoff + 1;
+  slot.timer = s.base_rto + 1;
   ++stats_.data_sent;
   if (observer_ != nullptr) {
     observer_->on_link_transmit(src_[e], dst_[e], /*retransmit=*/false);
   }
-  mailer_->send(src_[e], dst_[e],
-                Message{cfg_.data_kind, pack_data(s.inc, s.seq, kind), payload});
+  emit(e, Message{cfg_.data_kind, pack_data(s.inc, seq, kind), payload});
 }
 
 void LinkProtocol::pop_and_transmit(std::size_t e, SenderState& s) {
@@ -121,19 +198,36 @@ void LinkProtocol::pop_and_transmit(std::size_t e, SenderState& s) {
   transmit(e, s, next.kind, next.payload);
 }
 
-void LinkProtocol::send(ProcessorId from, ProcessorId to, std::uint8_t kind,
-                        std::uint64_t payload) {
+bool LinkProtocol::try_send(ProcessorId from, ProcessorId to,
+                            std::uint8_t kind, std::uint64_t payload) {
   SNAPPIF_ASSERT_MSG(mailer_ != nullptr, "link send before network start");
   const std::size_t e = did(from, to);
   SenderState& s = out_[e];
-  if (!s.in_flight && s.count == 0) {
+  if (s.count == 0 && s.inflight < effective_window(s)) {
     transmit(e, s, kind, payload);
-    return;
+    return true;
   }
-  SNAPPIF_ASSERT_MSG(s.count < cfg_.queue_capacity, "link pending ring full");
-  ring_[e * cfg_.queue_capacity + (s.head + s.count) % cfg_.queue_capacity] =
-      Pending{kind, payload};
-  ++s.count;
+  if (s.count < cfg_.queue_capacity) {
+    ring_[e * cfg_.queue_capacity + (s.head + s.count) % cfg_.queue_capacity] =
+        Pending{kind, payload};
+    ++s.count;
+    return true;
+  }
+  ++stats_.backpressured;
+  return false;
+}
+
+void LinkProtocol::send(ProcessorId from, ProcessorId to, std::uint8_t kind,
+                        std::uint64_t payload) {
+  SNAPPIF_ASSERT_MSG(try_send(from, to, kind, payload),
+                     "link pending ring full");
+}
+
+bool LinkProtocol::can_send(ProcessorId from, ProcessorId to) const {
+  const SenderState& s = out_[did(from, to)];
+  // A free ring slot always suffices: try_send either transmits directly
+  // (window open, ring empty) or enqueues.
+  return s.count < cfg_.queue_capacity;
 }
 
 void LinkProtocol::send_latest(ProcessorId from, ProcessorId to,
@@ -141,7 +235,7 @@ void LinkProtocol::send_latest(ProcessorId from, ProcessorId to,
   SNAPPIF_ASSERT_MSG(mailer_ != nullptr, "link send before network start");
   const std::size_t e = did(from, to);
   SenderState& s = out_[e];
-  if (!s.in_flight && s.count == 0) {
+  if (s.count == 0 && s.inflight < effective_window(s)) {
     transmit(e, s, kind, payload);
     return;
   }
@@ -162,23 +256,43 @@ void LinkProtocol::tick() {
   ++ticks_;
   for (std::size_t e = 0; e < out_.size(); ++e) {
     SenderState& s = out_[e];
-    if (!s.in_flight) {
-      continue;
+    for (std::uint16_t i = 0; i < s.inflight; ++i) {
+      const std::uint16_t seq = static_cast<std::uint16_t>(s.una + i);
+      WindowSlot& slot = wslot(e, seq);
+      if (--slot.timer > 0) {
+        continue;
+      }
+      if (i != 0) {
+        // Only the base of the window retransmits on timeout.  Everything
+        // behind it is either buffered at the receiver (it fills the hole,
+        // the cumulative ack retires the lot) or will become the base
+        // itself within an RTO — retransmitting the whole window on one
+        // lost frame is a go-back-N storm the reorder buffer exists to
+        // avoid.  At window=1 the base is the only slot, so stop-and-wait
+        // behavior is bit-identical.
+        slot.timer = s.base_rto;
+        continue;
+      }
+      ++stats_.timer_fires;
+      ++stats_.retransmits;
+      slot.retransmitted = true;  // Karn: the next ack is ambiguous
+      slot.backoff = std::min(slot.backoff * 2, cfg_.rto_cap);
+      slot.timer = slot.backoff;
+      if (observer_ != nullptr) {
+        observer_->on_link_transmit(src_[e], dst_[e], /*retransmit=*/true);
+      }
+      emit(e, Message{cfg_.data_kind, pack_data(s.inc, seq, slot.kind),
+                      slot.payload});
     }
-    if (--s.timer > 0) {
-      continue;
-    }
-    ++stats_.timer_fires;
-    ++stats_.retransmits;
-    s.retransmitted = true;  // Karn: the next ack for this frame is ambiguous
-    s.backoff = std::min(s.backoff * 2, cfg_.rto_cap);
-    s.timer = s.backoff;
-    if (observer_ != nullptr) {
-      observer_->on_link_transmit(src_[e], dst_[e], /*retransmit=*/true);
-    }
-    mailer_->send(src_[e], dst_[e],
-                  Message{cfg_.data_kind, pack_data(s.inc, s.seq, s.kind),
-                          s.payload});
+  }
+}
+
+void LinkProtocol::clear_recv_window(std::size_t e) {
+  if (cfg_.window == 1) {
+    return;  // no reorder buffer at stop-and-wait
+  }
+  for (std::size_t w = 0; w < cfg_.window; ++w) {
+    rslot_[e * cfg_.window + w].valid = false;
   }
 }
 
@@ -188,18 +302,29 @@ void LinkProtocol::reset_endpoint(ProcessorId p) {
     SenderState& s = out_[e];
     const std::uint16_t old_inc = s.inc;
     s = SenderState{};
-    s.backoff = cfg_.rto_initial;
+    s.base_rto = cfg_.rto_initial;
     do {
       s.inc = static_cast<std::uint16_t>(rng_());
     } while (s.inc == old_inc);
     in_[e].known = false;  // in_[did(p, q)]: p's receiver for q -> p
+    clear_recv_window(e);
+    if (cfg_.coalesce) {
+      stage_count_[e] = 0;  // a crash loses buffers staged for the wire too
+    }
   }
 }
 
 bool LinkProtocol::idle() const noexcept {
   for (const SenderState& s : out_) {
-    if (s.in_flight || s.count > 0) {
+    if (s.inflight > 0 || s.count > 0) {
       return false;
+    }
+  }
+  if (cfg_.coalesce) {
+    for (const std::size_t n : stage_count_) {
+      if (n > 0) {
+        return false;
+      }
     }
   }
   return true;
@@ -222,6 +347,21 @@ void LinkProtocol::on_message(ProcessorId p, ProcessorId from,
   }
 }
 
+void LinkProtocol::send_ack(std::size_t e, std::uint16_t inc,
+                            std::uint16_t seq) {
+  ++stats_.acks_sent;
+  emit(e, Message{cfg_.ack_kind, pack_ack(inc, seq), 0});
+}
+
+void LinkProtocol::deliver_frame(ProcessorId p, ProcessorId from,
+                                 std::uint8_t kind, std::uint64_t payload) {
+  ++stats_.delivered;
+  if (observer_ != nullptr) {
+    observer_->on_link_delivered(p, from);
+  }
+  client_->on_link_deliver(p, from, kind, payload, *this);
+}
+
 void LinkProtocol::handle_data(ProcessorId p, ProcessorId from,
                                const Message& m) {
   if ((m.a >> 40) != 0) {
@@ -230,9 +370,10 @@ void LinkProtocol::handle_data(ProcessorId p, ProcessorId from,
   }
   const std::uint16_t inc = header_inc(m.a);
   const std::uint16_t seq = header_seq(m.a);
-  ReceiverState& r = in_[did(p, from)];
-  bool deliver = false;
-  bool resync = false;
+  // did(p, from) is both p's receiver index for (from -> p) and p's sender
+  // index for the reverse edge the ack travels on.
+  const std::size_t e = did(p, from);
+  ReceiverState& r = in_[e];
   if (!r.known || inc != r.inc) {
     // First contact, or the peer restarted with a fresh incarnation.  Both
     // surface as on_link_peer_reset: an incarnation we cannot prove
@@ -240,40 +381,102 @@ void LinkProtocol::handle_data(ProcessorId p, ProcessorId from,
     // view of us.  (Treating only inc != r.inc as a reset has a deadlock: if
     // WE reset — clearing r.known — and the peer then reboots, its new
     // incarnation would slip through this branch silently and the peer's
-    // corrupt view of us would never be corrected.)
-    resync = true;
+    // corrupt view of us would never be corrected.)  Buffered gap frames
+    // belong to the dead incarnation: drop them.
+    clear_recv_window(e);
     r.known = true;
     r.inc = inc;
     r.seq = seq;
-    deliver = true;
-  } else if (seq == r.seq) {
-    // Duplicate of the last accepted frame (channel duplication, or a
-    // retransmission whose ack we lost).  Re-ack so the sender unblocks.
-    ++stats_.duplicates_discarded;
-  } else if (serial_newer(seq, r.seq)) {
-    r.seq = seq;
-    deliver = true;
-  } else {
-    // A stale copy that overtook newer traffic (reordering).  No ack: acking
-    // it could never match anything legitimately in flight anyway.
-    ++stats_.stale_discarded;
-    return;
-  }
-  ++stats_.acks_sent;
-  mailer_->send(p, from, Message{cfg_.ack_kind, pack_ack(inc, seq), 0});
-  if (deliver) {
+    send_ack(e, inc, seq);
     ++stats_.delivered;
-    if (resync) {
-      ++stats_.peer_resets;
-      if (observer_ != nullptr) {
-        observer_->on_link_peer_reset(p, from);
-      }
-      client_->on_link_peer_reset(p, from, *this);
+    ++stats_.peer_resets;
+    if (observer_ != nullptr) {
+      observer_->on_link_peer_reset(p, from);
     }
+    client_->on_link_peer_reset(p, from, *this);
     if (observer_ != nullptr) {
       observer_->on_link_delivered(p, from);
     }
     client_->on_link_deliver(p, from, header_kind(m.a), m.b, *this);
+    return;
+  }
+  if (seq == r.seq) {
+    // Duplicate of the in-order point (channel duplication, or a
+    // retransmission whose ack we lost).  Re-ack so the sender unblocks.
+    ++stats_.duplicates_discarded;
+    send_ack(e, inc, r.seq);
+    return;
+  }
+  if (!serial_newer(seq, r.seq)) {
+    // A stale copy that overtook newer traffic (reordering).  At window = 1
+    // no ack: acking it could never match anything legitimately in flight.
+    // With a window the cumulative re-ack is useful — the original ack that
+    // advanced us past this frame may have been lost, and one cumulative
+    // ack retires everything up to the in-order point.
+    ++stats_.stale_discarded;
+    if (cfg_.window > 1) {
+      send_ack(e, inc, r.seq);
+    }
+    return;
+  }
+  if (cfg_.window == 1) {
+    // Historical stop-and-wait acceptance: ANY newer frame advances the
+    // in-order point, gaps included (the sender had at most one frame in
+    // flight, so a gap means send_latest superseded the hole).  Bit-exact
+    // with the pre-window implementation — seeded corpora replay on it.
+    r.seq = seq;
+    send_ack(e, inc, seq);
+    deliver_frame(p, from, header_kind(m.a), m.b);
+    return;
+  }
+  const std::uint16_t gap = serial_distance(seq, r.seq);
+  if (gap > cfg_.window) {
+    // A live sender's window is bounded by its oldest un-acked frame, which
+    // is never past our in-order point + 1 — only wire garbage lands here.
+    ++stats_.ooo_dropped;
+    return;
+  }
+  if (gap > 1) {
+    // Ahead of the hole: park it, and re-ack the in-order point.  The
+    // duplicate cumulative ack tells the sender its base frame went missing
+    // while newer traffic got through — three of them trigger a fast
+    // retransmit of the hole without waiting out the RTO (the timer stays
+    // armed as the backstop).
+    RecvSlot& slot = rslot(e, seq);
+    if (slot.valid && slot.seq == seq) {
+      ++stats_.duplicates_discarded;
+    } else {
+      slot.valid = true;
+      slot.seq = seq;
+      slot.kind = header_kind(m.a);
+      slot.payload = m.b;
+      ++stats_.ooo_buffered;
+    }
+    send_ack(e, inc, r.seq);
+    return;
+  }
+  // gap == 1: the in-order successor.  Scan the contiguous run of buffered
+  // frames it unlocks, ack the whole run cumulatively FIRST (acks precede
+  // delivery upcalls, which may send), then deliver in sequence order.
+  std::uint16_t last = seq;
+  while (true) {
+    const RecvSlot& nx = rslot(e, static_cast<std::uint16_t>(last + 1));
+    if (!nx.valid || nx.seq != static_cast<std::uint16_t>(last + 1)) {
+      break;
+    }
+    last = static_cast<std::uint16_t>(last + 1);
+  }
+  send_ack(e, inc, last);
+  r.seq = seq;
+  deliver_frame(p, from, header_kind(m.a), m.b);
+  while (r.seq != last) {
+    RecvSlot& nx = rslot(e, static_cast<std::uint16_t>(r.seq + 1));
+    nx.valid = false;
+    r.seq = static_cast<std::uint16_t>(r.seq + 1);
+    const std::uint8_t kind = nx.kind;
+    const std::uint64_t payload = nx.payload;
+    ++stats_.ooo_delivered;
+    deliver_frame(p, from, kind, payload);
   }
 }
 
@@ -285,18 +488,49 @@ void LinkProtocol::handle_ack(ProcessorId p, ProcessorId from,
   }
   const std::size_t e = did(p, from);
   SenderState& s = out_[e];
-  if (!s.in_flight || header_inc(m.a) != s.inc || header_seq(m.a) != s.seq) {
+  const std::uint16_t aseq = header_seq(m.a);
+  // Cumulative: valid iff it lands inside [una, una+inflight).  An ack of
+  // una-1 (a re-ack the receiver sent for a duplicate we no longer have in
+  // flight) is spurious, exactly as the stop-and-wait exact-match was.
+  if (s.inflight == 0 || header_inc(m.a) != s.inc ||
+      serial_distance(aseq, s.una) >= s.inflight) {
+    if (cfg_.window > 1 && s.inflight > 0 && header_inc(m.a) == s.inc &&
+        aseq == static_cast<std::uint16_t>(s.una - 1)) {
+      // Duplicate cumulative ack: the receiver parked traffic beyond our
+      // base frame but has not seen the base itself.  Three of them mean
+      // the hole is lost, not late — retransmit it now instead of waiting
+      // out the RTO (which stays armed as the backstop).  One lost frame
+      // otherwise head-of-line-blocks every stream multiplexed on the edge
+      // for a full timeout.
+      if (++s.dupacks == 3) {
+        s.dupacks = 0;
+        WindowSlot& base = wslot(e, s.una);
+        base.retransmitted = true;  // Karn: the next ack is ambiguous
+        base.timer = base.backoff;
+        ++stats_.retransmits;
+        ++stats_.fast_retransmits;
+        if (observer_ != nullptr) {
+          observer_->on_link_transmit(src_[e], dst_[e], /*retransmit=*/true);
+        }
+        emit(e, Message{cfg_.data_kind, pack_data(s.inc, s.una, base.kind),
+                        base.payload});
+      }
+      return;
+    }
     ++stats_.spurious_acks;
     return;
   }
-  s.in_flight = false;
-  s.seq = static_cast<std::uint16_t>(s.seq + 1);
+  const std::uint16_t acked =
+      static_cast<std::uint16_t>(serial_distance(aseq, s.una) + 1);
+  // The RTT sample comes from the newest frame this ack retires — the one
+  // whose arrival generated it.
+  WindowSlot& newest = wslot(e, aseq);
   if (cfg_.rto_mode == RtoMode::kAdaptive) {
-    if (!s.retransmitted) {
+    if (!newest.retransmitted) {
       // RFC 6298 scaled-integer update.  The sample is in tick() units; a
       // same-tick round trip (synchronous loopback) counts as 1.
       const std::int64_t sample = static_cast<std::int64_t>(
-          std::max<std::uint64_t>(1, ticks_ - s.sent_tick));
+          std::max<std::uint64_t>(1, ticks_ - newest.sent_tick));
       if (s.srtt8 == 0) {
         s.srtt8 = static_cast<std::uint32_t>(sample << 3);   // SRTT = R
         s.rttvar4 = static_cast<std::uint32_t>(sample << 1); // RTTVAR = R/2
@@ -320,16 +554,20 @@ void LinkProtocol::handle_ack(ProcessorId p, ProcessorId from,
       ++stats_.karn_suppressed;
     }
     if (s.srtt8 == 0) {
-      s.backoff = cfg_.rto_initial;  // no sample yet (Karn-suppressed so far)
+      s.base_rto = cfg_.rto_initial;  // no sample yet (Karn-suppressed so far)
     } else {
       const std::uint32_t rto =
           (s.srtt8 >> 3) + std::max<std::uint32_t>(1, s.rttvar4);
-      s.backoff = std::clamp(rto, cfg_.rto_min, cfg_.rto_cap);
+      s.base_rto = std::clamp(rto, cfg_.rto_min, cfg_.rto_cap);
     }
   } else {
-    s.backoff = cfg_.rto_initial;
+    s.base_rto = cfg_.rto_initial;
   }
-  if (s.count > 0) {
+  s.una = static_cast<std::uint16_t>(aseq + 1);
+  s.inflight = static_cast<std::uint16_t>(s.inflight - acked);
+  s.opened = true;  // baseline confirmed: the window may widen past 1
+  s.dupacks = 0;    // the base moved; the dup-ack run is over
+  while (s.count > 0 && s.inflight < effective_window(s)) {
     pop_and_transmit(e, s);
   }
 }
@@ -349,6 +587,13 @@ void LinkProtocol::record_telemetry(obs::Registry& registry) const {
   registry.counter("mp.link.peer_resets").inc(stats_.peer_resets);
   registry.counter("mp.link.rtt_samples").inc(stats_.rtt_samples);
   registry.counter("mp.link.karn_suppressed").inc(stats_.karn_suppressed);
+  registry.counter("mp.link.backpressured").inc(stats_.backpressured);
+  registry.counter("mp.link.ooo_buffered").inc(stats_.ooo_buffered);
+  registry.counter("mp.link.ooo_delivered").inc(stats_.ooo_delivered);
+  registry.counter("mp.link.ooo_dropped").inc(stats_.ooo_dropped);
+  registry.counter("mp.link.coalesced_batches").inc(stats_.coalesced_batches);
+  registry.counter("mp.link.coalesced_frames").inc(stats_.coalesced_frames);
+  registry.counter("mp.link.fast_retransmits").inc(stats_.fast_retransmits);
 }
 
 }  // namespace snappif::mp

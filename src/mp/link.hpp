@@ -1,4 +1,4 @@
-// Snap-stabilizing data-link layer: per-directed-edge stop-and-wait ARQ.
+// Snap-stabilizing data-link layer: per-directed-edge sliding-window ARQ.
 //
 // The gap this closes: Chang's echo (mp/echo.hpp) deadlocks forever after
 // one lost message, and Segall's repeated PIF (mp/repeated_pif.hpp) can be
@@ -7,14 +7,20 @@
 // anything over unreliable channels needs a link layer that keeps
 // retransmitting, and Cournier–Dubois–Villain ("Two snap-stabilizing
 // point-to-point communication protocols") give the alternating-bit shape.
-// LinkProtocol is that shape, hardened for this substrate's fault menu:
+// LinkProtocol generalizes that shape to a pipelined window — the 16-bit
+// incarnation + 16-bit sequence headers were designed for it — hardened for
+// this substrate's fault menu:
 //
-//   * loss         — retransmission timers with capped exponential backoff;
-//   * duplication  — receivers discard repeats of the last accepted frame
-//                    (and re-ack them, in case the original ack was lost);
-//   * reordering   — sequence numbers compared with serial-number arithmetic,
-//                    so a stale copy overtaking a newer frame is discarded
-//                    instead of re-delivered;
+//   * loss         — per-frame retransmission timers with capped exponential
+//                    backoff (selective retransmit: only the expired frame is
+//                    re-sent, not the whole window);
+//   * duplication  — receivers discard repeats of the cumulative in-order
+//                    point (and re-ack them, in case the original ack was
+//                    lost) and repeats of already-buffered gap frames;
+//   * reordering   — sequence numbers compared with RFC-1982 serial-number
+//                    arithmetic; with window > 1 a frame up to `window` ahead
+//                    of the in-order point is buffered and delivered when the
+//                    hole fills, so reordering costs no retransmission;
 //   * crash-recover— 16-bit incarnation numbers, re-randomized by
 //                    reset_endpoint(): frames and acks from before a crash
 //                    mismatch the new incarnation and die as spurious, and a
@@ -23,19 +29,48 @@
 //                    own reset wiped the history) surfaces it as
 //                    on_peer_reset so the layer above can re-synchronize;
 //   * arbitrary initial channel content — a phantom ack never matches the
-//                    (incarnation, seq) actually in flight and is counted and
-//                    dropped; a phantom data frame is delivered at most once
-//                    and then superseded by real traffic (the emulation layer
-//                    above is stabilizing, so one junk snapshot is exactly
-//                    the kind of transient the paper's algorithm absorbs).
+//                    (incarnation, window) actually in flight and is counted
+//                    and dropped; a phantom data frame is delivered at most
+//                    once and then superseded by real traffic; a phantom
+//                    farther than `window` ahead of the in-order point is
+//                    dropped outright (a legitimate sender can never be
+//                    there, since its oldest unacked frame bounds it).
+//
+// Sliding window (LinkConfig::window):
+//
+//   * window = 1 is the historical stop-and-wait protocol, BIT-EXACT with
+//     the pre-window implementation: same wire traffic, same RNG draws,
+//     same stats.  Every recorded chaos/fuzz corpus replays identically, so
+//     1 stays the default (pinned by tests/mp/test_link_window.cpp goldens).
+//   * window > 1 keeps up to `window` frames in flight per directed edge.
+//     Acks are CUMULATIVE: ack(seq) retires every in-flight frame up to and
+//     including seq (so one surviving ack repairs a burst of lost acks),
+//     and a receiver holding buffered gap frames acks the highest
+//     contiguous point it will reach, not just the frame that arrived.
+//     Stale frames are re-acked cumulatively (impossible at window = 1,
+//     where acking a stale frame could never match anything in flight).
+//
+// Backpressure: try_send() reports a full pending ring as `false` and
+// counts it (LinkStats.backpressured) instead of aborting; send() is the
+// asserting wrapper for callers whose traffic is provably bounded, and
+// send_latest() never blocks (the newest snapshot overwrites the pending
+// tail).  can_send() lets a caller probe without side effects.
+//
+// Coalescing (LinkConfig::coalesce): when on, every frame an edge emits —
+// first transmissions, retransmits, acks — is staged, and flush() hands
+// each edge's frames to the mailer as ONE Mailer::send_batch call (one
+// datagram on UDP).  Off by default: batching changes wire interleaving,
+// which seeded corpora pin.
 //
 // Delivery guarantee on each directed edge: every payload accepted by the
 // link (and not superseded by send_latest) is handed to the client exactly
 // once, in send order, provided the channel delivers infinitely often.
 //
-// Zero steady-state allocation: all per-edge state — sender, receiver, and
-// the bounded pending rings — is sized at construction; send/on_message/tick
-// never touch the heap (verified by tests/mp/test_link_alloc.cpp).
+// Zero steady-state allocation: all per-edge state — sender, receiver,
+// window slots, reorder buffer, pending rings, coalescing stages — is sized
+// at construction; send/on_message/tick/flush never touch the heap
+// (verified by tests/mp/test_link_alloc.cpp, windowed + coalesced paths
+// included).
 #pragma once
 
 #include <cstdint>
@@ -118,16 +153,28 @@ struct LinkConfig {
   std::uint32_t rto_cap = 16;
   /// Lower clamp for the adaptive RTO (ignored under kFixedBackoff).
   std::uint32_t rto_min = 1;
-  /// Pending datagrams buffered per directed edge while one is in flight.
+  /// Pending datagrams buffered per directed edge behind the send window.
   std::size_t queue_capacity = 8;
+  /// Frames a sender may keep un-acked in flight per directed edge.  1 is
+  /// the historical stop-and-wait protocol and replays every recorded
+  /// corpus bit-exact, so it is the default; raise it (<= queue_capacity)
+  /// to pipeline the edge.
+  std::size_t window = 1;
+  /// Stage every frame an edge emits and hand them to the mailer as one
+  /// send_batch per edge per flush() (one datagram over UDP).  Off by
+  /// default: batching changes wire-level interleaving, which seeded
+  /// corpora pin.  The drive loop must call flush() each step when on.
+  bool coalesce = false;
   RtoMode rto_mode = RtoMode::kFixedBackoff;
 };
 
 /// Human-readable objection to a malformed config (zero or inverted RTO
-/// bounds, zero pending ring, colliding wire kinds); nullopt when usable.
-/// LinkProtocol's constructor asserts this, so a bad config dies loudly at
-/// construction instead of silently misbehaving (a zero rto_initial would
-/// underflow the timer; an inverted cap would clamp backoff upward).
+/// bounds, zero pending ring, colliding wire kinds, incoherent window/ring
+/// sizing); nullopt when usable.  LinkProtocol's constructor asserts this,
+/// so a bad config dies loudly at construction instead of silently
+/// misbehaving (a zero rto_initial would underflow the timer; an inverted
+/// cap would clamp backoff upward; a window wider than the pending ring
+/// could never be refilled from a burst).
 [[nodiscard]] std::optional<std::string> validate(const LinkConfig& cfg);
 
 /// Everything observable about the link, mirrored into obs via
@@ -139,7 +186,8 @@ struct LinkStats {
   std::uint64_t acks_sent = 0;
   std::uint64_t spurious_acks = 0;         // acks matching nothing in flight
   std::uint64_t delivered = 0;             // exactly-once upcalls
-  std::uint64_t duplicates_discarded = 0;  // repeats of the last accepted seq
+  std::uint64_t duplicates_discarded = 0;  // repeats of the in-order point or
+                                           // of an already-buffered gap frame
   std::uint64_t stale_discarded = 0;       // reordered older frames
   std::uint64_t junk_discarded = 0;        // unknown kinds / malformed headers
   std::uint64_t superseded = 0;            // send_latest overwrote a pending
@@ -148,6 +196,19 @@ struct LinkStats {
   std::uint64_t rtt_samples = 0;           // acks that updated SRTT/RTTVAR
   std::uint64_t karn_suppressed = 0;       // acks of retransmitted frames,
                                            // excluded by Karn's rule
+  std::uint64_t backpressured = 0;         // try_send refusals (ring full)
+  std::uint64_t ooo_buffered = 0;          // gap frames parked in the reorder
+                                           // buffer (window > 1 only)
+  std::uint64_t ooo_delivered = 0;         // buffered frames released by a
+                                           // hole fill
+  std::uint64_t ooo_dropped = 0;           // frames beyond the receive window
+                                           // (wire garbage; a live sender
+                                           // cannot be there)
+  std::uint64_t coalesced_batches = 0;     // send_batch calls issued by flush
+  std::uint64_t coalesced_frames = 0;      // frames carried by those batches
+  std::uint64_t fast_retransmits = 0;      // holes re-driven by 3 duplicate
+                                           // cumulative acks, ahead of the
+                                           // RTO (window > 1 only)
 };
 
 class LinkProtocol final : public IMpProtocol {
@@ -156,27 +217,45 @@ class LinkProtocol final : public IMpProtocol {
                std::uint64_t seed);
 
   /// Reliable in-order send of (kind, payload) on edge (from -> to).
-  /// Bounded buffering: asserts if the edge's pending ring is full.
+  /// Returns false — and counts LinkStats.backpressured — when the edge's
+  /// window AND pending ring are both full; the caller retries after acks
+  /// drain the edge (see WaveService::pump for the canonical shape).
+  [[nodiscard]] bool try_send(ProcessorId from, ProcessorId to,
+                              std::uint8_t kind, std::uint64_t payload);
+
+  /// Asserting wrapper over try_send for callers whose traffic is provably
+  /// bounded by the ring (aborts on overflow — a programming error there).
   void send(ProcessorId from, ProcessorId to, std::uint8_t kind,
             std::uint64_t payload);
 
+  /// True iff try_send on edge (from -> to) would currently accept a frame.
+  /// Pure probe: no side effects, no counters.
+  [[nodiscard]] bool can_send(ProcessorId from, ProcessorId to) const;
+
   /// Reliable send where only the *latest* value matters (state snapshots):
-  /// if a datagram is already pending behind the in-flight frame it is
-  /// overwritten instead of queued, so per-edge memory stays O(1) no matter
-  /// how fast the upper layer publishes.
+  /// if a datagram is already pending behind the window it is overwritten
+  /// instead of queued, so per-edge memory stays O(1) no matter how fast
+  /// the upper layer publishes.  Never backpressures.
   void send_latest(ProcessorId from, ProcessorId to, std::uint8_t kind,
                    std::uint64_t payload);
 
-  /// One timer tick: fires due retransmissions.  Call once per delivery
-  /// round (synchronous mode) or per scheduler quantum (async mode).
+  /// One timer tick: fires due retransmissions (selective: only expired
+  /// frames).  Call once per delivery round (synchronous mode) or per
+  /// scheduler quantum (async mode).
   void tick();
 
-  /// Crash-recovery hook: drops p's in-flight and pending frames, draws new
-  /// incarnations for every out-edge, and forgets every in-edge history (so
-  /// the first frame from each neighbor is accepted afresh).
+  /// Hands every staged frame to the mailer, one send_batch per dirty edge.
+  /// No-op unless LinkConfig::coalesce is on; drive loops call it
+  /// unconditionally after tick().
+  void flush();
+
+  /// Crash-recovery hook: drops p's in-flight and pending frames (staged
+  /// ones included), draws new incarnations for every out-edge, and forgets
+  /// every in-edge history and reorder buffer (so the first frame from each
+  /// neighbor is accepted afresh).
   void reset_endpoint(ProcessorId p);
 
-  /// No frame in flight and nothing pending anywhere.
+  /// No frame in flight, nothing pending, nothing staged anywhere.
   [[nodiscard]] bool idle() const noexcept;
 
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
@@ -195,26 +274,54 @@ class LinkProtocol final : public IMpProtocol {
  private:
   struct SenderState {
     std::uint16_t inc = 0;
-    std::uint16_t seq = 0;
-    bool in_flight = false;
-    std::uint8_t kind = 0;        // in-flight frame
-    std::uint64_t payload = 0;
-    std::uint32_t timer = 0;      // ticks until retransmit
-    std::uint32_t backoff = 0;    // current rto (doubles per fire, capped)
+    std::uint16_t una = 0;        // oldest un-acked sequence
+    std::uint16_t next = 0;       // next sequence to assign
+    std::uint16_t inflight = 0;   // == serial_distance(next, una) <= window
+    /// The effective window stays 1 until this incarnation's first valid
+    /// ack.  The receiver pins its resync baseline to whichever frame of a
+    /// new incarnation arrives first; if a reordered startup burst let that
+    /// be seq 3, the cumulative resync ack would retire seqs 0..2 acked-but
+    /// -never-delivered.  Flying the first frame solo makes the baseline
+    /// exact; the window opens one RTT later.
+    bool opened = false;
+    /// Consecutive duplicate cumulative acks of una-1; 3 triggers a fast
+    /// retransmit of the base frame (window > 1 only).
+    std::uint8_t dupacks = 0;
     std::size_t head = 0;         // pending ring
     std::size_t count = 0;
+    /// RTO assigned to fresh transmissions: rto_initial under kFixedBackoff,
+    /// the clamped estimator value under kAdaptive (updated per ack).
+    std::uint32_t base_rto = 0;
     // Adaptive RTO (RtoMode::kAdaptive only; dormant otherwise).
     // RFC 6298 scaled-integer estimators: srtt8 = SRTT<<3, rttvar4 =
     // RTTVAR<<2; zero srtt8 means "no sample yet".
     std::uint32_t srtt8 = 0;
     std::uint32_t rttvar4 = 0;
-    std::uint64_t sent_tick = 0;  // tick count when the in-flight frame left
-    bool retransmitted = false;   // Karn: the in-flight frame was re-sent
+  };
+  /// Per-in-flight-frame state, at wslot(e, seq): each frame owns its
+  /// retransmission timer and backoff (selective retransmit) plus the Karn
+  /// bookkeeping the adaptive estimator needs.
+  struct WindowSlot {
+    std::uint8_t kind = 0;
+    std::uint64_t payload = 0;
+    std::uint32_t timer = 0;      // ticks until retransmit
+    std::uint32_t backoff = 0;    // current rto (doubles per fire, capped)
+    std::uint64_t sent_tick = 0;  // tick count at first transmission
+    bool retransmitted = false;   // Karn: an ack for this frame is ambiguous
   };
   struct ReceiverState {
     bool known = false;           // accepted at least one frame
     std::uint16_t inc = 0;
+    std::uint16_t seq = 0;        // cumulative in-order point
+  };
+  /// Reorder buffer entry at rslot(e, seq) (window > 1 only): a frame ahead
+  /// of the in-order point, held until the hole fills.  `seq` disambiguates
+  /// slot reuse across sequence-space wraps.
+  struct RecvSlot {
+    bool valid = false;
     std::uint16_t seq = 0;
+    std::uint8_t kind = 0;
+    std::uint64_t payload = 0;
   };
   struct Pending {
     std::uint8_t kind = 0;
@@ -223,9 +330,24 @@ class LinkProtocol final : public IMpProtocol {
 
   /// Directed-edge id of (u -> v): CSR offset of v in u's neighbor row.
   [[nodiscard]] std::size_t did(ProcessorId u, ProcessorId v) const;
+  [[nodiscard]] WindowSlot& wslot(std::size_t e, std::uint16_t seq) {
+    return wslot_[e * cfg_.window + seq % cfg_.window];
+  }
+  /// 1 until the incarnation's first valid ack (see SenderState::opened).
+  [[nodiscard]] std::size_t effective_window(const SenderState& s) const {
+    return s.opened ? cfg_.window : 1;
+  }
+  [[nodiscard]] RecvSlot& rslot(std::size_t e, std::uint16_t seq) {
+    return rslot_[e * cfg_.window + seq % cfg_.window];
+  }
   void transmit(std::size_t e, SenderState& s, std::uint8_t kind,
                 std::uint64_t payload);
   void pop_and_transmit(std::size_t e, SenderState& s);
+  void emit(std::size_t e, const Message& m);
+  void send_ack(std::size_t e, std::uint16_t inc, std::uint16_t seq);
+  void deliver_frame(ProcessorId p, ProcessorId from, std::uint8_t kind,
+                     std::uint64_t payload);
+  void clear_recv_window(std::size_t e);
   void handle_data(ProcessorId p, ProcessorId from, const Message& m);
   void handle_ack(ProcessorId p, ProcessorId from, const Message& m);
 
@@ -241,7 +363,16 @@ class LinkProtocol final : public IMpProtocol {
   std::vector<ProcessorId> dst_;
   std::vector<SenderState> out_;    // out_[did(u,v)]: u's sender for u->v
   std::vector<ReceiverState> in_;   // in_[did(v,u)]: v's receiver for u->v
+  std::vector<WindowSlot> wslot_;   // [e*window + seq%window] in-flight state
+  std::vector<RecvSlot> rslot_;     // [e*window + seq%window] reorder buffer
   std::vector<Pending> ring_;       // out_[e]'s ring at ring_[e*capacity ..]
+  // Coalescing stage (cfg_.coalesce only): per-edge frame buffers flushed as
+  // one send_batch per edge, plus the dirty-edge worklist.
+  std::vector<Message> stage_;          // [e*stage_cap_ ..]
+  std::vector<std::size_t> stage_count_;
+  std::vector<std::uint8_t> stage_flag_;
+  std::vector<std::size_t> staged_edges_;
+  std::size_t stage_cap_ = 0;
   std::uint64_t ticks_ = 0;         // tick() count — the adaptive RTO clock
   LinkStats stats_;
 };

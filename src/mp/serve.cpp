@@ -13,25 +13,105 @@ constexpr std::uint8_t kToken = 2;   // payload = wave number
 constexpr std::uint8_t kEcho = 3;    // payload = wave number
 constexpr std::uint8_t kStream = 4;  // payload = per-edge counter
 
+// Stream id rides in the payload's top 16 bits; wave numbers and counters
+// live in the low 48 (a soak would need 2^48 waves to overflow).
+constexpr std::uint64_t kValueMask = (std::uint64_t{1} << 48) - 1;
+// "Re-learn the base": after a peer reset the next counter per stream is
+// accepted as-is and the gapless check restarts from it.
+constexpr std::uint64_t kRxRebase = ~std::uint64_t{0};
+
+constexpr std::uint64_t pack(std::uint32_t stream, std::uint64_t value) {
+  return (static_cast<std::uint64_t>(stream) << 48) | value;
+}
+
 }  // namespace
 
 WaveService::WaveService(const graph::Graph& g, ServeConfig cfg)
     : graph_(&g), cfg_(cfg) {
   SNAPPIF_ASSERT(cfg_.root < g.n());
-  SNAPPIF_ASSERT_MSG(g.degree(cfg_.root) > 0,
-                     "serve root must have at least one neighbor");
+  SNAPPIF_ASSERT_MSG(cfg_.streams >= 1, "serve needs at least one stream");
   const std::size_t n = g.n();
-  joined_.resize(n, 0);
-  parent_.resize(n, 0);
-  awaiting_.resize(n, 0);
   base_.resize(n + 1, 0);
   for (ProcessorId p = 0; p < n; ++p) {
     base_[p + 1] = base_[p] + g.degree(p);
   }
-  const std::size_t edges = base_[n];
-  stream_next_tx_.resize(edges, 0);
-  stream_next_rx_.resize(edges, 0);
-  last_token_wave_.resize(edges, 0);
+  edges_ = base_[n];
+  esrc_.resize(edges_, 0);
+  edst_.resize(edges_, 0);
+  for (ProcessorId p = 0; p < n; ++p) {
+    const auto nbrs = graph_->neighbors(p);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      esrc_[base_[p] + i] = p;
+      edst_[base_[p] + i] = nbrs[i];
+    }
+  }
+  for (std::uint32_t s = 0; s < cfg_.streams; ++s) {
+    SNAPPIF_ASSERT_MSG(g.degree(root_of(s)) > 0,
+                       "serve root must have at least one neighbor");
+  }
+  const std::size_t k = cfg_.streams;
+  wave_.resize(k, 0);
+  completed_.resize(k, 0);
+  wave_span_.resize(k, 0);
+  joined_.resize(k * n, 0);
+  parent_.resize(k * n, 0);
+  awaiting_.resize(k * n, 0);
+  stream_next_tx_.resize(k * edges_, 0);
+  stream_next_rx_.resize(k * edges_, kRxRebase);
+  last_token_wave_.resize(k * edges_, 0);
+  deferred_.resize(edges_);
+  deferred_head_.resize(edges_, 0);
+  deferred_flag_.resize(edges_, 0);
+  deferred_edges_.reserve(edges_);
+}
+
+std::size_t WaveService::eidx(ProcessorId u, ProcessorId v) const {
+  const auto nbrs = graph_->neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  SNAPPIF_ASSERT_MSG(it != nbrs.end() && *it == v,
+                     "serve edge lookup on a non-edge");
+  return base_[u] + static_cast<std::size_t>(it - nbrs.begin());
+}
+
+void WaveService::edge_send(std::size_t e, std::uint8_t kind,
+                            std::uint64_t payload, LinkProtocol& link) {
+  // Backpressure-safe: an edge with parked frames must keep queueing behind
+  // them (per-edge FIFO is what the gapless counter check rides on).
+  if (deferred_flag_[e] == 0 &&
+      link.try_send(esrc_[e], edst_[e], kind, payload)) {
+    return;
+  }
+  if (deferred_flag_[e] == 0) {
+    deferred_flag_[e] = 1;
+    deferred_edges_.push_back(e);
+  }
+  deferred_[e].push_back(Deferred{kind, payload});
+  ++stats_.deferrals;
+}
+
+void WaveService::pump(LinkProtocol& link) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < deferred_edges_.size(); ++i) {
+    const std::size_t e = deferred_edges_[i];
+    std::vector<Deferred>& q = deferred_[e];
+    std::size_t& head = deferred_head_[e];
+    while (head < q.size() &&
+           link.try_send(esrc_[e], edst_[e], q[head].kind, q[head].payload)) {
+      ++head;
+    }
+    if (head == q.size()) {
+      q.clear();
+      head = 0;
+      deferred_flag_[e] = 0;
+    } else {
+      if (head > 0) {
+        q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+      deferred_edges_[kept++] = e;
+    }
+  }
+  deferred_edges_.resize(kept);
 }
 
 void WaveService::record_telemetry(obs::Registry& registry) const {
@@ -41,135 +121,168 @@ void WaveService::record_telemetry(obs::Registry& registry) const {
   registry.counter("mp.serve.stream_checks").inc(stats_.stream_checks);
   registry.counter("mp.serve.stale_tokens").inc(stats_.stale_tokens);
   registry.counter("mp.serve.peer_resyncs").inc(stats_.peer_resyncs);
+  registry.counter("mp.serve.deferrals").inc(stats_.deferrals);
+  registry.counter("mp.serve.stream_rebases").inc(stats_.stream_rebases);
+}
+
+void WaveService::open_wave_span(std::uint32_t s) {
+  if (spans_ == nullptr) {
+    return;
+  }
+  wave_span_[s] = spans_->open(obs::SpanKind::kWave, tick_,
+                               static_cast<std::uint32_t>(root_of(s)));
 }
 
 void WaveService::on_link_start(ProcessorId p, LinkProtocol& link) {
-  if (p != cfg_.root || cfg_.waves == 0) {
+  if (cfg_.waves == 0) {
     return;
   }
-  wave_ = 1;
-  if (spans_ != nullptr) {
-    wave_span_ = spans_->open(obs::SpanKind::kWave, tick_,
-                              static_cast<std::uint32_t>(cfg_.root));
+  for (std::uint32_t s = 0; s < cfg_.streams; ++s) {
+    if (root_of(s) != p) {
+      continue;
+    }
+    wave_[s] = 1;
+    open_wave_span(s);
+    join(s, p, p, 1, link);
   }
-  join(cfg_.root, cfg_.root, wave_, link);
 }
 
-void WaveService::join(ProcessorId p, ProcessorId parent, std::uint64_t wave,
-                       LinkProtocol& link) {
-  joined_[p] = wave;
-  parent_[p] = parent;
+void WaveService::join(std::uint32_t s, ProcessorId p, ProcessorId parent,
+                       std::uint64_t wave, LinkProtocol& link) {
+  const std::size_t n = graph_->n();
+  joined_[s * n + p] = wave;
+  parent_[s * n + p] = parent;
   ++stats_.joins;
-  const bool is_root = p == cfg_.root && parent == p;
+  const bool is_root = p == root_of(s) && parent == p;
   const auto nbrs = graph_->neighbors(p);
   std::uint32_t awaiting = 0;
   for (std::size_t i = 0; i < nbrs.size(); ++i) {
     const ProcessorId q = nbrs[i];
     const std::size_t e = base_[p] + i;
     // The in-order exactly-once probe rides along with every wave: one
-    // counter per directed edge, which the receiver asserts is gapless.
-    link.send(p, q, kStream, stream_next_tx_[e]++);
+    // counter per (directed edge, stream), which the receiver asserts is
+    // gapless — and which a cross-stream mixup would break on both sides.
+    edge_send(e, kStream, pack(s, stream_next_tx_[s * edges_ + e]++), link);
     if (!is_root && q == parent) {
       continue;
     }
-    link.send(p, q, kToken, wave);
+    edge_send(e, kToken, pack(s, wave), link);
     ++awaiting;
   }
-  awaiting_[p] = awaiting;
+  awaiting_[s * n + p] = awaiting;
   if (awaiting == 0) {
     // Leaf with only its parent as neighbor: echo immediately.
     ++stats_.echoes;
-    link.send(p, parent, kEcho, wave);
+    edge_send(eidx(p, parent), kEcho, pack(s, wave), link);
   }
 }
 
-void WaveService::on_echo(ProcessorId p, std::uint64_t wave,
+void WaveService::on_echo(std::uint32_t s, ProcessorId p, std::uint64_t wave,
                           LinkProtocol& link) {
-  SNAPPIF_ASSERT_MSG(wave == joined_[p] && awaiting_[p] > 0,
+  const std::size_t sp = s * graph_->n() + p;
+  SNAPPIF_ASSERT_MSG(wave == joined_[sp] && awaiting_[sp] > 0,
                      "echo for a wave this processor is not collecting");
   ++stats_.echoes;
-  if (--awaiting_[p] > 0) {
+  if (--awaiting_[sp] > 0) {
     return;
   }
-  if (p == cfg_.root) {
-    complete_wave(link);
+  if (p == root_of(s)) {
+    complete_wave(s, link);
   } else {
-    link.send(p, parent_[p], kEcho, wave);
+    edge_send(eidx(p, parent_[sp]), kEcho, pack(s, wave), link);
   }
 }
 
-void WaveService::complete_wave(LinkProtocol& link) {
+void WaveService::complete_wave(std::uint32_t s, LinkProtocol& link) {
   // [PIF1]/[PIF2] in message-passing clothing: the root's feedback phase
-  // may only close once the broadcast reached every processor.
-  for (ProcessorId p = 0; p < graph_->n(); ++p) {
-    SNAPPIF_ASSERT_MSG(joined_[p] == wave_,
+  // may only close once the broadcast reached every processor — checked
+  // per stream, so k pipelined streams each prove it independently.
+  const std::size_t n = graph_->n();
+  for (ProcessorId p = 0; p < n; ++p) {
+    SNAPPIF_ASSERT_MSG(joined_[s * n + p] == wave_[s],
                        "wave completed before every processor joined");
   }
   ++stats_.waves_completed;
-  if (spans_ != nullptr && wave_span_ != 0) {
-    spans_->close(wave_span_, tick_);
-    wave_span_ = 0;
+  ++completed_[s];
+  if (spans_ != nullptr && wave_span_[s] != 0) {
+    spans_->close(wave_span_[s], tick_);
+    wave_span_[s] = 0;
   }
-  if (done()) {
-    wave_ = 0;
+  if (completed_[s] >= cfg_.waves) {
+    wave_[s] = 0;
     return;
   }
-  ++wave_;
-  if (spans_ != nullptr) {
-    wave_span_ = spans_->open(obs::SpanKind::kWave, tick_,
-                              static_cast<std::uint32_t>(cfg_.root));
-  }
-  join(cfg_.root, cfg_.root, wave_, link);
+  ++wave_[s];
+  open_wave_span(s);
+  join(s, root_of(s), root_of(s), wave_[s], link);
 }
 
 void WaveService::on_link_deliver(ProcessorId p, ProcessorId from,
                                   std::uint8_t kind, std::uint64_t payload,
                                   LinkProtocol& link) {
-  // Receiver-side edge index of (from -> p): p's row, from's slot.
-  const auto nbrs = graph_->neighbors(p);
-  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), from);
-  SNAPPIF_ASSERT_MSG(it != nbrs.end() && *it == from,
-                     "serve delivery from a non-neighbor");
-  const std::size_t e = base_[p] + static_cast<std::size_t>(it - nbrs.begin());
+  // Receiver-side edge index of (from -> p): p's row, from's slot (which is
+  // also the reply edge p -> from for echoes).
+  const std::size_t e = eidx(p, from);
+  const std::uint32_t s = static_cast<std::uint32_t>(payload >> 48);
+  const std::uint64_t value = payload & kValueMask;
+  SNAPPIF_ASSERT_MSG(s < cfg_.streams,
+                     "serve delivery tagged with an unknown stream");
+  const std::size_t se = s * edges_ + e;
   switch (kind) {
-    case kStream:
+    case kStream: {
+      std::uint64_t& rx = stream_next_rx_[se];
+      if (rx == kRxRebase) {
+        // First counter after (re)sync on this (edge, stream): adopt it as
+        // the new base; gapless from here.
+        rx = value + 1;
+        ++stats_.stream_rebases;
+        ++stats_.stream_checks;
+        return;
+      }
       // The link's exactly-once in-order contract, checked directly: any
       // duplicate, hole, or reordering trips this assert on first violation.
-      SNAPPIF_ASSERT_MSG(payload == stream_next_rx_[e],
+      SNAPPIF_ASSERT_MSG(value == rx,
                          "stream counter out of order: link delivery "
                          "contract violated");
-      ++stream_next_rx_[e];
+      ++rx;
       ++stats_.stream_checks;
       return;
+    }
     case kToken:
-      SNAPPIF_ASSERT_MSG(payload > last_token_wave_[e],
+      SNAPPIF_ASSERT_MSG(value > last_token_wave_[se],
                          "wave token not monotonically increasing on edge");
-      last_token_wave_[e] = payload;
-      if (payload > joined_[p]) {
-        join(p, from, payload, link);
-      } else if (payload == joined_[p]) {
+      last_token_wave_[se] = value;
+      if (value > joined_[s * graph_->n() + p]) {
+        join(s, p, from, value, link);
+      } else if (value == joined_[s * graph_->n() + p]) {
         // Already joined via another parent: the token still owes its
         // sender an echo so the sender's count closes.
         ++stats_.echoes;
-        link.send(p, from, kEcho, payload);
+        edge_send(e, kEcho, pack(s, value), link);
       } else {
         ++stats_.stale_tokens;
       }
       return;
     case kEcho:
-      on_echo(p, payload, link);
+      on_echo(s, p, value, link);
       return;
     default:
       SNAPPIF_ASSERT_MSG(false, "serve received an unknown user kind");
   }
 }
 
-void WaveService::on_link_peer_reset(ProcessorId /*p*/, ProcessorId /*from*/,
+void WaveService::on_link_peer_reset(ProcessorId p, ProcessorId from,
                                      LinkProtocol& /*link*/) {
-  // First contact on each edge surfaces here (and crash-recovery would, if
-  // the tool ever injects it); the service has no cached per-peer state to
-  // re-push — the stream counters deliberately survive, since the link
-  // contract under test is exactly-once in-order on an uncrashed edge.
+  // First contact on each edge surfaces here, as does a phantom incarnation
+  // synthesized from arbitrary initial channel content or a genuine peer
+  // reboot.  Re-base THIS edge's per-stream receive expectations (the peer
+  // may have restarted its counters); every other edge — and every stream
+  // on it — keeps its strict gapless check, which the isolation tests pin.
+  const std::size_t e = eidx(p, from);
+  for (std::uint32_t s = 0; s < cfg_.streams; ++s) {
+    stream_next_rx_[s * edges_ + e] = kRxRebase;
+    last_token_wave_[s * edges_ + e] = 0;
+  }
   ++stats_.peer_resyncs;
 }
 

@@ -1,25 +1,43 @@
 // PIF-as-a-service wave driver over the reliable link: the verification
-// workload behind tools/snappif_serve.cpp and the E23 transport bench.
+// workload behind tools/snappif_serve.cpp and the E23/E24 transport benches.
 //
-// WaveService runs Chang-echo PIF cycles end to end over LinkProtocol — on
-// ANY ITransport backend (deterministic loopback, impaired loopback, real
-// UDP) — and *asserts the link's delivery contract while doing it*:
+// WaveService runs k CONCURRENT Chang-echo PIF streams end to end over
+// LinkProtocol — on ANY ITransport backend (deterministic loopback, impaired
+// loopback, real UDP) — and *asserts the link's delivery contract while
+// doing it*.  Stream s is rooted at (root + s) mod n and every token, echo,
+// and counter frame carries its stream id in the payload's top 16 bits, so
+// streams share every edge's window yet are verified independently:
 //
-//   * per-directed-edge stream counters: alongside each wave every
-//     processor sends a monotonically increasing counter to each neighbor;
+//   * per-(edge, stream) counters: alongside each wave every processor
+//     sends a monotonically increasing counter per stream to each neighbor;
 //     the receiver asserts it sees exactly 0,1,2,... — a direct
 //     exactly-once in-order check that fails loudly on the first violated
-//     delivery, duplicated frame, or hole;
-//   * per-edge token monotonicity: wave tokens arriving on one edge must
-//     carry strictly increasing wave numbers;
-//   * all-joined completion: when the root's echo closes wave w, every
-//     processor must have joined wave w (the PIF broadcast actually reached
-//     everyone before the feedback phase closed — [PIF1]/[PIF2] in
-//     message-passing clothing).
+//     delivery, duplicated frame, or hole, and catches cross-stream
+//     interference (a frame surfacing on the wrong stream breaks BOTH
+//     streams' counters);
+//   * per-(edge, stream) token monotonicity: wave tokens arriving on one
+//     edge must carry strictly increasing wave numbers for their stream;
+//   * all-joined completion: when a stream's root closes wave w, every
+//     processor must have joined wave w of THAT stream (the PIF broadcast
+//     actually reached everyone before the feedback phase closed —
+//     [PIF1]/[PIF2] in message-passing clothing).
 //
-// Waves are serialized: the root initiates wave w+1 only after wave w
-// completes, so per-edge link buffering stays O(1) and completion latency
-// is a clean per-wave measurement.
+// Within one stream waves stay serialized (the root initiates w+1 only
+// after w completes — a clean per-wave latency measurement); across streams
+// they pipeline, which is what keeps a windowed link's edges full.
+//
+// Backpressure: the service never asserts on a full link ring.  Sends go
+// through a per-edge deferred queue — if LinkProtocol::try_send refuses,
+// the frame parks in FIFO order and pump() (called once per drive-loop
+// step) re-offers it as acks drain the edge.  Per-edge FIFO order is
+// preserved, which the gapless counter check depends on.
+//
+// Peer resets (on_link_peer_reset — first contact, a phantom incarnation
+// from arbitrary initial channel content, or a genuine peer reboot) re-base
+// that edge's per-stream receive expectations: the next counter per stream
+// is accepted as the new base and checked strictly gapless from there.
+// Other edges and their streams are untouched — the resynchronization is
+// edge-local, which the cross-stream isolation tests pin.
 //
 // ServeObserver is the flight-recorder hook: an ILinkObserver recording
 // frame life-cycle instants (send/retransmit/deliver/peer-reset) into an
@@ -39,18 +57,24 @@ namespace snappif::mp {
 
 struct ServeConfig {
   ProcessorId root = 0;
-  /// Total PIF waves to run; the service is done() when the root has seen
-  /// this many complete.
+  /// PIF waves to run PER STREAM; the service is done() when every stream's
+  /// root has seen this many complete.
   std::uint32_t waves = 100;
+  /// Concurrent wave streams; stream s is rooted at (root + s) mod n.  1 is
+  /// the historical serialized service.
+  std::uint32_t streams = 1;
 };
 
 struct ServeStats {
-  std::uint64_t waves_completed = 0;
+  std::uint64_t waves_completed = 0;  // across all streams
   std::uint64_t joins = 0;            // processor-joins across all waves
   std::uint64_t echoes = 0;           // echo upcalls (explicit + token-as-echo)
   std::uint64_t stream_checks = 0;    // in-order counter deliveries verified
   std::uint64_t stale_tokens = 0;     // tokens for already-finished waves
   std::uint64_t peer_resyncs = 0;     // on_link_peer_reset upcalls observed
+  std::uint64_t deferrals = 0;        // frames parked on link backpressure
+  std::uint64_t stream_rebases = 0;   // per-(edge, stream) counter expectations
+                                      // re-based after a peer reset
 };
 
 class WaveService final : public LinkClient {
@@ -62,16 +86,35 @@ class WaveService final : public LinkClient {
   void set_spans(obs::SpanCollector* spans) noexcept { spans_ = spans; }
   void set_tick(std::uint64_t tick) noexcept { tick_ = tick; }
 
+  /// Re-offers deferred frames to the link in per-edge FIFO order.  Drive
+  /// loops call this once per step (after link.tick(), before link.flush())
+  /// so backpressured traffic drains as acks free the windows.
+  void pump(LinkProtocol& link);
+
   [[nodiscard]] bool done() const noexcept {
-    return stats_.waves_completed >= cfg_.waves;
+    for (const std::uint32_t c : completed_) {
+      if (c < cfg_.waves) {
+        return false;
+      }
+    }
+    return true;
+  }
+  /// No deferred frame parked anywhere (trailing counters may outlive
+  /// done(); tests drain to quiescence for exact bookkeeping).
+  [[nodiscard]] bool quiescent() const noexcept {
+    return deferred_edges_.empty();
   }
   [[nodiscard]] const ServeStats& stats() const noexcept { return stats_; }
-  /// Every processor joined the most recently completed wave (checked and
-  /// asserted at each completion; exposed for end-of-run reporting).
-  [[nodiscard]] std::uint64_t current_wave() const noexcept { return wave_; }
-  /// Span id of the wave in flight (0 = none); ServeObserver attributes
-  /// frame events to it.
-  [[nodiscard]] obs::SpanId wave_span() const noexcept { return wave_span_; }
+  /// Wave in flight on stream 0 (0 = none) — kept for single-stream tools.
+  [[nodiscard]] std::uint64_t current_wave() const noexcept {
+    return wave_[0];
+  }
+  /// Span id of stream 0's wave in flight (0 = none); ServeObserver
+  /// attributes frame events to it (frames carry no stream id at the
+  /// observer level, so the primary stream anchors the trace).
+  [[nodiscard]] obs::SpanId wave_span() const noexcept {
+    return wave_span_[0];
+  }
   /// Adds the stats to `registry` as "mp.serve.*" counters.
   void record_telemetry(obs::Registry& registry) const;
 
@@ -83,27 +126,52 @@ class WaveService final : public LinkClient {
                           LinkProtocol& link) override;
 
  private:
-  void join(ProcessorId p, ProcessorId parent, std::uint64_t wave,
-            LinkProtocol& link);
-  void on_echo(ProcessorId p, std::uint64_t wave, LinkProtocol& link);
-  void complete_wave(LinkProtocol& link);
+  struct Deferred {
+    std::uint8_t kind = 0;
+    std::uint64_t payload = 0;
+  };
+
+  [[nodiscard]] ProcessorId root_of(std::uint32_t s) const noexcept {
+    return static_cast<ProcessorId>((cfg_.root + s) % graph_->n());
+  }
+  /// Directed-edge id of (u -> v): CSR offset of v in u's neighbor row.
+  [[nodiscard]] std::size_t eidx(ProcessorId u, ProcessorId v) const;
+  void edge_send(std::size_t e, std::uint8_t kind, std::uint64_t payload,
+                 LinkProtocol& link);
+  void join(std::uint32_t s, ProcessorId p, ProcessorId parent,
+            std::uint64_t wave, LinkProtocol& link);
+  void on_echo(std::uint32_t s, ProcessorId p, std::uint64_t wave,
+               LinkProtocol& link);
+  void complete_wave(std::uint32_t s, LinkProtocol& link);
+  void open_wave_span(std::uint32_t s);
 
   const graph::Graph* graph_;
   ServeConfig cfg_;
   obs::SpanCollector* spans_ = nullptr;
   std::uint64_t tick_ = 0;
-  obs::SpanId wave_span_ = 0;
+  std::size_t edges_ = 0;
 
-  std::uint64_t wave_ = 0;               // wave currently in flight (0 = none)
-  std::vector<std::uint64_t> joined_;    // [p] last wave p joined
-  std::vector<ProcessorId> parent_;      // [p] parent in the current wave
-  std::vector<std::uint32_t> awaiting_;  // [p] echoes still owed this wave
-  // Per-directed-edge verification state, indexed by CSR offset (same
-  // layout as the link's sender/receiver tables).
+  // Per-stream wave state; [s] and [s * n + p] layouts.
+  std::vector<std::uint64_t> wave_;      // [s] wave in flight (0 = none)
+  std::vector<std::uint32_t> completed_; // [s] waves completed
+  std::vector<obs::SpanId> wave_span_;   // [s]
+  std::vector<std::uint64_t> joined_;    // [s*n+p] last wave p joined
+  std::vector<ProcessorId> parent_;      // [s*n+p] parent in current wave
+  std::vector<std::uint32_t> awaiting_;  // [s*n+p] echoes still owed
+  // Per-(stream, directed-edge) verification state, [s * edges + e] with e
+  // the CSR offset (same layout as the link's sender/receiver tables).
   std::vector<std::size_t> base_;
-  std::vector<std::uint64_t> stream_next_tx_;   // [did(u,v)] next counter out
-  std::vector<std::uint64_t> stream_next_rx_;   // [did(v,u)] next expected in
-  std::vector<std::uint64_t> last_token_wave_;  // [did(v,u)] monotonicity
+  std::vector<ProcessorId> esrc_;
+  std::vector<ProcessorId> edst_;
+  std::vector<std::uint64_t> stream_next_tx_;   // next counter out
+  std::vector<std::uint64_t> stream_next_rx_;   // next expected in
+                                                // (kRxRebase = re-learn base)
+  std::vector<std::uint64_t> last_token_wave_;  // monotonicity floor
+  // Deferred frames per edge: FIFO vectors drained by pump().
+  std::vector<std::vector<Deferred>> deferred_;
+  std::vector<std::size_t> deferred_head_;
+  std::vector<std::size_t> deferred_edges_;  // dirty-edge worklist
+  std::vector<std::uint8_t> deferred_flag_;
   ServeStats stats_;
 };
 

@@ -54,6 +54,18 @@ class Mailer {
  public:
   virtual ~Mailer() = default;
   virtual void send(ProcessorId from, ProcessorId to, const Message& m) = 0;
+  /// Batched send of `count` frames on ONE directed edge, in order.  The
+  /// default is the per-frame loop, so semantics never change by default;
+  /// backends may override to put the whole batch in one wire datagram
+  /// (UdpTransport) or to forward it wholesale when pass-through
+  /// (a disarmed ImpairmentShim).  An override must preserve the loop's
+  /// observable contract: frames delivered to `to` in batch order.
+  virtual void send_batch(ProcessorId from, ProcessorId to,
+                          const Message* frames, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      send(from, to, frames[i]);
+    }
+  }
 };
 
 /// A message-passing protocol: event handlers, no direct state access by the
@@ -83,6 +95,8 @@ struct TransportStats {
                                   // mailbox (overload shedding)
   std::uint64_t rx_errors = 0;    // malformed/undersized datagrams off the
                                   // wire (UDP), counted and dropped
+  std::uint64_t batches = 0;      // multi-frame wire datagrams sent (UDP
+                                  // send_batch coalescing)
 };
 
 /// A transport: owns delivery of Message frames between processors and
@@ -120,6 +134,7 @@ class ITransport : public Mailer {
     registry.counter("mp.transport.partitioned").inc(s.partitioned);
     registry.counter("mp.transport.shed").inc(s.shed);
     registry.counter("mp.transport.rx_errors").inc(s.rx_errors);
+    registry.counter("mp.transport.batches").inc(s.batches);
   }
 };
 

@@ -16,8 +16,18 @@ namespace snappif::mp {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x46495053;  // "SPIF"
+constexpr std::uint32_t kMagic = 0x46495053;       // "SPIF"
+constexpr std::uint32_t kBatchMagic = 0x42495053;  // "SPIB"
 constexpr std::size_t kFrameSize = 32;
+constexpr std::size_t kBatchHeaderSize = 16;
+constexpr std::size_t kBatchBodySize = 24;
+// Per-datagram frame cap: 16 + 64*24 = 1552 bytes, far under the loopback
+// MTU; send_batch chunks longer batches.
+constexpr std::size_t kMaxBatchFrames = 64;
+constexpr std::size_t kRxBufferSize =
+    kBatchHeaderSize + kMaxBatchFrames * kBatchBodySize;
+// Datagrams pulled per recvmmsg call while draining a ready socket.
+constexpr std::size_t kRxBurst = 16;
 
 struct WireFrame {
   std::uint32_t magic;
@@ -29,6 +39,22 @@ struct WireFrame {
   std::uint64_t b;
 };
 static_assert(sizeof(WireFrame) == kFrameSize);
+
+struct BatchHeader {
+  std::uint32_t magic;
+  std::uint32_t from;
+  std::uint32_t to;
+  std::uint32_t count;
+};
+static_assert(sizeof(BatchHeader) == kBatchHeaderSize);
+
+struct BatchBody {
+  std::uint8_t kind;
+  std::uint8_t pad[7];
+  std::uint64_t a;
+  std::uint64_t b;
+};
+static_assert(sizeof(BatchBody) == kBatchBodySize);
 
 sockaddr_in loopback_addr(std::uint16_t port) {
   sockaddr_in addr{};
@@ -43,10 +69,16 @@ sockaddr_in loopback_addr(std::uint16_t port) {
 UdpTransport::UdpTransport(const graph::Graph& g, IMpProtocol& protocol,
                            UdpConfig cfg)
     : graph_(&g), protocol_(&protocol), cfg_(cfg) {
+  static_assert(kMaxDatagramBytes == kRxBufferSize);
   epoll_fd_ = epoll_create1(0);
   SNAPPIF_ASSERT_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
   sockets_.resize(g.n(), -1);
   ports_.resize(g.n(), 0);
+  tx_.resize(g.n());
+  for (TxStage& st : tx_) {
+    st.slots.resize(kTxStageDepth);
+  }
+  tx_dirty_.reserve(g.n());
   for (ProcessorId p = 0; p < g.n(); ++p) {
     const int fd = socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
     SNAPPIF_ASSERT_MSG(fd >= 0, "udp socket() failed");
@@ -101,6 +133,63 @@ void UdpTransport::start() {
   }
 }
 
+unsigned char* UdpTransport::stage_datagram(ProcessorId from, ProcessorId to,
+                                            std::size_t len,
+                                            std::uint16_t frames) {
+  TxStage& st = tx_[from];
+  if (st.count == kTxStageDepth) {
+    flush_tx(from);  // forced mid-step flush; the dirty mark survives below
+  }
+  if (st.count == 0) {
+    tx_dirty_.push_back(from);
+  }
+  TxDatagram& d = st.slots[st.count++];
+  d.to = to;
+  d.len = static_cast<std::uint16_t>(len);
+  d.frames = frames;
+  return d.buf;
+}
+
+void UdpTransport::flush_tx(ProcessorId p) {
+  TxStage& st = tx_[p];
+  if (st.count == 0) {
+    return;
+  }
+  mmsghdr msgs[kTxStageDepth]{};
+  iovec iovs[kTxStageDepth];
+  sockaddr_in dests[kTxStageDepth];
+  for (std::size_t i = 0; i < st.count; ++i) {
+    TxDatagram& d = st.slots[i];
+    dests[i] = loopback_addr(ports_[d.to]);
+    iovs[i] = iovec{d.buf, d.len};
+    msgs[i].msg_hdr.msg_name = &dests[i];
+    msgs[i].msg_hdr.msg_namelen = sizeof(dests[i]);
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  std::size_t done = 0;
+  while (done < st.count) {
+    const int sent = sendmmsg(sockets_[p], msgs + done,
+                              static_cast<unsigned int>(st.count - done), 0);
+    if (sent <= 0) {
+      break;  // EAGAIN/ENOBUFS: the rest of the stage is a real loss
+    }
+    done += static_cast<std::size_t>(sent);
+  }
+  for (std::size_t i = done; i < st.count; ++i) {
+    // Each undelivered datagram shares one fate; the link retransmits.
+    stats_.dropped += st.slots[i].frames;
+  }
+  st.count = 0;
+}
+
+void UdpTransport::flush_all_tx() {
+  for (const ProcessorId p : tx_dirty_) {
+    flush_tx(p);
+  }
+  tx_dirty_.clear();
+}
+
 void UdpTransport::send(ProcessorId from, ProcessorId to, const Message& m) {
   SNAPPIF_ASSERT(from < graph_->n() && to < graph_->n());
   SNAPPIF_ASSERT_MSG(neighbors(from, to), "udp send on a non-edge");
@@ -112,19 +201,94 @@ void UdpTransport::send(ProcessorId from, ProcessorId to, const Message& m) {
   frame.kind = m.kind;
   frame.a = m.a;
   frame.b = m.b;
-  const sockaddr_in dest = loopback_addr(ports_[to]);
-  const ssize_t sent =
-      sendto(sockets_[from], &frame, sizeof(frame), 0,
-             reinterpret_cast<const sockaddr*>(&dest), sizeof(dest));
-  if (sent != static_cast<ssize_t>(sizeof(frame))) {
-    // Full socket buffer or transient kernel refusal: a real datagram loss.
-    // The link layer's retransmission owns recovery.
-    ++stats_.dropped;
+  unsigned char* buf = stage_datagram(from, to, kFrameSize, 1);
+  std::memcpy(buf, &frame, kFrameSize);
+}
+
+void UdpTransport::send_batch(ProcessorId from, ProcessorId to,
+                              const Message* frames, std::size_t count) {
+  if (count == 1) {
+    send(from, to, frames[0]);
+    return;
   }
+  SNAPPIF_ASSERT(from < graph_->n() && to < graph_->n());
+  SNAPPIF_ASSERT_MSG(neighbors(from, to), "udp send on a non-edge");
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t chunk = std::min(count - done, kMaxBatchFrames);
+    const std::size_t len = kBatchHeaderSize + chunk * kBatchBodySize;
+    unsigned char* buf =
+        stage_datagram(from, to, len, static_cast<std::uint16_t>(chunk));
+    BatchHeader header{};
+    header.magic = kBatchMagic;
+    header.from = static_cast<std::uint32_t>(from);
+    header.to = static_cast<std::uint32_t>(to);
+    header.count = static_cast<std::uint32_t>(chunk);
+    std::memcpy(buf, &header, kBatchHeaderSize);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      BatchBody body{};
+      body.kind = frames[done + i].kind;
+      body.a = frames[done + i].a;
+      body.b = frames[done + i].b;
+      std::memcpy(buf + kBatchHeaderSize + i * kBatchBodySize, &body,
+                  kBatchBodySize);
+    }
+    stats_.sent += chunk;
+    ++stats_.batches;
+    done += chunk;
+  }
+}
+
+bool UdpTransport::dispatch_datagram(ProcessorId p, const unsigned char* buf,
+                                     std::size_t n) {
+  if (n == kFrameSize) {
+    WireFrame frame{};
+    std::memcpy(&frame, buf, kFrameSize);
+    if (frame.magic != kMagic || frame.to != static_cast<std::uint32_t>(p) ||
+        frame.from >= graph_->n() ||
+        !neighbors(static_cast<ProcessorId>(frame.from), p)) {
+      ++stats_.rx_errors;
+      return false;
+    }
+    ++stats_.delivered;
+    protocol_->on_message(p, static_cast<ProcessorId>(frame.from),
+                          Message{frame.kind, frame.a, frame.b}, *this);
+    return true;
+  }
+  // Batch datagram: header + count bodies, dispatched in order (the link's
+  // per-edge FIFO survives coalescing; only whole datagrams can be lost or
+  // reordered by the kernel).
+  BatchHeader header{};
+  if (n < kBatchHeaderSize) {
+    ++stats_.rx_errors;
+    return false;
+  }
+  std::memcpy(&header, buf, kBatchHeaderSize);
+  if (header.magic != kBatchMagic || header.count < 1 ||
+      header.count > kMaxBatchFrames ||
+      n != kBatchHeaderSize + header.count * kBatchBodySize ||
+      header.to != static_cast<std::uint32_t>(p) ||
+      header.from >= graph_->n() ||
+      !neighbors(static_cast<ProcessorId>(header.from), p)) {
+    ++stats_.rx_errors;
+    return false;
+  }
+  for (std::uint32_t f = 0; f < header.count; ++f) {
+    BatchBody body{};
+    std::memcpy(&body, buf + kBatchHeaderSize + f * kBatchBodySize,
+                kBatchBodySize);
+    ++stats_.delivered;
+    protocol_->on_message(p, static_cast<ProcessorId>(header.from),
+                          Message{body.kind, body.a, body.b}, *this);
+  }
+  return true;
 }
 
 bool UdpTransport::step() {
   SNAPPIF_ASSERT_MSG(started_, "transport step before start");
+  // Everything staged since the last step rides out first, one sendmmsg per
+  // dirty sender socket.
+  flush_all_tx();
   epoll_event events[64];
   std::uint32_t drained = 0;
   bool more = true;
@@ -141,26 +305,32 @@ bool UdpTransport::step() {
     more = false;
     for (int i = 0; i < ready && drained < cfg_.max_datagrams_per_step; ++i) {
       const ProcessorId p = static_cast<ProcessorId>(events[i].data.u32);
-      // Drain this socket until empty or the step budget runs out.
+      // Drain this socket in recvmmsg bursts until empty or the step budget
+      // runs out (the budget may overshoot by at most one burst).
       while (drained < cfg_.max_datagrams_per_step) {
-        WireFrame frame{};
-        const ssize_t n =
-            recv(sockets_[p], &frame, sizeof(frame), 0);
-        if (n < 0) {
+        unsigned char bufs[kRxBurst][kRxBufferSize];
+        mmsghdr msgs[kRxBurst]{};
+        iovec iovs[kRxBurst];
+        for (std::size_t b = 0; b < kRxBurst; ++b) {
+          iovs[b] = iovec{bufs[b], kRxBufferSize};
+          msgs[b].msg_hdr.msg_iov = &iovs[b];
+          msgs[b].msg_hdr.msg_iovlen = 1;
+        }
+        const int got = recvmmsg(sockets_[p], msgs,
+                                 static_cast<unsigned int>(kRxBurst), 0,
+                                 nullptr);
+        if (got <= 0) {
           break;  // EAGAIN: socket drained
         }
         more = true;  // something was readable; poll again after this batch
-        if (n != static_cast<ssize_t>(kFrameSize) || frame.magic != kMagic ||
-            frame.to != static_cast<std::uint32_t>(p) ||
-            frame.from >= graph_->n() ||
-            !neighbors(static_cast<ProcessorId>(frame.from), p)) {
-          ++stats_.rx_errors;
-          continue;
+        for (int b = 0; b < got; ++b) {
+          if (dispatch_datagram(p, bufs[b], msgs[b].msg_len)) {
+            ++drained;
+          }
         }
-        ++drained;
-        ++stats_.delivered;
-        protocol_->on_message(p, static_cast<ProcessorId>(frame.from),
-                              Message{frame.kind, frame.a, frame.b}, *this);
+        if (static_cast<std::size_t>(got) < kRxBurst) {
+          break;  // short burst: the socket is empty
+        }
       }
     }
   }

@@ -16,10 +16,28 @@
 //   u8  kind, u8[3] zero padding
 //   u64 a, u64 b   Message payload words
 //
-// Malformed datagrams (wrong size, bad magic, out-of-range ids, frames on
-// the wrong socket, non-edges) are counted as rx_errors and dropped — wire
-// garbage is the adversary's move, not a crash.  Failed sends (full socket
-// buffer, EWOULDBLOCK) count as dropped; the link retransmits.
+// Batch datagram (send_batch, the link's per-flush coalescing): 16-byte
+// header {u32 magic "SPIB" (0x42495053), u32 from, u32 to, u32 count}
+// followed by `count` 24-byte bodies {u8 kind, u8[7] pad, u64 a, u64 b} —
+// one sendto per edge per flush instead of one per frame, which is where
+// the windowed link's UDP throughput comes from.  Frames inside a batch are
+// dispatched in order on receive; batches are chunked so a datagram stays
+// comfortably under the loopback MTU.
+//
+// Malformed datagrams (wrong size, bad magic, inconsistent batch count,
+// out-of-range ids, frames on the wrong socket, non-edges) are counted as
+// rx_errors and dropped — wire garbage is the adversary's move, not a
+// crash.  Failed sends (full socket buffer, EWOULDBLOCK) count as dropped;
+// the link retransmits.
+//
+// Syscall batching: outbound datagrams stage per sender socket and flush
+// with ONE sendmmsg at the top of the next step (or when the stage fills);
+// inbound sockets drain in recvmmsg bursts.  Under impairment the link's
+// traffic spreads across many small flushes — per-datagram sendto/recv
+// pairs, not frame volume, would dominate the wall clock without this.
+// Staging adds no protocol-visible latency: every drive loop calls step()
+// once per iteration, which is exactly when an un-staged sendto's datagram
+// would first be drained anyway.
 //
 // NOT deterministic: the kernel schedules delivery.  Replayable suites run
 // over mp::Network; this backend exists for snappif_serve, the E23 bench,
@@ -62,18 +80,50 @@ class UdpTransport final : public ITransport {
   // ITransport:
   void start() override;
   bool step() override;
-  /// "The most recent step drained nothing."  The kernel may still hold
-  /// datagrams in flight — callers poll until idle holds across steps.
-  [[nodiscard]] bool idle() const override { return last_step_empty_; }
+  /// "The most recent step drained nothing and nothing is staged for the
+  /// wire."  The kernel may still hold datagrams in flight — callers poll
+  /// until idle holds across steps.
+  [[nodiscard]] bool idle() const override {
+    return last_step_empty_ && tx_dirty_.empty();
+  }
   [[nodiscard]] const TransportStats& transport_stats() const override {
     return stats_;
   }
 
   // Mailer:
   void send(ProcessorId from, ProcessorId to, const Message& m) override;
+  /// Packs the whole batch into one "SPIB" datagram per <= 64-frame chunk
+  /// (one sendto per edge per link flush instead of one per frame).
+  void send_batch(ProcessorId from, ProcessorId to, const Message* frames,
+                  std::size_t count) override;
 
  private:
+  /// Largest wire datagram: a full 64-frame "SPIB" batch.
+  static constexpr std::size_t kMaxDatagramBytes = 16 + 64 * 24;
+  /// Staged datagrams per sender socket before a forced sendmmsg flush.
+  static constexpr std::size_t kTxStageDepth = 64;
+
+  struct TxDatagram {
+    ProcessorId to = 0;
+    std::uint16_t len = 0;
+    std::uint16_t frames = 0;  // dropped-accounting if the send fails
+    unsigned char buf[kMaxDatagramBytes];
+  };
+  struct TxStage {
+    std::vector<TxDatagram> slots;  // sized kTxStageDepth at construction
+    std::size_t count = 0;
+  };
+
   [[nodiscard]] bool neighbors(ProcessorId u, ProcessorId v) const;
+  /// Reserves the next staged datagram for `from` -> `to` (flushing first
+  /// if the stage is full) and returns its wire buffer.
+  unsigned char* stage_datagram(ProcessorId from, ProcessorId to,
+                                std::size_t len, std::uint16_t frames);
+  void flush_tx(ProcessorId p);
+  void flush_all_tx();
+  /// Parses and dispatches one received datagram; false on wire garbage.
+  bool dispatch_datagram(ProcessorId p, const unsigned char* buf,
+                         std::size_t n);
 
   const graph::Graph* graph_;
   IMpProtocol* protocol_;
@@ -81,6 +131,8 @@ class UdpTransport final : public ITransport {
   int epoll_fd_ = -1;
   std::vector<int> sockets_;            // [processor]
   std::vector<std::uint16_t> ports_;    // [processor], resolved
+  std::vector<TxStage> tx_;             // [processor]
+  std::vector<ProcessorId> tx_dirty_;   // senders with staged datagrams
   bool started_ = false;
   bool last_step_empty_ = true;
   TransportStats stats_;

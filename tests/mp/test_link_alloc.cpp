@@ -127,6 +127,55 @@ TEST(LinkAlloc, SteadyStateTrafficAllocatesNothing) {
   EXPECT_GT(link.stats().superseded, 0u);
 }
 
+TEST(LinkAlloc, WindowedCoalescedTrafficAllocatesNothing) {
+  // The pipelined path adds per-edge window slots, reorder buffers, and a
+  // per-flush staging area — all sized at construction.  Lossy traffic at
+  // window 8 keeps every one of them busy (holes park frames in the reorder
+  // buffer, refused sends bump backpressure, flushes batch per edge); the
+  // steady state must still be allocation-free.
+  const auto g = graph::make_random_connected(16, 12, 3);
+  NullClient client;
+  LinkConfig cfg;
+  cfg.window = 8;
+  cfg.queue_capacity = 16;
+  cfg.coalesce = true;
+  cfg.rto_mode = RtoMode::kAdaptive;
+  LinkProtocol link(g, client, cfg, 4);
+  LoopMailer mailer(5);
+  mailer.set_loss_rate(0.3);
+  for (ProcessorId p = 0; p < g.n(); ++p) {
+    link.on_start(p, mailer);
+  }
+
+  std::uint64_t counter = 0;
+  const auto run_rounds = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      for (ProcessorId p = 0; p < g.n(); ++p) {
+        for (ProcessorId q : g.neighbors(p)) {
+          for (int burst = 0; burst < 4 && link.try_send(p, q, 1, ++counter);
+               ++burst) {
+          }
+        }
+      }
+      link.flush();          // staged data batches hit the wire
+      mailer.flush(link);    // delivery; acks + resyncs stage in turn
+      link.flush();
+      link.tick();
+    }
+  };
+
+  run_rounds(100);  // warm-up
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  run_rounds(300);
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_GT(client.delivered, 0u);
+  EXPECT_GT(link.stats().retransmits, 0u);
+  EXPECT_GT(link.stats().ooo_buffered, 0u);
+  EXPECT_GT(link.stats().coalesced_batches, 0u);
+  EXPECT_GT(link.stats().backpressured, 0u);
+}
+
 TEST(LinkAlloc, EndpointResetAllocatesNothing) {
   // Crash-recovery resets reuse the same flat arrays.
   const auto g = graph::make_cycle(8);

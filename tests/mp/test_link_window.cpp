@@ -1,0 +1,665 @@
+// Sliding-window ARQ: the window=1 bit-exactness contract against captured
+// legacy goldens, exactly-once in-order delivery across the fault matrix at
+// window 2 and 8, a full 2^16 sequence-space wrap sweep, deterministic
+// frame-level reorder-buffer/cumulative-ack/stale-reack behavior, caller-
+// visible backpressure, supersede-behind-the-window, per-edge coalescing,
+// and config validation deaths.
+#include "mp/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mp/impairment.hpp"
+#include "mp/network.hpp"
+
+namespace snappif::mp {
+namespace {
+
+// --- window=1 golden differential -----------------------------------------
+//
+// These numbers were captured from the stop-and-wait implementation this
+// refactor replaced, on the exact seeded scenarios below: the FNV-1a hash
+// folds every delivery upcall (receiver, sender, kind, payload) in order,
+// and the stats pin the full wire behavior (RNG draw alignment included —
+// one divergent draw shifts every downstream impairment decision).  At
+// window=1 the windowed code path MUST reproduce them bit-for-bit; recorded
+// chaos/fuzz corpora depend on it.
+
+struct HashClient final : public LinkClient {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  std::uint64_t deliveries = 0;
+  const graph::Graph* graph = nullptr;
+  std::uint64_t burst = 6;
+
+  void mix(std::uint64_t x) {
+    hash ^= x;
+    hash *= 0x100000001b3ULL;
+  }
+  void on_link_start(ProcessorId p, LinkProtocol& link) override {
+    for (const ProcessorId q : graph->neighbors(p)) {
+      for (std::uint64_t i = 0; i < burst; ++i) {
+        link.send(p, q, 5, p * 1000 + q * 10 + i);
+      }
+    }
+  }
+  void on_link_deliver(ProcessorId p, ProcessorId from, std::uint8_t kind,
+                       std::uint64_t payload, LinkProtocol&) override {
+    ++deliveries;
+    mix(p);
+    mix(from);
+    mix(kind);
+    mix(payload);
+  }
+  void on_link_peer_reset(ProcessorId, ProcessorId, LinkProtocol&) override {}
+};
+
+struct GoldenRun {
+  std::uint64_t hash = 0;
+  std::uint64_t deliveries = 0;
+  LinkStats link;
+  TransportStats transport;
+};
+
+GoldenRun run_legacy_scenario(const graph::Graph& g, LinkConfig cfg,
+                              std::uint64_t burst, double loss, double dup,
+                              double reorder, double delay_rate,
+                              std::uint32_t delay_steps, bool latest_phase,
+                              std::uint64_t steps) {
+  HashClient client;
+  client.graph = &g;
+  client.burst = burst;
+  LinkProtocol link(g, client, cfg, 7);
+  ImpairmentShim shim(link, g.n(), 7 ^ 0xabcdef12345ULL);
+  Network net(g, shim, Delivery::kSynchronous, 8);
+  shim.bind(net);
+  shim.set_loss_rate(loss);
+  shim.set_duplication_rate(dup);
+  shim.set_reorder_rate(reorder);
+  shim.set_delay(delay_rate, delay_steps);
+  shim.start();
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    shim.step();
+    link.tick();
+    if (latest_phase && s >= 50 && s < 80) {
+      for (ProcessorId p = 0; p < g.n(); ++p) {
+        for (const ProcessorId q : g.neighbors(p)) {
+          link.send_latest(p, q, 9, 0xA000 + s);
+        }
+      }
+    }
+  }
+  return GoldenRun{client.hash, client.deliveries, link.stats(),
+                   shim.transport_stats()};
+}
+
+TEST(LinkWindow, WindowOneIsBitExactWithLegacyStopAndWaitGoldenA) {
+  // Scenario A: fixed-backoff RTO, every fault class armed, a send_latest
+  // supersede phase mid-run.
+  const auto g = graph::make_random_connected(6, 10, 101);
+  const GoldenRun r =
+      run_legacy_scenario(g, LinkConfig{}, 6, 0.2, 0.1, 0.1, 0.1, 2,
+                          /*latest_phase=*/true, 400);
+  EXPECT_EQ(r.hash, 0xaa3d477a545e673dULL);
+  EXPECT_EQ(r.deliveries, 477u);
+  EXPECT_EQ(r.link.data_sent, 477u);
+  EXPECT_EQ(r.link.retransmits, 260u);
+  EXPECT_EQ(r.link.timer_fires, 260u);
+  EXPECT_EQ(r.link.acks_sent, 658u);
+  EXPECT_EQ(r.link.spurious_acks, 121u);
+  EXPECT_EQ(r.link.delivered, 477u);
+  EXPECT_EQ(r.link.duplicates_discarded, 181u);
+  EXPECT_EQ(r.link.stale_discarded, 2u);
+  EXPECT_EQ(r.link.junk_discarded, 0u);
+  EXPECT_EQ(r.link.superseded, 603u);
+  EXPECT_EQ(r.link.peer_resets, 30u);
+  EXPECT_EQ(r.link.rtt_samples, 0u);
+  EXPECT_EQ(r.link.karn_suppressed, 0u);
+  EXPECT_EQ(r.transport.sent, 1395u);
+  EXPECT_EQ(r.transport.delivered, 1258u);
+  EXPECT_EQ(r.transport.dropped, 289u);
+  EXPECT_EQ(r.transport.duplicated, 152u);
+  EXPECT_EQ(r.transport.reordered, 107u);
+  EXPECT_EQ(r.transport.delayed, 140u);
+  // The windowed machinery must not have engaged at all.
+  EXPECT_EQ(r.link.ooo_buffered, 0u);
+  EXPECT_EQ(r.link.ooo_delivered, 0u);
+  EXPECT_EQ(r.link.backpressured, 0u);
+  EXPECT_EQ(r.link.coalesced_batches, 0u);
+}
+
+TEST(LinkWindow, WindowOneIsBitExactWithLegacyStopAndWaitGoldenB) {
+  // Scenario B: adaptive RTO at 25% loss — pins the RFC 6298 estimator and
+  // Karn bookkeeping draw-for-draw.
+  const auto g = graph::make_random_connected(8, 16, 7);
+  LinkConfig cfg;
+  cfg.rto_mode = RtoMode::kAdaptive;
+  const GoldenRun r = run_legacy_scenario(g, cfg, 4, 0.25, 0.0, 0.0, 0.0, 0,
+                                          /*latest_phase=*/false, 300);
+  EXPECT_EQ(r.hash, 0x5ea0bd4c299be7b5ULL);
+  EXPECT_EQ(r.deliveries, 184u);
+  EXPECT_EQ(r.link.data_sent, 184u);
+  EXPECT_EQ(r.link.retransmits, 166u);
+  EXPECT_EQ(r.link.acks_sent, 261u);
+  EXPECT_EQ(r.link.spurious_acks, 0u);
+  EXPECT_EQ(r.link.duplicates_discarded, 77u);
+  EXPECT_EQ(r.link.stale_discarded, 0u);
+  EXPECT_EQ(r.link.superseded, 0u);
+  EXPECT_EQ(r.link.peer_resets, 46u);
+  EXPECT_EQ(r.link.rtt_samples, 91u);
+  EXPECT_EQ(r.link.karn_suppressed, 93u);
+  EXPECT_EQ(r.transport.sent, 611u);
+  EXPECT_EQ(r.transport.delivered, 445u);
+  EXPECT_EQ(r.transport.dropped, 166u);
+}
+
+// --- exactly-once in-order under faults, windowed --------------------------
+
+// Gapless per-directed-edge counters, checked on every delivery: the
+// windowed analogue of the serve layer's stream probe, without the wave
+// protocol on top.
+struct CounterClient final : public LinkClient {
+  const graph::Graph* g = nullptr;
+  std::vector<std::size_t> base;
+  std::vector<std::uint64_t> next_rx;
+  std::uint64_t delivered_total = 0;
+  bool ok = true;
+
+  void init(const graph::Graph& gg) {
+    g = &gg;
+    base.assign(gg.n() + 1, 0);
+    for (ProcessorId p = 0; p < gg.n(); ++p) {
+      base[p + 1] = base[p] + gg.degree(p);
+    }
+    next_rx.assign(base[gg.n()], 0);
+  }
+  std::size_t eidx(ProcessorId u, ProcessorId v) const {
+    const auto nbrs = g->neighbors(u);
+    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+    return base[u] + static_cast<std::size_t>(it - nbrs.begin());
+  }
+  void on_link_start(ProcessorId, LinkProtocol&) override {}
+  void on_link_deliver(ProcessorId p, ProcessorId from, std::uint8_t kind,
+                       std::uint64_t payload, LinkProtocol&) override {
+    const std::size_t e = eidx(p, from);
+    EXPECT_EQ(kind, 5u);
+    if (payload != next_rx[e]) {
+      ok = false;
+    }
+    EXPECT_EQ(payload, next_rx[e]) << "edge " << from << "->" << p;
+    ++next_rx[e];
+    ++delivered_total;
+  }
+  void on_link_peer_reset(ProcessorId, ProcessorId, LinkProtocol&) override {}
+};
+
+// Drives `per_edge` counters over every directed edge of `g` through an
+// impaired loopback until all are delivered; returns the final link stats.
+LinkStats drive_counters(const graph::Graph& g, LinkConfig cfg,
+                         std::uint64_t per_edge, double loss, double dup,
+                         double reorder, std::uint64_t seed,
+                         std::uint64_t max_steps) {
+  CounterClient client;
+  client.init(g);
+  LinkProtocol link(g, client, cfg, seed);
+  ImpairmentShim shim(link, g.n(), seed ^ 0x5bf03635ULL);
+  Network net(g, shim, Delivery::kSynchronous, seed + 1);
+  shim.bind(net);
+  shim.set_loss_rate(loss);
+  shim.set_duplication_rate(dup);
+  shim.set_reorder_rate(reorder);
+  shim.start();
+  const std::size_t edges = client.base[g.n()];
+  std::vector<std::uint64_t> next_tx(edges, 0);
+  const std::uint64_t want = per_edge * edges;
+  std::uint64_t steps = 0;
+  while (client.delivered_total < want && client.ok && steps < max_steps) {
+    for (ProcessorId p = 0; p < g.n(); ++p) {
+      const auto nbrs = g.neighbors(p);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const std::size_t e = client.base[p] + i;
+        while (next_tx[e] < per_edge &&
+               link.try_send(p, nbrs[i], 5, next_tx[e])) {
+          ++next_tx[e];
+        }
+      }
+    }
+    shim.step();
+    link.tick();
+    link.flush();
+    ++steps;
+  }
+  EXPECT_TRUE(client.ok);
+  EXPECT_EQ(client.delivered_total, want)
+      << "stalled after " << steps << " steps";
+  return link.stats();
+}
+
+TEST(LinkWindow, ExactlyOnceInOrderAcrossTheFaultMatrixAtWindows2And8) {
+  const auto g = graph::make_random_connected(6, 10, 3);
+  struct Faults {
+    double loss, dup, reorder;
+  };
+  const Faults matrix[] = {
+      {0.25, 0.0, 0.0}, {0.0, 0.2, 0.0}, {0.0, 0.0, 0.2}, {0.2, 0.1, 0.1}};
+  for (const std::size_t window : {std::size_t{2}, std::size_t{8}}) {
+    std::uint64_t seed = 1000 + window;
+    for (const Faults& f : matrix) {
+      LinkConfig cfg;
+      cfg.window = window;
+      cfg.queue_capacity = 2 * window;
+      const LinkStats l =
+          drive_counters(g, cfg, 300, f.loss, f.dup, f.reorder, ++seed,
+                         /*max_steps=*/200000);
+      if (f.loss > 0) {
+        EXPECT_GT(l.retransmits, 0u) << "window=" << window;
+      }
+    }
+  }
+}
+
+TEST(LinkWindow, CoalescedWindowedPathSurvivesTheSameFaultMatrix) {
+  // Same matrix with per-flush batching on: an armed shim dissolves batches
+  // into per-frame faults, so coalescing must not change the contract.
+  const auto g = graph::make_random_connected(6, 10, 3);
+  LinkConfig cfg;
+  cfg.window = 8;
+  cfg.queue_capacity = 16;
+  cfg.coalesce = true;
+  const LinkStats l = drive_counters(g, cfg, 300, 0.2, 0.1, 0.1, 2024,
+                                     /*max_steps=*/200000);
+  EXPECT_GT(l.coalesced_batches, 0u);
+  EXPECT_GT(l.coalesced_frames, l.coalesced_batches);
+}
+
+TEST(LinkWindow, FullSequenceSpaceSweepWrapsCleanly) {
+  // 70000 frames per directed edge > 2^16: every sequence number is used at
+  // least once and the 16-bit counter wraps, under loss + duplication +
+  // reordering, at window 8.  RFC-1982 comparisons must stay coherent
+  // through the wrap or the gapless counters break.
+  const auto g = graph::make_path(2);
+  LinkConfig cfg;
+  cfg.window = 8;
+  cfg.queue_capacity = 16;
+  cfg.rto_mode = RtoMode::kAdaptive;
+  drive_counters(g, cfg, 70000, 0.1, 0.05, 0.05, 99,
+                 /*max_steps=*/2000000);
+}
+
+// --- deterministic frame-level behavior ------------------------------------
+
+struct CaptureMailer final : public Mailer {
+  struct Sent {
+    ProcessorId from, to;
+    Message m;
+  };
+  std::vector<Sent> sent;
+  std::vector<std::size_t> batch_sizes;
+  void send(ProcessorId from, ProcessorId to, const Message& m) override {
+    sent.push_back(Sent{from, to, m});
+  }
+  void send_batch(ProcessorId from, ProcessorId to, const Message* frames,
+                  std::size_t count) override {
+    batch_sizes.push_back(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      send(from, to, frames[i]);
+    }
+  }
+};
+
+struct RecordClient final : public LinkClient {
+  std::vector<std::uint64_t> payloads;
+  std::uint64_t resets = 0;
+  void on_link_start(ProcessorId, LinkProtocol&) override {}
+  void on_link_deliver(ProcessorId, ProcessorId, std::uint8_t,
+                       std::uint64_t payload, LinkProtocol&) override {
+    payloads.push_back(payload);
+  }
+  void on_link_peer_reset(ProcessorId, ProcessorId, LinkProtocol&) override {
+    ++resets;
+  }
+};
+
+constexpr std::uint64_t data_header(std::uint16_t inc, std::uint16_t seq,
+                                    std::uint8_t kind) {
+  return static_cast<std::uint64_t>(inc) |
+         (static_cast<std::uint64_t>(seq) << 16) |
+         (static_cast<std::uint64_t>(kind) << 32);
+}
+constexpr std::uint16_t header_inc(std::uint64_t a) {
+  return static_cast<std::uint16_t>(a);
+}
+constexpr std::uint16_t header_seq(std::uint64_t a) {
+  return static_cast<std::uint16_t>(a >> 16);
+}
+
+TEST(LinkWindow, OutOfOrderFramesBufferSilentlyAndDrainWithOneCumulativeAck) {
+  const auto g = graph::make_path(2);
+  RecordClient client;
+  LinkConfig cfg;
+  cfg.window = 4;
+  CaptureMailer mailer;
+  LinkProtocol link(g, client, cfg, 11);
+  link.on_start(0, mailer);
+  link.on_start(1, mailer);
+  const std::uint8_t dk = cfg.data_kind;
+  // Frame 0 establishes the incarnation baseline (first contact resync).
+  link.on_message(0, 1, Message{dk, data_header(7, 0, 5), 100}, mailer);
+  ASSERT_EQ(mailer.sent.size(), 1u);  // ack 0
+  EXPECT_EQ(header_seq(mailer.sent[0].m.a), 0u);
+  // Frames 2 and 3 arrive ahead of the hole at seq 1: parked, and each
+  // re-acks the in-order point — the duplicate cumulative acks that feed
+  // the sender's fast-retransmit counter.
+  link.on_message(0, 1, Message{dk, data_header(7, 2, 5), 102}, mailer);
+  link.on_message(0, 1, Message{dk, data_header(7, 3, 5), 103}, mailer);
+  ASSERT_EQ(mailer.sent.size(), 3u);
+  EXPECT_EQ(header_seq(mailer.sent[1].m.a), 0u);
+  EXPECT_EQ(header_seq(mailer.sent[2].m.a), 0u);
+  EXPECT_EQ(link.stats().ooo_buffered, 2u);
+  EXPECT_EQ(client.payloads, (std::vector<std::uint64_t>{100}));
+  // A duplicate of a parked frame is recognized as such (and still re-acks).
+  link.on_message(0, 1, Message{dk, data_header(7, 2, 5), 102}, mailer);
+  EXPECT_EQ(link.stats().duplicates_discarded, 1u);
+  ASSERT_EQ(mailer.sent.size(), 4u);
+  // Seq 1 fills the hole: ONE cumulative ack for 3, then in-order delivery
+  // of 1, 2, 3.
+  link.on_message(0, 1, Message{dk, data_header(7, 1, 5), 101}, mailer);
+  ASSERT_EQ(mailer.sent.size(), 5u);
+  EXPECT_EQ(mailer.sent[4].m.kind, cfg.ack_kind);
+  EXPECT_EQ(header_seq(mailer.sent[4].m.a), 3u);
+  EXPECT_EQ(client.payloads,
+            (std::vector<std::uint64_t>{100, 101, 102, 103}));
+  EXPECT_EQ(link.stats().ooo_delivered, 2u);
+}
+
+TEST(LinkWindow, ThreeDuplicateAcksFastRetransmitTheHole) {
+  const auto g = graph::make_path(2);
+  RecordClient client;
+  LinkConfig cfg;
+  cfg.window = 8;
+  cfg.queue_capacity = 8;
+  CaptureMailer mailer;
+  LinkProtocol link(g, client, cfg, 11);
+  link.on_start(0, mailer);
+  link.on_start(1, mailer);
+  // Open the window: frame 0 flies, its ack widens the window to 8.
+  ASSERT_TRUE(link.try_send(0, 1, 5, 400));
+  const std::uint16_t inc = header_inc(mailer.sent[0].m.a);
+  link.on_message(0, 1, Message{cfg.ack_kind, data_header(inc, 0, 0), 0},
+                  mailer);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(link.try_send(0, 1, 5, 401 + i));  // seqs 1..4 in flight
+  }
+  const std::size_t wire = mailer.sent.size();
+  // The receiver keeps re-acking seq 0: frames 2..4 arrived, frame 1 did
+  // not.  Two dup acks are tolerated as reordering; the third re-drives
+  // the hole immediately.
+  link.on_message(0, 1, Message{cfg.ack_kind, data_header(inc, 0, 0), 0},
+                  mailer);
+  link.on_message(0, 1, Message{cfg.ack_kind, data_header(inc, 0, 0), 0},
+                  mailer);
+  EXPECT_EQ(mailer.sent.size(), wire);
+  EXPECT_EQ(link.stats().fast_retransmits, 0u);
+  link.on_message(0, 1, Message{cfg.ack_kind, data_header(inc, 0, 0), 0},
+                  mailer);
+  ASSERT_EQ(mailer.sent.size(), wire + 1);
+  EXPECT_EQ(mailer.sent[wire].m.kind, cfg.data_kind);
+  EXPECT_EQ(header_seq(mailer.sent[wire].m.a), 1u);
+  EXPECT_EQ(mailer.sent[wire].m.b, 401u);
+  EXPECT_EQ(link.stats().fast_retransmits, 1u);
+  EXPECT_EQ(link.stats().retransmits, 1u);
+  EXPECT_EQ(link.stats().timer_fires, 0u);
+  // None of the dup acks counted as spurious — they carried information.
+  EXPECT_EQ(link.stats().spurious_acks, 0u);
+  // The cumulative ack for the refilled run retires everything at once.
+  link.on_message(0, 1, Message{cfg.ack_kind, data_header(inc, 4, 0), 0},
+                  mailer);
+  EXPECT_TRUE(link.idle());
+}
+
+TEST(LinkWindow, FramesBeyondTheReceiveWindowAreDropped) {
+  const auto g = graph::make_path(2);
+  RecordClient client;
+  LinkConfig cfg;
+  cfg.window = 4;
+  CaptureMailer mailer;
+  LinkProtocol link(g, client, cfg, 11);
+  link.on_start(0, mailer);
+  link.on_start(1, mailer);
+  link.on_message(0, 1, Message{cfg.data_kind, data_header(7, 0, 5), 100},
+                  mailer);
+  // Seq 9 is 9 ahead of the in-order point — a live sender bounded by its
+  // un-acked base can never be there; only wire garbage is.  No ack, no
+  // buffering, no delivery.
+  link.on_message(0, 1, Message{cfg.data_kind, data_header(7, 9, 5), 900},
+                  mailer);
+  EXPECT_EQ(link.stats().ooo_dropped, 1u);
+  EXPECT_EQ(link.stats().ooo_buffered, 0u);
+  EXPECT_EQ(mailer.sent.size(), 1u);
+  EXPECT_EQ(client.payloads, (std::vector<std::uint64_t>{100}));
+}
+
+TEST(LinkWindow, StaleFrameIsReackedCumulativelyAtWindowedMode) {
+  const auto g = graph::make_path(2);
+  RecordClient client;
+  LinkConfig cfg;
+  cfg.window = 4;
+  CaptureMailer mailer;
+  LinkProtocol link(g, client, cfg, 11);
+  link.on_start(0, mailer);
+  link.on_start(1, mailer);
+  const std::uint8_t dk = cfg.data_kind;
+  link.on_message(0, 1, Message{dk, data_header(7, 0, 5), 100}, mailer);
+  link.on_message(0, 1, Message{dk, data_header(7, 1, 5), 101}, mailer);
+  ASSERT_EQ(mailer.sent.size(), 2u);
+  // A stale copy of seq 0 overtaken by newer traffic: re-ack the in-order
+  // point (the ack that advanced us past it may have been lost; one
+  // cumulative ack retires the sender's whole prefix).
+  link.on_message(0, 1, Message{dk, data_header(7, 0, 5), 100}, mailer);
+  EXPECT_EQ(link.stats().stale_discarded, 1u);
+  ASSERT_EQ(mailer.sent.size(), 3u);
+  EXPECT_EQ(mailer.sent[2].m.kind, cfg.ack_kind);
+  EXPECT_EQ(header_seq(mailer.sent[2].m.a), 1u);
+  EXPECT_EQ(client.payloads, (std::vector<std::uint64_t>{100, 101}));
+}
+
+TEST(LinkWindow, CumulativeAckRetiresTheWholeWindowAndRefillsFromTheRing) {
+  const auto g = graph::make_path(2);
+  RecordClient client;
+  LinkConfig cfg;
+  cfg.window = 4;
+  cfg.queue_capacity = 8;
+  CaptureMailer mailer;
+  LinkProtocol link(g, client, cfg, 11);
+  link.on_start(0, mailer);
+  link.on_start(1, mailer);
+  // A fresh incarnation flies its first frame solo (the receiver's resync
+  // baseline must be exact); the other four sends park in the ring.
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(link.try_send(0, 1, 5, 200 + i));
+  }
+  ASSERT_EQ(mailer.sent.size(), 1u);
+  const std::uint16_t inc = header_inc(mailer.sent[0].m.a);
+  EXPECT_EQ(header_seq(mailer.sent[0].m.a), 0u);
+  // The first valid ack opens the window: the ring refills it to 4 deep.
+  link.on_message(0, 1, Message{cfg.ack_kind, data_header(inc, 0, 0), 0},
+                  mailer);
+  ASSERT_EQ(mailer.sent.size(), 5u);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_EQ(header_seq(mailer.sent[i].m.a), i);
+  }
+  EXPECT_FALSE(link.idle());
+  // One cumulative ack of seq 4 retires all four in-flight frames at once.
+  link.on_message(0, 1, Message{cfg.ack_kind, data_header(inc, 4, 0), 0},
+                  mailer);
+  EXPECT_TRUE(link.idle());
+  EXPECT_EQ(link.stats().spurious_acks, 0u);
+  // A second copy of that ack is now spurious, exactly like the legacy
+  // exact-match duplicate ack was.
+  link.on_message(0, 1, Message{cfg.ack_kind, data_header(inc, 4, 0), 0},
+                  mailer);
+  EXPECT_EQ(link.stats().spurious_acks, 1u);
+}
+
+TEST(LinkWindow, TrySendSurfacesBackpressureInsteadOfAsserting) {
+  const auto g = graph::make_path(2);
+  RecordClient client;
+  LinkConfig cfg;
+  cfg.window = 2;
+  cfg.queue_capacity = 2;
+  CaptureMailer mailer;
+  LinkProtocol link(g, client, cfg, 11);
+  link.on_start(0, mailer);
+  link.on_start(1, mailer);
+  // Unopened window flies one frame; two more fill the ring.
+  EXPECT_TRUE(link.try_send(0, 1, 5, 1));
+  EXPECT_TRUE(link.can_send(0, 1));
+  EXPECT_TRUE(link.try_send(0, 1, 5, 2));
+  EXPECT_TRUE(link.try_send(0, 1, 5, 3));
+  // Window full + ring full: refused, counted, NOT crashed.
+  EXPECT_FALSE(link.can_send(0, 1));
+  EXPECT_FALSE(link.try_send(0, 1, 5, 4));
+  EXPECT_FALSE(link.try_send(0, 1, 5, 5));
+  EXPECT_EQ(link.stats().backpressured, 2u);
+  // The other direction is untouched.
+  EXPECT_TRUE(link.can_send(1, 0));
+  // Acks drain the edge and try_send works again.
+  const std::uint16_t inc = header_inc(mailer.sent[0].m.a);
+  link.on_message(0, 1, Message{cfg.ack_kind, data_header(inc, 0, 0), 0},
+                  mailer);
+  EXPECT_TRUE(link.can_send(0, 1));
+  EXPECT_TRUE(link.try_send(0, 1, 5, 4));
+}
+
+TEST(LinkWindow, SendLatestSupersedesBehindTheOpenWindow) {
+  const auto g = graph::make_path(2);
+  RecordClient client;
+  LinkConfig cfg;
+  cfg.window = 2;
+  cfg.queue_capacity = 4;
+  CaptureMailer mailer;
+  LinkProtocol link(g, client, cfg, 11);
+  link.on_start(0, mailer);
+  link.on_start(1, mailer);
+  link.send_latest(0, 1, 9, 50);  // flies (seq 0)
+  link.send_latest(0, 1, 9, 51);  // parks (window unopened)
+  link.send_latest(0, 1, 9, 52);  // supersedes 51
+  link.send_latest(0, 1, 9, 53);  // supersedes 52
+  EXPECT_EQ(link.stats().superseded, 2u);
+  const std::uint16_t inc = header_inc(mailer.sent[0].m.a);
+  link.on_message(0, 1, Message{cfg.ack_kind, data_header(inc, 0, 0), 0},
+                  mailer);
+  // Only the latest snapshot was worth the bandwidth.
+  ASSERT_EQ(mailer.sent.size(), 2u);
+  EXPECT_EQ(mailer.sent[1].m.b, 53u);
+}
+
+TEST(LinkWindow, CoalescingStagesFramesAndFlushesOneBatchPerEdge) {
+  const auto g = graph::make_path(2);
+  RecordClient client;
+  LinkConfig cfg;
+  cfg.window = 8;
+  cfg.queue_capacity = 8;
+  cfg.coalesce = true;
+  CaptureMailer mailer;
+  LinkProtocol link(g, client, cfg, 11);
+  link.on_start(0, mailer);
+  link.on_start(1, mailer);
+  // Nothing hits the wire until flush().
+  ASSERT_TRUE(link.try_send(0, 1, 5, 300));
+  EXPECT_EQ(mailer.sent.size(), 0u);
+  link.flush();
+  ASSERT_EQ(mailer.batch_sizes, (std::vector<std::size_t>{1}));
+  const std::uint16_t inc = header_inc(mailer.sent[0].m.a);
+  link.on_message(0, 1, Message{cfg.ack_kind, data_header(inc, 0, 0), 0},
+                  mailer);
+  link.flush();  // the ack emission path is staged too — nothing pending
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(link.try_send(0, 1, 5, 301 + i));
+  }
+  EXPECT_EQ(mailer.batch_sizes.size(), 1u);
+  link.flush();
+  // One send_batch for the whole 4-frame burst on this edge.
+  ASSERT_EQ(mailer.batch_sizes, (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(link.stats().coalesced_batches, 2u);
+  EXPECT_EQ(link.stats().coalesced_frames, 5u);
+  // Repeated flushes with nothing staged are free.
+  link.flush();
+  EXPECT_EQ(link.stats().coalesced_batches, 2u);
+}
+
+// --- config validation ------------------------------------------------------
+
+TEST(LinkWindow, ValidateNamesTheBrokenWindowKnob) {
+  {
+    LinkConfig cfg;
+    cfg.window = 0;
+    const auto objection = validate(cfg);
+    ASSERT_TRUE(objection.has_value());
+    EXPECT_NE(objection->find("window must be >= 1"), std::string::npos);
+  }
+  {
+    LinkConfig cfg;
+    cfg.window = 9;
+    cfg.queue_capacity = 8;
+    const auto objection = validate(cfg);
+    ASSERT_TRUE(objection.has_value());
+    EXPECT_NE(objection->find("window must be <= queue_capacity"),
+              std::string::npos);
+  }
+  {
+    LinkConfig cfg;
+    cfg.rto_mode = RtoMode::kAdaptive;
+    cfg.rto_min = 20;
+    cfg.rto_cap = 16;
+    const auto objection = validate(cfg);
+    ASSERT_TRUE(objection.has_value());
+    EXPECT_NE(objection->find("rto_min must be <= rto_cap"),
+              std::string::npos);
+  }
+  {
+    // The adaptive floor may exceed rto_initial (the estimator, not the
+    // initial value, is what gets clamped) — this is valid.
+    LinkConfig cfg;
+    cfg.rto_mode = RtoMode::kAdaptive;
+    cfg.rto_initial = 2;
+    cfg.rto_min = 4;
+    cfg.rto_cap = 16;
+    EXPECT_FALSE(validate(cfg).has_value());
+  }
+}
+
+TEST(LinkWindowDeath, ConstructionRejectsZeroWindow) {
+  const auto g = graph::make_path(2);
+  RecordClient client;
+  LinkConfig cfg;
+  cfg.window = 0;
+  EXPECT_DEATH(LinkProtocol(g, client, cfg, 1), "window must be >= 1");
+}
+
+TEST(LinkWindowDeath, ConstructionRejectsWindowWiderThanTheRing) {
+  const auto g = graph::make_path(2);
+  RecordClient client;
+  LinkConfig cfg;
+  cfg.window = 16;
+  cfg.queue_capacity = 8;
+  EXPECT_DEATH(LinkProtocol(g, client, cfg, 1),
+               "window must be <= queue_capacity");
+}
+
+TEST(LinkWindowDeath, ConstructionRejectsInvertedAdaptiveClamp) {
+  const auto g = graph::make_path(2);
+  RecordClient client;
+  LinkConfig cfg;
+  cfg.rto_mode = RtoMode::kAdaptive;
+  cfg.rto_min = 32;
+  cfg.rto_cap = 16;
+  EXPECT_DEATH(LinkProtocol(g, client, cfg, 1),
+               "rto_min must be <= rto_cap");
+}
+
+}  // namespace
+}  // namespace snappif::mp

@@ -1,7 +1,7 @@
-// WaveService: serialized PIF waves over the link with the delivery
-// contract asserted live — completion on clean and impaired loopback
-// transports, shedding recovery, adaptive-RTO behavior, and the wave-span
-// flight hook.
+// WaveService: PIF waves over the link with the delivery contract asserted
+// live — completion on clean and impaired loopback transports, shedding
+// recovery, adaptive-RTO behavior, the wave-span flight hook, concurrent
+// multi-stream pipelining, and backpressure deferral.
 #include "mp/serve.hpp"
 
 #include <gtest/gtest.h>
@@ -27,15 +27,19 @@ struct Stack {
     shim.bind(net);
   }
 
-  /// Drives until every wave completes; false if the budget runs out.
+  /// Drives until every wave completes AND every deferred frame drained;
+  /// false if the budget runs out.
   [[nodiscard]] bool run(std::uint64_t max_steps = 200000) {
     shim.start();
-    for (std::uint64_t s = 0; s < max_steps && !service.done(); ++s) {
+    for (std::uint64_t s = 0;
+         s < max_steps && !(service.done() && service.quiescent()); ++s) {
       shim.step();
       link.tick();
+      service.pump(link);
+      link.flush();
       service.set_tick(s + 1);
     }
-    return service.done();
+    return service.done() && service.quiescent();
   }
 
   WaveService service;
@@ -152,6 +156,115 @@ TEST(Serve, WaveSpansTraceCompletedWaves) {
     }
   }
   EXPECT_EQ(wave_spans, 5u);
+}
+
+TEST(Serve, ConcurrentStreamsCompleteOnCleanLoopback) {
+  // Three pipelined streams share every edge; each is verified
+  // independently — exact join/check/rebase accounting must close.
+  const auto g = graph::make_random_connected(10, 20, 42);
+  ServeConfig cfg;
+  cfg.waves = 10;
+  cfg.streams = 3;
+  Stack stack(g, cfg, LinkConfig{}, 67);
+  ASSERT_TRUE(stack.run());
+  const ServeStats& s = stack.service.stats();
+  EXPECT_EQ(s.waves_completed, 30u);
+  // Every processor joins every wave of every stream, exactly once.
+  EXPECT_EQ(s.joins, 3u * 10u * g.n());
+  // Every (directed edge, stream) carries one gapless counter per wave...
+  EXPECT_EQ(s.stream_checks, 3u * 10u * 2 * g.m());
+  // ...whose first instance re-bases after the edge's first-contact resync.
+  EXPECT_EQ(s.stream_rebases, 3u * 2 * g.m());
+  EXPECT_EQ(s.stale_tokens, 0u);
+  EXPECT_EQ(stack.link.stats().retransmits, 0u);
+}
+
+TEST(Serve, ConcurrentStreamsUnderImpairmentAndWindowing) {
+  // The full E24 shape in miniature: 4 streams over an 8-deep coalesced
+  // window at 20% loss + duplication + reordering.  The per-stream gapless
+  // counters assert exactly-once in-order delivery on every frame while
+  // the windowed machinery (reorder buffer, cumulative acks, batch sends)
+  // is demonstrably engaged.
+  const auto g = graph::make_random_connected(8, 16, 7);
+  ServeConfig cfg;
+  cfg.waves = 15;
+  cfg.streams = 4;
+  LinkConfig link_cfg;
+  link_cfg.window = 8;
+  link_cfg.queue_capacity = 16;
+  link_cfg.coalesce = true;
+  link_cfg.rto_mode = RtoMode::kAdaptive;
+  Stack stack(g, cfg, link_cfg, 73);
+  stack.shim.set_loss_rate(0.2);
+  stack.shim.set_duplication_rate(0.05);
+  stack.shim.set_reorder_rate(0.05);
+  ASSERT_TRUE(stack.run());
+  EXPECT_EQ(stack.service.stats().waves_completed, 4u * 15u);
+  EXPECT_GT(stack.link.stats().retransmits, 0u);
+  EXPECT_GT(stack.link.stats().coalesced_batches, 0u);
+  // Loss opens gaps that later frames must wait out in the reorder buffer.
+  EXPECT_GT(stack.link.stats().ooo_buffered, 0u);
+  EXPECT_GT(stack.link.stats().ooo_delivered, 0u);
+}
+
+TEST(Serve, PhantomStreamCounterIsAbsorbedByResync) {
+  // Arbitrary initial channel content: before any real traffic, a frame
+  // from a phantom incarnation of processor 1 lands on edge (1 -> 0)
+  // carrying a stream-1 counter of 999.  The service must adopt it as that
+  // (edge, stream)'s base — then re-base again when the REAL sender's
+  // first frame forces a second resync — without perturbing any other
+  // stream or edge (the exact global counts prove the isolation).
+  const auto g = graph::make_cycle(6);
+  ServeConfig cfg;
+  cfg.waves = 10;
+  cfg.streams = 3;
+  Stack stack(g, cfg, LinkConfig{}, 71);
+  stack.shim.start();
+  const std::uint64_t phantom_hdr =
+      0x1234ULL | (0x0042ULL << 16) |
+      (std::uint64_t{4} << 32);  // inc | seq<<16 | kStream<<32
+  const std::uint64_t phantom_payload = (std::uint64_t{1} << 48) | 999u;
+  stack.link.on_message(0, 1,
+                        Message{LinkConfig{}.data_kind, phantom_hdr,
+                                phantom_payload},
+                        stack.shim);
+  for (std::uint64_t s = 0;
+       s < 200000 && !(stack.service.done() && stack.service.quiescent());
+       ++s) {
+    stack.shim.step();
+    stack.link.tick();
+    stack.service.pump(stack.link);
+    stack.link.flush();
+    stack.service.set_tick(s + 1);
+  }
+  ASSERT_TRUE(stack.service.done());
+  const ServeStats& s = stack.service.stats();
+  const std::uint64_t edges = 2u * g.m();
+  EXPECT_EQ(s.waves_completed, 30u);
+  // Every edge resyncs once at first contact, plus the phantom's extra
+  // resync on (1 -> 0) when the real incarnation displaces it.
+  EXPECT_EQ(s.peer_resyncs, edges + 1);
+  EXPECT_EQ(s.stream_rebases, 3u * edges + 1);
+  EXPECT_EQ(s.stream_checks, 3u * 10u * edges + 1);
+}
+
+TEST(Serve, BackpressuredServiceDefersAndCompletes) {
+  // A one-slot pending ring under two streams funneling through a star
+  // hub: the link MUST refuse sends, the service MUST park and re-offer
+  // them in order, and every wave still completes with the counters green.
+  const auto g = graph::make_star(6);
+  ServeConfig cfg;
+  cfg.waves = 10;
+  cfg.streams = 2;
+  LinkConfig link_cfg;
+  link_cfg.queue_capacity = 1;
+  Stack stack(g, cfg, link_cfg, 77);
+  ASSERT_TRUE(stack.run());
+  const ServeStats& s = stack.service.stats();
+  EXPECT_EQ(s.waves_completed, 20u);
+  EXPECT_GT(s.deferrals, 0u);
+  EXPECT_GT(stack.link.stats().backpressured, 0u);
+  EXPECT_TRUE(stack.service.quiescent());
 }
 
 TEST(Serve, TelemetryExportsWaveCounters) {

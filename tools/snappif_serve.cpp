@@ -21,7 +21,8 @@
 // to catch.
 //
 //   ./snappif_serve [--transport=loopback|udp] [--topology=random] [--n=8]
-//                   [--graph-seed=1] [--root=0] [--waves=100] [--seed=1]
+//                   [--graph-seed=1] [--root=0] [--waves=100] [--streams=1]
+//                   [--seed=1] [--window=1] [--coalesce=0]
 //                   [--loss=0] [--dup=0] [--reorder=0]
 //                   [--delay-rate=0] [--delay-steps=0] [--budget=0]
 //                   [--rto=adaptive|fixed] [--rto-initial=2] [--rto-cap=16]
@@ -29,10 +30,16 @@
 //                   [--udp-port=0 (ephemeral)] [--poll-ms=0]
 //                   [--metrics=out.json] [--flight-out=serve_flight.json]
 //
+// --streams runs that many concurrent wave streams (stream s roots at
+// (root + s) mod n), --window widens the per-edge ARQ send window, and
+// --coalesce=1 batches each edge's frames into one transport send per step
+// — together they pipeline the serve workload instead of serializing it.
+//
 // Exit codes: 0 = all waves completed with every check green; 1 = watchdog
 // tripped (no progress) or step budget exhausted; 2 = bad arguments.
 // Contract violations (out-of-order or duplicated delivery, a wave closing
 // before all processors joined) abort loudly via SNAPPIF_ASSERT.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -140,6 +147,15 @@ int main(int argc, char** argv) {
   link_cfg.rto_initial =
       static_cast<std::uint32_t>(cli.get_int("rto-initial", 2));
   link_cfg.rto_cap = static_cast<std::uint32_t>(cli.get_int("rto-cap", 16));
+  const long long window = cli.get_int("window", 1);
+  if (window < 1) {
+    std::fprintf(stderr, "--window must be >= 1 (got %lld)\n", window);
+    return 2;
+  }
+  link_cfg.window = static_cast<std::size_t>(window);
+  // Keep headroom behind the window so the service rarely has to defer.
+  link_cfg.queue_capacity = std::max(link_cfg.queue_capacity, link_cfg.window);
+  link_cfg.coalesce = cli.get_bool("coalesce", false);
   if (const auto objection = mp::validate(link_cfg); objection.has_value()) {
     std::fprintf(stderr, "bad link config: %s\n", objection->c_str());
     return 2;
@@ -148,6 +164,12 @@ int main(int argc, char** argv) {
   mp::ServeConfig serve_cfg;
   serve_cfg.root = static_cast<mp::ProcessorId>(cli.get_int("root", 0));
   serve_cfg.waves = static_cast<std::uint32_t>(cli.get_int("waves", 100));
+  const long long streams = cli.get_int("streams", 1);
+  if (streams < 1) {
+    std::fprintf(stderr, "--streams must be >= 1 (got %lld)\n", streams);
+    return 2;
+  }
+  serve_cfg.streams = static_cast<std::uint32_t>(streams);
 
   obs::FlightRecorder flight;
   flight.context().tool = "snappif_serve";
@@ -174,10 +196,17 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<mp::Network> net;
   std::unique_ptr<mp::UdpTransport> udp;
+  const long long poll_ms = cli.get_int("poll-ms", 0);
+  if (poll_ms < 0) {
+    // A negative timeout would make epoll_wait block forever and wedge the
+    // drive loop's watchdog; 0 already means "non-blocking poll".
+    std::fprintf(stderr, "--poll-ms must be >= 0 (got %lld)\n", poll_ms);
+    return 2;
+  }
   if (use_udp) {
     mp::UdpConfig ucfg;
     ucfg.base_port = static_cast<std::uint16_t>(cli.get_int("udp-port", 0));
-    ucfg.poll_timeout_ms = static_cast<int>(cli.get_int("poll-ms", 0));
+    ucfg.poll_timeout_ms = static_cast<int>(poll_ms);
     udp = std::make_unique<mp::UdpTransport>(*g, shim, ucfg);
     shim.bind(*udp);
     std::printf("udp endpoints: 127.0.0.1:%u..%u (%u processors)\n",
@@ -206,6 +235,8 @@ int main(int argc, char** argv) {
     }
     transport.step();
     link.tick();
+    service.pump(link);
+    link.flush();
     ++steps;
     service.set_tick(steps);
     observer.set_tick(steps);
@@ -251,8 +282,8 @@ int main(int argc, char** argv) {
     }
     return 1;
   }
-  std::printf("OK: %u waves, exactly-once in-order delivery held on every "
-              "edge\n",
-              serve_cfg.waves);
+  std::printf("OK: %u waves x %u streams, exactly-once in-order delivery "
+              "held on every edge\n",
+              serve_cfg.waves, serve_cfg.streams);
   return 0;
 }
